@@ -1,0 +1,235 @@
+//! Tree ensembles: bagging and AdaBoost (SAMME) — the "Weka 3.2 C4.5
+//! family bagging/boosting" comparison points of §6.1.
+
+use crate::tree::{DecisionTree, TreeParams};
+use microarray::{ClassId, ContinuousDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A bagged ensemble of decision trees (majority vote over bootstrap
+/// replicas).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Bagging {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl Bagging {
+    /// Fits `n_trees` trees, each on a bootstrap resample of the data.
+    pub fn fit(data: &ContinuousDataset, n_trees: usize, params: TreeParams, seed: u64) -> Bagging {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = data.n_samples();
+        let trees = (0..n_trees)
+            .map(|_| {
+                let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+                let boot = data.subset(&idx);
+                DecisionTree::fit(&boot, params, None, None)
+            })
+            .collect();
+        Bagging { trees, n_classes: data.n_classes() }
+    }
+
+    /// Majority vote over the ensemble.
+    pub fn predict(&self, row: &[f64]) -> ClassId {
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(row)] += 1;
+        }
+        argmax(&votes)
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// AdaBoost with the SAMME multi-class weight update over shallow trees.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdaBoost {
+    stages: Vec<(DecisionTree, f64)>,
+    n_classes: usize,
+}
+
+impl AdaBoost {
+    /// Fits up to `n_rounds` boosting stages of depth-limited trees.
+    /// Rounds stop early if a stage reaches zero training error (it gets a
+    /// large finite weight) or does no better than chance.
+    pub fn fit(
+        data: &ContinuousDataset,
+        n_rounds: usize,
+        max_depth: usize,
+        seed: u64,
+    ) -> AdaBoost {
+        let _ = seed; // deterministic learner; kept for API symmetry
+        let n = data.n_samples();
+        let k = data.n_classes() as f64;
+        let mut w = vec![1.0 / n as f64; n];
+        // Boosting weights are normalized to sum 1, so the default
+        // weight-mass split floor (tuned for unit weights) would turn every
+        // stage into a single leaf; depth is the only capacity control here.
+        let params = TreeParams { max_depth, min_split: 0.0, ..TreeParams::default() };
+        let mut stages = Vec::new();
+
+        for _ in 0..n_rounds {
+            let tree = DecisionTree::fit(data, params, Some(&w), None);
+            let preds: Vec<ClassId> = (0..n).map(|i| tree.predict(data.row(i))).collect();
+            let err: f64 = (0..n).filter(|&i| preds[i] != data.label(i)).map(|i| w[i]).sum();
+            // SAMME requires err < 1 - 1/K (better than random guessing).
+            if err >= 1.0 - 1.0 / k {
+                break;
+            }
+            let alpha = if err <= 1e-10 {
+                // Perfect stage: cap the weight and stop (further rounds
+                // cannot change anything).
+                stages.push((tree, 10.0));
+                break;
+            } else {
+                ((1.0 - err) / err).ln() + (k - 1.0).ln()
+            };
+            for i in 0..n {
+                if preds[i] != data.label(i) {
+                    w[i] *= alpha.exp();
+                }
+            }
+            let total: f64 = w.iter().sum();
+            for wi in &mut w {
+                *wi /= total;
+            }
+            stages.push((tree, alpha));
+        }
+        AdaBoost { stages, n_classes: data.n_classes() }
+    }
+
+    /// Weighted vote over the boosting stages.
+    pub fn predict(&self, row: &[f64]) -> ClassId {
+        let mut scores = vec![0.0f64; self.n_classes];
+        for (tree, alpha) in &self.stages {
+            scores[tree.predict(row)] += alpha;
+        }
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    /// Number of boosting stages actually fitted.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+fn argmax(votes: &[usize]) -> usize {
+    votes.iter().enumerate().max_by_key(|&(_, &v)| v).map(|(c, _)| c).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ContinuousDataset {
+        ContinuousDataset::new(
+            vec!["gA".into(), "gB".into()],
+            vec!["neg".into(), "pos".into()],
+            vec![
+                vec![1.0, 7.0],
+                vec![2.0, 1.0],
+                vec![3.0, 4.0],
+                vec![2.5, 9.0],
+                vec![8.0, 2.0],
+                vec![9.0, 8.0],
+                vec![7.5, 5.0],
+                vec![8.2, 0.5],
+            ],
+            vec![0, 0, 0, 0, 1, 1, 1, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bagging_learns_separable_data() {
+        let d = toy();
+        let m = Bagging::fit(&d, 25, TreeParams::default(), 7);
+        assert_eq!(m.n_trees(), 25);
+        for s in 0..d.n_samples() {
+            assert_eq!(m.predict(d.row(s)), d.label(s));
+        }
+    }
+
+    #[test]
+    fn bagging_is_seed_deterministic() {
+        let d = toy();
+        let a = Bagging::fit(&d, 10, TreeParams::default(), 3);
+        let b = Bagging::fit(&d, 10, TreeParams::default(), 3);
+        for s in 0..d.n_samples() {
+            assert_eq!(a.predict(d.row(s)), b.predict(d.row(s)));
+        }
+    }
+
+    #[test]
+    fn adaboost_learns_separable_data() {
+        let d = toy();
+        let m = AdaBoost::fit(&d, 20, 1, 0);
+        assert!(m.n_stages() >= 1);
+        for s in 0..d.n_samples() {
+            assert_eq!(m.predict(d.row(s)), d.label(s));
+        }
+    }
+
+    #[test]
+    fn adaboost_stops_after_perfect_stage() {
+        let d = toy();
+        // Depth-2 trees separate this data perfectly on round one.
+        let m = AdaBoost::fit(&d, 50, 3, 0);
+        assert_eq!(m.n_stages(), 1);
+    }
+
+    #[test]
+    fn adaboost_on_xor_with_stumps_improves() {
+        // Single stumps cannot express XOR; boosting stumps on (x, y, x*y)
+        // proxy features works — here we just check boosting on raw XOR
+        // with depth-2 trees classifies training data.
+        let d = ContinuousDataset::new(
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+            vec![
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+                vec![0.0, 1.0],
+                vec![1.0, 0.0],
+                vec![0.1, 0.1],
+                vec![0.9, 0.9],
+                vec![0.1, 0.9],
+                vec![0.9, 0.1],
+            ],
+            vec![0, 0, 1, 1, 0, 0, 1, 1],
+        )
+        .unwrap();
+        let m = AdaBoost::fit(&d, 30, 2, 0);
+        let correct = (0..d.n_samples())
+            .filter(|&s| m.predict(d.row(s)) == d.label(s))
+            .count();
+        // Greedy depth-2 trees can pick an unlucky zero-gain root, so the
+        // boosted committee need not be perfect — but it must clearly beat
+        // the 50% a single chance-level stump would get.
+        assert!(correct >= 6, "{correct}/{} after boosting", d.n_samples());
+    }
+
+    #[test]
+    fn multiclass_bagging() {
+        let d = ContinuousDataset::new(
+            vec!["x".into()],
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![vec![1.0], vec![1.1], vec![5.0], vec![5.1], vec![9.0], vec![9.1]],
+            vec![0, 0, 1, 1, 2, 2],
+        )
+        .unwrap();
+        let m = Bagging::fit(&d, 30, TreeParams::default(), 1);
+        assert_eq!(m.predict(&[1.05]), 0);
+        assert_eq!(m.predict(&[5.05]), 1);
+        assert_eq!(m.predict(&[9.05]), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Random forests (Breiman 2001) — the `randomForest` 4.5 baseline of
+//! §6.1 (500 trees by default; the paper raised PC to 1000 trees).
+
+use crate::tree::{DecisionTree, TreeParams};
+use microarray::{ClassId, ContinuousDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Random-forest hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees (paper default: 500).
+    pub n_trees: usize,
+    /// Features considered per split; `None` = ⌊√p⌋ (the R default).
+    pub mtry: Option<usize>,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams { n_trees: 500, mtry: None, max_depth: 25, seed: 0 }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Fits the forest: each tree sees a bootstrap resample and √p random
+    /// candidate features per split.
+    pub fn fit(data: &ContinuousDataset, params: ForestParams) -> RandomForest {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let n = data.n_samples();
+        let mtry = params
+            .mtry
+            .unwrap_or_else(|| (data.n_genes() as f64).sqrt().floor().max(1.0) as usize);
+        let tree_params = TreeParams {
+            max_depth: params.max_depth,
+            features_per_split: Some(mtry),
+            ..TreeParams::default()
+        };
+        let trees = (0..params.n_trees)
+            .map(|_| {
+                let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+                let boot = data.subset(&idx);
+                DecisionTree::fit(&boot, tree_params, None, Some(&mut rng))
+            })
+            .collect();
+        RandomForest { trees, n_classes: data.n_classes() }
+    }
+
+    /// Majority vote across the forest.
+    pub fn predict(&self, row: &[f64]) -> ClassId {
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(row)] += 1;
+        }
+        votes.iter().enumerate().max_by_key(|&(_, &v)| v).map(|(c, _)| c).unwrap_or(0)
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_noise: usize) -> ContinuousDataset {
+        // Gene 0 is informative; n_noise constant-ish noise genes follow.
+        let mut genes = vec!["signal".to_string()];
+        genes.extend((0..n_noise).map(|i| format!("noise{i}")));
+        let mut values = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..16 {
+            let class = i % 2;
+            let mut row = vec![if class == 0 { 1.0 + 0.1 * i as f64 } else { 8.0 + 0.1 * i as f64 }];
+            row.extend((0..n_noise).map(|j| ((i * 31 + j * 17) % 10) as f64));
+            values.push(row);
+            labels.push(class);
+        }
+        ContinuousDataset::new(
+            genes,
+            vec!["neg".into(), "pos".into()],
+            values,
+            labels,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forest_learns_with_noise_features() {
+        let d = toy(8);
+        let params = ForestParams { n_trees: 60, seed: 4, ..ForestParams::default() };
+        let m = RandomForest::fit(&d, params);
+        assert_eq!(m.n_trees(), 60);
+        for s in 0..d.n_samples() {
+            assert_eq!(m.predict(d.row(s)), d.label(s), "sample {s}");
+        }
+        assert_eq!(m.predict(&[0.5, 0., 0., 0., 0., 0., 0., 0., 0.]), 0);
+        assert_eq!(m.predict(&[9.5, 0., 0., 0., 0., 0., 0., 0., 0.]), 1);
+    }
+
+    #[test]
+    fn forest_is_seed_deterministic() {
+        let d = toy(4);
+        let p = ForestParams { n_trees: 20, seed: 9, ..ForestParams::default() };
+        let a = RandomForest::fit(&d, p);
+        let b = RandomForest::fit(&d, p);
+        for s in 0..d.n_samples() {
+            assert_eq!(a.predict(d.row(s)), b.predict(d.row(s)));
+        }
+    }
+
+    #[test]
+    fn mtry_defaults_to_sqrt_p() {
+        // 9 genes → mtry 3; just verify fitting works via the default path.
+        let d = toy(8);
+        let m = RandomForest::fit(&d, ForestParams { n_trees: 5, ..ForestParams::default() });
+        assert_eq!(m.n_trees(), 5);
+    }
+}

@@ -1,0 +1,332 @@
+//! Support vector machine with RBF kernel, trained by a simplified SMO
+//! (Platt 1998) — the `e1071`-equivalent baseline of §6.1, run with its
+//! defaults (radial kernel, `C = 1`, `γ = 1/p`).
+//!
+//! Binary SVMs are combined one-vs-one with majority voting for
+//! multi-class data, matching libsvm/e1071 behaviour.
+
+use microarray::{ClassId, ContinuousDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// SVM hyper-parameters (e1071 defaults).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SvmParams {
+    /// Soft-margin penalty.
+    pub c: f64,
+    /// RBF width; `None` = `1 / n_features` (the e1071 default).
+    pub gamma: Option<f64>,
+    /// KKT tolerance.
+    pub tol: f64,
+    /// Maximum SMO passes without change before convergence is declared.
+    pub max_passes: usize,
+    /// RNG seed for the second-alpha heuristic.
+    pub seed: u64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        SvmParams { c: 1.0, gamma: None, tol: 1e-3, max_passes: 5, seed: 0 }
+    }
+}
+
+/// One binary RBF-SVM (labels ±1 over two original classes).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BinarySvm {
+    class_neg: ClassId,
+    class_pos: ClassId,
+    support_vectors: Vec<Vec<f64>>,
+    /// `alpha_i * y_i` per support vector.
+    coeffs: Vec<f64>,
+    bias: f64,
+    gamma: f64,
+}
+
+impl BinarySvm {
+    fn decision(&self, row: &[f64]) -> f64 {
+        let mut f = self.bias;
+        for (sv, &c) in self.support_vectors.iter().zip(&self.coeffs) {
+            f += c * rbf(sv, row, self.gamma);
+        }
+        f
+    }
+
+    fn predict(&self, row: &[f64]) -> ClassId {
+        if self.decision(row) >= 0.0 {
+            self.class_pos
+        } else {
+            self.class_neg
+        }
+    }
+}
+
+#[inline]
+fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-gamma * d2).exp()
+}
+
+/// A (possibly multi-class, one-vs-one) RBF SVM.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Svm {
+    machines: Vec<BinarySvm>,
+    n_classes: usize,
+}
+
+impl Svm {
+    /// Trains one binary SVM per unordered class pair.
+    pub fn fit(data: &ContinuousDataset, params: SvmParams) -> Svm {
+        let n_classes = data.n_classes();
+        let gamma = params.gamma.unwrap_or(1.0 / data.n_genes().max(1) as f64);
+        let mut machines = Vec::new();
+        for a in 0..n_classes {
+            for b in a + 1..n_classes {
+                machines.push(train_binary(data, a, b, gamma, params));
+            }
+        }
+        Svm { machines, n_classes }
+    }
+
+    /// One-vs-one majority vote.
+    pub fn predict(&self, row: &[f64]) -> ClassId {
+        let mut votes = vec![0usize; self.n_classes];
+        for m in &self.machines {
+            votes[m.predict(row)] += 1;
+        }
+        votes.iter().enumerate().max_by_key(|&(_, &v)| v).map(|(c, _)| c).unwrap_or(0)
+    }
+
+    /// The binary decision value (positive ⇒ second class) — only
+    /// meaningful for two-class data.
+    pub fn decision(&self, row: &[f64]) -> f64 {
+        assert_eq!(self.machines.len(), 1, "decision() requires a binary SVM");
+        self.machines[0].decision(row)
+    }
+}
+
+/// Simplified SMO on the (a = −1, b = +1) subproblem.
+fn train_binary(
+    data: &ContinuousDataset,
+    class_a: ClassId,
+    class_b: ClassId,
+    gamma: f64,
+    params: SvmParams,
+) -> BinarySvm {
+    let idx: Vec<usize> = (0..data.n_samples())
+        .filter(|&s| data.label(s) == class_a || data.label(s) == class_b)
+        .collect();
+    let n = idx.len();
+    let x: Vec<&[f64]> = idx.iter().map(|&s| data.row(s)).collect();
+    let y: Vec<f64> =
+        idx.iter().map(|&s| if data.label(s) == class_b { 1.0 } else { -1.0 }).collect();
+
+    // Precomputed kernel matrix: training sets here are ≤ a few hundred
+    // rows, so n² doubles are cheap and SMO becomes memory-bound-free.
+    let mut kernel = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i..n {
+            let k = rbf(x[i], x[j], gamma);
+            kernel[i * n + j] = k;
+            kernel[j * n + i] = k;
+        }
+    }
+    let k = |i: usize, j: usize| kernel[i * n + j];
+
+    let mut alpha = vec![0.0f64; n];
+    let mut bias = 0.0f64;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let f = |alpha: &[f64], bias: f64, kernel: &dyn Fn(usize, usize) -> f64, i: usize| -> f64 {
+        let mut v = bias;
+        for j in 0..n {
+            if alpha[j] != 0.0 {
+                v += alpha[j] * y[j] * kernel(j, i);
+            }
+        }
+        v
+    };
+
+    let mut passes = 0usize;
+    let max_iters = 200 * n.max(1); // hard safety valve
+    let mut iters = 0usize;
+    while passes < params.max_passes && iters < max_iters {
+        iters += 1;
+        let mut changed = 0usize;
+        for i in 0..n {
+            let ei = f(&alpha, bias, &k, i) - y[i];
+            let violates = (y[i] * ei < -params.tol && alpha[i] < params.c)
+                || (y[i] * ei > params.tol && alpha[i] > 0.0);
+            if !violates {
+                continue;
+            }
+            // Second index: random j ≠ i (Platt's simplified heuristic).
+            let mut j = rng.random_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let ej = f(&alpha, bias, &k, j) - y[j];
+            let (ai_old, aj_old) = (alpha[i], alpha[j]);
+            let (lo, hi) = if y[i] != y[j] {
+                ((aj_old - ai_old).max(0.0), (params.c + aj_old - ai_old).min(params.c))
+            } else {
+                ((ai_old + aj_old - params.c).max(0.0), (ai_old + aj_old).min(params.c))
+            };
+            if lo >= hi {
+                continue;
+            }
+            let eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+            if eta >= 0.0 {
+                continue;
+            }
+            let mut aj = aj_old - y[j] * (ei - ej) / eta;
+            aj = aj.clamp(lo, hi);
+            if (aj - aj_old).abs() < 1e-7 {
+                continue;
+            }
+            let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+            alpha[i] = ai;
+            alpha[j] = aj;
+            let b1 = bias - ei - y[i] * (ai - ai_old) * k(i, i) - y[j] * (aj - aj_old) * k(i, j);
+            let b2 = bias - ej - y[i] * (ai - ai_old) * k(i, j) - y[j] * (aj - aj_old) * k(j, j);
+            bias = if 0.0 < ai && ai < params.c {
+                b1
+            } else if 0.0 < aj && aj < params.c {
+                b2
+            } else {
+                (b1 + b2) / 2.0
+            };
+            changed += 1;
+        }
+        if changed == 0 {
+            passes += 1;
+        } else {
+            passes = 0;
+        }
+    }
+
+    // Keep only the support vectors.
+    let mut support_vectors = Vec::new();
+    let mut coeffs = Vec::new();
+    for i in 0..n {
+        if alpha[i] > 1e-9 {
+            support_vectors.push(x[i].to_vec());
+            coeffs.push(alpha[i] * y[i]);
+        }
+    }
+    BinarySvm { class_neg: class_a, class_pos: class_b, support_vectors, coeffs, bias, gamma }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> ContinuousDataset {
+        // Two well-separated 2-D clusters.
+        let mut values = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            values.push(vec![1.0 + 0.1 * i as f64, 1.0 - 0.07 * i as f64]);
+            labels.push(0);
+            values.push(vec![6.0 + 0.1 * i as f64, 6.0 - 0.07 * i as f64]);
+            labels.push(1);
+        }
+        ContinuousDataset::new(
+            vec!["x".into(), "y".into()],
+            vec!["neg".into(), "pos".into()],
+            values,
+            labels,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn separable_blobs_are_learned() {
+        let d = blobs();
+        let svm = Svm::fit(&d, SvmParams::default());
+        for s in 0..d.n_samples() {
+            assert_eq!(svm.predict(d.row(s)), d.label(s), "sample {s}");
+        }
+        assert_eq!(svm.predict(&[0.5, 0.5]), 0);
+        assert_eq!(svm.predict(&[7.0, 7.0]), 1);
+    }
+
+    #[test]
+    fn decision_sign_matches_prediction() {
+        let d = blobs();
+        let svm = Svm::fit(&d, SvmParams::default());
+        assert!(svm.decision(&[0.5, 0.5]) < 0.0);
+        assert!(svm.decision(&[7.0, 7.0]) > 0.0);
+    }
+
+    #[test]
+    fn rbf_handles_nonlinear_boundary() {
+        // Ring: class 1 inside radius 1, class 0 outside radius 2 — not
+        // linearly separable, easy for RBF.
+        let mut values = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..16 {
+            let t = i as f64 * std::f64::consts::TAU / 16.0;
+            values.push(vec![0.5 * t.cos(), 0.5 * t.sin()]);
+            labels.push(1);
+            values.push(vec![2.5 * t.cos(), 2.5 * t.sin()]);
+            labels.push(0);
+        }
+        let d = ContinuousDataset::new(
+            vec!["x".into(), "y".into()],
+            vec!["out".into(), "in".into()],
+            values,
+            labels,
+        )
+        .unwrap();
+        let svm = Svm::fit(&d, SvmParams { gamma: Some(1.0), ..SvmParams::default() });
+        let correct =
+            (0..d.n_samples()).filter(|&s| svm.predict(d.row(s)) == d.label(s)).count();
+        assert!(correct >= d.n_samples() - 2, "{correct}/{}", d.n_samples());
+        assert_eq!(svm.predict(&[0.0, 0.0]), 1);
+        assert_eq!(svm.predict(&[3.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn multiclass_one_vs_one() {
+        let d = ContinuousDataset::new(
+            vec!["x".into()],
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                vec![1.0],
+                vec![1.2],
+                vec![1.1],
+                vec![5.0],
+                vec![5.2],
+                vec![5.1],
+                vec![9.0],
+                vec![9.2],
+                vec![9.1],
+            ],
+            vec![0, 0, 0, 1, 1, 1, 2, 2, 2],
+        )
+        .unwrap();
+        let svm = Svm::fit(&d, SvmParams { gamma: Some(0.5), ..SvmParams::default() });
+        assert_eq!(svm.predict(&[1.05]), 0);
+        assert_eq!(svm.predict(&[5.05]), 1);
+        assert_eq!(svm.predict(&[9.05]), 2);
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let d = blobs();
+        let a = Svm::fit(&d, SvmParams { seed: 11, ..SvmParams::default() });
+        let b = Svm::fit(&d, SvmParams { seed: 11, ..SvmParams::default() });
+        for s in 0..d.n_samples() {
+            assert_eq!(a.predict(d.row(s)), b.predict(d.row(s)));
+        }
+    }
+
+    #[test]
+    fn default_gamma_is_one_over_p() {
+        let d = blobs(); // p = 2
+        let svm = Svm::fit(&d, SvmParams::default());
+        // γ is stored inside the binary machine.
+        assert!((svm.machines[0].gamma - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,410 @@
+//! C4.5-style decision trees on continuous features.
+//!
+//! The paper's §6.1 compares BSTC against "Weka 3.2 (C4.5 family single
+//! tree, bagging, boosting)" and `randomForest`. This module provides the
+//! shared tree learner: binary splits on continuous gene-expression
+//! values, chosen by information gain ratio, with optional per-node random
+//! feature subsampling (for forests) and per-sample weights (for
+//! boosting).
+
+use microarray::{ClassId, ContinuousDataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Tree hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum total sample weight a node needs to be split further.
+    pub min_split: f64,
+    /// If set, the number of random candidate features per split (random
+    /// forests use √p); otherwise all features are considered.
+    pub features_per_split: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 25, min_split: 2.0, features_per_split: None }
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        class: ClassId,
+    },
+    Split {
+        feature: usize,
+        /// Goes left when `value < threshold`.
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted decision tree.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on (optionally weighted, optionally feature-subsampled)
+    /// training data. `rng` is required iff `features_per_split` is set.
+    pub fn fit(
+        data: &ContinuousDataset,
+        params: TreeParams,
+        weights: Option<&[f64]>,
+        mut rng: Option<&mut StdRng>,
+    ) -> DecisionTree {
+        let n = data.n_samples();
+        let default_w = vec![1.0; n];
+        let w = weights.unwrap_or(&default_w);
+        assert_eq!(w.len(), n, "one weight per sample");
+        let mut tree = DecisionTree { nodes: Vec::new(), n_classes: data.n_classes() };
+        let idx: Vec<usize> = (0..n).collect();
+        tree.build(data, params, w, idx, 0, &mut rng);
+        tree
+    }
+
+    /// Predicts the class of one expression row.
+    pub fn predict(&self, row: &[f64]) -> ClassId {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    at = if row[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (diagnostics).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+
+    /// Recursively builds the subtree over `idx`; returns the node index.
+    fn build(
+        &mut self,
+        data: &ContinuousDataset,
+        params: TreeParams,
+        w: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        rng: &mut Option<&mut StdRng>,
+    ) -> usize {
+        let majority = self.weighted_majority(data, w, &idx);
+        let total_w: f64 = idx.iter().map(|&i| w[i]).sum();
+        let pure = idx.iter().all(|&i| data.label(i) == data.label(idx[0]));
+        if pure || depth >= params.max_depth || total_w < params.min_split {
+            return self.push(Node::Leaf { class: majority });
+        }
+
+        let Some((feature, threshold)) = self.best_split(data, params, w, &idx, rng) else {
+            return self.push(Node::Leaf { class: majority });
+        };
+
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| data.value(i, feature) < threshold);
+        if li.is_empty() || ri.is_empty() {
+            return self.push(Node::Leaf { class: majority });
+        }
+
+        // Reserve this node's slot before recursing so the root is node 0.
+        let slot = self.push(Node::Leaf { class: majority });
+        let left = self.build(data, params, w, li, depth + 1, rng);
+        let right = self.build(data, params, w, ri, depth + 1, rng);
+        self.nodes[slot] = Node::Split { feature, threshold, left, right };
+        slot
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn weighted_majority(&self, data: &ContinuousDataset, w: &[f64], idx: &[usize]) -> ClassId {
+        let mut hist = vec![0.0f64; self.n_classes];
+        for &i in idx {
+            hist[data.label(i)] += w[i];
+        }
+        hist.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    /// Best (feature, threshold) by information gain ratio over the
+    /// candidate features.
+    fn best_split(
+        &self,
+        data: &ContinuousDataset,
+        params: TreeParams,
+        w: &[f64],
+        idx: &[usize],
+        rng: &mut Option<&mut StdRng>,
+    ) -> Option<(usize, f64)> {
+        let all: Vec<usize> = (0..data.n_genes()).collect();
+        let candidates: Vec<usize> = match (params.features_per_split, rng.as_deref_mut()) {
+            (Some(m), Some(rng)) => {
+                let mut shuffled = all;
+                shuffled.shuffle(rng);
+                shuffled.truncate(m.max(1));
+                shuffled
+            }
+            (Some(_), None) => panic!("features_per_split requires an RNG"),
+            (None, _) => all,
+        };
+
+        let total_w: f64 = idx.iter().map(|&i| w[i]).sum();
+        let parent = self.entropy_of(data, w, idx.iter().copied());
+        let mut best: Option<(f64, usize, f64)> = None; // (gain ratio, feature, threshold)
+
+        let mut total_hist = vec![0.0f64; self.n_classes];
+        for &i in idx {
+            total_hist[data.label(i)] += w[i];
+        }
+
+        let mut order: Vec<usize> = idx.to_vec();
+        for &f in &candidates {
+            order.sort_unstable_by(|&a, &b| data.value(a, f).total_cmp(&data.value(b, f)));
+            // Sweep split positions, maintaining left-side class weights;
+            // the right side is derived as total − left.
+            let mut left_hist = vec![0.0f64; self.n_classes];
+            let mut left_w = 0.0f64;
+            for pos in 1..order.len() {
+                let prev = order[pos - 1];
+                left_hist[data.label(prev)] += w[prev];
+                left_w += w[prev];
+                let (va, vb) = (data.value(prev, f), data.value(order[pos], f));
+                if va == vb {
+                    continue;
+                }
+                let right_w = total_w - left_w;
+                if left_w <= 0.0 || right_w <= 0.0 {
+                    continue;
+                }
+                let right_hist: Vec<f64> =
+                    total_hist.iter().zip(&left_hist).map(|(t, l)| t - l).collect();
+                let h_left = entropy(&left_hist, left_w);
+                let h_right = entropy(&right_hist, right_w);
+                let gain = parent - (left_w * h_left + right_w * h_right) / total_w;
+                // Zero-gain splits are allowed (XOR-like interactions have
+                // no single informative split; the children's splits do
+                // the separating). Negative gain is impossible up to
+                // rounding; reject it.
+                if gain < -1e-12 {
+                    continue;
+                }
+                // C4.5 gain ratio: gain / split info.
+                let pl = left_w / total_w;
+                let pr = right_w / total_w;
+                let split_info = -(pl * pl.log2() + pr * pr.log2());
+                let ratio = if split_info > 0.0 { gain / split_info } else { gain };
+                if best.is_none_or(|(b, _, _)| ratio > b) {
+                    best = Some((ratio, f, (va + vb) / 2.0));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+
+    fn entropy_of(
+        &self,
+        data: &ContinuousDataset,
+        w: &[f64],
+        idx: impl Iterator<Item = usize>,
+    ) -> f64 {
+        let mut hist = vec![0.0f64; self.n_classes];
+        let mut total = 0.0;
+        for i in idx {
+            hist[data.label(i)] += w[i];
+            total += w[i];
+        }
+        entropy(&hist, total)
+    }
+}
+
+fn entropy(hist: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in hist {
+        if c > 0.0 {
+            let p = c / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn xor_free_toy() -> ContinuousDataset {
+        // Gene 0 separates classes at 5.0; gene 1 is noise.
+        ContinuousDataset::new(
+            vec!["gA".into(), "gB".into()],
+            vec!["neg".into(), "pos".into()],
+            vec![
+                vec![1.0, 7.0],
+                vec![2.0, 1.0],
+                vec![3.0, 4.0],
+                vec![2.5, 9.0],
+                vec![8.0, 2.0],
+                vec![9.0, 8.0],
+                vec![7.5, 5.0],
+                vec![8.2, 0.5],
+            ],
+            vec![0, 0, 0, 0, 1, 1, 1, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn separable_data_is_learned_exactly() {
+        let d = xor_free_toy();
+        let tree = DecisionTree::fit(&d, TreeParams::default(), None, None);
+        for s in 0..d.n_samples() {
+            assert_eq!(tree.predict(d.row(s)), d.label(s));
+        }
+        // One split suffices.
+        assert!(tree.depth() <= 2, "depth {}", tree.depth());
+    }
+
+    #[test]
+    fn generalizes_to_nearby_points() {
+        let d = xor_free_toy();
+        let tree = DecisionTree::fit(&d, TreeParams::default(), None, None);
+        assert_eq!(tree.predict(&[0.5, 5.0]), 0);
+        assert_eq!(tree.predict(&[9.5, 5.0]), 1);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let d = ContinuousDataset::new(
+            vec!["x".into(), "y".into()],
+            vec!["a".into(), "b".into()],
+            vec![
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+                vec![0.0, 1.0],
+                vec![1.0, 0.0],
+                vec![0.1, 0.1],
+                vec![0.9, 0.9],
+                vec![0.1, 0.9],
+                vec![0.9, 0.1],
+            ],
+            vec![0, 0, 1, 1, 0, 0, 1, 1],
+        )
+        .unwrap();
+        let tree = DecisionTree::fit(&d, TreeParams::default(), None, None);
+        for s in 0..d.n_samples() {
+            assert_eq!(tree.predict(d.row(s)), d.label(s));
+        }
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_majority_leaf() {
+        let d = xor_free_toy();
+        let params = TreeParams { max_depth: 0, ..TreeParams::default() };
+        let tree = DecisionTree::fit(&d, params, None, None);
+        assert_eq!(tree.n_nodes(), 1);
+        // 4-4 tie: majority by max_by keeps the last max — any of the two
+        // classes is fine, but it must be deterministic.
+        let p1 = tree.predict(&[0.0, 0.0]);
+        let p2 = tree.predict(&[100.0, 100.0]);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn weights_steer_the_majority() {
+        let d = xor_free_toy();
+        let params = TreeParams { max_depth: 0, ..TreeParams::default() };
+        // Class 1 samples get 10x weight.
+        let w: Vec<f64> =
+            (0..d.n_samples()).map(|i| if d.label(i) == 1 { 10.0 } else { 1.0 }).collect();
+        let tree = DecisionTree::fit(&d, params, Some(&w), None);
+        assert_eq!(tree.predict(&[0.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn zero_weight_samples_are_ignored_in_splits() {
+        let d = xor_free_toy();
+        // Zero out class 1 entirely: the tree sees only class 0.
+        let w: Vec<f64> =
+            (0..d.n_samples()).map(|i| if d.label(i) == 1 { 0.0 } else { 1.0 }).collect();
+        let tree = DecisionTree::fit(&d, TreeParams::default(), Some(&w), None);
+        assert_eq!(tree.predict(&[8.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn feature_subsampling_with_rng_is_deterministic() {
+        use rand::SeedableRng;
+        let d = xor_free_toy();
+        let params =
+            TreeParams { features_per_split: Some(1), ..TreeParams::default() };
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let t1 = DecisionTree::fit(&d, params, None, Some(&mut r1));
+        let t2 = DecisionTree::fit(&d, params, None, Some(&mut r2));
+        for s in 0..d.n_samples() {
+            assert_eq!(t1.predict(d.row(s)), t2.predict(d.row(s)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an RNG")]
+    fn feature_subsampling_without_rng_panics() {
+        let d = xor_free_toy();
+        let params =
+            TreeParams { features_per_split: Some(1), ..TreeParams::default() };
+        DecisionTree::fit(&d, params, None, None);
+    }
+
+    #[test]
+    fn three_class_tree() {
+        let d = ContinuousDataset::new(
+            vec!["x".into()],
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                vec![1.0],
+                vec![1.2],
+                vec![5.0],
+                vec![5.5],
+                vec![9.0],
+                vec![9.5],
+            ],
+            vec![0, 0, 1, 1, 2, 2],
+        )
+        .unwrap();
+        let tree = DecisionTree::fit(&d, TreeParams::default(), None, None);
+        assert_eq!(tree.predict(&[0.9]), 0);
+        assert_eq!(tree.predict(&[5.2]), 1);
+        assert_eq!(tree.predict(&[10.0]), 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the baseline classifiers: totality, determinism,
+//! valid outputs, and learnability of separable data.
+
+use baselines::{
+    AdaBoost, Bagging, ContinuousClassifier, DecisionTree, ForestParams, RandomForest, Svm,
+    SvmParams, TreeParams,
+};
+use microarray::ContinuousDataset;
+use proptest::prelude::*;
+
+/// Random small continuous dataset: 2–3 classes, every class non-empty.
+fn dataset() -> impl Strategy<Value = ContinuousDataset> {
+    (2usize..4, 1usize..5, 4usize..16).prop_flat_map(|(n_classes, n_genes, extra)| {
+        let n = n_classes + extra;
+        (
+            prop::collection::vec(prop::collection::vec(-100.0f64..100.0, n_genes), n),
+            prop::collection::vec(0..n_classes, n - n_classes),
+        )
+            .prop_map(move |(values, tail)| {
+                let mut labels: Vec<usize> = (0..n_classes).collect();
+                labels.extend(tail);
+                ContinuousDataset::new(
+                    (0..n_genes).map(|g| format!("g{g}")).collect(),
+                    (0..n_classes).map(|c| format!("c{c}")).collect(),
+                    values,
+                    labels,
+                )
+                .unwrap()
+            })
+    })
+}
+
+/// A linearly-separable 1-D dataset: class = value sign, margins wide.
+fn separable() -> impl Strategy<Value = ContinuousDataset> {
+    (3usize..10, 3usize..10).prop_map(|(a, b)| {
+        let mut values = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..a {
+            values.push(vec![-10.0 - i as f64]);
+            labels.push(0);
+        }
+        for i in 0..b {
+            values.push(vec![10.0 + i as f64]);
+            labels.push(1);
+        }
+        ContinuousDataset::new(
+            vec!["x".into()],
+            vec!["neg".into(), "pos".into()],
+            values,
+            labels,
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All classifiers produce a valid class for any row, deterministically.
+    #[test]
+    fn predictions_are_valid_and_deterministic(d in dataset(),
+                                               probe in prop::collection::vec(-200.0f64..200.0, 1..5)) {
+        let row: Vec<f64> = (0..d.n_genes()).map(|g| probe[g % probe.len()]).collect();
+        let classifiers: Vec<Box<dyn ContinuousClassifier>> = vec![
+            Box::new(DecisionTree::fit(&d, TreeParams::default(), None, None)),
+            Box::new(Bagging::fit(&d, 5, TreeParams::default(), 3)),
+            Box::new(AdaBoost::fit(&d, 5, 2, 3)),
+            Box::new(RandomForest::fit(
+                &d, ForestParams { n_trees: 5, seed: 3, ..Default::default() })),
+            Box::new(Svm::fit(&d, SvmParams { max_passes: 2, ..Default::default() })),
+        ];
+        for c in &classifiers {
+            let p1 = c.predict(&row);
+            let p2 = c.predict(&row);
+            prop_assert_eq!(p1, p2);
+            prop_assert!(p1 < d.n_classes());
+        }
+    }
+
+    /// Everything learns a wide-margin separable problem perfectly on the
+    /// training data.
+    #[test]
+    fn separable_data_is_fit_by_everything(d in separable()) {
+        let classifiers: Vec<(&str, Box<dyn ContinuousClassifier>)> = vec![
+            ("tree", Box::new(DecisionTree::fit(&d, TreeParams::default(), None, None))),
+            ("bagging", Box::new(Bagging::fit(&d, 15, TreeParams::default(), 1))),
+            ("boost", Box::new(AdaBoost::fit(&d, 10, 2, 1))),
+            ("forest", Box::new(RandomForest::fit(
+                &d, ForestParams { n_trees: 15, seed: 1, ..Default::default() }))),
+            ("svm", Box::new(Svm::fit(&d, SvmParams { gamma: Some(0.05), ..Default::default() }))),
+        ];
+        for (name, c) in &classifiers {
+            let preds = c.predict_all(&d);
+            let correct = preds.iter().zip(d.labels()).filter(|(p, t)| p == t).count();
+            prop_assert_eq!(correct, d.n_samples(), "{} misfit separable data", name);
+        }
+    }
+
+    /// Trees never predict a class absent from their training data.
+    #[test]
+    fn tree_predicts_only_seen_classes(d in dataset(),
+                                       x in prop::collection::vec(-1000.0f64..1000.0, 1..5)) {
+        let tree = DecisionTree::fit(&d, TreeParams::default(), None, None);
+        let row: Vec<f64> = (0..d.n_genes()).map(|g| x[g % x.len()]).collect();
+        let p = tree.predict(&row);
+        prop_assert!(d.labels().contains(&p), "class {p} never seen in training");
+    }
+
+    /// Weighted training: zeroing a class's weights removes it from the
+    /// tree's predictions.
+    #[test]
+    fn zero_weight_class_never_predicted(d in dataset()) {
+        let victim = d.label(0);
+        let w: Vec<f64> = (0..d.n_samples())
+            .map(|s| if d.label(s) == victim { 0.0 } else { 1.0 })
+            .collect();
+        if w.iter().all(|&x| x == 0.0) { return Ok(()); }
+        let tree = DecisionTree::fit(&d, TreeParams::default(), Some(&w), None);
+        for s in 0..d.n_samples() {
+            prop_assert_ne!(tree.predict(d.row(s)), victim);
+        }
+    }
+}

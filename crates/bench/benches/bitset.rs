@@ -1,0 +1,26 @@
+//! Criterion: the bitset substrate — the inner loop of everything.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use microarray::BitSet;
+use std::hint::black_box;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset");
+    let a = BitSet::from_iter(10_000, (0..10_000).step_by(3));
+    let b = BitSet::from_iter(10_000, (0..10_000).step_by(7));
+
+    group.bench_function("intersection_len", |bch| {
+        bch.iter(|| black_box(&a).intersection_len(black_box(&b)))
+    });
+    group.bench_function("is_subset", |bch| bch.iter(|| black_box(&a).is_subset(black_box(&b))));
+    group.bench_function("intersection_alloc", |bch| {
+        bch.iter(|| black_box(&a).intersection(black_box(&b)))
+    });
+    group.bench_function("iter_sum", |bch| {
+        bch.iter(|| black_box(&a).iter().sum::<usize>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion: BST construction (Algorithm 1) across dataset shapes —
+//! the §3.1.1 claim is O(|S|²·|G|) build time.
+
+use bstc::Bst;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microarray::synth::BoolSynthConfig;
+use std::hint::black_box;
+
+fn dataset(n_samples: usize, n_items: usize) -> microarray::BoolDataset {
+    BoolSynthConfig {
+        name: "bench".into(),
+        n_items,
+        class_sizes: vec![n_samples / 2, n_samples - n_samples / 2],
+        class_names: vec!["c0".into(), "c1".into()],
+        markers_per_class: n_items / 10,
+        marker_on: 0.9,
+        background_on: 0.3,
+        seed: 42,
+    }
+    .generate()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bst_build");
+    for &n in &[40usize, 80, 160] {
+        let data = dataset(n, 1000);
+        group.bench_with_input(BenchmarkId::new("samples", n), &data, |b, d| {
+            b.iter(|| Bst::build_all(black_box(d)))
+        });
+    }
+    for &g in &[500usize, 1000, 2000] {
+        let data = dataset(80, g);
+        group.bench_with_input(BenchmarkId::new("items", g), &data, |b, d| {
+            b.iter(|| Bst::build_all(black_box(d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion: BSTCE per-query classification (Algorithm 5) — the §5.3.1
+//! claim is O(|S|²·|G|) per query worst case, far lower in practice.
+
+use bstc::BstcModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microarray::synth::BoolSynthConfig;
+use std::hint::black_box;
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bstce_query");
+    for &n in &[40usize, 80, 160] {
+        let data = BoolSynthConfig {
+            name: "bench".into(),
+            n_items: 1000,
+            class_sizes: vec![n / 2, n - n / 2],
+            class_names: vec!["c0".into(), "c1".into()],
+            markers_per_class: 100,
+            marker_on: 0.9,
+            background_on: 0.3,
+            seed: 42,
+        }
+        .generate();
+        let model = BstcModel::train(&data);
+        let query = data.sample(0).clone();
+        group.bench_with_input(BenchmarkId::new("samples", n), &(), |b, _| {
+            b.iter(|| model.classify(black_box(&query)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

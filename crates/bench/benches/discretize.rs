@@ -1,0 +1,25 @@
+//! Criterion: entropy-MDL discretization cost (fit + transform).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use discretize::Discretizer;
+use microarray::synth::presets;
+use std::hint::black_box;
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdl_discretize");
+    group.sample_size(10);
+    for &scale in &[50usize, 25] {
+        let data = presets::all_aml(3).scaled_down(scale).generate();
+        let label = format!("all_aml_{}g_{}s", data.n_genes(), data.n_samples());
+        group.bench_with_input(BenchmarkId::new("fit", label), &data, |b, d| {
+            b.iter(|| Discretizer::fit(black_box(d)))
+        });
+    }
+    let data = presets::all_aml(3).scaled_down(25).generate();
+    let disc = Discretizer::fit(&data);
+    group.bench_function("transform", |b| b.iter(|| disc.transform(black_box(&data)).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

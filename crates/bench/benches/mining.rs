@@ -1,0 +1,54 @@
+//! Criterion: rule mining — polynomial (MC)²BAR mining (Algorithm 3)
+//! versus the exponential Top-k rule-group search, on growing training
+//! sizes. This is the microbenchmark behind the paper's headline claim.
+
+use bstc::{mine_topk, Bst};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microarray::synth::BoolSynthConfig;
+use rulemine::{mine_topk_groups, Budget, TopkParams};
+use std::hint::black_box;
+
+fn dataset(n_samples: usize) -> microarray::BoolDataset {
+    BoolSynthConfig {
+        name: "bench".into(),
+        n_items: 300,
+        class_sizes: vec![n_samples / 2, n_samples - n_samples / 2],
+        class_names: vec!["c0".into(), "c1".into()],
+        markers_per_class: 30,
+        marker_on: 0.85,
+        background_on: 0.25,
+        seed: 7,
+    }
+    .generate()
+}
+
+fn bench_mc2bar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc2bar_mining");
+    for &n in &[20usize, 40, 80] {
+        let data = dataset(n);
+        let bst = Bst::build(&data, 0);
+        group.bench_with_input(BenchmarkId::new("samples", n), &bst, |b, bst| {
+            b.iter(|| mine_topk(black_box(bst), 10))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_rule_groups");
+    group.sample_size(10);
+    // Kept small: this is the exponential side of the comparison.
+    for &n in &[14usize, 18, 22] {
+        let data = dataset(n);
+        group.bench_with_input(BenchmarkId::new("samples", n), &data, |b, d| {
+            b.iter(|| {
+                let mut budget = Budget::with_nodes(50_000_000);
+                mine_topk_groups(black_box(d), 0, TopkParams { k: 10, minsup: 0.5 }, &mut budget)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc2bar, bench_topk);
+criterion_main!(benches);

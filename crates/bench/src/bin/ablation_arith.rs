@@ -1,0 +1,62 @@
+//! §8 ablation — "Generalizing BSTC": the paper proposes experimenting
+//! with alternative boolean-formula arithmetizations beyond Algorithm 5's
+//! `min`. This study compares `min` (as published), `product` (the
+//! independence assumption the paper declines), and `mean`, plus the §8
+//! confidence-gap heuristic.
+
+use bench_suite::{scaled_config, DatasetKind, Opts};
+use bstc::{Arithmetization, BstcModel};
+use eval::{CvCell, SplitSpec};
+
+type Row = (f64, f64, f64, f64);
+
+fn main() {
+    let opts = Opts::parse();
+    let mut t = eval::TextTable::new(vec![
+        "Dataset", "min (paper)", "product", "mean", "avg conf-gap (min)",
+    ]);
+
+    for kind in DatasetKind::all() {
+        let cfg = scaled_config(kind, opts.full, opts.seed);
+        eprintln!("# {} …", cfg.name);
+        let data = cfg.generate();
+        let cell = CvCell { spec: SplitSpec::Fraction(0.6), reps: opts.reps, base_seed: opts.seed };
+        let results = eval::run_cell(&data, &cell, |_, p| {
+            let accs: Vec<f64> = [
+                Arithmetization::Min,
+                Arithmetization::Product,
+                Arithmetization::Mean,
+            ]
+            .iter()
+            .map(|&a| eval::run_bstc_with(p, a).accuracy)
+            .collect();
+            // Mean confidence gap of the published arithmetization.
+            let model = BstcModel::train(&p.bool_train);
+            let gaps: Vec<f64> =
+                p.bool_test.samples().iter().map(|q| model.confidence_gap(q)).collect();
+            (accs[0], accs[1], accs[2], eval::mean(&gaps))
+        });
+        let rows: Vec<_> = results.into_iter().flatten().collect();
+        let col = |f: &dyn Fn(&Row) -> f64, pct: bool| {
+            let v: Vec<f64> = rows.iter().map(f).collect();
+            if pct {
+                format!("{:.2}%", 100.0 * eval::mean(&v))
+            } else {
+                format!("{:.3}", eval::mean(&v))
+            }
+        };
+        t.row(vec![
+            kind.short().to_string(),
+            col(&|r| r.0, true),
+            col(&|r| r.1, true),
+            col(&|r| r.2, true),
+            col(&|r| r.3, false),
+        ]);
+    }
+
+    println!(
+        "Arithmetization ablation (60% training, {} reps, mean accuracy)",
+        opts.reps
+    );
+    println!("{}", t.render());
+}

@@ -1,0 +1,73 @@
+//! Extended preliminary comparison: every classifier in the workspace on
+//! the four datasets' clinical splits — the §6.1 table widened with the
+//! classifiers the paper only *quotes* (CBA) or *sketches* (the §4.2
+//! (MC)²BAR classifier), plus per-dataset confusion diagnostics for the
+//! paper's "all errors in the same direction" observation on ALL/AML.
+
+use bench_suite::{scaled_clinical_counts, scaled_config, DatasetKind, Opts};
+use eval::{draw_split, ConfusionMatrix, SplitSpec};
+
+fn main() {
+    let opts = Opts::parse();
+    let mut t = eval::TextTable::new(vec![
+        "Dataset", "BSTC", "MC2BAR(k=3)", "RCBT", "CBA", "SVM", "forest",
+    ]);
+
+    for kind in DatasetKind::all() {
+        let cfg = scaled_config(kind, opts.full, opts.seed);
+        let counts = scaled_clinical_counts(kind, opts.full);
+        eprintln!("# {} …", cfg.name);
+        let data = cfg.generate();
+        let split = draw_split(
+            data.labels(),
+            data.n_classes(),
+            &SplitSpec::FixedCounts(counts),
+            opts.seed,
+        );
+        let p = eval::prepare(&data, &split).expect("informative genes");
+
+        let bstc = eval::run_bstc(&p);
+        let mc2 = eval::run_mc2(&p, 3);
+        let rcbt = eval::run_rcbt(&p, rulemine::RcbtParams::default(), opts.cutoff, opts.cutoff);
+        let cba = eval::run_cba(&p, rulemine::CbaParams::default(), opts.cutoff);
+        let base = eval::run_baselines(
+            &p,
+            eval::BaselineParams { forest_trees: 100, seed: opts.seed, ..Default::default() },
+        );
+
+        t.row(vec![
+            kind.short().to_string(),
+            eval::fmt_accuracy(Some(bstc.accuracy)),
+            eval::fmt_accuracy(Some(mc2.accuracy)),
+            eval::fmt_accuracy(rcbt.accuracy),
+            format!(
+                "{}{}",
+                eval::fmt_accuracy(Some(cba.accuracy)),
+                if cba.dnf { " (partial)" } else { "" }
+            ),
+            eval::fmt_accuracy(Some(base.svm)),
+            eval::fmt_accuracy(Some(base.forest)),
+        ]);
+
+        // §6.1's diagnostic: does BSTC err in one direction on ALL?
+        if kind == DatasetKind::AllAml {
+            let model = bstc::BstcModel::train(&p.bool_train);
+            let preds = model.classify_all(p.bool_test.samples());
+            let cm = ConfusionMatrix::from_predictions(
+                &preds,
+                p.bool_test.labels(),
+                p.bool_test.n_classes(),
+            );
+            eprintln!("# ALL confusion matrix:\n{cm}");
+            if cm.errors_all_in_direction(0, 1) {
+                eprintln!(
+                    "# all BSTC errors mistake class 0 (AML) for class 1 (ALL) — \
+                     the paper's §6.1 observation"
+                );
+            }
+        }
+    }
+
+    println!("Extended clinical-split comparison (quick={}):", !opts.full);
+    println!("{}", t.render());
+}

@@ -1,0 +1,65 @@
+//! Deep diagnostics for the miners on one prepared split: Top-k group
+//! shapes, lower-bound BFS behaviour per group. Not part of the paper
+//! reproduction — a tuning tool.
+//!
+//! Usage: `diag [ALL|LC|PC|OC] [--cutoff SECS] [--seed N]`
+
+use bench_suite::{scaled_config, DatasetKind, Opts};
+use eval::{draw_split, SplitSpec};
+use rulemine::{mine_lower_bounds, mine_topk_groups, Budget, TopkParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = args
+        .iter()
+        .find_map(|a| match a.as_str() {
+            "ALL" => Some(DatasetKind::AllAml),
+            "LC" => Some(DatasetKind::Lung),
+            "PC" => Some(DatasetKind::Prostate),
+            "OC" => Some(DatasetKind::Ovarian),
+            _ => None,
+        })
+        .unwrap_or(DatasetKind::AllAml);
+    let opts = Opts::parse_from(
+        args.into_iter().filter(|a| !matches!(a.as_str(), "ALL" | "LC" | "PC" | "OC")),
+    );
+    let cfg = scaled_config(kind, opts.full, opts.seed);
+    let data = cfg.generate();
+    let split = draw_split(data.labels(), data.n_classes(), &SplitSpec::Fraction(0.4), opts.seed);
+    let p = eval::prepare(&data, &split).expect("informative genes");
+    println!(
+        "{}: train rows={} items={} genes={}",
+        kind.short(),
+        p.bool_train.n_samples(),
+        p.bool_train.n_items(),
+        p.genes_after_discretization
+    );
+
+    for class in 0..p.bool_train.n_classes() {
+        let mut b = Budget::with_nodes(2_000_000);
+        let res = mine_topk_groups(&p.bool_train, class, TopkParams::default(), &mut b);
+        println!(
+            "class {class}: topk groups={} nodes={} outcome={:?}",
+            res.groups.len(),
+            b.nodes_explored(),
+            res.outcome
+        );
+        for (i, g) in res.groups.iter().take(10).enumerate() {
+            let mut lb_budget = Budget::with_nodes(3_000_000);
+            let t0 = std::time::Instant::now();
+            let lb = mine_lower_bounds(&p.bool_train, g, 20, &mut lb_budget);
+            println!(
+                "  group {i}: width={} class_supp={} conf={:.2} -> bounds={} \
+                 (min len {:?}) nodes={} {:?} in {:.2}s",
+                g.items.len(),
+                g.class_support,
+                g.confidence,
+                lb.bounds.len(),
+                lb.bounds.iter().map(Vec::len).min(),
+                lb_budget.nodes_explored(),
+                lb.outcome,
+                t0.elapsed().as_secs_f64(),
+            );
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 4 — ALL/AML cross-validation boxplots: BSTC vs RCBT accuracy
+//! over 25 tests at each training-set size (40/60/80 % and 1-27/0-11).
+
+use bench_suite::{cv_study, render_boxplots, DatasetKind, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let study = cv_study(DatasetKind::AllAml, &opts, true, "fig4_all");
+    println!("Figure 4: ALL Cross-Validation Results (accuracy boxplots)");
+    println!("{}", render_boxplots(&study.summaries));
+    let means: Vec<f64> = study.records.iter().map(|r| r.bstc_acc).collect();
+    println!("BSTC mean accuracy over all {} tests: {:.2}%", means.len(), 100.0 * eval::mean(&means));
+    let rcbt: Vec<f64> = study.records.iter().filter_map(|r| r.rcbt.and_then(|x| x.accuracy)).collect();
+    if !rcbt.is_empty() {
+        println!("RCBT mean accuracy over {} finished tests: {:.2}%", rcbt.len(), 100.0 * eval::mean(&rcbt));
+    }
+}

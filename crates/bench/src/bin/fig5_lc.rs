@@ -1,0 +1,17 @@
+//! Figure 5 — Lung Cancer cross-validation boxplots (protocol of
+//! Figure 4; the fixed-count cell is 1-16/0-16).
+
+use bench_suite::{cv_study, render_boxplots, DatasetKind, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let study = cv_study(DatasetKind::Lung, &opts, true, "fig5_lc");
+    println!("Figure 5: LC Cross-Validation Results (accuracy boxplots)");
+    println!("{}", render_boxplots(&study.summaries));
+    let means: Vec<f64> = study.records.iter().map(|r| r.bstc_acc).collect();
+    println!("BSTC mean accuracy over all {} tests: {:.2}%", means.len(), 100.0 * eval::mean(&means));
+    let rcbt: Vec<f64> = study.records.iter().filter_map(|r| r.rcbt.and_then(|x| x.accuracy)).collect();
+    if !rcbt.is_empty() {
+        println!("RCBT mean accuracy over {} finished tests: {:.2}%", rcbt.len(), 100.0 * eval::mean(&rcbt));
+    }
+}

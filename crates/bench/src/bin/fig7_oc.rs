@@ -1,0 +1,14 @@
+//! Figure 7 — Ovarian Cancer cross-validation boxplots (the largest
+//! dataset; Top-k itself begins to DNF at the larger training sizes).
+
+use bench_suite::{cv_study, render_boxplots, DatasetKind, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let study = cv_study(DatasetKind::Ovarian, &opts, true, "fig7_oc");
+    println!("Figure 7: OC Cross-Validation Results (accuracy boxplots)");
+    println!("{}", render_boxplots(&study.summaries));
+    for s in &study.summaries {
+        println!("BSTC mean @ {}: {:.2}%", s.cell, 100.0 * s.bstc_acc.mean);
+    }
+}

@@ -1,0 +1,52 @@
+//! Diagnostics: sweep training fractions on one dataset and report each
+//! phase's time/DNF — the quickest way to see where the paper's
+//! polynomial-vs-exponential crossover lands for a given configuration.
+//!
+//! Usage: `probe [--full] [--cutoff SECS] [--seed N] [ALL|LC|PC|OC]`
+
+use bench_suite::{scaled_config, DatasetKind, Opts};
+use eval::{draw_split, SplitSpec};
+use rulemine::TopkParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = args
+        .iter()
+        .find_map(|a| match a.as_str() {
+            "ALL" => Some(DatasetKind::AllAml),
+            "LC" => Some(DatasetKind::Lung),
+            "PC" => Some(DatasetKind::Prostate),
+            "OC" => Some(DatasetKind::Ovarian),
+            _ => None,
+        })
+        .unwrap_or(DatasetKind::Ovarian);
+    let opts = Opts::parse_from(
+        args.into_iter().filter(|a| !matches!(a.as_str(), "ALL" | "LC" | "PC" | "OC")),
+    );
+
+    let cfg = scaled_config(kind, opts.full, opts.seed);
+    eprintln!("# {} — cutoff {:?}", cfg.name, opts.cutoff);
+    let data = cfg.generate();
+
+    let mut t = eval::TextTable::new(vec![
+        "Training", "train samples", "genes", "BSTC", "Top-k", "RCBT", "topk groups",
+    ]);
+    for frac in [0.2, 0.4, 0.6, 0.8] {
+        let split =
+            draw_split(data.labels(), data.n_classes(), &SplitSpec::Fraction(frac), opts.seed);
+        let p = eval::prepare(&data, &split).expect("informative genes");
+        let bstc = eval::run_bstc(&p);
+        let topk = eval::run_topk(&p, TopkParams::default(), opts.cutoff);
+        let rcbt = eval::run_rcbt(&p, rulemine::RcbtParams::default(), opts.cutoff, opts.cutoff);
+        t.row(vec![
+            format!("{:.0}%", frac * 100.0),
+            split.train.len().to_string(),
+            p.genes_after_discretization.to_string(),
+            format!("{:.2}", bstc.secs),
+            eval::fmt_runtime(topk.secs, topk.dnf),
+            eval::fmt_runtime(rcbt.rcbt_secs, rcbt.rcbt_dnf || rcbt.topk_dnf),
+            topk.n_groups.to_string(),
+        ]);
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,30 @@
+//! Table 2 — "Gene Expression Datasets": the four dataset shapes, as
+//! instantiated by the synthetic presets (see DESIGN.md §2 for the
+//! substitution rationale).
+
+use bench_suite::{scaled_config, DatasetKind, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let mut t = eval::TextTable::new(vec![
+        "Dataset",
+        "# Genes",
+        "Class 1 label",
+        "Class 0 label",
+        "# Class 1 samples",
+        "# Class 0 samples",
+    ]);
+    for kind in DatasetKind::all() {
+        let cfg = scaled_config(kind, opts.full, opts.seed);
+        t.row(vec![
+            cfg.name.clone(),
+            cfg.n_genes.to_string(),
+            cfg.class_names[1].clone(),
+            cfg.class_names[0].clone(),
+            cfg.class_sizes[1].to_string(),
+            cfg.class_sizes[0].to_string(),
+        ]);
+    }
+    println!("Table 2: Gene Expression Datasets{}", if opts.full { "" } else { " (quick scale)" });
+    println!("{}", t.render());
+}

@@ -1,0 +1,26 @@
+//! Tables 4 and 5 — Prostate Cancer runtimes and mean accuracies.
+//!
+//! Table 4: average per-test runtimes of BSTC vs Top-k mining vs RCBT
+//! (with the 2-hour cutoff, "# RCBT DNF" accounting, and the † nl = 2
+//! cells). Table 5: mean accuracies over the tests RCBT finished.
+
+use bench_suite::{cv_study, render_accuracy_table, render_runtime_table, DatasetKind, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let study = cv_study(DatasetKind::Prostate, &opts, true, "table4_5_pc");
+
+    println!(
+        "Table 4: Average Run Times for the PC Tests (in seconds). \
+         Cutoff {:?}; \u{2020} = nl lowered to 2.",
+        opts.cutoff
+    );
+    let dropped = study.nl_dropped.clone();
+    println!(
+        "{}",
+        render_runtime_table(&study.summaries, &|cell| dropped.iter().any(|l| l == cell))
+    );
+
+    println!("Table 5: Mean Accuracies for the PC Tests that RCBT Finished.");
+    println!("{}", render_accuracy_table(&study.summaries));
+}

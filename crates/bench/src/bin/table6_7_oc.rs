@@ -1,0 +1,24 @@
+//! Tables 6 and 7 — Ovarian Cancer runtimes and mean accuracies (same
+//! protocol as Tables 4/5; OC is the dataset where even Top-k mining
+//! starts to DNF at 80 % training).
+
+use bench_suite::{cv_study, render_accuracy_table, render_runtime_table, DatasetKind, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let study = cv_study(DatasetKind::Ovarian, &opts, true, "table6_7_oc");
+
+    println!(
+        "Table 6: Average Run Times for the OC Tests (in seconds). \
+         Cutoff {:?}; \u{2020} = nl lowered to 2.",
+        opts.cutoff
+    );
+    let dropped = study.nl_dropped.clone();
+    println!(
+        "{}",
+        render_runtime_table(&study.summaries, &|cell| dropped.iter().any(|l| l == cell))
+    );
+
+    println!("Table 7: Mean Accuracies for the OC Tests that RCBT Finished.");
+    println!("{}", render_accuracy_table(&study.summaries));
+}

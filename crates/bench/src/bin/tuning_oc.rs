@@ -1,0 +1,59 @@
+//! §6.2.4 "CAR Mining Parameter Tuning and Scalability" — the support
+//! cutoff pathology: on hard OC splits, Top-k with minsup 0.7 blows past
+//! the cutoff; raising minsup to 0.9 lets Top-k finish quickly, but RCBT's
+//! lower-bound mining *still* cannot finish. BSTC needs no tuning at all.
+
+use bench_suite::{scaled_clinical_counts, scaled_config, DatasetKind, Opts};
+use eval::{draw_split, SplitSpec};
+use rulemine::TopkParams;
+
+fn main() {
+    let opts = Opts::parse();
+    let cfg = scaled_config(DatasetKind::Ovarian, opts.full, opts.seed);
+    let counts = scaled_clinical_counts(DatasetKind::Ovarian, opts.full);
+    eprintln!("# {} — tuning study, cutoff {:?}", cfg.name, opts.cutoff);
+    let data = cfg.generate();
+
+    let mut t = eval::TextTable::new(vec![
+        "Split", "minsup", "Top-k time", "Top-k DNF", "RCBT time", "RCBT DNF", "BSTC time",
+    ]);
+
+    // The paper's hard cases are the 80% and 1-133/0-77 training sizes.
+    let specs = [
+        ("80%", SplitSpec::Fraction(0.8)),
+        ("1-x/0-y", SplitSpec::FixedCounts(counts)),
+    ];
+    for (name, spec) in specs {
+        let split = draw_split(data.labels(), data.n_classes(), &spec, opts.seed);
+        let p = eval::prepare(&data, &split).expect("informative genes");
+        let bstc = eval::run_bstc(&p);
+        for minsup in [0.7, 0.9] {
+            let topk = eval::run_topk(&p, TopkParams { k: 10, minsup }, opts.cutoff);
+            let rcbt = eval::run_rcbt(
+                &p,
+                rulemine::RcbtParams { minsup, nl: 2, ..Default::default() },
+                opts.cutoff,
+                opts.cutoff,
+            );
+            t.row(vec![
+                name.to_string(),
+                format!("{minsup}"),
+                eval::fmt_runtime(topk.secs, topk.dnf),
+                if topk.dnf { "yes" } else { "no" }.to_string(),
+                eval::fmt_runtime(rcbt.rcbt_secs, rcbt.rcbt_dnf),
+                if rcbt.rcbt_dnf { "yes" } else { "no" }.to_string(),
+                format!("{:.2}", bstc.secs),
+            ]);
+        }
+    }
+
+    println!("Section 6.2.4: support-cutoff tuning on the hardest OC splits");
+    println!("{}", t.render());
+    println!(
+        "The paper observes that raising minsup 0.7 -> 0.9 let Top-k finish (minutes\n\
+         instead of > 11 days) while RCBT's lower-bound mining still could not, and\n\
+         that BSTC needs no tuning at all. Compare the minsup rows above under your\n\
+         chosen --cutoff: whether 0.9 rescues Top-k here depends on how much headroom\n\
+         the cutoff leaves; the BSTC column is flat either way."
+    );
+}

@@ -1,0 +1,320 @@
+//! The shared cross-validation experiment engine behind Tables 4–7 and
+//! Figures 4–7: run every (cell, replicate) of a dataset's grid, recording
+//! BSTC accuracy/time and (optionally) Top-k/RCBT times, DNFs, and
+//! accuracy.
+
+use eval::{
+    run_bstc, run_rcbt, BoxplotStats, CvCell, Prepared, RcbtRun,
+};
+use microarray::synth::SynthConfig;
+use rulemine::RcbtParams;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One classification test's measurements.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TestRecord {
+    /// Cell label (e.g. `"60%"` or `"1-52/0-50"`).
+    pub cell: String,
+    /// Replicate index within the cell.
+    pub rep: usize,
+    /// Genes surviving discretization.
+    pub genes: usize,
+    /// BSTC accuracy.
+    pub bstc_acc: f64,
+    /// BSTC build+classify seconds.
+    pub bstc_secs: f64,
+    /// RCBT pipeline measurements (absent when the baseline was skipped).
+    pub rcbt: Option<RcbtRun>,
+}
+
+/// Per-cell aggregation of [`TestRecord`]s.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Cell label.
+    pub cell: String,
+    /// Replicates run.
+    pub reps: usize,
+    /// BSTC accuracy distribution (the Figures 4–7 boxplots).
+    pub bstc_acc: BoxplotStats,
+    /// Mean BSTC seconds.
+    pub bstc_secs_mean: f64,
+    /// RCBT accuracy distribution over *finished* tests, if any ran.
+    pub rcbt_acc: Option<BoxplotStats>,
+    /// BSTC mean accuracy over only the tests RCBT finished (the paper's
+    /// Tables 5 and 7 average both classifiers over those tests).
+    pub bstc_acc_where_rcbt_finished: Option<f64>,
+    /// Mean Top-k phase seconds ("≥" lower bound when any test DNF'd).
+    pub topk_secs_mean: f64,
+    /// Tests where Top-k hit its cutoff.
+    pub topk_dnf: usize,
+    /// Mean RCBT phase seconds.
+    pub rcbt_secs_mean: f64,
+    /// Tests where RCBT (lower-bound mining) hit its cutoff, over the
+    /// tests Top-k finished — the paper's "# RCBT DNF" column.
+    pub rcbt_dnf: usize,
+    /// Tests Top-k finished (the denominator of "# RCBT DNF x/y").
+    pub topk_finished: usize,
+}
+
+/// Runs the whole grid. When `rcbt` is `Some`, each test also runs the
+/// Top-k + RCBT pipeline under `cutoff` per phase; `nl_drop` maps a cell
+/// label to a reduced `nl` (the paper lowers nl to 2 on the † cells).
+pub fn run_grid(
+    config: &SynthConfig,
+    cells: &[CvCell],
+    rcbt: Option<RcbtParams>,
+    cutoff: Duration,
+    nl_drop: &dyn Fn(&str) -> Option<usize>,
+) -> (Vec<TestRecord>, Vec<CellSummary>) {
+    let data = config.generate();
+    let mut records: Vec<TestRecord> = Vec::new();
+
+    for cell in cells {
+        let label = cell.spec.label();
+        let params = rcbt.map(|mut p| {
+            if let Some(nl) = nl_drop(&label) {
+                p.nl = nl;
+            }
+            p
+        });
+        let cell_records = eval::run_cell(&data, cell, |rep, p: &Prepared| {
+            let b = run_bstc(p);
+            let r = params.map(|params| run_rcbt(p, params, cutoff, cutoff));
+            TestRecord {
+                cell: label.clone(),
+                rep,
+                genes: p.genes_after_discretization,
+                bstc_acc: b.accuracy,
+                bstc_secs: b.secs,
+                rcbt: r,
+            }
+        });
+        records.extend(cell_records.into_iter().flatten());
+    }
+
+    let summaries = cells
+        .iter()
+        .map(|c| summarize(&records, &c.spec.label()))
+        .collect();
+    (records, summaries)
+}
+
+/// Aggregates one cell's records.
+pub fn summarize(records: &[TestRecord], cell: &str) -> CellSummary {
+    let rs: Vec<&TestRecord> = records.iter().filter(|r| r.cell == cell).collect();
+    assert!(!rs.is_empty(), "no records for cell {cell}");
+    let bstc_accs: Vec<f64> = rs.iter().map(|r| r.bstc_acc).collect();
+    let bstc_secs: Vec<f64> = rs.iter().map(|r| r.bstc_secs).collect();
+
+    let rcbt_runs: Vec<&RcbtRun> = rs.iter().filter_map(|r| r.rcbt.as_ref()).collect();
+    let finished_accs: Vec<f64> = rcbt_runs.iter().filter_map(|r| r.accuracy).collect();
+    let bstc_where_finished: Vec<f64> = rs
+        .iter()
+        .filter(|r| r.rcbt.as_ref().is_some_and(|x| x.accuracy.is_some()))
+        .map(|r| r.bstc_acc)
+        .collect();
+    let topk_finished = rcbt_runs.iter().filter(|r| !r.topk_dnf).count();
+
+    CellSummary {
+        cell: cell.to_string(),
+        reps: rs.len(),
+        bstc_acc: BoxplotStats::compute(&bstc_accs),
+        bstc_secs_mean: eval::mean(&bstc_secs),
+        rcbt_acc: if finished_accs.is_empty() {
+            None
+        } else {
+            Some(BoxplotStats::compute(&finished_accs))
+        },
+        bstc_acc_where_rcbt_finished: if bstc_where_finished.is_empty() {
+            None
+        } else {
+            Some(eval::mean(&bstc_where_finished))
+        },
+        topk_secs_mean: eval::mean(
+            &rcbt_runs.iter().map(|r| r.topk_secs).collect::<Vec<_>>(),
+        ),
+        topk_dnf: rcbt_runs.iter().filter(|r| r.topk_dnf).count(),
+        rcbt_secs_mean: eval::mean(
+            &rcbt_runs.iter().filter(|r| !r.topk_dnf).map(|r| r.rcbt_secs).collect::<Vec<_>>(),
+        ),
+        rcbt_dnf: rcbt_runs.iter().filter(|r| !r.topk_dnf && r.rcbt_dnf).count(),
+        topk_finished,
+    }
+}
+
+/// Renders the Tables 4/6 runtime block for a dataset.
+pub fn render_runtime_table(summaries: &[CellSummary], nl_note: &dyn Fn(&str) -> bool) -> String {
+    let mut t = eval::TextTable::new(vec!["Training", "BSTC", "Top-k", "RCBT", "# RCBT DNF"]);
+    for s in summaries {
+        let dagger = if nl_note(&s.cell) { " \u{2020}" } else { "" };
+        t.row(vec![
+            s.cell.clone(),
+            format!("{:.2}", s.bstc_secs_mean),
+            eval::fmt_runtime(s.topk_secs_mean, s.topk_dnf > 0),
+            format!("{}{}", eval::fmt_runtime(s.rcbt_secs_mean, s.rcbt_dnf > 0), dagger),
+            format!("{}/{}{}", s.rcbt_dnf, s.topk_finished, dagger),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the Tables 5/7 accuracy block (means over RCBT-finished tests).
+pub fn render_accuracy_table(summaries: &[CellSummary]) -> String {
+    let mut t = eval::TextTable::new(vec!["Training", "BSTC", "RCBT"]);
+    for s in summaries {
+        t.row(vec![
+            s.cell.clone(),
+            eval::fmt_accuracy(s.bstc_acc_where_rcbt_finished.or(Some(s.bstc_acc.mean))),
+            eval::fmt_accuracy(s.rcbt_acc.as_ref().map(|b| b.mean)),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders a Figures 4–7 boxplot block: per cell, the BSTC and (where
+/// available) RCBT accuracy distributions, each with an ASCII boxplot on
+/// a fixed 0.5–1.0 accuracy scale.
+pub fn render_boxplots(summaries: &[CellSummary]) -> String {
+    const W: usize = 44;
+    let scale = |b: &eval::BoxplotStats| b.render_ascii(0.5, 1.0, W);
+    let mut out = String::new();
+    out.push_str(&format!("{:>18}0.5{:^w$}1.0\n", "", "accuracy", w = W - 2));
+    for s in summaries {
+        out.push_str(&format!(
+            "[{:>10}] BSTC  {}  {}\n",
+            s.cell,
+            scale(&s.bstc_acc),
+            s.bstc_acc.render()
+        ));
+        match &s.rcbt_acc {
+            Some(b) if b.n == s.reps => {
+                out.push_str(&format!(
+                    "[{:>10}] RCBT  {}  {}\n",
+                    s.cell,
+                    scale(b),
+                    b.render()
+                ));
+            }
+            Some(b) => {
+                out.push_str(&format!(
+                    "[{:>10}] RCBT  (only {}/{} tests finished; boxplot omitted as in the paper)\n",
+                    s.cell, b.n, s.reps
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    "[{:>10}] RCBT  (no test finished within cutoff)\n",
+                    s.cell
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cell: &str, rep: usize, acc: f64, rcbt: Option<RcbtRun>) -> TestRecord {
+        TestRecord {
+            cell: cell.into(),
+            rep,
+            genes: 10,
+            bstc_acc: acc,
+            bstc_secs: 0.5,
+            rcbt,
+        }
+    }
+
+    fn rcbt(acc: Option<f64>, topk_dnf: bool, rcbt_dnf: bool) -> RcbtRun {
+        RcbtRun { accuracy: acc, topk_secs: 1.0, topk_dnf, rcbt_secs: 2.0, rcbt_dnf }
+    }
+
+    #[test]
+    fn summarize_counts_dnfs_like_the_paper() {
+        let records = vec![
+            record("60%", 0, 0.9, Some(rcbt(Some(0.8), false, false))),
+            record("60%", 1, 0.7, Some(rcbt(None, false, true))),
+            record("60%", 2, 0.8, Some(rcbt(None, true, true))),
+        ];
+        let s = summarize(&records, "60%");
+        assert_eq!(s.reps, 3);
+        assert_eq!(s.topk_dnf, 1);
+        assert_eq!(s.topk_finished, 2);
+        // rcbt_dnf counts only tests where Top-k finished: rep 1.
+        assert_eq!(s.rcbt_dnf, 1);
+        // RCBT accuracy over finished tests only.
+        assert_eq!(s.rcbt_acc.as_ref().unwrap().n, 1);
+        assert_eq!(s.bstc_acc_where_rcbt_finished, Some(0.9));
+        assert_eq!(s.bstc_acc.n, 3);
+    }
+
+    #[test]
+    fn runtime_table_marks_dnf_and_dagger() {
+        let records = vec![
+            record("80%", 0, 0.9, Some(rcbt(None, false, true))),
+            record("80%", 1, 0.9, Some(rcbt(None, false, true))),
+        ];
+        let s = vec![summarize(&records, "80%")];
+        let table = render_runtime_table(&s, &|cell| cell == "80%");
+        assert!(table.contains(">="), "{table}");
+        assert!(table.contains('\u{2020}'), "{table}");
+        assert!(table.contains("2/2"), "{table}");
+    }
+
+    #[test]
+    fn accuracy_table_dashes_unfinished() {
+        let records = vec![record("40%", 0, 0.75, Some(rcbt(None, true, true)))];
+        let s = vec![summarize(&records, "40%")];
+        let table = render_accuracy_table(&s);
+        assert!(table.contains('-'), "{table}");
+        assert!(table.contains("75.00%"), "{table}");
+    }
+
+    #[test]
+    fn boxplot_block_omits_partial_rcbt() {
+        let records = vec![
+            record("60%", 0, 0.9, Some(rcbt(Some(0.8), false, false))),
+            record("60%", 1, 0.7, Some(rcbt(None, false, true))),
+        ];
+        let s = vec![summarize(&records, "60%")];
+        let block = render_boxplots(&s);
+        assert!(block.contains("med="), "{block}");
+        assert!(block.contains("] BSTC"), "{block}");
+        assert!(block.contains("only 1/2 tests finished"), "{block}");
+    }
+
+    #[test]
+    fn grid_runs_end_to_end_quick() {
+        let config = microarray::synth::SynthConfig {
+            name: "grid-test".into(),
+            n_genes: 60,
+            class_sizes: vec![10, 12],
+            class_names: vec!["c0".into(), "c1".into()],
+            markers_per_class: 8,
+            marker_shift: 2.2,
+            marker_dropout: 0.1,
+            marker_modules: 0,
+            wobble_rate: 0.0,
+            marker_flip: 0.0,
+            atypical_rate: 0.0,
+            atypical_strength: 0.3,
+            seed: 5,
+        };
+        let cells = vec![
+            CvCell { spec: eval::SplitSpec::Fraction(0.6), reps: 2, base_seed: 1 },
+        ];
+        let (records, summaries) = run_grid(
+            &config,
+            &cells,
+            Some(RcbtParams { k: 3, nl: 3, minsup: 0.7 }),
+            Duration::from_secs(5),
+            &|_| None,
+        );
+        assert_eq!(records.len(), 2);
+        assert_eq!(summaries.len(), 1);
+        assert!(summaries[0].bstc_acc.mean > 0.4);
+    }
+}

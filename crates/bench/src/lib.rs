@@ -1,0 +1,21 @@
+//! # bench-suite — experiment binaries and benchmarks
+//!
+//! One binary per paper table/figure (see DESIGN.md §3) plus Criterion
+//! micro-benchmarks. This library holds what they share: command-line
+//! options, the quick/full dataset scaling, the per-test record type, and
+//! the common cross-validation engine.
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod opts;
+pub mod scale;
+pub mod study;
+
+pub use experiment::{
+    render_accuracy_table, render_boxplots, render_runtime_table, run_grid, summarize,
+    CellSummary, TestRecord,
+};
+pub use opts::Opts;
+pub use scale::{scaled_clinical_counts, scaled_config, DatasetKind};
+pub use study::{cv_study, Study};

@@ -1,0 +1,128 @@
+//! Minimal flag parsing shared by every experiment binary (we avoid a CLI
+//! dependency; the surface is five flags).
+
+use std::time::Duration;
+
+/// Common experiment options.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// `--full`: paper-scale dataset shapes, 25 reps, 2-hour cutoffs.
+    /// Default is quick mode: scaled-down shapes, fewer reps, short
+    /// cutoffs — same qualitative behaviour in seconds instead of days.
+    pub full: bool,
+    /// `--reps N`: replicates per cross-validation cell.
+    pub reps: usize,
+    /// `--cutoff SECS`: miner cutoff per phase per test.
+    pub cutoff: Duration,
+    /// `--seed N`: base RNG seed.
+    pub seed: u64,
+    /// `--out DIR`: where JSON artifacts land.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl Opts {
+    /// Parses `std::env::args`, applying quick-mode defaults.
+    ///
+    /// # Panics
+    /// Panics with a usage message on unknown flags or malformed values.
+    pub fn parse() -> Opts {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Opts {
+        let mut opts = Opts {
+            full: false,
+            reps: 5,
+            cutoff: Duration::from_secs(10),
+            seed: 42,
+            out_dir: "results".into(),
+        };
+        let mut reps_set = false;
+        let mut cutoff_set = false;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| -> String {
+                it.next().unwrap_or_else(|| panic!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--quick" => opts.full = false,
+                "--reps" => {
+                    opts.reps = value("--reps").parse().expect("--reps N");
+                    reps_set = true;
+                }
+                "--cutoff" => {
+                    opts.cutoff =
+                        Duration::from_secs_f64(value("--cutoff").parse().expect("--cutoff SECS"));
+                    cutoff_set = true;
+                }
+                "--seed" => opts.seed = value("--seed").parse().expect("--seed N"),
+                "--out" => opts.out_dir = value("--out").into(),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --full | --quick  --reps N  --cutoff SECS  --seed N  --out DIR"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        if opts.full {
+            // Paper protocol unless explicitly overridden.
+            if !reps_set {
+                opts.reps = 25;
+            }
+            if !cutoff_set {
+                opts.cutoff = Duration::from_secs(7200);
+            }
+        }
+        opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Opts {
+        Opts::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn quick_defaults() {
+        let o = parse(&[]);
+        assert!(!o.full);
+        assert_eq!(o.reps, 5);
+        assert_eq!(o.cutoff, Duration::from_secs(10));
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn full_mode_upgrades_defaults() {
+        let o = parse(&["--full"]);
+        assert!(o.full);
+        assert_eq!(o.reps, 25);
+        assert_eq!(o.cutoff, Duration::from_secs(7200));
+    }
+
+    #[test]
+    fn explicit_values_override_full_defaults() {
+        let o = parse(&["--full", "--reps", "3", "--cutoff", "1.5"]);
+        assert_eq!(o.reps, 3);
+        assert_eq!(o.cutoff, Duration::from_secs_f64(1.5));
+    }
+
+    #[test]
+    fn seed_and_out() {
+        let o = parse(&["--seed", "7", "--out", "/tmp/x"]);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.out_dir, std::path::PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Quick-mode scaling of the paper's dataset presets.
+//!
+//! `--full` reproduces the Table 2 shapes exactly (and the 2-hour
+//! cutoffs — budget days, like the paper's ~11 days for the PC study).
+//! Quick mode keeps enough samples for the exponential-vs-polynomial
+//! dynamics to show while genes shrink ~10×, so a whole study runs in
+//! minutes on a laptop.
+
+use microarray::synth::{presets, SynthConfig};
+
+/// The four paper datasets (Table 2 order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// ALL/AML leukemia.
+    AllAml,
+    /// Lung cancer (MPM vs ADCA).
+    Lung,
+    /// Prostate cancer (tumor vs normal).
+    Prostate,
+    /// Ovarian cancer (tumor vs normal).
+    Ovarian,
+}
+
+impl DatasetKind {
+    /// Short name used in table headers ("ALL", "LC", "PC", "OC").
+    pub fn short(self) -> &'static str {
+        match self {
+            DatasetKind::AllAml => "ALL",
+            DatasetKind::Lung => "LC",
+            DatasetKind::Prostate => "PC",
+            DatasetKind::Ovarian => "OC",
+        }
+    }
+
+    /// The paper's clinically-determined training counts
+    /// `[class0, class1]` (Table 3).
+    pub fn clinical_train_counts(self) -> Vec<usize> {
+        match self {
+            DatasetKind::AllAml => vec![11, 27],
+            DatasetKind::Lung => vec![16, 16],
+            DatasetKind::Prostate => vec![50, 52],
+            DatasetKind::Ovarian => vec![77, 133],
+        }
+    }
+
+    /// Full paper-scale generator config.
+    pub fn full_config(self, seed: u64) -> SynthConfig {
+        match self {
+            DatasetKind::AllAml => presets::all_aml(seed),
+            DatasetKind::Lung => presets::lung(seed),
+            DatasetKind::Prostate => presets::prostate(seed),
+            DatasetKind::Ovarian => presets::ovarian(seed),
+        }
+    }
+
+    /// Quick-mode config: samples cut to a third (calibrated so the
+    /// exponential miners' DNF crossover lands *inside* the 40–80 % grid,
+    /// as it does at paper scale with 2-hour cutoffs), genes and markers
+    /// cut ~10×.
+    pub fn quick_config(self, seed: u64) -> SynthConfig {
+        let full = self.full_config(seed);
+        let d = self.quick_sample_divisor();
+        SynthConfig {
+            name: format!("{} (quick)", full.name),
+            n_genes: (full.n_genes / 10).max(16),
+            class_sizes: full.class_sizes.iter().map(|&s| (s / d).max(6)).collect(),
+            markers_per_class: (full.markers_per_class / 10).max(4),
+            ..full
+        }
+    }
+
+    /// Per-dataset quick-mode sample divisor. OC (the largest dataset,
+    /// where even Top-k DNFs in the paper) shrinks more than the others so
+    /// each dataset's DNF crossover stays in the same grid cell it
+    /// occupies at paper scale.
+    fn quick_sample_divisor(self) -> usize {
+        match self {
+            DatasetKind::Ovarian => 3,
+            _ => 2,
+        }
+    }
+
+    /// Quick-mode clinical training counts (scaled with the samples).
+    pub fn quick_clinical_train_counts(self) -> Vec<usize> {
+        let d = self.quick_sample_divisor();
+        self.clinical_train_counts().iter().map(|&c| (c / d).max(3)).collect()
+    }
+
+    /// All four datasets in Table 2 order.
+    pub fn all() -> [DatasetKind; 4] {
+        [DatasetKind::AllAml, DatasetKind::Lung, DatasetKind::Prostate, DatasetKind::Ovarian]
+    }
+}
+
+/// Config for `kind` under the chosen mode.
+pub fn scaled_config(kind: DatasetKind, full: bool, seed: u64) -> SynthConfig {
+    if full {
+        kind.full_config(seed)
+    } else {
+        kind.quick_config(seed)
+    }
+}
+
+/// Clinical training counts for `kind` under the chosen mode.
+pub fn scaled_clinical_counts(kind: DatasetKind, full: bool) -> Vec<usize> {
+    if full {
+        kind.clinical_train_counts()
+    } else {
+        kind.quick_clinical_train_counts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_configs_match_table2() {
+        assert_eq!(DatasetKind::Ovarian.full_config(1).n_genes, 15154);
+        assert_eq!(DatasetKind::Prostate.full_config(1).class_sizes, vec![59, 77]);
+    }
+
+    #[test]
+    fn quick_configs_shrink_but_validate() {
+        for kind in DatasetKind::all() {
+            let q = kind.quick_config(3);
+            q.validate().unwrap();
+            let f = kind.full_config(3);
+            assert!(q.n_genes < f.n_genes);
+            assert!(q.n_samples() < f.n_samples());
+        }
+    }
+
+    #[test]
+    fn clinical_counts_fit_class_sizes() {
+        for kind in DatasetKind::all() {
+            for full in [false, true] {
+                let cfg = scaled_config(kind, full, 1);
+                let counts = scaled_clinical_counts(kind, full);
+                for (c, (&want, &have)) in counts.iter().zip(&cfg.class_sizes).enumerate() {
+                    assert!(
+                        want < have,
+                        "{:?} full={} class {}: train {} !< size {}",
+                        kind, full, c, want, have
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn short_names() {
+        let names: Vec<&str> = DatasetKind::all().iter().map(|k| k.short()).collect();
+        assert_eq!(names, vec!["ALL", "LC", "PC", "OC"]);
+    }
+}

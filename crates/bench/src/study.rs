@@ -1,0 +1,82 @@
+//! One-call per-dataset studies: the §6.2 grid (40/60/80 % + 1-x/0-y,
+//! 25 tests each) with optional Top-k/RCBT baselines, JSON artifacts, and
+//! the paper's nl-lowering footnote behaviour.
+
+use crate::experiment::{run_grid, CellSummary, TestRecord};
+use crate::opts::Opts;
+use crate::scale::{scaled_clinical_counts, scaled_config, DatasetKind};
+use eval::CvCell;
+use rulemine::RcbtParams;
+
+/// Result bundle of [`cv_study`].
+pub struct Study {
+    /// Every test's measurements.
+    pub records: Vec<TestRecord>,
+    /// Per-cell aggregates in grid order.
+    pub summaries: Vec<CellSummary>,
+    /// The dataset generator config used.
+    pub config: microarray::synth::SynthConfig,
+    /// Cell labels where `nl` was lowered to 2 (the † cells).
+    pub nl_dropped: Vec<String>,
+}
+
+/// Cells where the paper lowered `nl` from 20 to 2 after RCBT failed to
+/// finish: PC and OC at 80 % and the 1-x/0-y size (Tables 4 and 6).
+fn nl_drop_cells(kind: DatasetKind, cells: &[CvCell]) -> Vec<String> {
+    match kind {
+        DatasetKind::Prostate | DatasetKind::Ovarian => cells
+            .iter()
+            .map(|c| c.spec.label())
+            .filter(|l| l == "80%" || l.starts_with("1-"))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Runs the full cross-validation study for one dataset and writes the raw
+/// records to `<out>/<tag>.json`.
+pub fn cv_study(kind: DatasetKind, opts: &Opts, with_rcbt: bool, tag: &str) -> Study {
+    let config = scaled_config(kind, opts.full, opts.seed);
+    let counts = scaled_clinical_counts(kind, opts.full);
+    let cells = CvCell::paper_grid(counts, opts.reps, opts.seed);
+    let dropped = nl_drop_cells(kind, &cells);
+
+    eprintln!(
+        "# {} — {} genes, {:?} samples/class, {} reps/cell, cutoff {:?}{}",
+        config.name,
+        config.n_genes,
+        config.class_sizes,
+        opts.reps,
+        opts.cutoff,
+        if opts.full { " [FULL]" } else { " [quick; pass --full for paper scale]" }
+    );
+
+    let rcbt = with_rcbt.then(RcbtParams::default);
+    let dropped_ref = &dropped;
+    let (records, summaries) = run_grid(&config, &cells, rcbt, opts.cutoff, &|label| {
+        dropped_ref.iter().any(|l| l == label).then_some(2)
+    });
+
+    let json_path = opts.out_dir.join(format!("{tag}.json"));
+    if let Err(e) = eval::write_json(&json_path, &records) {
+        eprintln!("warning: could not write {}: {e}", json_path.display());
+    } else {
+        eprintln!("# raw records -> {}", json_path.display());
+    }
+
+    Study { records, summaries, config, nl_dropped: dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nl_drop_only_on_pc_oc_large_cells() {
+        let cells = CvCell::paper_grid(vec![5, 6], 2, 1);
+        assert!(nl_drop_cells(DatasetKind::AllAml, &cells).is_empty());
+        assert!(nl_drop_cells(DatasetKind::Lung, &cells).is_empty());
+        let pc = nl_drop_cells(DatasetKind::Prostate, &cells);
+        assert_eq!(pc, vec!["80%".to_string(), "1-6/0-5".to_string()]);
+    }
+}

@@ -1,0 +1,604 @@
+//! Boolean Structure Tables (§3.1, Algorithm 1).
+//!
+//! A BST for class `C_i` is conceptually a `|G| × |C_i|` table whose
+//! (g, c) cell is
+//!
+//! * **empty** when sample `c` does not express item `g`;
+//! * a **black dot** when `c` expresses `g` and *no* out-of-class sample
+//!   does (the item alone is 100 % class-pure);
+//! * otherwise the set of **exclusion lists** `{E(c,h) : h ∉ C_i, g ∈ h}` —
+//!   one canonical list per (c, h) pair, shared across all cells of row
+//!   `c`'s column, exactly the list Algorithm 1 memoizes via its pointer
+//!   array.
+//!
+//! We therefore materialize only (a) the per-pair exclusion lists and
+//! (b) per-item bitsets of out-of-class samples expressing the item; cells
+//! are views assembled on demand. This preserves Algorithm 1's
+//! `O((|S|−|C_i|)·|G|·|C_i|)` space/time bound with a much smaller
+//! constant.
+
+use crate::bar::{Bar, BarAntecedent, ExclusionClause, Sign};
+use microarray::{BitSet, BoolDataset, ClassId, ItemId, SampleId};
+use serde::{Deserialize, Serialize};
+
+/// A canonical exclusion list for one (class-sample, out-sample) pair.
+///
+/// Per Algorithm 1: the list is `{g : g ∈ h, g ∉ c}` with negative sign
+/// ("c is distinguished from h by *not* expressing any one of these"), or —
+/// only when that set is empty — `{g : g ∈ c, g ∉ h}` with positive sign.
+/// Both empty (identical samples across classes) yields an unsatisfiable
+/// empty negative list.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExclusionList {
+    /// Polarity of `items`.
+    pub sign: Sign,
+    /// Items of the list, ascending.
+    pub items: Vec<ItemId>,
+}
+
+impl ExclusionList {
+    /// Converts to a [`ExclusionClause`] naming the excluded out-sample.
+    pub fn to_clause(&self, out_sample: SampleId) -> ExclusionClause {
+        ExclusionClause { out_sample, sign: self.sign, items: self.items.clone() }
+    }
+
+    /// Fraction of literals satisfied by `query` — Algorithm 5 line 4's
+    /// `V_e`, computed without materializing a clause (the per-query hot
+    /// path evaluates every (c, h) list once).
+    pub fn satisfaction(&self, query: &BitSet) -> f64 {
+        if self.items.is_empty() {
+            return 0.0; // degenerate duplicate pair: unsatisfiable
+        }
+        let sat = match self.sign {
+            Sign::Pos => self.items.iter().filter(|&&g| query.contains(g)).count(),
+            Sign::Neg => self.items.iter().filter(|&&g| !query.contains(g)).count(),
+        };
+        sat as f64 / self.items.len() as f64
+    }
+}
+
+/// Structure statistics of a [`Bst`] (see [`Bst::stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BstStats {
+    /// Total (class-sample, out-sample) pairs, `|C_i|·(|S|−|C_i|)`.
+    pub pairs: usize,
+    /// Distinct exclusion lists stored after per-column deduplication.
+    pub unique_lists: usize,
+    /// Total items across the distinct lists (the memory driver).
+    pub list_items: usize,
+    /// Items expressed by no out-of-class sample (all-● rows).
+    pub black_dot_rows: usize,
+    /// Pairs with an unsatisfiable empty list (cross-class duplicates).
+    pub degenerate_pairs: usize,
+}
+
+/// A view of one BST cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell<'a> {
+    /// The sample does not express the item.
+    Empty,
+    /// The item is expressed only inside the class (● in Figure 1).
+    BlackDot,
+    /// Exclusion lists, one per out-sample expressing the item; each entry
+    /// is `(local out-sample index, list)`.
+    Lists(Vec<(usize, &'a ExclusionList)>),
+}
+
+/// A Boolean Structure Table for one class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Bst {
+    class: ClassId,
+    n_items: usize,
+    /// Original ids of the class samples (BST columns), ascending.
+    class_samples: Vec<SampleId>,
+    /// Original ids of the out-of-class samples, ascending.
+    out_samples: Vec<SampleId>,
+    /// Item sets of the class samples (owned: the BST is self-contained).
+    class_expr: Vec<BitSet>,
+    /// Item sets of the out-of-class samples.
+    out_expr_sets: Vec<BitSet>,
+    /// Per class sample `c`: its distinct exclusion lists. Different
+    /// out-samples often induce the *same* list (they miss the same items
+    /// of `c`); deduplicating them is the §8 "culling" idea in its
+    /// lossless form — BSTCE evaluates each distinct list once per query.
+    excl_unique: Vec<Vec<ExclusionList>>,
+    /// `excl_idx[c][h]` = index into `excl_unique[c]` of the (c, h) list.
+    excl_idx: Vec<Vec<u32>>,
+    /// `out_expr[g]` = bitset over *local* out-sample indices expressing `g`.
+    out_expr: Vec<BitSet>,
+}
+
+impl Bst {
+    /// Builds the BST for `class` from a training dataset (Algorithm 1).
+    ///
+    /// # Panics
+    /// Panics if `class` is out of range or has no samples.
+    pub fn build(data: &BoolDataset, class: ClassId) -> Bst {
+        assert!(class < data.n_classes(), "class {class} out of range");
+        let class_samples: Vec<SampleId> = data.class_members(class);
+        assert!(!class_samples.is_empty(), "class {class} has no samples");
+        let out_samples: Vec<SampleId> =
+            (0..data.n_samples()).filter(|&s| data.label(s) != class).collect();
+        let n_items = data.n_items();
+
+        let class_expr: Vec<BitSet> =
+            class_samples.iter().map(|&s| data.sample(s).clone()).collect();
+        let out_expr_sets: Vec<BitSet> =
+            out_samples.iter().map(|&s| data.sample(s).clone()).collect();
+
+        // Canonical exclusion list per (c, h) pair — Algorithm 1 lines
+        // 9-21 — deduplicated per column: equal lists share one slot.
+        let mut excl_unique: Vec<Vec<ExclusionList>> = Vec::with_capacity(class_expr.len());
+        let mut excl_idx: Vec<Vec<u32>> = Vec::with_capacity(class_expr.len());
+        for c_set in &class_expr {
+            let mut unique: Vec<ExclusionList> = Vec::new();
+            let mut seen: std::collections::HashMap<ExclusionList, u32> =
+                std::collections::HashMap::new();
+            let mut idx_row = Vec::with_capacity(out_expr_sets.len());
+            for h_set in &out_expr_sets {
+                let neg = h_set.difference(c_set); // g ∈ h, g ∉ c
+                let list = if !neg.is_empty() {
+                    ExclusionList { sign: Sign::Neg, items: neg.to_vec() }
+                } else {
+                    let pos = c_set.difference(h_set); // g ∈ c, g ∉ h
+                    // `pos` may itself be empty (identical samples): keep
+                    // the unsatisfiable empty list and let validation warn.
+                    ExclusionList { sign: Sign::Pos, items: pos.to_vec() }
+                };
+                let idx = *seen.entry(list.clone()).or_insert_with(|| {
+                    unique.push(list);
+                    (unique.len() - 1) as u32
+                });
+                idx_row.push(idx);
+            }
+            excl_unique.push(unique);
+            excl_idx.push(idx_row);
+        }
+
+        // out_expr[g]: which out-samples express item g — Algorithm 1
+        // line 6's black-dot test is `out_expr[g].is_empty()`.
+        let mut out_expr: Vec<BitSet> =
+            (0..n_items).map(|_| BitSet::new(out_expr_sets.len())).collect();
+        for (h_local, h_set) in out_expr_sets.iter().enumerate() {
+            for g in h_set.iter() {
+                out_expr[g].insert(h_local);
+            }
+        }
+
+        Bst {
+            class,
+            n_items,
+            class_samples,
+            out_samples,
+            class_expr,
+            out_expr_sets,
+            excl_unique,
+            excl_idx,
+            out_expr,
+        }
+    }
+
+    /// Builds BSTs for every class of the dataset (the classifier's
+    /// training step). Total cost `O(|S|²·|G|)` per §3.1.1.
+    pub fn build_all(data: &BoolDataset) -> Vec<Bst> {
+        (0..data.n_classes()).map(|c| Bst::build(data, c)).collect()
+    }
+
+    /// The class this table describes.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Number of items (table rows), `|G|`.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of class samples (table columns), `|C_i|`.
+    pub fn n_class_samples(&self) -> usize {
+        self.class_samples.len()
+    }
+
+    /// Number of out-of-class samples, `|S| − |C_i|`.
+    pub fn n_out_samples(&self) -> usize {
+        self.out_samples.len()
+    }
+
+    /// Original sample id of local class column `c`.
+    pub fn class_sample_id(&self, c: usize) -> SampleId {
+        self.class_samples[c]
+    }
+
+    /// Original sample id of local out-sample index `h`.
+    pub fn out_sample_id(&self, h: usize) -> SampleId {
+        self.out_samples[h]
+    }
+
+    /// Item set of local class column `c`.
+    pub fn class_sample_items(&self, c: usize) -> &BitSet {
+        &self.class_expr[c]
+    }
+
+    /// Item set of local out-sample `h`.
+    pub fn out_sample_items(&self, h: usize) -> &BitSet {
+        &self.out_expr_sets[h]
+    }
+
+    /// True if item `g` is expressed by no out-of-class sample — i.e. every
+    /// non-empty (g, ·) cell is a black dot.
+    pub fn is_black_dot_row(&self, g: ItemId) -> bool {
+        self.out_expr[g].is_empty()
+    }
+
+    /// Local out-sample indices expressing item `g`.
+    pub fn out_expressing(&self, g: ItemId) -> &BitSet {
+        &self.out_expr[g]
+    }
+
+    /// The canonical exclusion list of the (c, h) pair (local indices).
+    pub fn exclusion_list(&self, c: usize, h: usize) -> &ExclusionList {
+        &self.excl_unique[c][self.excl_idx[c][h] as usize]
+    }
+
+    /// The distinct exclusion lists of column `c` (different out-samples
+    /// often induce identical lists; BSTCE evaluates each distinct list
+    /// once per query).
+    pub fn unique_exclusion_lists(&self, c: usize) -> &[ExclusionList] {
+        &self.excl_unique[c]
+    }
+
+    /// Index of the (c, h) pair's list within
+    /// [`Bst::unique_exclusion_lists`]`(c)`.
+    pub fn exclusion_list_index(&self, c: usize, h: usize) -> usize {
+        self.excl_idx[c][h] as usize
+    }
+
+    /// The (g, c) cell (local column index).
+    pub fn cell(&self, g: ItemId, c: usize) -> Cell<'_> {
+        if !self.class_expr[c].contains(g) {
+            return Cell::Empty;
+        }
+        if self.out_expr[g].is_empty() {
+            return Cell::BlackDot;
+        }
+        Cell::Lists(self.out_expr[g].iter().map(|h| (h, self.exclusion_list(c, h))).collect())
+    }
+
+    /// The atomic 100 %-confident cell rule of a non-empty (g, c) cell
+    /// (§3.2): `g AND (clauses for every h expressing g) ⇒ class`.
+    /// Returns `None` for empty cells.
+    pub fn cell_rule(&self, g: ItemId, c: usize) -> Option<Bar> {
+        match self.cell(g, c) {
+            Cell::Empty => None,
+            Cell::BlackDot => Some(Bar {
+                antecedent: BarAntecedent { car_items: vec![g], disjuncts: vec![vec![]] },
+                class: self.class,
+            }),
+            Cell::Lists(lists) => {
+                let clauses: Vec<ExclusionClause> = lists
+                    .into_iter()
+                    .map(|(h, list)| list.to_clause(self.out_samples[h]))
+                    .collect();
+                Some(Bar {
+                    antecedent: BarAntecedent { car_items: vec![g], disjuncts: vec![clauses] },
+                    class: self.class,
+                })
+            }
+        }
+    }
+
+    /// Local class-sample indices whose column has a non-empty (g, ·) cell —
+    /// the support of the g-row BAR (samples expressing `g`).
+    pub fn row_support(&self, g: ItemId) -> BitSet {
+        let mut s = BitSet::new(self.class_expr.len());
+        for (c, set) in self.class_expr.iter().enumerate() {
+            if set.contains(g) {
+                s.insert(c);
+            }
+        }
+        s
+    }
+
+    /// (c, h) pairs with an unsatisfiable empty exclusion list — i.e. a
+    /// class sample identical to an out-of-class sample. Theorem 2 assumes
+    /// none exist; classification still works but those pairs can never be
+    /// distinguished.
+    pub fn degenerate_pairs(&self) -> Vec<(SampleId, SampleId)> {
+        let mut v = Vec::new();
+        for (c, row) in self.excl_idx.iter().enumerate() {
+            for (h, &idx) in row.iter().enumerate() {
+                if self.excl_unique[c][idx as usize].items.is_empty() {
+                    v.push((self.class_samples[c], self.out_samples[h]));
+                }
+            }
+        }
+        v
+    }
+
+    /// Structure statistics: list counts, dedup ratio, black-dot rows.
+    pub fn stats(&self) -> BstStats {
+        let pairs = self.class_samples.len() * self.out_samples.len();
+        let unique: usize = self.excl_unique.iter().map(Vec::len).sum();
+        let list_items: usize =
+            self.excl_unique.iter().flatten().map(|l| l.items.len()).sum();
+        BstStats {
+            pairs,
+            unique_lists: unique,
+            list_items,
+            black_dot_rows: (0..self.n_items).filter(|&g| self.out_expr[g].is_empty()).count(),
+            degenerate_pairs: self.degenerate_pairs().len(),
+        }
+    }
+
+    /// Renders the table in the style of Figure 1 (items as rows, class
+    /// samples as columns) for small datasets; intended for examples and
+    /// debugging.
+    pub fn render(&self, data: &BoolDataset) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "BST for class {} ({} items x {} samples)",
+            data.class_names()[self.class],
+            self.n_items,
+            self.class_samples.len()
+        );
+        for g in 0..self.n_items {
+            let _ = write!(s, "{:>8} |", data.item_names()[g]);
+            for c in 0..self.class_samples.len() {
+                let cell = match self.cell(g, c) {
+                    Cell::Empty => String::new(),
+                    Cell::BlackDot => "●".to_string(),
+                    Cell::Lists(lists) => lists
+                        .iter()
+                        .map(|(h, list)| {
+                            let names = list
+                                .items
+                                .iter()
+                                .map(|&g| {
+                                    let n = &data.item_names()[g];
+                                    match list.sign {
+                                        Sign::Neg => format!("-{n}"),
+                                        Sign::Pos => n.clone(),
+                                    }
+                                })
+                                .collect::<Vec<_>>()
+                                .join(",");
+                            format!("(s{}:{})", self.out_samples[*h] + 1, names)
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                };
+                let _ = write!(s, " {cell:<28}|");
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microarray::fixtures::table1;
+
+    /// Builds the Cancer BST of Figure 1.
+    fn cancer_bst() -> (BoolDataset, Bst) {
+        let d = table1();
+        let bst = Bst::build(&d, 0);
+        (d, bst)
+    }
+
+    #[test]
+    fn shape_matches_figure_1() {
+        let (_, bst) = cancer_bst();
+        assert_eq!(bst.class(), 0);
+        assert_eq!(bst.n_items(), 6);
+        assert_eq!(bst.n_class_samples(), 3);
+        assert_eq!(bst.n_out_samples(), 2);
+        assert_eq!(bst.class_sample_id(0), 0); // s1
+        assert_eq!(bst.out_sample_id(0), 3); // s4
+    }
+
+    #[test]
+    fn g1_row_is_black_dots() {
+        // Figure 1: g1 is expressed by s1, s2 and by no Healthy sample.
+        let (_, bst) = cancer_bst();
+        assert!(bst.is_black_dot_row(0));
+        assert_eq!(bst.cell(0, 0), Cell::BlackDot);
+        assert_eq!(bst.cell(0, 1), Cell::BlackDot);
+        assert_eq!(bst.cell(0, 2), Cell::Empty); // s3 does not express g1
+    }
+
+    #[test]
+    fn exclusion_lists_match_figure_1() {
+        let (_, bst) = cancer_bst();
+        // (s1, s4): Alg 1 falls through to the positive list {g1}.
+        assert_eq!(
+            bst.exclusion_list(0, 0),
+            &ExclusionList { sign: Sign::Pos, items: vec![0] }
+        );
+        // (s1, s5): negative list {-g4, -g6}.
+        assert_eq!(
+            bst.exclusion_list(0, 1),
+            &ExclusionList { sign: Sign::Neg, items: vec![3, 5] }
+        );
+        // (s2, s4): {-g2, -g5}.
+        assert_eq!(
+            bst.exclusion_list(1, 0),
+            &ExclusionList { sign: Sign::Neg, items: vec![1, 4] }
+        );
+        // (s2, s5): {-g4, -g5}.
+        assert_eq!(
+            bst.exclusion_list(1, 1),
+            &ExclusionList { sign: Sign::Neg, items: vec![3, 4] }
+        );
+        // (s3, s4): {-g3, -g5}.
+        assert_eq!(
+            bst.exclusion_list(2, 0),
+            &ExclusionList { sign: Sign::Neg, items: vec![2, 4] }
+        );
+        // (s3, s5): {-g3, -g5}.
+        assert_eq!(
+            bst.exclusion_list(2, 1),
+            &ExclusionList { sign: Sign::Neg, items: vec![2, 4] }
+        );
+    }
+
+    #[test]
+    fn g3_s1_cell_matches_figure_1() {
+        // The (g3, s1) cell holds both Healthy exclusion lists:
+        // (s4: g1) and (s5: -g4, -g6).
+        let (_, bst) = cancer_bst();
+        match bst.cell(2, 0) {
+            Cell::Lists(lists) => {
+                assert_eq!(lists.len(), 2);
+                assert_eq!(lists[0].0, 0); // s4
+                assert_eq!(lists[0].1.sign, Sign::Pos);
+                assert_eq!(lists[0].1.items, vec![0]);
+                assert_eq!(lists[1].0, 1); // s5
+                assert_eq!(lists[1].1.sign, Sign::Neg);
+                assert_eq!(lists[1].1.items, vec![3, 5]);
+            }
+            other => panic!("expected lists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn g3_s1_cell_rule_matches_section_3_2() {
+        // "g3 expressed AND g1 expressed AND (either g4 or g6 not
+        // expressed) ⇒ Cancer" — 100% confident, supported by s1.
+        let (d, bst) = cancer_bst();
+        let rule = bst.cell_rule(2, 0).unwrap();
+        assert_eq!(rule.confidence(&d), Some(1.0));
+        let supp = rule.support_set(&d);
+        assert!(supp.contains(&0), "supported by s1: {supp:?}");
+        // s1 satisfies it; s4/s5 (Healthy) must not.
+        assert!(rule.antecedent.eval(d.sample(0)));
+        assert!(!rule.antecedent.eval(d.sample(3)));
+        assert!(!rule.antecedent.eval(d.sample(4)));
+    }
+
+    #[test]
+    fn all_cell_rules_are_100_percent_confident() {
+        // §3.2: every atomic cell rule has confidence 1 and is supported by
+        // its own sample.
+        let d = table1();
+        for class in 0..2 {
+            let bst = Bst::build(&d, class);
+            for g in 0..d.n_items() {
+                for c in 0..bst.n_class_samples() {
+                    if let Some(rule) = bst.cell_rule(g, c) {
+                        assert_eq!(
+                            rule.confidence(&d),
+                            Some(1.0),
+                            "cell ({g},{c}) of class {class} not 100% confident"
+                        );
+                        assert!(
+                            rule.antecedent.eval(d.sample(bst.class_sample_id(c))),
+                            "cell ({g},{c}) not supported by its own sample"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_support_is_expressing_samples() {
+        let (_, bst) = cancer_bst();
+        assert_eq!(bst.row_support(0).to_vec(), vec![0, 1]); // g1: s1, s2
+        assert_eq!(bst.row_support(1).to_vec(), vec![0, 2]); // g2: s1, s3
+        assert_eq!(bst.row_support(2).to_vec(), vec![0, 1]); // g3: s1, s2
+        assert_eq!(bst.row_support(3).to_vec(), vec![2]); // g4: s3
+        assert_eq!(bst.row_support(5).to_vec(), vec![1, 2]); // g6: s2, s3
+    }
+
+    #[test]
+    fn healthy_bst_exclusion_lists() {
+        let d = table1();
+        let bst = Bst::build(&d, 1);
+        assert_eq!(bst.n_class_samples(), 2);
+        assert_eq!(bst.n_out_samples(), 3);
+        // (s4, s1): {g : g ∈ s1, g ∉ s4} = {g1} → negative list.
+        assert_eq!(
+            bst.exclusion_list(0, 0),
+            &ExclusionList { sign: Sign::Neg, items: vec![0] }
+        );
+        // (s5, s3): s3 \ s5 = {g2} → negative.
+        assert_eq!(
+            bst.exclusion_list(1, 2),
+            &ExclusionList { sign: Sign::Neg, items: vec![1] }
+        );
+        // No black dots in the Healthy BST.
+        for g in 0..6 {
+            assert!(!bst.is_black_dot_row(g) || bst.row_support(g).is_empty());
+        }
+    }
+
+    #[test]
+    fn identical_lists_are_deduplicated_per_column() {
+        // In Figure 1, the (s3, s4) and (s3, s5) pairs both produce
+        // (-g3, -g5): column s3 stores one distinct list for two pairs.
+        let (_, bst) = cancer_bst();
+        assert_eq!(bst.unique_exclusion_lists(2).len(), 1);
+        assert_eq!(bst.exclusion_list_index(2, 0), bst.exclusion_list_index(2, 1));
+        // Columns s1/s2 have two distinct lists each.
+        assert_eq!(bst.unique_exclusion_lists(0).len(), 2);
+        assert_eq!(bst.unique_exclusion_lists(1).len(), 2);
+        // Accessor equality is unaffected.
+        assert_eq!(bst.exclusion_list(2, 0), bst.exclusion_list(2, 1));
+    }
+
+    #[test]
+    fn degenerate_duplicate_across_classes_is_flagged() {
+        let items = vec!["g1".into(), "g2".into()];
+        let classes = vec!["A".into(), "B".into()];
+        let samples = vec![
+            BitSet::from_iter(2, [0, 1]),
+            BitSet::from_iter(2, [0, 1]), // identical, different class
+            BitSet::from_iter(2, [0]),
+        ];
+        let d = BoolDataset::new(items, classes, samples, vec![0, 1, 1]).unwrap();
+        let bst = Bst::build(&d, 0);
+        assert_eq!(bst.degenerate_pairs(), vec![(0, 1)]);
+        // The degenerate cell rule exists but is unsatisfiable for any query.
+        let rule = bst.cell_rule(0, 0).unwrap();
+        assert!(!rule.antecedent.eval(d.sample(0)));
+    }
+
+    #[test]
+    fn no_degenerate_pairs_in_table1() {
+        let (_, bst) = cancer_bst();
+        assert!(bst.degenerate_pairs().is_empty());
+    }
+
+    #[test]
+    fn build_all_covers_every_class() {
+        let d = table1();
+        let bsts = Bst::build_all(&d);
+        assert_eq!(bsts.len(), 2);
+        assert_eq!(bsts[0].class(), 0);
+        assert_eq!(bsts[1].class(), 1);
+    }
+
+    #[test]
+    fn stats_reflect_figure_1() {
+        let (_, bst) = cancer_bst();
+        let st = bst.stats();
+        assert_eq!(st.pairs, 6); // 3 class x 2 out samples
+        assert_eq!(st.unique_lists, 5); // (s3,*) pair deduped
+        assert_eq!(st.black_dot_rows, 1); // g1
+        assert_eq!(st.degenerate_pairs, 0);
+        assert!(st.list_items >= 5);
+    }
+
+    #[test]
+    fn render_mentions_black_dot_and_lists() {
+        let (d, bst) = cancer_bst();
+        let text = bst.render(&d);
+        assert!(text.contains('●'));
+        assert!(text.contains("(s5:-g4,-g6)"), "{text}");
+        assert!(text.contains("(s4:g1)"), "{text}");
+    }
+}

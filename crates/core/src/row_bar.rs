@@ -1,0 +1,156 @@
+//! Gene-row BARs (Algorithm 2, Figure 2).
+//!
+//! The g-row BAR of a BST is the 100 %-confident disjunction of the g-row's
+//! cell rules: `g AND (OR over supporting samples c of AND(clauses of the
+//! (g,c) cell)) ⇒ C_i`. Its support is exactly the set of class samples
+//! expressing `g`.
+
+use crate::bar::{Bar, BarAntecedent, ExclusionClause};
+use crate::bst::{Bst, Cell};
+use microarray::ItemId;
+
+/// Builds the g-row BAR of `bst` (Algorithm 2). Returns `None` when no
+/// class sample expresses `g` (an all-empty row denotes no rule).
+pub fn row_bar(bst: &Bst, g: ItemId) -> Option<Bar> {
+    let mut disjuncts: Vec<Vec<ExclusionClause>> = Vec::new();
+    let mut any = false;
+    for c in 0..bst.n_class_samples() {
+        match bst.cell(g, c) {
+            Cell::Empty => continue,
+            Cell::BlackDot => {
+                any = true;
+                // An empty conjunction is TRUE: the black dot satisfies the
+                // whole disjunction on its own (Algorithm 2's B stays TRUE).
+                disjuncts.push(Vec::new());
+            }
+            Cell::Lists(lists) => {
+                any = true;
+                disjuncts.push(
+                    lists
+                        .into_iter()
+                        .map(|(h, list)| list.to_clause(bst.out_sample_id(h)))
+                        .collect(),
+                );
+            }
+        }
+    }
+    if !any {
+        return None;
+    }
+    Some(Bar { antecedent: BarAntecedent { car_items: vec![g], disjuncts }, class: bst.class() })
+}
+
+/// All row BARs of a BST, indexed by item; `None` entries are items no
+/// class sample expresses.
+pub fn all_row_bars(bst: &Bst) -> Vec<Option<Bar>> {
+    (0..bst.n_items()).map(|g| row_bar(bst, g)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bar::display_bar;
+    use microarray::fixtures::table1;
+
+    #[test]
+    fn figure_2_row_bars_have_100_percent_confidence() {
+        let d = table1();
+        let bst = Bst::build(&d, 0);
+        for g in 0..6 {
+            let bar = row_bar(&bst, g).expect("every gene is expressed by some Cancer sample");
+            assert_eq!(bar.confidence(&d), Some(1.0), "g{} row BAR not 100% confident", g + 1);
+        }
+    }
+
+    #[test]
+    fn row_bar_supports_match_figure_1() {
+        // Support of the g-row BAR = class samples expressing g.
+        let d = table1();
+        let bst = Bst::build(&d, 0);
+        let expected: [&[usize]; 6] = [&[0, 1], &[0, 2], &[0, 1], &[2], &[0], &[1, 2]];
+        for (g, want) in expected.iter().enumerate() {
+            let bar = row_bar(&bst, g).unwrap();
+            assert_eq!(&bar.support_set(&d), want, "g{}", g + 1);
+        }
+    }
+
+    #[test]
+    fn g1_row_bar_is_plain_car() {
+        // Figure 2: "Gene g1: (g1 expressed) ⇒ Cancer." — black dots only,
+        // so every disjunct is TRUE and the rule degenerates to the CAR.
+        let d = table1();
+        let bst = Bst::build(&d, 0);
+        let bar = row_bar(&bst, 0).unwrap();
+        assert!(bar.antecedent.disjuncts.iter().any(|d| d.is_empty()));
+        // It accepts anything expressing g1.
+        let q = microarray::BitSet::from_iter(6, [0]);
+        assert!(bar.antecedent.eval(&q));
+    }
+
+    #[test]
+    fn g4_row_bar_matches_figure_2() {
+        // "Gene g4: (g4 expressed AND [either g5 or g3 not expressed]) ⇒ Cancer."
+        let d = table1();
+        let bst = Bst::build(&d, 0);
+        let bar = row_bar(&bst, 3).unwrap();
+        let text = display_bar(&bar, &d);
+        assert_eq!(text, "g4 expressed AND [(either g3 or g5 not expressed)] => Cancer");
+    }
+
+    #[test]
+    fn g3_row_bar_matches_figure_2_semantics() {
+        // "Gene g3: g3 AND [EITHER {(g1) AND (-g4 or -g6)} OR {(-g2 or -g5)
+        // AND (-g4 or -g5)}] ⇒ Cancer". Check semantics by evaluating
+        // against the paper's description rather than string equality.
+        let d = table1();
+        let bst = Bst::build(&d, 0);
+        let bar = row_bar(&bst, 2).unwrap();
+        assert_eq!(bar.antecedent.car_items, vec![2]);
+        assert_eq!(bar.antecedent.disjuncts.len(), 2);
+        // Sample s1 and s2 satisfy, Healthy s4/s5 do not.
+        assert!(bar.antecedent.eval(d.sample(0)));
+        assert!(bar.antecedent.eval(d.sample(1)));
+        assert!(!bar.antecedent.eval(d.sample(3)));
+        assert!(!bar.antecedent.eval(d.sample(4)));
+        // A query expressing g3 and g1 but not g4/g6 satisfies disjunct 1.
+        let q = microarray::BitSet::from_iter(6, [0, 2]);
+        assert!(bar.antecedent.eval(&q));
+        // g3 with everything else expressed fails both disjuncts.
+        let q = microarray::BitSet::from_iter(6, [1, 2, 3, 4, 5]);
+        assert!(!bar.antecedent.eval(&q));
+    }
+
+    #[test]
+    fn g6_row_bar_matches_figure_2() {
+        // "Gene g6: (g6 AND [(-g4 or -g5) OR (-g3 or -g5)]) ⇒ Cancer."
+        let d = table1();
+        let bst = Bst::build(&d, 0);
+        let bar = row_bar(&bst, 5).unwrap();
+        let text = display_bar(&bar, &d);
+        assert_eq!(
+            text,
+            "g6 expressed AND [EITHER {(either g4 or g5 not expressed)} OR \
+             {(either g3 or g5 not expressed)}] => Cancer"
+        );
+    }
+
+    #[test]
+    fn all_row_bars_indexes_by_item() {
+        let d = table1();
+        let bst = Bst::build(&d, 1); // Healthy
+        let bars = all_row_bars(&bst);
+        assert_eq!(bars.len(), 6);
+        // g1 is expressed by no Healthy sample: no row BAR.
+        assert!(bars[0].is_none());
+        assert!(bars[2].is_some()); // g3 expressed by s4 and s5
+    }
+
+    #[test]
+    fn healthy_row_bars_are_100_percent_confident_too() {
+        let d = table1();
+        let bst = Bst::build(&d, 1);
+        for bar in all_row_bars(&bst).into_iter().flatten() {
+            assert_eq!(bar.confidence(&d), Some(1.0));
+        }
+    }
+}

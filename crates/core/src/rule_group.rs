@@ -1,0 +1,249 @@
+//! Interesting boolean rule groups (§4.2) and the CAR ⇄ BAR
+//! correspondence (§4.3, Theorem 2).
+//!
+//! An IBRG collects every conjunction of simple 100 %-confident BAR
+//! antecedents sharing one support set `S`; its *upper bound* is the
+//! (unique) maximally complex member — the closed item set of `S` — and
+//! its *lower bounds* are the minimal item subsets still supported exactly
+//! by `S`. Every (MC)²BAR mined by Algorithm 3 is the upper bound of a
+//! unique IBRG.
+
+use crate::bar::Bar;
+use crate::bst::Bst;
+use crate::mine::Mc2Bar;
+use microarray::{BitSet, BoolDataset, ItemId};
+use serde::{Deserialize, Serialize};
+
+/// An interesting boolean rule group, identified by its support set and
+/// carrying its upper bound.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ibrg {
+    /// Consequent class.
+    pub class: microarray::ClassId,
+    /// The antecedent support set (local class-sample indices).
+    pub support: BitSet,
+    /// The unique upper bound: the closed item set of `support`.
+    pub upper_bound: Vec<ItemId>,
+}
+
+impl Ibrg {
+    /// Builds the IBRG an (MC)²BAR is the upper bound of.
+    pub fn from_mc2bar(rule: &Mc2Bar) -> Ibrg {
+        Ibrg { class: rule.class, support: rule.support.clone(), upper_bound: rule.car_items.clone() }
+    }
+
+    /// Support set of a pure item conjunction within the class (local
+    /// column indices).
+    pub fn class_support_of(bst: &Bst, items: &[ItemId]) -> BitSet {
+        let mut s = BitSet::new(bst.n_class_samples());
+        for c in 0..bst.n_class_samples() {
+            if items.iter().all(|&g| bst.class_sample_items(c).contains(g)) {
+                s.insert(c);
+            }
+        }
+        s
+    }
+
+    /// Group membership (Definition 1): `items` is in the group iff its
+    /// class support set equals the group's support set. (All members are
+    /// automatically ⊆ the upper bound.)
+    pub fn contains(&self, bst: &Bst, items: &[ItemId]) -> bool {
+        Self::class_support_of(bst, items) == self.support
+    }
+
+    /// True if `items` is an upper bound of this group: a member no proper
+    /// superset of which is also a member. The closed set is the unique
+    /// upper bound, so this is an equality check.
+    pub fn is_upper_bound(&self, items: &[ItemId]) -> bool {
+        let mut sorted = items.to_vec();
+        sorted.sort_unstable();
+        sorted == self.upper_bound
+    }
+
+    /// True if `items` is a lower bound: a member none of whose proper
+    /// subsets is a member (removing any single item changes the support).
+    pub fn is_lower_bound(&self, bst: &Bst, items: &[ItemId]) -> bool {
+        if !self.contains(bst, items) {
+            return false;
+        }
+        // Removing any one item must grow the support strictly.
+        for skip in 0..items.len() {
+            let reduced: Vec<ItemId> =
+                items.iter().enumerate().filter(|&(i, _)| i != skip).map(|(_, &g)| g).collect();
+            if Self::class_support_of(bst, &reduced) == self.support {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Theorem 2, "⇒" direction: builds the 100 %-confident BST-generated BAR
+/// for a pure conjunction (CAR antecedent). Returns `None` when no class
+/// sample expresses all items (no support — no rule). The result has the
+/// same support as the CAR, and exclusion clauses actively excluding
+/// exactly the out-samples that satisfy the conjunction.
+pub fn bar_for_car(bst: &Bst, items: &[ItemId]) -> Option<Bar> {
+    let support = Ibrg::class_support_of(bst, items);
+    if support.is_empty() {
+        return None;
+    }
+    let excluded: Vec<usize> = (0..bst.n_out_samples())
+        .filter(|&h| items.iter().all(|&g| bst.out_sample_items(h).contains(g)))
+        .collect();
+    let rule = Mc2Bar {
+        class: bst.class(),
+        car_items: items.to_vec(),
+        support,
+        excluded,
+    };
+    Some(rule.to_bar(bst))
+}
+
+/// Theorem 2's confidence identity: for a CAR with support `supp` and
+/// confidence `c`, the BAR's clauses actively exclude `(1/c − 1)·|supp|`
+/// out-samples. Returns `(support, actively_excluded, reconstructed_conf)`.
+pub fn theorem2_numbers(bst: &Bst, items: &[ItemId]) -> Option<(usize, usize, f64)> {
+    let bar = bar_for_car(bst, items)?;
+    let support = bar.antecedent.disjuncts.len();
+    let excluded = bar.antecedent.disjuncts.first().map_or(0, Vec::len);
+    let conf = support as f64 / (support + excluded) as f64;
+    Some((support, excluded, conf))
+}
+
+/// Convenience: verifies the Theorem 2 round-trip on a dataset — the CAR
+/// obtained by stripping `bar_for_car(items)` has the predicted support
+/// and confidence. Used heavily by the property-test suites.
+pub fn theorem2_round_trip(data: &BoolDataset, bst: &Bst, items: &[ItemId]) -> bool {
+    let Some(bar) = bar_for_car(bst, items) else {
+        return true; // unsupported conjunctions have no rule: vacuous
+    };
+    // The full BAR is 100% confident with the CAR's class support…
+    let class_support: Vec<usize> = (0..data.n_samples())
+        .filter(|&s| {
+            data.label(s) == bst.class() && items.iter().all(|&g| data.sample(s).contains(g))
+        })
+        .collect();
+    if bar.support_set(data) != class_support {
+        return false;
+    }
+    if bar.confidence(data) != Some(1.0) {
+        return false;
+    }
+    // …and stripping reconstructs the CAR's confidence.
+    let car = bar.strip_to_car();
+    let Some((supp, excl, predicted)) = theorem2_numbers(bst, items) else {
+        return false;
+    };
+    car.support(data) == supp
+        && car.confidence(data).is_some_and(|c| (c - predicted).abs() < 1e-12)
+        && {
+            // #excluded = (1/c − 1)·|supp| as stated in the theorem.
+            let c = car.confidence(data).unwrap();
+            ((1.0 / c - 1.0) * supp as f64 - excl as f64).abs() < 1e-9
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine::mine_topk;
+    use microarray::fixtures::table1;
+
+    fn cancer() -> (BoolDataset, Bst) {
+        let d = table1();
+        let bst = Bst::build(&d, 0);
+        (d, bst)
+    }
+
+    #[test]
+    fn section_4_2_s2_group_bounds() {
+        // The boolean rule group with support {s2}: upper bound
+        // {g1,g3,g6}; lower bounds {g1,g6} and {g3,g6} (the paper lists
+        // "(g1 AND g6)" and "(g3 AND g6 AND clauses)" as the lower bounds).
+        let (_, bst) = cancer();
+        let group = Ibrg {
+            class: 0,
+            support: BitSet::from_iter(3, [1]),
+            upper_bound: vec![0, 2, 5],
+        };
+        assert!(group.contains(&bst, &[0, 5])); // g1, g6
+        assert!(group.contains(&bst, &[2, 5])); // g3, g6
+        assert!(group.contains(&bst, &[0, 2, 5]));
+        assert!(!group.contains(&bst, &[0])); // g1 alone supports {s1,s2}
+        assert!(group.is_upper_bound(&[0, 2, 5]));
+        assert!(!group.is_upper_bound(&[0, 5]));
+        assert!(group.is_lower_bound(&bst, &[0, 5]));
+        assert!(group.is_lower_bound(&bst, &[2, 5]));
+        assert!(!group.is_lower_bound(&bst, &[0, 2, 5]));
+    }
+
+    #[test]
+    fn mined_rules_are_upper_bounds_of_their_groups() {
+        let (_, bst) = cancer();
+        for rule in mine_topk(&bst, 50) {
+            if rule.car_items.is_empty() {
+                continue;
+            }
+            let group = Ibrg::from_mc2bar(&rule);
+            assert!(group.contains(&bst, &rule.car_items));
+            assert!(group.is_upper_bound(&rule.car_items));
+        }
+    }
+
+    #[test]
+    fn bar_for_car_g1_g3() {
+        // §2's example CAR g1,g3 ⇒ Cancer: support {s1,s2}, confidence 1 —
+        // no Healthy sample expresses both, so the BAR needs no clauses.
+        let (d, bst) = cancer();
+        let bar = bar_for_car(&bst, &[0, 2]).unwrap();
+        assert_eq!(bar.support_set(&d), vec![0, 1]);
+        assert_eq!(bar.confidence(&d), Some(1.0));
+        assert!(bar.antecedent.disjuncts.iter().all(|d| d.is_empty()));
+    }
+
+    #[test]
+    fn bar_for_car_g3_needs_clauses() {
+        // g3 alone is expressed by Healthy s4 and s5: the BAR must exclude
+        // both, and stripping it leaves confidence 2/4 = 1/2.
+        let (d, bst) = cancer();
+        let bar = bar_for_car(&bst, &[2]).unwrap();
+        assert_eq!(bar.confidence(&d), Some(1.0));
+        assert_eq!(bar.support_set(&d), vec![0, 1]);
+        let (supp, excl, conf) = theorem2_numbers(&bst, &[2]).unwrap();
+        assert_eq!((supp, excl), (2, 2));
+        assert!((conf - 0.5).abs() < 1e-12);
+        assert!((bar.strip_to_car().confidence(&d).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bar_for_unsupported_car_is_none() {
+        let (_, bst) = cancer();
+        // No Cancer sample expresses both g4 and g5.
+        assert!(bar_for_car(&bst, &[3, 4]).is_none());
+    }
+
+    #[test]
+    fn round_trip_holds_for_all_small_cars() {
+        let (d, bst) = cancer();
+        // Every 1- and 2-item conjunction.
+        for a in 0..6 {
+            assert!(theorem2_round_trip(&d, &bst, &[a]), "item {a}");
+            for b in a + 1..6 {
+                assert!(theorem2_round_trip(&d, &bst, &[a, b]), "items {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_holds_for_healthy_class_too() {
+        let d = table1();
+        let bst = Bst::build(&d, 1);
+        for a in 0..6 {
+            for b in a..6 {
+                let items = if a == b { vec![a] } else { vec![a, b] };
+                assert!(theorem2_round_trip(&d, &bst, &items), "{items:?}");
+            }
+        }
+    }
+}

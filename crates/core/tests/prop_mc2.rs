@@ -1,0 +1,80 @@
+//! Property tests for the §4.2 (MC)²BAR classifier.
+
+use bstc::Mc2Classifier;
+use microarray::{BitSet, BoolDataset};
+use proptest::prelude::*;
+
+fn dataset() -> impl Strategy<Value = BoolDataset> {
+    (2usize..4, 4usize..10, 2usize..10).prop_flat_map(|(n_classes, n_items, extra)| {
+        let n_samples = n_classes + extra;
+        (
+            prop::collection::vec(prop::collection::vec(0..n_items, 1..n_items), n_samples),
+            prop::collection::vec(0..n_classes, n_samples - n_classes),
+        )
+            .prop_map(move |(sample_items, tail)| {
+                let item_names = (0..n_items).map(|i| format!("g{i}")).collect();
+                let class_names = (0..n_classes).map(|c| format!("c{c}")).collect();
+                let sets: Vec<BitSet> = sample_items
+                    .iter()
+                    .map(|items| BitSet::from_iter(n_items, items.iter().copied()))
+                    .collect();
+                let mut labels: Vec<usize> = (0..n_classes).collect();
+                labels.extend(tail);
+                BoolDataset::new(item_names, class_names, sets, labels).unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scores always lie in [0, 1]; classification is deterministic and
+    /// valid.
+    #[test]
+    fn scores_bounded_and_classification_valid(d in dataset(),
+                                               q in prop::collection::vec(0usize..10, 0..10)) {
+        let m = Mc2Classifier::train(&d, 2);
+        let query = BitSet::from_iter(d.n_items(), q.iter().map(|&g| g % d.n_items()));
+        for v in m.class_scores(&query) {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let c = m.classify(&query);
+        prop_assert_eq!(c, m.classify(&query));
+        prop_assert!(c < d.n_classes());
+    }
+
+    /// Every duplicate-free training sample fully satisfies some mined
+    /// rule of its own class (Algorithm 4 coverage), so its own-class
+    /// score is exactly 1.
+    #[test]
+    fn own_class_score_is_one_without_duplicates(d in dataset()) {
+        // Skip datasets with cross-class duplicate samples (their rules
+        // may be degenerate).
+        for i in 0..d.n_samples() {
+            for j in i + 1..d.n_samples() {
+                if d.label(i) != d.label(j) && d.sample(i) == d.sample(j) {
+                    return Ok(());
+                }
+            }
+        }
+        let m = Mc2Classifier::train(&d, 1);
+        for s in 0..d.n_samples() {
+            if d.sample(s).is_empty() { continue; }
+            let scores = m.class_scores(d.sample(s));
+            prop_assert!((scores[d.label(s)] - 1.0).abs() < 1e-12,
+                "sample {s}: {scores:?}");
+        }
+    }
+
+    /// Model serialization round-trips behaviour.
+    #[test]
+    fn serialization_round_trip(d in dataset(),
+                                q in prop::collection::vec(0usize..10, 0..10)) {
+        let m = Mc2Classifier::train(&d, 2);
+        let back: Mc2Classifier =
+            serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        let query = BitSet::from_iter(d.n_items(), q.iter().map(|&g| g % d.n_items()));
+        prop_assert_eq!(m.classify(&query), back.classify(&query));
+        prop_assert_eq!(m.class_scores(&query), back.class_scores(&query));
+    }
+}

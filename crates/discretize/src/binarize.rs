@@ -1,0 +1,332 @@
+//! Turning MDL cut points into the paper's boolean item representation.
+//!
+//! A [`Discretizer`] is *fitted* on a training [`ContinuousDataset`] and
+//! then *transforms* any dataset over the same genes into a
+//! [`BoolDataset`]. Genes with no accepted cut carry no MDL-visible class
+//! signal and are dropped (the paper's "Genes After Discretization",
+//! Table 3); each interval of each surviving gene becomes one boolean item
+//! `gene@[lo,hi)`, and a sample expresses the item whose interval contains
+//! its value — so each surviving gene contributes exactly one expressed
+//! item per sample.
+
+use crate::mdl::{interval_of, mdl_cuts, Cuts};
+use microarray::{BitSet, BoolDataset, ContinuousDataset};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// No gene admitted an MDL-accepted cut: the training data carries no
+/// class signal visible to the entropy partition, so there is nothing to
+/// classify on. Callers typically treat this as "dataset too small/noisy".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NoInformativeGenes;
+
+impl fmt::Display for NoInformativeGenes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "entropy discretization selected zero genes")
+    }
+}
+
+impl std::error::Error for NoInformativeGenes {}
+
+/// Description of one boolean item produced by discretization.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ItemDesc {
+    /// Column of the originating gene in the *fitted* dataset.
+    pub gene: usize,
+    /// Interval index within that gene's cuts (`0..=cuts.len()`).
+    pub interval: usize,
+    /// Inclusive lower bound (`-inf` for the first interval).
+    #[serde(with = "serde_maybe_inf")]
+    pub lo: f64,
+    /// Exclusive upper bound (`+inf` for the last interval).
+    #[serde(with = "serde_maybe_inf")]
+    pub hi: f64,
+}
+
+/// JSON has no ±infinity: encode the unbounded interval ends as the
+/// strings `"inf"`/`"-inf"` and finite bounds as plain numbers.
+mod serde_maybe_inf {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        if v.is_finite() {
+            s.serialize_f64(*v)
+        } else if *v > 0.0 {
+            s.serialize_str("inf")
+        } else {
+            s.serialize_str("-inf")
+        }
+    }
+
+    #[derive(Deserialize)]
+    #[serde(untagged)]
+    enum Repr {
+        Num(f64),
+        Tag(String),
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        match Repr::deserialize(d)? {
+            Repr::Num(v) => Ok(v),
+            Repr::Tag(t) if t == "inf" => Ok(f64::INFINITY),
+            Repr::Tag(t) if t == "-inf" => Ok(f64::NEG_INFINITY),
+            Repr::Tag(t) => Err(serde::de::Error::custom(format!("bad bound '{t}'"))),
+        }
+    }
+}
+
+/// A fitted entropy-MDL discretizer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Discretizer {
+    gene_names: Vec<String>,
+    /// Genes that received at least one cut, with their cut points.
+    selected: Vec<(usize, Cuts)>,
+    /// Flat item table; items of one gene are contiguous.
+    items: Vec<ItemDesc>,
+    /// `item_base[k]` = first item id of `selected[k]`'s gene.
+    item_base: Vec<usize>,
+}
+
+impl Discretizer {
+    /// Fits cut points on a training dataset.
+    pub fn fit(train: &ContinuousDataset) -> Discretizer {
+        let n = train.n_samples();
+        let mut column = vec![0.0f64; n];
+        let mut selected = Vec::new();
+        let mut items = Vec::new();
+        let mut item_base = Vec::new();
+        for g in 0..train.n_genes() {
+            for (s, slot) in column.iter_mut().enumerate() {
+                *slot = train.value(s, g);
+            }
+            let cuts = mdl_cuts(&column, train.labels(), train.n_classes());
+            if cuts.is_empty() {
+                continue;
+            }
+            item_base.push(items.len());
+            for interval in 0..=cuts.len() {
+                let lo = if interval == 0 { f64::NEG_INFINITY } else { cuts[interval - 1] };
+                let hi = if interval == cuts.len() { f64::INFINITY } else { cuts[interval] };
+                items.push(ItemDesc { gene: g, interval, lo, hi });
+            }
+            selected.push((g, cuts));
+        }
+        Discretizer { gene_names: train.gene_names().to_vec(), selected, items, item_base }
+    }
+
+    /// Fits on `train` and immediately transforms it.
+    ///
+    /// # Errors
+    /// Returns [`NoInformativeGenes`] if no gene received a cut.
+    pub fn fit_transform(
+        train: &ContinuousDataset,
+    ) -> Result<(Discretizer, BoolDataset), NoInformativeGenes> {
+        let d = Self::fit(train);
+        let b = d.transform(train)?;
+        Ok((d, b))
+    }
+
+    /// Number of boolean items (`|G|` at the BST level).
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Gene columns that survived discretization — the paper's
+    /// "Genes After Discretization" (used to restrict SVM/random-forest
+    /// inputs in §6.1).
+    pub fn selected_genes(&self) -> Vec<usize> {
+        self.selected.iter().map(|(g, _)| *g).collect()
+    }
+
+    /// Cut points of a selected gene, or `None` if the gene was dropped.
+    pub fn cuts_for_gene(&self, gene: usize) -> Option<&[f64]> {
+        self.selected
+            .iter()
+            .find(|(g, _)| *g == gene)
+            .map(|(_, cuts)| cuts.as_slice())
+    }
+
+    /// The item descriptors, indexed by item id.
+    pub fn items(&self) -> &[ItemDesc] {
+        &self.items
+    }
+
+    /// Applies the fitted cuts to a dataset over the same gene universe.
+    ///
+    /// # Errors
+    /// Returns [`NoInformativeGenes`] if the fit selected zero genes.
+    ///
+    /// # Panics
+    /// Panics if `data` has a different number of genes than the fitted
+    /// training set.
+    pub fn transform(&self, data: &ContinuousDataset) -> Result<BoolDataset, NoInformativeGenes> {
+        assert_eq!(
+            data.n_genes(),
+            self.gene_names.len(),
+            "transform: gene universe differs from the fitted dataset"
+        );
+        if self.items.is_empty() {
+            return Err(NoInformativeGenes);
+        }
+        let n_items = self.items.len();
+        let mut samples = Vec::with_capacity(data.n_samples());
+        for s in 0..data.n_samples() {
+            let mut set = BitSet::new(n_items);
+            for (k, (g, cuts)) in self.selected.iter().enumerate() {
+                let interval = interval_of(cuts, data.value(s, *g));
+                set.insert(self.item_base[k] + interval);
+            }
+            samples.push(set);
+        }
+        let item_names = self
+            .items
+            .iter()
+            .map(|it| {
+                format!(
+                    "{}@[{},{})",
+                    self.gene_names[it.gene],
+                    fmt_bound(it.lo),
+                    fmt_bound(it.hi)
+                )
+            })
+            .collect();
+        Ok(BoolDataset::new(
+            item_names,
+            data.class_names().to_vec(),
+            samples,
+            data.labels().to_vec(),
+        )
+        .expect("discretizer output is valid by construction"))
+    }
+}
+
+fn fmt_bound(v: f64) -> String {
+    if v == f64::NEG_INFINITY {
+        "-inf".into()
+    } else if v == f64::INFINITY {
+        "inf".into()
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 8-sample, 3-gene toy set: gene 0 separates the classes perfectly,
+    /// gene 1 is noise, gene 2 separates with one mistake.
+    fn toy() -> ContinuousDataset {
+        ContinuousDataset::new(
+            vec!["gA".into(), "gB".into(), "gC".into()],
+            vec!["neg".into(), "pos".into()],
+            vec![
+                vec![1.0, 5.0, 2.0],
+                vec![1.2, 3.0, 2.2],
+                vec![0.8, 5.5, 1.9],
+                vec![1.1, 2.9, 8.0], // the gC mistake
+                vec![9.0, 5.1, 8.1],
+                vec![9.2, 3.2, 8.3],
+                vec![8.9, 5.2, 8.2],
+                vec![9.1, 3.1, 8.4],
+            ],
+            vec![0, 0, 0, 0, 1, 1, 1, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fit_selects_informative_genes_only() {
+        let d = Discretizer::fit(&toy());
+        let sel = d.selected_genes();
+        assert!(sel.contains(&0), "gA must be selected: {sel:?}");
+        assert!(!sel.contains(&1), "gB is noise: {sel:?}");
+        assert!(d.cuts_for_gene(0).is_some());
+        assert!(d.cuts_for_gene(1).is_none());
+    }
+
+    #[test]
+    fn transform_sets_one_item_per_selected_gene() {
+        let (d, b) = Discretizer::fit_transform(&toy()).unwrap();
+        assert_eq!(b.n_samples(), 8);
+        for s in 0..b.n_samples() {
+            assert_eq!(
+                b.sample(s).len(),
+                d.selected_genes().len(),
+                "each sample expresses exactly one interval per selected gene"
+            );
+        }
+    }
+
+    #[test]
+    fn transform_separates_classes_on_clean_gene() {
+        let (d, b) = Discretizer::fit_transform(&toy()).unwrap();
+        // All class-0 samples share gA's low-interval item; all class-1
+        // samples share the high-interval item.
+        let low_item = d
+            .items()
+            .iter()
+            .position(|it| it.gene == 0 && it.interval == 0)
+            .unwrap();
+        for s in 0..b.n_samples() {
+            assert_eq!(b.expresses(s, low_item), b.label(s) == 0);
+        }
+    }
+
+    #[test]
+    fn transform_applies_training_cuts_to_new_data() {
+        let d = Discretizer::fit(&toy());
+        let test = ContinuousDataset::new(
+            vec!["gA".into(), "gB".into(), "gC".into()],
+            vec!["neg".into(), "pos".into()],
+            vec![vec![0.5, 4.0, 2.0], vec![10.0, 4.0, 9.0]],
+            vec![0, 1],
+        )
+        .unwrap();
+        let b = d.transform(&test).unwrap();
+        assert_eq!(b.n_samples(), 2);
+        assert_eq!(b.n_items(), d.n_items());
+        // The two test samples land in different gA intervals.
+        let ga_items: Vec<usize> =
+            d.items().iter().enumerate().filter(|(_, it)| it.gene == 0).map(|(i, _)| i).collect();
+        let in_ga = |s: usize| ga_items.iter().find(|&&i| b.expresses(s, i)).copied();
+        assert_ne!(in_ga(0), in_ga(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "gene universe differs")]
+    fn transform_rejects_wrong_universe() {
+        let d = Discretizer::fit(&toy());
+        let other = ContinuousDataset::new(
+            vec!["x".into()],
+            vec!["neg".into()],
+            vec![vec![1.0]],
+            vec![0],
+        )
+        .unwrap();
+        let _ = d.transform(&other);
+    }
+
+    #[test]
+    fn item_names_describe_intervals() {
+        let (d, b) = Discretizer::fit_transform(&toy()).unwrap();
+        let names = b.item_names();
+        assert_eq!(names.len(), d.n_items());
+        assert!(names[0].starts_with("gA@[-inf,"), "{}", names[0]);
+        assert!(names.last().unwrap().ends_with(",inf)"), "{}", names.last().unwrap());
+    }
+
+    #[test]
+    fn item_intervals_partition_the_line() {
+        let d = Discretizer::fit(&toy());
+        // For each selected gene, intervals must tile (-inf, inf) in order.
+        for &g in &d.selected_genes() {
+            let items: Vec<&ItemDesc> = d.items().iter().filter(|it| it.gene == g).collect();
+            assert_eq!(items[0].lo, f64::NEG_INFINITY);
+            assert_eq!(items.last().unwrap().hi, f64::INFINITY);
+            for w in items.windows(2) {
+                assert_eq!(w[0].hi, w[1].lo);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Class-entropy primitives shared by the MDL partitioner (and reused by
+//! the decision-tree baselines through their own copies of these formulas).
+
+/// Shannon entropy (bits) of a class-count histogram.
+///
+/// Zero counts contribute nothing; an empty or single-class histogram has
+/// entropy 0.
+pub fn class_entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Number of distinct classes present in a histogram.
+pub fn classes_present(counts: &[usize]) -> usize {
+    counts.iter().filter(|&&c| c > 0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn pure_histogram_has_zero_entropy() {
+        assert_eq!(class_entropy(&[10, 0, 0]), 0.0);
+        assert_eq!(class_entropy(&[0, 0, 0]), 0.0);
+        assert_eq!(class_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn uniform_two_class_entropy_is_one_bit() {
+        assert!(close(class_entropy(&[5, 5]), 1.0));
+    }
+
+    #[test]
+    fn uniform_four_class_entropy_is_two_bits() {
+        assert!(close(class_entropy(&[3, 3, 3, 3]), 2.0));
+    }
+
+    #[test]
+    fn skewed_histogram_entropy() {
+        // H(1/4, 3/4) = 2 - (3/4) log2 3 ≈ 0.811278
+        assert!(close(class_entropy(&[1, 3]), 2.0 - 0.75 * 3f64.log2()));
+    }
+
+    #[test]
+    fn entropy_is_maximal_when_uniform() {
+        let uniform = class_entropy(&[4, 4, 4]);
+        assert!(class_entropy(&[6, 4, 2]) < uniform);
+        assert!(class_entropy(&[10, 1, 1]) < uniform);
+    }
+
+    #[test]
+    fn classes_present_counts_nonzero() {
+        assert_eq!(classes_present(&[0, 3, 0, 1]), 2);
+        assert_eq!(classes_present(&[0, 0]), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # discretize — entropy-minimized (Fayyad–Irani MDL) discretization
+//!
+//! The BSTC paper discretizes continuous gene expression with the
+//! entropy-minimized partition of the R `dprep` package (§6). This crate
+//! reimplements that method:
+//!
+//! * [`entropy`] — class-entropy primitives;
+//! * [`mdl`] — the recursive Fayyad–Irani partitioner with the MDL
+//!   acceptance rule;
+//! * [`binarize`] — [`Discretizer`], which fits cuts on training data,
+//!   drops cut-less genes (the paper's implicit gene selection), and
+//!   transforms continuous datasets into boolean item datasets.
+//!
+//! ```
+//! use discretize::Discretizer;
+//! use microarray::synth::presets;
+//!
+//! let data = presets::all_aml(7).scaled_down(50).generate();
+//! let (disc, boolean) = Discretizer::fit_transform(&data).unwrap();
+//! assert!(disc.selected_genes().len() <= data.n_genes());
+//! assert_eq!(boolean.n_samples(), data.n_samples());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binarize;
+pub mod entropy;
+pub mod mdl;
+
+pub use binarize::{Discretizer, ItemDesc, NoInformativeGenes};
+pub use mdl::{interval_of, mdl_cuts};

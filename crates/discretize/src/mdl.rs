@@ -1,0 +1,226 @@
+//! Fayyad–Irani entropy-minimized partitioning with the MDL stopping rule.
+//!
+//! This is the algorithm behind the R `dprep` package's `disc.mentr`, which
+//! the paper uses for all discretization (§6: "All discretization was done
+//! using the entropy-minimized partition"). For one gene:
+//!
+//! 1. sort the training samples by expression value;
+//! 2. consider a cut at every midpoint between adjacent *distinct* values;
+//! 3. take the cut minimizing the class-information entropy of the induced
+//!    two-way partition;
+//! 4. accept it iff the information gain clears the MDL criterion
+//!    `gain > (log2(N−1) + Δ)/N` with
+//!    `Δ = log2(3^k − 2) − [k·E(S) − k₁·E(S₁) − k₂·E(S₂)]`;
+//! 5. recurse into both halves.
+//!
+//! A gene whose full range admits no accepted cut carries no (MDL-visible)
+//! class information and is dropped by the binarizer — this is exactly how
+//! the paper goes from 7129 genes to the 866 of Table 3.
+
+use crate::entropy::{class_entropy, classes_present};
+use microarray::ClassId;
+
+/// Cut points accepted for a single gene, ascending. May be empty.
+pub type Cuts = Vec<f64>;
+
+/// Computes the MDL-accepted cut points for one gene.
+///
+/// `values[i]` is the gene's expression in training sample `i`, and
+/// `labels[i]` that sample's class in `0..n_classes`.
+///
+/// # Panics
+/// Panics if the slices differ in length or any value is non-finite.
+pub fn mdl_cuts(values: &[f64], labels: &[ClassId], n_classes: usize) -> Cuts {
+    assert_eq!(values.len(), labels.len(), "values/labels length mismatch");
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "expression values must be finite for discretization"
+    );
+    if values.len() < 2 {
+        return Vec::new();
+    }
+
+    // Sort once; recursion works on ranges of the sorted order.
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_unstable_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let sorted: Vec<(f64, ClassId)> = order.iter().map(|&i| (values[i], labels[i])).collect();
+
+    let mut cuts = Vec::new();
+    partition(&sorted, 0, sorted.len(), n_classes, &mut cuts);
+    cuts.sort_unstable_by(f64::total_cmp);
+    cuts
+}
+
+/// Recursively partitions `sorted[lo..hi]`, pushing accepted cut values.
+fn partition(sorted: &[(f64, ClassId)], lo: usize, hi: usize, n_classes: usize, cuts: &mut Cuts) {
+    let n = hi - lo;
+    if n < 2 {
+        return;
+    }
+
+    // Class histogram of the whole range.
+    let mut total = vec![0usize; n_classes];
+    for &(_, c) in &sorted[lo..hi] {
+        total[c] += 1;
+    }
+    let ent_s = class_entropy(&total);
+    if ent_s == 0.0 {
+        return; // already pure
+    }
+
+    // Scan cut positions: a cut between index i-1 and i is legal only when
+    // the values differ (equal values must stay together).
+    let mut left = vec![0usize; n_classes];
+    let mut best: Option<(usize, f64, f64, f64)> = None; // (pos, weighted entropy, e1, e2)
+    for i in lo + 1..hi {
+        left[sorted[i - 1].1] += 1;
+        if sorted[i - 1].0 == sorted[i].0 {
+            continue;
+        }
+        let right: Vec<usize> = total.iter().zip(&left).map(|(t, l)| t - l).collect();
+        let e1 = class_entropy(&left);
+        let e2 = class_entropy(&right);
+        let n1 = (i - lo) as f64;
+        let n2 = (hi - i) as f64;
+        let weighted = (n1 * e1 + n2 * e2) / n as f64;
+        if best.is_none_or(|(_, w, _, _)| weighted < w) {
+            best = Some((i, weighted, e1, e2));
+        }
+    }
+    let Some((pos, weighted, e1, e2)) = best else {
+        return; // all values equal: nothing to cut
+    };
+
+    let gain = ent_s - weighted;
+
+    // MDL acceptance test (Fayyad & Irani 1993).
+    let k = classes_present(&total) as f64;
+    let mut left_hist = vec![0usize; n_classes];
+    for &(_, c) in &sorted[lo..pos] {
+        left_hist[c] += 1;
+    }
+    let right_hist: Vec<usize> = total.iter().zip(&left_hist).map(|(t, l)| t - l).collect();
+    let k1 = classes_present(&left_hist) as f64;
+    let k2 = classes_present(&right_hist) as f64;
+    let delta = (3f64.powf(k) - 2.0).log2() - (k * ent_s - k1 * e1 - k2 * e2);
+    let threshold = ((n as f64 - 1.0).log2() + delta) / n as f64;
+
+    if gain <= threshold {
+        return;
+    }
+
+    // Cut value: midpoint between the adjacent distinct values.
+    cuts.push((sorted[pos - 1].0 + sorted[pos].0) / 2.0);
+    partition(sorted, lo, pos, n_classes, cuts);
+    partition(sorted, pos, hi, n_classes, cuts);
+}
+
+/// Maps a value to its interval index given ascending cut points:
+/// `0` for `v < cuts[0]`, `i` for `cuts[i-1] <= v < cuts[i]`, etc.
+#[inline]
+pub fn interval_of(cuts: &[f64], v: f64) -> usize {
+    cuts.partition_point(|&c| v >= c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_separated_gene_gets_one_cut() {
+        // class 0 clustered near 1.0, class 1 near 10.0 — a textbook cut.
+        let values = [1.0, 1.1, 0.9, 1.05, 10.0, 10.2, 9.8, 10.1];
+        let labels = [0, 0, 0, 0, 1, 1, 1, 1];
+        let cuts = mdl_cuts(&values, &labels, 2);
+        assert_eq!(cuts.len(), 1);
+        assert!(cuts[0] > 1.1 && cuts[0] < 9.8, "cut at {}", cuts[0]);
+    }
+
+    #[test]
+    fn uninformative_gene_gets_no_cut() {
+        // Classes interleaved: no cut clears MDL.
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let labels = [0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(mdl_cuts(&values, &labels, 2).is_empty());
+    }
+
+    #[test]
+    fn pure_class_gets_no_cut() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let labels = [0, 0, 0, 0];
+        assert!(mdl_cuts(&values, &labels, 2).is_empty());
+    }
+
+    #[test]
+    fn constant_gene_gets_no_cut() {
+        let values = [5.0; 10];
+        let labels = [0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(mdl_cuts(&values, &labels, 2).is_empty());
+    }
+
+    #[test]
+    fn tiny_inputs_get_no_cut() {
+        assert!(mdl_cuts(&[], &[], 2).is_empty());
+        assert!(mdl_cuts(&[1.0], &[0], 2).is_empty());
+    }
+
+    #[test]
+    fn three_well_separated_classes_get_two_cuts() {
+        let mut values = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in [(0usize, 1.0f64), (1, 10.0), (2, 20.0)] {
+            for i in 0..12 {
+                values.push(center + 0.01 * i as f64);
+                labels.push(c);
+            }
+        }
+        let cuts = mdl_cuts(&values, &labels, 3);
+        assert_eq!(cuts.len(), 2, "cuts: {cuts:?}");
+        assert!(cuts[0] > 1.2 && cuts[0] < 10.0);
+        assert!(cuts[1] > 10.2 && cuts[1] < 20.0);
+    }
+
+    #[test]
+    fn cut_never_splits_equal_values() {
+        // Equal values with different classes cannot be separated.
+        let values = [1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0];
+        let labels = [0, 0, 1, 0, 1, 1, 0, 1];
+        let cuts = mdl_cuts(&values, &labels, 2);
+        for c in cuts {
+            assert!(c > 1.0 && c < 2.0);
+        }
+    }
+
+    #[test]
+    fn interval_of_maps_correctly() {
+        let cuts = [1.0, 5.0, 9.0];
+        assert_eq!(interval_of(&cuts, -3.0), 0);
+        assert_eq!(interval_of(&cuts, 0.999), 0);
+        assert_eq!(interval_of(&cuts, 1.0), 1); // boundary goes right
+        assert_eq!(interval_of(&cuts, 4.0), 1);
+        assert_eq!(interval_of(&cuts, 7.5), 2);
+        assert_eq!(interval_of(&cuts, 9.0), 3);
+        assert_eq!(interval_of(&cuts, 1e9), 3);
+        assert_eq!(interval_of(&[], 3.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_values_panic() {
+        mdl_cuts(&[1.0, f64::NAN], &[0, 1], 2);
+    }
+
+    #[test]
+    fn order_of_input_does_not_matter() {
+        let values = [10.0, 1.0, 9.8, 1.1, 10.2, 0.9];
+        let labels = [1, 0, 1, 0, 1, 0];
+        let mut shuffled_vals = values.to_vec();
+        let mut shuffled_labels = labels.to_vec();
+        shuffled_vals.reverse();
+        shuffled_labels.reverse();
+        assert_eq!(
+            mdl_cuts(&values, &labels, 2),
+            mdl_cuts(&shuffled_vals, &shuffled_labels, 2)
+        );
+    }
+}

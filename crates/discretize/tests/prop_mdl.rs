@@ -1,0 +1,144 @@
+//! Property tests for the MDL partitioner and the binarizer.
+
+use discretize::{interval_of, mdl_cuts, Discretizer};
+use microarray::ContinuousDataset;
+use proptest::prelude::*;
+
+/// Random labelled value column: up to 40 samples, 2–3 classes.
+fn column() -> impl Strategy<Value = (Vec<f64>, Vec<usize>, usize)> {
+    (2usize..4, 2usize..40).prop_flat_map(|(n_classes, n)| {
+        (
+            prop::collection::vec(-100.0f64..100.0, n),
+            prop::collection::vec(0..n_classes, n),
+            Just(n_classes),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn cuts_are_sorted_strictly_inside_the_range((values, labels, k) in column()) {
+        let cuts = mdl_cuts(&values, &labels, k);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for w in cuts.windows(2) {
+            prop_assert!(w[0] < w[1], "cuts not strictly increasing: {:?}", cuts);
+        }
+        for &c in &cuts {
+            prop_assert!(c > lo && c < hi, "cut {c} outside ({lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn cuts_never_split_equal_values((values, labels, k) in column()) {
+        let cuts = mdl_cuts(&values, &labels, k);
+        for &c in &cuts {
+            // No data point may ever equal a cut's two flanking values at
+            // once; equivalently no value sits in an interval of width 0.
+            prop_assert!(values.iter().all(|&v| v != c || values.iter().any(|&u| u > v) ),
+                "cut {c} coincides suspiciously with data");
+        }
+        // Stronger check: every accepted cut has data strictly on both sides.
+        for &c in &cuts {
+            prop_assert!(values.iter().any(|&v| v < c));
+            prop_assert!(values.iter().any(|&v| v >= c));
+        }
+    }
+
+    #[test]
+    fn every_accepted_cut_has_positive_information_gain((values, labels, k) in column()) {
+        // Information gain of any accepted top-level cut over the whole
+        // range must be positive: splitting can never *increase* entropy,
+        // and MDL only accepts strict improvements.
+        let cuts = mdl_cuts(&values, &labels, k);
+        if cuts.is_empty() { return Ok(()); }
+        let ent = |idx: &[usize]| {
+            let mut h = vec![0usize; k];
+            for &i in idx { h[labels[i]] += 1; }
+            discretize::entropy::class_entropy(&h)
+        };
+        let all: Vec<usize> = (0..values.len()).collect();
+        for &c in &cuts {
+            let left: Vec<usize> = all.iter().copied().filter(|&i| values[i] < c).collect();
+            let right: Vec<usize> = all.iter().copied().filter(|&i| values[i] >= c).collect();
+            let n = values.len() as f64;
+            let weighted =
+                (left.len() as f64 * ent(&left) + right.len() as f64 * ent(&right)) / n;
+            prop_assert!(ent(&all) - weighted > -1e-12,
+                "cut {c} increased entropy");
+        }
+    }
+
+    #[test]
+    fn interval_of_is_monotone(raw_cuts in prop::collection::vec(-50.0f64..50.0, 0..6),
+                               mut probes in prop::collection::vec(-60.0f64..60.0, 1..20)) {
+        let mut cuts = raw_cuts;
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup();
+        probes.sort_by(f64::total_cmp);
+        let mut last = 0usize;
+        for (i, &p) in probes.iter().enumerate() {
+            let iv = interval_of(&cuts, p);
+            prop_assert!(iv <= cuts.len());
+            if i > 0 {
+                prop_assert!(iv >= last, "interval_of not monotone");
+            }
+            last = iv;
+        }
+    }
+}
+
+/// Random small continuous dataset (each class non-empty).
+fn cont_dataset() -> impl Strategy<Value = ContinuousDataset> {
+    (2usize..4, 2usize..6, 4usize..20).prop_flat_map(|(n_classes, n_genes, extra)| {
+        let n_samples = n_classes + extra;
+        (
+            prop::collection::vec(
+                prop::collection::vec(-10.0f64..10.0, n_genes),
+                n_samples,
+            ),
+            prop::collection::vec(0..n_classes, n_samples - n_classes),
+        )
+            .prop_map(move |(values, tail)| {
+                let mut labels: Vec<usize> = (0..n_classes).collect();
+                labels.extend(tail);
+                ContinuousDataset::new(
+                    (0..n_genes).map(|g| format!("g{g}")).collect(),
+                    (0..n_classes).map(|c| format!("c{c}")).collect(),
+                    values,
+                    labels,
+                )
+                .unwrap()
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transform_is_total_and_one_hot(d in cont_dataset()) {
+        let Ok((disc, b)) = Discretizer::fit_transform(&d) else {
+            // No informative genes for this random dataset: fine.
+            return Ok(());
+        };
+        prop_assert_eq!(b.n_samples(), d.n_samples());
+        prop_assert_eq!(b.labels(), d.labels());
+        // Exactly one expressed item per selected gene per sample.
+        let n_selected = disc.selected_genes().len();
+        for s in 0..b.n_samples() {
+            prop_assert_eq!(b.sample(s).len(), n_selected);
+        }
+    }
+
+    #[test]
+    fn transform_is_deterministic(d in cont_dataset()) {
+        let a = Discretizer::fit(&d);
+        let b = Discretizer::fit(&d);
+        prop_assert_eq!(a.selected_genes(), b.selected_genes());
+        let (Ok(ta), Ok(tb)) = (a.transform(&d), b.transform(&d)) else {
+            return Ok(());
+        };
+        for s in 0..ta.n_samples() {
+            prop_assert_eq!(ta.sample(s), tb.sample(s));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Confusion matrices and per-class metrics — evaluation depth beyond the
+//! paper's single accuracy numbers (useful for the ALL/AML §6.1
+//! observation that *all* of BSTC's errors went in one direction).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `K × K` confusion matrix: `counts[truth][pred]`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds from parallel prediction/truth slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or labels `>= n_classes`.
+    pub fn from_predictions(pred: &[usize], truth: &[usize], n_classes: usize) -> ConfusionMatrix {
+        assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&p, &t) in pred.iter().zip(truth) {
+            assert!(p < n_classes && t < n_classes, "label out of range");
+            counts[t][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `counts[truth][pred]`.
+    pub fn count(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth][pred]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy; 0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let hits: usize = (0..self.n_classes()).map(|c| self.counts[c][c]).sum();
+        hits as f64 / total as f64
+    }
+
+    /// Recall (sensitivity) of one class: `TP / (TP + FN)`; `None` when the
+    /// class has no true members.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: usize = self.counts[class].iter().sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / row as f64)
+        }
+    }
+
+    /// Precision of one class: `TP / (TP + FP)`; `None` when the class was
+    /// never predicted.
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col: usize = (0..self.n_classes()).map(|t| self.counts[t][class]).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / col as f64)
+        }
+    }
+
+    /// Specificity of one class: `TN / (TN + FP)`; `None` when the class
+    /// covers every observation.
+    pub fn specificity(&self, class: usize) -> Option<f64> {
+        let mut tn = 0usize;
+        let mut fp = 0usize;
+        for t in 0..self.n_classes() {
+            for p in 0..self.n_classes() {
+                if t != class {
+                    if p == class {
+                        fp += self.counts[t][p];
+                    } else {
+                        tn += self.counts[t][p];
+                    }
+                }
+            }
+        }
+        if tn + fp == 0 {
+            None
+        } else {
+            Some(tn as f64 / (tn + fp) as f64)
+        }
+    }
+
+    /// True if every error confuses `from` (truth) as `to` (prediction) —
+    /// the §6.1 "all errors were made in this same direction" check.
+    pub fn errors_all_in_direction(&self, from: usize, to: usize) -> bool {
+        let mut total_errors = 0usize;
+        for t in 0..self.n_classes() {
+            for p in 0..self.n_classes() {
+                if t != p {
+                    total_errors += self.counts[t][p];
+                }
+            }
+        }
+        total_errors > 0 && self.counts[from][to] == total_errors
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "truth \\ pred")?;
+        for t in 0..self.n_classes() {
+            for p in 0..self.n_classes() {
+                write!(f, "{:>6}", self.counts[t][p])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> ConfusionMatrix {
+        // truth:  0 0 0 0 1 1 1
+        // pred:   0 0 1 1 1 1 0
+        ConfusionMatrix::from_predictions(&[0, 0, 1, 1, 1, 1, 0], &[0, 0, 0, 0, 1, 1, 1], 2)
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let c = m();
+        assert_eq!(c.count(0, 0), 2);
+        assert_eq!(c.count(0, 1), 2);
+        assert_eq!(c.count(1, 1), 2);
+        assert_eq!(c.count(1, 0), 1);
+        assert_eq!(c.total(), 7);
+        assert!((c.accuracy() - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_metrics() {
+        let c = m();
+        assert!((c.recall(0).unwrap() - 0.5).abs() < 1e-12);
+        assert!((c.recall(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.precision(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.precision(1).unwrap() - 0.5).abs() < 1e-12);
+        assert!((c.specificity(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.specificity(1).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_directional_errors_detected() {
+        // The §6.1 ALL/AML case: every error mistakes class 0 for class 1.
+        let c = ConfusionMatrix::from_predictions(&[1, 1, 0, 1, 1], &[0, 0, 0, 1, 1], 2);
+        assert!(c.errors_all_in_direction(0, 1));
+        assert!(!c.errors_all_in_direction(1, 0));
+        // No errors: the predicate is false (nothing to be directional).
+        let perfect = ConfusionMatrix::from_predictions(&[0, 1], &[0, 1], 2);
+        assert!(!perfect.errors_all_in_direction(0, 1));
+    }
+
+    #[test]
+    fn undefined_metrics_are_none() {
+        let c = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0], 2);
+        assert!(c.recall(1).is_none()); // class 1 never true
+        assert!(c.precision(1).is_none()); // class 1 never predicted
+        assert!(c.specificity(0).is_none()); // everything is class 0
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let s = m().to_string();
+        assert!(s.contains("truth"));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn multiclass_matrix() {
+        let c = ConfusionMatrix::from_predictions(&[0, 1, 2, 2], &[0, 1, 2, 1], 3);
+        assert_eq!(c.n_classes(), 3);
+        assert_eq!(c.count(1, 2), 1);
+        assert!((c.accuracy() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Plain-text tables (aligned like the paper's) and JSON result artifacts.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple aligned text table builder.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; must match the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width != header width");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}", w = widths[c]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting — callers use plain cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Formats a runtime like the paper's tables: `"418.81"`, or `"≥ 7200.00"`
+/// when the run hit its cutoff (a lower bound).
+pub fn fmt_runtime(secs: f64, dnf: bool) -> String {
+    if dnf {
+        format!(">= {secs:.2}")
+    } else {
+        format!("{secs:.2}")
+    }
+}
+
+/// Formats an accuracy as a percentage (`"95.59%"`) or `"-"` when absent
+/// (the paper's em-dash for tests RCBT could not finish).
+pub fn fmt_accuracy(acc: Option<f64>) -> String {
+    match acc {
+        Some(a) => format!("{:.2}%", a * 100.0),
+        None => "-".to_string(),
+    }
+}
+
+/// Writes any serializable result next to the text output, creating parent
+/// directories as needed.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["Training", "BSTC", "RCBT"]);
+        t.row(vec!["40%", "2.13", "418.81"]);
+        t.row(vec!["1-52/0-50", "5.57", ">= 7200.00"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Training"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].contains(">= 7200.00"));
+        // Columns align: "BSTC" column starts at the same offset in all rows.
+        let off = lines[0].find("BSTC").unwrap();
+        assert_eq!(&lines[2][off..off + 4], "2.13");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = TextTable::new(vec!["x", "y"]);
+        t.row(vec!["1", "2"]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn runtime_and_accuracy_formats() {
+        assert_eq!(fmt_runtime(418.81, false), "418.81");
+        assert_eq!(fmt_runtime(7200.0, true), ">= 7200.00");
+        assert_eq!(fmt_accuracy(Some(0.9559)), "95.59%");
+        assert_eq!(fmt_accuracy(None), "-");
+    }
+
+    #[test]
+    fn json_writer_creates_dirs() {
+        let dir = std::env::temp_dir().join("bstc_eval_test");
+        let path = dir.join("nested/out.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_json(&path, &vec![1, 2, 3]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains('1'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

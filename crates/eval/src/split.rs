@@ -1,0 +1,218 @@
+//! Train/test splits for the §6.2 cross-validation studies.
+//!
+//! The paper produces training sets two ways, 25 independent tests each:
+//!
+//! * **percent splits** — "randomly selecting samples from the original
+//!   combined dataset" at 40 %, 60 %, 80 % (unstratified);
+//! * **1-x/0-y splits** — exactly `x` class-1 and `y` class-0 samples,
+//!   matching the clinically-determined training proportions.
+//!
+//! All splits are seeded and deterministic. A split that leaves some class
+//! without a training sample cannot train any of the classifiers, so the
+//! generator deterministically re-draws with a salted seed until every
+//! class is represented (with the paper's dataset sizes this virtually
+//! never triggers; tiny test datasets exercise it).
+
+use microarray::SampleId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How a training set is drawn.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SplitSpec {
+    /// Random fraction of all samples (the paper's 40/60/80 %).
+    Fraction(f64),
+    /// Exact per-class training counts, indexed by class id (the paper's
+    /// 1-x/0-y tests: `counts[0] = y`, `counts[1] = x`).
+    FixedCounts(Vec<usize>),
+}
+
+impl SplitSpec {
+    /// A short label like `"60%"` or `"1-52/0-50"` used in tables.
+    pub fn label(&self) -> String {
+        match self {
+            SplitSpec::Fraction(f) => format!("{:.0}%", f * 100.0),
+            SplitSpec::FixedCounts(counts) => {
+                // Paper order: class 1 first.
+                let parts: Vec<String> = counts
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .map(|(c, n)| format!("{c}-{n}"))
+                    .collect();
+                parts.join("/")
+            }
+        }
+    }
+}
+
+/// A materialized split: disjoint, exhaustive train/test sample ids.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    /// Training sample ids (ascending).
+    pub train: Vec<SampleId>,
+    /// Test sample ids (ascending).
+    pub test: Vec<SampleId>,
+}
+
+/// Draws one split of `labels` (one class id per sample) per `spec`.
+///
+/// # Panics
+/// Panics if the spec is infeasible: a fraction outside (0, 1) leaving an
+/// empty side, or fixed counts exceeding a class's size or covering every
+/// sample of the dataset (no test data).
+pub fn draw_split(labels: &[usize], n_classes: usize, spec: &SplitSpec, seed: u64) -> Split {
+    for salt in 0u64.. {
+        let split = draw_once(labels, n_classes, spec, seed.wrapping_add(salt.wrapping_mul(0x9e3779b97f4a7c15)));
+        if split_is_trainable(labels, n_classes, &split) {
+            return split;
+        }
+        assert!(salt < 1000, "could not draw a split with every class in training");
+    }
+    unreachable!()
+}
+
+fn draw_once(labels: &[usize], n_classes: usize, spec: &SplitSpec, seed: u64) -> Split {
+    let n = labels.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    match spec {
+        SplitSpec::Fraction(f) => {
+            assert!(*f > 0.0 && *f < 1.0, "fraction must be in (0,1)");
+            let train_n = ((n as f64) * f).round() as usize;
+            assert!(train_n >= 1 && train_n < n, "fraction leaves an empty side");
+            let mut ids: Vec<usize> = (0..n).collect();
+            ids.shuffle(&mut rng);
+            let mut train: Vec<usize> = ids[..train_n].to_vec();
+            let mut test: Vec<usize> = ids[train_n..].to_vec();
+            train.sort_unstable();
+            test.sort_unstable();
+            Split { train, test }
+        }
+        SplitSpec::FixedCounts(counts) => {
+            assert_eq!(counts.len(), n_classes, "one count per class");
+            let mut train = Vec::new();
+            for (class, &want) in counts.iter().enumerate() {
+                let mut members: Vec<usize> =
+                    (0..n).filter(|&s| labels[s] == class).collect();
+                assert!(
+                    want <= members.len(),
+                    "class {class} has {} samples, {want} requested",
+                    members.len()
+                );
+                members.shuffle(&mut rng);
+                train.extend_from_slice(&members[..want]);
+            }
+            train.sort_unstable();
+            assert!(train.len() < n, "fixed counts leave no test data");
+            let test: Vec<usize> =
+                (0..n).filter(|s| train.binary_search(s).is_err()).collect();
+            Split { train, test }
+        }
+    }
+}
+
+fn split_is_trainable(labels: &[usize], n_classes: usize, split: &Split) -> bool {
+    let mut seen = vec![false; n_classes];
+    for &s in &split.train {
+        seen[labels[s]] = true;
+    }
+    seen.iter().all(|&b| b) && !split.test.is_empty()
+}
+
+/// The `reps` independent splits of one cross-validation cell (the paper
+/// uses 25 per training-set size).
+pub fn draw_splits(
+    labels: &[usize],
+    n_classes: usize,
+    spec: &SplitSpec,
+    reps: usize,
+    base_seed: u64,
+) -> Vec<Split> {
+    (0..reps)
+        .map(|r| draw_split(labels, n_classes, spec, base_seed.wrapping_add(1000 * r as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<usize> {
+        // 6 of class 0, 4 of class 1.
+        vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1]
+    }
+
+    #[test]
+    fn fraction_split_sizes() {
+        let s = draw_split(&labels(), 2, &SplitSpec::Fraction(0.6), 1);
+        assert_eq!(s.train.len(), 6);
+        assert_eq!(s.test.len(), 4);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_exhaustive() {
+        let s = draw_split(&labels(), 2, &SplitSpec::Fraction(0.4), 9);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fixed_counts_exact() {
+        let s = draw_split(&labels(), 2, &SplitSpec::FixedCounts(vec![4, 2]), 3);
+        let l = labels();
+        let count = |ids: &[usize], class: usize| ids.iter().filter(|&&i| l[i] == class).count();
+        assert_eq!(count(&s.train, 0), 4);
+        assert_eq!(count(&s.train, 1), 2);
+        assert_eq!(s.test.len(), 4);
+    }
+
+    #[test]
+    fn splits_are_seed_deterministic() {
+        let a = draw_split(&labels(), 2, &SplitSpec::Fraction(0.6), 7);
+        let b = draw_split(&labels(), 2, &SplitSpec::Fraction(0.6), 7);
+        assert_eq!(a, b);
+        let c = draw_split(&labels(), 2, &SplitSpec::Fraction(0.6), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_class_lands_in_training() {
+        // 40% of 10 = 4 training samples; with a 1-sample class the redraw
+        // loop must place it.
+        let labels = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        for seed in 0..50 {
+            let s = draw_split(&labels, 2, &SplitSpec::Fraction(0.4), seed);
+            assert!(s.train.iter().any(|&i| labels[i] == 1), "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "has 4 samples")]
+    fn oversized_fixed_count_panics() {
+        draw_split(&labels(), 2, &SplitSpec::FixedCounts(vec![2, 5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no test data")]
+    fn full_coverage_fixed_count_panics() {
+        draw_split(&labels(), 2, &SplitSpec::FixedCounts(vec![6, 4]), 0);
+    }
+
+    #[test]
+    fn draw_splits_are_independent() {
+        let all = draw_splits(&labels(), 2, &SplitSpec::Fraction(0.6), 25, 42);
+        assert_eq!(all.len(), 25);
+        // Not all splits identical.
+        assert!(all.iter().any(|s| s != &all[0]));
+    }
+
+    #[test]
+    fn labels_render_like_the_paper() {
+        assert_eq!(SplitSpec::Fraction(0.4).label(), "40%");
+        // OC's 1-133/0-77 test: counts[0]=77, counts[1]=133.
+        assert_eq!(SplitSpec::FixedCounts(vec![77, 133]).label(), "1-133/0-77");
+    }
+}

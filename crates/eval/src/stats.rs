@@ -1,0 +1,313 @@
+//! Accuracy and distribution statistics, including the boxplot summary the
+//! paper plots in Figures 4–7 (§6.2's "Boxplot Interpretation").
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of positions where `pred == truth`.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+    assert!(!pred.is_empty(), "accuracy of zero samples is undefined");
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator; 0 for fewer than 2 points).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Linear-interpolation quantile (R type 7) of a *sorted* slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// The five-number-plus-outliers summary of §6.2:
+/// median (diamond), Q1/Q3 box, whiskers to the extremes unless outliers
+/// exist — then to 1.5×IQR — with near outliers (within 3×IQR, circles)
+/// and far outliers (asterisks) listed separately.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BoxplotStats {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean (reported in the paper's tables).
+    pub mean: f64,
+    /// Median (the diamond).
+    pub median: f64,
+    /// First quartile (box bottom).
+    pub q1: f64,
+    /// Third quartile (box top).
+    pub q3: f64,
+    /// Lower whisker end.
+    pub whisker_lo: f64,
+    /// Upper whisker end.
+    pub whisker_hi: f64,
+    /// Outliers within 3×IQR of the box (drawn as circles).
+    pub near_outliers: Vec<f64>,
+    /// Outliers beyond 3×IQR (drawn as asterisks).
+    pub far_outliers: Vec<f64>,
+}
+
+impl BoxplotStats {
+    /// Computes the summary.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn compute(values: &[f64]) -> BoxplotStats {
+        assert!(!values.is_empty(), "boxplot of zero observations");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let median = quantile_sorted(&sorted, 0.5);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let lo_far = q1 - 3.0 * iqr;
+        let hi_far = q3 + 3.0 * iqr;
+
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        for &v in &sorted {
+            if v < lo_fence || v > hi_fence {
+                if v < lo_far || v > hi_far {
+                    far.push(v);
+                } else {
+                    near.push(v);
+                }
+            }
+        }
+        // Whiskers: min/max unless outliers exist, then the most extreme
+        // values inside the 1.5×IQR fences.
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|&v| v >= lo_fence)
+            .unwrap_or(sorted[0]);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&v| v <= hi_fence)
+            .unwrap_or(*sorted.last().expect("non-empty"));
+
+        BoxplotStats {
+            n: sorted.len(),
+            mean: mean(&sorted),
+            median,
+            q1,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            near_outliers: near,
+            far_outliers: far,
+        }
+    }
+
+    /// ASCII rendering of the boxplot over a fixed `[lo, hi]` scale —
+    /// whiskers as `|---`, the box as `[===]`, the median as `M`, near
+    /// outliers as `o`, far outliers as `*`:
+    ///
+    /// ```text
+    ///        o   |-----[==M====]--|        *
+    /// ```
+    pub fn render_ascii(&self, lo: f64, hi: f64, width: usize) -> String {
+        assert!(hi > lo && width >= 10, "need a positive range and width >= 10");
+        let mut row = vec![' '; width];
+        let pos = |v: f64| -> usize {
+            let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            ((t * (width - 1) as f64).round() as usize).min(width - 1)
+        };
+        let (wl, q1, md, q3, wh) = (
+            pos(self.whisker_lo),
+            pos(self.q1),
+            pos(self.median),
+            pos(self.q3),
+            pos(self.whisker_hi),
+        );
+        for cell in row.iter_mut().take(q1).skip(wl) {
+            *cell = '-';
+        }
+        for cell in row.iter_mut().take(wh + 1).skip(q3) {
+            *cell = '-';
+        }
+        row[wl] = '|';
+        row[wh] = '|';
+        for cell in row.iter_mut().take(q3.max(q1 + 1)).skip(q1) {
+            *cell = '=';
+        }
+        row[q1] = '[';
+        row[q3] = ']';
+        row[md] = 'M';
+        for &v in &self.near_outliers {
+            row[pos(v)] = 'o';
+        }
+        for &v in &self.far_outliers {
+            row[pos(v)] = '*';
+        }
+        row.into_iter().collect()
+    }
+
+    /// One-line rendering for figure tables:
+    /// `med=… box=[…, …] whiskers=[…, …] outliers=…`.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "med={:.4} box=[{:.4},{:.4}] whiskers=[{:.4},{:.4}] mean={:.4}",
+            self.median, self.q1, self.q3, self.whisker_lo, self.whisker_hi, self.mean
+        );
+        if !self.near_outliers.is_empty() {
+            s.push_str(&format!(" near_outliers={:?}", self.near_outliers));
+        }
+        if !self.far_outliers.is_empty() {
+            s.push_str(&format!(" far_outliers={:?}", self.far_outliers));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+        assert_eq!(accuracy(&[1], &[0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138089935).abs() < 1e-6);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn boxplot_no_outliers_whiskers_to_extremes() {
+        let b = BoxplotStats::compute(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 5.0);
+        assert!(b.near_outliers.is_empty() && b.far_outliers.is_empty());
+    }
+
+    #[test]
+    fn boxplot_near_outlier() {
+        // q1=2.25, q3=4.75, IQR=2.5: 1.5×IQR fence at 8.5, 3×IQR at 12.25.
+        // 12 is past the fence but within 3×IQR: a near outlier (circle).
+        let b = BoxplotStats::compute(&[1.0, 2.0, 3.0, 4.0, 5.0, 12.0]);
+        assert_eq!(b.near_outliers, vec![12.0]);
+        assert!(b.far_outliers.is_empty());
+        // Whisker stops at the largest non-outlier.
+        assert_eq!(b.whisker_hi, 5.0);
+    }
+
+    #[test]
+    fn boxplot_far_outlier() {
+        let b = BoxplotStats::compute(&[1.0, 2.0, 3.0, 4.0, 5.0, 50.0]);
+        assert!(b.far_outliers.contains(&50.0), "{b:?}");
+        assert!(!b.near_outliers.contains(&50.0));
+    }
+
+    #[test]
+    fn boxplot_constant_data() {
+        let b = BoxplotStats::compute(&[0.9; 10]);
+        assert_eq!(b.median, 0.9);
+        assert_eq!(b.q1, 0.9);
+        assert_eq!(b.q3, 0.9);
+        assert_eq!(b.whisker_lo, 0.9);
+        assert_eq!(b.whisker_hi, 0.9);
+        assert!(b.near_outliers.is_empty());
+    }
+
+    #[test]
+    fn boxplot_single_observation() {
+        let b = BoxplotStats::compute(&[0.5]);
+        assert_eq!(b.n, 1);
+        assert_eq!(b.median, 0.5);
+        assert_eq!(b.whisker_lo, 0.5);
+    }
+
+    #[test]
+    fn ascii_boxplot_shape() {
+        let b = BoxplotStats::compute(&[0.2, 0.4, 0.5, 0.6, 0.8]);
+        let s = b.render_ascii(0.0, 1.0, 41);
+        assert_eq!(s.len(), 41);
+        assert!(s.contains('M'));
+        assert!(s.contains('['));
+        assert!(s.contains(']'));
+        // Whiskers sit at 0.2 and 0.8 of the scale.
+        assert_eq!(s.chars().nth(8), Some('|'), "{s:?}");
+        assert_eq!(s.chars().nth(32), Some('|'), "{s:?}");
+    }
+
+    #[test]
+    fn ascii_boxplot_marks_outliers() {
+        let b = BoxplotStats::compute(&[0.5, 0.52, 0.54, 0.56, 0.58, 0.9]);
+        let s = b.render_ascii(0.0, 1.0, 50);
+        assert!(s.contains('o') || s.contains('*'), "{s:?}");
+    }
+
+    #[test]
+    fn ascii_boxplot_degenerate_distribution() {
+        let b = BoxplotStats::compute(&[0.7; 5]);
+        let s = b.render_ascii(0.0, 1.0, 30);
+        // Everything collapses onto one column; the median mark wins.
+        assert!(s.contains('M'), "{s:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive range")]
+    fn ascii_boxplot_bad_range_panics() {
+        BoxplotStats::compute(&[0.5]).render_ascii(1.0, 0.0, 30);
+    }
+
+    #[test]
+    fn render_mentions_all_parts() {
+        let b = BoxplotStats::compute(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        let s = b.render();
+        assert!(s.contains("med=") && s.contains("box=") && s.contains("whiskers="));
+    }
+
+    #[test]
+    fn quantiles_interpolate_like_r_type7() {
+        // R: quantile(c(1,2,3,4), 0.25) = 1.75
+        let b = BoxplotStats::compute(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((b.q1 - 1.75).abs() < 1e-12);
+        assert!((b.median - 2.5).abs() < 1e-12);
+        assert!((b.q3 - 3.25).abs() < 1e-12);
+    }
+}

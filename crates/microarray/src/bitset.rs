@@ -1,0 +1,370 @@
+//! A fixed-capacity bitset over `u64` words.
+//!
+//! Every sample in a discretized microarray dataset is a set of boolean
+//! items (gene/interval pairs), and the hot loops of both BST construction
+//! and CAR mining are set intersections, differences, and subset tests over
+//! these sets. A dense word-packed representation keeps those operations at
+//! a few instructions per 64 items, which is what makes the paper's
+//! O(|S|²·|G|) bounds practical at ovarian-cancer scale (253 samples ×
+//! ~15k items).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity set of `usize` elements drawn from `0..capacity`.
+///
+/// The capacity is fixed at construction; all binary operations require both
+/// operands to have the same capacity and panic otherwise (mixing item
+/// universes is always a logic error in this codebase).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    /// Number of valid bits.
+    capacity: usize,
+    /// Packed words; bits at positions `>= capacity` are always zero.
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set with room for elements `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            capacity,
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates a set containing every element in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.clear_excess();
+        s
+    }
+
+    /// Builds a set from an iterator of elements.
+    ///
+    /// # Panics
+    /// Panics if any element is `>= capacity`.
+    pub fn from_iter<I: IntoIterator<Item = usize>>(capacity: usize, iter: I) -> Self {
+        let mut s = Self::new(capacity);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The fixed capacity (the size of the underlying universe).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i` into the set.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.capacity, "bit {i} out of range 0..{}", self.capacity);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Removes `i` from the set.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.capacity, "bit {i} out of range 0..{}", self.capacity);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Tests membership of `i`. Out-of-range indices are simply absent.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Number of elements in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// In-place union: `self ∪= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        self.check(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        self.check(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self −= other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        self.check(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns `self ∪ other` as a new set.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns `self − other` as a new set.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// `|self ∩ other|` without allocating.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.check(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.check(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// True if `self` and `other` share no elements.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.check(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Collects the elements into a `Vec` (ascending).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    #[inline]
+    fn check(&self, other: &BitSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "bitset capacity mismatch: {} vs {}",
+            self.capacity, other.capacity
+        );
+    }
+
+    fn clear_excess(&mut self) {
+        let excess = self.words.len() * WORD_BITS - self.capacity;
+        if excess > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> excess;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Ascending-order element iterator over a [`BitSet`].
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_elements() {
+        let s = BitSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+        assert!(!s.contains(99));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert_eq!(s.len(), 4);
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.to_vec(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut s = BitSet::new(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = BitSet::full(67);
+        assert_eq!(s.len(), 67);
+        assert!(s.contains(66));
+        assert!(!s.contains(67));
+        // capacity that is an exact multiple of the word size
+        let s = BitSet::full(128);
+        assert_eq!(s.len(), 128);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_iter(200, [1, 5, 100, 150]);
+        let b = BitSet::from_iter(200, [5, 100, 199]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![5, 100]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 5, 100, 150, 199]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 150]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(!a.is_subset(&b));
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(!a.is_disjoint(&b));
+        assert!(a.difference(&b).is_disjoint(&b));
+    }
+
+    #[test]
+    fn subset_edge_cases() {
+        let empty = BitSet::new(50);
+        let full = BitSet::full(50);
+        assert!(empty.is_subset(&full));
+        assert!(empty.is_subset(&empty));
+        assert!(full.is_subset(&full));
+        assert!(!full.is_subset(&empty));
+        assert!(empty.is_disjoint(&empty));
+        assert!(empty.is_disjoint(&full));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn mixed_capacity_panics() {
+        let a = BitSet::new(10);
+        let b = BitSet::new(11);
+        let _ = a.is_subset(&b);
+    }
+
+    #[test]
+    fn iterator_crosses_word_boundaries() {
+        let elems = [0usize, 1, 62, 63, 64, 65, 127, 128, 191];
+        let s = BitSet::from_iter(192, elems.iter().copied());
+        assert_eq!(s.to_vec(), elems);
+        assert_eq!(s.first(), Some(0));
+    }
+
+    #[test]
+    fn zero_capacity_is_fine() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        let f = BitSet::full(0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::from_iter(70, [3, 69]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = BitSet::from_iter(100, [2, 3, 5, 7, 97]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: BitSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,474 @@
+//! Relational microarray dataset types.
+//!
+//! The paper (§2) works with a finite gene/item universe `G` and `N`
+//! disjoint collections of samples `C₁ … C_N`; each sample is a subset of
+//! `G`. [`BoolDataset`] is exactly that: one [`BitSet`] per sample over the
+//! item universe, plus a class label per sample.
+//!
+//! Real microarray measurements are continuous; [`ContinuousDataset`] holds
+//! the raw expression matrix that the `discretize` crate turns into a
+//! [`BoolDataset`].
+
+use crate::bitset::BitSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a class (`C_i` in the paper). Classes are dense `0..n_classes`.
+pub type ClassId = usize;
+
+/// Index of an item (a discretized gene, `g_j` in the paper).
+pub type ItemId = usize;
+
+/// Index of a sample (`s_{i,j}` in the paper).
+pub type SampleId = usize;
+
+/// Errors produced while constructing or validating datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum DatasetError {
+    /// A sample referenced a class id `>= n_classes`.
+    ClassOutOfRange { sample: SampleId, class: ClassId, n_classes: usize },
+    /// Number of labels differs from number of samples.
+    LabelCountMismatch { samples: usize, labels: usize },
+    /// A sample bitset was built over the wrong item universe size.
+    ItemUniverseMismatch { sample: SampleId, got: usize, expected: usize },
+    /// A class has no samples; every class must be non-empty for training.
+    EmptyClass { class: ClassId },
+    /// A continuous matrix row had the wrong number of values.
+    RowLengthMismatch { sample: SampleId, got: usize, expected: usize },
+    /// A dataset with zero samples or zero items/genes was supplied.
+    Empty,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::ClassOutOfRange { sample, class, n_classes } => write!(
+                f,
+                "sample {sample} has class {class}, but only {n_classes} classes are declared"
+            ),
+            DatasetError::LabelCountMismatch { samples, labels } => {
+                write!(f, "{samples} samples but {labels} labels")
+            }
+            DatasetError::ItemUniverseMismatch { sample, got, expected } => write!(
+                f,
+                "sample {sample} is a set over {got} items, expected {expected}"
+            ),
+            DatasetError::EmptyClass { class } => write!(f, "class {class} has no samples"),
+            DatasetError::RowLengthMismatch { sample, got, expected } => write!(
+                f,
+                "sample {sample} has {got} expression values, expected {expected}"
+            ),
+            DatasetError::Empty => write!(f, "dataset has no samples or no items"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A labeled boolean (discretized) microarray dataset.
+///
+/// This is the common relational representation of Table 1 in the paper:
+/// each sample is the set of items it *expresses*, plus a class label.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BoolDataset {
+    item_names: Vec<String>,
+    class_names: Vec<String>,
+    samples: Vec<BitSet>,
+    labels: Vec<ClassId>,
+}
+
+impl BoolDataset {
+    /// Builds and validates a dataset.
+    ///
+    /// `item_names.len()` fixes the item universe; every sample bitset must
+    /// be built over exactly that capacity. Classes may be empty (e.g. in a
+    /// test split); see [`BoolDataset::first_empty_class`].
+    pub fn new(
+        item_names: Vec<String>,
+        class_names: Vec<String>,
+        samples: Vec<BitSet>,
+        labels: Vec<ClassId>,
+    ) -> Result<Self, DatasetError> {
+        if samples.is_empty() || item_names.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        if samples.len() != labels.len() {
+            return Err(DatasetError::LabelCountMismatch {
+                samples: samples.len(),
+                labels: labels.len(),
+            });
+        }
+        let n_items = item_names.len();
+        for (i, s) in samples.iter().enumerate() {
+            if s.capacity() != n_items {
+                return Err(DatasetError::ItemUniverseMismatch {
+                    sample: i,
+                    got: s.capacity(),
+                    expected: n_items,
+                });
+            }
+        }
+        let n_classes = class_names.len();
+        for (i, &c) in labels.iter().enumerate() {
+            if c >= n_classes {
+                return Err(DatasetError::ClassOutOfRange { sample: i, class: c, n_classes });
+            }
+        }
+        Ok(BoolDataset { item_names, class_names, samples, labels })
+    }
+
+    /// The smallest declared class with zero samples, if any. Test splits
+    /// may legitimately miss a class; *training* requires every class
+    /// populated — trainers check this (cf. [`DatasetError::EmptyClass`]).
+    pub fn first_empty_class(&self) -> Option<ClassId> {
+        self.class_sizes().iter().position(|&s| s == 0)
+    }
+
+    /// Number of items (discretized genes) in the universe, `|G|`.
+    pub fn n_items(&self) -> usize {
+        self.item_names.len()
+    }
+
+    /// Number of samples, `|S|`.
+    pub fn n_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of class labels, `N`.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Item display names (e.g. `g3` or `TP53@[2.1,inf)`).
+    pub fn item_names(&self) -> &[String] {
+        &self.item_names
+    }
+
+    /// Class display names.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// The item set expressed by sample `s`.
+    pub fn sample(&self, s: SampleId) -> &BitSet {
+        &self.samples[s]
+    }
+
+    /// All sample item sets, indexed by [`SampleId`].
+    pub fn samples(&self) -> &[BitSet] {
+        &self.samples
+    }
+
+    /// Class label of sample `s`.
+    pub fn label(&self, s: SampleId) -> ClassId {
+        self.labels[s]
+    }
+
+    /// All labels, indexed by [`SampleId`].
+    pub fn labels(&self) -> &[ClassId] {
+        &self.labels
+    }
+
+    /// Sample ids belonging to class `c` (ascending).
+    pub fn class_members(&self, c: ClassId) -> Vec<SampleId> {
+        (0..self.n_samples()).filter(|&s| self.labels[s] == c).collect()
+    }
+
+    /// `|C_c|` for each class.
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_classes()];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// True if sample `s` expresses item `g` — the paper's `s[g]`.
+    #[inline]
+    pub fn expresses(&self, s: SampleId, g: ItemId) -> bool {
+        self.samples[s].contains(g)
+    }
+
+    /// Restricts the dataset to the given samples (in the given order),
+    /// keeping the item universe intact.
+    ///
+    /// Used by the evaluation harness to materialize train/test splits.
+    /// Classes that lose all their samples are kept in the name table so
+    /// labels stay stable; training code must check class sizes.
+    pub fn subset(&self, sample_ids: &[SampleId]) -> BoolDataset {
+        BoolDataset {
+            item_names: self.item_names.clone(),
+            class_names: self.class_names.clone(),
+            samples: sample_ids.iter().map(|&s| self.samples[s].clone()).collect(),
+            labels: sample_ids.iter().map(|&s| self.labels[s]).collect(),
+        }
+    }
+
+    /// Sample ids whose item sets are exactly equal to an earlier sample's
+    /// set. Theorem 2 in the paper assumes none exist; the BST handles them
+    /// but callers may want to warn.
+    pub fn duplicate_samples(&self) -> Vec<SampleId> {
+        let mut dups = Vec::new();
+        for i in 0..self.samples.len() {
+            if self.samples[..i].contains(&self.samples[i]) {
+                dups.push(i);
+            }
+        }
+        dups
+    }
+}
+
+/// A labeled continuous expression matrix (genes × samples), pre-discretization.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ContinuousDataset {
+    gene_names: Vec<String>,
+    class_names: Vec<String>,
+    /// Row-major: `values[sample][gene]`.
+    values: Vec<Vec<f64>>,
+    labels: Vec<ClassId>,
+}
+
+impl ContinuousDataset {
+    /// Builds and validates a continuous dataset.
+    pub fn new(
+        gene_names: Vec<String>,
+        class_names: Vec<String>,
+        values: Vec<Vec<f64>>,
+        labels: Vec<ClassId>,
+    ) -> Result<Self, DatasetError> {
+        if values.is_empty() || gene_names.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        if values.len() != labels.len() {
+            return Err(DatasetError::LabelCountMismatch {
+                samples: values.len(),
+                labels: labels.len(),
+            });
+        }
+        let n_genes = gene_names.len();
+        for (i, row) in values.iter().enumerate() {
+            if row.len() != n_genes {
+                return Err(DatasetError::RowLengthMismatch {
+                    sample: i,
+                    got: row.len(),
+                    expected: n_genes,
+                });
+            }
+        }
+        let n_classes = class_names.len();
+        for (i, &c) in labels.iter().enumerate() {
+            if c >= n_classes {
+                return Err(DatasetError::ClassOutOfRange { sample: i, class: c, n_classes });
+            }
+        }
+        Ok(ContinuousDataset { gene_names, class_names, values, labels })
+    }
+
+    /// The smallest declared class with zero samples, if any
+    /// (cf. [`BoolDataset::first_empty_class`]).
+    pub fn first_empty_class(&self) -> Option<ClassId> {
+        self.class_sizes().iter().position(|&s| s == 0)
+    }
+
+    /// Number of genes (columns).
+    pub fn n_genes(&self) -> usize {
+        self.gene_names.len()
+    }
+
+    /// Number of samples (rows).
+    pub fn n_samples(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Gene display names.
+    pub fn gene_names(&self) -> &[String] {
+        &self.gene_names
+    }
+
+    /// Class display names.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Expression value of gene `g` in sample `s`.
+    #[inline]
+    pub fn value(&self, s: SampleId, g: usize) -> f64 {
+        self.values[s][g]
+    }
+
+    /// The full expression row of sample `s`.
+    pub fn row(&self, s: SampleId) -> &[f64] {
+        &self.values[s]
+    }
+
+    /// Class label of sample `s`.
+    pub fn label(&self, s: SampleId) -> ClassId {
+        self.labels[s]
+    }
+
+    /// All labels, indexed by sample.
+    pub fn labels(&self) -> &[ClassId] {
+        &self.labels
+    }
+
+    /// `|C_c|` for each class.
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_classes()];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Restricts to the given samples (cf. [`BoolDataset::subset`]).
+    pub fn subset(&self, sample_ids: &[SampleId]) -> ContinuousDataset {
+        ContinuousDataset {
+            gene_names: self.gene_names.clone(),
+            class_names: self.class_names.clone(),
+            values: sample_ids.iter().map(|&s| self.values[s].clone()).collect(),
+            labels: sample_ids.iter().map(|&s| self.labels[s]).collect(),
+        }
+    }
+
+    /// Restricts to the given gene columns (used to run SVM/random-forest on
+    /// exactly the genes the entropy discretization selected, as in §6.1).
+    pub fn select_genes(&self, gene_ids: &[usize]) -> ContinuousDataset {
+        ContinuousDataset {
+            gene_names: gene_ids.iter().map(|&g| self.gene_names[g].clone()).collect(),
+            class_names: self.class_names.clone(),
+            values: self
+                .values
+                .iter()
+                .map(|row| gene_ids.iter().map(|&g| row[g]).collect())
+                .collect(),
+            labels: self.labels.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bool() -> BoolDataset {
+        let items = vec!["g1".into(), "g2".into(), "g3".into()];
+        let classes = vec!["A".into(), "B".into()];
+        let samples = vec![
+            BitSet::from_iter(3, [0, 1]),
+            BitSet::from_iter(3, [2]),
+            BitSet::from_iter(3, [0, 2]),
+        ];
+        BoolDataset::new(items, classes, samples, vec![0, 1, 1]).unwrap()
+    }
+
+    #[test]
+    fn bool_dataset_accessors() {
+        let d = tiny_bool();
+        assert_eq!(d.n_items(), 3);
+        assert_eq!(d.n_samples(), 3);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.class_sizes(), vec![1, 2]);
+        assert_eq!(d.class_members(1), vec![1, 2]);
+        assert!(d.expresses(0, 1));
+        assert!(!d.expresses(1, 0));
+    }
+
+    #[test]
+    fn bool_dataset_rejects_bad_labels() {
+        let items = vec!["g1".into()];
+        let classes = vec!["A".into()];
+        let samples = vec![BitSet::from_iter(1, [0])];
+        let err = BoolDataset::new(items, classes, samples, vec![3]).unwrap_err();
+        assert!(matches!(err, DatasetError::ClassOutOfRange { class: 3, .. }));
+    }
+
+    #[test]
+    fn empty_classes_allowed_but_reported() {
+        let items = vec!["g1".into()];
+        let classes = vec!["A".into(), "B".into()];
+        let samples = vec![BitSet::from_iter(1, [0])];
+        let d = BoolDataset::new(items, classes, samples, vec![0]).unwrap();
+        assert_eq!(d.first_empty_class(), Some(1));
+        let full = tiny_bool();
+        assert_eq!(full.first_empty_class(), None);
+    }
+
+    #[test]
+    fn bool_dataset_rejects_universe_mismatch() {
+        let items = vec!["g1".into(), "g2".into()];
+        let classes = vec!["A".into()];
+        let samples = vec![BitSet::new(5)];
+        let err = BoolDataset::new(items, classes, samples, vec![0]).unwrap_err();
+        assert!(matches!(err, DatasetError::ItemUniverseMismatch { got: 5, expected: 2, .. }));
+    }
+
+    #[test]
+    fn bool_dataset_rejects_label_count_mismatch() {
+        let items = vec!["g1".into()];
+        let classes = vec!["A".into()];
+        let samples = vec![BitSet::new(1), BitSet::new(1)];
+        let err = BoolDataset::new(items, classes, samples, vec![0]).unwrap_err();
+        assert!(matches!(err, DatasetError::LabelCountMismatch { samples: 2, labels: 1 }));
+    }
+
+    #[test]
+    fn subset_preserves_universe() {
+        let d = tiny_bool();
+        let sub = d.subset(&[2, 0]);
+        assert_eq!(sub.n_samples(), 2);
+        assert_eq!(sub.n_items(), 3);
+        assert_eq!(sub.label(0), 1);
+        assert_eq!(sub.label(1), 0);
+        assert_eq!(sub.sample(0), d.sample(2));
+    }
+
+    #[test]
+    fn duplicate_samples_detected() {
+        let items = vec!["g1".into(), "g2".into()];
+        let classes = vec!["A".into(), "B".into()];
+        let samples = vec![
+            BitSet::from_iter(2, [0]),
+            BitSet::from_iter(2, [0]),
+            BitSet::from_iter(2, [1]),
+        ];
+        let d = BoolDataset::new(items, classes, samples, vec![0, 1, 1]).unwrap();
+        assert_eq!(d.duplicate_samples(), vec![1]);
+    }
+
+    #[test]
+    fn continuous_dataset_validation_and_selection() {
+        let d = ContinuousDataset::new(
+            vec!["g1".into(), "g2".into(), "g3".into()],
+            vec!["A".into(), "B".into()],
+            vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+            vec![0, 1],
+        )
+        .unwrap();
+        assert_eq!(d.value(1, 2), 6.0);
+        let sel = d.select_genes(&[2, 0]);
+        assert_eq!(sel.gene_names(), &["g3".to_string(), "g1".to_string()]);
+        assert_eq!(sel.row(0), &[3.0, 1.0]);
+        assert_eq!(sel.row(1), &[6.0, 4.0]);
+
+        let err = ContinuousDataset::new(
+            vec!["g1".into()],
+            vec!["A".into()],
+            vec![vec![1.0, 2.0]],
+            vec![0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DatasetError::RowLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let err = BoolDataset::new(vec![], vec![], vec![], vec![]).unwrap_err();
+        assert_eq!(err, DatasetError::Empty);
+    }
+}

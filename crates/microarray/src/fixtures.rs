@@ -1,0 +1,66 @@
+//! Fixtures reproducing the paper's running example (Table 1) and the
+//! worked BSTC query of §5.4.
+
+use crate::bitset::BitSet;
+use crate::dataset::BoolDataset;
+
+/// The Table 1 running example.
+///
+/// Five samples over genes `g1..g6`:
+///
+/// | sample | expressed genes  | class   |
+/// |--------|------------------|---------|
+/// | s1     | g1, g2, g3, g5   | Cancer  |
+/// | s2     | g1, g3, g6       | Cancer  |
+/// | s3     | g2, g4, g6       | Cancer  |
+/// | s4     | g2, g3, g5       | Healthy |
+/// | s5     | g3, g4, g5, g6   | Healthy |
+///
+/// Class 0 is `Cancer`, class 1 is `Healthy`; item `g_k` has id `k - 1`.
+pub fn table1() -> BoolDataset {
+    let items = (1..=6).map(|k| format!("g{k}")).collect();
+    let classes = vec!["Cancer".to_string(), "Healthy".to_string()];
+    let samples = vec![
+        BitSet::from_iter(6, [0, 1, 2, 4]),    // s1
+        BitSet::from_iter(6, [0, 2, 5]),       // s2
+        BitSet::from_iter(6, [1, 3, 5]),       // s3
+        BitSet::from_iter(6, [1, 2, 4]),       // s4
+        BitSet::from_iter(6, [2, 3, 4, 5]),    // s5
+    ];
+    BoolDataset::new(items, classes, samples, vec![0, 0, 0, 1, 1])
+        .expect("the Table 1 fixture is valid by construction")
+}
+
+/// The §5.4 worked query: `Q = {g1, g4, g5 expressed}`.
+///
+/// The paper evaluates this query to a Cancer classification value of 3/4
+/// and a Healthy value of 3/8, classifying it as Cancer.
+pub fn section54_query() -> BitSet {
+    BitSet::from_iter(6, [0, 3, 4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let d = table1();
+        assert_eq!(d.n_samples(), 5);
+        assert_eq!(d.n_items(), 6);
+        assert_eq!(d.class_names(), &["Cancer".to_string(), "Healthy".to_string()]);
+        assert_eq!(d.class_members(0), vec![0, 1, 2]);
+        assert_eq!(d.class_members(1), vec![3, 4]);
+        // Spot-check a few cells of Table 1.
+        assert!(d.expresses(0, 0)); // s1 expresses g1
+        assert!(!d.expresses(0, 3)); // s1 does not express g4
+        assert!(d.expresses(4, 5)); // s5 expresses g6
+        assert!(d.duplicate_samples().is_empty());
+    }
+
+    #[test]
+    fn query_matches_section_5_4() {
+        let q = section54_query();
+        assert_eq!(q.to_vec(), vec![0, 3, 4]); // g1, g4, g5
+    }
+}

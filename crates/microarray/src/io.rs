@@ -1,0 +1,308 @@
+//! Plain-text and JSON (de)serialization for datasets.
+//!
+//! Two self-describing tab-separated formats are provided so generated
+//! datasets and discretizations can be inspected, diffed, and reloaded:
+//!
+//! ```text
+//! #bool-microarray v1
+//! #classes<TAB>Cancer<TAB>Healthy
+//! #items<TAB>g1<TAB>g2<TAB>...
+//! Cancer<TAB>g1 g2 g3 g5        <- one line per sample: label, expressed items
+//! ```
+//!
+//! ```text
+//! #cont-microarray v1
+//! #classes<TAB>Cancer<TAB>Healthy
+//! #genes<TAB>g1<TAB>g2<TAB>...
+//! Cancer<TAB>0.81<TAB>5.02<TAB>...  <- one line per sample: label, values
+//! ```
+//!
+//! JSON round-trips go through serde and preserve everything exactly.
+
+use crate::bitset::BitSet;
+use crate::dataset::{BoolDataset, ContinuousDataset};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors produced by the text parsers.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the text format.
+    Parse { line: usize, message: String },
+    /// The parsed content failed dataset validation.
+    Invalid(crate::dataset::DatasetError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IoError::Invalid(e) => write!(f, "invalid dataset: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<crate::dataset::DatasetError> for IoError {
+    fn from(e: crate::dataset::DatasetError) -> Self {
+        IoError::Invalid(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}
+
+/// Writes a [`BoolDataset`] in the `#bool-microarray v1` format.
+pub fn write_bool_tsv<W: Write>(dataset: &BoolDataset, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "#bool-microarray v1")?;
+    writeln!(w, "#classes\t{}", dataset.class_names().join("\t"))?;
+    writeln!(w, "#items\t{}", dataset.item_names().join("\t"))?;
+    let mut items = String::new();
+    for s in 0..dataset.n_samples() {
+        items.clear();
+        for g in dataset.sample(s).iter() {
+            if !items.is_empty() {
+                items.push(' ');
+            }
+            let _ = write!(items, "{}", dataset.item_names()[g]);
+        }
+        writeln!(w, "{}\t{}", dataset.class_names()[dataset.label(s)], items)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a [`BoolDataset`] from the `#bool-microarray v1` format.
+pub fn read_bool_tsv<R: Read>(reader: R) -> Result<BoolDataset, IoError> {
+    let r = BufReader::new(reader);
+    let mut lines = r.lines().enumerate();
+
+    let (_, magic) = lines.next().ok_or_else(|| parse_err(1, "empty input"))?;
+    if magic?.trim() != "#bool-microarray v1" {
+        return Err(parse_err(1, "missing '#bool-microarray v1' header"));
+    }
+    let class_names = read_header_row(&mut lines, "#classes")?;
+    let item_names = read_header_row(&mut lines, "#items")?;
+
+    let class_index: HashMap<&str, usize> =
+        class_names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let item_index: HashMap<&str, usize> =
+        item_names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    for (idx, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let (label, items) = line
+            .split_once('\t')
+            .ok_or_else(|| parse_err(lineno, "expected '<label>\\t<items>'"))?;
+        let class = *class_index
+            .get(label)
+            .ok_or_else(|| parse_err(lineno, format!("unknown class '{label}'")))?;
+        let mut set = BitSet::new(item_names.len());
+        for name in items.split_whitespace() {
+            let g = *item_index
+                .get(name)
+                .ok_or_else(|| parse_err(lineno, format!("unknown item '{name}'")))?;
+            set.insert(g);
+        }
+        samples.push(set);
+        labels.push(class);
+    }
+    Ok(BoolDataset::new(item_names, class_names, samples, labels)?)
+}
+
+/// Writes a [`ContinuousDataset`] in the `#cont-microarray v1` format.
+pub fn write_cont_tsv<W: Write>(dataset: &ContinuousDataset, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "#cont-microarray v1")?;
+    writeln!(w, "#classes\t{}", dataset.class_names().join("\t"))?;
+    writeln!(w, "#genes\t{}", dataset.gene_names().join("\t"))?;
+    let mut row = String::new();
+    for s in 0..dataset.n_samples() {
+        row.clear();
+        let _ = write!(row, "{}", dataset.class_names()[dataset.label(s)]);
+        for v in dataset.row(s) {
+            let _ = write!(row, "\t{v}");
+        }
+        writeln!(w, "{row}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a [`ContinuousDataset`] from the `#cont-microarray v1` format.
+pub fn read_cont_tsv<R: Read>(reader: R) -> Result<ContinuousDataset, IoError> {
+    let r = BufReader::new(reader);
+    let mut lines = r.lines().enumerate();
+
+    let (_, magic) = lines.next().ok_or_else(|| parse_err(1, "empty input"))?;
+    if magic?.trim() != "#cont-microarray v1" {
+        return Err(parse_err(1, "missing '#cont-microarray v1' header"));
+    }
+    let class_names = read_header_row(&mut lines, "#classes")?;
+    let gene_names = read_header_row(&mut lines, "#genes")?;
+    let class_index: HashMap<&str, usize> =
+        class_names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+
+    let mut values = Vec::new();
+    let mut labels = Vec::new();
+    for (idx, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut fields = line.split('\t');
+        let label = fields.next().unwrap_or("");
+        let class = *class_index
+            .get(label)
+            .ok_or_else(|| parse_err(lineno, format!("unknown class '{label}'")))?;
+        let row: Result<Vec<f64>, IoError> = fields
+            .map(|f| {
+                f.parse::<f64>()
+                    .map_err(|_| parse_err(lineno, format!("bad expression value '{f}'")))
+            })
+            .collect();
+        values.push(row?);
+        labels.push(class);
+    }
+    Ok(ContinuousDataset::new(gene_names, class_names, values, labels)?)
+}
+
+fn read_header_row<I>(lines: &mut I, tag: &str) -> Result<Vec<String>, IoError>
+where
+    I: Iterator<Item = (usize, std::io::Result<String>)>,
+{
+    let (idx, line) = lines.next().ok_or_else(|| parse_err(0, format!("missing {tag} row")))?;
+    let line = line?;
+    let lineno = idx + 1;
+    let mut fields = line.split('\t');
+    if fields.next() != Some(tag) {
+        return Err(parse_err(lineno, format!("expected {tag} row")));
+    }
+    let names: Vec<String> = fields.map(str::to_owned).collect();
+    if names.is_empty() {
+        return Err(parse_err(lineno, format!("{tag} row has no entries")));
+    }
+    Ok(names)
+}
+
+/// Serializes a [`BoolDataset`] to JSON.
+pub fn bool_to_json(dataset: &BoolDataset) -> String {
+    serde_json::to_string(dataset).expect("BoolDataset serialization is infallible")
+}
+
+/// Deserializes a [`BoolDataset`] from JSON.
+pub fn bool_from_json(json: &str) -> Result<BoolDataset, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::table1;
+
+    #[test]
+    fn bool_tsv_round_trip() {
+        let d = table1();
+        let mut buf = Vec::new();
+        write_bool_tsv(&d, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("#bool-microarray v1\n"));
+        assert!(text.contains("Cancer\tg1 g2 g3 g5"));
+        let back = read_bool_tsv(&buf[..]).unwrap();
+        assert_eq!(back.n_samples(), d.n_samples());
+        assert_eq!(back.item_names(), d.item_names());
+        for s in 0..d.n_samples() {
+            assert_eq!(back.sample(s), d.sample(s));
+            assert_eq!(back.label(s), d.label(s));
+        }
+    }
+
+    #[test]
+    fn bool_tsv_rejects_bad_header() {
+        assert!(matches!(
+            read_bool_tsv("not a header\n".as_bytes()),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn bool_tsv_rejects_unknown_item() {
+        let text = "#bool-microarray v1\n#classes\tA\n#items\tg1\nA\tg9\n";
+        let err = read_bool_tsv(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 4, .. }), "{err}");
+    }
+
+    #[test]
+    fn bool_tsv_rejects_unknown_class() {
+        let text = "#bool-microarray v1\n#classes\tA\n#items\tg1\nZ\tg1\n";
+        let err = read_bool_tsv(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 4, .. }), "{err}");
+    }
+
+    #[test]
+    fn cont_tsv_round_trip() {
+        let d = ContinuousDataset::new(
+            vec!["g1".into(), "g2".into()],
+            vec!["A".into(), "B".into()],
+            vec![vec![1.5, -2.25], vec![0.0, 1e6]],
+            vec![0, 1],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_cont_tsv(&d, &mut buf).unwrap();
+        let back = read_cont_tsv(&buf[..]).unwrap();
+        assert_eq!(back.n_samples(), 2);
+        assert_eq!(back.row(0), d.row(0));
+        assert_eq!(back.row(1), d.row(1));
+        assert_eq!(back.labels(), d.labels());
+    }
+
+    #[test]
+    fn cont_tsv_rejects_bad_value() {
+        let text = "#cont-microarray v1\n#classes\tA\n#genes\tg1\nA\tnot-a-number\n";
+        let err = read_cont_tsv(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 4, .. }), "{err}");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d = table1();
+        let json = bool_to_json(&d);
+        let back = bool_from_json(&json).unwrap();
+        assert_eq!(back.sample(2), d.sample(2));
+        assert_eq!(back.labels(), d.labels());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let d = table1();
+        let mut buf = Vec::new();
+        write_bool_tsv(&d, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push('\n');
+        text.push('\n');
+        let back = read_bool_tsv(text.as_bytes()).unwrap();
+        assert_eq!(back.n_samples(), 5);
+    }
+}

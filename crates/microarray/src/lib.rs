@@ -1,0 +1,35 @@
+//! # microarray — the data substrate for the BSTC reproduction
+//!
+//! This crate provides everything below the classifiers:
+//!
+//! * [`bitset::BitSet`] — dense fixed-capacity sets, the representation of
+//!   a sample's expressed items;
+//! * [`dataset::BoolDataset`] — the paper's relational discretized
+//!   representation (Table 1): samples as item sets plus class labels;
+//! * [`dataset::ContinuousDataset`] — raw expression matrices feeding the
+//!   `discretize` crate;
+//! * [`io`] — self-describing TSV and JSON formats;
+//! * [`synth`] — the planted-marker generator substituting for the paper's
+//!   four real datasets (see DESIGN.md §2), with presets matching Table 2;
+//! * [`fixtures`] — the Table 1 running example and §5.4 query used by the
+//!   golden tests throughout the workspace.
+//!
+//! ```
+//! use microarray::fixtures::table1;
+//!
+//! let data = table1();
+//! assert_eq!(data.n_samples(), 5);
+//! assert_eq!(data.class_names(), &["Cancer".to_string(), "Healthy".to_string()]);
+//! assert!(data.expresses(0, 0)); // s1 expresses g1
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod dataset;
+pub mod fixtures;
+pub mod io;
+pub mod synth;
+
+pub use bitset::BitSet;
+pub use dataset::{BoolDataset, ClassId, ContinuousDataset, DatasetError, ItemId, SampleId};

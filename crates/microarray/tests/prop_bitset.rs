@@ -1,0 +1,159 @@
+//! Property tests: `BitSet` behaves exactly like a `HashSet<usize>` model,
+//! and the dataset text formats round-trip arbitrary datasets.
+
+use microarray::bitset::BitSet;
+use microarray::dataset::BoolDataset;
+use microarray::io;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const CAP: usize = 200;
+
+fn elem() -> impl Strategy<Value = usize> {
+    0..CAP
+}
+
+fn elems() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(elem(), 0..64)
+}
+
+fn model(v: &[usize]) -> HashSet<usize> {
+    v.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn insert_matches_model(v in elems()) {
+        let s = BitSet::from_iter(CAP, v.iter().copied());
+        let m = model(&v);
+        prop_assert_eq!(s.len(), m.len());
+        for i in 0..CAP {
+            prop_assert_eq!(s.contains(i), m.contains(&i));
+        }
+        let mut iterated: Vec<usize> = s.iter().collect();
+        let mut expected: Vec<usize> = m.into_iter().collect();
+        expected.sort_unstable();
+        iterated.sort_unstable();
+        prop_assert_eq!(iterated, expected);
+    }
+
+    #[test]
+    fn iter_is_ascending_and_unique(v in elems()) {
+        let s = BitSet::from_iter(CAP, v.iter().copied());
+        let elems: Vec<usize> = s.iter().collect();
+        for w in elems.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn algebra_matches_model(a in elems(), b in elems()) {
+        let sa = BitSet::from_iter(CAP, a.iter().copied());
+        let sb = BitSet::from_iter(CAP, b.iter().copied());
+        let ma = model(&a);
+        let mb = model(&b);
+
+        let inter: HashSet<usize> = sa.intersection(&sb).iter().collect();
+        prop_assert_eq!(&inter, &ma.intersection(&mb).copied().collect::<HashSet<_>>());
+        prop_assert_eq!(sa.intersection_len(&sb), inter.len());
+
+        let uni: HashSet<usize> = sa.union(&sb).iter().collect();
+        prop_assert_eq!(&uni, &ma.union(&mb).copied().collect::<HashSet<_>>());
+
+        let diff: HashSet<usize> = sa.difference(&sb).iter().collect();
+        prop_assert_eq!(&diff, &ma.difference(&mb).copied().collect::<HashSet<_>>());
+
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
+    }
+
+    #[test]
+    fn remove_matches_model(v in elems(), removals in elems()) {
+        let mut s = BitSet::from_iter(CAP, v.iter().copied());
+        let mut m = model(&v);
+        for r in removals {
+            s.remove(r);
+            m.remove(&r);
+        }
+        prop_assert_eq!(s.len(), m.len());
+        for i in 0..CAP {
+            prop_assert_eq!(s.contains(i), m.contains(&i));
+        }
+    }
+
+    #[test]
+    fn set_algebra_laws(a in elems(), b in elems(), c in elems()) {
+        let sa = BitSet::from_iter(CAP, a.iter().copied());
+        let sb = BitSet::from_iter(CAP, b.iter().copied());
+        let sc = BitSet::from_iter(CAP, c.iter().copied());
+        // Commutativity and associativity of intersection.
+        prop_assert_eq!(sa.intersection(&sb), sb.intersection(&sa));
+        prop_assert_eq!(
+            sa.intersection(&sb).intersection(&sc),
+            sa.intersection(&sb.intersection(&sc))
+        );
+        // De Morgan via difference: a − (b ∪ c) == (a − b) − c.
+        prop_assert_eq!(sa.difference(&sb.union(&sc)), sa.difference(&sb).difference(&sc));
+        // Subset relations.
+        prop_assert!(sa.intersection(&sb).is_subset(&sa));
+        prop_assert!(sa.is_subset(&sa.union(&sb)));
+    }
+}
+
+/// Strategy producing a small random valid `BoolDataset`.
+fn dataset() -> impl Strategy<Value = BoolDataset> {
+    (2usize..5, 2usize..8, 2usize..12).prop_flat_map(|(n_classes, n_items, extra)| {
+        let n_samples = n_classes + extra;
+        let samples =
+            prop::collection::vec(prop::collection::vec(0..n_items, 0..n_items), n_samples);
+        // Guarantee every class non-empty: first n_classes samples get
+        // labels 0..n_classes, the rest are random.
+        let labels = prop::collection::vec(0..n_classes, n_samples - n_classes);
+        (samples, labels).prop_map(move |(sample_items, tail_labels)| {
+            let item_names = (0..n_items).map(|i| format!("g{i}")).collect();
+            let class_names = (0..n_classes).map(|c| format!("class{c}")).collect();
+            let sets = sample_items
+                .iter()
+                .map(|items| BitSet::from_iter(n_items, items.iter().copied()))
+                .collect();
+            let mut labels: Vec<usize> = (0..n_classes).collect();
+            labels.extend(tail_labels);
+            BoolDataset::new(item_names, class_names, sets, labels).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn tsv_round_trips_any_dataset(d in dataset()) {
+        let mut buf = Vec::new();
+        io::write_bool_tsv(&d, &mut buf).unwrap();
+        let back = io::read_bool_tsv(&buf[..]).unwrap();
+        prop_assert_eq!(back.n_samples(), d.n_samples());
+        prop_assert_eq!(back.labels(), d.labels());
+        for s in 0..d.n_samples() {
+            prop_assert_eq!(back.sample(s), d.sample(s));
+        }
+    }
+
+    #[test]
+    fn json_round_trips_any_dataset(d in dataset()) {
+        let json = io::bool_to_json(&d);
+        let back = io::bool_from_json(&json).unwrap();
+        prop_assert_eq!(back.labels(), d.labels());
+        for s in 0..d.n_samples() {
+            prop_assert_eq!(back.sample(s), d.sample(s));
+        }
+    }
+
+    #[test]
+    fn subset_is_consistent(d in dataset(), idx in prop::collection::vec(0usize..100, 1..10)) {
+        let ids: Vec<usize> = idx.into_iter().map(|i| i % d.n_samples()).collect();
+        let sub = d.subset(&ids);
+        prop_assert_eq!(sub.n_samples(), ids.len());
+        for (k, &s) in ids.iter().enumerate() {
+            prop_assert_eq!(sub.sample(k), d.sample(s));
+            prop_assert_eq!(sub.label(k), d.label(s));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the synthetic generator: determinism, shape, and
+//! the statistical structure the DESIGN.md substitution argument rests on.
+
+use microarray::synth::SynthConfig;
+use proptest::prelude::*;
+
+fn config() -> impl Strategy<Value = SynthConfig> {
+    (
+        8usize..40,       // genes
+        2usize..5,        // markers per class
+        (4usize..10, 4usize..10),
+        0.0f64..0.4,      // dropout
+        0u64..1000,
+    )
+        .prop_map(|(n_genes, markers, (a, b), dropout, seed)| SynthConfig {
+            name: "prop".into(),
+            n_genes: n_genes.max(markers * 2 + 2),
+            class_sizes: vec![a, b],
+            class_names: vec!["c0".into(), "c1".into()],
+            markers_per_class: markers,
+            marker_shift: 2.0,
+            marker_dropout: dropout,
+            marker_modules: 2,
+            wobble_rate: 0.1,
+            marker_flip: 0.05,
+            atypical_rate: 0.1,
+            atypical_strength: 0.3,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generation is deterministic and matches the configured shape.
+    #[test]
+    fn deterministic_and_shaped(cfg in config()) {
+        cfg.validate().unwrap();
+        let a = cfg.generate();
+        let b = cfg.generate();
+        prop_assert_eq!(a.n_genes(), cfg.n_genes);
+        prop_assert_eq!(a.n_samples(), cfg.n_samples());
+        prop_assert_eq!(a.class_sizes(), cfg.class_sizes.clone());
+        for s in 0..a.n_samples() {
+            prop_assert_eq!(a.row(s), b.row(s));
+        }
+    }
+
+    /// All values are finite (discretization requires it).
+    #[test]
+    fn values_are_finite(cfg in config()) {
+        let d = cfg.generate();
+        for s in 0..d.n_samples() {
+            prop_assert!(d.row(s).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Marker genes separate their class in expectation: with zero
+    /// dropout/noise the class-mean minus other-mean on the class's marker
+    /// block is positive.
+    #[test]
+    fn markers_shift_the_right_class(cfg in config()) {
+        let clean = SynthConfig {
+            marker_dropout: 0.0,
+            wobble_rate: 0.0,
+            marker_flip: 0.0,
+            atypical_rate: 0.0,
+            marker_shift: 3.0,
+            ..cfg
+        };
+        let d = clean.generate();
+        let m = clean.markers_per_class;
+        for class in 0..2 {
+            let block: Vec<usize> = (class * m..(class + 1) * m).collect();
+            let mean_of = |want: usize| -> f64 {
+                let rows: Vec<usize> =
+                    (0..d.n_samples()).filter(|&s| d.label(s) == want).collect();
+                let mut acc = 0.0;
+                for &s in &rows {
+                    for &g in &block {
+                        acc += d.value(s, g);
+                    }
+                }
+                acc / (rows.len() * block.len()) as f64
+            };
+            prop_assert!(mean_of(class) > mean_of(1 - class) + 0.5,
+                "class {class}: {} vs {}", mean_of(class), mean_of(1 - class));
+        }
+    }
+
+    /// Different seeds produce different data (no accidental seed reuse).
+    #[test]
+    fn seeds_matter(cfg in config()) {
+        let other = SynthConfig { seed: cfg.seed ^ 0xdead_beef, ..cfg.clone() };
+        let a = cfg.generate();
+        let b = other.generate();
+        prop_assert_ne!(a.row(0), b.row(0));
+    }
+
+    /// scaled_down shrinks every dimension and stays valid.
+    #[test]
+    fn scaled_down_valid(cfg in config(), factor in 1usize..5) {
+        let small = cfg.scaled_down(factor);
+        small.validate().unwrap();
+        prop_assert!(small.n_genes <= cfg.n_genes.max(8));
+        prop_assert!(small.n_samples() <= cfg.n_samples().max(6));
+    }
+}

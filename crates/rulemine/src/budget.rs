@@ -1,0 +1,187 @@
+//! Time/node budgets for the exponential miners.
+//!
+//! Top-k rule-group mining and lower-bound BFS are worst-case exponential;
+//! the paper runs them under a 2-hour cutoff and reports "# RCBT DNF" rows
+//! and "≥" lower-bound runtimes (Tables 4 and 6). A [`Budget`] implements
+//! that cutoff: miners poll it and return partial results flagged
+//! [`Outcome::DidNotFinish`] when it expires.
+
+use std::time::{Duration, Instant};
+
+/// Whether a mining run completed within its budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The search space was exhausted.
+    Finished,
+    /// The budget expired first; results are partial and reported times are
+    /// lower bounds (the paper's "≥" rows).
+    DidNotFinish,
+}
+
+impl Outcome {
+    /// True for [`Outcome::DidNotFinish`].
+    pub fn dnf(self) -> bool {
+        self == Outcome::DidNotFinish
+    }
+
+    /// Combines two phases: finished only if both finished.
+    pub fn and(self, other: Outcome) -> Outcome {
+        if self.dnf() || other.dnf() {
+            Outcome::DidNotFinish
+        } else {
+            Outcome::Finished
+        }
+    }
+}
+
+/// A polling cutoff on wall-clock time and/or explored search nodes.
+#[derive(Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    node_limit: Option<u64>,
+    nodes: u64,
+    /// Wall-clock checks are batched: the `Instant::now()` syscall is only
+    /// issued every `CHECK_EVERY` nodes.
+    since_check: u32,
+    expired: bool,
+}
+
+const CHECK_EVERY: u32 = 1024;
+
+impl Budget {
+    /// No limits: mining always runs to completion.
+    pub fn unlimited() -> Budget {
+        Budget { deadline: None, node_limit: None, nodes: 0, since_check: 0, expired: false }
+    }
+
+    /// Wall-clock cutoff (the paper's 2-hour budget, scaled as needed).
+    pub fn with_time(limit: Duration) -> Budget {
+        Budget {
+            deadline: Some(Instant::now() + limit),
+            node_limit: None,
+            nodes: 0,
+            // Check the clock on the very first tick (so sub-millisecond
+            // cutoffs expire even on tiny searches), then every batch.
+            since_check: CHECK_EVERY - 1,
+            expired: false,
+        }
+    }
+
+    /// Node-count cutoff — deterministic, used by tests.
+    pub fn with_nodes(limit: u64) -> Budget {
+        Budget {
+            deadline: None,
+            node_limit: Some(limit),
+            nodes: 0,
+            since_check: 0,
+            expired: false,
+        }
+    }
+
+    /// Both cutoffs at once.
+    pub fn with_time_and_nodes(limit: Duration, nodes: u64) -> Budget {
+        Budget {
+            deadline: Some(Instant::now() + limit),
+            node_limit: Some(nodes),
+            nodes: 0,
+            since_check: CHECK_EVERY - 1,
+            expired: false,
+        }
+    }
+
+    /// Registers one explored node; returns `true` while the budget holds.
+    /// Once expired it stays expired.
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        if self.expired {
+            return false;
+        }
+        self.nodes += 1;
+        if let Some(limit) = self.node_limit {
+            if self.nodes > limit {
+                self.expired = true;
+                return false;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            self.since_check += 1;
+            if self.since_check >= CHECK_EVERY {
+                self.since_check = 0;
+                if Instant::now() >= deadline {
+                    self.expired = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Nodes explored so far.
+    pub fn nodes_explored(&self) -> u64 {
+        self.nodes
+    }
+
+    /// True once any limit has been exceeded.
+    pub fn expired(&self) -> bool {
+        self.expired
+    }
+
+    /// The outcome corresponding to the current state.
+    pub fn outcome(&self) -> Outcome {
+        if self.expired {
+            Outcome::DidNotFinish
+        } else {
+            Outcome::Finished
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let mut b = Budget::unlimited();
+        for _ in 0..100_000 {
+            assert!(b.tick());
+        }
+        assert_eq!(b.outcome(), Outcome::Finished);
+        assert_eq!(b.nodes_explored(), 100_000);
+    }
+
+    #[test]
+    fn node_limit_expires_exactly() {
+        let mut b = Budget::with_nodes(10);
+        for _ in 0..10 {
+            assert!(b.tick());
+        }
+        assert!(!b.tick());
+        assert!(b.expired());
+        assert_eq!(b.outcome(), Outcome::DidNotFinish);
+        // Stays expired.
+        assert!(!b.tick());
+    }
+
+    #[test]
+    fn time_limit_expires() {
+        let mut b = Budget::with_time(Duration::from_millis(0));
+        // Needs CHECK_EVERY ticks before the clock is consulted.
+        let mut held = 0u32;
+        while b.tick() {
+            held += 1;
+            assert!(held < 10 * CHECK_EVERY, "budget never expired");
+        }
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn outcome_combinators() {
+        use Outcome::*;
+        assert_eq!(Finished.and(Finished), Finished);
+        assert_eq!(Finished.and(DidNotFinish), DidNotFinish);
+        assert_eq!(DidNotFinish.and(Finished), DidNotFinish);
+        assert!(DidNotFinish.dnf());
+        assert!(!Finished.dnf());
+    }
+}

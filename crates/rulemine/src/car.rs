@@ -1,0 +1,109 @@
+//! Conjunctive association rules (CARs) — the primitive of the baseline
+//! pipeline (§2 of the paper, after Agrawal et al.).
+
+use microarray::{BitSet, BoolDataset, ClassId, ItemId};
+use serde::{Deserialize, Serialize};
+
+/// A conjunctive association rule `g₁, …, g_r ⇒ C_n`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Car {
+    /// Antecedent items, ascending.
+    pub items: Vec<ItemId>,
+    /// Consequent class.
+    pub class: ClassId,
+}
+
+impl Car {
+    /// Creates a CAR, normalizing item order.
+    pub fn new(mut items: Vec<ItemId>, class: ClassId) -> Car {
+        items.sort_unstable();
+        items.dedup();
+        Car { items, class }
+    }
+
+    /// True if `sample` expresses every antecedent item.
+    #[inline]
+    pub fn matches(&self, sample: &BitSet) -> bool {
+        self.items.iter().all(|&g| sample.contains(g))
+    }
+
+    /// Support (§2): number of *consequent-class* samples matching the
+    /// antecedent.
+    pub fn support(&self, data: &BoolDataset) -> usize {
+        (0..data.n_samples())
+            .filter(|&s| data.label(s) == self.class && self.matches(data.sample(s)))
+            .count()
+    }
+
+    /// Number of samples of *any* class matching the antecedent.
+    pub fn total_matches(&self, data: &BoolDataset) -> usize {
+        (0..data.n_samples()).filter(|&s| self.matches(data.sample(s))).count()
+    }
+
+    /// Confidence (§2): `support / total_matches`; `None` when nothing
+    /// matches.
+    pub fn confidence(&self, data: &BoolDataset) -> Option<f64> {
+        let total = self.total_matches(data);
+        if total == 0 {
+            None
+        } else {
+            Some(self.support(data) as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microarray::fixtures::table1;
+
+    #[test]
+    fn running_example_car_g1_g3() {
+        // §2: supp[g1,g3 ⇒ Cancer] = 2, confidence 1.
+        let d = table1();
+        let car = Car::new(vec![2, 0], 0); // order normalized
+        assert_eq!(car.items, vec![0, 2]);
+        assert_eq!(car.support(&d), 2);
+        assert_eq!(car.confidence(&d), Some(1.0));
+    }
+
+    #[test]
+    fn g5_g6_implies_healthy() {
+        // §1: only s5 expresses both g5 and g6.
+        let d = table1();
+        let car = Car::new(vec![4, 5], 1);
+        assert_eq!(car.support(&d), 1);
+        assert_eq!(car.confidence(&d), Some(1.0));
+    }
+
+    #[test]
+    fn low_confidence_car() {
+        // g3 ⇒ Cancer matches s1,s2 (Cancer) and s4,s5 (Healthy): conf 1/2.
+        let d = table1();
+        let car = Car::new(vec![2], 0);
+        assert_eq!(car.support(&d), 2);
+        assert_eq!(car.total_matches(&d), 4);
+        assert_eq!(car.confidence(&d), Some(0.5));
+    }
+
+    #[test]
+    fn empty_antecedent_matches_everything() {
+        let d = table1();
+        let car = Car::new(vec![], 0);
+        assert_eq!(car.total_matches(&d), 5);
+        assert_eq!(car.support(&d), 3);
+    }
+
+    #[test]
+    fn unmatched_car_confidence_is_none() {
+        let d = table1();
+        let car = Car::new(vec![0, 1, 2, 3, 4, 5], 0);
+        assert_eq!(car.confidence(&d), None);
+    }
+
+    #[test]
+    fn duplicate_items_are_deduped() {
+        let car = Car::new(vec![3, 3, 1], 0);
+        assert_eq!(car.items, vec![1, 3]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Minimal-hitting-set enumeration — the combinatorial core shared by
+//! lower-bound mining ([`crate::lower`]) and the TOP-RULES 100 %-confident
+//! CAR miner ([`crate::toprules`]).
+//!
+//! Given a family of "difference" sets `D_1 … D_m` over item positions, a
+//! hitting set picks at least one element from every `D_i`; the *minimal*
+//! ones are enumerated smallest-first by iterative-deepening DFS that
+//! branches only on the elements of an uncovered set (smallest first),
+//! with the standard forbidden-element trick preventing duplicates.
+
+use crate::budget::Budget;
+
+/// Result of an enumeration run.
+pub struct HittingSets {
+    /// Minimal hitting sets (each sorted ascending), smallest-first.
+    pub sets: Vec<Vec<usize>>,
+    /// False when the budget expired mid-search (results are partial).
+    pub finished: bool,
+}
+
+/// Enumerates up to `limit` minimal hitting sets of `diffs` with at most
+/// `max_len` elements each.
+///
+/// An empty family is hit by the empty set: the result is one empty set
+/// (callers decide what that means). A family containing an empty `D_i`
+/// is unhittable: the result is no sets.
+pub fn minimal_hitting_sets(
+    diffs: &[Vec<usize>],
+    max_len: usize,
+    limit: usize,
+    budget: &mut Budget,
+) -> HittingSets {
+    if limit == 0 {
+        return HittingSets { sets: Vec::new(), finished: true };
+    }
+    if diffs.is_empty() {
+        return HittingSets { sets: vec![Vec::new()], finished: true };
+    }
+    if diffs.iter().any(Vec::is_empty) {
+        return HittingSets { sets: Vec::new(), finished: true };
+    }
+
+    let mut sets: Vec<Vec<usize>> = Vec::new();
+    for depth in 1..=max_len {
+        let mut chosen = Vec::new();
+        let mut forbidden = Vec::new();
+        if !dfs(diffs, depth, &mut chosen, &mut forbidden, &mut sets, limit, budget) {
+            return HittingSets { sets, finished: false };
+        }
+        if sets.len() >= limit {
+            break;
+        }
+    }
+    HittingSets { sets, finished: true }
+}
+
+/// Depth-limited DFS; returns `false` on budget expiry.
+fn dfs(
+    diffs: &[Vec<usize>],
+    depth_left: usize,
+    chosen: &mut Vec<usize>,
+    forbidden: &mut Vec<usize>,
+    sets: &mut Vec<Vec<usize>>,
+    limit: usize,
+    budget: &mut Budget,
+) -> bool {
+    if !budget.tick() {
+        return false;
+    }
+    // Smallest uncovered difference set drives the branching.
+    let mut pick: Option<&Vec<usize>> = None;
+    for d in diffs {
+        if d.iter().any(|i| chosen.contains(i)) {
+            continue;
+        }
+        if pick.is_none_or(|p| d.len() < p.len()) {
+            pick = Some(d);
+        }
+    }
+    let Some(d) = pick else {
+        // Covered: keep iff minimal (each element hits some set privately).
+        let minimal = chosen.iter().all(|&i| {
+            diffs
+                .iter()
+                .any(|d| d.contains(&i) && d.iter().filter(|j| chosen.contains(j)).count() == 1)
+        });
+        if minimal {
+            let mut s = chosen.clone();
+            s.sort_unstable();
+            if !sets.contains(&s) {
+                sets.push(s);
+            }
+        }
+        return true;
+    };
+    if depth_left == 0 {
+        return true;
+    }
+    let mark = forbidden.len();
+    for &i in d {
+        if forbidden.contains(&i) {
+            continue;
+        }
+        chosen.push(i);
+        let ok = dfs(diffs, depth_left - 1, chosen, forbidden, sets, limit, budget);
+        chosen.pop();
+        if !ok {
+            return false;
+        }
+        if sets.len() >= limit {
+            forbidden.truncate(mark);
+            return true;
+        }
+        forbidden.push(i);
+    }
+    forbidden.truncate(mark);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(diffs: &[Vec<usize>], max_len: usize, limit: usize) -> Vec<Vec<usize>> {
+        let mut b = Budget::unlimited();
+        let r = minimal_hitting_sets(diffs, max_len, limit, &mut b);
+        assert!(r.finished);
+        r.sets
+    }
+
+    #[test]
+    fn empty_family_is_hit_by_empty_set() {
+        assert_eq!(run(&[], 3, 10), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn unhittable_family_yields_nothing() {
+        assert!(run(&[vec![1, 2], vec![]], 3, 10).is_empty());
+    }
+
+    #[test]
+    fn single_set_yields_its_singletons() {
+        let mut sets = run(&[vec![3, 1, 2]], 3, 10);
+        sets.sort();
+        assert_eq!(sets, vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn shared_element_is_the_unique_minimal_set() {
+        // {1,2} and {2,3}: {2} hits both; {1,3} is the other minimal.
+        let mut sets = run(&[vec![1, 2], vec![2, 3]], 3, 10);
+        sets.sort();
+        assert_eq!(sets, vec![vec![1, 3], vec![2]]);
+    }
+
+    #[test]
+    fn minimality_filters_supersets() {
+        // Any set containing 2 other than {2} itself is non-minimal here.
+        let sets = run(&[vec![2], vec![2, 5]], 3, 10);
+        assert_eq!(sets, vec![vec![2]]);
+    }
+
+    #[test]
+    fn limit_caps_output() {
+        let sets = run(&[vec![1, 2, 3, 4, 5]], 2, 2);
+        assert_eq!(sets.len(), 2);
+    }
+
+    #[test]
+    fn max_len_caps_depth() {
+        // Three disjoint sets need 3 elements; max_len 2 finds nothing.
+        let sets = run(&[vec![1], vec![2], vec![3]], 2, 10);
+        assert!(sets.is_empty());
+        let sets = run(&[vec![1], vec![2], vec![3]], 3, 10);
+        assert_eq!(sets, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn budget_expiry_reports_unfinished() {
+        let mut b = Budget::with_nodes(1);
+        let r = minimal_hitting_sets(&[vec![1, 2], vec![3, 4]], 3, 10, &mut b);
+        assert!(!r.finished);
+    }
+
+    #[test]
+    fn classic_transversal_example() {
+        // D = {{1,2},{1,3},{2,3}}: minimal transversals are all pairs.
+        let mut sets = run(&[vec![1, 2], vec![1, 3], vec![2, 3]], 3, 10);
+        sets.sort();
+        assert_eq!(sets, vec![vec![1, 2], vec![1, 3], vec![2, 3]]);
+    }
+}

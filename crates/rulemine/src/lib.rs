@@ -1,0 +1,60 @@
+//! # rulemine — the conjunctive-association-rule baseline
+//!
+//! The BSTC paper benchmarks against the Top-k covering rule group miner
+//! and the RCBT classifier of Cong et al. (SIGMOD 2005) — the
+//! state-of-the-art CAR pipeline whose pruned *exponential* searches BSTC
+//! set out to replace. This crate reimplements that pipeline from scratch:
+//!
+//! * [`car`] — conjunctive association rules with the §2 support and
+//!   confidence definitions;
+//! * [`topk`] — top-k covering rule group mining by row enumeration over
+//!   class-sample subsets (closed itemsets, LCM-style prefix-preserving
+//!   extension, minsup and confidence-bound pruning);
+//! * [`lower`] — lower-bound mining: the pruned BFS over subsets of a rule
+//!   group's antecedent that makes RCBT blow up on wide upper bounds
+//!   (§6.2.3);
+//! * [`rcbt`] — the k-classifier committee (1 primary + k−1 standby)
+//!   scoring classes by normalized Σ confidence·support of matched lower
+//!   bounds;
+//! * [`budget`] — the wall-clock/node cutoffs behind the paper's
+//!   "# RCBT DNF" and "≥ runtime" reporting;
+//! * [`cba`] — the CBA classifier (Liu et al. 1998) whose reported
+//!   accuracy §6.1 quotes, for completeness of the comparison set;
+//! * [`toprules`] — the TOP-RULES border of all minimal 100 %-confident
+//!   CARs (Li et al. 1999), the §7 related work closest to BARs — used to
+//!   cross-validate the BST representation (Theorem 2);
+//! * [`hitting`] — the minimal-hitting-set enumerator shared by the
+//!   lower-bound and TOP-RULES miners.
+//!
+//! Everything here is deliberately the *expensive* path; see the `bstc`
+//! crate for the polynomial alternative.
+//!
+//! ```
+//! use microarray::fixtures::table1;
+//! use rulemine::{mine_topk_groups, Budget, TopkParams};
+//!
+//! let data = table1();
+//! let mut budget = Budget::unlimited();
+//! let res = mine_topk_groups(&data, 0, TopkParams { k: 10, minsup: 0.0 }, &mut budget);
+//! // The closed group {g1, g3} ⇒ Cancer is mined with confidence 1.
+//! assert!(res.groups.iter().any(|g| g.items == vec![0, 2] && g.confidence == 1.0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod cba;
+pub mod hitting;
+pub mod car;
+pub mod lower;
+pub mod rcbt;
+pub mod topk;
+pub mod toprules;
+
+pub use budget::{Budget, Outcome};
+pub use car::Car;
+pub use cba::{train_cba, CbaModel, CbaParams, CbaTraining};
+pub use lower::{mine_lower_bounds, LowerBounds};
+pub use rcbt::{train as train_rcbt, RcbtModel, RcbtParams, RcbtTraining};
+pub use topk::{mine_topk_groups, mine_topk_groups_all, RuleGroup, TopkParams, TopkResult};
+pub use toprules::{mine_top_rules, TopRules};

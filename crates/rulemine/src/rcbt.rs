@@ -1,0 +1,316 @@
+//! RCBT — Refined Classification Based on Top-k covering rule groups
+//! (Cong et al., SIGMOD 2005), the paper's baseline classifier.
+//!
+//! Training (as run in the paper's §6 with `support = 0.7`, `k = 10`,
+//! `nl = 20`, 10 classifiers):
+//!
+//! 1. mine the top-k covering rule groups of every class (`topk`);
+//! 2. for each group, mine `nl` lower-bound rules (`lower`) — the short
+//!    rules actually matched against queries;
+//! 3. build `k` classifiers: classifier `j` holds, per class, the lower
+//!    bounds of each row's rank-`j` covering group (1 primary + k−1
+//!    standby).
+//!
+//! Classification: the primary classifier scores each class by the
+//! normalized sum of `confidence × support` over its matched lower-bound
+//! rules; if no rule of any class matches, the next standby classifier is
+//! consulted; if none ever matches, the majority training class is
+//! returned (the "default classification" the paper's §5.3.2 contrasts
+//! against).
+//!
+//! Both mining phases are budgeted; an expired budget yields
+//! [`Outcome::DidNotFinish`] and a partially-trained model, mirroring the
+//! paper's DNF accounting.
+
+use crate::budget::{Budget, Outcome};
+use crate::lower::mine_lower_bounds;
+use crate::topk::{mine_topk_groups, RuleGroup, TopkParams};
+use microarray::{BitSet, BoolDataset, ClassId, ItemId};
+use serde::{Deserialize, Serialize};
+
+/// RCBT hyper-parameters (author-suggested defaults from §6).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RcbtParams {
+    /// Covering rule groups per row / number of classifiers (paper: 10).
+    pub k: usize,
+    /// Lower bounds mined per rule group (paper: 20; lowered to 2 under
+    /// the † runs of Tables 4 and 6).
+    pub nl: usize,
+    /// Minimum class support fraction for Top-k mining (paper: 0.7).
+    pub minsup: f64,
+}
+
+impl Default for RcbtParams {
+    fn default() -> Self {
+        RcbtParams { k: 10, nl: 20, minsup: 0.7 }
+    }
+}
+
+/// One scoring rule: a lower bound with its group's statistics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ScoredRule {
+    items: Vec<ItemId>,
+    confidence: f64,
+    support: usize,
+}
+
+impl ScoredRule {
+    fn matches(&self, q: &BitSet) -> bool {
+        self.items.iter().all(|&g| q.contains(g))
+    }
+}
+
+/// A trained RCBT model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RcbtModel {
+    /// `classifiers[j][class]` = rules of standby level `j` for `class`.
+    classifiers: Vec<Vec<Vec<ScoredRule>>>,
+    /// Per classifier level and class: Σ conf·supp over all its rules
+    /// (score normalizer).
+    normalizers: Vec<Vec<f64>>,
+    default_class: ClassId,
+    n_classes: usize,
+}
+
+/// Outcome-carrying training result: the model plus DNF bookkeeping for the
+/// two mining phases (reported separately in Tables 4/6 as "Top-k" and
+/// "RCBT" columns).
+#[derive(Debug)]
+pub struct RcbtTraining {
+    /// The (possibly partially trained) model.
+    pub model: RcbtModel,
+    /// Outcome of Top-k rule group mining.
+    pub topk_outcome: Outcome,
+    /// Outcome of lower-bound mining.
+    pub lower_outcome: Outcome,
+    /// Rule groups mined per class (diagnostics).
+    pub groups_per_class: Vec<usize>,
+}
+
+impl RcbtTraining {
+    /// Combined outcome: finished only if both phases finished.
+    pub fn outcome(&self) -> Outcome {
+        self.topk_outcome.and(self.lower_outcome)
+    }
+}
+
+/// Trains RCBT. `topk_budget` covers rule-group mining, `lower_budget` the
+/// lower-bound BFS (the phase the paper cuts off separately).
+pub fn train(
+    data: &BoolDataset,
+    params: RcbtParams,
+    topk_budget: &mut Budget,
+    lower_budget: &mut Budget,
+) -> RcbtTraining {
+    let n_classes = data.n_classes();
+    let sizes = data.class_sizes();
+    let default_class = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &s)| s)
+        .map(|(c, _)| c)
+        .unwrap_or(0);
+
+    // Phase 1: top-k covering rule groups per class.
+    let mut topk_outcome = Outcome::Finished;
+    let mut per_class_groups: Vec<Vec<RuleGroup>> = Vec::with_capacity(n_classes);
+    for class in 0..n_classes {
+        let res = mine_topk_groups(
+            data,
+            class,
+            TopkParams { k: params.k, minsup: params.minsup },
+            topk_budget,
+        );
+        topk_outcome = topk_outcome.and(res.outcome);
+        per_class_groups.push(res.groups);
+    }
+
+    // Phase 2: lower bounds, assembled into k standby levels. Groups are
+    // already sorted best-first; level j takes each class's rank-j group.
+    let mut lower_outcome = Outcome::Finished;
+    let mut classifiers: Vec<Vec<Vec<ScoredRule>>> = Vec::with_capacity(params.k);
+    for level in 0..params.k {
+        let mut per_class: Vec<Vec<ScoredRule>> = Vec::with_capacity(n_classes);
+        for groups in per_class_groups.iter() {
+            let mut rules = Vec::new();
+            if let Some(group) = groups.get(level) {
+                let lb = mine_lower_bounds(data, group, params.nl, lower_budget);
+                lower_outcome = lower_outcome.and(lb.outcome);
+                for items in lb.bounds {
+                    rules.push(ScoredRule {
+                        items,
+                        confidence: group.confidence,
+                        support: group.class_support,
+                    });
+                }
+            }
+            per_class.push(rules);
+        }
+        classifiers.push(per_class);
+    }
+
+    let normalizers = classifiers
+        .iter()
+        .map(|per_class| {
+            per_class
+                .iter()
+                .map(|rules| {
+                    rules.iter().map(|r| r.confidence * r.support as f64).sum::<f64>()
+                })
+                .collect()
+        })
+        .collect();
+
+    RcbtTraining {
+        model: RcbtModel { classifiers, normalizers, default_class, n_classes },
+        topk_outcome,
+        lower_outcome,
+        groups_per_class: per_class_groups.iter().map(Vec::len).collect(),
+    }
+}
+
+impl RcbtModel {
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The majority-class fallback.
+    pub fn default_class(&self) -> ClassId {
+        self.default_class
+    }
+
+    /// Classifies a query: primary classifier first, then standbys, then
+    /// the default class.
+    pub fn classify(&self, query: &BitSet) -> ClassId {
+        for (level, per_class) in self.classifiers.iter().enumerate() {
+            let mut best: Option<(f64, ClassId)> = None;
+            for (class, rules) in per_class.iter().enumerate() {
+                let raw: f64 = rules
+                    .iter()
+                    .filter(|r| r.matches(query))
+                    .map(|r| r.confidence * r.support as f64)
+                    .sum();
+                if raw <= 0.0 {
+                    continue;
+                }
+                let norm = self.normalizers[level][class];
+                let score = if norm > 0.0 { raw / norm } else { 0.0 };
+                if best.is_none_or(|(b, _)| score > b) {
+                    best = Some((score, class));
+                }
+            }
+            if let Some((_, class)) = best {
+                return class;
+            }
+        }
+        self.default_class
+    }
+
+    /// Classifies a batch of queries.
+    pub fn classify_all(&self, queries: &[BitSet]) -> Vec<ClassId> {
+        queries.iter().map(|q| self.classify(q)).collect()
+    }
+
+    /// Total number of lower-bound rules across all levels and classes.
+    pub fn n_rules(&self) -> usize {
+        self.classifiers.iter().flatten().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microarray::fixtures::table1;
+
+    fn train_table1(minsup: f64) -> RcbtTraining {
+        let d = table1();
+        let mut tb = Budget::unlimited();
+        let mut lb = Budget::unlimited();
+        train(&d, RcbtParams { k: 3, nl: 5, minsup }, &mut tb, &mut lb)
+    }
+
+    #[test]
+    fn trains_and_finishes_on_table1() {
+        let t = train_table1(0.0);
+        assert_eq!(t.outcome(), Outcome::Finished);
+        assert_eq!(t.model.n_classes(), 2);
+        assert!(t.model.n_rules() > 0);
+        assert_eq!(t.groups_per_class.len(), 2);
+    }
+
+    #[test]
+    fn classifies_training_samples_correctly() {
+        let d = table1();
+        let t = train_table1(0.0);
+        let preds = t.model.classify_all(d.samples());
+        let correct =
+            preds.iter().zip(d.labels()).filter(|(p, l)| p == l).count();
+        // RCBT should get most training samples right on this tiny set.
+        assert!(correct >= 4, "only {correct}/5 training samples correct: {preds:?}");
+    }
+
+    #[test]
+    fn default_class_is_majority() {
+        let t = train_table1(0.0);
+        assert_eq!(t.model.default_class(), 0); // Cancer has 3 of 5 samples
+    }
+
+    #[test]
+    fn unmatched_query_falls_back_to_default() {
+        let t = train_table1(0.0);
+        let empty = BitSet::new(6);
+        assert_eq!(t.model.classify(&empty), 0);
+    }
+
+    #[test]
+    fn section_5_4_query_agrees_with_bstc() {
+        // The paper's worked query is Cancer; RCBT should agree here.
+        let t = train_table1(0.0);
+        let q = microarray::fixtures::section54_query();
+        assert_eq!(t.model.classify(&q), 0);
+    }
+
+    #[test]
+    fn expired_topk_budget_reports_dnf() {
+        let d = table1();
+        let mut tb = Budget::with_nodes(1);
+        let mut lb = Budget::unlimited();
+        let t = train(&d, RcbtParams::default(), &mut tb, &mut lb);
+        assert_eq!(t.topk_outcome, Outcome::DidNotFinish);
+        assert!(t.outcome().dnf());
+    }
+
+    #[test]
+    fn expired_lower_budget_reports_dnf() {
+        let d = table1();
+        let mut tb = Budget::unlimited();
+        let mut lb = Budget::with_nodes(1);
+        let t = train(&d, RcbtParams { k: 3, nl: 5, minsup: 0.0 }, &mut tb, &mut lb);
+        assert_eq!(t.topk_outcome, Outcome::Finished);
+        assert_eq!(t.lower_outcome, Outcome::DidNotFinish);
+    }
+
+    #[test]
+    fn high_minsup_prunes_cancer_rules() {
+        // minsup 0.9 needs all 3 Cancer rows (closure: empty itemset,
+        // filtered) but only both Healthy rows, whose closure {g3,g5} has a
+        // singleton lower bound {g5}. So only Healthy carries rules: a
+        // query expressing g5 goes Healthy, one expressing nothing falls
+        // back to the Cancer default.
+        let t = train_table1(0.9);
+        assert_eq!(t.model.n_rules(), 1);
+        let g5 = BitSet::from_iter(6, [4]);
+        assert_eq!(t.model.classify(&g5), 1);
+        assert_eq!(t.model.classify(&BitSet::new(6)), 0);
+    }
+
+    #[test]
+    fn model_serializes() {
+        let t = train_table1(0.0);
+        let json = serde_json::to_string(&t.model).unwrap();
+        let back: RcbtModel = serde_json::from_str(&json).unwrap();
+        let q = microarray::fixtures::section54_query();
+        assert_eq!(back.classify(&q), t.model.classify(&q));
+    }
+}

@@ -1,0 +1,208 @@
+//! TOP-RULES — mining all 100 %-confident CARs without support thresholds
+//! (Li et al., PKDD 1999), the related work §7 calls "perhaps the work
+//! closest to utilizing 100 % BARs".
+//!
+//! A conjunction `A ⇒ C` is 100 % confident iff some class-C sample
+//! expresses all of `A` and **no** other-class sample does. The compact
+//! representation is the *border*: the minimal such `A`s — every superset
+//! of a minimal rule that stays inside one supporting sample is also
+//! 100 % confident. For a supporting sample `c`, the minimal rules are
+//! exactly the minimal hitting sets of `{items(c) − items(h)}` over all
+//! out-of-class samples `h` — the same transversal structure as RCBT's
+//! lower bounds, solved by the shared [`crate::hitting`] enumerator.
+//!
+//! The BSTC paper proves (§4.3, Theorem 2) that BSTs contain all of this
+//! information; the workspace's property tests cross-validate the two
+//! representations against each other.
+
+use crate::budget::{Budget, Outcome};
+use crate::car::Car;
+use crate::hitting::minimal_hitting_sets;
+use microarray::{BoolDataset, ClassId, ItemId};
+
+/// Result of a TOP-RULES run for one class.
+#[derive(Clone, Debug)]
+pub struct TopRules {
+    /// The minimal 100 %-confident CARs (the border), deduplicated.
+    pub rules: Vec<Car>,
+    /// Whether every supporting sample's search completed.
+    pub outcome: Outcome,
+}
+
+/// Mines the border of 100 %-confident CARs for `class`.
+///
+/// `max_len` caps antecedent length (the emerging-pattern literature's
+/// practical cap — borders are short when classes are separable at all);
+/// `per_sample_limit` caps rules kept per supporting sample.
+pub fn mine_top_rules(
+    data: &BoolDataset,
+    class: ClassId,
+    max_len: usize,
+    per_sample_limit: usize,
+    budget: &mut Budget,
+) -> TopRules {
+    let out: Vec<ItemId> = (0..data.n_samples()).filter(|&s| data.label(s) != class).collect();
+    let mut rules: Vec<Car> = Vec::new();
+    let mut outcome = Outcome::Finished;
+
+    for c in data.class_members(class) {
+        let items: Vec<ItemId> = data.sample(c).to_vec();
+        if items.is_empty() {
+            continue;
+        }
+        // D_h = positions (into `items`) of items h lacks. A rule must
+        // contain one of them for every h to exclude all out samples.
+        let diffs: Vec<Vec<usize>> = out
+            .iter()
+            .map(|&h| {
+                (0..items.len())
+                    .filter(|&i| !data.sample(h).contains(items[i]))
+                    .collect::<Vec<usize>>()
+            })
+            .collect();
+        let res = minimal_hitting_sets(&diffs, max_len.min(items.len()), per_sample_limit, budget);
+        if !res.finished {
+            outcome = Outcome::DidNotFinish;
+        }
+        for pos in res.sets {
+            if pos.is_empty() {
+                // No out samples at all: the border is the empty rule;
+                // represent it by each singleton instead (a usable CAR
+                // needs an antecedent).
+                for &g in items.iter().take(per_sample_limit) {
+                    let car = Car::new(vec![g], class);
+                    if !rules.contains(&car) {
+                        rules.push(car);
+                    }
+                }
+                continue;
+            }
+            let car = Car::new(pos.into_iter().map(|i| items[i]).collect(), class);
+            if !rules.contains(&car) {
+                rules.push(car);
+            }
+        }
+        if outcome.dnf() {
+            break;
+        }
+    }
+    rules.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then_with(|| a.items.cmp(&b.items)));
+    TopRules { rules, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microarray::fixtures::table1;
+
+    fn mine(class: usize) -> TopRules {
+        let d = table1();
+        let mut b = Budget::unlimited();
+        mine_top_rules(&d, class, 4, 50, &mut b)
+    }
+
+    #[test]
+    fn all_mined_rules_are_100_percent_confident() {
+        let d = table1();
+        for class in 0..2 {
+            let r = mine(class);
+            assert_eq!(r.outcome, Outcome::Finished);
+            assert!(!r.rules.is_empty());
+            for car in &r.rules {
+                assert_eq!(car.confidence(&d), Some(1.0), "{car:?}");
+                assert!(car.support(&d) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rules_are_minimal() {
+        // Removing any item from a mined rule breaks 100% confidence (or
+        // empties the rule).
+        let d = table1();
+        for class in 0..2 {
+            for car in mine(class).rules {
+                for skip in 0..car.items.len() {
+                    let reduced: Vec<usize> = car
+                        .items
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != skip)
+                        .map(|(_, &g)| g)
+                        .collect();
+                    if reduced.is_empty() {
+                        continue;
+                    }
+                    let sub = Car::new(reduced, class);
+                    assert_ne!(sub.confidence(&d), Some(1.0), "{car:?} not minimal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_cancer_border_members() {
+        // g1 alone is Cancer-pure (minimal); {g1,g3} is 100% confident but
+        // NOT minimal (g1 ⊂ it), so it must not appear in the border.
+        let r = mine(0);
+        assert!(r.rules.contains(&Car::new(vec![0], 0)), "{:?}", r.rules);
+        assert!(!r.rules.contains(&Car::new(vec![0, 2], 0)));
+    }
+
+    #[test]
+    fn healthy_border_contains_g5_g6() {
+        // §1's motivating rule g5,g6 ⇒ Healthy: 100% confident; minimal
+        // because g5 and g6 alone both appear in Cancer samples.
+        let r = mine(1);
+        assert!(r.rules.contains(&Car::new(vec![4, 5], 1)), "{:?}", r.rules);
+    }
+
+    #[test]
+    fn border_is_complete_up_to_max_len() {
+        // Brute force: every minimal 100%-confident CAR of length ≤ 3 must
+        // be in the mined border.
+        let d = table1();
+        for class in 0..2 {
+            let mined = mine(class).rules;
+            let is_conf1 = |items: &[usize]| {
+                let car = Car::new(items.to_vec(), class);
+                car.confidence(&d) == Some(1.0)
+            };
+            for a in 0..6 {
+                for b in a..6 {
+                    for c in b..6 {
+                        let mut items = vec![a, b, c];
+                        items.dedup();
+                        if !is_conf1(&items) {
+                            continue;
+                        }
+                        // Minimal? every proper non-empty subset below 100%.
+                        let minimal = (0..items.len()).all(|skip| {
+                            let sub: Vec<usize> = items
+                                .iter()
+                                .enumerate()
+                                .filter(|&(i, _)| i != skip)
+                                .map(|(_, &g)| g)
+                                .collect();
+                            sub.is_empty() || !is_conf1(&sub)
+                        });
+                        if minimal {
+                            assert!(
+                                mined.contains(&Car::new(items.clone(), class)),
+                                "missing border rule {items:?} for class {class}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_expiry_is_reported() {
+        let d = table1();
+        let mut b = Budget::with_nodes(1);
+        let r = mine_top_rules(&d, 0, 4, 50, &mut b);
+        assert_eq!(r.outcome, Outcome::DidNotFinish);
+    }
+}

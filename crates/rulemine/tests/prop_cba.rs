@@ -1,0 +1,73 @@
+//! Property tests for the CBA baseline.
+
+use microarray::{BitSet, BoolDataset};
+use proptest::prelude::*;
+use rulemine::{train_cba, Budget, CbaParams, Outcome};
+
+fn dataset() -> impl Strategy<Value = BoolDataset> {
+    (2usize..4, 3usize..8, 3usize..12).prop_flat_map(|(n_classes, n_items, extra)| {
+        let n_samples = n_classes + extra;
+        (
+            prop::collection::vec(prop::collection::vec(0..n_items, 0..n_items), n_samples),
+            prop::collection::vec(0..n_classes, n_samples - n_classes),
+        )
+            .prop_map(move |(sample_items, tail)| {
+                let item_names = (0..n_items).map(|i| format!("g{i}")).collect();
+                let class_names = (0..n_classes).map(|c| format!("c{c}")).collect();
+                let sets: Vec<BitSet> = sample_items
+                    .iter()
+                    .map(|items| BitSet::from_iter(n_items, items.iter().copied()))
+                    .collect();
+                let mut labels: Vec<usize> = (0..n_classes).collect();
+                labels.extend(tail);
+                BoolDataset::new(item_names, class_names, sets, labels).unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Selected rules clear both thresholds and are sorted by precedence.
+    #[test]
+    fn selected_rules_respect_thresholds(d in dataset()) {
+        let params = CbaParams { minsup: 0.2, minconf: 0.6, max_len: 3 };
+        let mut b = Budget::unlimited();
+        let t = train_cba(&d, params, &mut b);
+        prop_assert_eq!(t.outcome, Outcome::Finished);
+        let min_count = ((params.minsup * d.n_samples() as f64).ceil() as usize).max(1);
+        let mut last_conf = f64::INFINITY;
+        for car in t.model.rules_as_cars() {
+            let conf = car.confidence(&d).expect("selected rules match something");
+            let total = car.total_matches(&d);
+            prop_assert!(total >= min_count, "{car:?} support {total} < {min_count}");
+            prop_assert!(conf >= params.minconf - 1e-12, "{car:?} conf {conf}");
+            prop_assert!(car.items.len() <= params.max_len);
+            prop_assert!(conf <= last_conf + 1e-12, "precedence not by confidence");
+            last_conf = conf;
+        }
+    }
+
+    /// Classification is total, deterministic and valid.
+    #[test]
+    fn classification_valid(d in dataset(),
+                            q in prop::collection::vec(0usize..8, 0..8)) {
+        let mut b = Budget::unlimited();
+        let t = train_cba(&d, CbaParams::default(), &mut b);
+        let query = BitSet::from_iter(d.n_items(), q.iter().map(|&g| g % d.n_items()));
+        let c = t.model.classify(&query);
+        prop_assert_eq!(c, t.model.classify(&query));
+        prop_assert!(c < d.n_classes());
+    }
+
+    /// Every selected rule was useful at selection time: it matches at
+    /// least one training sample of its own class.
+    #[test]
+    fn selected_rules_match_their_class(d in dataset()) {
+        let mut b = Budget::unlimited();
+        let t = train_cba(&d, CbaParams { minsup: 0.15, minconf: 0.5, max_len: 2 }, &mut b);
+        for car in t.model.rules_as_cars() {
+            prop_assert!(car.support(&d) > 0, "{car:?} matches no own-class sample");
+        }
+    }
+}

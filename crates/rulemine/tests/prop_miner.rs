@@ -1,0 +1,181 @@
+//! Property tests: the row-enumeration Top-k miner must agree with a
+//! brute-force closed-itemset enumerator on small universes, and lower
+//! bounds must be exact and minimal.
+
+use microarray::{BitSet, BoolDataset};
+use proptest::prelude::*;
+use rulemine::{mine_lower_bounds, mine_topk_groups, Budget, Outcome, TopkParams};
+use std::collections::{HashMap, HashSet};
+
+fn dataset() -> impl Strategy<Value = BoolDataset> {
+    (2usize..3, 3usize..7, 2usize..8).prop_flat_map(|(n_classes, n_items, extra)| {
+        let n_samples = n_classes + extra;
+        (
+            prop::collection::vec(prop::collection::vec(0..n_items, 0..n_items), n_samples),
+            prop::collection::vec(0..n_classes, n_samples - n_classes),
+        )
+            .prop_map(move |(sample_items, tail)| {
+                let item_names = (0..n_items).map(|i| format!("g{i}")).collect();
+                let class_names = (0..n_classes).map(|c| format!("c{c}")).collect();
+                let sets: Vec<BitSet> = sample_items
+                    .iter()
+                    .map(|items| BitSet::from_iter(n_items, items.iter().copied()))
+                    .collect();
+                let mut labels: Vec<usize> = (0..n_classes).collect();
+                labels.extend(tail);
+                BoolDataset::new(item_names, class_names, sets, labels).unwrap()
+            })
+    })
+}
+
+/// Brute force: every non-empty closed itemset of the class (closure of
+/// some class-row subset), with class rows / supports.
+fn brute_closed_groups(d: &BoolDataset, class: usize) -> HashMap<Vec<usize>, Vec<usize>> {
+    let rows = d.class_members(class);
+    let n = rows.len();
+    let mut out: HashMap<Vec<usize>, Vec<usize>> = HashMap::new();
+    for mask in 1u32..(1 << n) {
+        let subset: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+        let mut items = BitSet::full(d.n_items());
+        for &i in &subset {
+            items.intersect_with(d.sample(rows[i]));
+        }
+        if items.is_empty() {
+            continue;
+        }
+        // Closure: all class rows containing the itemset.
+        let closure: Vec<usize> =
+            (0..n).filter(|&i| items.is_subset(d.sample(rows[i]))).collect();
+        let mut closed_items = BitSet::full(d.n_items());
+        for &i in &closure {
+            closed_items.intersect_with(d.sample(rows[i]));
+        }
+        out.insert(closed_items.to_vec(), closure);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With k large and minsup 0, the miner must enumerate exactly the
+    /// closed itemsets the brute-force search finds, with matching rows.
+    #[test]
+    fn topk_matches_brute_force(d in dataset()) {
+        for class in 0..d.n_classes() {
+            let mut budget = Budget::unlimited();
+            let res = mine_topk_groups(
+                &d, class, TopkParams { k: 1000, minsup: 0.0 }, &mut budget);
+            prop_assert_eq!(res.outcome, Outcome::Finished);
+            let brute = brute_closed_groups(&d, class);
+            let mined: HashMap<Vec<usize>, Vec<usize>> = res
+                .groups
+                .iter()
+                .map(|g| (g.items.clone(), g.class_rows.clone()))
+                .collect();
+            prop_assert_eq!(&mined, &brute,
+                "class {} mined {} vs brute {}", class, mined.len(), brute.len());
+        }
+    }
+
+    /// Mined statistics are internally consistent.
+    #[test]
+    fn group_statistics_consistent(d in dataset()) {
+        for class in 0..d.n_classes() {
+            let mut budget = Budget::unlimited();
+            let res = mine_topk_groups(
+                &d, class, TopkParams { k: 50, minsup: 0.3 }, &mut budget);
+            for g in &res.groups {
+                prop_assert_eq!(g.class_support, g.class_rows.len());
+                prop_assert!(g.total_support >= g.class_support);
+                let expect_conf = g.class_support as f64 / g.total_support as f64;
+                prop_assert!((g.confidence - expect_conf).abs() < 1e-12);
+                // Recount from the dataset.
+                let total = (0..d.n_samples())
+                    .filter(|&s| g.items.iter().all(|&i| d.sample(s).contains(i)))
+                    .count();
+                prop_assert_eq!(total, g.total_support);
+            }
+        }
+    }
+
+    /// Lower bounds: exact support signature, minimality, and no bound is
+    /// a superset of another.
+    #[test]
+    fn lower_bounds_exact_and_minimal(d in dataset()) {
+        let support_of = |items: &[usize]| -> Vec<usize> {
+            (0..d.n_samples())
+                .filter(|&s| items.iter().all(|&g| d.sample(s).contains(g)))
+                .collect()
+        };
+        for class in 0..d.n_classes() {
+            let mut budget = Budget::unlimited();
+            let res = mine_topk_groups(
+                &d, class, TopkParams { k: 5, minsup: 0.0 }, &mut budget);
+            for g in res.groups.iter().take(4) {
+                let mut b = Budget::unlimited();
+                let lb = mine_lower_bounds(&d, g, 10, &mut b);
+                let target = support_of(&g.items);
+                for bound in &lb.bounds {
+                    prop_assert_eq!(&support_of(bound), &target);
+                    for skip in 0..bound.len() {
+                        let reduced: Vec<usize> = bound.iter().enumerate()
+                            .filter(|&(i, _)| i != skip).map(|(_, &x)| x).collect();
+                        // Rules need non-empty antecedents: minimality is
+                        // over non-empty proper subsets only.
+                        if reduced.is_empty() {
+                            continue;
+                        }
+                        prop_assert!(support_of(&reduced) != target,
+                            "non-minimal bound {:?}", bound);
+                    }
+                }
+                let as_sets: Vec<HashSet<usize>> =
+                    lb.bounds.iter().map(|b| b.iter().copied().collect()).collect();
+                for i in 0..as_sets.len() {
+                    for j in 0..as_sets.len() {
+                        if i != j {
+                            prop_assert!(!as_sets[i].is_subset(&as_sets[j]) || i == j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// RCBT classification is deterministic and always returns a valid
+    /// class.
+    #[test]
+    fn rcbt_classification_valid(d in dataset(),
+                                 q_items in prop::collection::vec(0usize..7, 0..7)) {
+        let mut tb = Budget::unlimited();
+        let mut lbb = Budget::unlimited();
+        let t = rulemine::train_rcbt(
+            &d,
+            rulemine::RcbtParams { k: 3, nl: 5, minsup: 0.0 },
+            &mut tb,
+            &mut lbb,
+        );
+        let q = BitSet::from_iter(d.n_items(), q_items.iter().map(|&g| g % d.n_items()));
+        let c1 = t.model.classify(&q);
+        let c2 = t.model.classify(&q);
+        prop_assert_eq!(c1, c2);
+        prop_assert!(c1 < d.n_classes());
+    }
+
+    /// A budgeted run returns a subset of the unbudgeted run's groups.
+    #[test]
+    fn budgeted_run_is_partial_prefix(d in dataset()) {
+        let params = TopkParams { k: 10, minsup: 0.0 };
+        let mut full_budget = Budget::unlimited();
+        let full = mine_topk_groups(&d, 0, params, &mut full_budget);
+        let mut small = Budget::with_nodes(5);
+        let partial = mine_topk_groups(&d, 0, params, &mut small);
+        let full_items: HashSet<Vec<usize>> =
+            full.groups.iter().map(|g| g.items.clone()).collect();
+        for g in &partial.groups {
+            prop_assert!(full_items.contains(&g.items),
+                "budgeted run invented a group");
+        }
+    }
+}

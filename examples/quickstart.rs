@@ -1,0 +1,61 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Reproduces Table 1, the Figure 1 Cancer BST, the Figure 2 gene-row
+//! BARs, and the §5.4 worked classification (Figure 3): the query
+//! `{g1, g4, g5}` scores 3/4 against the Cancer BST and 3/8 against
+//! Healthy, so BSTC classifies it as Cancer.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bstc::{all_row_bars, display_bar, Bst, BstcModel};
+use microarray::fixtures::{section54_query, table1};
+
+fn main() {
+    let data = table1();
+
+    println!("== Table 1: the running example ==");
+    for s in 0..data.n_samples() {
+        let items: Vec<&str> =
+            data.sample(s).iter().map(|g| data.item_names()[g].as_str()).collect();
+        println!(
+            "  s{}: {{{}}}  [{}]",
+            s + 1,
+            items.join(", "),
+            data.class_names()[data.label(s)]
+        );
+    }
+
+    println!("\n== Figure 1: the Cancer BST ==");
+    let cancer_bst = Bst::build(&data, 0);
+    println!("{}", cancer_bst.render(&data));
+
+    println!("== Figure 2: gene-row BARs (100% confidence) ==");
+    for (g, bar) in all_row_bars(&cancer_bst).into_iter().enumerate() {
+        if let Some(bar) = bar {
+            println!("  Gene g{}: {}", g + 1, display_bar(&bar, &data));
+            assert_eq!(bar.confidence(&data), Some(1.0));
+        }
+    }
+
+    println!("\n== Section 5.4: classifying Q = {{g1, g4, g5 expressed}} ==");
+    let model = BstcModel::train(&data);
+    let query = section54_query();
+    let values = model.class_values(&query);
+    println!("  Cancer  classification value: {:.4} (paper: 0.75)", values[0]);
+    println!("  Healthy classification value: {:.4} (paper: 0.375)", values[1]);
+    let class = model.classify(&query);
+    println!("  BSTC classifies Q as: {}", data.class_names()[class]);
+    assert_eq!(class, 0);
+    assert!((values[0] - 0.75).abs() < 1e-12);
+    assert!((values[1] - 0.375).abs() < 1e-12);
+
+    println!("\n== §5.3.2: why? the satisfied cell rules ==");
+    for e in model.explain(class, &query, 0.0) {
+        println!(
+            "  cell ({}, s{}): satisfaction {:.2}",
+            data.item_names()[e.item],
+            e.supporting_sample + 1,
+            e.satisfaction
+        );
+    }
+}

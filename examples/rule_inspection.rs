@@ -1,0 +1,92 @@
+//! Rule mining beyond classification: (MC)²BARs (Algorithm 3), per-sample
+//! covering rules (Algorithm 4), IBRG bounds (§4.2), and the Theorem 2
+//! CAR ⇄ BAR correspondence — the "biologically meaningful rules" story
+//! of §5.3.2.
+//!
+//! Run with: `cargo run --example rule_inspection`
+
+use bstc::{bar_for_car, display_bar, mine_topk, mine_topk_per_sample, Bst, Ibrg};
+use microarray::fixtures::table1;
+
+fn main() {
+    let data = table1();
+    let bst = Bst::build(&data, 0); // the Cancer BST of Figure 1
+
+    println!("== Algorithm 3: top-k (MC)²BARs for Cancer ==");
+    for rule in mine_topk(&bst, 8) {
+        let supp: Vec<String> =
+            rule.support_sample_ids(&bst).iter().map(|&s| format!("s{}", s + 1)).collect();
+        let items: Vec<&str> =
+            rule.car_items.iter().map(|&g| data.item_names()[g].as_str()).collect();
+        println!(
+            "  supp {{{}}}  car {{{}}}  CAR-confidence {:.2}",
+            supp.join(","),
+            items.join(","),
+            rule.car_confidence()
+        );
+        if !rule.car_items.is_empty() {
+            println!("    as BAR: {}", display_bar(&rule.to_bar(&bst), &data));
+        }
+    }
+
+    println!("\n== Algorithm 4: per-sample covering rules (k = 1) ==");
+    for rule in mine_topk_per_sample(&bst, 1) {
+        let supp: Vec<String> =
+            rule.support_sample_ids(&bst).iter().map(|&s| format!("s{}", s + 1)).collect();
+        println!("  supp {{{}}}  |car| = {}", supp.join(","), rule.car_items.len());
+    }
+
+    println!("\n== §4.2: the IBRG with support {{s2}} ==");
+    let s2_group = Ibrg {
+        class: 0,
+        support: microarray::BitSet::from_iter(3, [1]),
+        upper_bound: vec![0, 2, 5], // g1, g3, g6
+    };
+    for items in [vec![0usize, 5], vec![2, 5], vec![0, 2, 5]] {
+        let names: Vec<&str> = items.iter().map(|&g| data.item_names()[g].as_str()).collect();
+        println!(
+            "  {{{}}}: member={} lower_bound={} upper_bound={}",
+            names.join(","),
+            s2_group.contains(&bst, &items),
+            s2_group.is_lower_bound(&bst, &items),
+            s2_group.is_upper_bound(&items),
+        );
+    }
+
+    println!("\n== §7 cross-check: the TOP-RULES border of 100%-confident CARs ==");
+    for class in 0..2 {
+        let mut budget = rulemine::Budget::unlimited();
+        let border = rulemine::mine_top_rules(&data, class, 4, 50, &mut budget);
+        let rendered: Vec<String> = border
+            .rules
+            .iter()
+            .map(|car| {
+                let names: Vec<&str> =
+                    car.items.iter().map(|&g| data.item_names()[g].as_str()).collect();
+                format!("{{{}}}", names.join(","))
+            })
+            .collect();
+        println!(
+            "  minimal 100%-confident CARs => {}: {}",
+            data.class_names()[class],
+            rendered.join("  ")
+        );
+        // Theorem 2 says each corresponds to a BST BAR excluding nothing.
+        let class_bst = Bst::build(&data, class);
+        for car in &border.rules {
+            let (_, excluded, _) = bstc::theorem2_numbers(&class_bst, &car.items).unwrap();
+            assert_eq!(excluded, 0);
+        }
+    }
+
+    println!("\n== Theorem 2: from CAR g3 => Cancer to a 100%-confident BAR ==");
+    let bar = bar_for_car(&bst, &[2]).expect("g3 is supported");
+    println!("  BAR: {}", display_bar(&bar, &data));
+    println!(
+        "  BAR confidence: {:.2}; stripped CAR confidence: {:.2}",
+        bar.confidence(&data).unwrap(),
+        bar.strip_to_car().confidence(&data).unwrap(),
+    );
+    let (supp, excl, conf) = bstc::theorem2_numbers(&bst, &[2]).unwrap();
+    println!("  theorem-2 numbers: support {supp}, actively excluded {excl}, conf {conf:.2}");
+}

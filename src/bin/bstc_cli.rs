@@ -1,0 +1,198 @@
+//! `bstc-cli` — command-line access to the whole pipeline, for using the
+//! library on your own data without writing Rust:
+//!
+//! ```text
+//! bstc-cli synth --preset oc --seed 7 --out expr.tsv     # or your own data
+//! bstc-cli discretize --train expr.tsv --out items.tsv --cuts cuts.json
+//! bstc-cli train --data items.tsv --model model.json
+//! bstc-cli classify --model model.json --data items.tsv
+//! bstc-cli mine --data items.tsv --class 1 -k 5
+//! ```
+//!
+//! Continuous data uses the `#cont-microarray v1` TSV format, boolean data
+//! `#bool-microarray v1` (see `microarray::io`).
+
+use bstc::BstcModel;
+use discretize::Discretizer;
+use microarray::io;
+use std::fs::File;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("discretize") => cmd_discretize(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("mine") => cmd_mine(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "bstc-cli — Boolean Structure Table Classification
+
+commands:
+  synth      --preset all|lc|pc|oc [--seed N] [--scale K] --out FILE.tsv
+  discretize --train FILE.tsv [--apply FILE.tsv] --out FILE.tsv [--cuts FILE.json]
+  train      --data FILE.tsv --model FILE.json
+  classify   --model FILE.json --data FILE.tsv
+  mine       --data FILE.tsv --class N [-k K]";
+
+/// Pulls `--flag value` pairs out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn require(args: &[String], name: &str) -> Result<String, String> {
+    flag(args, name).ok_or_else(|| format!("missing {name} <value>"))
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let preset = require(args, "--preset")?;
+    let out = require(args, "--out")?;
+    let seed: u64 = flag(args, "--seed").map(|s| s.parse()).transpose().map_err(err)?.unwrap_or(42);
+    let scale: usize =
+        flag(args, "--scale").map(|s| s.parse()).transpose().map_err(err)?.unwrap_or(10);
+    let cfg = match preset.as_str() {
+        "all" => microarray::synth::presets::all_aml(seed),
+        "lc" => microarray::synth::presets::lung(seed),
+        "pc" => microarray::synth::presets::prostate(seed),
+        "oc" => microarray::synth::presets::ovarian(seed),
+        "three" => microarray::synth::presets::three_class(seed),
+        other => return Err(format!("unknown preset '{other}' (all|lc|pc|oc|three)")),
+    }
+    .scaled_down(scale.max(1));
+    let data = cfg.generate();
+    io::write_cont_tsv(&data, File::create(&out).map_err(err)?).map_err(err)?;
+    eprintln!(
+        "wrote {} ({} genes x {} samples, classes {:?})",
+        out,
+        data.n_genes(),
+        data.n_samples(),
+        data.class_names()
+    );
+    Ok(())
+}
+
+fn cmd_discretize(args: &[String]) -> Result<(), String> {
+    let train_path = require(args, "--train")?;
+    let out = require(args, "--out")?;
+    let train = io::read_cont_tsv(File::open(&train_path).map_err(err)?).map_err(err)?;
+    let disc = Discretizer::fit(&train);
+    let target = match flag(args, "--apply") {
+        Some(p) => io::read_cont_tsv(File::open(&p).map_err(err)?).map_err(err)?,
+        None => train.clone(),
+    };
+    let boolean = disc.transform(&target).map_err(err)?;
+    io::write_bool_tsv(&boolean, File::create(&out).map_err(err)?).map_err(err)?;
+    eprintln!(
+        "selected {} of {} genes -> {} items; wrote {}",
+        disc.selected_genes().len(),
+        train.n_genes(),
+        boolean.n_items(),
+        out
+    );
+    if let Some(cuts_path) = flag(args, "--cuts") {
+        std::fs::write(&cuts_path, serde_json::to_string_pretty(&disc).map_err(err)?)
+            .map_err(err)?;
+        eprintln!("wrote fitted discretizer to {cuts_path}");
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let data_path = require(args, "--data")?;
+    let model_path = require(args, "--model")?;
+    let data = io::read_bool_tsv(File::open(&data_path).map_err(err)?).map_err(err)?;
+    if let Some(c) = data.first_empty_class() {
+        return Err(format!("class {c} ('{}') has no samples", data.class_names()[c]));
+    }
+    let model = BstcModel::train(&data);
+    std::fs::write(&model_path, serde_json::to_string(&model).map_err(err)?).map_err(err)?;
+    eprintln!(
+        "trained BSTC on {} samples / {} items / {} classes; wrote {}",
+        data.n_samples(),
+        data.n_items(),
+        data.n_classes(),
+        model_path
+    );
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let model_path = require(args, "--model")?;
+    let data_path = require(args, "--data")?;
+    let model: BstcModel =
+        serde_json::from_str(&std::fs::read_to_string(&model_path).map_err(err)?).map_err(err)?;
+    let data = io::read_bool_tsv(File::open(&data_path).map_err(err)?).map_err(err)?;
+    let mut correct = 0usize;
+    // A closed pipe (e.g. `| head`) is a normal way to consume CLI output:
+    // ignore write errors instead of panicking.
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for s in 0..data.n_samples() {
+        let pred = model.classify(data.sample(s));
+        let values = model.class_values(data.sample(s));
+        let _ = writeln!(
+            out,
+            "sample {s}: {} (values {:?})",
+            data.class_names().get(pred).cloned().unwrap_or_else(|| pred.to_string()),
+            values.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        );
+        if pred == data.label(s) {
+            correct += 1;
+        }
+    }
+    let _ = out.flush();
+    eprintln!(
+        "accuracy vs file labels: {}/{} = {:.2}%",
+        correct,
+        data.n_samples(),
+        100.0 * correct as f64 / data.n_samples() as f64
+    );
+    Ok(())
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), String> {
+    let data_path = require(args, "--data")?;
+    let class: usize = require(args, "--class")?.parse().map_err(err)?;
+    let k: usize = flag(args, "-k").map(|s| s.parse()).transpose().map_err(err)?.unwrap_or(5);
+    let data = io::read_bool_tsv(File::open(&data_path).map_err(err)?).map_err(err)?;
+    if class >= data.n_classes() {
+        return Err(format!("class {class} out of range (0..{})", data.n_classes()));
+    }
+    let bst = bstc::Bst::build(&data, class);
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for rule in bstc::mine_topk(&bst, k) {
+        if rule.car_items.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "support {:>3}  car-confidence {:.2}  {}",
+            rule.support_len(),
+            rule.car_confidence(),
+            bstc::display_bar(&rule.to_bar(&bst), &data)
+        );
+    }
+    let _ = out.flush();
+    Ok(())
+}
+
+fn err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}

@@ -1,0 +1,34 @@
+//! # bstc-repro — Boolean Structure Table Classification, reproduced
+//!
+//! An end-to-end Rust reproduction of *"Scalable Rule-Based Gene
+//! Expression Data Classification"* (Iwen, Lang & Patel, ICDE 2008): the
+//! BSTC classifier, every substrate it needs (data model, entropy-MDL
+//! discretization, synthetic microarray generation), the exponential
+//! Top-k/RCBT baseline it is evaluated against, the non-rule baselines
+//! (SVM, random forest, C4.5 family), and the full §6 experiment harness.
+//!
+//! This crate re-exports the workspace members; see each for detail:
+//!
+//! * [`microarray`] — bitsets, datasets, I/O, synthetic generation;
+//! * [`discretize`] — Fayyad–Irani entropy-MDL discretization;
+//! * [`bstc`] — the paper's contribution (BSTs, BARs, BSTCE, mining);
+//! * [`rulemine`] — CARs, Top-k covering rule groups, RCBT;
+//! * [`baselines`] — trees, bagging, boosting, forests, SVM;
+//! * [`eval`] — splits, statistics, the timed/cutoff experiment runner.
+//!
+//! ```
+//! use bstc::BstcModel;
+//! use microarray::fixtures::{section54_query, table1};
+//!
+//! // Train on the paper's Table 1 running example and classify the §5.4
+//! // query — Cancer, with class values 3/4 vs 3/8.
+//! let model = BstcModel::train(&table1());
+//! assert_eq!(model.classify(&section54_query()), 0);
+//! ```
+
+pub use baselines;
+pub use bstc;
+pub use discretize;
+pub use eval;
+pub use microarray;
+pub use rulemine;

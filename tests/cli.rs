@@ -1,0 +1,117 @@
+//! End-to-end tests of the `bstc-cli` binary: synth → discretize → train
+//! → classify → mine through actual process invocations and files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bstc-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bstc_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let expr = tmp("expr.tsv");
+    let items = tmp("items.tsv");
+    let cuts = tmp("cuts.json");
+    let model = tmp("model.json");
+
+    let out = cli()
+        .args(["synth", "--preset", "all", "--scale", "40", "--seed", "3"])
+        .args(["--out", expr.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(expr.exists());
+
+    let out = cli()
+        .args(["discretize", "--train", expr.to_str().unwrap()])
+        .args(["--out", items.to_str().unwrap(), "--cuts", cuts.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("selected"), "{stderr}");
+    assert!(cuts.exists());
+
+    let out = cli()
+        .args(["train", "--data", items.to_str().unwrap()])
+        .args(["--model", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli()
+        .args(["classify", "--model", model.to_str().unwrap()])
+        .args(["--data", items.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sample 0:"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("accuracy vs file labels"), "{stderr}");
+
+    let out = cli()
+        .args(["mine", "--data", items.to_str().unwrap(), "--class", "1", "-k", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("=> ALL"), "{stdout}");
+    assert!(stdout.contains("car-confidence"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cli().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_flag_fails_cleanly() {
+    let out = cli().args(["train", "--data", "/nonexistent.tsv"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --model"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = cli().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("commands:"));
+}
+
+#[test]
+fn bad_class_is_rejected_by_mine() {
+    let expr = tmp("expr2.tsv");
+    let items = tmp("items2.tsv");
+    assert!(cli()
+        .args(["synth", "--preset", "all", "--scale", "40", "--out", expr.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(cli()
+        .args([
+            "discretize",
+            "--train",
+            expr.to_str().unwrap(),
+            "--out",
+            items.to_str().unwrap()
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let out = cli()
+        .args(["mine", "--data", items.to_str().unwrap(), "--class", "9"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+}

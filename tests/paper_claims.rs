@@ -1,0 +1,200 @@
+//! Integration tests asserting the paper's *claims*, not just its
+//! mechanics: the worked examples, the accuracy relationships, and the
+//! polynomial-vs-exponential scaling contrast.
+
+use bstc::{BstcModel, Bst};
+use microarray::fixtures::{section54_query, table1};
+use microarray::synth::BoolSynthConfig;
+use rulemine::{mine_topk_groups, Budget, Outcome, TopkParams};
+use std::time::Instant;
+
+/// §5.4 end to end: the exact numbers of the worked example.
+#[test]
+fn section_5_4_worked_example() {
+    let data = table1();
+    let model = BstcModel::train(&data);
+    let q = section54_query();
+    let v = model.class_values(&q);
+    assert!((v[0] - 0.75).abs() < 1e-12, "Cancer value {}", v[0]);
+    assert!((v[1] - 0.375).abs() < 1e-12, "Healthy value {}", v[1]);
+    assert_eq!(model.classify(&q), 0);
+}
+
+/// §1's motivating rules both hold on Table 1.
+#[test]
+fn section_1_motivating_cars() {
+    let data = table1();
+    let g1g3 = rulemine::Car::new(vec![0, 2], 0);
+    assert_eq!(g1g3.support(&data), 2);
+    assert_eq!(g1g3.confidence(&data), Some(1.0));
+    let g5g6 = rulemine::Car::new(vec![4, 5], 1);
+    assert_eq!(g5g6.support(&data), 1);
+    assert_eq!(g5g6.confidence(&data), Some(1.0));
+}
+
+/// §3.1.1: BST construction for all classes stays within the O(|S|²·|G|)
+/// envelope — quadrupling samples must not increase build time by much
+/// more than 16x (generous 3x headroom for noise).
+#[test]
+fn bst_build_scales_polynomially() {
+    let build_time = |n: usize| {
+        let data = BoolSynthConfig {
+            name: "scale".into(),
+            n_items: 400,
+            class_sizes: vec![n / 2, n / 2],
+            class_names: vec!["a".into(), "b".into()],
+            markers_per_class: 60,
+            marker_on: 0.9,
+            background_on: 0.3,
+            seed: 3,
+        }
+        .generate();
+        // Warm up, then measure the median of 3.
+        let _ = Bst::build_all(&data);
+        let mut times: Vec<f64> = (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let _ = Bst::build_all(&data);
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[1]
+    };
+    let t1 = build_time(50);
+    let t4 = build_time(200);
+    assert!(
+        t4 / t1 < 48.0,
+        "4x samples cost {:.1}x (> 16x theory with 3x headroom)",
+        t4 / t1
+    );
+}
+
+/// The scalability story: on module-structured data with per-sample
+/// noise, Top-k's search explodes with training size while BSTC stays
+/// polynomial. We assert the *ordering*: at the large size, BSTC finishes
+/// fast while Top-k exceeds a node budget that was ample at the small
+/// size.
+#[test]
+fn topk_explodes_where_bstc_does_not() {
+    let dataset = |n: usize| {
+        BoolSynthConfig {
+            name: "explode".into(),
+            n_items: 300,
+            class_sizes: vec![n / 2, n / 2],
+            class_names: vec!["a".into(), "b".into()],
+            markers_per_class: 30,
+            marker_on: 0.85,
+            background_on: 0.25,
+            seed: 7,
+        }
+        .generate()
+    };
+    let nodes = 500_000u64;
+
+    let small = dataset(20);
+    let mut b = Budget::with_nodes(nodes);
+    let res = mine_topk_groups(&small, 0, TopkParams { k: 10, minsup: 0.5 }, &mut b);
+    assert_eq!(res.outcome, Outcome::Finished, "small Top-k should finish");
+
+    let large = dataset(120);
+    let mut b = Budget::with_nodes(nodes);
+    let res = mine_topk_groups(&large, 0, TopkParams { k: 10, minsup: 0.5 }, &mut b);
+    assert_eq!(res.outcome, Outcome::DidNotFinish, "large Top-k should blow the node budget");
+
+    // BSTC on the same large dataset: full train + classify in well under
+    // a second.
+    let t = Instant::now();
+    let model = BstcModel::train(&large);
+    for s in 0..large.n_samples() {
+        let _ = model.classify(large.sample(s));
+    }
+    assert!(t.elapsed().as_secs_f64() < 2.0, "BSTC took {:?}", t.elapsed());
+}
+
+/// §5.3: BSTC is parameter-free and multi-class — train on 4 classes with
+/// no configuration and classify exclusive markers correctly.
+#[test]
+fn multiclass_parameter_free() {
+    let data = BoolSynthConfig {
+        name: "four".into(),
+        n_items: 80,
+        class_sizes: vec![8, 8, 8, 8],
+        class_names: (0..4).map(|i| format!("c{i}")).collect(),
+        markers_per_class: 10,
+        marker_on: 0.95,
+        background_on: 0.05,
+        seed: 5,
+    }
+    .generate();
+    let model = BstcModel::train(&data);
+    assert_eq!(model.n_classes(), 4);
+    let correct = (0..data.n_samples())
+        .filter(|&s| model.classify(data.sample(s)) == data.label(s))
+        .count();
+    assert!(
+        correct as f64 >= 0.9 * data.n_samples() as f64,
+        "{correct}/{} correct",
+        data.n_samples()
+    );
+}
+
+/// §4.3 + §7: "BSTs contain all the information of the high confidence
+/// CARs". Cross-validate the two representations: every rule on the
+/// TOP-RULES border (all minimal 100%-confident CARs) must map through
+/// Theorem 2 to a BST BAR with *zero* actively-excluded samples, and its
+/// class support must match — on Table 1 and on random-ish synthetic data.
+#[test]
+fn toprules_border_agrees_with_bst_representation() {
+    let datasets = vec![
+        table1(),
+        BoolSynthConfig {
+            name: "cross".into(),
+            n_items: 24,
+            class_sizes: vec![6, 8],
+            class_names: vec!["a".into(), "b".into()],
+            markers_per_class: 5,
+            marker_on: 0.8,
+            background_on: 0.25,
+            seed: 13,
+        }
+        .generate(),
+    ];
+    for data in datasets {
+        for class in 0..data.n_classes() {
+            let bst = Bst::build(&data, class);
+            let mut budget = Budget::with_nodes(5_000_000);
+            let border =
+                rulemine::mine_top_rules(&data, class, 4, 100, &mut budget);
+            assert!(!border.rules.is_empty());
+            for car in &border.rules {
+                // Theorem 2: a 100%-confident CAR corresponds to a BST BAR
+                // actively excluding (1/c − 1)|supp| = 0 samples.
+                let (supp, excluded, conf) =
+                    bstc::theorem2_numbers(&bst, &car.items).expect("supported rule");
+                assert_eq!(excluded, 0, "{car:?} should exclude nothing");
+                assert_eq!(conf, 1.0);
+                assert_eq!(supp, car.support(&data), "{car:?} support mismatch");
+            }
+        }
+    }
+}
+
+/// §4.3/Theorem 2 on the running example: every 1- and 2-item CAR has a
+/// 100%-confident BST BAR counterpart with matching support.
+#[test]
+fn theorem_2_on_running_example() {
+    let data = table1();
+    for class in 0..2 {
+        let bst = Bst::build(&data, class);
+        for a in 0..6 {
+            for b in a..6 {
+                let items = if a == b { vec![a] } else { vec![a, b] };
+                assert!(
+                    bstc::theorem2_round_trip(&data, &bst, &items),
+                    "class {class} items {items:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: the full §6 pipeline from synthetic
+//! generation through discretization to every classifier.
+
+use discretize::Discretizer;
+use eval::{draw_split, SplitSpec};
+use microarray::synth::{presets, SynthConfig};
+
+fn demo_config(seed: u64) -> SynthConfig {
+    SynthConfig {
+        name: "integration".into(),
+        n_genes: 120,
+        class_sizes: vec![14, 18],
+        class_names: vec!["normal".into(), "tumor".into()],
+        markers_per_class: 12,
+        marker_shift: 2.2,
+        marker_dropout: 0.08,
+        marker_modules: 3,
+        wobble_rate: 0.1,
+        marker_flip: 0.02,
+        atypical_rate: 0.05,
+        atypical_strength: 0.3,
+        seed,
+    }
+}
+
+#[test]
+fn full_pipeline_beats_chance_for_every_classifier() {
+    let data = demo_config(5).generate();
+    let split = draw_split(data.labels(), 2, &SplitSpec::Fraction(0.6), 3);
+    let p = eval::prepare(&data, &split).expect("informative genes");
+
+    // Majority-class rate on the test side = the chance baseline.
+    let sizes = p.bool_test.class_sizes();
+    let chance = *sizes.iter().max().unwrap() as f64 / p.bool_test.n_samples() as f64;
+
+    let bstc = eval::run_bstc(&p);
+    assert!(bstc.accuracy >= chance, "BSTC {} < chance {}", bstc.accuracy, chance);
+
+    let base = eval::run_baselines(
+        &p,
+        eval::BaselineParams { forest_trees: 40, bagging_rounds: 10, boosting_rounds: 10, seed: 1 },
+    );
+    assert!(base.svm >= chance - 0.15, "svm {}", base.svm);
+    assert!(base.forest >= chance - 0.15, "forest {}", base.forest);
+
+    let rcbt = eval::run_rcbt(
+        &p,
+        rulemine::RcbtParams { k: 5, nl: 10, minsup: 0.6 },
+        std::time::Duration::from_secs(20),
+        std::time::Duration::from_secs(20),
+    );
+    if let Some(acc) = rcbt.accuracy {
+        assert!(acc >= chance - 0.25, "rcbt {acc}");
+    }
+}
+
+#[test]
+fn bstc_and_rcbt_agree_with_explicit_pipeline() {
+    // The runner must compute exactly what the by-hand pipeline computes.
+    let data = demo_config(9).generate();
+    let split = draw_split(data.labels(), 2, &SplitSpec::Fraction(0.6), 4);
+    let p = eval::prepare(&data, &split).unwrap();
+
+    let train = data.subset(&split.train);
+    let test = data.subset(&split.test);
+    let disc = Discretizer::fit(&train);
+    let bool_train = disc.transform(&train).unwrap();
+    let bool_test = disc.transform(&test).unwrap();
+
+    assert_eq!(p.bool_train.n_items(), bool_train.n_items());
+    let model = bstc::BstcModel::train(&bool_train);
+    let preds = model.classify_all(bool_test.samples());
+    let by_hand = eval::accuracy(&preds, bool_test.labels());
+    let via_runner = eval::run_bstc(&p).accuracy;
+    assert_eq!(by_hand, via_runner);
+}
+
+#[test]
+fn multiclass_pipeline_works_end_to_end() {
+    let data = presets::three_class(17).scaled_down(3).generate();
+    assert_eq!(data.n_classes(), 3);
+    let split = draw_split(data.labels(), 3, &SplitSpec::Fraction(0.6), 11);
+    let p = eval::prepare(&data, &split).expect("informative genes");
+    let run = eval::run_bstc(&p);
+    let sizes = p.bool_test.class_sizes();
+    let chance = *sizes.iter().max().unwrap() as f64 / p.bool_test.n_samples() as f64;
+    assert!(run.accuracy >= chance - 0.1, "3-class acc {} vs chance {}", run.accuracy, chance);
+}
+
+#[test]
+fn pipeline_is_fully_deterministic() {
+    let run = || {
+        let data = demo_config(21).generate();
+        let split = draw_split(data.labels(), 2, &SplitSpec::Fraction(0.6), 2);
+        let p = eval::prepare(&data, &split).unwrap();
+        let model = bstc::BstcModel::train(&p.bool_train);
+        model.classify_all(p.bool_test.samples())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn dnf_accounting_reaches_the_harness() {
+    let data = demo_config(33).generate();
+    let split = draw_split(data.labels(), 2, &SplitSpec::Fraction(0.6), 8);
+    let p = eval::prepare(&data, &split).unwrap();
+    let run = eval::run_rcbt(
+        &p,
+        rulemine::RcbtParams { k: 10, nl: 20, minsup: 0.0 },
+        std::time::Duration::from_nanos(1),
+        std::time::Duration::from_nanos(1),
+    );
+    assert!(run.topk_dnf);
+    assert!(run.accuracy.is_none(), "DNF training must not report accuracy");
+}
+
+#[test]
+fn discretizer_survives_serialization_mid_pipeline() {
+    let data = demo_config(41).generate();
+    let split = draw_split(data.labels(), 2, &SplitSpec::Fraction(0.6), 2);
+    let train = data.subset(&split.train);
+    let test = data.subset(&split.test);
+    let disc = Discretizer::fit(&train);
+    let json = serde_json::to_string(&disc).unwrap();
+    let disc2: Discretizer = serde_json::from_str(&json).unwrap();
+    let a = disc.transform(&test).unwrap();
+    let b = disc2.transform(&test).unwrap();
+    for s in 0..a.n_samples() {
+        assert_eq!(a.sample(s), b.sample(s));
+    }
+}
+
+#[test]
+fn bool_dataset_round_trips_through_tsv_mid_pipeline() {
+    let data = demo_config(55).generate();
+    let split = draw_split(data.labels(), 2, &SplitSpec::Fraction(0.6), 2);
+    let p = eval::prepare(&data, &split).unwrap();
+    let mut buf = Vec::new();
+    microarray::io::write_bool_tsv(&p.bool_train, &mut buf).unwrap();
+    let back = microarray::io::read_bool_tsv(&buf[..]).unwrap();
+    // A model trained on the round-tripped data behaves identically.
+    let m1 = bstc::BstcModel::train(&p.bool_train);
+    let m2 = bstc::BstcModel::train(&back);
+    for q in p.bool_test.samples() {
+        assert_eq!(m1.classify(q), m2.classify(q));
+    }
+}
