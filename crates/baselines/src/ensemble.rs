@@ -56,12 +56,7 @@ impl AdaBoost {
     /// Fits up to `n_rounds` boosting stages of depth-limited trees.
     /// Rounds stop early if a stage reaches zero training error (it gets a
     /// large finite weight) or does no better than chance.
-    pub fn fit(
-        data: &ContinuousDataset,
-        n_rounds: usize,
-        max_depth: usize,
-        seed: u64,
-    ) -> AdaBoost {
+    pub fn fit(data: &ContinuousDataset, n_rounds: usize, max_depth: usize, seed: u64) -> AdaBoost {
         let _ = seed; // deterministic learner; kept for API symmetry
         let n = data.n_samples();
         let k = data.n_classes() as f64;
@@ -108,12 +103,7 @@ impl AdaBoost {
         for (tree, alpha) in &self.stages {
             scores[tree.predict(row)] += alpha;
         }
-        scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(c, _)| c)
-            .unwrap_or(0)
+        scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(c, _)| c).unwrap_or(0)
     }
 
     /// Number of boosting stages actually fitted.
@@ -209,9 +199,7 @@ mod tests {
         )
         .unwrap();
         let m = AdaBoost::fit(&d, 30, 2, 0);
-        let correct = (0..d.n_samples())
-            .filter(|&s| m.predict(d.row(s)) == d.label(s))
-            .count();
+        let correct = (0..d.n_samples()).filter(|&s| m.predict(d.row(s)) == d.label(s)).count();
         // Greedy depth-2 trees can pick an unlucky zero-gain root, so the
         // boosted committee need not be perfect — but it must clearly beat
         // the 50% a single chance-level stump would get.

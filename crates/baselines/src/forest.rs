@@ -39,9 +39,8 @@ impl RandomForest {
     pub fn fit(data: &ContinuousDataset, params: ForestParams) -> RandomForest {
         let mut rng = StdRng::seed_from_u64(params.seed);
         let n = data.n_samples();
-        let mtry = params
-            .mtry
-            .unwrap_or_else(|| (data.n_genes() as f64).sqrt().floor().max(1.0) as usize);
+        let mtry =
+            params.mtry.unwrap_or_else(|| (data.n_genes() as f64).sqrt().floor().max(1.0) as usize);
         let tree_params = TreeParams {
             max_depth: params.max_depth,
             features_per_split: Some(mtry),
@@ -84,18 +83,13 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..16 {
             let class = i % 2;
-            let mut row = vec![if class == 0 { 1.0 + 0.1 * i as f64 } else { 8.0 + 0.1 * i as f64 }];
+            let mut row =
+                vec![if class == 0 { 1.0 + 0.1 * i as f64 } else { 8.0 + 0.1 * i as f64 }];
             row.extend((0..n_noise).map(|j| ((i * 31 + j * 17) % 10) as f64));
             values.push(row);
             labels.push(class);
         }
-        ContinuousDataset::new(
-            genes,
-            vec!["neg".into(), "pos".into()],
-            values,
-            labels,
-        )
-        .unwrap()
+        ContinuousDataset::new(genes, vec!["neg".into(), "pos".into()], values, labels).unwrap()
     }
 
     #[test]

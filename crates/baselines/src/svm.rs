@@ -280,8 +280,7 @@ mod tests {
         )
         .unwrap();
         let svm = Svm::fit(&d, SvmParams { gamma: Some(1.0), ..SvmParams::default() });
-        let correct =
-            (0..d.n_samples()).filter(|&s| svm.predict(d.row(s)) == d.label(s)).count();
+        let correct = (0..d.n_samples()).filter(|&s| svm.predict(d.row(s)) == d.label(s)).count();
         assert!(correct >= d.n_samples() - 2, "{correct}/{}", d.n_samples());
         assert_eq!(svm.predict(&[0.0, 0.0]), 1);
         assert_eq!(svm.predict(&[3.0, 0.0]), 0);

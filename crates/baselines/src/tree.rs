@@ -148,11 +148,7 @@ impl DecisionTree {
         for &i in idx {
             hist[data.label(i)] += w[i];
         }
-        hist.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(c, _)| c)
-            .unwrap_or(0)
+        hist.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(c, _)| c).unwrap_or(0)
     }
 
     /// Best (feature, threshold) by information gain ratio over the
@@ -366,8 +362,7 @@ mod tests {
     fn feature_subsampling_with_rng_is_deterministic() {
         use rand::SeedableRng;
         let d = xor_free_toy();
-        let params =
-            TreeParams { features_per_split: Some(1), ..TreeParams::default() };
+        let params = TreeParams { features_per_split: Some(1), ..TreeParams::default() };
         let mut r1 = StdRng::seed_from_u64(5);
         let mut r2 = StdRng::seed_from_u64(5);
         let t1 = DecisionTree::fit(&d, params, None, Some(&mut r1));
@@ -381,8 +376,7 @@ mod tests {
     #[should_panic(expected = "requires an RNG")]
     fn feature_subsampling_without_rng_panics() {
         let d = xor_free_toy();
-        let params =
-            TreeParams { features_per_split: Some(1), ..TreeParams::default() };
+        let params = TreeParams { features_per_split: Some(1), ..TreeParams::default() };
         DecisionTree::fit(&d, params, None, None);
     }
 
@@ -391,14 +385,7 @@ mod tests {
         let d = ContinuousDataset::new(
             vec!["x".into()],
             vec!["a".into(), "b".into(), "c".into()],
-            vec![
-                vec![1.0],
-                vec![1.2],
-                vec![5.0],
-                vec![5.5],
-                vec![9.0],
-                vec![9.5],
-            ],
+            vec![vec![1.0], vec![1.2], vec![5.0], vec![5.5], vec![9.0], vec![9.5]],
             vec![0, 0, 1, 1, 2, 2],
         )
         .unwrap();

@@ -43,13 +43,8 @@ fn separable() -> impl Strategy<Value = ContinuousDataset> {
             values.push(vec![10.0 + i as f64]);
             labels.push(1);
         }
-        ContinuousDataset::new(
-            vec!["x".into()],
-            vec!["neg".into(), "pos".into()],
-            values,
-            labels,
-        )
-        .unwrap()
+        ContinuousDataset::new(vec!["x".into()], vec!["neg".into(), "pos".into()], values, labels)
+            .unwrap()
     })
 }
 

@@ -16,9 +16,7 @@ fn bench_ops(c: &mut Criterion) {
     group.bench_function("intersection_alloc", |bch| {
         bch.iter(|| black_box(&a).intersection(black_box(&b)))
     });
-    group.bench_function("iter_sum", |bch| {
-        bch.iter(|| black_box(&a).iter().sum::<usize>())
-    });
+    group.bench_function("iter_sum", |bch| bch.iter(|| black_box(&a).iter().sum::<usize>()));
     group.finish();
 }
 

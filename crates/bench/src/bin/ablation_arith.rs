@@ -13,7 +13,11 @@ type Row = (f64, f64, f64, f64);
 fn main() {
     let opts = Opts::parse();
     let mut t = eval::TextTable::new(vec![
-        "Dataset", "min (paper)", "product", "mean", "avg conf-gap (min)",
+        "Dataset",
+        "min (paper)",
+        "product",
+        "mean",
+        "avg conf-gap (min)",
     ]);
 
     for kind in DatasetKind::all() {
@@ -22,14 +26,11 @@ fn main() {
         let data = cfg.generate();
         let cell = CvCell { spec: SplitSpec::Fraction(0.6), reps: opts.reps, base_seed: opts.seed };
         let results = eval::run_cell(&data, &cell, |_, p| {
-            let accs: Vec<f64> = [
-                Arithmetization::Min,
-                Arithmetization::Product,
-                Arithmetization::Mean,
-            ]
-            .iter()
-            .map(|&a| eval::run_bstc_with(p, a).accuracy)
-            .collect();
+            let accs: Vec<f64> =
+                [Arithmetization::Min, Arithmetization::Product, Arithmetization::Mean]
+                    .iter()
+                    .map(|&a| eval::run_bstc_with(p, a).accuracy)
+                    .collect();
             // Mean confidence gap of the published arithmetization.
             let model = BstcModel::train(&p.bool_train);
             let gaps: Vec<f64> =
@@ -54,9 +55,6 @@ fn main() {
         ]);
     }
 
-    println!(
-        "Arithmetization ablation (60% training, {} reps, mean accuracy)",
-        opts.reps
-    );
+    println!("Arithmetization ablation (60% training, {} reps, mean accuracy)", opts.reps);
     println!("{}", t.render());
 }

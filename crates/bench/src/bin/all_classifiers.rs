@@ -10,7 +10,13 @@ use eval::{draw_split, ConfusionMatrix, SplitSpec};
 fn main() {
     let opts = Opts::parse();
     let mut t = eval::TextTable::new(vec![
-        "Dataset", "BSTC", "MC2BAR(k=3)", "RCBT", "CBA", "SVM", "forest",
+        "Dataset",
+        "BSTC",
+        "MC2BAR(k=3)",
+        "RCBT",
+        "CBA",
+        "SVM",
+        "forest",
     ]);
 
     for kind in DatasetKind::all() {
@@ -18,12 +24,8 @@ fn main() {
         let counts = scaled_clinical_counts(kind, opts.full);
         eprintln!("# {} …", cfg.name);
         let data = cfg.generate();
-        let split = draw_split(
-            data.labels(),
-            data.n_classes(),
-            &SplitSpec::FixedCounts(counts),
-            opts.seed,
-        );
+        let split =
+            draw_split(data.labels(), data.n_classes(), &SplitSpec::FixedCounts(counts), opts.seed);
         let p = eval::prepare(&data, &split).expect("informative genes");
 
         let bstc = eval::run_bstc(&p);

@@ -9,9 +9,18 @@ fn main() {
     println!("Figure 4: ALL Cross-Validation Results (accuracy boxplots)");
     println!("{}", render_boxplots(&study.summaries));
     let means: Vec<f64> = study.records.iter().map(|r| r.bstc_acc).collect();
-    println!("BSTC mean accuracy over all {} tests: {:.2}%", means.len(), 100.0 * eval::mean(&means));
-    let rcbt: Vec<f64> = study.records.iter().filter_map(|r| r.rcbt.and_then(|x| x.accuracy)).collect();
+    println!(
+        "BSTC mean accuracy over all {} tests: {:.2}%",
+        means.len(),
+        100.0 * eval::mean(&means)
+    );
+    let rcbt: Vec<f64> =
+        study.records.iter().filter_map(|r| r.rcbt.and_then(|x| x.accuracy)).collect();
     if !rcbt.is_empty() {
-        println!("RCBT mean accuracy over {} finished tests: {:.2}%", rcbt.len(), 100.0 * eval::mean(&rcbt));
+        println!(
+            "RCBT mean accuracy over {} finished tests: {:.2}%",
+            rcbt.len(),
+            100.0 * eval::mean(&rcbt)
+        );
     }
 }

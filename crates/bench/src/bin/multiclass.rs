@@ -12,7 +12,12 @@ type Row = (f64, f64, f64, f64);
 fn main() {
     let opts = Opts::parse();
     let mut t = eval::TextTable::new(vec![
-        "Dataset", "Classes", "BSTC", "SVM(1v1)", "randomForest", "C4.5 tree",
+        "Dataset",
+        "Classes",
+        "BSTC",
+        "SVM(1v1)",
+        "randomForest",
+        "C4.5 tree",
     ]);
 
     for (cfg, scale) in [(presets::three_class(opts.seed), 2), (presets::five_class(opts.seed), 2)]

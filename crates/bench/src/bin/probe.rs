@@ -29,7 +29,13 @@ fn main() {
     let data = cfg.generate();
 
     let mut t = eval::TextTable::new(vec![
-        "Training", "train samples", "genes", "BSTC", "Top-k", "RCBT", "topk groups",
+        "Training",
+        "train samples",
+        "genes",
+        "BSTC",
+        "Top-k",
+        "RCBT",
+        "topk groups",
     ]);
     for frac in [0.2, 0.4, 0.6, 0.8] {
         let split =

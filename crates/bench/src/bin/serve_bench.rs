@@ -1,0 +1,221 @@
+//! Load generator for the BSTC inference server: hammers `POST /classify`
+//! from a fixed number of keep-alive connections and reports throughput
+//! and the p50/p90/p99/max latency of complete request/response cycles.
+//!
+//! ```text
+//! serve_bench [--addr HOST:PORT] [--requests N] [--concurrency C]
+//!             [--batch B] [--seed S] [--scale K]
+//! ```
+//!
+//! Without `--addr` it is self-contained: it trains a bundle on synthetic
+//! ALL/AML data, boots the server in-process on an ephemeral port, drives
+//! the load, and shuts the server down — so `cargo run --release -p
+//! bench-suite --bin serve_bench` measures an end-to-end stack with no
+//! setup. With `--addr` it targets an already-running `bstc-cli serve`.
+
+use serve::{serve, ModelBundle, Provenance, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag(args, name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad value '{raw}' for {name}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requests: usize = parse_flag(&args, "--requests", 2_000);
+    let concurrency: usize = parse_flag(&args, "--concurrency", 8).max(1);
+    let batch: usize = parse_flag(&args, "--batch", 1).max(1);
+    let seed: u64 = parse_flag(&args, "--seed", 7);
+    let scale: usize = parse_flag(&args, "--scale", 40);
+
+    // Query rows come from the same synthetic distribution regardless of
+    // target mode; against an external server they must still match its
+    // gene count, so both sides should use the same --seed/--scale.
+    let data = microarray::synth::presets::all_aml(seed).scaled_down(scale.max(1)).generate();
+    let rows: Vec<Vec<f64>> = (0..data.n_samples()).map(|s| data.row(s).to_vec()).collect();
+
+    let (addr, handle) = match flag(&args, "--addr") {
+        Some(addr) => (addr, None),
+        None => {
+            let bundle = ModelBundle::train(&data, Provenance::new("ALL/AML synth", Some(seed)))
+                .unwrap_or_else(|e| {
+                    eprintln!("error: training self-contained bundle failed: {e}");
+                    std::process::exit(1);
+                });
+            let handle = serve(ServerConfig::default(), bundle).unwrap_or_else(|e| {
+                eprintln!("error: starting in-process server failed: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("self-contained: serving synthetic ALL/AML bundle on {}", handle.addr());
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    let bodies: Vec<String> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            // Round-robin over dataset rows; batches rotate their window.
+            let mut sample_rows = Vec::with_capacity(batch);
+            for j in 0..batch {
+                sample_rows.push(rows[(i + j) % rows.len()].clone());
+            }
+            if batch == 1 {
+                format!("{{\"values\":{}}}", fmt_row(&sample_rows[0]))
+            } else {
+                format!("{{\"samples\":{}}}", fmt_rows(&sample_rows))
+            }
+        })
+        .collect();
+
+    eprintln!(
+        "serve_bench: {requests} requests x batch {batch}, concurrency {concurrency}, \
+         target {addr}"
+    );
+    let started = Instant::now();
+    let per_worker = requests.div_ceil(concurrency);
+    let latencies_us: Vec<u64> = std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(concurrency);
+        for w in 0..concurrency {
+            let addr = &addr;
+            let bodies = &bodies;
+            joins.push(scope.spawn(move || {
+                let mut latencies = Vec::with_capacity(per_worker);
+                let mut conn = Connection::open(addr);
+                for i in 0..per_worker {
+                    let body = &bodies[(w * per_worker + i) % bodies.len()];
+                    let t0 = Instant::now();
+                    let status = conn.post_classify(addr, body);
+                    latencies.push(t0.elapsed().as_micros() as u64);
+                    if status != 200 {
+                        eprintln!("error: /classify returned HTTP {status}");
+                        std::process::exit(1);
+                    }
+                }
+                latencies
+            }));
+        }
+        joins.into_iter().flat_map(|j| j.join().expect("worker panicked")).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let total = latencies_us.len();
+    let mut sorted = latencies_us;
+    sorted.sort_unstable();
+    let pct = |p: f64| sorted[((total - 1) as f64 * p) as usize] as f64 / 1000.0;
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    println!(
+        "throughput: {throughput:.1} req/s ({:.1} samples/s) over {total} requests in {:.2}s",
+        throughput * batch as f64,
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "latency: p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        *sorted.last().expect("at least one request") as f64 / 1000.0
+    );
+
+    if let Some(handle) = handle {
+        handle.shutdown();
+    }
+}
+
+/// Renders `[1,2]` without pulling in a serializer.
+fn fmt_row(row: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (j, v) in row.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{v}"));
+    }
+    out.push(']');
+    out
+}
+
+/// Renders `[[1,2],[3,4]]`.
+fn fmt_rows(rows: &[Vec<f64>]) -> String {
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&fmt_row(row));
+    }
+    out.push(']');
+    out
+}
+
+/// One keep-alive client connection, reopened transparently if the server
+/// closes it (e.g. an idle timeout between worker start and first send).
+struct Connection {
+    stream: BufReader<TcpStream>,
+}
+
+impl Connection {
+    fn open(addr: &str) -> Connection {
+        let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        });
+        stream.set_nodelay(true).ok();
+        Connection { stream: BufReader::new(stream) }
+    }
+
+    fn post_classify(&mut self, addr: &str, body: &str) -> u16 {
+        match self.try_post(body) {
+            Some(status) => status,
+            None => {
+                // Stale keep-alive connection: reconnect once and retry.
+                *self = Connection::open(addr);
+                self.try_post(body).unwrap_or_else(|| {
+                    eprintln!("error: connection to {addr} dropped mid-request");
+                    std::process::exit(1);
+                })
+            }
+        }
+    }
+
+    /// Sends one request and reads one response; `None` on a dead socket.
+    fn try_post(&mut self, body: &str) -> Option<u16> {
+        let request = format!(
+            "POST /classify HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.get_mut().write_all(request.as_bytes()).ok()?;
+
+        let mut status_line = String::new();
+        self.stream.read_line(&mut status_line).ok().filter(|&n| n > 0)?;
+        let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.stream.read_line(&mut line).ok().filter(|&n| n > 0)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().ok()?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.stream.read_exact(&mut body).ok()?;
+        Some(status)
+    }
+}

@@ -15,14 +15,17 @@ fn main() {
     let data = cfg.generate();
 
     let mut t = eval::TextTable::new(vec![
-        "Split", "minsup", "Top-k time", "Top-k DNF", "RCBT time", "RCBT DNF", "BSTC time",
+        "Split",
+        "minsup",
+        "Top-k time",
+        "Top-k DNF",
+        "RCBT time",
+        "RCBT DNF",
+        "BSTC time",
     ]);
 
     // The paper's hard cases are the 80% and 1-133/0-77 training sizes.
-    let specs = [
-        ("80%", SplitSpec::Fraction(0.8)),
-        ("1-x/0-y", SplitSpec::FixedCounts(counts)),
-    ];
+    let specs = [("80%", SplitSpec::Fraction(0.8)), ("1-x/0-y", SplitSpec::FixedCounts(counts))];
     for (name, spec) in specs {
         let split = draw_split(data.labels(), data.n_classes(), &spec, opts.seed);
         let p = eval::prepare(&data, &split).expect("informative genes");

@@ -3,9 +3,7 @@
 //! BSTC accuracy/time and (optionally) Top-k/RCBT times, DNFs, and
 //! accuracy.
 
-use eval::{
-    run_bstc, run_rcbt, BoxplotStats, CvCell, Prepared, RcbtRun,
-};
+use eval::{run_bstc, run_rcbt, BoxplotStats, CvCell, Prepared, RcbtRun};
 use microarray::synth::SynthConfig;
 use rulemine::RcbtParams;
 use serde::{Deserialize, Serialize};
@@ -93,10 +91,7 @@ pub fn run_grid(
         records.extend(cell_records.into_iter().flatten());
     }
 
-    let summaries = cells
-        .iter()
-        .map(|c| summarize(&records, &c.spec.label()))
-        .collect();
+    let summaries = cells.iter().map(|c| summarize(&records, &c.spec.label())).collect();
     (records, summaries)
 }
 
@@ -131,9 +126,7 @@ pub fn summarize(records: &[TestRecord], cell: &str) -> CellSummary {
         } else {
             Some(eval::mean(&bstc_where_finished))
         },
-        topk_secs_mean: eval::mean(
-            &rcbt_runs.iter().map(|r| r.topk_secs).collect::<Vec<_>>(),
-        ),
+        topk_secs_mean: eval::mean(&rcbt_runs.iter().map(|r| r.topk_secs).collect::<Vec<_>>()),
         topk_dnf: rcbt_runs.iter().filter(|r| r.topk_dnf).count(),
         rcbt_secs_mean: eval::mean(
             &rcbt_runs.iter().filter(|r| !r.topk_dnf).map(|r| r.rcbt_secs).collect::<Vec<_>>(),
@@ -189,12 +182,7 @@ pub fn render_boxplots(summaries: &[CellSummary]) -> String {
         ));
         match &s.rcbt_acc {
             Some(b) if b.n == s.reps => {
-                out.push_str(&format!(
-                    "[{:>10}] RCBT  {}  {}\n",
-                    s.cell,
-                    scale(b),
-                    b.render()
-                ));
+                out.push_str(&format!("[{:>10}] RCBT  {}  {}\n", s.cell, scale(b), b.render()));
             }
             Some(b) => {
                 out.push_str(&format!(
@@ -203,10 +191,7 @@ pub fn render_boxplots(summaries: &[CellSummary]) -> String {
                 ));
             }
             None => {
-                out.push_str(&format!(
-                    "[{:>10}] RCBT  (no test finished within cutoff)\n",
-                    s.cell
-                ));
+                out.push_str(&format!("[{:>10}] RCBT  (no test finished within cutoff)\n", s.cell));
             }
         }
     }
@@ -218,14 +203,7 @@ mod tests {
     use super::*;
 
     fn record(cell: &str, rep: usize, acc: f64, rcbt: Option<RcbtRun>) -> TestRecord {
-        TestRecord {
-            cell: cell.into(),
-            rep,
-            genes: 10,
-            bstc_acc: acc,
-            bstc_secs: 0.5,
-            rcbt,
-        }
+        TestRecord { cell: cell.into(), rep, genes: 10, bstc_acc: acc, bstc_secs: 0.5, rcbt }
     }
 
     fn rcbt(acc: Option<f64>, topk_dnf: bool, rcbt_dnf: bool) -> RcbtRun {
@@ -303,9 +281,7 @@ mod tests {
             atypical_strength: 0.3,
             seed: 5,
         };
-        let cells = vec![
-            CvCell { spec: eval::SplitSpec::Fraction(0.6), reps: 2, base_seed: 1 },
-        ];
+        let cells = vec![CvCell { spec: eval::SplitSpec::Fraction(0.6), reps: 2, base_seed: 1 }];
         let (records, summaries) = run_grid(
             &config,
             &cells,

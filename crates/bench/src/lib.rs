@@ -13,8 +13,8 @@ pub mod scale;
 pub mod study;
 
 pub use experiment::{
-    render_accuracy_table, render_boxplots, render_runtime_table, run_grid, summarize,
-    CellSummary, TestRecord,
+    render_accuracy_table, render_boxplots, render_runtime_table, run_grid, summarize, CellSummary,
+    TestRecord,
 };
 pub use opts::Opts;
 pub use scale::{scaled_clinical_counts, scaled_config, DatasetKind};

@@ -141,7 +141,11 @@ mod tests {
                     assert!(
                         want < have,
                         "{:?} full={} class {}: train {} !< size {}",
-                        kind, full, c, want, have
+                        kind,
+                        full,
+                        c,
+                        want,
+                        have
                     );
                 }
             }

@@ -141,8 +141,8 @@ impl Bst {
                     ExclusionList { sign: Sign::Neg, items: neg.to_vec() }
                 } else {
                     let pos = c_set.difference(h_set); // g ∈ c, g ∉ h
-                    // `pos` may itself be empty (identical samples): keep
-                    // the unsatisfiable empty list and let validation warn.
+                                                       // `pos` may itself be empty (identical samples): keep
+                                                       // the unsatisfiable empty list and let validation warn.
                     ExclusionList { sign: Sign::Pos, items: pos.to_vec() }
                 };
                 let idx = *seen.entry(list.clone()).or_insert_with(|| {
@@ -319,8 +319,7 @@ impl Bst {
     pub fn stats(&self) -> BstStats {
         let pairs = self.class_samples.len() * self.out_samples.len();
         let unique: usize = self.excl_unique.iter().map(Vec::len).sum();
-        let list_items: usize =
-            self.excl_unique.iter().flatten().map(|l| l.items.len()).sum();
+        let list_items: usize = self.excl_unique.iter().flatten().map(|l| l.items.len()).sum();
         BstStats {
             pairs,
             unique_lists: unique,
@@ -414,35 +413,17 @@ mod tests {
     fn exclusion_lists_match_figure_1() {
         let (_, bst) = cancer_bst();
         // (s1, s4): Alg 1 falls through to the positive list {g1}.
-        assert_eq!(
-            bst.exclusion_list(0, 0),
-            &ExclusionList { sign: Sign::Pos, items: vec![0] }
-        );
+        assert_eq!(bst.exclusion_list(0, 0), &ExclusionList { sign: Sign::Pos, items: vec![0] });
         // (s1, s5): negative list {-g4, -g6}.
-        assert_eq!(
-            bst.exclusion_list(0, 1),
-            &ExclusionList { sign: Sign::Neg, items: vec![3, 5] }
-        );
+        assert_eq!(bst.exclusion_list(0, 1), &ExclusionList { sign: Sign::Neg, items: vec![3, 5] });
         // (s2, s4): {-g2, -g5}.
-        assert_eq!(
-            bst.exclusion_list(1, 0),
-            &ExclusionList { sign: Sign::Neg, items: vec![1, 4] }
-        );
+        assert_eq!(bst.exclusion_list(1, 0), &ExclusionList { sign: Sign::Neg, items: vec![1, 4] });
         // (s2, s5): {-g4, -g5}.
-        assert_eq!(
-            bst.exclusion_list(1, 1),
-            &ExclusionList { sign: Sign::Neg, items: vec![3, 4] }
-        );
+        assert_eq!(bst.exclusion_list(1, 1), &ExclusionList { sign: Sign::Neg, items: vec![3, 4] });
         // (s3, s4): {-g3, -g5}.
-        assert_eq!(
-            bst.exclusion_list(2, 0),
-            &ExclusionList { sign: Sign::Neg, items: vec![2, 4] }
-        );
+        assert_eq!(bst.exclusion_list(2, 0), &ExclusionList { sign: Sign::Neg, items: vec![2, 4] });
         // (s3, s5): {-g3, -g5}.
-        assert_eq!(
-            bst.exclusion_list(2, 1),
-            &ExclusionList { sign: Sign::Neg, items: vec![2, 4] }
-        );
+        assert_eq!(bst.exclusion_list(2, 1), &ExclusionList { sign: Sign::Neg, items: vec![2, 4] });
     }
 
     #[test]
@@ -521,15 +502,9 @@ mod tests {
         assert_eq!(bst.n_class_samples(), 2);
         assert_eq!(bst.n_out_samples(), 3);
         // (s4, s1): {g : g ∈ s1, g ∉ s4} = {g1} → negative list.
-        assert_eq!(
-            bst.exclusion_list(0, 0),
-            &ExclusionList { sign: Sign::Neg, items: vec![0] }
-        );
+        assert_eq!(bst.exclusion_list(0, 0), &ExclusionList { sign: Sign::Neg, items: vec![0] });
         // (s5, s3): s3 \ s5 = {g2} → negative.
-        assert_eq!(
-            bst.exclusion_list(1, 2),
-            &ExclusionList { sign: Sign::Neg, items: vec![1] }
-        );
+        assert_eq!(bst.exclusion_list(1, 2), &ExclusionList { sign: Sign::Neg, items: vec![1] });
         // No black dots in the Healthy BST.
         for g in 0..6 {
             assert!(!bst.is_black_dot_row(g) || bst.row_support(g).is_empty());

@@ -82,12 +82,7 @@ impl Mc2Classifier {
             bar.antecedent
                 .disjuncts
                 .iter()
-                .map(|clauses| {
-                    clauses
-                        .iter()
-                        .map(|c| c.satisfaction(query))
-                        .fold(1.0f64, f64::min)
-                })
+                .map(|clauses| clauses.iter().map(|c| c.satisfaction(query)).fold(1.0f64, f64::min))
                 .fold(0.0f64, f64::max)
         };
         car_factor * bool_factor
@@ -194,10 +189,8 @@ mod tests {
     fn classification_number_components() {
         // A pure-CAR rule scores the expressed fraction of its items.
         let d = table1();
-        let bar = crate::bar::Bar {
-            antecedent: crate::bar::BarAntecedent::car(vec![0, 2]),
-            class: 0,
-        };
+        let bar =
+            crate::bar::Bar { antecedent: crate::bar::BarAntecedent::car(vec![0, 2]), class: 0 };
         let q = BitSet::from_iter(6, [0]);
         assert_eq!(Mc2Classifier::classification_number(&bar, &q), 0.5);
         let q = BitSet::from_iter(6, [0, 2]);

@@ -83,9 +83,8 @@ fn rule_for_support(bst: &Bst, support: &BitSet) -> Mc2Bar {
         car.intersect_with(bst.class_sample_items(c));
     }
     // Actively excluded out-samples: those expressing the whole CAR portion.
-    let excluded: Vec<usize> = (0..bst.n_out_samples())
-        .filter(|&h| car.is_subset(bst.out_sample_items(h)))
-        .collect();
+    let excluded: Vec<usize> =
+        (0..bst.n_out_samples()).filter(|&h| car.is_subset(bst.out_sample_items(h))).collect();
     Mc2Bar { class: bst.class(), car_items: car.to_vec(), support: support.clone(), excluded }
 }
 
@@ -243,8 +242,8 @@ mod tests {
         let rules = mine_topk(&bst, 20);
         let r = rules.iter().find(|r| r.support.to_vec() == vec![1]).expect("{s2} mined");
         assert_eq!(r.car_items, vec![0, 2, 5]); // g1, g3, g6
-        // g1 is Cancer-exclusive and g6 only otherwise in s5 which lacks
-        // g1: no Healthy sample expresses the whole set.
+                                                // g1 is Cancer-exclusive and g6 only otherwise in s5 which lacks
+                                                // g1: no Healthy sample expresses the whole set.
         assert!(r.excluded.is_empty());
         assert_eq!(r.car_confidence(), 1.0);
     }
@@ -316,10 +315,7 @@ mod tests {
         let (_, bst) = cancer();
         let rules = mine_topk_per_sample(&bst, 2);
         for c in 0..bst.n_class_samples() {
-            assert!(
-                rules.iter().any(|r| r.support.contains(c)),
-                "sample column {c} uncovered"
-            );
+            assert!(rules.iter().any(|r| r.support.contains(c)), "sample column {c} uncovered");
         }
     }
 

@@ -29,7 +29,11 @@ pub struct Ibrg {
 impl Ibrg {
     /// Builds the IBRG an (MC)²BAR is the upper bound of.
     pub fn from_mc2bar(rule: &Mc2Bar) -> Ibrg {
-        Ibrg { class: rule.class, support: rule.support.clone(), upper_bound: rule.car_items.clone() }
+        Ibrg {
+            class: rule.class,
+            support: rule.support.clone(),
+            upper_bound: rule.car_items.clone(),
+        }
     }
 
     /// Support set of a pure item conjunction within the class (local
@@ -91,12 +95,7 @@ pub fn bar_for_car(bst: &Bst, items: &[ItemId]) -> Option<Bar> {
     let excluded: Vec<usize> = (0..bst.n_out_samples())
         .filter(|&h| items.iter().all(|&g| bst.out_sample_items(h).contains(g)))
         .collect();
-    let rule = Mc2Bar {
-        class: bst.class(),
-        car_items: items.to_vec(),
-        support,
-        excluded,
-    };
+    let rule = Mc2Bar { class: bst.class(), car_items: items.to_vec(), support, excluded };
     Some(rule.to_bar(bst))
 }
 
@@ -162,11 +161,8 @@ mod tests {
         // {g1,g3,g6}; lower bounds {g1,g6} and {g3,g6} (the paper lists
         // "(g1 AND g6)" and "(g3 AND g6 AND clauses)" as the lower bounds).
         let (_, bst) = cancer();
-        let group = Ibrg {
-            class: 0,
-            support: BitSet::from_iter(3, [1]),
-            upper_bound: vec![0, 2, 5],
-        };
+        let group =
+            Ibrg { class: 0, support: BitSet::from_iter(3, [1]), upper_bound: vec![0, 2, 5] };
         assert!(group.contains(&bst, &[0, 5])); // g1, g6
         assert!(group.contains(&bst, &[2, 5])); // g3, g6
         assert!(group.contains(&bst, &[0, 2, 5]));

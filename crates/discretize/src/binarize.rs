@@ -131,6 +131,52 @@ impl Discretizer {
         self.items.len()
     }
 
+    /// Number of gene columns of the fitted dataset (selected or not).
+    pub fn n_genes(&self) -> usize {
+        self.gene_names.len()
+    }
+
+    /// Gene names of the fitted dataset, indexed by column.
+    pub fn gene_names(&self) -> &[String] {
+        &self.gene_names
+    }
+
+    /// Human-readable `gene@[lo,hi)` names, indexed by item id (the same
+    /// names [`transform`](Self::transform) gives its output's items).
+    pub fn item_names(&self) -> Vec<String> {
+        self.items
+            .iter()
+            .map(|it| {
+                format!("{}@[{},{})", self.gene_names[it.gene], fmt_bound(it.lo), fmt_bound(it.hi))
+            })
+            .collect()
+    }
+
+    /// Binarizes one raw expression row with the fitted cuts — the
+    /// single-sample core of [`transform`](Self::transform), for callers
+    /// (like the inference server) that classify rows as they arrive.
+    ///
+    /// # Errors
+    /// Returns [`NoInformativeGenes`] if the fit selected zero genes.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the fitted gene count.
+    pub fn transform_row(&self, row: &[f64]) -> Result<BitSet, NoInformativeGenes> {
+        assert_eq!(
+            row.len(),
+            self.gene_names.len(),
+            "transform_row: gene universe differs from the fitted dataset"
+        );
+        if self.items.is_empty() {
+            return Err(NoInformativeGenes);
+        }
+        let mut set = BitSet::new(self.items.len());
+        for (k, (g, cuts)) in self.selected.iter().enumerate() {
+            set.insert(self.item_base[k] + interval_of(cuts, row[*g]));
+        }
+        Ok(set)
+    }
+
     /// Gene columns that survived discretization — the paper's
     /// "Genes After Discretization" (used to restrict SVM/random-forest
     /// inputs in §6.1).
@@ -140,10 +186,7 @@ impl Discretizer {
 
     /// Cut points of a selected gene, or `None` if the gene was dropped.
     pub fn cuts_for_gene(&self, gene: usize) -> Option<&[f64]> {
-        self.selected
-            .iter()
-            .find(|(g, _)| *g == gene)
-            .map(|(_, cuts)| cuts.as_slice())
+        self.selected.iter().find(|(g, _)| *g == gene).map(|(_, cuts)| cuts.as_slice())
     }
 
     /// The item descriptors, indexed by item id.
@@ -168,30 +211,11 @@ impl Discretizer {
         if self.items.is_empty() {
             return Err(NoInformativeGenes);
         }
-        let n_items = self.items.len();
-        let mut samples = Vec::with_capacity(data.n_samples());
-        for s in 0..data.n_samples() {
-            let mut set = BitSet::new(n_items);
-            for (k, (g, cuts)) in self.selected.iter().enumerate() {
-                let interval = interval_of(cuts, data.value(s, *g));
-                set.insert(self.item_base[k] + interval);
-            }
-            samples.push(set);
-        }
-        let item_names = self
-            .items
-            .iter()
-            .map(|it| {
-                format!(
-                    "{}@[{},{})",
-                    self.gene_names[it.gene],
-                    fmt_bound(it.lo),
-                    fmt_bound(it.hi)
-                )
-            })
+        let samples = (0..data.n_samples())
+            .map(|s| self.transform_row(data.row(s)).expect("items checked non-empty above"))
             .collect();
         Ok(BoolDataset::new(
-            item_names,
+            self.item_names(),
             data.class_names().to_vec(),
             samples,
             data.labels().to_vec(),
@@ -263,11 +287,7 @@ mod tests {
         let (d, b) = Discretizer::fit_transform(&toy()).unwrap();
         // All class-0 samples share gA's low-interval item; all class-1
         // samples share the high-interval item.
-        let low_item = d
-            .items()
-            .iter()
-            .position(|it| it.gene == 0 && it.interval == 0)
-            .unwrap();
+        let low_item = d.items().iter().position(|it| it.gene == 0 && it.interval == 0).unwrap();
         for s in 0..b.n_samples() {
             assert_eq!(b.expresses(s, low_item), b.label(s) == 0);
         }
@@ -297,14 +317,29 @@ mod tests {
     #[should_panic(expected = "gene universe differs")]
     fn transform_rejects_wrong_universe() {
         let d = Discretizer::fit(&toy());
-        let other = ContinuousDataset::new(
-            vec!["x".into()],
-            vec!["neg".into()],
-            vec![vec![1.0]],
-            vec![0],
-        )
-        .unwrap();
+        let other =
+            ContinuousDataset::new(vec!["x".into()], vec!["neg".into()], vec![vec![1.0]], vec![0])
+                .unwrap();
         let _ = d.transform(&other);
+    }
+
+    #[test]
+    fn transform_row_matches_transform() {
+        let data = toy();
+        let (d, b) = Discretizer::fit_transform(&data).unwrap();
+        for s in 0..data.n_samples() {
+            assert_eq!(&d.transform_row(data.row(s)).unwrap(), b.sample(s));
+        }
+        assert_eq!(d.n_genes(), 3);
+        assert_eq!(d.gene_names()[0], "gA");
+        assert_eq!(d.item_names(), b.item_names());
+    }
+
+    #[test]
+    #[should_panic(expected = "gene universe differs")]
+    fn transform_row_rejects_wrong_length() {
+        let d = Discretizer::fit(&toy());
+        let _ = d.transform_row(&[1.0]);
     }
 
     #[test]

@@ -218,9 +218,6 @@ mod tests {
         let mut shuffled_labels = labels.to_vec();
         shuffled_vals.reverse();
         shuffled_labels.reverse();
-        assert_eq!(
-            mdl_cuts(&values, &labels, 2),
-            mdl_cuts(&shuffled_vals, &shuffled_labels, 2)
-        );
+        assert_eq!(mdl_cuts(&values, &labels, 2), mdl_cuts(&shuffled_vals, &shuffled_labels, 2));
     }
 }

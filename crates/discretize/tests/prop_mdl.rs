@@ -93,10 +93,7 @@ fn cont_dataset() -> impl Strategy<Value = ContinuousDataset> {
     (2usize..4, 2usize..6, 4usize..20).prop_flat_map(|(n_classes, n_genes, extra)| {
         let n_samples = n_classes + extra;
         (
-            prop::collection::vec(
-                prop::collection::vec(-10.0f64..10.0, n_genes),
-                n_samples,
-            ),
+            prop::collection::vec(prop::collection::vec(-10.0f64..10.0, n_genes), n_samples),
             prop::collection::vec(0..n_classes, n_samples - n_classes),
         )
             .prop_map(move |(values, tail)| {

@@ -71,16 +71,14 @@ mod tests {
         assert_eq!(grid[0].spec, SplitSpec::Fraction(0.4));
         assert_eq!(grid[3].spec.label(), "1-52/0-50");
         // Distinct seeds per cell keep splits independent.
-        let seeds: std::collections::HashSet<u64> =
-            grid.iter().map(|c| c.base_seed).collect();
+        let seeds: std::collections::HashSet<u64> = grid.iter().map(|c| c.base_seed).collect();
         assert_eq!(seeds.len(), 4);
     }
 
     #[test]
     fn run_cell_produces_one_result_per_rep() {
         let data = presets::all_aml(11).scaled_down(50).generate();
-        let cell =
-            CvCell { spec: SplitSpec::Fraction(0.6), reps: 4, base_seed: 3 };
+        let cell = CvCell { spec: SplitSpec::Fraction(0.6), reps: 4, base_seed: 3 };
         let results = run_cell(&data, &cell, |_, p| run_bstc(p).accuracy);
         assert_eq!(results.len(), 4);
         for r in results.into_iter().flatten() {

@@ -108,8 +108,7 @@ pub struct TopkRun {
 pub fn run_topk(p: &Prepared, params: TopkParams, cutoff: Duration) -> TopkRun {
     let t0 = Instant::now();
     let mut budget = Budget::with_time_and_nodes(cutoff, MAX_MINING_NODES);
-    let (groups, outcome) =
-        rulemine::mine_topk_groups_all(&p.bool_train, params, &mut budget);
+    let (groups, outcome) = rulemine::mine_topk_groups_all(&p.bool_train, params, &mut budget);
     TopkRun {
         secs: t0.elapsed().as_secs_f64(),
         dnf: outcome.dnf(),
@@ -213,10 +212,7 @@ pub fn run_mc2(p: &Prepared, k: usize) -> Mc2Run {
     let t0 = Instant::now();
     let model = bstc::Mc2Classifier::train(&p.bool_train, k);
     let preds = model.classify_all(p.bool_test.samples());
-    Mc2Run {
-        accuracy: accuracy(&preds, p.bool_test.labels()),
-        secs: t0.elapsed().as_secs_f64(),
-    }
+    Mc2Run { accuracy: accuracy(&preds, p.bool_test.labels()), secs: t0.elapsed().as_secs_f64() }
 }
 
 /// Accuracies of the non-rule baselines on one prepared split

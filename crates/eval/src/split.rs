@@ -36,12 +36,8 @@ impl SplitSpec {
             SplitSpec::Fraction(f) => format!("{:.0}%", f * 100.0),
             SplitSpec::FixedCounts(counts) => {
                 // Paper order: class 1 first.
-                let parts: Vec<String> = counts
-                    .iter()
-                    .enumerate()
-                    .rev()
-                    .map(|(c, n)| format!("{c}-{n}"))
-                    .collect();
+                let parts: Vec<String> =
+                    counts.iter().enumerate().rev().map(|(c, n)| format!("{c}-{n}")).collect();
                 parts.join("/")
             }
         }
@@ -65,7 +61,12 @@ pub struct Split {
 /// sample of the dataset (no test data).
 pub fn draw_split(labels: &[usize], n_classes: usize, spec: &SplitSpec, seed: u64) -> Split {
     for salt in 0u64.. {
-        let split = draw_once(labels, n_classes, spec, seed.wrapping_add(salt.wrapping_mul(0x9e3779b97f4a7c15)));
+        let split = draw_once(
+            labels,
+            n_classes,
+            spec,
+            seed.wrapping_add(salt.wrapping_mul(0x9e3779b97f4a7c15)),
+        );
         if split_is_trainable(labels, n_classes, &split) {
             return split;
         }
@@ -94,8 +95,7 @@ fn draw_once(labels: &[usize], n_classes: usize, spec: &SplitSpec, seed: u64) ->
             assert_eq!(counts.len(), n_classes, "one count per class");
             let mut train = Vec::new();
             for (class, &want) in counts.iter().enumerate() {
-                let mut members: Vec<usize> =
-                    (0..n).filter(|&s| labels[s] == class).collect();
+                let mut members: Vec<usize> = (0..n).filter(|&s| labels[s] == class).collect();
                 assert!(
                     want <= members.len(),
                     "class {class} has {} samples, {want} requested",
@@ -106,8 +106,7 @@ fn draw_once(labels: &[usize], n_classes: usize, spec: &SplitSpec, seed: u64) ->
             }
             train.sort_unstable();
             assert!(train.len() < n, "fixed counts leave no test data");
-            let test: Vec<usize> =
-                (0..n).filter(|s| train.binary_search(s).is_err()).collect();
+            let test: Vec<usize> = (0..n).filter(|s| train.binary_search(s).is_err()).collect();
             Split { train, test }
         }
     }

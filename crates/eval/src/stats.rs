@@ -102,11 +102,7 @@ impl BoxplotStats {
         }
         // Whiskers: min/max unless outliers exist, then the most extreme
         // values inside the 1.5×IQR fences.
-        let whisker_lo = sorted
-            .iter()
-            .copied()
-            .find(|&v| v >= lo_fence)
-            .unwrap_or(sorted[0]);
+        let whisker_lo = sorted.iter().copied().find(|&v| v >= lo_fence).unwrap_or(sorted[0]);
         let whisker_hi = sorted
             .iter()
             .rev()

@@ -29,10 +29,7 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set with room for elements `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet {
-            capacity,
-            words: vec![0; capacity.div_ceil(WORD_BITS)],
-        }
+        BitSet { capacity, words: vec![0; capacity.div_ceil(WORD_BITS)] }
     }
 
     /// Creates a set containing every element in `0..capacity`.
@@ -159,11 +156,7 @@ impl BitSet {
     /// `|self ∩ other|` without allocating.
     pub fn intersection_len(&self, other: &BitSet) -> usize {
         self.check(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// True if `self ⊆ other`.
@@ -180,11 +173,7 @@ impl BitSet {
 
     /// Iterates over the elements in ascending order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter {
-            words: &self.words,
-            word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
-        }
+        Iter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
     }
 
     /// Smallest element, if any.

@@ -50,15 +50,13 @@ impl fmt::Display for DatasetError {
             DatasetError::LabelCountMismatch { samples, labels } => {
                 write!(f, "{samples} samples but {labels} labels")
             }
-            DatasetError::ItemUniverseMismatch { sample, got, expected } => write!(
-                f,
-                "sample {sample} is a set over {got} items, expected {expected}"
-            ),
+            DatasetError::ItemUniverseMismatch { sample, got, expected } => {
+                write!(f, "sample {sample} is a set over {got} items, expected {expected}")
+            }
             DatasetError::EmptyClass { class } => write!(f, "class {class} has no samples"),
-            DatasetError::RowLengthMismatch { sample, got, expected } => write!(
-                f,
-                "sample {sample} has {got} expression values, expected {expected}"
-            ),
+            DatasetError::RowLengthMismatch { sample, got, expected } => {
+                write!(f, "sample {sample} has {got} expression values, expected {expected}")
+            }
             DatasetError::Empty => write!(f, "dataset has no samples or no items"),
         }
     }
@@ -432,11 +430,8 @@ mod tests {
     fn duplicate_samples_detected() {
         let items = vec!["g1".into(), "g2".into()];
         let classes = vec!["A".into(), "B".into()];
-        let samples = vec![
-            BitSet::from_iter(2, [0]),
-            BitSet::from_iter(2, [0]),
-            BitSet::from_iter(2, [1]),
-        ];
+        let samples =
+            vec![BitSet::from_iter(2, [0]), BitSet::from_iter(2, [0]), BitSet::from_iter(2, [1])];
         let d = BoolDataset::new(items, classes, samples, vec![0, 1, 1]).unwrap();
         assert_eq!(d.duplicate_samples(), vec![1]);
     }

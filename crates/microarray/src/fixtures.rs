@@ -21,11 +21,11 @@ pub fn table1() -> BoolDataset {
     let items = (1..=6).map(|k| format!("g{k}")).collect();
     let classes = vec!["Cancer".to_string(), "Healthy".to_string()];
     let samples = vec![
-        BitSet::from_iter(6, [0, 1, 2, 4]),    // s1
-        BitSet::from_iter(6, [0, 2, 5]),       // s2
-        BitSet::from_iter(6, [1, 3, 5]),       // s3
-        BitSet::from_iter(6, [1, 2, 4]),       // s4
-        BitSet::from_iter(6, [2, 3, 4, 5]),    // s5
+        BitSet::from_iter(6, [0, 1, 2, 4]), // s1
+        BitSet::from_iter(6, [0, 2, 5]),    // s2
+        BitSet::from_iter(6, [1, 3, 5]),    // s3
+        BitSet::from_iter(6, [1, 2, 4]),    // s4
+        BitSet::from_iter(6, [2, 3, 4, 5]), // s5
     ];
     BoolDataset::new(items, classes, samples, vec![0, 0, 0, 1, 1])
         .expect("the Table 1 fixture is valid by construction")

@@ -484,8 +484,7 @@ mod tests {
         let d = cfg.generate();
         let block = 0..cfg.markers_per_class; // class 0's markers
         let mean_for = |class: usize| -> f64 {
-            let members: Vec<_> =
-                (0..d.n_samples()).filter(|&s| d.label(s) == class).collect();
+            let members: Vec<_> = (0..d.n_samples()).filter(|&s| d.label(s) == class).collect();
             let mut acc = 0.0;
             for &s in &members {
                 for g in block.clone() {
@@ -555,9 +554,7 @@ mod tests {
         // Item 0 is a class-0 marker: expressed by most class-0 samples,
         // few class-1 samples.
         let on = |class: usize| {
-            (0..d.n_samples())
-                .filter(|&s| d.label(s) == class && d.expresses(s, 0))
-                .count()
+            (0..d.n_samples()).filter(|&s| d.label(s) == class && d.expresses(s, 0)).count()
         };
         assert!(on(0) >= 15, "marker on-rate too low: {}", on(0));
         assert!(on(1) <= 5, "background on-rate too high: {}", on(1));

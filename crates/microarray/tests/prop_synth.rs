@@ -6,10 +6,10 @@ use proptest::prelude::*;
 
 fn config() -> impl Strategy<Value = SynthConfig> {
     (
-        8usize..40,       // genes
-        2usize..5,        // markers per class
+        8usize..40, // genes
+        2usize..5,  // markers per class
         (4usize..10, 4usize..10),
-        0.0f64..0.4,      // dropout
+        0.0f64..0.4, // dropout
         0u64..1000,
     )
         .prop_map(|(n_genes, markers, (a, b), dropout, seed)| SynthConfig {

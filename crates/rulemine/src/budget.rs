@@ -69,13 +69,7 @@ impl Budget {
 
     /// Node-count cutoff — deterministic, used by tests.
     pub fn with_nodes(limit: u64) -> Budget {
-        Budget {
-            deadline: None,
-            node_limit: Some(limit),
-            nodes: 0,
-            since_check: 0,
-            expired: false,
-        }
+        Budget { deadline: None, node_limit: Some(limit), nodes: 0, since_check: 0, expired: false }
     }
 
     /// Both cutoffs at once.

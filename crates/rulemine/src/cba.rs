@@ -141,9 +141,10 @@ pub fn train_cba(data: &BoolDataset, params: CbaParams, budget: &mut Budget) -> 
     let mut covered = vec![false; n];
     let mut selected: Vec<CbaRule> = Vec::new();
     for rule in rules {
-        let helps = covered.iter().enumerate().any(|(s, &done)| {
-            !done && data.label(s) == rule.class && rule.matches(data.sample(s))
-        });
+        let helps = covered
+            .iter()
+            .enumerate()
+            .any(|(s, &done)| !done && data.label(s) == rule.class && rule.matches(data.sample(s)));
         if !helps {
             continue;
         }
@@ -183,9 +184,7 @@ pub fn train_cba(data: &BoolDataset, params: CbaParams, budget: &mut Budget) -> 
 }
 
 fn total_support(data: &BoolDataset, items: &[ItemId]) -> usize {
-    (0..data.n_samples())
-        .filter(|&s| items.iter().all(|&g| data.sample(s).contains(g)))
-        .count()
+    (0..data.n_samples()).filter(|&s| items.iter().all(|&g| data.sample(s).contains(g))).count()
 }
 
 /// Emits the rules `items ⇒ class` whose confidence clears `minconf`.
@@ -274,8 +273,7 @@ mod tests {
         let t = train_default(0.2);
         let cars = t.model.rules_as_cars();
         let d = table1();
-        let confs: Vec<f64> =
-            cars.iter().map(|c| c.confidence(&d).unwrap_or(0.0)).collect();
+        let confs: Vec<f64> = cars.iter().map(|c| c.confidence(&d).unwrap_or(0.0)).collect();
         for w in confs.windows(2) {
             assert!(w[0] >= w[1] - 1e-12, "{confs:?}");
         }

@@ -43,9 +43,9 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod car;
 pub mod cba;
 pub mod hitting;
-pub mod car;
 pub mod lower;
 pub mod rcbt;
 pub mod topk;

@@ -72,9 +72,7 @@ pub fn mine_lower_bounds(
     let diffs: Vec<Vec<usize>> = (0..data.n_samples())
         .filter(|&r| !target.contains(r))
         .map(|r| {
-            (0..upper.len())
-                .filter(|&i| !data.sample(r).contains(upper[i]))
-                .collect::<Vec<usize>>()
+            (0..upper.len()).filter(|&i| !data.sample(r).contains(upper[i])).collect::<Vec<usize>>()
         })
         .collect();
 
@@ -85,17 +83,9 @@ pub fn mine_lower_bounds(
         return LowerBounds { bounds, outcome: budget.outcome() };
     }
 
-    let mut b = crate::hitting::minimal_hitting_sets(
-        &diffs,
-        MAX_LEVEL.min(upper.len()),
-        nl,
-        budget,
-    );
-    let bounds = b
-        .sets
-        .drain(..)
-        .map(|pos| pos.into_iter().map(|i| upper[i]).collect())
-        .collect();
+    let mut b =
+        crate::hitting::minimal_hitting_sets(&diffs, MAX_LEVEL.min(upper.len()), nl, budget);
+    let bounds = b.sets.drain(..).map(|pos| pos.into_iter().map(|i| upper[i]).collect()).collect();
     LowerBounds {
         bounds,
         outcome: if b.finished { budget.outcome() } else { Outcome::DidNotFinish },
@@ -159,12 +149,8 @@ mod tests {
         let target = support_set(&d, &g.items);
         for bound in &lb.bounds {
             for skip in 0..bound.len() {
-                let reduced: Vec<usize> = bound
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != skip)
-                    .map(|(_, &g)| g)
-                    .collect();
+                let reduced: Vec<usize> =
+                    bound.iter().enumerate().filter(|&(i, _)| i != skip).map(|(_, &g)| g).collect();
                 if reduced.is_empty() {
                     continue;
                 }

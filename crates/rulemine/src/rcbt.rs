@@ -104,12 +104,8 @@ pub fn train(
 ) -> RcbtTraining {
     let n_classes = data.n_classes();
     let sizes = data.class_sizes();
-    let default_class = sizes
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &s)| s)
-        .map(|(c, _)| c)
-        .unwrap_or(0);
+    let default_class =
+        sizes.iter().enumerate().max_by_key(|&(_, &s)| s).map(|(c, _)| c).unwrap_or(0);
 
     // Phase 1: top-k covering rule groups per class.
     let mut topk_outcome = Outcome::Finished;
@@ -154,9 +150,7 @@ pub fn train(
         .map(|per_class| {
             per_class
                 .iter()
-                .map(|rules| {
-                    rules.iter().map(|r| r.confidence * r.support as f64).sum::<f64>()
-                })
+                .map(|rules| rules.iter().map(|r| r.confidence * r.support as f64).sum::<f64>())
                 .collect()
         })
         .collect();
@@ -244,8 +238,7 @@ mod tests {
         let d = table1();
         let t = train_table1(0.0);
         let preds = t.model.classify_all(d.samples());
-        let correct =
-            preds.iter().zip(d.labels()).filter(|(p, l)| p == l).count();
+        let correct = preds.iter().zip(d.labels()).filter(|(p, l)| p == l).count();
         // RCBT should get most training samples right on this tiny set.
         assert!(correct >= 4, "only {correct}/5 training samples correct: {preds:?}");
     }

@@ -108,8 +108,7 @@ impl Covering {
     }
 
     fn group_indices(&self) -> Vec<usize> {
-        let mut ids: Vec<usize> =
-            self.best.iter().flatten().map(|&(_, _, g)| g).collect();
+        let mut ids: Vec<usize> = self.best.iter().flatten().map(|&(_, _, g)| g).collect();
         ids.sort_unstable();
         ids.dedup();
         ids
@@ -124,8 +123,7 @@ pub fn mine_topk_groups(
     budget: &mut Budget,
 ) -> TopkResult {
     let class_rows: Vec<usize> = data.class_members(class);
-    let out_rows: Vec<usize> =
-        (0..data.n_samples()).filter(|&s| data.label(s) != class).collect();
+    let out_rows: Vec<usize> = (0..data.n_samples()).filter(|&s| data.label(s) != class).collect();
     let n = class_rows.len();
     let n_items = data.n_items();
     let min_rows = ((params.minsup * n as f64).ceil() as usize).max(1);
@@ -135,8 +133,7 @@ pub fn mine_topk_groups(
 
     let mut groups: Vec<RuleGroup> = Vec::new();
     let mut covering = Covering::new(n, params.k);
-    let mut seen_closures: std::collections::HashSet<Vec<usize>> =
-        std::collections::HashSet::new();
+    let mut seen_closures: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
 
     // Recursive row enumeration. `rows` is the closed row set (ascending
     // local indices), `itemset` its closed item set.

@@ -44,8 +44,7 @@ fn brute_closed_groups(d: &BoolDataset, class: usize) -> HashMap<Vec<usize>, Vec
             continue;
         }
         // Closure: all class rows containing the itemset.
-        let closure: Vec<usize> =
-            (0..n).filter(|&i| items.is_subset(d.sample(rows[i]))).collect();
+        let closure: Vec<usize> = (0..n).filter(|&i| items.is_subset(d.sample(rows[i]))).collect();
         let mut closed_items = BitSet::full(d.n_items());
         for &i in &closure {
             closed_items.intersect_with(d.sample(rows[i]));

@@ -1,0 +1,433 @@
+//! Versioned, checksummed model artifacts.
+//!
+//! A [`ModelBundle`] packages everything needed to serve BSTC predictions
+//! on **raw continuous expression vectors**: the trained [`BstcModel`],
+//! the fitted [`Discretizer`] (cut points + item layout), the item/gene
+//! vocabulary, the class labels, and provenance (dataset name, seed,
+//! training accuracy, producing tool).
+//!
+//! On disk a bundle is a JSON envelope
+//!
+//! ```json
+//! { "format_version": 1,
+//!   "checksum": "fnv1a64:<16 hex digits>",
+//!   "bundle": { ... } }
+//! ```
+//!
+//! where `checksum` is FNV-1a (64-bit) over the *compact* serialization
+//! of the `bundle` value. [`ModelBundle::from_json`] refuses unknown
+//! format versions and corrupted payloads before deserializing, so a
+//! serving process can never hot-swap in a half-written file.
+
+use bstc::BstcModel;
+use discretize::Discretizer;
+use microarray::ContinuousDataset;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::fmt;
+use std::path::Path;
+
+/// The bundle format this build writes and accepts.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Where a bundle came from — carried verbatim, surfaced by `GET /model`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Name of the training dataset (free-form, e.g. `"ALL/AML"`).
+    pub dataset: String,
+    /// RNG seed used to produce the training data, when synthetic.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Resubstitution accuracy on the training split, in `[0, 1]`.
+    #[serde(default)]
+    pub train_accuracy: Option<f64>,
+    /// The producing tool and version.
+    pub tool: String,
+}
+
+impl Provenance {
+    /// Provenance for a locally trained bundle.
+    pub fn new(dataset: impl Into<String>, seed: Option<u64>) -> Provenance {
+        Provenance {
+            dataset: dataset.into(),
+            seed,
+            train_accuracy: None,
+            tool: concat!("bstc-repro ", env!("CARGO_PKG_VERSION")).to_string(),
+        }
+    }
+}
+
+/// A self-contained, servable BSTC model artifact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// Provenance metadata.
+    pub provenance: Provenance,
+    /// Class labels, indexed by `ClassId`.
+    pub class_names: Vec<String>,
+    /// Boolean item vocabulary (`gene@[lo,hi)`), indexed by item id.
+    pub item_names: Vec<String>,
+    /// Fitted cut points: maps raw gene vectors to boolean items.
+    pub discretizer: Discretizer,
+    /// The trained classifier.
+    pub model: BstcModel,
+}
+
+/// One classification result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted class index.
+    pub class: usize,
+    /// Predicted class label.
+    pub label: String,
+    /// BSTCE classification value per class, indexed by class id.
+    pub values: Vec<f64>,
+    /// Normalized gap between the two best class values (§8 heuristic).
+    pub confidence: f64,
+}
+
+/// Everything that can go wrong while loading or saving a bundle.
+#[derive(Debug)]
+pub enum BundleError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not valid JSON, or the payload does not deserialize.
+    Json(String),
+    /// The envelope is JSON but not shaped like a bundle.
+    Envelope(String),
+    /// The file was written by an incompatible format version.
+    FormatVersion {
+        /// Version found in the file.
+        found: u64,
+        /// Version this build understands.
+        expected: u64,
+    },
+    /// The payload does not hash to the declared checksum.
+    ChecksumMismatch {
+        /// Checksum declared in the envelope.
+        declared: String,
+        /// Checksum computed over the payload.
+        computed: String,
+    },
+    /// The payload deserialized but is internally inconsistent.
+    Invalid(String),
+}
+
+impl fmt::Display for BundleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BundleError::Io(e) => write!(f, "bundle i/o error: {e}"),
+            BundleError::Json(e) => write!(f, "bundle is not valid JSON: {e}"),
+            BundleError::Envelope(e) => write!(f, "bad bundle envelope: {e}"),
+            BundleError::FormatVersion { found, expected } => write!(
+                f,
+                "unsupported bundle format version {found} (this build reads version {expected})"
+            ),
+            BundleError::ChecksumMismatch { declared, computed } => write!(
+                f,
+                "bundle checksum mismatch: file declares {declared} but payload hashes to \
+                 {computed} — the file is corrupt or was edited by hand"
+            ),
+            BundleError::Invalid(e) => write!(f, "bundle is internally inconsistent: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl From<std::io::Error> for BundleError {
+    fn from(e: std::io::Error) -> Self {
+        BundleError::Io(e)
+    }
+}
+
+/// A classify request whose input does not fit the bundle's gene universe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WrongVectorLength {
+    /// Length of the offending input vector.
+    pub got: usize,
+    /// Gene count the discretizer was fitted on.
+    pub expected: usize,
+}
+
+impl fmt::Display for WrongVectorLength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "expression vector has {} values but the model expects {} genes",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for WrongVectorLength {}
+
+impl ModelBundle {
+    /// Fits a discretizer on `data`, trains BSTC on the binarized result,
+    /// measures resubstitution accuracy, and packages it all up.
+    ///
+    /// # Errors
+    /// Returns [`BundleError::Invalid`] when the dataset has an empty
+    /// class or no gene survives MDL discretization.
+    pub fn train(
+        data: &ContinuousDataset,
+        provenance: Provenance,
+    ) -> Result<ModelBundle, BundleError> {
+        if let Some(c) = data.first_empty_class() {
+            return Err(BundleError::Invalid(format!(
+                "class {c} ('{}') has no training samples",
+                data.class_names()[c]
+            )));
+        }
+        let (discretizer, boolean) =
+            Discretizer::fit_transform(data).map_err(|e| BundleError::Invalid(e.to_string()))?;
+        let model = BstcModel::train(&boolean);
+        let correct = (0..boolean.n_samples())
+            .filter(|&s| model.classify(boolean.sample(s)) == boolean.label(s))
+            .count();
+        let mut provenance = provenance;
+        provenance.train_accuracy = Some(correct as f64 / boolean.n_samples() as f64);
+        Ok(ModelBundle {
+            provenance,
+            class_names: data.class_names().to_vec(),
+            item_names: discretizer.item_names(),
+            discretizer,
+            model,
+        })
+    }
+
+    /// Number of raw gene values a classify input must supply.
+    pub fn n_genes(&self) -> usize {
+        self.discretizer.n_genes()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Classifies one raw expression vector: applies the fitted cut
+    /// points, binarizes, and runs BSTCE over every class BST.
+    ///
+    /// # Errors
+    /// Returns [`WrongVectorLength`] when `row` does not match the fitted
+    /// gene count.
+    pub fn classify_row(&self, row: &[f64]) -> Result<Prediction, WrongVectorLength> {
+        if row.len() != self.n_genes() {
+            return Err(WrongVectorLength { got: row.len(), expected: self.n_genes() });
+        }
+        let query =
+            self.discretizer.transform_row(row).expect("a validated bundle has at least one item");
+        let values = self.model.class_values(&query);
+        let mut class = 0;
+        for (i, &v) in values.iter().enumerate().skip(1) {
+            if v > values[class] {
+                class = i;
+            }
+        }
+        Ok(Prediction {
+            class,
+            label: self.class_names[class].clone(),
+            values,
+            confidence: self.model.confidence_gap(&query),
+        })
+    }
+
+    /// Serializes to the versioned, checksummed JSON envelope.
+    pub fn to_json(&self) -> Result<String, BundleError> {
+        let payload = serde_json::to_value(self).map_err(|e| BundleError::Json(e.to_string()))?;
+        let canonical =
+            serde_json::to_string(&payload).map_err(|e| BundleError::Json(e.to_string()))?;
+        let envelope = serde_json::json!({
+            "format_version": FORMAT_VERSION,
+            "checksum": checksum_of(&canonical),
+            "bundle": payload
+        });
+        serde_json::to_string(&envelope).map_err(|e| BundleError::Json(e.to_string()))
+    }
+
+    /// Parses and fully verifies a JSON envelope: format version first,
+    /// then checksum, then payload shape, then internal consistency.
+    ///
+    /// # Errors
+    /// See [`BundleError`] — each failure mode maps to one variant.
+    pub fn from_json(text: &str) -> Result<ModelBundle, BundleError> {
+        let root: Value =
+            serde_json::from_str(text).map_err(|e| BundleError::Json(e.to_string()))?;
+        let version = root
+            .get("format_version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| BundleError::Envelope("missing integer 'format_version'".into()))?;
+        if version != FORMAT_VERSION {
+            return Err(BundleError::FormatVersion { found: version, expected: FORMAT_VERSION });
+        }
+        let declared = root
+            .get("checksum")
+            .and_then(Value::as_str)
+            .ok_or_else(|| BundleError::Envelope("missing string 'checksum'".into()))?
+            .to_string();
+        let payload = root
+            .get("bundle")
+            .cloned()
+            .ok_or_else(|| BundleError::Envelope("missing object 'bundle'".into()))?;
+        let canonical =
+            serde_json::to_string(&payload).map_err(|e| BundleError::Json(e.to_string()))?;
+        let computed = checksum_of(&canonical);
+        if declared != computed {
+            return Err(BundleError::ChecksumMismatch { declared, computed });
+        }
+        let bundle: ModelBundle =
+            serde_json::from_value(payload).map_err(|e| BundleError::Json(e.to_string()))?;
+        bundle.validate()?;
+        Ok(bundle)
+    }
+
+    /// Writes the envelope to a file.
+    ///
+    /// # Errors
+    /// Propagates serialization and filesystem failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), BundleError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reads and verifies an envelope from a file.
+    ///
+    /// # Errors
+    /// See [`BundleError`].
+    pub fn load(path: impl AsRef<Path>) -> Result<ModelBundle, BundleError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Cross-field consistency checks run after deserialization.
+    fn validate(&self) -> Result<(), BundleError> {
+        if self.class_names.is_empty() {
+            return Err(BundleError::Invalid("bundle has zero classes".into()));
+        }
+        if self.model.n_classes() != self.class_names.len() {
+            return Err(BundleError::Invalid(format!(
+                "model has {} class BSTs but {} class names",
+                self.model.n_classes(),
+                self.class_names.len()
+            )));
+        }
+        if self.discretizer.n_items() == 0 {
+            return Err(BundleError::Invalid("discretizer has zero items".into()));
+        }
+        if self.discretizer.n_items() != self.item_names.len() {
+            return Err(BundleError::Invalid(format!(
+                "discretizer produces {} items but the vocabulary lists {}",
+                self.discretizer.n_items(),
+                self.item_names.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a 64-bit, rendered as `fnv1a64:<16 hex digits>`.
+fn checksum_of(payload: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in payload.as_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv1a64:{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ContinuousDataset {
+        ContinuousDataset::new(
+            vec!["gA".into(), "gB".into()],
+            vec!["neg".into(), "pos".into()],
+            vec![
+                vec![1.0, 5.0],
+                vec![1.2, 3.0],
+                vec![0.8, 5.5],
+                vec![1.1, 2.9],
+                vec![9.0, 5.1],
+                vec![9.2, 3.2],
+                vec![8.9, 5.2],
+                vec![9.1, 3.1],
+            ],
+            vec![0, 0, 0, 0, 1, 1, 1, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn train_fills_provenance_and_classifies() {
+        let b = ModelBundle::train(&toy(), Provenance::new("toy", Some(7))).unwrap();
+        assert_eq!(b.n_classes(), 2);
+        assert_eq!(b.n_genes(), 2);
+        assert_eq!(b.provenance.train_accuracy, Some(1.0));
+        assert_eq!(b.provenance.seed, Some(7));
+        let p = b.classify_row(&[0.9, 4.0]).unwrap();
+        assert_eq!((p.class, p.label.as_str()), (0, "neg"));
+        let p = b.classify_row(&[9.0, 4.0]).unwrap();
+        assert_eq!((p.class, p.label.as_str()), (1, "pos"));
+        assert!(p.confidence > 0.0);
+        assert_eq!(p.values.len(), 2);
+    }
+
+    #[test]
+    fn classify_rejects_wrong_length() {
+        let b = ModelBundle::train(&toy(), Provenance::new("toy", None)).unwrap();
+        let e = b.classify_row(&[1.0]).unwrap_err();
+        assert_eq!(e, WrongVectorLength { got: 1, expected: 2 });
+        assert!(e.to_string().contains("expects 2 genes"));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let b = ModelBundle::train(&toy(), Provenance::new("toy", Some(1))).unwrap();
+        let back = ModelBundle::from_json(&b.to_json().unwrap()).unwrap();
+        for row in [[1.0, 5.0], [9.0, 3.0], [5.0, 4.0]] {
+            let x = b.classify_row(&row).unwrap();
+            let y = back.classify_row(&row).unwrap();
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.values, y.values);
+        }
+        assert_eq!(back.provenance, b.provenance);
+    }
+
+    #[test]
+    fn wrong_format_version_is_refused() {
+        let b = ModelBundle::train(&toy(), Provenance::new("toy", None)).unwrap();
+        let text = b.to_json().unwrap().replace("\"format_version\":1", "\"format_version\":99");
+        match ModelBundle::from_json(&text) {
+            Err(BundleError::FormatVersion { found: 99, expected: 1 }) => {}
+            other => panic!("expected FormatVersion error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_is_refused() {
+        let b = ModelBundle::train(&toy(), Provenance::new("toy", None)).unwrap();
+        let text = b.to_json().unwrap().replace("\"dataset\":\"toy\"", "\"dataset\":\"tam\"");
+        assert!(matches!(ModelBundle::from_json(&text), Err(BundleError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn garbage_and_bad_envelopes_are_refused() {
+        assert!(matches!(ModelBundle::from_json("not json"), Err(BundleError::Json(_))));
+        assert!(matches!(ModelBundle::from_json("{}"), Err(BundleError::Envelope(_))));
+        assert!(matches!(
+            ModelBundle::from_json("{\"format_version\":1}"),
+            Err(BundleError::Envelope(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_round_trips_through_disk() {
+        let b = ModelBundle::train(&toy(), Provenance::new("toy", None)).unwrap();
+        let path = std::env::temp_dir().join(format!("bstc_bundle_{}.json", std::process::id()));
+        b.save(&path).unwrap();
+        let back = ModelBundle::load(&path).unwrap();
+        assert_eq!(back.class_names, b.class_names);
+        assert_eq!(back.item_names, b.item_names);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,272 @@
+//! A deliberately small HTTP/1.1 implementation on `std::io` — just
+//! enough for a JSON inference API: request-line + headers +
+//! `Content-Length` bodies in, fixed-status responses out, with
+//! keep-alive. No chunked encoding, no TLS, no async.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target with any query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (empty when there is no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a request line —
+    /// the normal end of a keep-alive session, not a fault.
+    Closed,
+    /// Transport failure mid-request.
+    Io(io::Error),
+    /// The bytes were not parseable HTTP (reply 400).
+    Malformed(String),
+    /// Head or body exceeded the hard limits (reply 413).
+    TooLarge(String),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads one request from a buffered stream.
+///
+/// # Errors
+/// See [`ReadError`]; [`ReadError::Closed`] is the clean-EOF case.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
+    let mut head_bytes = 0usize;
+    let request_line = match read_line(reader, &mut head_bytes)? {
+        None => return Err(ReadError::Closed),
+        Some(line) if line.is_empty() => {
+            return Err(ReadError::Malformed("empty request line".into()))
+        }
+        Some(line) => line,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let target =
+        parts.next().ok_or_else(|| ReadError::Malformed("missing request target".into()))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("unsupported protocol '{version}'")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader, &mut head_bytes)? {
+            None => return Err(ReadError::Malformed("connection closed mid-headers".into())),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("header without ':': '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length '{v}'")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let keep_alive = match headers.iter().find(|(n, _)| n == "connection") {
+        Some((_, v)) => !v.eq_ignore_ascii_case("close"),
+        None => version != "HTTP/1.0",
+    };
+    Ok(Request { method, path, headers, body, keep_alive })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, charging `budget`.
+/// `Ok(None)` means clean EOF before any byte.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, ReadError> {
+    let mut raw = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) if raw.is_empty() => return Ok(None),
+            Ok(0) => break,
+            Ok(_) => {
+                *budget += 1;
+                if *budget > MAX_HEAD_BYTES {
+                    return Err(ReadError::TooLarge(format!(
+                        "request head exceeds {MAX_HEAD_BYTES} bytes"
+                    )));
+                }
+                if byte[0] == b'\n' {
+                    break;
+                }
+                raw.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| ReadError::Malformed("non-UTF-8 request head".into()))
+}
+
+/// One response about to be written.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response { status, content_type: "application/json", body: body.into() }
+    }
+
+    /// A plaintext response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+    }
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a response (with `Connection: keep-alive`/`close` as asked).
+///
+/// # Errors
+/// Propagates transport failures.
+pub fn write_response(
+    stream: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let r = parse("POST /classify?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody")
+            .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/classify");
+        assert_eq!(r.header("host"), Some("h"));
+        assert_eq!(r.body, b"body");
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn respects_connection_close_and_http10() {
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().keep_alive);
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_malformed() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected() {
+        assert!(matches!(parse("\r\n"), Err(ReadError::Malformed(_))));
+        assert!(matches!(parse("GET\r\n\r\n"), Err(ReadError::Malformed(_))));
+        assert!(matches!(parse("GET / SPDY/3\r\n\r\n"), Err(ReadError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbad header\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: soup\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_without_reading_them() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(parse(&raw), Err(ReadError::TooLarge(_))));
+    }
+
+    #[test]
+    fn response_writes_status_line_and_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(400, "{}"), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400 Bad Request\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

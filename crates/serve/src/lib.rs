@@ -1,0 +1,33 @@
+//! Model artifacts and a concurrent BSTC inference server.
+//!
+//! This crate turns the research pipeline into something deployable:
+//!
+//! * [`bundle`] — [`ModelBundle`], a versioned, checksummed JSON artifact
+//!   packaging a trained [`bstc::BstcModel`] with its fitted
+//!   [`discretize::Discretizer`], vocabulary, class labels, and
+//!   provenance, so one file is sufficient to serve predictions on raw
+//!   continuous expression vectors.
+//! * [`http`] — a minimal dependency-free HTTP/1.1 reader/writer.
+//! * [`metrics`] — lock-free request counters and a latency histogram.
+//! * [`server`] — a worker-pool TCP server exposing `/classify` (single
+//!   and batch), `/health`, `/model`, `/metrics`, and `/reload`
+//!   (hot-swap behind `RwLock<Arc<ModelBundle>>`).
+//!
+//! ```no_run
+//! use serve::{serve, ModelBundle, Provenance, ServerConfig};
+//!
+//! let data = microarray::synth::presets::all_aml(7).scaled_down(40).generate();
+//! let bundle = ModelBundle::train(&data, Provenance::new("ALL/AML", Some(7))).unwrap();
+//! let handle = serve(ServerConfig::default(), bundle).unwrap();
+//! println!("listening on http://{}", handle.addr());
+//! handle.wait();
+//! ```
+
+pub mod bundle;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use bundle::{BundleError, ModelBundle, Prediction, Provenance, FORMAT_VERSION};
+pub use metrics::Metrics;
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,177 @@
+//! Lock-free serving metrics, rendered in a Prometheus-style plaintext
+//! format by `GET /metrics`. Everything is relaxed atomics: counters are
+//! monotonically increasing and the scrape tolerates torn reads across
+//! series.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (µs) of the latency histogram buckets; the implicit last
+/// bucket is `+Inf`. Spans sub-100µs cache hits to multi-second stalls.
+pub const LATENCY_BUCKETS_US: [u64; 10] =
+    [100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
+
+/// Counters for one endpoint family.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    hits: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl EndpointStats {
+    fn record(&self, status: u16) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// All metrics of one server instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    classify: EndpointStats,
+    health: EndpointStats,
+    model: EndpointStats,
+    metrics: EndpointStats,
+    reload: EndpointStats,
+    other: EndpointStats,
+    /// Individual expression vectors classified (a batch counts each row).
+    samples_classified: AtomicU64,
+    /// Completed model hot-swaps.
+    reloads: AtomicU64,
+    /// Histogram of `/classify` handler latency; `[i]` counts requests
+    /// with latency ≤ `LATENCY_BUCKETS_US[i]`, the extra slot is +Inf.
+    latency_counts: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    latency_sum_us: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one handled request by route and response status.
+    pub fn record_request(&self, path: &str, status: u16) {
+        let endpoint = match path {
+            "/classify" => &self.classify,
+            "/health" => &self.health,
+            "/model" => &self.model,
+            "/metrics" => &self.metrics,
+            "/reload" => &self.reload,
+            _ => &self.other,
+        };
+        endpoint.record(status);
+    }
+
+    /// Records a `/classify` handler latency observation.
+    pub fn record_latency_us(&self, us: u64) {
+        let slot =
+            LATENCY_BUCKETS_US.iter().position(|&b| us <= b).unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency_counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Adds to the classified-samples counter.
+    pub fn record_samples(&self, n: u64) {
+        self.samples_classified.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a completed hot-swap.
+    pub fn record_reload(&self) {
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus-style plaintext exposition.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        out.push_str("# TYPE bstc_requests_total counter\n");
+        for (route, stats) in [
+            ("/classify", &self.classify),
+            ("/health", &self.health),
+            ("/model", &self.model),
+            ("/metrics", &self.metrics),
+            ("/reload", &self.reload),
+            ("other", &self.other),
+        ] {
+            let _ = writeln!(
+                out,
+                "bstc_requests_total{{route=\"{route}\"}} {}",
+                stats.hits.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "bstc_request_errors_total{{route=\"{route}\"}} {}",
+                stats.errors.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_samples_classified_total counter\nbstc_samples_classified_total {}",
+            self.samples_classified.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_model_reloads_total counter\nbstc_model_reloads_total {}",
+            self.reloads.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE bstc_classify_latency_us histogram\n");
+        let mut cumulative = 0u64;
+        for (i, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.latency_counts[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "bstc_classify_latency_us_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.latency_counts[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "bstc_classify_latency_us_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "bstc_classify_latency_us_count {cumulative}");
+        let _ = writeln!(
+            out,
+            "bstc_classify_latency_us_sum {}",
+            self.latency_sum_us.load(Ordering::Relaxed)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_count_by_route_and_status() {
+        let m = Metrics::new();
+        m.record_request("/classify", 200);
+        m.record_request("/classify", 400);
+        m.record_request("/nope", 404);
+        let text = m.render();
+        assert!(text.contains("bstc_requests_total{route=\"/classify\"} 2"), "{text}");
+        assert!(text.contains("bstc_request_errors_total{route=\"/classify\"} 1"), "{text}");
+        assert!(text.contains("bstc_requests_total{route=\"other\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn latency_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.record_latency_us(50); // ≤100
+        m.record_latency_us(700); // ≤1000
+        m.record_latency_us(10_000_000); // +Inf
+        let text = m.render();
+        assert!(text.contains("bucket{le=\"100\"} 1"), "{text}");
+        assert!(text.contains("bucket{le=\"1000\"} 2"), "{text}");
+        assert!(text.contains("bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("bstc_classify_latency_us_count 3"), "{text}");
+        assert!(text.contains("bstc_classify_latency_us_sum 10000750"), "{text}");
+    }
+
+    #[test]
+    fn samples_and_reloads_accumulate() {
+        let m = Metrics::new();
+        m.record_samples(3);
+        m.record_samples(2);
+        m.record_reload();
+        let text = m.render();
+        assert!(text.contains("bstc_samples_classified_total 5"), "{text}");
+        assert!(text.contains("bstc_model_reloads_total 1"), "{text}");
+    }
+}

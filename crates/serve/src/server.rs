@@ -1,0 +1,475 @@
+//! The concurrent inference server: a `TcpListener` acceptor feeding a
+//! fixed pool of worker threads over a channel, with the live
+//! [`ModelBundle`] behind `RwLock<Arc<...>>` so `POST /reload` can
+//! hot-swap models while classify traffic keeps flowing.
+//!
+//! Endpoints:
+//!
+//! | route            | purpose                                            |
+//! |------------------|----------------------------------------------------|
+//! | `GET /health`    | liveness probe                                     |
+//! | `GET /model`     | metadata of the currently served bundle            |
+//! | `GET /metrics`   | plaintext counters + latency histogram             |
+//! | `POST /classify` | classify one vector (`values`) or many (`samples`) |
+//! | `POST /reload`   | re-read the bundle file and swap it in             |
+//!
+//! Every client error is a structured JSON 4xx: `{"error": <machine
+//! code>, "detail": <human text>}`.
+
+use crate::bundle::{ModelBundle, FORMAT_VERSION};
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::metrics::Metrics;
+use serde_json::{json, Value};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the server is started.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8642` (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Worker threads handling connections (0 = number of CPUs).
+    pub threads: usize,
+    /// File `POST /reload` re-reads; `None` disables reloading.
+    pub bundle_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { addr: "127.0.0.1:0".into(), threads: 0, bundle_path: None }
+    }
+}
+
+/// State shared by every worker.
+struct Shared {
+    bundle: RwLock<Arc<ModelBundle>>,
+    bundle_path: Option<PathBuf>,
+    metrics: Metrics,
+    shutting_down: AtomicBool,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] (or [`ServerHandle::wait`] to serve
+/// forever).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Idle keep-alive connections are polled at this cadence so workers
+/// notice shutdown promptly.
+const IDLE_POLL: Duration = Duration::from_millis(250);
+
+/// Binds and starts serving `bundle` in background threads.
+///
+/// # Errors
+/// Propagates socket failures (bind, local_addr).
+pub fn serve(config: ServerConfig, bundle: ModelBundle) -> io::Result<ServerHandle> {
+    let listener =
+        TcpListener::bind(
+            config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address")
+            })?,
+        )?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        bundle: RwLock::new(Arc::new(bundle)),
+        bundle_path: config.bundle_path,
+        metrics: Metrics::new(),
+        shutting_down: AtomicBool::new(false),
+    });
+
+    let n_workers = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(2, |n| n.get())
+    } else {
+        config.threads
+    };
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers = (0..n_workers)
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("bstc-serve-worker-{i}"))
+                .spawn(move || loop {
+                    // Holding the lock only for the recv keeps hand-off fair.
+                    let next = { rx.lock().expect("worker poisoned").recv() };
+                    match next {
+                        Ok(stream) => handle_connection(&shared, stream),
+                        Err(_) => break, // acceptor gone: shutdown
+                    }
+                })
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("bstc-serve-acceptor".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutting_down.load(Ordering::SeqCst) {
+                        break; // drops `tx`, draining the workers
+                    }
+                    if let Ok(stream) = stream {
+                        // A send can only fail after shutdown started.
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+            })
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle { addr, shared, acceptor, workers })
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, finishes in-flight requests, and joins every
+    /// thread.
+    pub fn shutdown(self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept() so the acceptor observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Blocks until the server stops (i.e. forever, absent a signal).
+    pub fn wait(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Serves one TCP connection, looping while the client keeps it alive.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(request) => {
+                let response = route(shared, &request);
+                shared.metrics.record_request(&request.path, response.status);
+                let keep_alive = request.keep_alive && !shared.shutting_down.load(Ordering::SeqCst);
+                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Io(e))
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                // Idle keep-alive connection: poll the shutdown flag.
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(ReadError::Io(_)) => return,
+            Err(ReadError::Malformed(detail)) => {
+                let body = error_body("malformed_request", &detail);
+                shared.metrics.record_request("malformed", 400);
+                let _ = write_response(&mut writer, &Response::json(400, body), false);
+                return;
+            }
+            Err(ReadError::TooLarge(detail)) => {
+                let body = error_body("payload_too_large", &detail);
+                shared.metrics.record_request("malformed", 413);
+                let _ = write_response(&mut writer, &Response::json(413, body), false);
+                return;
+            }
+        }
+    }
+}
+
+/// `{"error": code, "detail": detail}` as bytes.
+fn error_body(code: &str, detail: &str) -> Vec<u8> {
+    serde_json::to_string(&json!({"error": code, "detail": detail}))
+        .unwrap_or_else(|_| format!("{{\"error\":\"{code}\"}}"))
+        .into_bytes()
+}
+
+/// Shorthand for a structured JSON error response.
+fn error_response(status: u16, code: &str, detail: &str) -> Response {
+    Response::json(status, error_body(code, detail))
+}
+
+/// Dispatches one parsed request.
+fn route(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => handle_health(shared),
+        ("GET", "/model") => handle_model(shared),
+        ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
+        ("POST", "/classify") => handle_classify(shared, &request.body),
+        ("POST", "/reload") => handle_reload(shared, &request.body),
+        (_, "/health" | "/model" | "/metrics" | "/classify" | "/reload") => error_response(
+            405,
+            "method_not_allowed",
+            &format!("{} is not supported on {}", request.method, request.path),
+        ),
+        (_, path) => error_response(404, "not_found", &format!("no route for '{path}'")),
+    }
+}
+
+fn handle_health(shared: &Shared) -> Response {
+    let bundle = shared.bundle.read().expect("bundle lock poisoned").clone();
+    let body = json!({"status": "ok", "dataset": bundle.provenance.dataset.clone()});
+    Response::json(200, serde_json::to_string(&body).expect("static shape"))
+}
+
+fn handle_model(shared: &Shared) -> Response {
+    let bundle = shared.bundle.read().expect("bundle lock poisoned").clone();
+    let provenance = match serde_json::to_value(&bundle.provenance) {
+        Ok(v) => v,
+        Err(e) => return error_response(500, "serialize_failed", &e.to_string()),
+    };
+    let body = json!({
+        "format_version": FORMAT_VERSION,
+        "provenance": provenance,
+        "n_genes": bundle.n_genes(),
+        "n_items": bundle.item_names.len(),
+        "n_classes": bundle.n_classes(),
+        "class_names": bundle.class_names.clone()
+    });
+    match serde_json::to_string(&body) {
+        Ok(text) => Response::json(200, text),
+        Err(e) => error_response(500, "serialize_failed", &e.to_string()),
+    }
+}
+
+/// `POST /classify` body: either `{"values": [..]}` (one vector) or
+/// `{"samples": [[..], ..]}` (a batch). Batches answer with one
+/// prediction per row, in order.
+fn handle_classify(shared: &Shared, body: &[u8]) -> Response {
+    let started = Instant::now();
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return error_response(400, "bad_encoding", "body must be UTF-8 JSON"),
+    };
+    let value: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return error_response(400, "bad_json", &e.to_string()),
+    };
+    let bundle = shared.bundle.read().expect("bundle lock poisoned").clone();
+
+    let (rows, batched) = if let Some(values) = value.get("values") {
+        match parse_vector(values) {
+            Ok(row) => (vec![row], false),
+            Err(detail) => return error_response(400, "bad_vector", &detail),
+        }
+    } else if let Some(samples) = value.get("samples") {
+        let Some(elements) = samples.as_array() else {
+            return error_response(400, "bad_vector", "'samples' must be an array of arrays");
+        };
+        let mut rows = Vec::with_capacity(elements.len());
+        for (i, element) in elements.iter().enumerate() {
+            match parse_vector(element) {
+                Ok(row) => rows.push(row),
+                Err(detail) => {
+                    return error_response(400, "bad_vector", &format!("samples[{i}]: {detail}"))
+                }
+            }
+        }
+        (rows, true)
+    } else {
+        return error_response(400, "bad_request", "body must contain 'values' or 'samples'");
+    };
+
+    let mut predictions = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        match bundle.classify_row(row) {
+            Ok(p) => predictions.push(p),
+            Err(e) => {
+                let at = if batched { format!("samples[{i}]: ") } else { String::new() };
+                return error_response(400, "wrong_length", &format!("{at}{e}"));
+            }
+        }
+    }
+    shared.metrics.record_samples(predictions.len() as u64);
+
+    let result = if batched {
+        serde_json::to_value(&predictions).map(|ps| json!({"predictions": ps}))
+    } else {
+        serde_json::to_value(&predictions[0]).map(|p| json!({"prediction": p}))
+    };
+    let response = match result.and_then(|body| serde_json::to_string(&body)) {
+        Ok(text) => Response::json(200, text),
+        Err(e) => error_response(500, "serialize_failed", &e.to_string()),
+    };
+    shared.metrics.record_latency_us(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    response
+}
+
+/// `POST /reload`: re-reads the configured bundle file (or, with a
+/// `{"path": ...}` body, another file) and atomically swaps it in.
+fn handle_reload(shared: &Shared, body: &[u8]) -> Response {
+    let override_path = match std::str::from_utf8(body) {
+        Ok(text) if !text.trim().is_empty() => match serde_json::from_str::<Value>(text) {
+            Ok(v) => v.get("path").and_then(Value::as_str).map(PathBuf::from),
+            Err(e) => return error_response(400, "bad_json", &e.to_string()),
+        },
+        _ => None,
+    };
+    let path = match override_path.or_else(|| shared.bundle_path.clone()) {
+        Some(p) => p,
+        None => {
+            return error_response(
+                400,
+                "no_bundle_path",
+                "server was started without --model file; pass {\"path\": ...}",
+            )
+        }
+    };
+    match ModelBundle::load(&path) {
+        Ok(bundle) => {
+            let dataset = bundle.provenance.dataset.clone();
+            *shared.bundle.write().expect("bundle lock poisoned") = Arc::new(bundle);
+            shared.metrics.record_reload();
+            let body =
+                json!({"reloaded": true, "path": path.display().to_string(), "dataset": dataset});
+            Response::json(200, serde_json::to_string(&body).expect("static shape"))
+        }
+        // The old model keeps serving: a bad file must never take the
+        // process down or leave it empty-handed.
+        Err(e) => error_response(400, "reload_failed", &e.to_string()),
+    }
+}
+
+/// Parses a JSON array of numbers into an `f64` vector.
+fn parse_vector(value: &Value) -> Result<Vec<f64>, String> {
+    let Some(elements) = value.as_array() else {
+        return Err(format!("expected an array of numbers, got {}", value.kind()));
+    };
+    let mut row = Vec::with_capacity(elements.len());
+    for (i, element) in elements.iter().enumerate() {
+        match element.as_f64() {
+            Some(v) => row.push(v),
+            None => return Err(format!("element {i} is {}, not a number", element.kind())),
+        }
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::Provenance;
+    use microarray::ContinuousDataset;
+
+    fn toy_bundle() -> ModelBundle {
+        let data = ContinuousDataset::new(
+            vec!["gA".into(), "gB".into()],
+            vec!["neg".into(), "pos".into()],
+            vec![
+                vec![1.0, 5.0],
+                vec![1.2, 3.0],
+                vec![0.8, 5.5],
+                vec![1.1, 2.9],
+                vec![9.0, 5.1],
+                vec![9.2, 3.2],
+                vec![8.9, 5.2],
+                vec![9.1, 3.1],
+            ],
+            vec![0, 0, 0, 0, 1, 1, 1, 1],
+        )
+        .unwrap();
+        ModelBundle::train(&data, Provenance::new("toy", None)).unwrap()
+    }
+
+    fn shared() -> Shared {
+        Shared {
+            bundle: RwLock::new(Arc::new(toy_bundle())),
+            bundle_path: None,
+            metrics: Metrics::new(),
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+
+    fn post(shared: &Shared, path: &str, body: &str) -> Response {
+        route(
+            shared,
+            &Request {
+                method: "POST".into(),
+                path: path.into(),
+                headers: vec![],
+                body: body.as_bytes().to_vec(),
+                keep_alive: false,
+            },
+        )
+    }
+
+    #[test]
+    fn classify_single_and_batch() {
+        let s = shared();
+        let r = post(&s, "/classify", "{\"values\": [1.0, 4.0]}");
+        assert_eq!(r.status, 200);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert_eq!(v.get("prediction").unwrap().get("label").unwrap().as_str(), Some("neg"));
+
+        let r = post(&s, "/classify", "{\"samples\": [[1.0, 4.0], [9.0, 4.0]]}");
+        assert_eq!(r.status, 200);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        let ps = v.get("predictions").unwrap().as_array().unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[1].get("label").unwrap().as_str(), Some("pos"));
+    }
+
+    #[test]
+    fn classify_errors_are_structured_4xx() {
+        let s = shared();
+        for (body, code) in [
+            ("{", "bad_json"),
+            ("{\"nope\": 1}", "bad_request"),
+            ("{\"values\": \"x\"}", "bad_vector"),
+            ("{\"values\": [1.0, \"x\"]}", "bad_vector"),
+            ("{\"values\": [1.0]}", "wrong_length"),
+            ("{\"samples\": [[1.0, 2.0], [1.0]]}", "wrong_length"),
+        ] {
+            let r = post(&s, "/classify", body);
+            assert_eq!(r.status, 400, "{body}");
+            let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap();
+            assert_eq!(v.get("error").unwrap().as_str(), Some(code), "{body}");
+            assert!(v.get("detail").is_some(), "{body}");
+        }
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let s = shared();
+        assert_eq!(post(&s, "/nope", "").status, 404);
+        assert_eq!(post(&s, "/health", "").status, 405);
+    }
+
+    #[test]
+    fn reload_without_path_is_a_structured_error() {
+        let s = shared();
+        let r = post(&s, "/reload", "");
+        assert_eq!(r.status, 400);
+        assert!(std::str::from_utf8(&r.body).unwrap().contains("no_bundle_path"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests of the bundle artifact: a saved-and-reloaded bundle
+//! must be indistinguishable from the in-memory one on held-out data,
+//! and any tampering with the file must be detected before serving.
+
+use proptest::prelude::*;
+use serve::{BundleError, ModelBundle, Provenance};
+
+/// Synthetic ALL/AML data split into disjoint train/held-out halves.
+fn split(seed: u64) -> (microarray::ContinuousDataset, microarray::ContinuousDataset) {
+    let data = microarray::synth::presets::all_aml(seed).scaled_down(10).generate();
+    let train_ids: Vec<usize> = (0..data.n_samples()).filter(|s| s % 2 == 0).collect();
+    let held_ids: Vec<usize> = (0..data.n_samples()).filter(|s| s % 2 == 1).collect();
+    (data.subset(&train_ids), data.subset(&held_ids))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn save_load_round_trip_preserves_held_out_predictions(seed in 0u64..10_000) {
+        let (train, held_out) = split(seed);
+        if train.first_empty_class().is_some() {
+            return Ok(()); // degenerate split; nothing to train on
+        }
+        let bundle = ModelBundle::train(&train, Provenance::new("all/aml", Some(seed)))
+            .expect("synthetic ALL/AML data always has informative genes");
+        let loaded = ModelBundle::from_json(&bundle.to_json().unwrap()).unwrap();
+
+        prop_assert_eq!(&loaded.class_names, &bundle.class_names);
+        prop_assert_eq!(&loaded.item_names, &bundle.item_names);
+        for s in 0..held_out.n_samples() {
+            let here = bundle.classify_row(held_out.row(s)).unwrap();
+            let there = loaded.classify_row(held_out.row(s)).unwrap();
+            prop_assert_eq!(here.class, there.class);
+            prop_assert_eq!(here.values, there.values); // bit-exact, not approximate
+            prop_assert_eq!(here.confidence, there.confidence);
+        }
+    }
+
+    #[test]
+    fn any_single_byte_edit_is_detected(seed in 0u64..1_000, victim in 0usize..10_000) {
+        let (train, _) = split(seed);
+        if train.first_empty_class().is_some() {
+            return Ok(());
+        }
+        let bundle = ModelBundle::train(&train, Provenance::new("all/aml", Some(seed))).unwrap();
+        let text = bundle.to_json().unwrap();
+
+        // Corrupt one digit somewhere in the payload (skipping the
+        // envelope head so the checksum itself isn't the victim).
+        let head = text.find("\"bundle\"").unwrap();
+        let digits: Vec<usize> = text
+            .char_indices()
+            .filter(|&(i, c)| i > head && c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .collect();
+        let at = digits[victim % digits.len()];
+        let mut bytes = text.into_bytes();
+        bytes[at] = if bytes[at] == b'9' { b'0' } else { bytes[at] + 1 };
+        let tampered = String::from_utf8(bytes).unwrap();
+
+        match ModelBundle::from_json(&tampered) {
+            Err(BundleError::ChecksumMismatch { .. }) | Err(BundleError::Json(_)) => {}
+            Ok(_) => prop_assert!(false, "tampered bundle loaded successfully"),
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn future_format_versions_are_refused_with_context() {
+    let (train, _) = split(3);
+    let bundle = ModelBundle::train(&train, Provenance::new("all/aml", None)).unwrap();
+    let text = bundle.to_json().unwrap().replace("\"format_version\":1", "\"format_version\":2");
+    match ModelBundle::from_json(&text) {
+        Err(e @ BundleError::FormatVersion { found: 2, expected: 1 }) => {
+            let msg = e.to_string();
+            assert!(msg.contains("version 2") && msg.contains("version 1"), "{msg}");
+        }
+        other => panic!("expected FormatVersion error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_files_are_refused() {
+    let (train, _) = split(4);
+    let bundle = ModelBundle::train(&train, Provenance::new("all/aml", None)).unwrap();
+    let text = bundle.to_json().unwrap();
+    let truncated = &text[..text.len() / 2];
+    assert!(matches!(ModelBundle::from_json(truncated), Err(BundleError::Json(_))));
+}

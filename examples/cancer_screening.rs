@@ -14,18 +14,16 @@ fn main() {
     // run in seconds, big enough for the entropy discretizer to find the
     // real markers.
     let config = presets::all_aml(2024).scaled_down(3);
-    println!("dataset: {} ({} genes, {:?} samples/class)",
-        config.name, config.n_genes, config.class_sizes);
+    println!(
+        "dataset: {} ({} genes, {:?} samples/class)",
+        config.name, config.n_genes, config.class_sizes
+    );
     let data = config.generate();
 
     // Clinically-proportioned training split (cf. Table 3's 27/11 at full
     // scale), seeded and reproducible.
-    let split = draw_split(
-        data.labels(),
-        data.n_classes(),
-        &SplitSpec::FixedCounts(vec![5, 11]),
-        7,
-    );
+    let split =
+        draw_split(data.labels(), data.n_classes(), &SplitSpec::FixedCounts(vec![5, 11]), 7);
     println!("training on {} samples, testing on {}", split.train.len(), split.test.len());
 
     let train = data.subset(&split.train);
@@ -33,11 +31,7 @@ fn main() {
 
     // Entropy-MDL discretization, fitted on training data only.
     let disc = Discretizer::fit(&train);
-    println!(
-        "genes after discretization: {} (of {})",
-        disc.selected_genes().len(),
-        data.n_genes()
-    );
+    println!("genes after discretization: {} (of {})", disc.selected_genes().len(), data.n_genes());
     let bool_train = disc.transform(&train).expect("informative genes");
     let bool_test = disc.transform(&test).expect("same universe");
 

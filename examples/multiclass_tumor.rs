@@ -12,7 +12,9 @@ fn main() {
     let config = presets::three_class(99).scaled_down(4);
     println!(
         "dataset: {} — {} classes {:?}",
-        config.name, config.class_names.len(), config.class_sizes
+        config.name,
+        config.class_names.len(),
+        config.class_sizes
     );
     let data = config.generate();
 
@@ -37,16 +39,10 @@ fn main() {
         let members: Vec<usize> =
             (0..bool_test.n_samples()).filter(|&s| bool_test.label(s) == c).collect();
         let hits = members.iter().filter(|&&s| preds[s] == c).count();
-        println!(
-            "  {}: {}/{} correct",
-            bool_test.class_names()[c],
-            hits,
-            members.len()
-        );
+        println!("  {}: {}/{} correct", bool_test.class_names()[c], hits, members.len());
     }
 
     // The per-query confidence gap (§8): how sure is the model?
-    let gaps: Vec<f64> =
-        bool_test.samples().iter().map(|q| model.confidence_gap(q)).collect();
+    let gaps: Vec<f64> = bool_test.samples().iter().map(|q| model.confidence_gap(q)).collect();
     println!("mean confidence gap: {:.3}", eval::mean(&gaps));
 }

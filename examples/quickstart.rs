@@ -17,12 +17,7 @@ fn main() {
     for s in 0..data.n_samples() {
         let items: Vec<&str> =
             data.sample(s).iter().map(|g| data.item_names()[g].as_str()).collect();
-        println!(
-            "  s{}: {{{}}}  [{}]",
-            s + 1,
-            items.join(", "),
-            data.class_names()[data.label(s)]
-        );
+        println!("  s{}: {{{}}}  [{}]", s + 1, items.join(", "), data.class_names()[data.label(s)]);
     }
 
     println!("\n== Figure 1: the Cancer BST ==");

@@ -1,0 +1,192 @@
+//! Offline stand-in for `criterion` (API subset used by this workspace's
+//! benches): `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and `black_box`.
+//!
+//! Measurement is deliberately simple: each benchmark runs a short warmup
+//! to size the batch, then timed batches until the time budget (driven by
+//! `sample_size`) is spent, and prints the mean wall-clock time per
+//! iteration. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+}
+
+/// Identifier for a parameterized benchmark (`name/param`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId { full: format!("{name}/{param}") }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{name}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark receiving a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.full), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` (outputs are passed through
+    /// [`black_box`] so the optimizer cannot discard them).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Warmup: find an iteration count that takes roughly 10ms per batch,
+    // capped to keep total runtime bounded.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let batch = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000);
+
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..sample_size {
+        b.iters = batch as u64;
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+        if total > Duration::from_secs(3) {
+            break;
+        }
+    }
+    let mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    println!("bench {name:<48} {:>12} /iter ({iters} iters)", fmt_ns(mean_ns));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group
+            .bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        assert!(calls > 0);
+    }
+}

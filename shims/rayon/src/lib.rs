@@ -1,0 +1,173 @@
+//! Offline stand-in for `rayon` (API subset used by this workspace):
+//! `slice.par_iter().enumerate().map(f).collect::<Vec<_>>()`.
+//!
+//! The model is *indexed*: every adapter is random-access over a base
+//! slice, and `collect` fans the index range out across
+//! `std::thread::scope` workers (one chunk per available core). On a
+//! single-core host it degrades to a plain sequential loop with no thread
+//! spawns.
+
+/// Everything call sites need in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Types whose references can be iterated in parallel.
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced parallel iterator.
+    type Iter: ParallelIterator;
+    /// Creates a parallel iterator over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SlicePar<'a, T>;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SlicePar<'a, T>;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+/// Random-access parallel iterator.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item type produced for each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produces the item at `index` (called once per index).
+    fn item_at(&self, index: usize) -> Self::Item;
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Computes every item and gathers them in index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Base iterator over a slice.
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn item_at(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn item_at(&self, index: usize) -> R {
+        (self.f)(self.base.item_at(index))
+    }
+}
+
+/// `enumerate` adapter.
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn item_at(&self, index: usize) -> (usize, B::Item) {
+        (index, self.base.item_at(index))
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Gathers all items of `iter` in index order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Vec<T> {
+        let n = iter.par_len();
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let workers = workers.min(n).max(1);
+        if workers <= 1 {
+            return (0..n).map(|i| iter.item_at(i)).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let iter = &iter;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    scope.spawn(move || (lo..hi).map(|i| iter.item_at(i)).collect::<Vec<T>>())
+                })
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for h in handles {
+                out.extend(h.join().expect("rayon shim worker panicked"));
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_enumerate_collect_preserves_order() {
+        let data: Vec<usize> = (0..1000).collect();
+        let out: Vec<(usize, usize)> =
+            data.par_iter().enumerate().map(|(i, &v)| (i, v * 2)).collect();
+        for (i, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*doubled, i * 2);
+        }
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let data: Vec<u8> = Vec::new();
+        let out: Vec<u8> = data.par_iter().map(|&b| b).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,540 @@
+//! Offline stand-in for `serde` (API subset used by this workspace).
+//!
+//! The build container has no crates.io access, so the real `serde` cannot
+//! be downloaded; this shim keeps the workspace's `#[derive(Serialize,
+//! Deserialize)]` code and the `serde_json` call sites compiling and
+//! behaving like the real thing for the JSON data model.
+//!
+//! Design: instead of serde's streaming visitor architecture, everything
+//! funnels through a JSON-shaped [`__private::Content`] tree. A
+//! [`Serializer`] consumes a `Content`; a [`Deserializer`] produces one.
+//! The derive macros in `serde_derive` generate code against the
+//! `__private` helpers. The trait *shapes* (`serialize<S: Serializer>`,
+//! `deserialize<'de, D: Deserializer<'de>>`, `ser::Error::custom`,
+//! `de::Error::custom`) match real serde so hand-written `#[serde(with =
+//! "...")]` modules compile unchanged.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization errors.
+pub mod ser {
+    /// Error constructor required of every [`crate::Serializer::Error`].
+    pub trait Error: Sized + std::fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization errors.
+pub mod de {
+    /// Error constructor required of every [`crate::Deserializer::Error`].
+    pub trait Error: Sized + std::fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A type that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Consumes values. In this shim a serializer is anything that can accept
+/// a completed [`__private::Content`] tree; the `serialize_*` primitives
+/// are provided on top of that.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type; must support [`ser::Error::custom`].
+    type Error: ser::Error;
+
+    /// Accepts a finished content tree.
+    fn serialize_content(self, content: __private::Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a bool.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(__private::Content::Bool(v))
+    }
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(__private::Content::I64(v))
+    }
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(__private::Content::U64(v))
+    }
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(__private::Content::F64(v))
+    }
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(__private::Content::Str(v.to_string()))
+    }
+    /// Serializes a unit / null.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(__private::Content::Null)
+    }
+}
+
+/// A type that can be deserialized. The `'de` lifetime mirrors real serde
+/// (this shim never borrows from the input, but keeping the parameter
+/// lets hand-written `with`-modules compile unchanged).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Produces values. In this shim a deserializer is anything that can
+/// yield a [`__private::Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type; must support [`de::Error::custom`].
+    type Error: de::Error;
+
+    /// Yields the input as a content tree.
+    fn deserialize_content(self) -> Result<__private::Content, Self::Error>;
+}
+
+/// Helpers the derive macros generate code against. Not a stable API.
+pub mod __private {
+    use super::{de, ser, Deserialize, Deserializer, Serialize, Serializer};
+    use std::fmt;
+
+    /// JSON-shaped value tree — the single data model of this shim.
+    ///
+    /// Maps preserve insertion order (`Vec` of pairs, not a hash map) so
+    /// serialized output is deterministic.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Content {
+        Null,
+        Bool(bool),
+        I64(i64),
+        U64(u64),
+        F64(f64),
+        Str(String),
+        Seq(Vec<Content>),
+        Map(Vec<(String, Content)>),
+    }
+
+    /// Error for content-tree conversions.
+    #[derive(Clone, Debug)]
+    pub struct ContentError(pub String);
+
+    impl fmt::Display for ContentError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for ContentError {}
+
+    impl ser::Error for ContentError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            ContentError(msg.to_string())
+        }
+    }
+
+    impl de::Error for ContentError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            ContentError(msg.to_string())
+        }
+    }
+
+    /// Serializer whose output *is* the content tree.
+    pub struct ContentSerializer;
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = ContentError;
+
+        fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+            Ok(content)
+        }
+    }
+
+    /// Deserializer that reads from an owned content tree.
+    pub struct ContentDeserializer {
+        content: Content,
+    }
+
+    impl ContentDeserializer {
+        /// Wraps a content tree for deserialization.
+        pub fn new(content: Content) -> Self {
+            ContentDeserializer { content }
+        }
+    }
+
+    impl<'de> Deserializer<'de> for ContentDeserializer {
+        type Error = ContentError;
+
+        fn deserialize_content(self) -> Result<Content, ContentError> {
+            Ok(self.content)
+        }
+    }
+
+    /// Serializes any value into a content tree.
+    pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+        value.serialize(ContentSerializer)
+    }
+
+    /// Deserializes any value out of a content tree.
+    pub fn from_content<T>(content: Content) -> Result<T, ContentError>
+    where
+        T: for<'de> Deserialize<'de>,
+    {
+        T::deserialize(ContentDeserializer::new(content))
+    }
+
+    /// Removes and returns the entry with the given key, if present.
+    pub fn take_entry(map: &mut Vec<(String, Content)>, key: &str) -> Option<Content> {
+        let idx = map.iter().position(|(k, _)| k == key)?;
+        Some(map.swap_remove(idx).1)
+    }
+
+    impl Content {
+        /// Member of an object by key (`None` for other variants or a
+        /// missing key) — mirrors `serde_json::Value::get`.
+        pub fn get(&self, key: &str) -> Option<&Content> {
+            match self {
+                Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Content::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The boolean payload, if this is a bool.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Content::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The value as a `u64`, if this is a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Content::I64(v) => u64::try_from(*v).ok(),
+                Content::U64(v) => Some(*v),
+                _ => None,
+            }
+        }
+
+        /// The value as an `i64`, if this is a representable integer.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Content::I64(v) => Some(*v),
+                Content::U64(v) => i64::try_from(*v).ok(),
+                _ => None,
+            }
+        }
+
+        /// The value as an `f64`, if this is any number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Content::I64(v) => Some(*v as f64),
+                Content::U64(v) => Some(*v as f64),
+                Content::F64(v) => Some(*v),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Content]> {
+            match self {
+                Content::Seq(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The entries, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Content)]> {
+            match self {
+                Content::Map(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Whether this is JSON `null`.
+        pub fn is_null(&self) -> bool {
+            matches!(self, Content::Null)
+        }
+
+        /// Human-readable name of the variant, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Content::Null => "null",
+                Content::Bool(_) => "bool",
+                Content::I64(_) | Content::U64(_) => "integer",
+                Content::F64(_) => "number",
+                Content::Str(_) => "string",
+                Content::Seq(_) => "array",
+                Content::Map(_) => "object",
+            }
+        }
+    }
+}
+
+use __private::Content;
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_content()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = Vec::with_capacity(self.len());
+        for item in self {
+            seq.push(__private::to_content(item).map_err(<S::Error as ser::Error>::custom)?);
+        }
+        serializer.serialize_content(Content::Seq(seq))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_unit(),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let seq = vec![
+                    $(__private::to_content(&self.$idx)
+                        .map_err(<S::Error as ser::Error>::custom)?),+
+                ];
+                serializer.serialize_content(Content::Seq(seq))
+            }
+        }
+    )+};
+}
+ser_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------
+
+fn type_err<E: de::Error>(expected: &str, got: &Content) -> E {
+    E::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(type_err("bool", &other)),
+        }
+    }
+}
+
+fn content_to_i128<E: de::Error>(c: Content) -> Result<i128, E> {
+    match c {
+        Content::I64(v) => Ok(v as i128),
+        Content::U64(v) => Ok(v as i128),
+        other => Err(type_err("integer", &other)),
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = content_to_i128::<D::Error>(deserializer.deserialize_content()?)?;
+                <$t>::try_from(v).map_err(|_| {
+                    <D::Error as de::Error>::custom(format!(
+                        "integer {v} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            other => Err(type_err("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(type_err("string", &other)),
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Vec<T>
+where
+    T: for<'any> Deserialize<'any>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| __private::from_content(c).map_err(<D::Error as de::Error>::custom))
+                .collect(),
+            other => Err(type_err("array", &other)),
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Option<T>
+where
+    T: for<'any> Deserialize<'any>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => {
+                __private::from_content(other).map(Some).map_err(<D::Error as de::Error>::custom)
+            }
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Box<T>
+where
+    T: for<'any> Deserialize<'any>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($n:literal, $($name:ident),+)),+ $(,)?) => {$(
+        impl<'de, $($name),+> Deserialize<'de> for ($($name,)+)
+        where
+            $($name: for<'any> Deserialize<'any>),+
+        {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) if items.len() == $n => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            __private::from_content::<$name>(it.next().expect("length checked"))
+                                .map_err(<De::Error as de::Error>::custom)?,
+                        )+))
+                    }
+                    Content::Seq(items) => Err(<De::Error as de::Error>::custom(format!(
+                        "expected array of length {}, found length {}",
+                        $n,
+                        items.len()
+                    ))),
+                    other => Err(type_err("array", &other)),
+                }
+            }
+        }
+    )+};
+}
+de_tuple!((2, A, B), (3, A, B, C), (4, A, B, C, D));

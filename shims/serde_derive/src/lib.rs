@@ -1,0 +1,634 @@
+//! Offline stand-in for `serde_derive` (subset).
+//!
+//! The registry is unreachable in this build environment, so `syn`/`quote`
+//! are unavailable; this crate parses the item's `TokenStream` by hand and
+//! emits impls as strings. It supports exactly the shapes this workspace
+//! uses:
+//!
+//! * non-generic structs with named fields (field attrs `#[serde(default)]`,
+//!   `#[serde(default = "path")]`, `#[serde(with = "module")]`);
+//! * non-generic tuple structs (newtype and longer);
+//! * non-generic enums with unit / tuple / struct variants, externally
+//!   tagged, plus `#[serde(untagged)]` for enums of newtype variants.
+//!
+//! Anything else (generics, renames, skips, …) fails with a
+//! `compile_error!` naming the unsupported construct, so drift is caught
+//! at compile time rather than producing wrong data.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+// ---------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct SerdeOpts {
+    untagged: bool,
+    /// `Some(None)` = `#[serde(default)]`; `Some(Some(p))` = `default = "p"`.
+    default: Option<Option<String>>,
+    with: Option<String>,
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    opts: SerdeOpts,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    TupleStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    untagged: bool,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    let mut opts = SerdeOpts::default();
+    let is_enum = loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(o) = parse_attr(&mut it)? {
+                    merge(&mut opts, o);
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(other) => return Err(format!("unexpected token before item: `{other}`")),
+            None => return Err("expected `struct` or `enum`".into()),
+        }
+    };
+    it.next(); // struct/enum keyword
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    match it.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err(format!("serde shim derive: generic type `{name}` is not supported"))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let kind = if is_enum {
+                ItemKind::Enum(parse_variants(g.stream())?)
+            } else {
+                ItemKind::Struct(parse_named_fields(g.stream())?)
+            };
+            Ok(Item { name, untagged: opts.untagged, kind })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Ok(Item {
+                name,
+                untagged: opts.untagged,
+                kind: ItemKind::TupleStruct(parse_tuple_types(g.stream())?),
+            })
+        }
+        other => Err(format!("unsupported item body for `{name}`: {other:?}")),
+    }
+}
+
+fn merge(into: &mut SerdeOpts, from: SerdeOpts) {
+    into.untagged |= from.untagged;
+    if from.default.is_some() {
+        into.default = from.default;
+    }
+    if from.with.is_some() {
+        into.with = from.with;
+    }
+}
+
+/// Consumes one `#[...]` attribute; returns its serde options if it was a
+/// `#[serde(...)]` attribute, `None` otherwise (doc comments, `#[default]`…).
+fn parse_attr(it: &mut TokenIter) -> Result<Option<SerdeOpts>, String> {
+    it.next(); // '#'
+    let group = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+        other => return Err(format!("malformed attribute: {other:?}")),
+    };
+    let mut inner = group.stream().into_iter().peekable();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(None),
+    }
+    let list = match inner.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => return Err(format!("malformed #[serde] attribute: {other:?}")),
+    };
+    let mut opts = SerdeOpts::default();
+    let mut items = list.stream().into_iter().peekable();
+    while let Some(tt) = items.next() {
+        let key = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => return Err(format!("unsupported #[serde] token: `{other}`")),
+        };
+        let value = match items.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                items.next();
+                match items.next() {
+                    Some(TokenTree::Literal(l)) => Some(unquote(&l.to_string())?),
+                    other => return Err(format!("expected string after `{key} =`: {other:?}")),
+                }
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("untagged", None) => opts.untagged = true,
+            ("default", v) => opts.default = Some(v),
+            ("with", Some(p)) => opts.with = Some(p),
+            (other, _) => {
+                return Err(format!("serde shim derive: unsupported attribute `{other}`"))
+            }
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn unquote(lit: &str) -> Result<String, String> {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        Ok(s[1..s.len() - 1].to_string())
+    } else {
+        Err(format!("expected string literal, got `{lit}`"))
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while it.peek().is_some() {
+        let mut opts = SerdeOpts::default();
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(o) = parse_attr(&mut it)? {
+                merge(&mut opts, o);
+            }
+        }
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        let ty = collect_type(&mut it);
+        fields.push(Field { name, ty, opts });
+    }
+    Ok(fields)
+}
+
+/// Collects type tokens up to a top-level `,` (consumed) or end of stream.
+fn collect_type(it: &mut TokenIter) -> String {
+    let mut depth = 0i64;
+    let mut parts: Vec<TokenTree> = Vec::new();
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                it.next();
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => {}
+        }
+        parts.push(it.next().expect("peeked"));
+    }
+    // Render through TokenStream so joint punctuation (`::`) keeps its
+    // spacing; naive per-token joining would produce invalid `: :`.
+    parts.into_iter().collect::<TokenStream>().to_string()
+}
+
+fn parse_tuple_types(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut types = Vec::new();
+    while it.peek().is_some() {
+        // Tuple fields may carry attrs/visibility too.
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            parse_attr(&mut it)?;
+        }
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+        let ty = collect_type(&mut it);
+        if !ty.is_empty() {
+            types.push(ty);
+        }
+    }
+    Ok(types)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while it.peek().is_some() {
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            parse_attr(&mut it)?;
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                it.next();
+                VariantKind::Tuple(parse_tuple_types(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                it.next();
+                VariantKind::Struct(parse_named_fields(g)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------
+
+const SER_CUSTOM: &str = "<__S::Error as ::serde::ser::Error>::custom";
+const DE_CUSTOM: &str = "<__D::Error as ::serde::de::Error>::custom";
+const CONTENT: &str = "::serde::__private::Content";
+
+fn to_content(expr: &str) -> String {
+    format!("::serde::__private::to_content({expr}).map_err({SER_CUSTOM})?")
+}
+
+fn from_content(ty: &str, expr: &str) -> String {
+    format!("::serde::__private::from_content::<{ty}>({expr}).map_err({DE_CUSTOM})?")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().expect("compile_error tokens")
+}
+
+// ---------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut out = String::new();
+            out.push_str(&format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, {CONTENT})> = \
+                 ::std::vec::Vec::new();\n"
+            ));
+            for f in fields {
+                let value = match &f.opts.with {
+                    Some(with) => format!(
+                        "{with}::serialize(&self.{}, ::serde::__private::ContentSerializer)\
+                         .map_err({SER_CUSTOM})?",
+                        f.name
+                    ),
+                    None => to_content(&format!("&self.{}", f.name)),
+                };
+                out.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{}\"), {value}));\n",
+                    f.name
+                ));
+            }
+            out.push_str(&format!(
+                "::serde::Serializer::serialize_content(__serializer, {CONTENT}::Map(__fields))"
+            ));
+            out
+        }
+        ItemKind::TupleStruct(tys) if tys.len() == 1 => format!(
+            "::serde::Serializer::serialize_content(__serializer, {})",
+            to_content("&self.0")
+        ),
+        ItemKind::TupleStruct(tys) => {
+            let items: Vec<String> =
+                (0..tys.len()).map(|i| to_content(&format!("&self.{i}"))).collect();
+            format!(
+                "::serde::Serializer::serialize_content(__serializer, {CONTENT}::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => {CONTENT}::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(tys) if tys.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => {CONTENT}::Map(vec![(\
+                         ::std::string::String::from(\"{vn}\"), {})]),\n",
+                        to_content("__f0")
+                    )),
+                    VariantKind::Tuple(tys) => {
+                        let binds: Vec<String> =
+                            (0..tys.len()).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds.iter().map(|b| to_content(b)).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {CONTENT}::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), {CONTENT}::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{}\"), {})",
+                                    f.name,
+                                    to_content(&f.name)
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {CONTENT}::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), {CONTENT}::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let __content = match self {{\n{arms}}};\n\
+                 ::serde::Serializer::serialize_content(__serializer, __content)"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap_or_else(|e| compile_error(&format!("serde shim derive (Serialize {name}): {e}")))
+}
+
+// ---------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut out = format!(
+                "let __content = ::serde::Deserializer::deserialize_content(__deserializer)?;\n\
+                 let mut __map = match __content {{\n\
+                     {CONTENT}::Map(__m) => __m,\n\
+                     __other => return ::std::result::Result::Err({DE_CUSTOM}(\
+                         format!(\"{name}: expected an object, found {{}}\", __other.kind()))),\n\
+                 }};\n"
+            );
+            for f in fields {
+                let present = match &f.opts.with {
+                    Some(with) => format!(
+                        "{with}::deserialize(::serde::__private::ContentDeserializer::new(__v))\
+                         .map_err({DE_CUSTOM})?"
+                    ),
+                    None => from_content(&f.ty, "__v"),
+                };
+                let missing = match &f.opts.default {
+                    Some(None) => "::std::default::Default::default()".to_string(),
+                    Some(Some(path)) => format!("{path}()"),
+                    None => format!(
+                        "return ::std::result::Result::Err({DE_CUSTOM}(\
+                         \"{name}: missing field `{}`\"))",
+                        f.name
+                    ),
+                };
+                out.push_str(&format!(
+                    "let __f_{fname}: {ty} = match ::serde::__private::take_entry(&mut __map, \
+                     \"{fname}\") {{\n\
+                         ::std::option::Option::Some(__v) => {present},\n\
+                         ::std::option::Option::None => {missing},\n\
+                     }};\n",
+                    fname = f.name,
+                    ty = f.ty
+                ));
+            }
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{0}: __f_{0}", f.name)).collect();
+            out.push_str(&format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", ")));
+            out
+        }
+        ItemKind::TupleStruct(tys) if tys.len() == 1 => format!(
+            "let __content = ::serde::Deserializer::deserialize_content(__deserializer)?;\n\
+             ::std::result::Result::Ok({name}({}))",
+            from_content(&tys[0], "__content")
+        ),
+        ItemKind::TupleStruct(tys) => {
+            let n = tys.len();
+            let fields: Vec<String> = tys
+                .iter()
+                .map(|ty| from_content(ty, "__items.next().expect(\"length checked\")"))
+                .collect();
+            format!(
+                "let __content = ::serde::Deserializer::deserialize_content(__deserializer)?;\n\
+                 match __content {{\n\
+                     {CONTENT}::Seq(__items) if __items.len() == {n} => {{\n\
+                         let mut __items = __items.into_iter();\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err({DE_CUSTOM}(\
+                         format!(\"{name}: expected array of {n}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                fields.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) if item.untagged => {
+            let mut out = "let __content = \
+                 ::serde::Deserializer::deserialize_content(__deserializer)?;\n"
+                .to_string();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Tuple(tys) if tys.len() == 1 => {
+                        out.push_str(&format!(
+                            "if let ::std::result::Result::Ok(__v) = \
+                             ::serde::__private::from_content::<{}>(__content.clone()) {{\n\
+                                 return ::std::result::Result::Ok({name}::{}(__v));\n\
+                             }}\n",
+                            tys[0], v.name
+                        ));
+                    }
+                    _ => {
+                        return compile_error(&format!(
+                            "serde shim derive: untagged enum `{name}` supports only \
+                             newtype variants"
+                        ))
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "::std::result::Result::Err({DE_CUSTOM}(\
+                 \"{name}: data did not match any untagged variant\"))"
+            ));
+            out
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(tys) if tys.len() == 1 => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({})),\n",
+                            from_content(&tys[0], "_v")
+                        ));
+                    }
+                    VariantKind::Tuple(tys) => {
+                        let n = tys.len();
+                        let items: Vec<String> = tys
+                            .iter()
+                            .map(|ty| from_content(ty, "__items.next().expect(\"length checked\")"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match _v {{\n\
+                                 {CONTENT}::Seq(__items) if __items.len() == {n} => {{\n\
+                                     let mut __items = __items.into_iter();\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}\n\
+                                 __other => ::std::result::Result::Err({DE_CUSTOM}(\
+                                     format!(\"{name}::{vn}: expected array of {n}, \
+                                     found {{}}\", __other.kind()))),\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inner = format!(
+                            "let mut __fm = match _v {{\n\
+                                 {CONTENT}::Map(__m) => __m,\n\
+                                 __other => return ::std::result::Result::Err({DE_CUSTOM}(\
+                                     format!(\"{name}::{vn}: expected object, found {{}}\", \
+                                     __other.kind()))),\n\
+                             }};\n"
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "let __f_{fname}: {ty} = match \
+                                 ::serde::__private::take_entry(&mut __fm, \"{fname}\") {{\n\
+                                     ::std::option::Option::Some(__v) => {},\n\
+                                     ::std::option::Option::None => return \
+                                     ::std::result::Result::Err({DE_CUSTOM}(\
+                                     \"{name}::{vn}: missing field `{fname}`\")),\n\
+                                 }};\n",
+                                from_content(&f.ty, "__v"),
+                                fname = f.name,
+                                ty = f.ty
+                            ));
+                        }
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| format!("{0}: __f_{0}", f.name)).collect();
+                        inner.push_str(&format!(
+                            "::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                            inits.join(", ")
+                        ));
+                        data_arms.push_str(&format!("\"{vn}\" => {{\n{inner}\n}},\n"));
+                    }
+                }
+            }
+            format!(
+                "let __content = ::serde::Deserializer::deserialize_content(__deserializer)?;\n\
+                 match __content {{\n\
+                     {CONTENT}::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err({DE_CUSTOM}(\
+                             format!(\"{name}: unknown variant `{{}}`\", __other))),\n\
+                     }},\n\
+                     {CONTENT}::Map(mut __m) if __m.len() == 1 => {{\n\
+                         let (_k, _v) = __m.remove(0);\n\
+                         match _k.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err({DE_CUSTOM}(\
+                                 format!(\"{name}: unknown variant `{{}}`\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err({DE_CUSTOM}(\
+                         format!(\"{name}: expected variant, found {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap_or_else(|e| compile_error(&format!("serde shim derive (Deserialize {name}): {e}")))
+}

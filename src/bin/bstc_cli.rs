@@ -5,19 +5,49 @@
 //! bstc-cli synth --preset oc --seed 7 --out expr.tsv     # or your own data
 //! bstc-cli discretize --train expr.tsv --out items.tsv --cuts cuts.json
 //! bstc-cli train --data items.tsv --model model.json
+//! bstc-cli train --data expr.tsv --save bundle.json      # servable artifact
 //! bstc-cli classify --model model.json --data items.tsv
 //! bstc-cli mine --data items.tsv --class 1 -k 5
+//! bstc-cli serve --model bundle.json --addr 127.0.0.1:8642
 //! ```
 //!
 //! Continuous data uses the `#cont-microarray v1` TSV format, boolean data
 //! `#bool-microarray v1` (see `microarray::io`).
+//!
+//! Exit codes: `0` success, `1` runtime failure (bad file, bad data),
+//! `2` usage error (unknown command, missing or malformed flags).
 
 use bstc::BstcModel;
 use discretize::Discretizer;
 use microarray::io;
+use serve::{ModelBundle, Provenance, ServerConfig};
+use std::fmt;
 use std::fs::File;
 use std::io::Write as _;
 use std::process::ExitCode;
+
+/// The single CLI error type: every subcommand returns it, `main` maps it
+/// to an exit code and a `error: ...` line on stderr.
+#[derive(Debug)]
+enum CliError {
+    /// The invocation itself is wrong (exit code 2).
+    Usage(String),
+    /// The invocation was fine but running it failed (exit code 1).
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Run(msg) => f.write_str(msg),
+        }
+    }
+}
+
+/// Maps any displayable failure into a runtime error.
+fn err<E: fmt::Display>(e: E) -> CliError {
+    CliError::Run(e.to_string())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,17 +57,21 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
         Some("mine") => cmd_mine(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+        Some(other) => Err(CliError::Usage(format!("unknown command '{other}'\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            match e {
+                CliError::Usage(_) => ExitCode::from(2),
+                CliError::Run(_) => ExitCode::FAILURE,
+            }
         }
     }
 }
@@ -48,31 +82,46 @@ commands:
   synth      --preset all|lc|pc|oc [--seed N] [--scale K] --out FILE.tsv
   discretize --train FILE.tsv [--apply FILE.tsv] --out FILE.tsv [--cuts FILE.json]
   train      --data FILE.tsv --model FILE.json
+  train      --data FILE.tsv --save BUNDLE.json [--dataset NAME] [--seed N]
   classify   --model FILE.json --data FILE.tsv
-  mine       --data FILE.tsv --class N [-k K]";
+  mine       --data FILE.tsv --class N [-k K]
+  serve      --model BUNDLE.json [--addr HOST:PORT] [--threads N]";
 
 /// Pulls `--flag value` pairs out of an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
 }
 
-fn require(args: &[String], name: &str) -> Result<String, String> {
-    flag(args, name).ok_or_else(|| format!("missing {name} <value>"))
+fn require(args: &[String], name: &str) -> Result<String, CliError> {
+    flag(args, name).ok_or_else(|| CliError::Usage(format!("missing {name} <value>")))
 }
 
-fn cmd_synth(args: &[String]) -> Result<(), String> {
+/// Parses an optional numeric flag, treating malformed values as usage
+/// errors (`--seed banana` is the caller's typo, not a runtime failure).
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, CliError> {
+    match flag(args, name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::Usage(format!("bad value '{raw}' for {name}"))),
+    }
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), CliError> {
     let preset = require(args, "--preset")?;
     let out = require(args, "--out")?;
-    let seed: u64 = flag(args, "--seed").map(|s| s.parse()).transpose().map_err(err)?.unwrap_or(42);
-    let scale: usize =
-        flag(args, "--scale").map(|s| s.parse()).transpose().map_err(err)?.unwrap_or(10);
+    let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(42);
+    let scale: usize = parse_flag(args, "--scale")?.unwrap_or(10);
     let cfg = match preset.as_str() {
         "all" => microarray::synth::presets::all_aml(seed),
         "lc" => microarray::synth::presets::lung(seed),
         "pc" => microarray::synth::presets::prostate(seed),
         "oc" => microarray::synth::presets::ovarian(seed),
         "three" => microarray::synth::presets::three_class(seed),
-        other => return Err(format!("unknown preset '{other}' (all|lc|pc|oc|three)")),
+        other => {
+            return Err(CliError::Usage(format!("unknown preset '{other}' (all|lc|pc|oc|three)")))
+        }
     }
     .scaled_down(scale.max(1));
     let data = cfg.generate();
@@ -87,7 +136,7 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_discretize(args: &[String]) -> Result<(), String> {
+fn cmd_discretize(args: &[String]) -> Result<(), CliError> {
     let train_path = require(args, "--train")?;
     let out = require(args, "--out")?;
     let train = io::read_cont_tsv(File::open(&train_path).map_err(err)?).map_err(err)?;
@@ -113,12 +162,18 @@ fn cmd_discretize(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(args: &[String]) -> Result<(), String> {
+fn cmd_train(args: &[String]) -> Result<(), CliError> {
     let data_path = require(args, "--data")?;
+    if let Some(bundle_path) = flag(args, "--save") {
+        return train_bundle(args, &data_path, &bundle_path);
+    }
     let model_path = require(args, "--model")?;
     let data = io::read_bool_tsv(File::open(&data_path).map_err(err)?).map_err(err)?;
     if let Some(c) = data.first_empty_class() {
-        return Err(format!("class {c} ('{}') has no samples", data.class_names()[c]));
+        return Err(CliError::Run(format!(
+            "class {c} ('{}') has no samples",
+            data.class_names()[c]
+        )));
     }
     let model = BstcModel::train(&data);
     std::fs::write(&model_path, serde_json::to_string(&model).map_err(err)?).map_err(err)?;
@@ -132,7 +187,33 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_classify(args: &[String]) -> Result<(), String> {
+/// `train --save`: fit the discretizer + train BSTC on a *continuous* TSV
+/// and write a servable, checksummed [`ModelBundle`].
+fn train_bundle(args: &[String], data_path: &str, bundle_path: &str) -> Result<(), CliError> {
+    let data = io::read_cont_tsv(File::open(data_path).map_err(err)?).map_err(|e| {
+        CliError::Run(format!(
+            "{e}\n(--save trains from raw continuous data — '#cont-microarray v1', \
+             the `synth` output — because the bundle embeds the fitted cut points)"
+        ))
+    })?;
+    let dataset = flag(args, "--dataset").unwrap_or_else(|| data_path.to_string());
+    let seed: Option<u64> = parse_flag(args, "--seed")?;
+    let bundle = ModelBundle::train(&data, Provenance::new(dataset, seed)).map_err(err)?;
+    bundle.save(bundle_path).map_err(err)?;
+    eprintln!(
+        "trained BSTC on {} samples / {} genes -> {} items / {} classes \
+         (train accuracy {:.1}%); wrote bundle {}",
+        data.n_samples(),
+        bundle.n_genes(),
+        bundle.item_names.len(),
+        bundle.n_classes(),
+        100.0 * bundle.provenance.train_accuracy.unwrap_or(0.0),
+        bundle_path
+    );
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), CliError> {
     let model_path = require(args, "--model")?;
     let data_path = require(args, "--data")?;
     let model: BstcModel =
@@ -166,13 +247,15 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_mine(args: &[String]) -> Result<(), String> {
+fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     let data_path = require(args, "--data")?;
-    let class: usize = require(args, "--class")?.parse().map_err(err)?;
-    let k: usize = flag(args, "-k").map(|s| s.parse()).transpose().map_err(err)?.unwrap_or(5);
+    let class: usize = require(args, "--class")?
+        .parse()
+        .map_err(|_| CliError::Usage("bad value for --class (expected an index)".into()))?;
+    let k: usize = parse_flag(args, "-k")?.unwrap_or(5);
     let data = io::read_bool_tsv(File::open(&data_path).map_err(err)?).map_err(err)?;
     if class >= data.n_classes() {
-        return Err(format!("class {class} out of range (0..{})", data.n_classes()));
+        return Err(CliError::Run(format!("class {class} out of range (0..{})", data.n_classes())));
     }
     let bst = bstc::Bst::build(&data, class);
     let stdout = std::io::stdout();
@@ -193,6 +276,26 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn err<E: std::fmt::Display>(e: E) -> String {
-    e.to_string()
+/// `serve`: load a bundle and run the inference server until killed.
+/// `POST /reload` re-reads the same file, so retraining + reload needs no
+/// restart.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let bundle_path = require(args, "--model")?;
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8642".to_string());
+    let threads: usize = parse_flag(args, "--threads")?.unwrap_or(0);
+    let bundle = ModelBundle::load(&bundle_path).map_err(err)?;
+    eprintln!(
+        "loaded bundle {} (dataset '{}', {} genes, {} classes: {:?})",
+        bundle_path,
+        bundle.provenance.dataset,
+        bundle.n_genes(),
+        bundle.n_classes(),
+        bundle.class_names
+    );
+    let config =
+        ServerConfig { addr, threads, bundle_path: Some(std::path::PathBuf::from(&bundle_path)) };
+    let handle = serve::serve(config, bundle).map_err(err)?;
+    eprintln!("serving on http://{} (POST /classify, GET /health|/model|/metrics)", handle.addr());
+    handle.wait();
+    Ok(())
 }

@@ -68,6 +68,84 @@ fn full_pipeline_through_the_binary() {
 }
 
 #[test]
+fn train_save_then_serve_round_trips_over_http() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let expr = tmp("expr3.tsv");
+    let bundle_path = tmp("bundle.json");
+
+    let out = cli()
+        .args(["synth", "--preset", "all", "--scale", "40", "--seed", "11"])
+        .args(["--out", expr.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli()
+        .args(["train", "--data", expr.to_str().unwrap()])
+        .args(["--save", bundle_path.to_str().unwrap(), "--dataset", "cli-e2e", "--seed", "11"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("wrote bundle"));
+
+    // The saved artifact is loadable in-process: this is the parity oracle.
+    let bundle = serve::ModelBundle::load(&bundle_path).unwrap();
+    let data = microarray::io::read_cont_tsv(std::fs::File::open(&expr).unwrap()).unwrap();
+
+    let mut child = cli()
+        .args(["serve", "--model", bundle_path.to_str().unwrap()])
+        .args(["--addr", "127.0.0.1:0", "--threads", "2"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut lines = BufReader::new(child.stderr.take().unwrap()).lines();
+    let addr = loop {
+        let line = lines.next().expect("serve exited before announcing its address").unwrap();
+        if let Some(rest) = line.split("serving on http://").nth(1) {
+            break rest.split_whitespace().next().unwrap().to_string();
+        }
+    };
+
+    // Batch-POST every sample and demand bit-identical classes.
+    let rows: Vec<String> = (0..data.n_samples())
+        .map(|s| {
+            let vals: Vec<String> = data.row(s).iter().map(|v| format!("{v}")).collect();
+            format!("[{}]", vals.join(","))
+        })
+        .collect();
+    let body = format!("{{\"samples\":[{}]}}", rows.join(","));
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /classify HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    let json_body = response.split("\r\n\r\n").nth(1).unwrap();
+    let served: serde_json::Value = serde_json::from_str(json_body).unwrap();
+    let predictions = served.get("predictions").unwrap().as_array().unwrap();
+    assert_eq!(predictions.len(), data.n_samples());
+    for (s, p) in predictions.iter().enumerate() {
+        let expected = bundle.classify_row(data.row(s)).unwrap();
+        assert_eq!(
+            p.get("class").unwrap().as_u64(),
+            Some(expected.class as u64),
+            "served class diverges from in-process classify at sample {s}"
+        );
+    }
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = cli().arg("bogus").output().unwrap();
     assert!(!out.status.success());
@@ -98,20 +176,12 @@ fn bad_class_is_rejected_by_mine() {
         .unwrap()
         .success());
     assert!(cli()
-        .args([
-            "discretize",
-            "--train",
-            expr.to_str().unwrap(),
-            "--out",
-            items.to_str().unwrap()
-        ])
+        .args(["discretize", "--train", expr.to_str().unwrap(), "--out", items.to_str().unwrap()])
         .status()
         .unwrap()
         .success());
-    let out = cli()
-        .args(["mine", "--data", items.to_str().unwrap(), "--class", "9"])
-        .output()
-        .unwrap();
+    let out =
+        cli().args(["mine", "--data", items.to_str().unwrap(), "--class", "9"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
 }

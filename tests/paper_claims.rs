@@ -2,7 +2,7 @@
 //! mechanics: the worked examples, the accuracy relationships, and the
 //! polynomial-vs-exponential scaling contrast.
 
-use bstc::{BstcModel, Bst};
+use bstc::{Bst, BstcModel};
 use microarray::fixtures::{section54_query, table1};
 use microarray::synth::BoolSynthConfig;
 use rulemine::{mine_topk_groups, Budget, Outcome, TopkParams};
@@ -63,11 +63,7 @@ fn bst_build_scales_polynomially() {
     };
     let t1 = build_time(50);
     let t4 = build_time(200);
-    assert!(
-        t4 / t1 < 48.0,
-        "4x samples cost {:.1}x (> 16x theory with 3x headroom)",
-        t4 / t1
-    );
+    assert!(t4 / t1 < 48.0, "4x samples cost {:.1}x (> 16x theory with 3x headroom)", t4 / t1);
 }
 
 /// The scalability story: on module-structured data with per-sample
@@ -129,9 +125,8 @@ fn multiclass_parameter_free() {
     .generate();
     let model = BstcModel::train(&data);
     assert_eq!(model.n_classes(), 4);
-    let correct = (0..data.n_samples())
-        .filter(|&s| model.classify(data.sample(s)) == data.label(s))
-        .count();
+    let correct =
+        (0..data.n_samples()).filter(|&s| model.classify(data.sample(s)) == data.label(s)).count();
     assert!(
         correct as f64 >= 0.9 * data.n_samples() as f64,
         "{correct}/{} correct",
@@ -164,8 +159,7 @@ fn toprules_border_agrees_with_bst_representation() {
         for class in 0..data.n_classes() {
             let bst = Bst::build(&data, class);
             let mut budget = Budget::with_nodes(5_000_000);
-            let border =
-                rulemine::mine_top_rules(&data, class, 4, 100, &mut budget);
+            let border = rulemine::mine_top_rules(&data, class, 4, 100, &mut budget);
             assert!(!border.rules.is_empty());
             for car in &border.rules {
                 // Theorem 2: a 100%-confident CAR corresponds to a BST BAR
