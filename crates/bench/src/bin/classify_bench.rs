@@ -1,0 +1,174 @@
+//! Benchmarks the word-parallel compiled BSTCE kernels against the
+//! reference scalar path on an ovarian-scale synthetic dataset and writes
+//! the numbers to a JSON report.
+//!
+//! ```text
+//! classify_bench [--scale K] [--seed S] [--queries N] [--quick]
+//!                [--out PATH]
+//! ```
+//!
+//! `--scale 1` (the default) is the true ovarian shape: 15154 genes,
+//! 91 + 162 samples. `--quick` is the CI smoke mode (heavily scaled down,
+//! few queries). The run trains once, lowers the model with
+//! [`BstcModel::compile`], measures batch throughput for both paths and
+//! the compiled per-query latency distribution, **verifies the two paths
+//! predict identically** (exits nonzero otherwise), and writes
+//! `BENCH_classify.json` (or `--out`).
+
+use bstc::{Arithmetization, BstcModel, Scratch};
+use discretize::Discretizer;
+use microarray::synth::presets;
+use microarray::BitSet;
+use serde::Serialize;
+use std::time::Instant;
+
+/// The JSON report, one file per run.
+#[derive(Serialize)]
+struct Report {
+    dataset: String,
+    n_genes_raw: usize,
+    n_items: usize,
+    n_train: usize,
+    n_queries: usize,
+    train_secs: f64,
+    compile_secs: f64,
+    reference_batch_secs: f64,
+    compiled_batch_secs: f64,
+    reference_queries_per_sec: f64,
+    compiled_queries_per_sec: f64,
+    batch_speedup: f64,
+    compiled_p50_us: f64,
+    compiled_p99_us: f64,
+    reference_p50_us: f64,
+    reference_p99_us: f64,
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag(args, name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad value '{raw}' for {name}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale: usize = parse_flag(&args, "--scale", if quick { 40 } else { 1 }).max(1);
+    let seed: u64 = parse_flag(&args, "--seed", 7);
+    let n_queries: usize = parse_flag(&args, "--queries", if quick { 256 } else { 1024 }).max(1);
+    let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_classify.json".into());
+
+    let config = presets::ovarian(seed).scaled_down(scale);
+    eprintln!(
+        "classify_bench: {} — {} genes, {:?} samples, {n_queries} queries",
+        config.name, config.n_genes, config.class_sizes
+    );
+    let cont = config.generate();
+    let disc = Discretizer::fit(&cont);
+    let data = disc.transform(&cont).unwrap_or_else(|e| {
+        eprintln!("error: discretization produced no usable genes: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("discretized to {} items over {} samples", data.n_items(), data.n_samples());
+
+    // Query stream: the training distribution, cycled to the requested
+    // volume. Throughput is shape-bound (masks × queries), not
+    // novelty-bound, so recycling rows is representative.
+    let queries: Vec<BitSet> =
+        (0..n_queries).map(|i| data.samples()[i % data.n_samples()].clone()).collect();
+
+    let t0 = Instant::now();
+    let model = BstcModel::train_with(&data, Arithmetization::Min);
+    let train_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let compiled = model.compile();
+    let compile_secs = t0.elapsed().as_secs_f64();
+    eprintln!("train {train_secs:.3}s, compile {compile_secs:.4}s");
+
+    // Batch throughput, both paths parallel over the query set.
+    let t0 = Instant::now();
+    let reference_preds = model.classify_all(&queries);
+    let reference_batch_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let compiled_preds = compiled.classify_all(&queries);
+    let compiled_batch_secs = t0.elapsed().as_secs_f64();
+
+    if reference_preds != compiled_preds {
+        let diverging = reference_preds
+            .iter()
+            .zip(&compiled_preds)
+            .position(|(a, b)| a != b)
+            .expect("lengths match");
+        eprintln!("error: compiled path diverges from reference at query {diverging}");
+        std::process::exit(1);
+    }
+
+    // Per-query latency, sequential (the serving-path shape: one scratch,
+    // one query at a time). Sampled, so the slow reference path doesn't
+    // dominate the run at full scale.
+    let latency_samples = n_queries.min(256);
+    let per_query = |classify: &mut dyn FnMut(&BitSet) -> usize| -> Vec<u64> {
+        let mut ns: Vec<u64> = queries[..latency_samples]
+            .iter()
+            .map(|q| {
+                let t0 = Instant::now();
+                std::hint::black_box(classify(q));
+                t0.elapsed().as_nanos() as u64
+            })
+            .collect();
+        ns.sort_unstable();
+        ns
+    };
+    let mut scratch = Scratch::for_model(&compiled);
+    let compiled_ns = per_query(&mut |q| compiled.classify(q, &mut scratch));
+    let reference_ns = per_query(&mut |q| model.classify(q));
+    let pct =
+        |sorted: &[u64], p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize] as f64 / 1e3;
+
+    let report = Report {
+        dataset: config.name.clone(),
+        n_genes_raw: config.n_genes,
+        n_items: data.n_items(),
+        n_train: data.n_samples(),
+        n_queries,
+        train_secs,
+        compile_secs,
+        reference_batch_secs,
+        compiled_batch_secs,
+        reference_queries_per_sec: n_queries as f64 / reference_batch_secs,
+        compiled_queries_per_sec: n_queries as f64 / compiled_batch_secs,
+        batch_speedup: reference_batch_secs / compiled_batch_secs,
+        compiled_p50_us: pct(&compiled_ns, 0.50),
+        compiled_p99_us: pct(&compiled_ns, 0.99),
+        reference_p50_us: pct(&reference_ns, 0.50),
+        reference_p99_us: pct(&reference_ns, 0.99),
+    };
+
+    println!(
+        "batch: reference {:.1} q/s, compiled {:.1} q/s — {:.1}x",
+        report.reference_queries_per_sec, report.compiled_queries_per_sec, report.batch_speedup
+    );
+    println!(
+        "per-query: compiled p50 {:.1} us p99 {:.1} us, reference p50 {:.1} us p99 {:.1} us",
+        report.compiled_p50_us,
+        report.compiled_p99_us,
+        report.reference_p50_us,
+        report.reference_p99_us
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}

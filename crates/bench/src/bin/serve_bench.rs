@@ -4,8 +4,10 @@
 //!
 //! ```text
 //! serve_bench [--addr HOST:PORT] [--requests N] [--concurrency C]
-//!             [--batch B] [--seed S] [--scale K]
+//!             [--batch B] [--seed S] [--scale K] [--json]
 //! ```
+//!
+//! `--json` additionally writes the measurements to `BENCH_serve.json`.
 //!
 //! Without `--addr` it is self-contained: it trains a bundle on synthetic
 //! ALL/AML data, boots the server in-process on an ephemeral port, drives
@@ -13,10 +15,26 @@
 //! bench-suite --bin serve_bench` measures an end-to-end stack with no
 //! setup. With `--addr` it targets an already-running `bstc-cli serve`.
 
+use serde::Serialize;
 use serve::{serve, ModelBundle, Provenance, ServerConfig};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
+
+/// The `--json` report written to `BENCH_serve.json`.
+#[derive(Serialize)]
+struct Report {
+    requests: usize,
+    concurrency: usize,
+    batch: usize,
+    elapsed_secs: f64,
+    requests_per_sec: f64,
+    samples_per_sec: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
@@ -39,6 +57,7 @@ fn main() {
     let batch: usize = parse_flag(&args, "--batch", 1).max(1);
     let seed: u64 = parse_flag(&args, "--seed", 7);
     let scale: usize = parse_flag(&args, "--scale", 40);
+    let json = args.iter().any(|a| a == "--json");
 
     // Query rows come from the same synthetic distribution regardless of
     // target mode; against an external server they must still match its
@@ -121,13 +140,36 @@ fn main() {
         throughput * batch as f64,
         elapsed.as_secs_f64()
     );
+    let max_ms = *sorted.last().expect("at least one request") as f64 / 1000.0;
     println!(
         "latency: p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
         pct(0.50),
         pct(0.90),
         pct(0.99),
-        *sorted.last().expect("at least one request") as f64 / 1000.0
+        max_ms
     );
+
+    if json {
+        let report = Report {
+            requests: total,
+            concurrency,
+            batch,
+            elapsed_secs: elapsed.as_secs_f64(),
+            requests_per_sec: throughput,
+            samples_per_sec: throughput * batch as f64,
+            p50_ms: pct(0.50),
+            p90_ms: pct(0.90),
+            p99_ms: pct(0.99),
+            max_ms,
+        };
+        let path = "BENCH_serve.json";
+        let body = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(path, body + "\n").unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
 
     if let Some(handle) = handle {
         handle.shutdown();

@@ -19,6 +19,7 @@
 
 use crate::bar::{Bar, BarAntecedent, ExclusionClause, Sign};
 use microarray::{BitSet, BoolDataset, ClassId, ItemId, SampleId};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A canonical exclusion list for one (class-sample, out-sample) pair.
@@ -85,7 +86,7 @@ pub enum Cell<'a> {
 }
 
 /// A Boolean Structure Table for one class.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Bst {
     class: ClassId,
     n_items: usize,
@@ -128,32 +129,37 @@ impl Bst {
 
         // Canonical exclusion list per (c, h) pair — Algorithm 1 lines
         // 9-21 — deduplicated per column: equal lists share one slot.
-        let mut excl_unique: Vec<Vec<ExclusionList>> = Vec::with_capacity(class_expr.len());
-        let mut excl_idx: Vec<Vec<u32>> = Vec::with_capacity(class_expr.len());
-        for c_set in &class_expr {
-            let mut unique: Vec<ExclusionList> = Vec::new();
-            let mut seen: std::collections::HashMap<ExclusionList, u32> =
-                std::collections::HashMap::new();
-            let mut idx_row = Vec::with_capacity(out_expr_sets.len());
-            for h_set in &out_expr_sets {
-                let neg = h_set.difference(c_set); // g ∈ h, g ∉ c
-                let list = if !neg.is_empty() {
-                    ExclusionList { sign: Sign::Neg, items: neg.to_vec() }
-                } else {
-                    let pos = c_set.difference(h_set); // g ∈ c, g ∉ h
-                                                       // `pos` may itself be empty (identical samples): keep
-                                                       // the unsatisfiable empty list and let validation warn.
-                    ExclusionList { sign: Sign::Pos, items: pos.to_vec() }
-                };
-                let idx = *seen.entry(list.clone()).or_insert_with(|| {
-                    unique.push(list);
-                    (unique.len() - 1) as u32
-                });
-                idx_row.push(idx);
-            }
-            excl_unique.push(unique);
-            excl_idx.push(idx_row);
-        }
+        // Columns are independent, so the construction fans out across
+        // cores; `collect` preserves column order, keeping the output
+        // identical to the sequential loop.
+        let columns: Vec<(Vec<ExclusionList>, Vec<u32>)> = class_expr
+            .par_iter()
+            .map(|c_set| {
+                let mut unique: Vec<ExclusionList> = Vec::new();
+                let mut seen: std::collections::HashMap<ExclusionList, u32> =
+                    std::collections::HashMap::new();
+                let mut idx_row = Vec::with_capacity(out_expr_sets.len());
+                for h_set in &out_expr_sets {
+                    let neg = h_set.difference(c_set); // g ∈ h, g ∉ c
+                    let list = if !neg.is_empty() {
+                        ExclusionList { sign: Sign::Neg, items: neg.to_vec() }
+                    } else {
+                        // `pos` may itself be empty (identical samples):
+                        // keep the unsatisfiable empty list and let
+                        // validation warn.
+                        let pos = c_set.difference(h_set); // g ∈ c, g ∉ h
+                        ExclusionList { sign: Sign::Pos, items: pos.to_vec() }
+                    };
+                    let idx = *seen.entry(list.clone()).or_insert_with(|| {
+                        unique.push(list);
+                        (unique.len() - 1) as u32
+                    });
+                    idx_row.push(idx);
+                }
+                (unique, idx_row)
+            })
+            .collect();
+        let (excl_unique, excl_idx): (Vec<_>, Vec<_>) = columns.into_iter().unzip();
 
         // out_expr[g]: which out-samples express item g — Algorithm 1
         // line 6's black-dot test is `out_expr[g].is_empty()`.
@@ -180,7 +186,20 @@ impl Bst {
 
     /// Builds BSTs for every class of the dataset (the classifier's
     /// training step). Total cost `O(|S|²·|G|)` per §3.1.1.
+    ///
+    /// Classes are built in parallel when there are enough of them to
+    /// amortize thread spawns (the rayon shim's sequential fast path keeps
+    /// 2-class datasets on the calling thread, where the per-column
+    /// parallelism inside [`Bst::build`] already saturates the machine).
+    /// Output is identical to [`Bst::build_all_seq`].
     pub fn build_all(data: &BoolDataset) -> Vec<Bst> {
+        let classes: Vec<ClassId> = (0..data.n_classes()).collect();
+        classes.par_iter().map(|&c| Bst::build(data, c)).collect()
+    }
+
+    /// Sequential reference form of [`Bst::build_all`], kept for
+    /// differential tests of the parallel fan-out.
+    pub fn build_all_seq(data: &BoolDataset) -> Vec<Bst> {
         (0..data.n_classes()).map(|c| Bst::build(data, c)).collect()
     }
 

@@ -18,7 +18,9 @@
 //! (Algorithm 6).
 
 use crate::bst::Bst;
+use crate::compiled::CompiledModel;
 use microarray::{BitSet, BoolDataset, ClassId, ItemId, SampleId};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// How a cell's exclusion-list satisfactions are combined into the cell
@@ -37,7 +39,7 @@ pub enum Arithmetization {
 }
 
 impl Arithmetization {
-    fn combine(self, values: impl Iterator<Item = f64>) -> f64 {
+    pub(crate) fn combine(self, values: impl Iterator<Item = f64>) -> f64 {
         match self {
             Arithmetization::Min => values.fold(1.0, f64::min),
             Arithmetization::Product => values.product(),
@@ -100,6 +102,19 @@ impl BstcModel {
         &self.bsts[class]
     }
 
+    /// The arithmetization the model was trained with.
+    pub fn arithmetization(&self) -> Arithmetization {
+        self.arith
+    }
+
+    /// Lowers the model into its word-parallel evaluation form (masks +
+    /// popcount kernels; see [`crate::compiled`]). Predictions and class
+    /// values are bit-identical to this reference model's — use the
+    /// compiled form on every serving/batch hot path.
+    pub fn compile(&self) -> CompiledModel {
+        CompiledModel::compile(self)
+    }
+
     /// BSTCE (Algorithm 5): the classification value of `query` against one
     /// class BST.
     pub fn class_value(&self, class: ClassId, query: &BitSet) -> f64 {
@@ -123,21 +138,17 @@ impl BstcModel {
         best
     }
 
-    /// Classifies a batch of queries.
+    /// Classifies a batch of queries, fanned out across cores (tiny
+    /// batches stay sequential via the rayon shim's fast path).
     pub fn classify_all(&self, queries: &[BitSet]) -> Vec<ClassId> {
-        queries.iter().map(|q| self.classify(q)).collect()
+        queries.par_iter().map(|q| self.classify(q)).collect()
     }
 
     /// The §8 confidence heuristic: normalized gap between the highest and
     /// second-highest class values (`0` when fewer than two classes or the
     /// top value is 0).
     pub fn confidence_gap(&self, query: &BitSet) -> f64 {
-        let mut values = self.class_values(query);
-        values.sort_by(|a, b| b.total_cmp(a));
-        if values.len() < 2 || values[0] <= 0.0 {
-            return 0.0;
-        }
-        (values[0] - values[1]) / values[0]
+        confidence_gap_of(&self.class_values(query))
     }
 
     /// §5.3.2: justifies classifying `query` as `class` by returning every
@@ -165,6 +176,31 @@ impl BstcModel {
         out.sort_by(|a, b| b.satisfaction.total_cmp(&a.satisfaction));
         out
     }
+}
+
+/// Normalized gap between the highest and second-highest entries of a
+/// class-value slice — the §8 confidence heuristic, as a single top-2
+/// scan (no clone, no sort; the serve hot path calls this per query).
+/// Returns 0 for fewer than two values, a non-positive maximum, or a tie
+/// at the top.
+pub fn confidence_gap_of(values: &[f64]) -> f64 {
+    let [first, second, rest @ ..] = values else {
+        return 0.0; // zero or one class
+    };
+    let (mut best, mut runner_up) =
+        if first.total_cmp(second).is_ge() { (*first, *second) } else { (*second, *first) };
+    for &v in rest {
+        if v.total_cmp(&best).is_gt() {
+            runner_up = best;
+            best = v;
+        } else if v.total_cmp(&runner_up).is_gt() {
+            runner_up = v;
+        }
+    }
+    if best <= 0.0 {
+        return 0.0;
+    }
+    (best - runner_up) / best
 }
 
 /// Per-query memo of exclusion-list satisfactions (`V_e` of line 4):
@@ -332,6 +368,49 @@ mod tests {
         assert!(close(find(0, 0).unwrap(), 1.0)); // (g1, s1) black dot
         assert!(close(find(4, 0).unwrap(), 0.5)); // (g5, s1) min(1, 1/2)
         assert!(close(find(3, 2).unwrap(), 0.5)); // (g4, s3)
+    }
+
+    #[test]
+    fn confidence_gap_of_matches_sort_based_reference() {
+        // The single-pass top-2 scan must agree with the clone-and-sort
+        // formulation it replaced, including on ties and duplicates.
+        let reference = |values: &[f64]| -> f64 {
+            let mut sorted = values.to_vec();
+            sorted.sort_by(|a, b| b.total_cmp(a));
+            if sorted.len() < 2 || sorted[0] <= 0.0 {
+                return 0.0;
+            }
+            (sorted[0] - sorted[1]) / sorted[0]
+        };
+        let cases: &[&[f64]] = &[
+            &[],
+            &[0.7],
+            &[0.75, 0.375],
+            &[0.375, 0.75],
+            &[0.5, 0.5],            // exact tie at the top → gap 0
+            &[0.25, 0.5, 0.5, 0.1], // tie not in first position
+            &[0.0, 0.0],
+            &[1.0, 0.0, 0.5, 0.99, 0.25],
+            &[0.2, 0.4, 0.6, 0.8], // ascending: best arrives last
+        ];
+        for values in cases {
+            assert_eq!(confidence_gap_of(values), reference(values), "{values:?}");
+        }
+    }
+
+    #[test]
+    fn confidence_gap_ties_are_zero() {
+        // Two classes with identical values: no confidence whatsoever.
+        let items = vec!["g1".into(), "g2".into()];
+        let classes = vec!["A".into(), "B".into()];
+        let samples = vec![BitSet::from_iter(2, [0]), BitSet::from_iter(2, [1])];
+        let d = BoolDataset::new(items, classes, samples, vec![0, 1]).unwrap();
+        let model = BstcModel::train(&d);
+        let q = BitSet::from_iter(2, [0, 1]); // symmetric w.r.t. both classes
+        let values = model.class_values(&q);
+        assert_eq!(values[0], values[1]);
+        assert!(values[0] > 0.0);
+        assert_eq!(model.confidence_gap(&q), 0.0);
     }
 
     #[test]

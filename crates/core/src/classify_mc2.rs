@@ -25,10 +25,11 @@
 //!   OR);
 //! * the rule's number is the product of the two factors.
 
-use crate::bar::Bar;
+use crate::bar::{Bar, Sign};
 use crate::bst::Bst;
 use crate::mine::{mine_topk_per_sample, Mc2Bar};
 use microarray::{BitSet, BoolDataset, ClassId};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A trained §4.2 (MC)²BAR classifier.
@@ -114,9 +115,158 @@ impl Mc2Classifier {
         best
     }
 
-    /// Classifies a batch.
+    /// Classifies a batch: the rules are lowered to mask form once
+    /// ([`Mc2Classifier::compile`]) and the queries fanned out across
+    /// cores. Predictions are identical to per-query [`Mc2Classifier::classify`].
     pub fn classify_all(&self, queries: &[BitSet]) -> Vec<ClassId> {
-        queries.iter().map(|q| self.classify(q)).collect()
+        let Some(first) = queries.first() else {
+            return Vec::new();
+        };
+        let compiled = self.compile(first.capacity());
+        queries.par_iter().map(|q| compiled.classify(q)).collect()
+    }
+
+    /// Lowers every rule into word-packed masks over an `n_items`-sized
+    /// universe (the capacity of the queries to come), replacing the
+    /// per-item clause scans with AND+popcount kernels.
+    pub fn compile(&self, n_items: usize) -> CompiledMc2Classifier {
+        let rules = self
+            .rules
+            .iter()
+            .map(|class_rules| {
+                class_rules.iter().map(|bar| CompiledMc2Bar::compile(bar, n_items)).collect()
+            })
+            .collect();
+        CompiledMc2Classifier { rules, n_classes: self.n_classes }
+    }
+}
+
+/// One mask of a compiled (MC)²BAR: polarity, word-packed items, length.
+#[derive(Clone, Debug)]
+struct ClauseMask {
+    sign: Sign,
+    mask: BitSet,
+    len: u32,
+}
+
+impl ClauseMask {
+    /// Fraction of literals satisfied — same counts as
+    /// `ExclusionClause::satisfaction`, via popcount.
+    #[inline]
+    fn satisfaction(&self, query: &BitSet) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let sat = match self.sign {
+            Sign::Pos => self.mask.intersection_len(query),
+            Sign::Neg => self.mask.andnot_len(query),
+        };
+        sat as f64 / self.len as f64
+    }
+}
+
+/// A [`Bar`] lowered to mask form for §4.2 scoring.
+#[derive(Clone, Debug)]
+struct CompiledMc2Bar {
+    car_mask: BitSet,
+    car_len: u32,
+    /// Clause masks of every disjunct, flattened; disjunct `d` owns
+    /// `clauses[disjunct_offsets[d]..disjunct_offsets[d + 1]]`.
+    clauses: Vec<ClauseMask>,
+    disjunct_offsets: Vec<u32>,
+}
+
+impl CompiledMc2Bar {
+    fn compile(bar: &Bar, n_items: usize) -> CompiledMc2Bar {
+        let car = &bar.antecedent.car_items;
+        let mut clauses = Vec::new();
+        let mut disjunct_offsets = vec![0u32];
+        for disjunct in &bar.antecedent.disjuncts {
+            for clause in disjunct {
+                clauses.push(ClauseMask {
+                    sign: clause.sign,
+                    mask: BitSet::from_iter(n_items, clause.items.iter().copied()),
+                    len: clause.items.len() as u32,
+                });
+            }
+            disjunct_offsets.push(clauses.len() as u32);
+        }
+        CompiledMc2Bar {
+            car_mask: BitSet::from_iter(n_items, car.iter().copied()),
+            car_len: car.len() as u32,
+            clauses,
+            disjunct_offsets,
+        }
+    }
+
+    /// The §4.2 classification number — identical values to
+    /// [`Mc2Classifier::classification_number`].
+    fn classification_number(&self, query: &BitSet) -> f64 {
+        let car_factor = if self.car_len == 0 {
+            1.0
+        } else {
+            self.car_mask.intersection_len(query) as f64 / self.car_len as f64
+        };
+        if car_factor == 0.0 {
+            return 0.0;
+        }
+        let n_disjuncts = self.disjunct_offsets.len() - 1;
+        let bool_factor = if n_disjuncts == 0 {
+            1.0
+        } else {
+            (0..n_disjuncts)
+                .map(|d| {
+                    let lo = self.disjunct_offsets[d] as usize;
+                    let hi = self.disjunct_offsets[d + 1] as usize;
+                    self.clauses[lo..hi]
+                        .iter()
+                        .map(|c| c.satisfaction(query))
+                        .fold(1.0f64, f64::min)
+                })
+                .fold(0.0f64, f64::max)
+        };
+        car_factor * bool_factor
+    }
+}
+
+/// A [`Mc2Classifier`] lowered to word-parallel scoring form.
+#[derive(Clone, Debug)]
+pub struct CompiledMc2Classifier {
+    rules: Vec<Vec<CompiledMc2Bar>>,
+    n_classes: usize,
+}
+
+impl CompiledMc2Classifier {
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Best rule number per class — same values as
+    /// [`Mc2Classifier::class_scores`].
+    pub fn class_scores(&self, query: &BitSet) -> Vec<f64> {
+        self.rules
+            .iter()
+            .map(|class_rules| {
+                class_rules
+                    .iter()
+                    .map(|bar| bar.classification_number(query))
+                    .fold(0.0f64, f64::max)
+            })
+            .collect()
+    }
+
+    /// The class of the largest classification number (smallest index on
+    /// ties).
+    pub fn classify(&self, query: &BitSet) -> ClassId {
+        let scores = self.class_scores(query);
+        let mut best = 0;
+        for (i, &v) in scores.iter().enumerate().skip(1) {
+            if v > scores[best] {
+                best = i;
+            }
+        }
+        best
     }
 }
 
@@ -204,6 +354,25 @@ mod tests {
         let small = Mc2Classifier::train(&d, 1);
         let large = Mc2Classifier::train(&d, 4);
         assert!(large.n_rules() >= small.n_rules());
+    }
+
+    #[test]
+    fn compiled_scores_match_reference() {
+        let d = table1();
+        let m = Mc2Classifier::train(&d, 3);
+        let compiled = m.compile(d.n_items());
+        let mut queries: Vec<BitSet> = d.samples().to_vec();
+        queries.push(section54_query());
+        queries.push(BitSet::new(6));
+        queries.push(BitSet::full(6));
+        for q in &queries {
+            assert_eq!(m.class_scores(q), compiled.class_scores(q), "{q:?}");
+            assert_eq!(m.classify(q), compiled.classify(q), "{q:?}");
+        }
+        assert_eq!(
+            m.classify_all(&queries),
+            queries.iter().map(|q| m.classify(q)).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,613 @@
+//! The compiled, word-parallel evaluation form of BSTCE.
+//!
+//! [`BstcModel`] keeps each exclusion list as a sorted `Vec<ItemId>` and
+//! evaluates Algorithm 5 line 4's `V_e` with a per-item `contains` loop,
+//! allocating a fresh `Vec<Vec<f64>>` satisfaction table and one
+//! intersection `BitSet` per column for every query. That is fine for the
+//! paper's worked examples but is exactly the scan-heavy shape §3.1.1
+//! criticizes, recreated at inference time.
+//!
+//! [`CompiledModel`] lowers a trained model into masks once, after
+//! training:
+//!
+//! * every distinct exclusion list becomes a word-packed [`BitSet`] mask
+//!   plus its precomputed length, so a `Neg` list's `V_e` is
+//!   `andnot_len(mask, query) / len` and a `Pos` list's is
+//!   `intersection_len(mask, query) / len` — pure AND(+NOT)+popcount
+//!   kernels at a few instructions per 64 items;
+//! * per-query working memory lives in a caller-owned [`Scratch`] (flat
+//!   `f64` arenas for the per-unique-list satisfactions and their (c, h)
+//!   fan-out, reusable bitsets for the shared-items intersection and the
+//!   Min coverage sweep), so steady-state classification performs **zero
+//!   heap allocations per query**;
+//! * for the paper's default Min arithmetization, each column's cell
+//!   values are produced by a *coverage sweep* — out-samples visited in
+//!   ascending satisfaction order, each claiming its still-unassigned
+//!   items in one word-parallel pass — instead of a per-cell reduction
+//!   over `out_expr`, with early exit once every shared item is covered.
+//!
+//! The literal-satisfaction counts produced by the popcount kernels are
+//! the same integers the reference scalar loops produce, every division
+//! and combine runs in the same order, and blank columns are skipped on
+//! both paths — so compiled class values are **bit-identical** to
+//! [`BstcModel::class_values`] for all three [`Arithmetization`] variants
+//! (enforced by the differential property test in
+//! `tests/prop_compiled.rs`). Complexity is unchanged from Algorithm 5;
+//! only the constant shrinks.
+
+use crate::bar::Sign;
+use crate::bst::Bst;
+use crate::classify::{confidence_gap_of, Arithmetization, BstcModel, CellExplanation};
+use microarray::{BitSet, ClassId, SampleId};
+
+/// Queries at or below this batch size are classified on the calling
+/// thread: spawning workers costs more than classifying a handful of
+/// samples.
+const SEQUENTIAL_BATCH_CUTOFF: usize = 4;
+
+/// One class BST lowered to word-packed evaluation form.
+#[derive(Clone, Debug)]
+pub struct CompiledBst {
+    class: ClassId,
+    n_items: usize,
+    n_out: usize,
+    /// Original ids of the class samples (BST columns), ascending.
+    class_samples: Vec<SampleId>,
+    /// Item sets of the class samples (for the shared-items intersection).
+    class_expr: Vec<BitSet>,
+    /// Flat arena of the distinct exclusion-list masks of every column;
+    /// column `c` owns `masks[col_offsets[c]..col_offsets[c + 1]]`.
+    masks: Vec<BitSet>,
+    /// Polarity of each mask (parallel to `masks`).
+    signs: Vec<Sign>,
+    /// Literal count of each mask (parallel to `masks`; 0 marks the
+    /// unsatisfiable degenerate list).
+    lens: Vec<u32>,
+    /// Column extents into `masks`/`signs`/`lens`, length `n_cols + 1`.
+    col_offsets: Vec<u32>,
+    /// `idx[c * n_out + h]` = column-local index of the (c, h) pair's
+    /// distinct list.
+    idx: Vec<u32>,
+    /// `out_expr[g]` = bitset over local out-sample indices expressing `g`
+    /// (empty ⇔ black-dot row).
+    out_expr: Vec<BitSet>,
+    /// Item set of each local out-sample (the transpose of `out_expr`),
+    /// used by the Min coverage sweep.
+    out_items: Vec<BitSet>,
+}
+
+impl CompiledBst {
+    /// Lowers one reference BST into mask form.
+    pub fn compile(bst: &Bst) -> CompiledBst {
+        let n_items = bst.n_items();
+        let n_cols = bst.n_class_samples();
+        let n_out = bst.n_out_samples();
+
+        let mut masks = Vec::new();
+        let mut signs = Vec::new();
+        let mut lens = Vec::new();
+        let mut col_offsets = Vec::with_capacity(n_cols + 1);
+        let mut idx = Vec::with_capacity(n_cols * n_out);
+        col_offsets.push(0u32);
+        for c in 0..n_cols {
+            for list in bst.unique_exclusion_lists(c) {
+                masks.push(BitSet::from_iter(n_items, list.items.iter().copied()));
+                signs.push(list.sign);
+                lens.push(list.items.len() as u32);
+            }
+            col_offsets.push(masks.len() as u32);
+            for h in 0..n_out {
+                idx.push(bst.exclusion_list_index(c, h) as u32);
+            }
+        }
+
+        CompiledBst {
+            class: bst.class(),
+            n_items,
+            n_out,
+            class_samples: (0..n_cols).map(|c| bst.class_sample_id(c)).collect(),
+            class_expr: (0..n_cols).map(|c| bst.class_sample_items(c).clone()).collect(),
+            masks,
+            signs,
+            lens,
+            col_offsets,
+            idx,
+            out_expr: (0..n_items).map(|g| bst.out_expressing(g).clone()).collect(),
+            out_items: (0..n_out).map(|h| bst.out_sample_items(h).clone()).collect(),
+        }
+    }
+
+    /// The class this table describes.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Number of items, `|G|`.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of class samples (columns), `|C_i|`.
+    pub fn n_class_samples(&self) -> usize {
+        self.class_expr.len()
+    }
+
+    /// Largest count of distinct lists in any one column (drives the
+    /// scratch arena size).
+    fn max_unique(&self) -> usize {
+        self.col_offsets.windows(2).map(|w| (w[1] - w[0]) as usize).max().unwrap_or(0)
+    }
+
+    /// `V_e` of the `u`-th mask for `query` — the popcount identity for
+    /// Algorithm 5 line 4. Produces the exact count the reference per-item
+    /// loop produces, hence a bit-identical quotient.
+    #[inline]
+    fn list_satisfaction(&self, u: usize, query: &BitSet) -> f64 {
+        let len = self.lens[u];
+        if len == 0 {
+            return 0.0; // degenerate duplicate pair: unsatisfiable
+        }
+        let sat = match self.signs[u] {
+            Sign::Pos => self.masks[u].intersection_len(query),
+            Sign::Neg => self.masks[u].andnot_len(query),
+        };
+        sat as f64 / len as f64
+    }
+
+    /// BSTCE (Algorithm 5) against this table, using `scratch` for all
+    /// per-query working memory. Allocation-free once `scratch` has grown
+    /// to this table's shape.
+    pub fn class_value(
+        &self,
+        query: &BitSet,
+        arith: Arithmetization,
+        scratch: &mut Scratch,
+    ) -> f64 {
+        scratch.reserve_bst(self);
+        let mut col_sum = 0.0;
+        let mut cols = 0usize;
+        for c in 0..self.class_expr.len() {
+            if !self.column_satisfactions(c, query, scratch) {
+                continue; // blank column (line 13's "non-blank" filter)
+            }
+            let v_s = match arith {
+                Arithmetization::Min => self.column_value_min(c, query, scratch),
+                _ => {
+                    let mut sum = 0.0;
+                    let mut n = 0usize;
+                    for g in scratch.shared.iter() {
+                        sum += cell_value(&self.out_expr[g], &scratch.vh, arith);
+                        n += 1;
+                    }
+                    sum / n as f64 // V_s (line 14)
+                }
+            };
+            col_sum += v_s;
+            cols += 1;
+        }
+        if cols == 0 {
+            0.0 // the query shares nothing with this class
+        } else {
+            col_sum / cols as f64 // line 16
+        }
+    }
+
+    /// `V_s` of a non-blank column under Min, by coverage sweep instead of
+    /// per-cell reduction.
+    ///
+    /// Under Min a cell's value is the *smallest* satisfaction among the
+    /// out-samples expressing its item, so visiting out-samples in
+    /// ascending satisfaction order and assigning each still-unassigned
+    /// shared item in one word-parallel `AND`/`ANDNOT` pass yields every
+    /// cell's exact minimum — and the sweep stops as soon as all items are
+    /// covered, which on dense expression data takes a handful of
+    /// out-samples instead of `|c ∩ q| · |out_expr|` scalar reductions.
+    /// Items no out-sample expresses are the black dots (value 1). Summing
+    /// the assigned values back in item order reproduces the reference
+    /// path's float operations bit for bit.
+    fn column_value_min(&self, c: usize, query: &BitSet, scratch: &mut Scratch) -> f64 {
+        scratch.order.clear();
+        for h in 0..self.n_out {
+            scratch.order.push((scratch.vh[h], h as u32));
+        }
+        scratch.order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+
+        scratch.remaining.assign_intersection(query, &self.class_expr[c]);
+        let mut left = scratch.remaining.len();
+        for &(v, h) in scratch.order.iter() {
+            if left == 0 {
+                break;
+            }
+            let expr = &self.out_items[h as usize];
+            scratch.newly.assign_intersection(&scratch.remaining, expr);
+            for g in scratch.newly.iter() {
+                scratch.cells[g] = v;
+            }
+            left -= scratch.newly.len();
+            scratch.remaining.difference_with(expr);
+        }
+        for g in scratch.remaining.iter() {
+            scratch.cells[g] = 1.0; // black dot: no out-sample expresses g
+        }
+
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for g in scratch.shared.iter() {
+            sum += scratch.cells[g];
+            n += 1;
+        }
+        sum / n as f64
+    }
+
+    /// Computes column `c`'s shared-item set into `scratch.shared` and, if
+    /// non-blank, its per-out-sample satisfactions into `scratch.vh`.
+    /// Returns false for blank columns (nothing computed beyond `shared`).
+    fn column_satisfactions(&self, c: usize, query: &BitSet, scratch: &mut Scratch) -> bool {
+        scratch.shared.assign_intersection(query, &self.class_expr[c]);
+        if scratch.shared.is_empty() {
+            return false;
+        }
+        // Distinct lists are evaluated once and fanned out to their (c, h)
+        // pairs — the lossless form of §8's exclusion-list culling.
+        let lo = self.col_offsets[c] as usize;
+        let hi = self.col_offsets[c + 1] as usize;
+        for u in lo..hi {
+            scratch.per_unique[u - lo] = self.list_satisfaction(u, query);
+        }
+        let idx_row = &self.idx[c * self.n_out..(c + 1) * self.n_out];
+        for (h, &u) in idx_row.iter().enumerate() {
+            scratch.vh[h] = scratch.per_unique[u as usize];
+        }
+        true
+    }
+}
+
+/// Cell value of a non-empty (g, c) cell (Algorithm 5 lines 7–11) given
+/// the column's fanned-out satisfactions.
+#[inline]
+fn cell_value(out: &BitSet, vh: &[f64], arith: Arithmetization) -> f64 {
+    if out.is_empty() {
+        return 1.0; // black dot
+    }
+    arith.combine(out.iter().map(|h| vh[h]))
+}
+
+/// Reusable per-thread working memory for compiled classification.
+///
+/// Create one per worker thread ([`Scratch::new`] is trivially cheap) and
+/// pass it to every call; buffers grow to the largest model shape seen and
+/// are then reused, so the steady state performs no per-query heap
+/// allocation. A scratch may be shared across models — it simply regrows
+/// when a larger one arrives (e.g. after a serve-time hot reload).
+#[derive(Clone, Debug)]
+pub struct Scratch {
+    /// Satisfaction per distinct list of the current column.
+    per_unique: Vec<f64>,
+    /// The column's satisfactions fanned out per local out-sample.
+    vh: Vec<f64>,
+    /// Reusable `query ∩ column` intersection buffer.
+    shared: BitSet,
+    /// Per-class classification values of the last query.
+    values: Vec<f64>,
+    /// Min sweep: per-item cell values of the current column.
+    cells: Vec<f64>,
+    /// Min sweep: shared items not yet covered by an out-sample.
+    remaining: BitSet,
+    /// Min sweep: items covered by the current out-sample.
+    newly: BitSet,
+    /// Min sweep: (satisfaction, out-sample) pairs, sorted ascending.
+    order: Vec<(f64, u32)>,
+}
+
+impl Default for Scratch {
+    fn default() -> Scratch {
+        Scratch::new()
+    }
+}
+
+impl Scratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Scratch {
+        Scratch {
+            per_unique: Vec::new(),
+            vh: Vec::new(),
+            shared: BitSet::new(0),
+            values: Vec::new(),
+            cells: Vec::new(),
+            remaining: BitSet::new(0),
+            newly: BitSet::new(0),
+            order: Vec::new(),
+        }
+    }
+
+    /// Pre-sizes every buffer for `model`, so even the first query is
+    /// allocation-free.
+    pub fn for_model(model: &CompiledModel) -> Scratch {
+        let mut s = Scratch::new();
+        for bst in &model.bsts {
+            s.reserve_bst(bst);
+        }
+        s.values.resize(model.n_classes(), 0.0);
+        s
+    }
+
+    /// Grows the per-column buffers to fit `bst` (no-op once large enough).
+    fn reserve_bst(&mut self, bst: &CompiledBst) {
+        let uniq = bst.max_unique();
+        if self.per_unique.len() < uniq {
+            self.per_unique.resize(uniq, 0.0);
+        }
+        if self.vh.len() < bst.n_out {
+            self.vh.resize(bst.n_out, 0.0);
+        }
+        if self.shared.capacity() != bst.n_items {
+            self.shared = BitSet::new(bst.n_items);
+        }
+        if self.cells.len() < bst.n_items {
+            self.cells.resize(bst.n_items, 0.0);
+        }
+        if self.remaining.capacity() != bst.n_items {
+            self.remaining = BitSet::new(bst.n_items);
+        }
+        if self.newly.capacity() != bst.n_items {
+            self.newly = BitSet::new(bst.n_items);
+        }
+        if self.order.capacity() < bst.n_out {
+            self.order.clear();
+            self.order.reserve(bst.n_out);
+        }
+    }
+
+    /// Class values of the most recent
+    /// [`CompiledModel::class_values_into`] / [`CompiledModel::classify`]
+    /// call, indexed by `ClassId`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A trained BSTC model lowered to word-parallel evaluation form: one
+/// [`CompiledBst`] per class plus the training-time arithmetization.
+///
+/// Produced by [`BstcModel::compile`]; predictions and class values are
+/// bit-identical to the reference model's.
+#[derive(Clone, Debug)]
+pub struct CompiledModel {
+    bsts: Vec<CompiledBst>,
+    arith: Arithmetization,
+}
+
+impl CompiledModel {
+    /// Lowers every class BST of `model`.
+    pub fn compile(model: &BstcModel) -> CompiledModel {
+        CompiledModel {
+            bsts: (0..model.n_classes()).map(|c| CompiledBst::compile(model.bst(c))).collect(),
+            arith: model.arithmetization(),
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.bsts.len()
+    }
+
+    /// The arithmetization the model was trained with.
+    pub fn arithmetization(&self) -> Arithmetization {
+        self.arith
+    }
+
+    /// The compiled BST of one class.
+    pub fn bst(&self, class: ClassId) -> &CompiledBst {
+        &self.bsts[class]
+    }
+
+    /// BSTCE classification value of `query` against one class.
+    pub fn class_value(&self, class: ClassId, query: &BitSet, scratch: &mut Scratch) -> f64 {
+        self.bsts[class].class_value(query, self.arith, scratch)
+    }
+
+    /// Computes every class value into `scratch` (read them back via
+    /// [`Scratch::values`]). Allocation-free in the steady state.
+    pub fn class_values_into(&self, query: &BitSet, scratch: &mut Scratch) {
+        if scratch.values.len() != self.bsts.len() {
+            scratch.values.resize(self.bsts.len(), 0.0);
+        }
+        for (i, bst) in self.bsts.iter().enumerate() {
+            let v = bst.class_value(query, self.arith, scratch);
+            scratch.values[i] = v;
+        }
+    }
+
+    /// Classification values for every class, indexed by `ClassId`
+    /// (allocates the returned vector; use
+    /// [`CompiledModel::class_values_into`] on hot paths).
+    pub fn class_values(&self, query: &BitSet, scratch: &mut Scratch) -> Vec<f64> {
+        self.class_values_into(query, scratch);
+        scratch.values.clone()
+    }
+
+    /// BSTC (Algorithm 6): the smallest class index with maximal value.
+    /// Allocation-free in the steady state.
+    pub fn classify(&self, query: &BitSet, scratch: &mut Scratch) -> ClassId {
+        self.class_values_into(query, scratch);
+        let values = &scratch.values;
+        let mut best = 0;
+        for (i, &v) in values.iter().enumerate().skip(1) {
+            if v > values[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The §8 confidence heuristic on the compiled path (single-pass
+    /// top-2, no sort, no allocation).
+    pub fn confidence_gap(&self, query: &BitSet, scratch: &mut Scratch) -> f64 {
+        self.class_values_into(query, scratch);
+        confidence_gap_of(&scratch.values)
+    }
+
+    /// Classifies a batch, fanning chunks out across cores with one
+    /// [`Scratch`] per worker. Tiny batches stay on the calling thread.
+    pub fn classify_all(&self, queries: &[BitSet]) -> Vec<ClassId> {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let workers = workers.min(queries.len()).max(1);
+        if workers <= 1 || queries.len() <= SEQUENTIAL_BATCH_CUTOFF {
+            let mut scratch = Scratch::for_model(self);
+            return queries.iter().map(|q| self.classify(q, &mut scratch)).collect();
+        }
+        let chunk = queries.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut scratch = Scratch::for_model(self);
+                        part.iter().map(|q| self.classify(q, &mut scratch)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("classify worker panicked")).collect()
+        })
+    }
+
+    /// §5.3.2 explanations on the compiled path — same cells, same
+    /// satisfactions, same order as [`BstcModel::explain`]. Allocates only
+    /// the returned vector.
+    pub fn explain(
+        &self,
+        class: ClassId,
+        query: &BitSet,
+        threshold: f64,
+        scratch: &mut Scratch,
+    ) -> Vec<CellExplanation> {
+        let bst = &self.bsts[class];
+        scratch.reserve_bst(bst);
+        let mut out = Vec::new();
+        for c in 0..bst.class_expr.len() {
+            if !bst.column_satisfactions(c, query, scratch) {
+                continue;
+            }
+            for g in scratch.shared.iter() {
+                let v = cell_value(&bst.out_expr[g], &scratch.vh, self.arith);
+                if v >= threshold {
+                    out.push(CellExplanation {
+                        class,
+                        item: g,
+                        supporting_sample: bst.class_samples[c],
+                        satisfaction: v,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| b.satisfaction.total_cmp(&a.satisfaction));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microarray::fixtures::{section54_query, table1};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn compiled_values_match_figure_3() {
+        let d = table1();
+        let model = BstcModel::train(&d);
+        let compiled = model.compile();
+        let mut scratch = Scratch::for_model(&compiled);
+        let q = section54_query();
+        assert!(close(compiled.class_value(0, &q, &mut scratch), 0.75));
+        assert!(close(compiled.class_value(1, &q, &mut scratch), 0.375));
+        assert_eq!(compiled.classify(&q, &mut scratch), 0);
+    }
+
+    #[test]
+    fn compiled_matches_reference_bit_for_bit_on_table1() {
+        let d = table1();
+        for arith in [Arithmetization::Min, Arithmetization::Product, Arithmetization::Mean] {
+            let model = BstcModel::train_with(&d, arith);
+            let compiled = model.compile();
+            let mut scratch = Scratch::new();
+            let mut queries: Vec<BitSet> = d.samples().to_vec();
+            queries.push(section54_query());
+            queries.push(BitSet::new(6));
+            queries.push(BitSet::full(6));
+            for q in &queries {
+                assert_eq!(
+                    model.class_values(q),
+                    compiled.class_values(q, &mut scratch),
+                    "{arith:?}"
+                );
+                assert_eq!(model.classify(q), compiled.classify(q, &mut scratch));
+                assert_eq!(
+                    model.confidence_gap(q),
+                    compiled.confidence_gap(q, &mut scratch),
+                    "{arith:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_explanations_match_reference() {
+        let d = table1();
+        let model = BstcModel::train(&d);
+        let compiled = model.compile();
+        let mut scratch = Scratch::new();
+        let q = section54_query();
+        for class in 0..2 {
+            for threshold in [0.0, 0.5, 1.0] {
+                assert_eq!(
+                    model.explain(class, &q, threshold),
+                    compiled.explain(class, &q, threshold, &mut scratch)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classify_all_matches_sequential_classify() {
+        let d = table1();
+        let model = BstcModel::train(&d);
+        let compiled = model.compile();
+        let mut scratch = Scratch::new();
+        // Enough queries to cross the batch-parallel cutoff.
+        let queries: Vec<BitSet> =
+            (0..64).map(|i| BitSet::from_iter(6, (0..6).filter(|g| (i >> g) & 1 == 1))).collect();
+        let batch = compiled.classify_all(&queries);
+        let one_by_one: Vec<_> =
+            queries.iter().map(|q| compiled.classify(q, &mut scratch)).collect();
+        assert_eq!(batch, one_by_one);
+        assert_eq!(batch, model.classify_all(&queries));
+    }
+
+    #[test]
+    fn scratch_regrows_across_models() {
+        // A scratch sized for one model must transparently serve a larger
+        // one (the serve hot-reload case) and a smaller one.
+        let d = table1();
+        let small = BstcModel::train(&d).compile();
+        let big_data = microarray::synth::BoolSynthConfig {
+            name: "grow".into(),
+            n_items: 300,
+            class_sizes: vec![8, 9],
+            class_names: vec!["a".into(), "b".into()],
+            markers_per_class: 40,
+            marker_on: 0.9,
+            background_on: 0.2,
+            seed: 11,
+        }
+        .generate();
+        let big = BstcModel::train(&big_data).compile();
+        let mut scratch = Scratch::for_model(&small);
+        assert_eq!(small.classify(&section54_query(), &mut scratch), 0);
+        let q = big_data.sample(0).clone();
+        assert_eq!(big.classify(&q, &mut scratch), BstcModel::train(&big_data).classify(&q));
+        assert_eq!(small.classify(&section54_query(), &mut scratch), 0);
+    }
+}

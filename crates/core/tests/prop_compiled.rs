@@ -1,0 +1,114 @@
+//! Differential property tests for the compiled inference kernels: over
+//! random synthetic datasets and random queries, the word-parallel
+//! popcount path must be **bit-identical** to the reference scalar BSTCE
+//! for every [`Arithmetization`], and the parallel trainer must produce
+//! exactly the sequential trainer's output.
+
+use bstc::{Arithmetization, Bst, BstcModel, Scratch};
+use microarray::{BitSet, BoolDataset};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of one random dataset case.
+#[derive(Clone, Debug)]
+struct Case {
+    n_items: usize,
+    class_sizes: Vec<usize>,
+    density: f64,
+    seed: u64,
+}
+
+fn cases() -> impl Strategy<Value = Case> {
+    (2usize..120, 2usize..4, 0u64..1_000_000, 1usize..30).prop_flat_map(
+        |(n_items, n_classes, seed, density_pct)| {
+            prop::collection::vec(1usize..7, n_classes).prop_map(move |class_sizes| Case {
+                n_items,
+                class_sizes,
+                density: 0.05 + density_pct as f64 * 0.03,
+                seed,
+            })
+        },
+    )
+}
+
+/// Materializes a random boolean dataset (and an RNG for queries).
+fn build_dataset(case: &Case) -> (BoolDataset, StdRng) {
+    let mut rng = StdRng::seed_from_u64(case.seed);
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    for (c, &size) in case.class_sizes.iter().enumerate() {
+        for _ in 0..size {
+            samples.push(random_set(case.n_items, case.density, &mut rng));
+            labels.push(c);
+        }
+    }
+    let items = (0..case.n_items).map(|g| format!("g{g}")).collect();
+    let classes = (0..case.class_sizes.len()).map(|c| format!("c{c}")).collect();
+    let data = BoolDataset::new(items, classes, samples, labels).expect("valid by construction");
+    (data, rng)
+}
+
+fn random_set(n_items: usize, density: f64, rng: &mut StdRng) -> BitSet {
+    BitSet::from_iter(n_items, (0..n_items).filter(|_| rng.random_range(0.0..1.0) < density))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compiled `class_values`, `classify`, `confidence_gap` and `explain`
+    /// are bit-identical to the reference scalar path for all three
+    /// arithmetizations, on random queries of every density.
+    #[test]
+    fn compiled_kernels_are_bit_identical_to_reference(case in cases()) {
+        let (data, mut rng) = build_dataset(&case);
+        for arith in [Arithmetization::Min, Arithmetization::Product, Arithmetization::Mean] {
+            let model = BstcModel::train_with(&data, arith);
+            let compiled = model.compile();
+            let mut scratch = Scratch::new();
+            let mut queries: Vec<BitSet> = data.samples().to_vec();
+            queries.push(BitSet::new(case.n_items));
+            queries.push(BitSet::full(case.n_items));
+            for _ in 0..4 {
+                let density = rng.random_range(0.0..1.0);
+                queries.push(random_set(case.n_items, density, &mut rng));
+            }
+            for q in &queries {
+                let reference = model.class_values(q);
+                let fast = compiled.class_values(q, &mut scratch);
+                // Exact equality — the kernels must produce the same bits,
+                // not merely close values.
+                prop_assert_eq!(&reference, &fast, "{:?} {:?}", arith, q);
+                prop_assert_eq!(model.classify(q), compiled.classify(q, &mut scratch));
+                prop_assert_eq!(
+                    model.confidence_gap(q),
+                    compiled.confidence_gap(q, &mut scratch)
+                );
+                for class in 0..data.n_classes() {
+                    prop_assert_eq!(
+                        model.explain(class, q, 0.5),
+                        compiled.explain(class, q, 0.5, &mut scratch)
+                    );
+                }
+            }
+            // Batch classification agrees with the per-query path.
+            prop_assert_eq!(
+                compiled.classify_all(&queries),
+                queries.iter().map(|q| model.classify(q)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// The parallel per-class / per-column trainer produces exactly the
+    /// sequential trainer's output.
+    #[test]
+    fn parallel_build_all_equals_sequential(case in cases()) {
+        let (data, _) = build_dataset(&case);
+        let parallel = Bst::build_all(&data);
+        let sequential = Bst::build_all_seq(&data);
+        prop_assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            prop_assert_eq!(p, s);
+        }
+    }
+}

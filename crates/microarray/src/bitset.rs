@@ -159,6 +159,35 @@ impl BitSet {
         self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
+    /// `|self − other|` without allocating — the AND-NOT+popcount kernel:
+    /// for a negative exclusion list mask `self`, this counts the literals
+    /// a query `other` satisfies (items of the list the query does *not*
+    /// express) at a few instructions per 64 items.
+    pub fn andnot_len(&self, other: &BitSet) -> usize {
+        self.check(other);
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & !b).count_ones() as usize).sum()
+    }
+
+    /// Overwrites `self` with `a ∩ b` without allocating (all three sets
+    /// must share one capacity). This is the scratch-buffer form of
+    /// [`BitSet::intersection`] used by the compiled inference kernels.
+    pub fn assign_intersection(&mut self, a: &BitSet, b: &BitSet) {
+        self.check(a);
+        self.check(b);
+        for (w, (x, y)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
+            *w = x & y;
+        }
+    }
+
+    /// The packed `u64` words backing the set (bit `i` of word `w` is
+    /// element `w * 64 + i`; bits at positions `>= capacity` are zero).
+    /// Exposed read-only so word-parallel kernels and benchmarks can
+    /// operate on the raw representation.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// True if `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         self.check(other);
@@ -303,6 +332,41 @@ mod tests {
         assert!(a.intersection(&b).is_subset(&a));
         assert!(!a.is_disjoint(&b));
         assert!(a.difference(&b).is_disjoint(&b));
+    }
+
+    #[test]
+    fn andnot_len_matches_difference() {
+        let a = BitSet::from_iter(200, [1, 5, 100, 150]);
+        let b = BitSet::from_iter(200, [5, 100, 199]);
+        assert_eq!(a.andnot_len(&b), a.difference(&b).len());
+        assert_eq!(b.andnot_len(&a), 1);
+        assert_eq!(a.andnot_len(&a), 0);
+        let empty = BitSet::new(200);
+        assert_eq!(a.andnot_len(&empty), a.len());
+        assert_eq!(empty.andnot_len(&a), 0);
+    }
+
+    #[test]
+    fn assign_intersection_reuses_buffer() {
+        let a = BitSet::from_iter(200, [1, 5, 100, 150]);
+        let b = BitSet::from_iter(200, [5, 100, 199]);
+        let mut out = BitSet::from_iter(200, [0, 42, 160]); // stale content
+        out.assign_intersection(&a, &b);
+        assert_eq!(out, a.intersection(&b));
+        // Degenerate operands are fine too.
+        out.assign_intersection(&a, &BitSet::new(200));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn words_expose_packed_representation() {
+        let s = BitSet::from_iter(130, [0, 64, 129]);
+        let w = s.words();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], 1);
+        assert_eq!(w[1], 1);
+        assert_eq!(w[2], 2);
+        assert_eq!(w.iter().map(|x| x.count_ones() as usize).sum::<usize>(), s.len());
     }
 
     #[test]

@@ -19,13 +19,14 @@
 //! format versions and corrupted payloads before deserializing, so a
 //! serving process can never hot-swap in a half-written file.
 
-use bstc::BstcModel;
+use bstc::{BstcModel, CompiledModel, Scratch};
 use discretize::Discretizer;
 use microarray::ContinuousDataset;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::fmt;
 use std::path::Path;
+use std::sync::OnceLock;
 
 /// The bundle format this build writes and accepts.
 pub const FORMAT_VERSION: u64 = 1;
@@ -68,8 +69,12 @@ pub struct ModelBundle {
     pub item_names: Vec<String>,
     /// Fitted cut points: maps raw gene vectors to boolean items.
     pub discretizer: Discretizer,
-    /// The trained classifier.
+    /// The trained classifier (the serialized reference form).
     pub model: BstcModel,
+    /// The word-parallel evaluation form of `model`, lowered lazily on
+    /// first use and never serialized (it is derived state).
+    #[serde(skip)]
+    compiled: OnceLock<CompiledModel>,
 }
 
 /// One classification result.
@@ -192,7 +197,14 @@ impl ModelBundle {
             item_names: discretizer.item_names(),
             discretizer,
             model,
+            compiled: OnceLock::new(),
         })
+    }
+
+    /// The compiled (word-parallel, scratch-driven) form of the model,
+    /// lowered on first call and cached for the bundle's lifetime.
+    pub fn compiled(&self) -> &CompiledModel {
+        self.compiled.get_or_init(|| self.model.compile())
     }
 
     /// Number of raw gene values a classify input must supply.
@@ -206,18 +218,31 @@ impl ModelBundle {
     }
 
     /// Classifies one raw expression vector: applies the fitted cut
-    /// points, binarizes, and runs BSTCE over every class BST.
+    /// points, binarizes, and runs the compiled BSTCE kernels over every
+    /// class BST (bit-identical to the reference path).
     ///
     /// # Errors
     /// Returns [`WrongVectorLength`] when `row` does not match the fitted
     /// gene count.
     pub fn classify_row(&self, row: &[f64]) -> Result<Prediction, WrongVectorLength> {
+        self.classify_row_with(row, &mut Scratch::new())
+    }
+
+    /// [`ModelBundle::classify_row`] with caller-owned scratch memory —
+    /// the serve worker loop keeps one [`Scratch`] per thread so the
+    /// BSTCE evaluation underneath each request allocates nothing.
+    pub fn classify_row_with(
+        &self,
+        row: &[f64],
+        scratch: &mut Scratch,
+    ) -> Result<Prediction, WrongVectorLength> {
         if row.len() != self.n_genes() {
             return Err(WrongVectorLength { got: row.len(), expected: self.n_genes() });
         }
         let query =
             self.discretizer.transform_row(row).expect("a validated bundle has at least one item");
-        let values = self.model.class_values(&query);
+        self.compiled().class_values_into(&query, scratch);
+        let values = scratch.values();
         let mut class = 0;
         for (i, &v) in values.iter().enumerate().skip(1) {
             if v > values[class] {
@@ -227,8 +252,10 @@ impl ModelBundle {
         Ok(Prediction {
             class,
             label: self.class_names[class].clone(),
-            values,
-            confidence: self.model.confidence_gap(&query),
+            // One BSTCE pass serves both outputs: the §8 confidence gap is
+            // a single top-2 scan over the values just computed.
+            confidence: bstc::confidence_gap_of(values),
+            values: values.to_vec(),
         })
     }
 

@@ -19,6 +19,7 @@
 use crate::bundle::{ModelBundle, FORMAT_VERSION};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::metrics::Metrics;
+use bstc::Scratch;
 use serde_json::{json, Value};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -73,6 +74,9 @@ const IDLE_POLL: Duration = Duration::from_millis(250);
 /// # Errors
 /// Propagates socket failures (bind, local_addr).
 pub fn serve(config: ServerConfig, bundle: ModelBundle) -> io::Result<ServerHandle> {
+    // Lower the model into its compiled evaluation form before the first
+    // request arrives (it is cached inside the bundle).
+    bundle.compiled();
     let listener =
         TcpListener::bind(
             config.addr.to_socket_addrs()?.next().ok_or_else(|| {
@@ -100,12 +104,20 @@ pub fn serve(config: ServerConfig, bundle: ModelBundle) -> io::Result<ServerHand
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("bstc-serve-worker-{i}"))
-                .spawn(move || loop {
-                    // Holding the lock only for the recv keeps hand-off fair.
-                    let next = { rx.lock().expect("worker poisoned").recv() };
-                    match next {
-                        Ok(stream) => handle_connection(&shared, stream),
-                        Err(_) => break, // acceptor gone: shutdown
+                .spawn(move || {
+                    // One scratch per worker: the BSTCE kernels under every
+                    // /classify on this thread reuse it, so steady-state
+                    // classification allocates nothing. It simply regrows
+                    // if /reload swaps in a larger model.
+                    let mut scratch = Scratch::new();
+                    loop {
+                        // Holding the lock only for the recv keeps hand-off
+                        // fair.
+                        let next = { rx.lock().expect("worker poisoned").recv() };
+                        match next {
+                            Ok(stream) => handle_connection(&shared, stream, &mut scratch),
+                            Err(_) => break, // acceptor gone: shutdown
+                        }
                     }
                 })
                 .expect("spawn worker")
@@ -163,7 +175,7 @@ impl ServerHandle {
 }
 
 /// Serves one TCP connection, looping while the client keeps it alive.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
+fn handle_connection(shared: &Shared, stream: TcpStream, scratch: &mut Scratch) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let mut writer = match stream.try_clone() {
@@ -174,7 +186,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     loop {
         match read_request(&mut reader) {
             Ok(request) => {
-                let response = route(shared, &request);
+                let response = route(shared, &request, scratch);
                 shared.metrics.record_request(&request.path, response.status);
                 let keep_alive = request.keep_alive && !shared.shutting_down.load(Ordering::SeqCst);
                 if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
@@ -220,12 +232,12 @@ fn error_response(status: u16, code: &str, detail: &str) -> Response {
 }
 
 /// Dispatches one parsed request.
-fn route(shared: &Shared, request: &Request) -> Response {
+fn route(shared: &Shared, request: &Request, scratch: &mut Scratch) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => handle_health(shared),
         ("GET", "/model") => handle_model(shared),
         ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
-        ("POST", "/classify") => handle_classify(shared, &request.body),
+        ("POST", "/classify") => handle_classify(shared, &request.body, scratch),
         ("POST", "/reload") => handle_reload(shared, &request.body),
         (_, "/health" | "/model" | "/metrics" | "/classify" | "/reload") => error_response(
             405,
@@ -265,7 +277,7 @@ fn handle_model(shared: &Shared) -> Response {
 /// `POST /classify` body: either `{"values": [..]}` (one vector) or
 /// `{"samples": [[..], ..]}` (a batch). Batches answer with one
 /// prediction per row, in order.
-fn handle_classify(shared: &Shared, body: &[u8]) -> Response {
+fn handle_classify(shared: &Shared, body: &[u8], scratch: &mut Scratch) -> Response {
     let started = Instant::now();
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
@@ -302,7 +314,7 @@ fn handle_classify(shared: &Shared, body: &[u8]) -> Response {
 
     let mut predictions = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
-        match bundle.classify_row(row) {
+        match bundle.classify_row_with(row, scratch) {
             Ok(p) => predictions.push(p),
             Err(e) => {
                 let at = if batched { format!("samples[{i}]: ") } else { String::new() };
@@ -411,6 +423,7 @@ mod tests {
     }
 
     fn post(shared: &Shared, path: &str, body: &str) -> Response {
+        let mut scratch = Scratch::new();
         route(
             shared,
             &Request {
@@ -420,6 +433,7 @@ mod tests {
                 body: body.as_bytes().to_vec(),
                 keep_alive: false,
             },
+            &mut scratch,
         )
     }
 

@@ -122,15 +122,24 @@ pub trait FromParallelIterator<T: Send>: Sized {
     fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
 }
 
+/// Inputs at or below this length are evaluated inline: for tiny
+/// work-lists (a 2-class `build_all` fan-out, a small CV cell) the
+/// `thread::scope` spawn/join round trip costs more than the work, and
+/// staying sequential also keeps nested parallelism (per-class over
+/// per-column) from oversubscribing the machine.
+const SEQUENTIAL_CUTOFF: usize = 4;
+
 impl<T: Send> FromParallelIterator<T> for Vec<T> {
     fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Vec<T> {
         let n = iter.par_len();
         let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
         let workers = workers.min(n).max(1);
-        if workers <= 1 {
+        let chunk = n.div_ceil(workers);
+        // Sequential fast path: one worker, a single chunk, or an input
+        // too small to amortize thread spawns.
+        if workers <= 1 || chunk == n || n <= SEQUENTIAL_CUTOFF {
             return (0..n).map(|i| iter.item_at(i)).collect();
         }
-        let chunk = n.div_ceil(workers);
         let iter = &iter;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -169,5 +178,28 @@ mod tests {
         let data: Vec<u8> = Vec::new();
         let out: Vec<u8> = data.par_iter().map(|&b| b).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tiny_inputs_stay_on_the_calling_thread() {
+        // At or below the sequential cutoff no scope is entered, so the
+        // mapped closure must observe the caller's thread id.
+        let caller = std::thread::current().id();
+        for n in 0..=super::SEQUENTIAL_CUTOFF {
+            let data: Vec<usize> = (0..n).collect();
+            let ids: Vec<std::thread::ThreadId> =
+                data.par_iter().map(|_| std::thread::current().id()).collect();
+            assert!(ids.iter().all(|&id| id == caller), "n={n} spawned threads");
+        }
+    }
+
+    #[test]
+    fn results_identical_across_cutoff_boundary() {
+        for n in [0usize, 1, 4, 5, 64, 1000] {
+            let data: Vec<usize> = (0..n).collect();
+            let out: Vec<usize> = data.par_iter().map(|&v| v * 3 + 1).collect();
+            let expected: Vec<usize> = (0..n).map(|v| v * 3 + 1).collect();
+            assert_eq!(out, expected, "n={n}");
+        }
     }
 }

@@ -6,7 +6,9 @@
 //! uses:
 //!
 //! * non-generic structs with named fields (field attrs `#[serde(default)]`,
-//!   `#[serde(default = "path")]`, `#[serde(with = "module")]`);
+//!   `#[serde(default = "path")]`, `#[serde(with = "module")]`,
+//!   `#[serde(skip)]` — omitted on serialize, `Default::default()` on
+//!   deserialize);
 //! * non-generic tuple structs (newtype and longer);
 //! * non-generic enums with unit / tuple / struct variants, externally
 //!   tagged, plus `#[serde(untagged)]` for enums of newtype variants.
@@ -30,6 +32,7 @@ struct SerdeOpts {
     /// `Some(None)` = `#[serde(default)]`; `Some(Some(p))` = `default = "p"`.
     default: Option<Option<String>>,
     with: Option<String>,
+    skip: bool,
 }
 
 struct Field {
@@ -125,6 +128,7 @@ fn merge(into: &mut SerdeOpts, from: SerdeOpts) {
     if from.with.is_some() {
         into.with = from.with;
     }
+    into.skip |= from.skip;
 }
 
 /// Consumes one `#[...]` attribute; returns its serde options if it was a
@@ -166,6 +170,7 @@ fn parse_attr(it: &mut TokenIter) -> Result<Option<SerdeOpts>, String> {
             ("untagged", None) => opts.untagged = true,
             ("default", v) => opts.default = Some(v),
             ("with", Some(p)) => opts.with = Some(p),
+            ("skip", None) => opts.skip = true,
             (other, _) => {
                 return Err(format!("serde shim derive: unsupported attribute `{other}`"))
             }
@@ -331,6 +336,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                  ::std::vec::Vec::new();\n"
             ));
             for f in fields {
+                if f.opts.skip {
+                    continue;
+                }
                 let value = match &f.opts.with {
                     Some(with) => format!(
                         "{with}::serialize(&self.{}, ::serde::__private::ContentSerializer)\
@@ -447,6 +455,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                  }};\n"
             );
             for f in fields {
+                if f.opts.skip {
+                    out.push_str(&format!(
+                        "let __f_{fname}: {ty} = ::std::default::Default::default();\n",
+                        fname = f.name,
+                        ty = f.ty
+                    ));
+                    continue;
+                }
                 let present = match &f.opts.with {
                     Some(with) => format!(
                         "{with}::deserialize(::serde::__private::ContentDeserializer::new(__v))\
