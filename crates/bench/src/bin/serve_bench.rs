@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! serve_bench [--addr HOST:PORT] [--requests N] [--concurrency C]
-//!             [--batch B] [--seed S] [--scale K] [--json]
+//!             [--batch B] [--seed S] [--scale K] [--json] [--overload]
 //! ```
 //!
 //! `--json` additionally writes the measurements to `BENCH_serve.json`.
@@ -14,6 +14,13 @@
 //! the load, and shuts the server down — so `cargo run --release -p
 //! bench-suite --bin serve_bench` measures an end-to-end stack with no
 //! setup. With `--addr` it targets an already-running `bstc-cli serve`.
+//!
+//! `--overload` (self-contained only) measures behavior *past* capacity:
+//! the server boots with a deliberately tiny pool (2 workers, queue depth
+//! 4) and the load uses one-shot `connection: close` requests so every
+//! request passes through admission. The report then covers the shed rate,
+//! that every 503 carried `Retry-After`, and how far saturation pushed the
+//! p99 of the *accepted* requests versus an unloaded calibration run.
 
 use serde::Serialize;
 use serve::{serve, ModelBundle, Provenance, ServerConfig};
@@ -21,9 +28,11 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
-/// The `--json` report written to `BENCH_serve.json`.
+/// The `--json` report written to `BENCH_serve.json`. In `steady` mode the
+/// overload-only fields stay at zero.
 #[derive(Serialize)]
 struct Report {
+    mode: String,
     requests: usize,
     concurrency: usize,
     batch: usize,
@@ -34,6 +43,11 @@ struct Report {
     p90_ms: f64,
     p99_ms: f64,
     max_ms: f64,
+    accepted: usize,
+    shed: usize,
+    shed_rate: f64,
+    unloaded_p99_ms: f64,
+    saturated_over_unloaded_p99: f64,
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -58,6 +72,11 @@ fn main() {
     let seed: u64 = parse_flag(&args, "--seed", 7);
     let scale: usize = parse_flag(&args, "--scale", 40);
     let json = args.iter().any(|a| a == "--json");
+    let overload = args.iter().any(|a| a == "--overload");
+    if overload && flag(&args, "--addr").is_some() {
+        eprintln!("error: --overload is self-contained; it cannot target --addr");
+        std::process::exit(2);
+    }
 
     // Query rows come from the same synthetic distribution regardless of
     // target mode; against an external server they must still match its
@@ -73,7 +92,14 @@ fn main() {
                     eprintln!("error: training self-contained bundle failed: {e}");
                     std::process::exit(1);
                 });
-            let handle = serve(ServerConfig::default(), bundle).unwrap_or_else(|e| {
+            // Overload mode shrinks the pool and queue so a modest client
+            // count drives the server well past capacity.
+            let config = if overload {
+                ServerConfig { threads: 2, queue_depth: 2, ..ServerConfig::default() }
+            } else {
+                ServerConfig::default()
+            };
+            let handle = serve(config, bundle).unwrap_or_else(|e| {
                 eprintln!("error: starting in-process server failed: {e}");
                 std::process::exit(1);
             });
@@ -98,6 +124,14 @@ fn main() {
             }
         })
         .collect();
+
+    if overload {
+        run_overload(&addr, &bodies, requests, concurrency, batch, json);
+        if let Some(handle) = handle {
+            handle.shutdown();
+        }
+        return;
+    }
 
     eprintln!(
         "serve_bench: {requests} requests x batch {batch}, concurrency {concurrency}, \
@@ -150,7 +184,8 @@ fn main() {
     );
 
     if json {
-        let report = Report {
+        write_report(Report {
+            mode: "steady".into(),
             requests: total,
             concurrency,
             batch,
@@ -161,18 +196,195 @@ fn main() {
             p90_ms: pct(0.90),
             p99_ms: pct(0.99),
             max_ms,
-        };
-        let path = "BENCH_serve.json";
-        let body = serde_json::to_string_pretty(&report).expect("report serializes");
-        std::fs::write(path, body + "\n").unwrap_or_else(|e| {
-            eprintln!("error: cannot write {path}: {e}");
-            std::process::exit(1);
+            accepted: total,
+            shed: 0,
+            shed_rate: 0.0,
+            unloaded_p99_ms: 0.0,
+            saturated_over_unloaded_p99: 0.0,
         });
-        eprintln!("wrote {path}");
     }
 
     if let Some(handle) = handle {
         handle.shutdown();
+    }
+}
+
+fn write_report(report: Report) {
+    let path = "BENCH_serve.json";
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, body + "\n").unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {path}");
+}
+
+/// One request on a fresh `connection: close` socket. Returns the status
+/// and whether a `Retry-After` header accompanied it; `None` when the
+/// connection died without an HTTP answer.
+fn one_shot(addr: &str, body: &str) -> Option<(u16, bool)> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream);
+    let request = format!(
+        "POST /classify HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    reader.get_mut().write_all(request.as_bytes()).ok()?;
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).ok().filter(|&n| n > 0)?;
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut retry_after = false;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).ok().filter(|&n| n > 0)?;
+        if line.trim_end().is_empty() {
+            break;
+        }
+        if line.to_ascii_lowercase().starts_with("retry-after:") {
+            retry_after = true;
+        }
+    }
+    let mut rest = Vec::new();
+    let _ = reader.read_to_end(&mut rest);
+    Some((status, retry_after))
+}
+
+/// Saturation benchmark: calibrate the unloaded p99 first, then hammer the
+/// tiny-pool server and report shed rate plus the accepted-request latency
+/// distribution under overload.
+fn run_overload(
+    addr: &str,
+    bodies: &[String],
+    requests: usize,
+    concurrency: usize,
+    batch: usize,
+    json: bool,
+) {
+    // -- calibration: sequential one-shots against the idle server ------
+    let calibration = 500.min(requests.max(1));
+    let mut calib_us: Vec<u64> = Vec::with_capacity(calibration);
+    for i in 0..calibration {
+        let body = &bodies[i % bodies.len()];
+        let t0 = Instant::now();
+        match one_shot(addr, body) {
+            Some((200, _)) => calib_us.push(t0.elapsed().as_micros() as u64),
+            Some((status, _)) => {
+                eprintln!("error: calibration request returned HTTP {status}");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("error: calibration request got no answer");
+                std::process::exit(1);
+            }
+        }
+    }
+    calib_us.sort_unstable();
+    let unloaded_p99_ms = calib_us[(calib_us.len() - 1) * 99 / 100] as f64 / 1000.0;
+    eprintln!("serve_bench: unloaded p99 {unloaded_p99_ms:.3} ms over {calibration} requests");
+
+    eprintln!(
+        "serve_bench: OVERLOAD — {requests} one-shot requests, concurrency {concurrency}, \
+         target {addr}"
+    );
+    let started = Instant::now();
+    let per_worker = requests.div_ceil(concurrency);
+    // Per worker: (latencies of accepted requests, shed count, 503s
+    // missing Retry-After, connections that died without an answer).
+    let results: Vec<(Vec<u64>, usize, usize, usize)> = std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(concurrency);
+        for w in 0..concurrency {
+            joins.push(scope.spawn(move || {
+                let mut accepted = Vec::with_capacity(per_worker);
+                let (mut shed, mut bare_503, mut dead) = (0usize, 0usize, 0usize);
+                for i in 0..per_worker {
+                    let body = &bodies[(w * per_worker + i) % bodies.len()];
+                    let t0 = Instant::now();
+                    match one_shot(addr, body) {
+                        Some((200, _)) => accepted.push(t0.elapsed().as_micros() as u64),
+                        Some((503, true)) => shed += 1,
+                        Some((503, false)) => {
+                            shed += 1;
+                            bare_503 += 1;
+                        }
+                        Some((status, _)) => {
+                            eprintln!("error: /classify returned HTTP {status} under overload");
+                            std::process::exit(1);
+                        }
+                        None => dead += 1,
+                    }
+                }
+                (accepted, shed, bare_503, dead)
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("worker panicked")).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut accepted_us: Vec<u64> = Vec::new();
+    let (mut shed, mut bare_503, mut dead) = (0usize, 0usize, 0usize);
+    for (lat, s, b, d) in results {
+        accepted_us.extend(lat);
+        shed += s;
+        bare_503 += b;
+        dead += d;
+    }
+    if bare_503 > 0 {
+        eprintln!("error: {bare_503} of {shed} 503 responses arrived without Retry-After");
+        std::process::exit(1);
+    }
+    if dead > 0 {
+        eprintln!("error: {dead} connections closed without any HTTP response");
+        std::process::exit(1);
+    }
+    if accepted_us.is_empty() {
+        eprintln!("error: overload run accepted zero requests");
+        std::process::exit(1);
+    }
+
+    accepted_us.sort_unstable();
+    let total = accepted_us.len() + shed;
+    let pct = |p: f64| accepted_us[((accepted_us.len() - 1) as f64 * p) as usize] as f64 / 1000.0;
+    let max_ms = *accepted_us.last().expect("nonempty") as f64 / 1000.0;
+    let shed_rate = shed as f64 / total as f64;
+    let throughput = accepted_us.len() as f64 / elapsed.as_secs_f64();
+    let ratio = if unloaded_p99_ms > 0.0 { pct(0.99) / unloaded_p99_ms } else { 0.0 };
+    println!(
+        "overload: {} accepted + {shed} shed of {total} ({:.1}% shed, every 503 carried \
+         Retry-After) in {:.2}s",
+        accepted_us.len(),
+        shed_rate * 100.0,
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "accepted latency: p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms \
+         ({ratio:.1}x unloaded p99 {unloaded_p99_ms:.3} ms)",
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        max_ms
+    );
+
+    if json {
+        write_report(Report {
+            mode: "overload".into(),
+            requests: total,
+            concurrency,
+            batch,
+            elapsed_secs: elapsed.as_secs_f64(),
+            requests_per_sec: throughput,
+            samples_per_sec: throughput * batch as f64,
+            p50_ms: pct(0.50),
+            p90_ms: pct(0.90),
+            p99_ms: pct(0.99),
+            max_ms,
+            accepted: accepted_us.len(),
+            shed,
+            shed_rate,
+            unloaded_p99_ms,
+            saturated_over_unloaded_p99: ratio,
+        });
     }
 }
 

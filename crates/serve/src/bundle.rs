@@ -137,6 +137,25 @@ impl fmt::Display for BundleError {
     }
 }
 
+impl BundleError {
+    /// The HTTP status a failed `POST /reload` should answer with: a
+    /// filesystem failure is the server's problem (500), while a file
+    /// that exists but cannot be accepted — bad JSON, wrong version,
+    /// checksum mismatch, inconsistent payload — conflicts with the
+    /// serving state the caller tried to replace (409). Either way the
+    /// old model keeps serving.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            BundleError::Io(_) => 500,
+            BundleError::Json(_)
+            | BundleError::Envelope(_)
+            | BundleError::FormatVersion { .. }
+            | BundleError::ChecksumMismatch { .. }
+            | BundleError::Invalid(_) => 409,
+        }
+    }
+}
+
 impl std::error::Error for BundleError {}
 
 impl From<std::io::Error> for BundleError {
@@ -445,6 +464,16 @@ mod tests {
             ModelBundle::from_json("{\"format_version\":1}"),
             Err(BundleError::Envelope(_))
         ));
+    }
+
+    #[test]
+    fn reload_errors_map_to_conflict_or_server_fault() {
+        let io = BundleError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert_eq!(io.http_status(), 500);
+        assert_eq!(BundleError::Json("nope".into()).http_status(), 409);
+        assert_eq!(BundleError::FormatVersion { found: 9, expected: 1 }.http_status(), 409);
+        let mismatch = BundleError::ChecksumMismatch { declared: "a".into(), computed: "b".into() };
+        assert_eq!(mismatch.http_status(), 409);
     }
 
     #[test]

@@ -2,8 +2,19 @@
 //! enough for a JSON inference API: request-line + headers +
 //! `Content-Length` bodies in, fixed-status responses out, with
 //! keep-alive. No chunked encoding, no TLS, no async.
+//!
+//! Reading is **deadline-aware**: [`read_request`] takes an optional
+//! wall-clock budget that starts ticking at the *first byte* of a
+//! request and covers the whole head and body. A socket-level read
+//! timeout (the server's idle poll) surfaces as [`ReadError::Idle`]
+//! while no request has started — the caller polls its shutdown flag —
+//! but once bytes arrive, timeouts are retried internally until the
+//! budget is exhausted, which turns a slow-loris client trickling one
+//! header byte per poll interval into a clean [`ReadError::Timeout`]
+//! (HTTP 408) instead of a permanently pinned worker.
 
 use std::io::{self, BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -38,6 +49,11 @@ pub enum ReadError {
     /// The peer closed the connection before sending a request line —
     /// the normal end of a keep-alive session, not a fault.
     Closed,
+    /// The socket read timed out before the first byte of a request —
+    /// an idle keep-alive connection; poll shutdown and call again.
+    Idle,
+    /// The wall-clock budget ran out mid-request (reply 408).
+    Timeout(String),
     /// Transport failure mid-request.
     Io(io::Error),
     /// The bytes were not parseable HTTP (reply 400).
@@ -52,13 +68,59 @@ impl From<io::Error> for ReadError {
     }
 }
 
-/// Reads one request from a buffered stream.
+/// Tracks the per-request wall-clock budget. Armed by the first byte of
+/// the request line; every subsequent read — header trickle, body
+/// trickle, socket-timeout retry — is charged against the same budget.
+struct Deadline {
+    started: Option<Instant>,
+    budget: Option<Duration>,
+}
+
+impl Deadline {
+    fn new(budget: Option<Duration>) -> Deadline {
+        Deadline { started: None, budget }
+    }
+
+    /// Called on the first byte; later calls are no-ops.
+    fn arm(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    fn armed(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Errors with [`ReadError::Timeout`] once the armed budget is spent.
+    fn check(&self, phase: &str) -> Result<(), ReadError> {
+        if let (Some(started), Some(budget)) = (self.started, self.budget) {
+            if started.elapsed() >= budget {
+                return Err(ReadError::Timeout(format!(
+                    "request exceeded its {} ms budget while {phase}",
+                    budget.as_millis()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads one request from a buffered stream, charging all bytes of one
+/// request against `budget` (measured from its first byte). On success
+/// returns the request and the instant its first byte arrived, so the
+/// caller can hold the handler to the same deadline.
 ///
 /// # Errors
-/// See [`ReadError`]; [`ReadError::Closed`] is the clean-EOF case.
-pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
+/// See [`ReadError`]; [`ReadError::Closed`] is the clean-EOF case and
+/// [`ReadError::Idle`] the no-request-yet socket timeout.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    budget: Option<Duration>,
+) -> Result<(Request, Instant), ReadError> {
+    let mut deadline = Deadline::new(budget);
     let mut head_bytes = 0usize;
-    let request_line = match read_line(reader, &mut head_bytes)? {
+    let request_line = match read_line(reader, &mut head_bytes, &mut deadline)? {
         None => return Err(ReadError::Closed),
         Some(line) if line.is_empty() => {
             return Err(ReadError::Malformed("empty request line".into()))
@@ -80,7 +142,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
 
     let mut headers = Vec::new();
     loop {
-        let line = match read_line(reader, &mut head_bytes)? {
+        let line = match read_line(reader, &mut head_bytes, &mut deadline)? {
             None => return Err(ReadError::Malformed("connection closed mid-headers".into())),
             Some(line) => line,
         };
@@ -93,30 +155,51 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
-        None => 0,
-        Some((_, v)) => v
-            .parse::<usize>()
-            .map_err(|_| ReadError::Malformed(format!("bad content-length '{v}'")))?,
+    // The declared length is validated *before* any body allocation:
+    // exactly one Content-Length header (duplicates are a smuggling
+    // vector, conflicting or not), strictly decimal digits (usize::parse
+    // would admit a leading '+'), and within the hard body cap.
+    let content_length = {
+        let mut declared = headers.iter().filter(|(n, _)| n == "content-length");
+        match (declared.next(), declared.next()) {
+            (None, _) => 0,
+            (Some(_), Some(_)) => {
+                return Err(ReadError::Malformed("multiple content-length headers".into()))
+            }
+            (Some((_, v)), None) => {
+                if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(ReadError::Malformed(format!("bad content-length '{v}'")));
+                }
+                v.parse::<usize>()
+                    .map_err(|_| ReadError::Malformed(format!("bad content-length '{v}'")))?
+            }
+        }
     };
     if content_length > MAX_BODY_BYTES {
         return Err(ReadError::TooLarge(format!(
             "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
         )));
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let body = read_body(reader, content_length, &mut deadline)?;
 
     let keep_alive = match headers.iter().find(|(n, _)| n == "connection") {
         Some((_, v)) => !v.eq_ignore_ascii_case("close"),
         None => version != "HTTP/1.0",
     };
-    Ok(Request { method, path, headers, body, keep_alive })
+    // An armed deadline implies at least one byte arrived, so `started`
+    // is always set by the time a full request has been parsed.
+    let started = deadline.started.unwrap_or_else(Instant::now);
+    Ok((Request { method, path, headers, body, keep_alive }, started))
 }
 
-/// Reads one CRLF- (or LF-) terminated line, charging `budget`.
-/// `Ok(None)` means clean EOF before any byte.
-fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, ReadError> {
+/// Reads one CRLF- (or LF-) terminated line, charging `head_budget`
+/// bytes and `deadline` time. `Ok(None)` means EOF before any byte of
+/// this line.
+fn read_line(
+    reader: &mut impl BufRead,
+    head_budget: &mut usize,
+    deadline: &mut Deadline,
+) -> Result<Option<String>, ReadError> {
     let mut raw = Vec::new();
     loop {
         let mut byte = [0u8; 1];
@@ -124,8 +207,10 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<Str
             Ok(0) if raw.is_empty() => return Ok(None),
             Ok(0) => break,
             Ok(_) => {
-                *budget += 1;
-                if *budget > MAX_HEAD_BYTES {
+                deadline.arm();
+                deadline.check("reading the request head")?;
+                *head_budget += 1;
+                if *head_budget > MAX_HEAD_BYTES {
                     return Err(ReadError::TooLarge(format!(
                         "request head exceeds {MAX_HEAD_BYTES} bytes"
                     )));
@@ -136,6 +221,15 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<Str
                 raw.push(byte[0]);
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                // Socket poll expired. Before the first byte that is just
+                // an idle connection; mid-request it charges the deadline
+                // and retries, so partial state is never thrown away.
+                if !deadline.armed() {
+                    return Err(ReadError::Idle);
+                }
+                deadline.check("waiting for the rest of the request head")?;
+            }
             Err(e) => return Err(ReadError::Io(e)),
         }
     }
@@ -147,6 +241,38 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<Str
         .map_err(|_| ReadError::Malformed("non-UTF-8 request head".into()))
 }
 
+/// Reads exactly `len` body bytes under the request deadline. EOF
+/// mid-body is a malformed request (the declared length lied), not a
+/// transport error, so the client gets a structured 400 when possible.
+fn read_body(
+    reader: &mut impl BufRead,
+    len: usize,
+    deadline: &mut Deadline,
+) -> Result<Vec<u8>, ReadError> {
+    let mut body = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(ReadError::Malformed(format!(
+                    "connection closed mid-body ({filled} of {len} bytes)"
+                )))
+            }
+            Ok(n) => {
+                deadline.arm();
+                filled += n;
+                deadline.check("reading the request body")?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                deadline.check("waiting for the rest of the request body")?;
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    Ok(body)
+}
+
 /// One response about to be written.
 #[derive(Clone, Debug)]
 pub struct Response {
@@ -154,6 +280,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers beyond the standard set (lower-case names).
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -161,12 +289,28 @@ pub struct Response {
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
-        Response { status, content_type: "application/json", body: body.into() }
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into(),
+        }
     }
 
     /// A plaintext response.
     pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
-        Response { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds one extra response header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
@@ -177,6 +321,8 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -193,14 +339,19 @@ pub fn write_response(
     response: &Response,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+    use std::fmt::Write as _;
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in &response.headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
     stream.flush()
@@ -212,7 +363,7 @@ mod tests {
     use std::io::BufReader;
 
     fn parse(raw: &str) -> Result<Request, ReadError> {
-        read_request(&mut BufReader::new(raw.as_bytes()))
+        read_request(&mut BufReader::new(raw.as_bytes()), None).map(|(r, _)| r)
     }
 
     #[test]
@@ -254,9 +405,53 @@ mod tests {
     }
 
     #[test]
+    fn content_length_must_be_unique_and_strictly_decimal() {
+        // Conflicting duplicates: classic request-smuggling shape.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nbody!"),
+            Err(ReadError::Malformed(_))
+        ));
+        // Even agreeing duplicates are refused outright.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody"),
+            Err(ReadError::Malformed(_))
+        ));
+        // usize::parse would accept "+4"; HTTP does not.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: +4\r\n\r\nbody"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\nbody"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length:\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn oversized_bodies_are_rejected_without_reading_them() {
         let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
         assert!(matches!(parse(&raw), Err(ReadError::TooLarge(_))));
+    }
+
+    #[test]
+    fn early_eof_mid_body_is_malformed() {
+        match parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc") {
+            Err(ReadError::Malformed(d)) => assert!(d.contains("mid-body"), "{d}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_timeout() {
+        // A zero budget expires on the very first byte.
+        let raw = "GET / HTTP/1.1\r\n\r\n";
+        let result =
+            read_request(&mut BufReader::new(raw.as_bytes()), Some(Duration::from_secs(0)));
+        assert!(matches!(result, Err(ReadError::Timeout(_))), "{result:?}");
     }
 
     #[test]
@@ -268,5 +463,15 @@ mod tests {
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_are_written() {
+        let mut out = Vec::new();
+        let response = Response::json(503, "{}").with_header("retry-after", "1");
+        write_response(&mut out, &response, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
     }
 }

@@ -7,11 +7,22 @@
 //!   [`discretize::Discretizer`], vocabulary, class labels, and
 //!   provenance, so one file is sufficient to serve predictions on raw
 //!   continuous expression vectors.
-//! * [`http`] — a minimal dependency-free HTTP/1.1 reader/writer.
-//! * [`metrics`] — lock-free request counters and a latency histogram.
+//! * [`http`] — a minimal dependency-free HTTP/1.1 reader/writer with
+//!   per-request wall-clock deadlines.
+//! * [`metrics`] — lock-free request counters and a latency histogram,
+//!   including the fault-tolerance counters (shed, panics caught,
+//!   respawns, timeouts).
+//! * [`queue`] — the poison-free bounded acceptor→worker hand-off;
+//!   admission beyond its depth is shed with `503` + `Retry-After`.
 //! * [`server`] — a worker-pool TCP server exposing `/classify` (single
 //!   and batch), `/health`, `/model`, `/metrics`, and `/reload`
-//!   (hot-swap behind `RwLock<Arc<ModelBundle>>`).
+//!   (hot-swap behind `RwLock<Arc<ModelBundle>>`), with panic isolation
+//!   (`catch_unwind` → structured 500) and a supervisor that respawns
+//!   dead workers.
+//! * [`chaos`] — deterministic fault injection at named sites (enabled
+//!   under `cfg(test)` or the `chaos` feature; compiled out otherwise),
+//!   driving the chaos integration test that *measures* the above
+//!   instead of assuming it.
 //!
 //! ```no_run
 //! use serve::{serve, ModelBundle, Provenance, ServerConfig};
@@ -24,10 +35,12 @@
 //! ```
 
 pub mod bundle;
+pub mod chaos;
 pub mod http;
 pub mod metrics;
+pub mod queue;
 pub mod server;
 
 pub use bundle::{BundleError, ModelBundle, Prediction, Provenance, FORMAT_VERSION};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, MetricsSnapshot};
 pub use server::{serve, ServerConfig, ServerHandle};

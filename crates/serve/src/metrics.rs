@@ -39,6 +39,27 @@ pub struct Metrics {
     samples_classified: AtomicU64,
     /// Completed model hot-swaps.
     reloads: AtomicU64,
+    /// Rejected hot-swaps (bad file, failed checksum, ...); the old model
+    /// kept serving.
+    reload_failures: AtomicU64,
+    /// Connections the acceptor took from the listener.
+    conns_accepted: AtomicU64,
+    /// Connections answered `503 overloaded` because the hand-off queue
+    /// was full.
+    conns_shed: AtomicU64,
+    /// Connections a worker claimed from the queue (every accepted
+    /// connection ends up exactly once in `shed` or `handled`).
+    conns_handled: AtomicU64,
+    /// Handler panics converted into 500 responses by `catch_unwind`.
+    panics_caught: AtomicU64,
+    /// Dead workers replaced by the supervisor.
+    workers_respawned: AtomicU64,
+    /// Requests that hit their wall-clock deadline (408s).
+    request_timeouts: AtomicU64,
+    /// Gauge: workers currently alive.
+    workers_alive: AtomicU64,
+    /// Gauge: pool size the server was configured with.
+    workers_configured: AtomicU64,
     /// Histogram of `/classify` handler latency; `[i]` counts requests
     /// with latency ≤ `LATENCY_BUCKETS_US[i]`, the extra slot is +Inf.
     latency_counts: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
@@ -62,6 +83,9 @@ impl Metrics {
             _ => &self.other,
         };
         endpoint.record(status);
+        if status == 408 {
+            self.request_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records a `/classify` handler latency observation.
@@ -80,6 +104,65 @@ impl Metrics {
     /// Records a completed hot-swap.
     pub fn record_reload(&self) {
         self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a rejected hot-swap (the old model kept serving).
+    pub fn record_reload_failure(&self) {
+        self.reload_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection taken from the listener.
+    pub fn record_conn_accepted(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection shed with `503 overloaded` at admission.
+    pub fn record_conn_shed(&self) {
+        self.conns_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection claimed by a worker.
+    pub fn record_conn_handled(&self) {
+        self.conns_handled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a handler panic that was isolated into a 500 response.
+    pub fn record_panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one dead worker replaced by the supervisor.
+    pub fn record_worker_respawned(&self) {
+        self.workers_respawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the live-worker gauge.
+    pub fn set_workers_alive(&self, n: u64) {
+        self.workers_alive.store(n, Ordering::Relaxed);
+    }
+
+    /// Sets the configured pool-size gauge.
+    pub fn set_workers_configured(&self, n: u64) {
+        self.workers_configured.store(n, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy for tests and supervisors
+    /// (individual counters are exact; cross-counter skew is possible
+    /// while traffic is in flight).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_shed: self.conns_shed.load(Ordering::Relaxed),
+            conns_handled: self.conns_handled.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            workers_alive: self.workers_alive.load(Ordering::Relaxed),
+            workers_configured: self.workers_configured.load(Ordering::Relaxed),
+            request_timeouts: self.request_timeouts.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            reload_failures: self.reload_failures.load(Ordering::Relaxed),
+            samples_classified: self.samples_classified.load(Ordering::Relaxed),
+        }
     }
 
     /// Renders the Prometheus-style plaintext exposition.
@@ -116,6 +199,49 @@ impl Metrics {
             "# TYPE bstc_model_reloads_total counter\nbstc_model_reloads_total {}",
             self.reloads.load(Ordering::Relaxed)
         );
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_model_reload_failures_total counter\nbstc_model_reload_failures_total {}",
+            self.reload_failures.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE bstc_connections_total counter\n");
+        for (event, counter) in [
+            ("accepted", &self.conns_accepted),
+            ("shed", &self.conns_shed),
+            ("handled", &self.conns_handled),
+        ] {
+            let _ = writeln!(
+                out,
+                "bstc_connections_total{{event=\"{event}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_panics_caught_total counter\nbstc_panics_caught_total {}",
+            self.panics_caught.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_workers_respawned_total counter\nbstc_workers_respawned_total {}",
+            self.workers_respawned.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_request_timeouts_total counter\nbstc_request_timeouts_total {}",
+            self.request_timeouts.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE bstc_workers gauge\n");
+        let _ = writeln!(
+            out,
+            "bstc_workers{{state=\"alive\"}} {}",
+            self.workers_alive.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "bstc_workers{{state=\"configured\"}} {}",
+            self.workers_configured.load(Ordering::Relaxed)
+        );
         out.push_str("# TYPE bstc_classify_latency_us histogram\n");
         let mut cumulative = 0u64;
         for (i, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
@@ -132,6 +258,34 @@ impl Metrics {
         );
         out
     }
+}
+
+/// A point-in-time copy of the fault-tolerance counters (see
+/// [`Metrics::snapshot`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Connections taken from the listener.
+    pub conns_accepted: u64,
+    /// Connections answered `503 overloaded` at admission.
+    pub conns_shed: u64,
+    /// Connections claimed (and eventually finished) by a worker.
+    pub conns_handled: u64,
+    /// Handler panics isolated into 500s.
+    pub panics_caught: u64,
+    /// Dead workers replaced by the supervisor.
+    pub workers_respawned: u64,
+    /// Workers currently alive.
+    pub workers_alive: u64,
+    /// Configured pool size.
+    pub workers_configured: u64,
+    /// Requests that hit their wall-clock deadline.
+    pub request_timeouts: u64,
+    /// Completed hot-swaps.
+    pub reloads: u64,
+    /// Rejected hot-swaps.
+    pub reload_failures: u64,
+    /// Expression vectors classified.
+    pub samples_classified: u64,
 }
 
 #[cfg(test)]
@@ -162,6 +316,38 @@ mod tests {
         assert!(text.contains("bucket{le=\"+Inf\"} 3"), "{text}");
         assert!(text.contains("bstc_classify_latency_us_count 3"), "{text}");
         assert!(text.contains("bstc_classify_latency_us_sum 10000750"), "{text}");
+    }
+
+    #[test]
+    fn fault_tolerance_counters_render_and_snapshot() {
+        let m = Metrics::new();
+        m.set_workers_configured(4);
+        m.set_workers_alive(4);
+        for _ in 0..5 {
+            m.record_conn_accepted();
+        }
+        m.record_conn_shed();
+        for _ in 0..4 {
+            m.record_conn_handled();
+        }
+        m.record_panic_caught();
+        m.record_worker_respawned();
+        m.record_reload_failure();
+        m.record_request("/classify", 408);
+        let text = m.render();
+        assert!(text.contains("bstc_connections_total{event=\"accepted\"} 5"), "{text}");
+        assert!(text.contains("bstc_connections_total{event=\"shed\"} 1"), "{text}");
+        assert!(text.contains("bstc_connections_total{event=\"handled\"} 4"), "{text}");
+        assert!(text.contains("bstc_panics_caught_total 1"), "{text}");
+        assert!(text.contains("bstc_workers_respawned_total 1"), "{text}");
+        assert!(text.contains("bstc_model_reload_failures_total 1"), "{text}");
+        assert!(text.contains("bstc_request_timeouts_total 1"), "{text}");
+        assert!(text.contains("bstc_workers{state=\"alive\"} 4"), "{text}");
+        assert!(text.contains("bstc_workers{state=\"configured\"} 4"), "{text}");
+        let snap = m.snapshot();
+        assert_eq!(snap.conns_accepted, snap.conns_handled + snap.conns_shed);
+        assert_eq!(snap.panics_caught, 1);
+        assert_eq!(snap.request_timeouts, 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The concurrent inference server: a `TcpListener` acceptor feeding a
-//! fixed pool of worker threads over a channel, with the live
-//! [`ModelBundle`] behind `RwLock<Arc<...>>` so `POST /reload` can
+//! fixed pool of worker threads over a bounded hand-off queue, with the
+//! live [`ModelBundle`] behind `RwLock<Arc<...>>` so `POST /reload` can
 //! hot-swap models while classify traffic keeps flowing.
 //!
 //! Endpoints:
@@ -15,18 +15,42 @@
 //!
 //! Every client error is a structured JSON 4xx: `{"error": <machine
 //! code>, "detail": <human text>}`.
+//!
+//! ## Fault tolerance
+//!
+//! The serving loop is designed so no single request — however hostile —
+//! can degrade the pool:
+//!
+//! * **Panic isolation**: each request handler runs under
+//!   `catch_unwind`; a panic becomes a `500 {"error":"internal_error"}`
+//!   and a `bstc_panics_caught_total` tick, never a dead worker.
+//! * **Self-healing**: a supervisor thread reaps any worker that does
+//!   die and spawns a replacement (`bstc_workers_respawned_total`), so
+//!   the pool returns to full strength without intervention.
+//! * **Bounded admission**: the acceptor→worker hand-off is a
+//!   fixed-depth, poison-free queue; when it is full new connections are
+//!   immediately answered `503 {"error":"overloaded"}` with
+//!   `Retry-After`, keeping the latency of admitted requests bounded
+//!   instead of growing a queue without limit.
+//! * **Request deadlines**: a wall-clock budget
+//!   ([`ServerConfig::request_timeout`]) covers head read, body read,
+//!   and classification; slow-loris clients and stalled reads become
+//!   clean 408s. Graceful shutdown drains in-flight work under
+//!   [`ServerConfig::drain_timeout`].
 
 use crate::bundle::{ModelBundle, FORMAT_VERSION};
+use crate::chaos;
 use crate::http::{read_request, write_response, ReadError, Request, Response};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{BoundedQueue, Pop};
 use bstc::Scratch;
 use serde_json::{json, Value};
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -39,11 +63,28 @@ pub struct ServerConfig {
     pub threads: usize,
     /// File `POST /reload` re-reads; `None` disables reloading.
     pub bundle_path: Option<PathBuf>,
+    /// Accepted connections that may wait for a worker; arrivals beyond
+    /// this are shed with `503` + `Retry-After` instead of queued.
+    pub queue_depth: usize,
+    /// Wall-clock budget per request, from its first byte through
+    /// classification; exceeding it answers `408`. `None` disables the
+    /// deadline (not recommended outside tests).
+    pub request_timeout: Option<Duration>,
+    /// How long a graceful shutdown waits for in-flight connections
+    /// before abandoning the remaining workers.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { addr: "127.0.0.1:0".into(), threads: 0, bundle_path: None }
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            bundle_path: None,
+            queue_depth: 256,
+            request_timeout: Some(Duration::from_secs(10)),
+            drain_timeout: Duration::from_secs(5),
+        }
     }
 }
 
@@ -53,6 +94,21 @@ struct Shared {
     bundle_path: Option<PathBuf>,
     metrics: Metrics,
     shutting_down: AtomicBool,
+    queue: BoundedQueue<TcpStream>,
+    /// Overflow lane: connections refused admission wait here for the
+    /// shedder thread to answer them `503`, so writing rejections never
+    /// stalls the acceptor (and accepted connections behind it).
+    shed_queue: BoundedQueue<TcpStream>,
+    request_timeout: Option<Duration>,
+    drain_timeout: Duration,
+}
+
+impl Shared {
+    /// The live bundle; poisoning is recovered because the guarded value
+    /// is a plain `Arc` swap that no panic can leave half-written.
+    fn bundle(&self) -> Arc<ModelBundle> {
+        self.bundle.read().unwrap_or_else(PoisonError::into_inner).clone()
+    }
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -62,12 +118,16 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
+    shedder: JoinHandle<()>,
+    supervisor: JoinHandle<()>,
 }
 
-/// Idle keep-alive connections are polled at this cadence so workers
-/// notice shutdown promptly.
+/// Idle keep-alive connections and the worker queue are polled at this
+/// cadence so workers notice shutdown promptly.
 const IDLE_POLL: Duration = Duration::from_millis(250);
+
+/// How often the supervisor checks the pool for dead workers.
+const SUPERVISE_POLL: Duration = Duration::from_millis(20);
 
 /// Binds and starts serving `bundle` in background threads.
 ///
@@ -89,6 +149,10 @@ pub fn serve(config: ServerConfig, bundle: ModelBundle) -> io::Result<ServerHand
         bundle_path: config.bundle_path,
         metrics: Metrics::new(),
         shutting_down: AtomicBool::new(false),
+        queue: BoundedQueue::new(config.queue_depth),
+        shed_queue: BoundedQueue::new(config.queue_depth.max(64)),
+        request_timeout: config.request_timeout,
+        drain_timeout: config.drain_timeout,
     });
 
     let n_workers = if config.threads == 0 {
@@ -96,33 +160,10 @@ pub fn serve(config: ServerConfig, bundle: ModelBundle) -> io::Result<ServerHand
     } else {
         config.threads
     };
-    let (tx, rx) = mpsc::channel::<TcpStream>();
-    let rx = Arc::new(Mutex::new(rx));
-    let workers = (0..n_workers)
-        .map(|i| {
-            let rx = Arc::clone(&rx);
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("bstc-serve-worker-{i}"))
-                .spawn(move || {
-                    // One scratch per worker: the BSTCE kernels under every
-                    // /classify on this thread reuse it, so steady-state
-                    // classification allocates nothing. It simply regrows
-                    // if /reload swaps in a larger model.
-                    let mut scratch = Scratch::new();
-                    loop {
-                        // Holding the lock only for the recv keeps hand-off
-                        // fair.
-                        let next = { rx.lock().expect("worker poisoned").recv() };
-                        match next {
-                            Ok(stream) => handle_connection(&shared, stream, &mut scratch),
-                            Err(_) => break, // acceptor gone: shutdown
-                        }
-                    }
-                })
-                .expect("spawn worker")
-        })
-        .collect();
+    shared.metrics.set_workers_configured(n_workers as u64);
+    shared.metrics.set_workers_alive(n_workers as u64);
+    let workers: Vec<JoinHandle<()>> =
+        (0..n_workers).map(|i| spawn_worker(i, Arc::clone(&shared))).collect();
 
     let acceptor = {
         let shared = Arc::clone(&shared);
@@ -131,20 +172,133 @@ pub fn serve(config: ServerConfig, bundle: ModelBundle) -> io::Result<ServerHand
             .spawn(move || {
                 for stream in listener.incoming() {
                     if shared.shutting_down.load(Ordering::SeqCst) {
-                        break; // drops `tx`, draining the workers
+                        break;
                     }
-                    if let Ok(stream) = stream {
-                        // A send can only fail after shutdown started.
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
+                    let Ok(stream) = stream else { continue };
+                    shared.metrics.record_conn_accepted();
+                    if let Err(stream) = shared.queue.push(stream) {
+                        // Counted here, not in the shedder, so the ledger
+                        // (accepted == handled + shed) balances even when
+                        // the overflow lane itself is full and the
+                        // connection is dropped without a response.
+                        shared.metrics.record_conn_shed();
+                        drop(shared.shed_queue.push(stream));
                     }
                 }
             })
             .expect("spawn acceptor")
     };
 
-    Ok(ServerHandle { addr, shared, acceptor, workers })
+    let shedder = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("bstc-serve-shedder".into())
+            .spawn(move || loop {
+                match shared.shed_queue.pop(IDLE_POLL) {
+                    Pop::Item(stream) => shed(stream),
+                    Pop::Empty => continue,
+                    Pop::Closed => break,
+                }
+            })
+            .expect("spawn shedder")
+    };
+
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("bstc-serve-supervisor".into())
+            .spawn(move || supervise(shared, workers))
+            .expect("spawn supervisor")
+    };
+
+    Ok(ServerHandle { addr, shared, acceptor, shedder, supervisor })
+}
+
+/// Spawns one pool worker. `generation` only names the thread.
+fn spawn_worker(generation: usize, shared: Arc<Shared>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("bstc-serve-worker-{generation}"))
+        .spawn(move || {
+            // One scratch per worker: the BSTCE kernels under every
+            // /classify on this thread reuse it, so steady-state
+            // classification allocates nothing. It simply regrows if
+            // /reload swaps in a larger model.
+            let mut scratch = Scratch::new();
+            loop {
+                // Chaos site: hard worker death, *before* a connection is
+                // claimed, so an injected kill never orphans a client.
+                chaos::point("worker");
+                match shared.queue.pop(IDLE_POLL) {
+                    Pop::Item(stream) => {
+                        // Counted at claim time: accepted == handled + shed
+                        // holds even if this worker dies mid-connection.
+                        shared.metrics.record_conn_handled();
+                        handle_connection(&shared, stream, &mut scratch);
+                    }
+                    Pop::Empty => continue,
+                    Pop::Closed => break,
+                }
+            }
+        })
+        .expect("spawn worker")
+}
+
+/// Reaps dead workers, respawns them while the server is live, and
+/// drains the pool (bounded by the drain deadline) during shutdown.
+fn supervise(shared: Arc<Shared>, mut workers: Vec<JoinHandle<()>>) {
+    let mut generation = workers.len();
+    let mut drain_started: Option<Instant> = None;
+    loop {
+        let draining = shared.queue.is_closed();
+        let mut i = 0;
+        while i < workers.len() {
+            if workers[i].is_finished() {
+                let worker = workers.swap_remove(i);
+                let died = worker.join().is_err();
+                if died && !draining {
+                    shared.metrics.record_worker_respawned();
+                    workers.push(spawn_worker(generation, Arc::clone(&shared)));
+                    generation += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        shared.metrics.set_workers_alive(workers.len() as u64);
+        if draining {
+            if workers.is_empty() {
+                return;
+            }
+            let started = *drain_started.get_or_insert_with(Instant::now);
+            if started.elapsed() >= shared.drain_timeout {
+                // The remaining workers are pinned by connections that
+                // refuse to finish; abandon them so shutdown completes.
+                return;
+            }
+        }
+        std::thread::sleep(SUPERVISE_POLL);
+    }
+}
+
+/// Answers an un-admittable connection with `503` + `Retry-After` and
+/// closes it. The write is bounded so a hostile client cannot stall the
+/// shedder, and the close lingers briefly (the client's request was never
+/// read, so an abrupt close would RST the 503 out of its receive buffer).
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let response = error_response(503, "overloaded", "server is at capacity; retry shortly")
+        .with_header("retry-after", "1");
+    let _ = write_response(&mut stream, &response, false);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let started = Instant::now();
+    let mut sink = [0u8; 4096];
+    while started.elapsed() < Duration::from_millis(100) {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break, // client saw the 503 and closed
+            Ok(_) => continue,
+        }
+    }
 }
 
 impl ServerHandle {
@@ -153,24 +307,32 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, finishes in-flight requests, and joins every
-    /// thread.
+    /// A point-in-time copy of the serving metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stops accepting, drains queued and in-flight connections (up to
+    /// the configured drain deadline), and joins every thread.
     pub fn shutdown(self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         // Nudge the blocking accept() so the acceptor observes the flag.
         let _ = TcpStream::connect(self.addr);
         let _ = self.acceptor.join();
-        for w in self.workers {
-            let _ = w.join();
-        }
+        // Closing the queues lets workers (and the shedder) drain what
+        // was admitted, then exit; the supervisor stops respawning and
+        // joins the workers.
+        self.shared.shed_queue.close();
+        let _ = self.shedder.join();
+        self.shared.queue.close();
+        let _ = self.supervisor.join();
     }
 
     /// Blocks until the server stops (i.e. forever, absent a signal).
     pub fn wait(self) {
         let _ = self.acceptor.join();
-        for w in self.workers {
-            let _ = w.join();
-        }
+        let _ = self.shedder.join();
+        let _ = self.supervisor.join();
     }
 }
 
@@ -178,43 +340,103 @@ impl ServerHandle {
 fn handle_connection(shared: &Shared, stream: TcpStream, scratch: &mut Scratch) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    // A stalled reader cannot pin the worker on the write side either.
+    let _ =
+        stream.set_write_timeout(Some(shared.request_timeout.unwrap_or(Duration::from_secs(10))));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
     loop {
-        match read_request(&mut reader) {
-            Ok(request) => {
-                let response = route(shared, &request, scratch);
+        match read_request(&mut reader, shared.request_timeout) {
+            Ok((request, started)) => {
+                let deadline = shared.request_timeout.map(|budget| started + budget);
+                // Panic isolation: whatever a handler does, the worker
+                // survives and the client gets a structured 500.
+                let response = match catch_unwind(AssertUnwindSafe(|| {
+                    route(shared, &request, scratch, deadline)
+                })) {
+                    Ok(response) => response,
+                    Err(_) => {
+                        // The unwound handler may have left the scratch
+                        // mid-mutation; replace it wholesale.
+                        *scratch = Scratch::new();
+                        shared.metrics.record_panic_caught();
+                        error_response(
+                            500,
+                            "internal_error",
+                            "request handler panicked; the worker recovered",
+                        )
+                    }
+                };
                 shared.metrics.record_request(&request.path, response.status);
-                let keep_alive = request.keep_alive && !shared.shutting_down.load(Ordering::SeqCst);
-                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+                let keep_alive = request.keep_alive
+                    && response.status < 500
+                    && !shared.shutting_down.load(Ordering::SeqCst);
+                let wrote = chaos::io_point("write")
+                    .and_then(|()| write_response(&mut writer, &response, keep_alive));
+                if wrote.is_err() || !keep_alive {
                     return;
                 }
             }
             Err(ReadError::Closed) => return,
-            Err(ReadError::Io(e))
-                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
-            {
+            Err(ReadError::Idle) => {
                 // Idle keep-alive connection: poll the shutdown flag.
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     return;
                 }
             }
+            Err(ReadError::Timeout(detail)) => {
+                let body = error_body("request_timeout", &detail);
+                shared.metrics.record_request("timeout", 408);
+                if write_response(&mut writer, &Response::json(408, body), false).is_ok() {
+                    drain_then_close(&mut reader);
+                }
+                return;
+            }
             Err(ReadError::Io(_)) => return,
             Err(ReadError::Malformed(detail)) => {
                 let body = error_body("malformed_request", &detail);
                 shared.metrics.record_request("malformed", 400);
-                let _ = write_response(&mut writer, &Response::json(400, body), false);
+                if write_response(&mut writer, &Response::json(400, body), false).is_ok() {
+                    drain_then_close(&mut reader);
+                }
                 return;
             }
             Err(ReadError::TooLarge(detail)) => {
                 let body = error_body("payload_too_large", &detail);
                 shared.metrics.record_request("malformed", 413);
-                let _ = write_response(&mut writer, &Response::json(413, body), false);
+                if write_response(&mut writer, &Response::json(413, body), false).is_ok() {
+                    drain_then_close(&mut reader);
+                }
                 return;
             }
+        }
+    }
+}
+
+/// Lingering close after an error response on a connection with unread
+/// input: without it, closing the socket while client bytes are still
+/// in flight raises a TCP RST that can destroy the very 4xx we just
+/// wrote before the client reads it. Sends FIN, then discards input
+/// briefly so the response survives the close.
+fn drain_then_close(reader: &mut BufReader<TcpStream>) {
+    use std::io::Read as _;
+    let stream = reader.get_ref();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let mut sink = [0u8; 4096];
+    while Instant::now() < deadline {
+        match reader.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue
+            }
+            Err(_) => break,
         }
     }
 }
@@ -231,13 +453,19 @@ fn error_response(status: u16, code: &str, detail: &str) -> Response {
     Response::json(status, error_body(code, detail))
 }
 
-/// Dispatches one parsed request.
-fn route(shared: &Shared, request: &Request, scratch: &mut Scratch) -> Response {
+/// Dispatches one parsed request. `deadline` is the wall-clock point at
+/// which the whole request's budget expires (None = no deadline).
+fn route(
+    shared: &Shared,
+    request: &Request,
+    scratch: &mut Scratch,
+    deadline: Option<Instant>,
+) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => handle_health(shared),
         ("GET", "/model") => handle_model(shared),
         ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
-        ("POST", "/classify") => handle_classify(shared, &request.body, scratch),
+        ("POST", "/classify") => handle_classify(shared, &request.body, scratch, deadline),
         ("POST", "/reload") => handle_reload(shared, &request.body),
         (_, "/health" | "/model" | "/metrics" | "/classify" | "/reload") => error_response(
             405,
@@ -249,13 +477,13 @@ fn route(shared: &Shared, request: &Request, scratch: &mut Scratch) -> Response 
 }
 
 fn handle_health(shared: &Shared) -> Response {
-    let bundle = shared.bundle.read().expect("bundle lock poisoned").clone();
+    let bundle = shared.bundle();
     let body = json!({"status": "ok", "dataset": bundle.provenance.dataset.clone()});
     Response::json(200, serde_json::to_string(&body).expect("static shape"))
 }
 
 fn handle_model(shared: &Shared) -> Response {
-    let bundle = shared.bundle.read().expect("bundle lock poisoned").clone();
+    let bundle = shared.bundle();
     let provenance = match serde_json::to_value(&bundle.provenance) {
         Ok(v) => v,
         Err(e) => return error_response(500, "serialize_failed", &e.to_string()),
@@ -274,11 +502,32 @@ fn handle_model(shared: &Shared) -> Response {
     }
 }
 
+/// 408 if the request's wall-clock budget has already expired.
+fn check_deadline(deadline: Option<Instant>, phase: &str) -> Option<Response> {
+    let deadline = deadline?;
+    if Instant::now() >= deadline {
+        return Some(error_response(
+            408,
+            "request_timeout",
+            &format!("request exceeded its wall-clock budget while {phase}"),
+        ));
+    }
+    None
+}
+
 /// `POST /classify` body: either `{"values": [..]}` (one vector) or
 /// `{"samples": [[..], ..]}` (a batch). Batches answer with one
 /// prediction per row, in order.
-fn handle_classify(shared: &Shared, body: &[u8], scratch: &mut Scratch) -> Response {
+fn handle_classify(
+    shared: &Shared,
+    body: &[u8],
+    scratch: &mut Scratch,
+    deadline: Option<Instant>,
+) -> Response {
     let started = Instant::now();
+    // Chaos site: an injected panic here exercises the catch_unwind
+    // isolation exactly where real classify bugs would fire.
+    chaos::point("classify");
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
         Err(_) => return error_response(400, "bad_encoding", "body must be UTF-8 JSON"),
@@ -287,7 +536,7 @@ fn handle_classify(shared: &Shared, body: &[u8], scratch: &mut Scratch) -> Respo
         Ok(v) => v,
         Err(e) => return error_response(400, "bad_json", &e.to_string()),
     };
-    let bundle = shared.bundle.read().expect("bundle lock poisoned").clone();
+    let bundle = shared.bundle();
 
     let (rows, batched) = if let Some(values) = value.get("values") {
         match parse_vector(values) {
@@ -314,6 +563,14 @@ fn handle_classify(shared: &Shared, body: &[u8], scratch: &mut Scratch) -> Respo
 
     let mut predictions = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
+        // Large batches honour the same deadline as the reads: check
+        // every few rows so a huge batch cannot smuggle in unbounded
+        // compute past the admission controls.
+        if i % 64 == 0 {
+            if let Some(timeout) = check_deadline(deadline, "classifying the batch") {
+                return timeout;
+            }
+        }
         match bundle.classify_row_with(row, scratch) {
             Ok(p) => predictions.push(p),
             Err(e) => {
@@ -338,8 +595,13 @@ fn handle_classify(shared: &Shared, body: &[u8], scratch: &mut Scratch) -> Respo
 }
 
 /// `POST /reload`: re-reads the configured bundle file (or, with a
-/// `{"path": ...}` body, another file) and atomically swaps it in.
+/// `{"path": ...}` body, another file) and atomically swaps it in. A
+/// file that cannot be loaded or validated never interrupts serving:
+/// the old model stays live and the failure is a structured 409/500
+/// plus a `bstc_model_reload_failures_total` tick.
 fn handle_reload(shared: &Shared, body: &[u8]) -> Response {
+    // Chaos site: a slow reload pins this worker, not the server.
+    chaos::point("reload");
     let override_path = match std::str::from_utf8(body) {
         Ok(text) if !text.trim().is_empty() => match serde_json::from_str::<Value>(text) {
             Ok(v) => v.get("path").and_then(Value::as_str).map(PathBuf::from),
@@ -360,7 +622,7 @@ fn handle_reload(shared: &Shared, body: &[u8]) -> Response {
     match ModelBundle::load(&path) {
         Ok(bundle) => {
             let dataset = bundle.provenance.dataset.clone();
-            *shared.bundle.write().expect("bundle lock poisoned") = Arc::new(bundle);
+            *shared.bundle.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(bundle);
             shared.metrics.record_reload();
             let body =
                 json!({"reloaded": true, "path": path.display().to_string(), "dataset": dataset});
@@ -368,7 +630,10 @@ fn handle_reload(shared: &Shared, body: &[u8]) -> Response {
         }
         // The old model keeps serving: a bad file must never take the
         // process down or leave it empty-handed.
-        Err(e) => error_response(400, "reload_failed", &e.to_string()),
+        Err(e) => {
+            shared.metrics.record_reload_failure();
+            error_response(e.http_status(), "reload_failed", &e.to_string())
+        }
     }
 }
 
@@ -419,6 +684,10 @@ mod tests {
             bundle_path: None,
             metrics: Metrics::new(),
             shutting_down: AtomicBool::new(false),
+            queue: BoundedQueue::new(4),
+            shed_queue: BoundedQueue::new(4),
+            request_timeout: Some(Duration::from_secs(10)),
+            drain_timeout: Duration::from_secs(1),
         }
     }
 
@@ -434,6 +703,7 @@ mod tests {
                 keep_alive: false,
             },
             &mut scratch,
+            None,
         )
     }
 
@@ -485,5 +755,22 @@ mod tests {
         let r = post(&s, "/reload", "");
         assert_eq!(r.status, 400);
         assert!(std::str::from_utf8(&r.body).unwrap().contains("no_bundle_path"));
+    }
+
+    #[test]
+    fn expired_deadline_answers_408_before_classifying() {
+        let s = shared();
+        let mut scratch = Scratch::new();
+        let request = Request {
+            method: "POST".into(),
+            path: "/classify".into(),
+            headers: vec![],
+            body: b"{\"values\": [1.0, 4.0]}".to_vec(),
+            keep_alive: false,
+        };
+        let expired = Instant::now() - Duration::from_millis(1);
+        let r = route(&s, &request, &mut scratch, Some(expired));
+        assert_eq!(r.status, 408);
+        assert!(std::str::from_utf8(&r.body).unwrap().contains("request_timeout"));
     }
 }

@@ -1,0 +1,317 @@
+//! Chaos harness: hammers a live server with a mixed hostile workload
+//! (valid one-shot, valid keep-alive, malformed, oversized, half-open,
+//! slow-writer clients, concurrent reloads) while deterministic faults
+//! are injected at the named chaos sites — panics in classify, hard
+//! worker kills, I/O errors on the write path, stalls in reload — and
+//! then *measures* that the fault-tolerance story holds:
+//!
+//! * every connection reached a terminal outcome (response or clean
+//!   close) — nothing hung, nothing was silently dropped;
+//! * `/health` still answers 200;
+//! * the worker pool is back at full strength, with every injected
+//!   worker death matched by a supervisor respawn;
+//! * the admission ledger balances: accepted = handled + shed.
+//!
+//! Build with `--features chaos` (CI does); without the feature this
+//! file compiles to nothing and `cargo test` is unaffected.
+#![cfg(feature = "chaos")]
+
+use serve::chaos::{self, Fault, Trigger};
+use serve::{serve, ModelBundle, Provenance, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 4;
+
+fn dataset(seed: u64) -> microarray::ContinuousDataset {
+    microarray::synth::presets::all_aml(seed).scaled_down(40).generate()
+}
+
+fn boot() -> (ServerHandle, PathBuf, Vec<f64>) {
+    let data = dataset(23);
+    let bundle = ModelBundle::train(&data, Provenance::new("chaos", Some(23))).unwrap();
+    let row = data.row(0).to_vec();
+    let path = std::env::temp_dir().join(format!("bstc_chaos_bundle_{}.json", std::process::id()));
+    bundle.save(&path).unwrap();
+    let handle = serve(
+        ServerConfig {
+            threads: WORKERS,
+            queue_depth: 64,
+            request_timeout: Some(Duration::from_millis(1000)),
+            drain_timeout: Duration::from_secs(5),
+            bundle_path: Some(path.clone()),
+            ..ServerConfig::default()
+        },
+        bundle,
+    )
+    .unwrap();
+    (handle, path, row)
+}
+
+/// Terminal outcome of one client connection. There is deliberately no
+/// "hung" variant: a read timeout panics the client thread and fails
+/// the test, because a hang is exactly what the server must not do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Outcome {
+    Status(u16),
+    /// The server closed without a response (legal only under injected
+    /// write faults or mid-write kills).
+    ClosedByServer,
+}
+
+/// One-shot request: fresh connection, `connection: close`, full write,
+/// then read the outcome. Panics (= test failure) on a client-side read
+/// timeout, i.e. a server hang.
+fn one_shot(addr: SocketAddr, method: &str, path: &str, body: &str) -> Outcome {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: chaos\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    read_outcome(stream)
+}
+
+fn read_outcome(stream: TcpStream) -> Outcome {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    match reader.read_line(&mut status_line) {
+        Ok(0) => Outcome::ClosedByServer,
+        Ok(_) => {
+            let status: u16 = status_line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("garbled status line '{status_line}'"));
+            // Drain the rest so the server never sees us as a slow reader.
+            let mut rest = Vec::new();
+            let _ = reader.read_to_end(&mut rest);
+            Outcome::Status(status)
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            panic!("client read timed out: the server hung a connection")
+        }
+        Err(_) => Outcome::ClosedByServer,
+    }
+}
+
+fn assert_allowed(outcome: Outcome, allowed: &[u16], who: &str) {
+    match outcome {
+        Outcome::ClosedByServer => {} // injected write fault / worker kill
+        Outcome::Status(s) => {
+            assert!(allowed.contains(&s), "{who}: unexpected status {s} (allowed {allowed:?})")
+        }
+    }
+}
+
+#[test]
+fn mixed_workload_with_injected_faults_leaves_the_server_healthy() {
+    let (handle, bundle_path, row) = boot();
+    let addr = handle.addr();
+    let classify_body = {
+        let values: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        format!("{{\"values\":[{}]}}", values.join(","))
+    };
+
+    // Deterministic fault plan (fixed seeds → reproducible fire streams).
+    chaos::inject("classify", Fault::Panic, Trigger::Probability { p: 0.05, seed: 1234 });
+    chaos::inject("write", Fault::IoError, Trigger::Probability { p: 0.05, seed: 5678 });
+    chaos::inject("reload", Fault::Delay(Duration::from_millis(100)), Trigger::EveryNth(2));
+    chaos::inject("worker", Fault::Panic, Trigger::EveryNth(120));
+
+    std::thread::scope(|scope| {
+        // 1. Valid one-shot clients.
+        for t in 0..4 {
+            let classify_body = &classify_body;
+            scope.spawn(move || {
+                for _ in 0..60 {
+                    let outcome = one_shot(addr, "POST", "/classify", classify_body);
+                    assert_allowed(outcome, &[200, 500, 503, 408], &format!("one-shot-{t}"));
+                }
+            });
+        }
+        // 2. Valid keep-alive clients (reconnect when a fault closes them).
+        for t in 0..2 {
+            let classify_body = &classify_body;
+            scope.spawn(move || {
+                let mut conn: Option<BufReader<TcpStream>> = None;
+                for _ in 0..30 {
+                    let mut reader = conn.take().unwrap_or_else(|| {
+                        let s = TcpStream::connect(addr).expect("connect");
+                        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                        BufReader::new(s)
+                    });
+                    let head = format!(
+                        "POST /classify HTTP/1.1\r\nhost: chaos\r\ncontent-length: {}\r\n\r\n",
+                        classify_body.len()
+                    );
+                    let sent = reader
+                        .get_mut()
+                        .write_all(head.as_bytes())
+                        .and_then(|()| reader.get_mut().write_all(classify_body.as_bytes()));
+                    if sent.is_err() {
+                        continue; // stale conn: retry on a fresh one
+                    }
+                    let mut status_line = String::new();
+                    match reader.read_line(&mut status_line) {
+                        Ok(0) | Err(_) => continue, // injected fault closed us
+                        Ok(_) => {}
+                    }
+                    let status: u16 = status_line
+                        .split_whitespace()
+                        .nth(1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0);
+                    assert!(
+                        [200, 500, 503, 408].contains(&status),
+                        "keep-alive-{t}: unexpected status {status}"
+                    );
+                    // Consume headers + body to stay a well-behaved peer.
+                    let mut content_length = 0usize;
+                    loop {
+                        let mut line = String::new();
+                        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                            break;
+                        }
+                        let line = line.trim_end().to_ascii_lowercase();
+                        if line.is_empty() {
+                            break;
+                        }
+                        if let Some(v) = line.strip_prefix("content-length:") {
+                            content_length = v.trim().parse().unwrap_or(0);
+                        }
+                    }
+                    let mut body = vec![0u8; content_length];
+                    if reader.read_exact(&mut body).is_ok() && status == 200 {
+                        conn = Some(reader); // server kept it open
+                    }
+                }
+            });
+        }
+        // 3. Malformed clients.
+        for t in 0..2 {
+            scope.spawn(move || {
+                for i in 0..30 {
+                    let garbage: &[u8] = match i % 3 {
+                        0 => b"THIS IS NOT HTTP AT ALL\r\n\r\n",
+                        1 => b"POST /classify HTTP/1.1\r\nno colon\r\n\r\n",
+                        _ => b"POST /classify HTTP/1.1\r\ncontent-length: 9\r\n\r\n{\"va", // lies
+                    };
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    let _ = stream.write_all(garbage);
+                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                    assert_allowed(
+                        read_outcome(stream),
+                        &[400, 503, 408],
+                        &format!("malformed-{t}"),
+                    );
+                }
+            });
+        }
+        // 4. Oversized clients: a declared 17 MiB body is refused before
+        // a byte of it is read.
+        scope.spawn(move || {
+            for _ in 0..10 {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                let head = format!(
+                    "POST /classify HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                    17 * 1024 * 1024
+                );
+                let _ = stream.write_all(head.as_bytes());
+                assert_allowed(read_outcome(stream), &[413, 503], "oversized");
+            }
+        });
+        // 5. Slow writers: trickle a head slower than the budget allows.
+        for t in 0..2 {
+            scope.spawn(move || {
+                for _ in 0..2 {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    for &byte in b"GET /health HTTP/1.1\r\nx-drip: aaaaaaaaaaaaaaaaaaaaaaaa" {
+                        if stream.write_all(&[byte]).is_err() {
+                            break; // server already timed us out
+                        }
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    assert_allowed(read_outcome(stream), &[408, 503], &format!("slow-{t}"));
+                }
+            });
+        }
+        // 6. Half-open clients: connect, send nothing, hold, then leave.
+        for _ in 0..2 {
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                std::thread::sleep(Duration::from_millis(1500));
+                drop(stream);
+            });
+        }
+        // 7. Reload hammer (every 2nd reload stalled by injection).
+        {
+            let bundle_path = &bundle_path;
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    let body = format!("{{\"path\": \"{}\"}}", bundle_path.display());
+                    let outcome = one_shot(addr, "POST", "/reload", &body);
+                    assert_allowed(outcome, &[200, 500, 503, 408], "reloader");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            });
+        }
+    });
+
+    // Capture fire counts, then disarm so the assertion phase is quiet.
+    let classify_fires = chaos::fired("classify");
+    let write_fires = chaos::fired("write");
+    let reload_fires = chaos::fired("reload");
+    let worker_fires = chaos::fired("worker");
+    chaos::clear();
+
+    // The fault plan actually exercised every site.
+    assert!(classify_fires >= 1, "no classify panics fired");
+    assert!(write_fires >= 1, "no write faults fired");
+    assert!(reload_fires >= 1, "no reload stalls fired");
+    assert!(worker_fires >= 1, "no worker kills fired");
+
+    // The pool self-heals: every injected worker death is matched by a
+    // respawn and the pool returns to full strength.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let healed = loop {
+        let snap = handle.metrics_snapshot();
+        if snap.workers_alive == WORKERS as u64 && snap.workers_respawned == worker_fires {
+            break snap;
+        }
+        assert!(Instant::now() < deadline, "pool never healed: {snap:?}, {worker_fires} kills");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(healed.workers_configured, WORKERS as u64);
+    assert_eq!(healed.panics_caught, classify_fires, "every classify panic must be isolated");
+
+    // Liveness after the storm.
+    assert_eq!(one_shot(addr, "GET", "/health", ""), Outcome::Status(200));
+
+    // The admission ledger balances once the queue drains: accepted =
+    // handled + shed, i.e. no connection was silently dropped.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = handle.metrics_snapshot();
+        if snap.conns_accepted == snap.conns_handled + snap.conns_shed {
+            break;
+        }
+        assert!(Instant::now() < deadline, "ledger never balanced: {snap:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    handle.shutdown();
+    std::fs::remove_file(&bundle_path).ok();
+}

@@ -62,8 +62,12 @@ fn full_server_lifecycle_over_real_sockets() {
     let path = tmp("live_bundle.json");
     bundle_a.save(&path).unwrap();
 
-    let config =
-        ServerConfig { addr: "127.0.0.1:0".into(), threads: 3, bundle_path: Some(path.clone()) };
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 3,
+        bundle_path: Some(path.clone()),
+        ..ServerConfig::default()
+    };
     let handle = serve(config, bundle_a.clone()).unwrap();
     let addr = handle.addr();
 
@@ -143,10 +147,10 @@ fn full_server_lifecycle_over_real_sockets() {
         Some("dataset-b")
     );
 
-    // -- a corrupt file fails the reload and keeps the old model -----
+    // -- a corrupt file fails the reload (409) and keeps the old model
     std::fs::write(&path, "{ not a bundle").unwrap();
     let (status, body) = request(addr, "POST", "/reload", "");
-    assert_eq!(status, 400, "{body}");
+    assert_eq!(status, 409, "{body}");
     assert_eq!(json(&body).get("error").unwrap().as_str(), Some("reload_failed"));
     let (_, body) = request(addr, "GET", "/model", "");
     assert_eq!(
@@ -155,12 +159,40 @@ fn full_server_lifecycle_over_real_sockets() {
         "failed reload must not unload the serving model"
     );
 
+    // -- a bundle corrupted mid-flight (payload flipped after the
+    // checksum was computed, as a half-written file would look) is a
+    // 409 and keeps the old model too --------------------------------
+    let good = bundle(19, "dataset-c").to_json().unwrap();
+    std::fs::write(&path, good.replace("\"dataset\":\"dataset-c\"", "\"dataset\":\"dataset-X\""))
+        .unwrap();
+    let (status, body) = request(addr, "POST", "/reload", "");
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("checksum"), "{body}");
+    let (_, body) = request(addr, "GET", "/model", "");
+    assert_eq!(
+        json(&body).get("provenance").unwrap().get("dataset").unwrap().as_str(),
+        Some("dataset-b"),
+        "mid-flight corruption must not unload the serving model"
+    );
+
+    // -- a missing bundle file is the server's fault: 500 -------------
+    let (status, body) =
+        request(addr, "POST", "/reload", "{\"path\": \"/nonexistent/bundle.json\"}");
+    assert_eq!(status, 500, "{body}");
+    assert_eq!(json(&body).get("error").unwrap().as_str(), Some("reload_failed"));
+
     // -- metrics reflect the traffic this test generated -------------
     let (status, text) = request(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
     assert!(text.contains("bstc_requests_total{route=\"/classify\"}"), "{text}");
     assert!(text.contains("bstc_samples_classified_total"), "{text}");
     assert!(text.contains("bstc_model_reloads_total 1"), "{text}");
+    assert!(text.contains("bstc_model_reload_failures_total 3"), "{text}");
+    assert!(text.contains("bstc_workers{state=\"configured\"} 3"), "{text}");
+    assert!(text.contains("bstc_workers{state=\"alive\"} 3"), "{text}");
+    assert!(text.contains("bstc_workers_respawned_total 0"), "{text}");
+    assert!(text.contains("bstc_panics_caught_total 0"), "{text}");
+    assert!(text.contains("bstc_connections_total{event=\"accepted\"}"), "{text}");
     assert!(text.contains("bstc_classify_latency_us_bucket{le=\"+Inf\"}"), "{text}");
     let classified: u64 = text
         .lines()

@@ -85,7 +85,8 @@ commands:
   train      --data FILE.tsv --save BUNDLE.json [--dataset NAME] [--seed N]
   classify   --model FILE.json --data FILE.tsv
   mine       --data FILE.tsv --class N [-k K]
-  serve      --model BUNDLE.json [--addr HOST:PORT] [--threads N]";
+  serve      --model BUNDLE.json [--addr HOST:PORT] [--threads N]
+             [--queue-depth N] [--request-timeout SECS]  (0 disables the deadline)";
 
 /// Pulls `--flag value` pairs out of an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -283,6 +284,16 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let bundle_path = require(args, "--model")?;
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8642".to_string());
     let threads: usize = parse_flag(args, "--threads")?.unwrap_or(0);
+    let defaults = ServerConfig::default();
+    let queue_depth: usize = parse_flag(args, "--queue-depth")?.unwrap_or(defaults.queue_depth);
+    // Wall-clock budget per request in (possibly fractional) seconds;
+    // `--request-timeout 0` switches the deadline off entirely.
+    let request_timeout = match parse_flag::<f64>(args, "--request-timeout")? {
+        None => defaults.request_timeout,
+        Some(secs) if secs <= 0.0 => None,
+        Some(secs) if secs.is_finite() => Some(std::time::Duration::from_secs_f64(secs)),
+        Some(_) => return Err(CliError::Usage("bad value for --request-timeout".into())),
+    };
     let bundle = ModelBundle::load(&bundle_path).map_err(err)?;
     eprintln!(
         "loaded bundle {} (dataset '{}', {} genes, {} classes: {:?})",
@@ -292,8 +303,14 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         bundle.n_classes(),
         bundle.class_names
     );
-    let config =
-        ServerConfig { addr, threads, bundle_path: Some(std::path::PathBuf::from(&bundle_path)) };
+    let config = ServerConfig {
+        addr,
+        threads,
+        queue_depth,
+        request_timeout,
+        bundle_path: Some(std::path::PathBuf::from(&bundle_path)),
+        ..defaults
+    };
     let handle = serve::serve(config, bundle).map_err(err)?;
     eprintln!("serving on http://{} (POST /classify, GET /health|/model|/metrics)", handle.addr());
     handle.wait();
