@@ -41,6 +41,26 @@ struct Report {
     compiled_p99_us: f64,
     reference_p50_us: f64,
     reference_p99_us: f64,
+    /// Per-stage pipeline breakdown from the `obs` global registry
+    /// (`mdl_cuts`, `binarize`, `bst_build` ×classes, `compile`).
+    stages: Vec<StageEntry>,
+}
+
+/// One pipeline stage in the report.
+#[derive(Serialize)]
+struct StageEntry {
+    stage: String,
+    count: u64,
+    total_secs: f64,
+}
+
+/// Snapshot of the global stage registry as report entries.
+fn stage_entries() -> Vec<StageEntry> {
+    obs::global()
+        .totals()
+        .into_iter()
+        .map(|t| StageEntry { stage: t.name, count: t.count, total_secs: t.sum_us as f64 / 1e6 })
+        .collect()
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -131,8 +151,9 @@ fn main() {
     let mut scratch = Scratch::for_model(&compiled);
     let compiled_ns = per_query(&mut |q| compiled.classify(q, &mut scratch));
     let reference_ns = per_query(&mut |q| model.classify(q));
-    let pct =
-        |sorted: &[u64], p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize] as f64 / 1e3;
+    // Shared nearest-rank helper: the old truncating index under-reported
+    // p99 on the 256-sample latency runs (read index 252, not 253).
+    let pct = |sorted: &[u64], p: f64| obs::percentile_of_sorted(sorted, p) as f64 / 1e3;
 
     let report = Report {
         dataset: config.name.clone(),
@@ -151,7 +172,12 @@ fn main() {
         compiled_p99_us: pct(&compiled_ns, 0.99),
         reference_p50_us: pct(&reference_ns, 0.50),
         reference_p99_us: pct(&reference_ns, 0.99),
+        stages: stage_entries(),
     };
+
+    for s in &report.stages {
+        println!("stage {}: {} span(s), {:.4}s total", s.stage, s.count, s.total_secs);
+    }
 
     println!(
         "batch: reference {:.1} q/s, compiled {:.1} q/s — {:.1}x",

@@ -1,0 +1,204 @@
+//! Prometheus-exposition lint for `GET /metrics`, run by CI.
+//!
+//! Boots a real server on a trained bundle, drives a little traffic
+//! (including a training pipeline so the stage registry is populated),
+//! scrapes `/metrics` over plain TCP, and checks the exposition rules a
+//! scraper relies on:
+//!
+//! * every sample line belongs to a metric family announced by a
+//!   `# TYPE` line earlier in the exposition (histogram `_bucket` /
+//!   `_sum` / `_count` samples map to their base family);
+//! * within each histogram series (same labels minus `le`), cumulative
+//!   bucket counts are monotone non-decreasing, a `+Inf` bucket exists,
+//!   and it equals the series' `_count`.
+//!
+//! Exits nonzero with a description of every violation.
+
+use serve::{serve, ModelBundle, Provenance, ServerConfig};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn get(addr: SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nconnection: close\r\n\r\n").as_bytes())
+        .expect("write");
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    response
+}
+
+/// Splits `name{labels}` / bare `name`; returns (name, labels-with-braces).
+fn split_name(sample: &str) -> (&str, &str) {
+    match sample.find('{') {
+        Some(i) => (&sample[..i], &sample[i..]),
+        None => (sample, ""),
+    }
+}
+
+/// Family a sample belongs to: histogram suffixes map to the base name.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    name
+}
+
+fn lint(text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut typed: BTreeMap<String, String> = BTreeMap::new(); // family -> type
+                                                               // Histogram series state: (family, labels-minus-le) -> bucket values
+                                                               // in exposition order, the +Inf value, and the _count value.
+    let mut buckets: BTreeMap<(String, String), Vec<u64>> = BTreeMap::new();
+    let mut inf: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some(name), Some(kind)) => {
+                    typed.insert(name.to_string(), kind.to_string());
+                }
+                _ => violations.push(format!("line {lineno}: malformed TYPE line '{line}'")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((sample, value)) = line.rsplit_once(' ') else {
+            violations.push(format!("line {lineno}: no sample value in '{line}'"));
+            continue;
+        };
+        let (name, labels) = split_name(sample);
+        let family = family_of(name);
+        let Some(kind) = typed.get(family) else {
+            violations
+                .push(format!("line {lineno}: sample '{name}' has no preceding # TYPE {family}"));
+            continue;
+        };
+        let is_histogram_part = name != family;
+        if is_histogram_part && kind != "histogram" {
+            violations.push(format!(
+                "line {lineno}: '{name}' looks like a histogram sample but {family} is a {kind}"
+            ));
+        }
+        let Ok(value) = value.parse::<f64>() else {
+            violations.push(format!("line {lineno}: non-numeric value in '{line}'"));
+            continue;
+        };
+        if kind == "histogram" && is_histogram_part {
+            let series_labels: String = labels
+                .trim_start_matches('{')
+                .trim_end_matches('}')
+                .split(',')
+                .filter(|kv| !kv.starts_with("le=") && !kv.is_empty())
+                .collect::<Vec<_>>()
+                .join(",");
+            let key = (family.to_string(), series_labels);
+            if name.ends_with("_bucket") {
+                buckets.entry(key.clone()).or_default().push(value as u64);
+                if labels.contains("le=\"+Inf\"") {
+                    inf.insert(key, value as u64);
+                }
+            } else if name.ends_with("_count") {
+                counts.insert(key, value as u64);
+            }
+        }
+    }
+
+    for (key, series) in &buckets {
+        if series.windows(2).any(|w| w[0] > w[1]) {
+            violations.push(format!("histogram {key:?}: bucket counts not monotone: {series:?}"));
+        }
+        match (inf.get(key), counts.get(key)) {
+            (None, _) => violations.push(format!("histogram {key:?}: no +Inf bucket")),
+            (Some(inf), Some(count)) if inf != count => {
+                violations.push(format!("histogram {key:?}: +Inf bucket {inf} != _count {count}"))
+            }
+            (Some(_), None) => violations.push(format!("histogram {key:?}: no _count sample")),
+            _ => {}
+        }
+    }
+    violations
+}
+
+fn main() {
+    // Train in-process so the stage registry renders real spans too.
+    let data = microarray::synth::presets::all_aml(11).scaled_down(40).generate();
+    let bundle = ModelBundle::train(&data, Provenance::new("metrics-lint", Some(11))).unwrap();
+    let handle = serve(ServerConfig { threads: 2, ..ServerConfig::default() }, bundle)
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot boot server: {e}");
+            std::process::exit(1);
+        });
+    let addr = handle.addr();
+
+    // Traffic so every endpoint family and latency histogram has samples.
+    for target in ["/health", "/model", "/metrics", "/nope"] {
+        let _ = get(addr, target);
+    }
+
+    let response = get(addr, "/metrics");
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        eprintln!("error: unparseable /metrics response");
+        std::process::exit(1);
+    };
+    if !head.starts_with("HTTP/1.1 200") {
+        eprintln!("error: /metrics returned {}", head.lines().next().unwrap_or(""));
+        std::process::exit(1);
+    }
+
+    let violations = lint(body);
+    handle.shutdown();
+    if violations.is_empty() {
+        let families = body.lines().filter(|l| l.starts_with("# TYPE ")).count();
+        let samples = body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count();
+        println!("metrics_lint: OK — {families} families, {samples} samples, 0 violations");
+    } else {
+        eprintln!("metrics_lint: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lint;
+
+    #[test]
+    fn clean_exposition_passes() {
+        let text = "# TYPE a counter\na 1\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 2\nh_sum 3\n";
+        assert!(lint(text).is_empty(), "{:?}", lint(text));
+    }
+
+    #[test]
+    fn untyped_sample_is_flagged() {
+        assert!(lint("orphan 1\n").iter().any(|v| v.contains("no preceding # TYPE")));
+    }
+
+    #[test]
+    fn non_monotone_buckets_are_flagged() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\nh_sum 0\n";
+        assert!(lint(text).iter().any(|v| v.contains("not monotone")));
+    }
+
+    #[test]
+    fn inf_count_mismatch_is_flagged() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\nh_sum 0\n";
+        assert!(lint(text).iter().any(|v| v.contains("!= _count")));
+    }
+}

@@ -167,7 +167,9 @@ fn main() {
     let total = latencies_us.len();
     let mut sorted = latencies_us;
     sorted.sort_unstable();
-    let pct = |p: f64| sorted[((total - 1) as f64 * p) as usize] as f64 / 1000.0;
+    // Shared nearest-rank helper: the old truncating index under-reported
+    // p99 for small runs (N=100 read index 98).
+    let pct = |p: f64| obs::percentile_of_sorted(&sorted, p) as f64 / 1000.0;
     let throughput = total as f64 / elapsed.as_secs_f64();
     println!(
         "throughput: {throughput:.1} req/s ({:.1} samples/s) over {total} requests in {:.2}s",
@@ -281,7 +283,7 @@ fn run_overload(
         }
     }
     calib_us.sort_unstable();
-    let unloaded_p99_ms = calib_us[(calib_us.len() - 1) * 99 / 100] as f64 / 1000.0;
+    let unloaded_p99_ms = obs::percentile_of_sorted(&calib_us, 0.99) as f64 / 1000.0;
     eprintln!("serve_bench: unloaded p99 {unloaded_p99_ms:.3} ms over {calibration} requests");
 
     eprintln!(
@@ -345,7 +347,7 @@ fn run_overload(
 
     accepted_us.sort_unstable();
     let total = accepted_us.len() + shed;
-    let pct = |p: f64| accepted_us[((accepted_us.len() - 1) as f64 * p) as usize] as f64 / 1000.0;
+    let pct = |p: f64| obs::percentile_of_sorted(&accepted_us, p) as f64 / 1000.0;
     let max_ms = *accepted_us.last().expect("nonempty") as f64 / 1000.0;
     let shed_rate = shed as f64 / total as f64;
     let throughput = accepted_us.len() as f64 / elapsed.as_secs_f64();

@@ -112,9 +112,13 @@ pub struct Bst {
 impl Bst {
     /// Builds the BST for `class` from a training dataset (Algorithm 1).
     ///
+    /// Records its wall time as one `bst_build` span per class in
+    /// [`obs::global`] (classes build in parallel; spans may overlap).
+    ///
     /// # Panics
     /// Panics if `class` is out of range or has no samples.
     pub fn build(data: &BoolDataset, class: ClassId) -> Bst {
+        let _stage = obs::Stage::enter("bst_build");
         assert!(class < data.n_classes(), "class {class} out of range");
         let class_samples: Vec<SampleId> = data.class_members(class);
         assert!(!class_samples.is_empty(), "class {class} has no samples");

@@ -379,7 +379,10 @@ pub struct CompiledModel {
 
 impl CompiledModel {
     /// Lowers every class BST of `model`.
+    ///
+    /// Records its wall time as stage `compile` in [`obs::global`].
     pub fn compile(model: &BstcModel) -> CompiledModel {
+        let _stage = obs::Stage::enter("compile");
         CompiledModel {
             bsts: (0..model.n_classes()).map(|c| CompiledBst::compile(model.bst(c))).collect(),
             arith: model.arithmetization(),

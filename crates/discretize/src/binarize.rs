@@ -89,7 +89,10 @@ pub struct Discretizer {
 
 impl Discretizer {
     /// Fits cut points on a training dataset.
+    ///
+    /// Records its wall time as stage `mdl_cuts` in [`obs::global`].
     pub fn fit(train: &ContinuousDataset) -> Discretizer {
+        let _stage = obs::Stage::enter("mdl_cuts");
         let n = train.n_samples();
         let mut column = vec![0.0f64; n];
         let mut selected = Vec::new();
@@ -196,6 +199,8 @@ impl Discretizer {
 
     /// Applies the fitted cuts to a dataset over the same gene universe.
     ///
+    /// Records its wall time as stage `binarize` in [`obs::global`].
+    ///
     /// # Errors
     /// Returns [`NoInformativeGenes`] if the fit selected zero genes.
     ///
@@ -203,6 +208,7 @@ impl Discretizer {
     /// Panics if `data` has a different number of genes than the fitted
     /// training set.
     pub fn transform(&self, data: &ContinuousDataset) -> Result<BoolDataset, NoInformativeGenes> {
+        let _stage = obs::Stage::enter("binarize");
         assert_eq!(
             data.n_genes(),
             self.gene_names.len(),
@@ -340,6 +346,41 @@ mod tests {
     fn transform_row_rejects_wrong_length() {
         let d = Discretizer::fit(&toy());
         let _ = d.transform_row(&[1.0]);
+    }
+
+    #[test]
+    fn boundary_value_lands_in_same_interval_on_both_paths() {
+        // A value exactly equal to an MDL cut point must land in the
+        // *upper* interval (intervals are `[lo, hi)`), and the serving
+        // path (`transform_row`) must agree with the batch fit-time path
+        // (`transform`) — both funnel through `interval_of`, and this
+        // pins that shared convention.
+        let data = toy();
+        let d = Discretizer::fit(&data);
+        let cuts = d.cuts_for_gene(0).expect("gA is selected");
+        let cut = cuts[0];
+        let mut row = vec![cut, 4.0, 2.0];
+        let single = d.transform_row(&row).unwrap();
+        let batch_data = ContinuousDataset::new(
+            vec!["gA".into(), "gB".into(), "gC".into()],
+            vec!["neg".into(), "pos".into()],
+            vec![row.clone()],
+            vec![0],
+        )
+        .unwrap();
+        let batch = d.transform(&batch_data).unwrap();
+        assert_eq!(&single, batch.sample(0), "row path and batch path disagree at a cut");
+        // Exactly at the cut → upper interval: the item whose lo == cut.
+        let expected = d
+            .items()
+            .iter()
+            .position(|it| it.gene == 0 && it.lo == cut)
+            .expect("upper interval item exists");
+        assert!(single.contains(expected), "value at cut must go to the upper interval");
+        // And the value just below the cut goes to the lower interval.
+        row[0] = cut - 1e-9;
+        let below = d.transform_row(&row).unwrap();
+        assert!(!below.contains(expected));
     }
 
     #[test]

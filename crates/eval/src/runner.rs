@@ -93,7 +93,10 @@ pub fn run_bstc_with(p: &Prepared, arith: Arithmetization) -> BstcRun {
     let t0 = Instant::now();
     let model = BstcModel::train_with(&p.bool_train, arith);
     let compiled = model.compile();
-    let preds = compiled.classify_all(p.bool_test.samples());
+    let preds = {
+        let _stage = obs::Stage::enter("classify_batch");
+        compiled.classify_all(p.bool_test.samples())
+    };
     let secs = t0.elapsed().as_secs_f64();
     BstcRun { accuracy: accuracy(&preds, p.bool_test.labels()), secs }
 }

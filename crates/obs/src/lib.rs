@@ -1,0 +1,34 @@
+//! # obs — observability primitives for the BSTC stack
+//!
+//! Everything the pipeline and the server use to measure themselves,
+//! with **no dependencies beyond std**:
+//!
+//! * [`hist`] — [`Histogram`], a lock-free log-bucketed value histogram
+//!   (relaxed atomics, ~6% relative bucket resolution) with exact
+//!   nearest-rank percentile extraction and Prometheus text rendering,
+//!   plus the shared nearest-rank helpers ([`nearest_rank_index`],
+//!   [`percentile_of_sorted`]) every bench uses so p99 is computed the
+//!   same way everywhere;
+//! * [`stage`] — [`Stage`], a drop-guard span timer (`Stage::enter
+//!   ("mdl_cuts")` … drop records the elapsed microseconds) feeding a
+//!   process-global [`Registry`] of named histograms that renders as one
+//!   Prometheus histogram family (`bstc_stage_duration_us{stage=...}`);
+//! * [`log`] — a structured logger emitting JSON lines (or plain text)
+//!   with per-request trace IDs ([`log::request_id`]), swappable sinks
+//!   for tests, and no global allocation when disabled.
+//!
+//! The training pipeline records into the global registry (stages
+//! `mdl_cuts`, `binarize`, `bst_build`, `compile`, `classify_batch`);
+//! the inference server renders that registry on `GET /metrics` next to
+//! its own request histograms, so one scrape decomposes both the
+//! paper's per-stage training cost (Tables 4–7) and serving latency.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod log;
+pub mod stage;
+
+pub use hist::{nearest_rank_index, percentile_of_sorted, Histogram};
+pub use log::LogFormat;
+pub use stage::{global, Registry, Stage, StageTotal};

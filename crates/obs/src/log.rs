@@ -1,0 +1,252 @@
+//! Structured logging: JSON lines (or plain text) with request IDs.
+//!
+//! One event = one line on the configured sink (stderr by default).
+//! JSON format emits `{"ts":...,"level":"info","event":"request",...}`
+//! with all user fields as string values and hand-rolled escaping (no
+//! serializer dependency); text format emits `key=value` pairs with
+//! quoting only where needed. The sink is swappable to an in-memory
+//! buffer so integration tests can assert on emitted lines.
+//!
+//! [`request_id`] generates 16-hex-char IDs suitable for `X-Request-Id`
+//! correlation: unique per process and across restarts, with no global
+//! RNG dependency.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Output format for emitted log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// `ts=... level=... event=... key=value` pairs, quoted as needed.
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+impl std::str::FromStr for LogFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<LogFormat, String> {
+        match s {
+            "text" => Ok(LogFormat::Text),
+            "json" => Ok(LogFormat::Json),
+            other => Err(format!("unknown log format '{other}' (expected 'text' or 'json')")),
+        }
+    }
+}
+
+enum Sink {
+    Stderr,
+    Buffer(Arc<Mutex<Vec<u8>>>),
+}
+
+struct State {
+    format: LogFormat,
+    sink: Sink,
+}
+
+static STATE: Mutex<State> = Mutex::new(State { format: LogFormat::Text, sink: Sink::Stderr });
+
+fn state() -> std::sync::MutexGuard<'static, State> {
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Sets the global output format (`bstc-cli serve --log-format`).
+pub fn set_format(format: LogFormat) {
+    state().format = format;
+}
+
+/// Current global output format.
+pub fn format() -> LogFormat {
+    state().format
+}
+
+/// Redirects all subsequent log output into an in-memory buffer and
+/// returns a handle to it (integration-test hook). Call
+/// [`use_stderr`] to restore the default sink.
+pub fn capture() -> Arc<Mutex<Vec<u8>>> {
+    let buffer = Arc::new(Mutex::new(Vec::new()));
+    state().sink = Sink::Buffer(Arc::clone(&buffer));
+    buffer
+}
+
+/// Restores the default stderr sink.
+pub fn use_stderr() {
+    state().sink = Sink::Stderr;
+}
+
+/// Emits one event at level `info`.
+pub fn info(event: &str, fields: &[(&str, &str)]) {
+    write_event("info", event, fields);
+}
+
+/// Emits one event at level `warn`.
+pub fn warn(event: &str, fields: &[(&str, &str)]) {
+    write_event("warn", event, fields);
+}
+
+/// Emits one event at level `error`.
+pub fn error(event: &str, fields: &[(&str, &str)]) {
+    write_event("error", event, fields);
+}
+
+/// Emits one event: a timestamp, level and event name followed by the
+/// given fields, formatted per the configured [`LogFormat`], written as
+/// a single line to the configured sink. Field order is preserved.
+pub fn write_event(level: &str, event: &str, fields: &[(&str, &str)]) {
+    let ts = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs_f64()).unwrap_or(0.0);
+    let guard = state();
+    let mut line = String::with_capacity(96);
+    match guard.format {
+        LogFormat::Json => {
+            line.push_str(&format!("{{\"ts\":{ts:.3}"));
+            for (key, value) in [("level", level), ("event", event)].iter().chain(fields.iter()) {
+                line.push_str(",\"");
+                json_escape_into(&mut line, key);
+                line.push_str("\":\"");
+                json_escape_into(&mut line, value);
+                line.push('"');
+            }
+            line.push('}');
+        }
+        LogFormat::Text => {
+            line.push_str(&format!("ts={ts:.3}"));
+            for (key, value) in [("level", level), ("event", event)].iter().chain(fields.iter()) {
+                line.push(' ');
+                line.push_str(key);
+                line.push('=');
+                text_value_into(&mut line, value);
+            }
+        }
+    }
+    line.push('\n');
+    match &guard.sink {
+        Sink::Stderr => {
+            let _ = std::io::stderr().lock().write_all(line.as_bytes());
+        }
+        Sink::Buffer(buffer) => {
+            buffer
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend_from_slice(line.as_bytes());
+        }
+    }
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn text_value_into(out: &mut String, value: &str) {
+    let needs_quotes = value.is_empty() || value.contains([' ', '=', '"', '\n', '\r', '\t']);
+    if needs_quotes {
+        out.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    } else {
+        out.push_str(value);
+    }
+}
+
+static REQUEST_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Generates a 16-hex-char request ID: a splitmix64 finalizer over
+/// wall-clock nanos, the process ID and a process-local counter. IDs
+/// are unique within a process (counter) and effectively unique across
+/// restarts (clock + pid), with no RNG dependency.
+pub fn request_id() -> String {
+    let nanos =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0);
+    let n = REQUEST_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut z =
+        nanos ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (u64::from(std::process::id()) << 32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    format!("{z:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Logger state is process-global; serialize the tests that touch it.
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    fn captured(format: LogFormat, f: impl FnOnce()) -> String {
+        let buffer = capture();
+        set_format(format);
+        f();
+        set_format(LogFormat::Text);
+        use_stderr();
+        let bytes = buffer.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn json_lines_are_well_formed_and_escaped() {
+        let _g = TEST_GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = captured(LogFormat::Json, || {
+            info("request", &[("path", "/classify"), ("note", "a\"b\\c\nd")]);
+        });
+        let line = out.lines().next().unwrap();
+        assert!(line.starts_with("{\"ts\":"), "{line}");
+        assert!(line.contains("\"level\":\"info\""), "{line}");
+        assert!(line.contains("\"event\":\"request\""), "{line}");
+        assert!(line.contains("\"path\":\"/classify\""), "{line}");
+        assert!(line.contains("\"note\":\"a\\\"b\\\\c\\nd\""), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+
+    #[test]
+    fn text_lines_quote_only_when_needed() {
+        let _g = TEST_GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = captured(LogFormat::Text, || {
+            warn("shed", &[("route", "/classify"), ("why", "queue full")]);
+        });
+        let line = out.lines().next().unwrap();
+        assert!(line.contains("level=warn"), "{line}");
+        assert!(line.contains("event=shed"), "{line}");
+        assert!(line.contains("route=/classify"), "{line}");
+        assert!(line.contains("why=\"queue full\""), "{line}");
+    }
+
+    #[test]
+    fn request_ids_are_unique_hex16() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = request_id();
+            assert_eq!(id.len(), 16);
+            assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+            assert!(seen.insert(id), "duplicate request id");
+        }
+    }
+
+    #[test]
+    fn format_parses_from_str() {
+        assert_eq!("text".parse::<LogFormat>().unwrap(), LogFormat::Text);
+        assert_eq!("json".parse::<LogFormat>().unwrap(), LogFormat::Json);
+        assert!("yaml".parse::<LogFormat>().is_err());
+    }
+}

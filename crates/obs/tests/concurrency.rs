@@ -1,0 +1,95 @@
+//! Concurrency test for the shared histogram: N writer threads record
+//! while a reader renders concurrently; after the writers join, totals
+//! must balance exactly and every concurrent render must have been
+//! internally consistent (monotone buckets, +Inf == _count).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use obs::Histogram;
+
+const WRITERS: usize = 8;
+const PER_WRITER: u64 = 20_000;
+
+fn parse_render(out: &str) -> (u64, u64, Vec<u64>) {
+    let mut count = 0;
+    let mut inf = 0;
+    let mut buckets = Vec::new();
+    for line in out.lines() {
+        let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        if line.starts_with("h_bucket{") {
+            buckets.push(value);
+            if line.contains("le=\"+Inf\"") {
+                inf = value;
+            }
+        } else if line.starts_with("h_count") {
+            count = value;
+        }
+    }
+    (count, inf, buckets)
+}
+
+#[test]
+fn concurrent_records_balance_and_renders_stay_consistent() {
+    let hist = Arc::new(Histogram::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                // Deterministic per-writer value stream spanning many buckets.
+                let mut x = (w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut local_sum = 0u64;
+                for _ in 0..PER_WRITER {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let v = x % 1_000_000; // µs-scale latencies
+                    hist.record(v);
+                    local_sum += v;
+                }
+                local_sum
+            })
+        })
+        .collect();
+
+    // Reader renders continuously while the writers hammer the histogram.
+    let reader = {
+        let hist = Arc::clone(&hist);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut renders = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let mut out = String::new();
+                hist.render_into(&mut out, "h", &[]);
+                let (count, inf, buckets) = parse_render(&out);
+                assert_eq!(inf, count, "+Inf bucket must equal _count mid-flight:\n{out}");
+                assert!(
+                    buckets.windows(2).all(|w| w[0] <= w[1]),
+                    "bucket counts must be monotone mid-flight:\n{out}"
+                );
+                renders += 1;
+            }
+            renders
+        })
+    };
+
+    let mut expected_sum = 0u64;
+    for w in writers {
+        expected_sum += w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let renders = reader.join().unwrap();
+    assert!(renders > 0, "reader must have rendered at least once");
+
+    let expected_count = (WRITERS as u64) * PER_WRITER;
+    assert_eq!(hist.count(), expected_count);
+    assert_eq!(hist.sum(), expected_sum);
+
+    let mut out = String::new();
+    hist.render_into(&mut out, "h", &[]);
+    let (count, inf, _) = parse_render(&out);
+    assert_eq!(count, expected_count, "rendered _count must balance after join");
+    assert_eq!(inf, expected_count, "rendered +Inf must balance after join");
+}

@@ -1,7 +1,12 @@
 //! A deliberately small HTTP/1.1 implementation on `std::io` — just
 //! enough for a JSON inference API: request-line + headers +
 //! `Content-Length` bodies in, fixed-status responses out, with
-//! keep-alive. No chunked encoding, no TLS, no async.
+//! keep-alive. No TLS, no async — and no chunked encoding: any
+//! `Transfer-Encoding` header is rejected up front with
+//! [`ReadError::Unsupported`] (501). Silently ignoring it would leave
+//! the chunked body unread on the socket, where keep-alive would parse
+//! it as the *next* request — a request-smuggling / response-desync
+//! vector.
 //!
 //! Reading is **deadline-aware**: [`read_request`] takes an optional
 //! wall-clock budget that starts ticking at the *first byte* of a
@@ -60,6 +65,10 @@ pub enum ReadError {
     Malformed(String),
     /// Head or body exceeded the hard limits (reply 413).
     TooLarge(String),
+    /// Valid HTTP that this server refuses to implement, e.g.
+    /// `Transfer-Encoding` (reply 501 and close: the unread body would
+    /// desync the connection).
+    Unsupported(String),
 }
 
 impl From<io::Error> for ReadError {
@@ -153,6 +162,14 @@ pub fn read_request(
             .split_once(':')
             .ok_or_else(|| ReadError::Malformed(format!("header without ':': '{line}'")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Chunked (or any other) transfer coding is not implemented. It must
+    // be *refused*, not ignored: ignoring it would leave the chunked
+    // body on the socket to be reparsed as the next request under
+    // keep-alive (request smuggling). The caller answers 501 and closes.
+    if let Some((_, v)) = headers.iter().find(|(n, _)| n == "transfer-encoding") {
+        return Err(ReadError::Unsupported(format!("transfer-encoding '{v}' not implemented")));
     }
 
     // The declared length is validated *before* any body allocation:
@@ -325,6 +342,7 @@ pub fn reason(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -428,6 +446,29 @@ mod tests {
         assert!(matches!(
             parse("POST / HTTP/1.1\r\nContent-Length:\r\n\r\n"),
             Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn transfer_encoding_is_refused_not_ignored() {
+        // The desync bug this guards against: a chunked body left unread
+        // on the socket gets reparsed as the next request. Any
+        // Transfer-Encoding value must be refused before body handling.
+        match parse(
+            "POST /classify HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nbody\r\n0\r\n\r\n",
+        ) {
+            Err(ReadError::Unsupported(d)) => assert!(d.contains("transfer-encoding"), "{d}"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        // TE + Content-Length together (the classic smuggling shape).
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 4\r\n\r\nbody"),
+            Err(ReadError::Unsupported(_))
+        ));
+        // Exotic codings are equally unimplemented.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"),
+            Err(ReadError::Unsupported(_))
         ));
     }
 

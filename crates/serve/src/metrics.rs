@@ -2,19 +2,23 @@
 //! format by `GET /metrics`. Everything is relaxed atomics: counters are
 //! monotonically increasing and the scrape tolerates torn reads across
 //! series.
+//!
+//! Latency is measured with the shared [`obs::Histogram`] — the same
+//! log-bucketed, nearest-rank-percentile histogram the training stages
+//! and benches use — one per endpoint (`bstc_request_duration_us{route=
+//! ...}`) plus the `/classify` handler's own `bstc_classify_latency_us`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Upper bounds (µs) of the latency histogram buckets; the implicit last
-/// bucket is `+Inf`. Spans sub-100µs cache hits to multi-second stalls.
-pub const LATENCY_BUCKETS_US: [u64; 10] =
-    [100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
+use obs::Histogram;
 
 /// Counters for one endpoint family.
 #[derive(Debug, Default)]
 pub struct EndpointStats {
     hits: AtomicU64,
     errors: AtomicU64,
+    /// Whole-request wall time (read + handle + write), microseconds.
+    latency: Histogram,
 }
 
 impl EndpointStats {
@@ -60,10 +64,9 @@ pub struct Metrics {
     workers_alive: AtomicU64,
     /// Gauge: pool size the server was configured with.
     workers_configured: AtomicU64,
-    /// Histogram of `/classify` handler latency; `[i]` counts requests
-    /// with latency ≤ `LATENCY_BUCKETS_US[i]`, the extra slot is +Inf.
-    latency_counts: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
-    latency_sum_us: AtomicU64,
+    /// `/classify` *handler* latency (parse + classify, excluding
+    /// request read and response write) — the paper-relevant number.
+    classify_latency: Histogram,
 }
 
 impl Metrics {
@@ -74,15 +77,7 @@ impl Metrics {
 
     /// Records one handled request by route and response status.
     pub fn record_request(&self, path: &str, status: u16) {
-        let endpoint = match path {
-            "/classify" => &self.classify,
-            "/health" => &self.health,
-            "/model" => &self.model,
-            "/metrics" => &self.metrics,
-            "/reload" => &self.reload,
-            _ => &self.other,
-        };
-        endpoint.record(status);
+        self.endpoint(path).record(status);
         if status == 408 {
             self.request_timeouts.fetch_add(1, Ordering::Relaxed);
         }
@@ -90,10 +85,31 @@ impl Metrics {
 
     /// Records a `/classify` handler latency observation.
     pub fn record_latency_us(&self, us: u64) {
-        let slot =
-            LATENCY_BUCKETS_US.iter().position(|&b| us <= b).unwrap_or(LATENCY_BUCKETS_US.len());
-        self.latency_counts[slot].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.classify_latency.record(us);
+    }
+
+    /// Records whole-request wall time against the route's endpoint
+    /// histogram (unknown paths pool under `other`).
+    pub fn record_route_latency(&self, path: &str, us: u64) {
+        self.endpoint(path).latency.record(us);
+    }
+
+    /// The `/classify` handler-latency nearest-rank p-quantile, µs
+    /// (0 when nothing has been recorded). Used by supervisors and tests;
+    /// scrapes read the full histogram from [`render`](Self::render).
+    pub fn classify_latency_percentile_us(&self, p: f64) -> u64 {
+        self.classify_latency.percentile(p)
+    }
+
+    fn endpoint(&self, path: &str) -> &EndpointStats {
+        match path {
+            "/classify" => &self.classify,
+            "/health" => &self.health,
+            "/model" => &self.model,
+            "/metrics" => &self.metrics,
+            "/reload" => &self.reload,
+            _ => &self.other,
+        }
     }
 
     /// Adds to the classified-samples counter.
@@ -169,20 +185,27 @@ impl Metrics {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(1024);
-        out.push_str("# TYPE bstc_requests_total counter\n");
-        for (route, stats) in [
+        let routes = [
             ("/classify", &self.classify),
             ("/health", &self.health),
             ("/model", &self.model),
             ("/metrics", &self.metrics),
             ("/reload", &self.reload),
             ("other", &self.other),
-        ] {
+        ];
+        // One family at a time: a scraper requires every sample to follow
+        // its own # TYPE line (interleaving the two families put the
+        // error samples under bstc_requests_total's type).
+        out.push_str("# TYPE bstc_requests_total counter\n");
+        for (route, stats) in routes {
             let _ = writeln!(
                 out,
                 "bstc_requests_total{{route=\"{route}\"}} {}",
                 stats.hits.load(Ordering::Relaxed)
             );
+        }
+        out.push_str("# TYPE bstc_request_errors_total counter\n");
+        for (route, stats) in routes {
             let _ = writeln!(
                 out,
                 "bstc_request_errors_total{{route=\"{route}\"}} {}",
@@ -242,20 +265,19 @@ impl Metrics {
             "bstc_workers{{state=\"configured\"}} {}",
             self.workers_configured.load(Ordering::Relaxed)
         );
-        out.push_str("# TYPE bstc_classify_latency_us histogram\n");
-        let mut cumulative = 0u64;
-        for (i, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
-            cumulative += self.latency_counts[i].load(Ordering::Relaxed);
-            let _ = writeln!(out, "bstc_classify_latency_us_bucket{{le=\"{bound}\"}} {cumulative}");
+        out.push_str("# TYPE bstc_request_duration_us histogram\n");
+        for (route, stats) in [
+            ("/classify", &self.classify),
+            ("/health", &self.health),
+            ("/model", &self.model),
+            ("/metrics", &self.metrics),
+            ("/reload", &self.reload),
+            ("other", &self.other),
+        ] {
+            stats.latency.render_into(&mut out, "bstc_request_duration_us", &[("route", route)]);
         }
-        cumulative += self.latency_counts[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
-        let _ = writeln!(out, "bstc_classify_latency_us_bucket{{le=\"+Inf\"}} {cumulative}");
-        let _ = writeln!(out, "bstc_classify_latency_us_count {cumulative}");
-        let _ = writeln!(
-            out,
-            "bstc_classify_latency_us_sum {}",
-            self.latency_sum_us.load(Ordering::Relaxed)
-        );
+        out.push_str("# TYPE bstc_classify_latency_us histogram\n");
+        self.classify_latency.render_into(&mut out, "bstc_classify_latency_us", &[]);
         out
     }
 }
@@ -305,17 +327,43 @@ mod tests {
     }
 
     #[test]
-    fn latency_buckets_are_cumulative() {
+    fn classify_latency_uses_shared_histogram() {
         let m = Metrics::new();
-        m.record_latency_us(50); // ≤100
-        m.record_latency_us(700); // ≤1000
-        m.record_latency_us(10_000_000); // +Inf
+        m.record_latency_us(50);
+        m.record_latency_us(700);
+        m.record_latency_us(10_000_000);
         let text = m.render();
-        assert!(text.contains("bucket{le=\"100\"} 1"), "{text}");
-        assert!(text.contains("bucket{le=\"1000\"} 2"), "{text}");
-        assert!(text.contains("bucket{le=\"+Inf\"} 3"), "{text}");
+        // Exact sum/count survive the move to log buckets.
+        assert!(text.contains("bstc_classify_latency_us_bucket{le=\"+Inf\"} 3"), "{text}");
         assert!(text.contains("bstc_classify_latency_us_count 3"), "{text}");
         assert!(text.contains("bstc_classify_latency_us_sum 10000750"), "{text}");
+        // Nearest-rank percentiles come from the shared obs histogram:
+        // the bucketed answer may sit up to one bucket (~6%) above the
+        // recorded sample, never below it.
+        let p99 = m.classify_latency_percentile_us(0.99);
+        assert!((10_000_000..=10_700_000).contains(&p99), "p99 {p99}");
+        let p0 = m.classify_latency_percentile_us(0.0);
+        assert!((50..=54).contains(&p0), "p0 {p0}");
+    }
+
+    #[test]
+    fn route_latency_renders_per_endpoint_family() {
+        let m = Metrics::new();
+        m.record_route_latency("/classify", 800);
+        m.record_route_latency("/classify", 1_200);
+        m.record_route_latency("/health", 30);
+        m.record_route_latency("/nope", 5);
+        let text = m.render();
+        assert!(text.contains("# TYPE bstc_request_duration_us histogram"), "{text}");
+        assert!(text.contains("bstc_request_duration_us_count{route=\"/classify\"} 2"), "{text}");
+        assert!(text.contains("bstc_request_duration_us_sum{route=\"/classify\"} 2000"), "{text}");
+        assert!(text.contains("bstc_request_duration_us_count{route=\"/health\"} 1"), "{text}");
+        assert!(text.contains("bstc_request_duration_us_count{route=\"other\"} 1"), "{text}");
+        // Every bucket line carries its route label and +Inf closes each.
+        assert!(
+            text.contains("bstc_request_duration_us_bucket{route=\"/health\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -351,6 +351,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream, scratch: &mut Scratch) 
     loop {
         match read_request(&mut reader, shared.request_timeout) {
             Ok((request, started)) => {
+                let request_id = accept_or_mint_request_id(&request);
                 let deadline = shared.request_timeout.map(|budget| started + budget);
                 // Panic isolation: whatever a handler does, the worker
                 // survives and the client gets a structured 500.
@@ -370,7 +371,20 @@ fn handle_connection(shared: &Shared, stream: TcpStream, scratch: &mut Scratch) 
                         )
                     }
                 };
+                let response = response.with_header("x-request-id", request_id.clone());
+                let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                 shared.metrics.record_request(&request.path, response.status);
+                shared.metrics.record_route_latency(&request.path, latency_us);
+                obs::log::info(
+                    "request",
+                    &[
+                        ("request_id", &request_id),
+                        ("method", &request.method),
+                        ("path", &request.path),
+                        ("status", &response.status.to_string()),
+                        ("latency_us", &latency_us.to_string()),
+                    ],
+                );
                 let keep_alive = request.keep_alive
                     && response.status < 500
                     && !shared.shutting_down.load(Ordering::SeqCst);
@@ -412,6 +426,17 @@ fn handle_connection(shared: &Shared, stream: TcpStream, scratch: &mut Scratch) 
                 }
                 return;
             }
+            Err(ReadError::Unsupported(detail)) => {
+                // E.g. Transfer-Encoding: the unread body would desync the
+                // connection if kept alive, so refuse and linger-close.
+                let body = error_body("not_implemented", &detail);
+                shared.metrics.record_request("unsupported", 501);
+                obs::log::warn("unsupported_request", &[("detail", detail.as_str())]);
+                if write_response(&mut writer, &Response::json(501, body), false).is_ok() {
+                    drain_then_close(&mut reader);
+                }
+                return;
+            }
         }
     }
 }
@@ -441,6 +466,21 @@ fn drain_then_close(reader: &mut BufReader<TcpStream>) {
     }
 }
 
+/// Echoes the client's `X-Request-Id` when it is sane (non-empty, ≤ 64
+/// chars, alphanumeric/`-`/`_` — it gets reflected into a response
+/// header and logs), otherwise mints a fresh 16-hex-char ID.
+fn accept_or_mint_request_id(request: &Request) -> String {
+    request
+        .header("x-request-id")
+        .filter(|id| {
+            !id.is_empty()
+                && id.len() <= 64
+                && id.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        })
+        .map(String::from)
+        .unwrap_or_else(obs::log::request_id)
+}
+
 /// `{"error": code, "detail": detail}` as bytes.
 fn error_body(code: &str, detail: &str) -> Vec<u8> {
     serde_json::to_string(&json!({"error": code, "detail": detail}))
@@ -464,7 +504,14 @@ fn route(
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => handle_health(shared),
         ("GET", "/model") => handle_model(shared),
-        ("GET", "/metrics") => Response::text(200, shared.metrics.render()),
+        ("GET", "/metrics") => {
+            // Server metrics plus the process-global stage registry, so
+            // one scrape covers both serving latency and (when this
+            // process also trained) the per-stage pipeline cost.
+            let mut text = shared.metrics.render();
+            text.push_str(&obs::global().render_prometheus("bstc_stage_duration_us", "stage"));
+            Response::text(200, text)
+        }
         ("POST", "/classify") => handle_classify(shared, &request.body, scratch, deadline),
         ("POST", "/reload") => handle_reload(shared, &request.body),
         (_, "/health" | "/model" | "/metrics" | "/classify" | "/reload") => error_response(

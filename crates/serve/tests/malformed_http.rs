@@ -102,6 +102,18 @@ fn corpus_gets_exact_statuses_and_the_worker_survives_each_case() {
             400,
         ),
         ("declared body too large", oversized_body.into_bytes(), 413),
+        (
+            "chunked transfer-encoding",
+            b"POST /classify HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n4\r\nbody\r\n0\r\n\r\n"
+                .to_vec(),
+            501,
+        ),
+        (
+            "transfer-encoding with content-length (smuggling shape)",
+            b"POST /classify HTTP/1.1\r\ntransfer-encoding: chunked\r\ncontent-length: 4\r\n\r\nbody"
+                .to_vec(),
+            501,
+        ),
     ];
 
     for (name, raw, expected) in corpus {
@@ -114,6 +126,42 @@ fn corpus_gets_exact_statuses_and_the_worker_survives_each_case() {
     assert_eq!(snapshot.workers_alive, 1, "the single worker must still be alive");
     assert_eq!(snapshot.workers_respawned, 0, "no case should have killed the worker");
     assert_eq!(snapshot.conns_accepted, snapshot.conns_handled + snapshot.conns_shed);
+    handle.shutdown();
+}
+
+#[test]
+fn chunked_body_is_never_reparsed_as_a_second_request() {
+    // The desync bug: before Transfer-Encoding was rejected, the server
+    // parsed a chunked POST's head, ignored the coding, read no body —
+    // and keep-alive then reparsed the chunk stream as the *next*
+    // request. A chunk body crafted to look like a smuggled GET would be
+    // answered as if the client had sent it. The fix (501 + lingering
+    // close) must produce exactly one response and then EOF.
+    let handle = boot();
+    let addr = handle.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Keep-alive connection; the chunked "body" is a smuggled request.
+    let smuggled = b"POST /classify HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n\
+                     2a\r\nGET /model HTTP/1.1\r\nconnection: close\r\n\r\n\r\n0\r\n\r\n";
+    stream.write_all(smuggled).expect("write");
+
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("read status line");
+    let status: u16 =
+        status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    assert_eq!(status, 501, "chunked request must be refused: {status_line:?}");
+
+    // Drain the rest of the 501; the connection must then close without
+    // ever answering the smuggled GET (a second status line would be the
+    // desync).
+    let mut rest = String::new();
+    while reader.read_line(&mut rest).unwrap_or(0) > 0 {}
+    assert!(!rest.contains("HTTP/1.1 200"), "smuggled GET was answered — response desync:\n{rest}");
+
+    assert!(health_ok(addr), "worker died on the chunked request");
     handle.shutdown();
 }
 

@@ -1,0 +1,91 @@
+//! Request-ID correlation: every response carries `X-Request-Id`
+//! (echoing the client's when sane, minting one otherwise) and the same
+//! ID appears in the structured JSON request log.
+//!
+//! This test owns its process's global log sink (it is its own test
+//! binary), so capturing stderr into a buffer here cannot race other
+//! serve tests.
+
+use serve::{serve, ModelBundle, Provenance, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn boot() -> ServerHandle {
+    let data = microarray::synth::presets::all_aml(5).scaled_down(40).generate();
+    let bundle = ModelBundle::train(&data, Provenance::new("reqid", Some(5))).unwrap();
+    serve(ServerConfig { threads: 1, ..ServerConfig::default() }, bundle).unwrap()
+}
+
+/// Sends one raw request and returns the full response text.
+fn exchange(addr: SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(raw.as_bytes()).expect("write");
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    response
+}
+
+fn header_value<'a>(response: &'a str, name: &str) -> Option<&'a str> {
+    response.lines().find_map(|line| {
+        let (n, v) = line.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+#[test]
+fn request_id_is_echoed_minted_and_logged() {
+    let log = obs::log::capture();
+    obs::log::set_format(obs::LogFormat::Json);
+    let handle = boot();
+    let addr = handle.addr();
+
+    // 1. A sane client ID is echoed verbatim.
+    let response = exchange(
+        addr,
+        "GET /health HTTP/1.1\r\nx-request-id: client-id-42\r\nconnection: close\r\n\r\n",
+    );
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert_eq!(header_value(&response, "x-request-id"), Some("client-id-42"), "{response}");
+
+    // 2. Without one, the server mints a 16-hex-char ID.
+    let response = exchange(addr, "GET /health HTTP/1.1\r\nconnection: close\r\n\r\n");
+    let minted = header_value(&response, "x-request-id").expect("minted id").to_string();
+    assert_eq!(minted.len(), 16, "{minted}");
+    assert!(minted.chars().all(|c| c.is_ascii_hexdigit()), "{minted}");
+
+    // 3. A hostile ID (header-injection shape) is replaced, not echoed.
+    let response = exchange(
+        addr,
+        "GET /health HTTP/1.1\r\nx-request-id: evil\"id with spaces\r\nconnection: close\r\n\r\n",
+    );
+    let replaced = header_value(&response, "x-request-id").expect("replaced id");
+    assert_ne!(replaced, "evil\"id with spaces");
+
+    handle.shutdown();
+    obs::log::use_stderr();
+    obs::log::set_format(obs::LogFormat::Text);
+
+    // 4. Both IDs appear in the structured JSON request log.
+    let bytes = log.lock().unwrap().clone();
+    let logged = String::from_utf8(bytes).unwrap();
+    let request_lines: Vec<&str> =
+        logged.lines().filter(|l| l.contains("\"event\":\"request\"")).collect();
+    assert!(request_lines.len() >= 3, "expected ≥3 request log lines:\n{logged}");
+    assert!(
+        request_lines.iter().any(|l| l.contains("\"request_id\":\"client-id-42\"")),
+        "echoed id missing from logs:\n{logged}"
+    );
+    assert!(
+        request_lines.iter().any(|l| l.contains(&format!("\"request_id\":\"{minted}\""))),
+        "minted id missing from logs:\n{logged}"
+    );
+    for line in &request_lines {
+        assert!(line.starts_with("{\"ts\":") && line.ends_with('}'), "not a JSON line: {line}");
+        assert!(line.contains("\"path\":\"/health\""), "{line}");
+        assert!(line.contains("\"status\":\"200\""), "{line}");
+        assert!(line.contains("\"latency_us\":"), "{line}");
+    }
+}

@@ -81,12 +81,14 @@ const USAGE: &str = "bstc-cli — Boolean Structure Table Classification
 commands:
   synth      --preset all|lc|pc|oc [--seed N] [--scale K] --out FILE.tsv
   discretize --train FILE.tsv [--apply FILE.tsv] --out FILE.tsv [--cuts FILE.json]
-  train      --data FILE.tsv --model FILE.json
+  train      --data FILE.tsv --model FILE.json [--bench-out FILE.json]
   train      --data FILE.tsv --save BUNDLE.json [--dataset NAME] [--seed N]
+             [--bench-out FILE.json]   (stage breakdown -> BENCH_train.json)
   classify   --model FILE.json --data FILE.tsv
   mine       --data FILE.tsv --class N [-k K]
   serve      --model BUNDLE.json [--addr HOST:PORT] [--threads N]
-             [--queue-depth N] [--request-timeout SECS]  (0 disables the deadline)";
+             [--queue-depth N] [--request-timeout SECS]  (0 disables the deadline)
+             [--log-format text|json]";
 
 /// Pulls `--flag value` pairs out of an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -163,6 +165,50 @@ fn cmd_discretize(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// One pipeline stage of the training breakdown, as recorded by the
+/// `obs` global registry.
+#[derive(serde::Serialize)]
+struct StageEntry {
+    stage: String,
+    count: u64,
+    total_secs: f64,
+}
+
+/// The `BENCH_train.json` report: per-stage decomposition of one
+/// `train` invocation (the paper's Tables 4–7 are exactly such
+/// per-stage cost claims).
+#[derive(serde::Serialize)]
+struct TrainReport {
+    data: String,
+    mode: &'static str,
+    total_secs: f64,
+    stages: Vec<StageEntry>,
+}
+
+/// Prints the per-stage breakdown and writes it to `--bench-out`
+/// (default `BENCH_train.json`). A failed report write is a warning,
+/// not an error: the model artifact was already written.
+fn report_train_stages(args: &[String], data_path: &str, mode: &'static str, total_secs: f64) {
+    let stages: Vec<StageEntry> = obs::global()
+        .totals()
+        .into_iter()
+        .map(|t| StageEntry { stage: t.name, count: t.count, total_secs: t.sum_us as f64 / 1e6 })
+        .collect();
+    eprintln!("stage breakdown ({total_secs:.3}s total):");
+    for s in &stages {
+        eprintln!("  {:<12} {:>4} span(s)  {:.4}s", s.stage, s.count, s.total_secs);
+    }
+    let out = flag(args, "--bench-out").unwrap_or_else(|| "BENCH_train.json".into());
+    let report = TrainReport { data: data_path.to_string(), mode, total_secs, stages };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => match std::fs::write(&out, json + "\n") {
+            Ok(()) => eprintln!("wrote stage report to {out}"),
+            Err(e) => eprintln!("warning: cannot write {out}: {e}"),
+        },
+        Err(e) => eprintln!("warning: cannot serialize stage report: {e}"),
+    }
+}
+
 fn cmd_train(args: &[String]) -> Result<(), CliError> {
     let data_path = require(args, "--data")?;
     if let Some(bundle_path) = flag(args, "--save") {
@@ -176,7 +222,9 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
             data.class_names()[c]
         )));
     }
+    let t0 = std::time::Instant::now();
     let model = BstcModel::train(&data);
+    let total_secs = t0.elapsed().as_secs_f64();
     std::fs::write(&model_path, serde_json::to_string(&model).map_err(err)?).map_err(err)?;
     eprintln!(
         "trained BSTC on {} samples / {} items / {} classes; wrote {}",
@@ -185,6 +233,7 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
         data.n_classes(),
         model_path
     );
+    report_train_stages(args, &data_path, "model", total_secs);
     Ok(())
 }
 
@@ -199,7 +248,12 @@ fn train_bundle(args: &[String], data_path: &str, bundle_path: &str) -> Result<(
     })?;
     let dataset = flag(args, "--dataset").unwrap_or_else(|| data_path.to_string());
     let seed: Option<u64> = parse_flag(args, "--seed")?;
+    let t0 = std::time::Instant::now();
     let bundle = ModelBundle::train(&data, Provenance::new(dataset, seed)).map_err(err)?;
+    // Lower to the word-parallel form now (the server would anyway, on
+    // first query) so the `compile` stage appears in the breakdown.
+    bundle.compiled();
+    let total_secs = t0.elapsed().as_secs_f64();
     bundle.save(bundle_path).map_err(err)?;
     eprintln!(
         "trained BSTC on {} samples / {} genes -> {} items / {} classes \
@@ -211,6 +265,7 @@ fn train_bundle(args: &[String], data_path: &str, bundle_path: &str) -> Result<(
         100.0 * bundle.provenance.train_accuracy.unwrap_or(0.0),
         bundle_path
     );
+    report_train_stages(args, data_path, "bundle", total_secs);
     Ok(())
 }
 
@@ -294,6 +349,12 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         Some(secs) if secs.is_finite() => Some(std::time::Duration::from_secs_f64(secs)),
         Some(_) => return Err(CliError::Usage("bad value for --request-timeout".into())),
     };
+    // `--log-format json` switches the structured request log (and every
+    // other obs log event) to JSON lines on stderr.
+    if let Some(raw) = flag(args, "--log-format") {
+        let format: obs::LogFormat = raw.parse().map_err(CliError::Usage)?;
+        obs::log::set_format(format);
+    }
     let bundle = ModelBundle::load(&bundle_path).map_err(err)?;
     eprintln!(
         "loaded bundle {} (dataset '{}', {} genes, {} classes: {:?})",
