@@ -4,7 +4,9 @@
 //!
 //! ```text
 //! serve_bench [--addr HOST:PORT] [--requests N] [--concurrency C]
-//!             [--batch B] [--seed S] [--scale K] [--json] [--overload]
+//!             [--batch B] [--seed S] [--scale K] [--json]
+//!             [--max-batch N] [--batch-wait-us US]
+//!             [--overload | --compare-batching]
 //! ```
 //!
 //! `--json` additionally writes the measurements to `BENCH_serve.json`.
@@ -15,21 +17,34 @@
 //! bench-suite --bin serve_bench` measures an end-to-end stack with no
 //! setup. With `--addr` it targets an already-running `bstc-cli serve`.
 //!
+//! Every run also scrapes `GET /metrics` at the end and embeds the
+//! **server-side** `bstc_request_duration_us{route="/classify"}`
+//! percentiles next to the client-measured ones. A closed-loop client
+//! under-samples slow periods (coordinated omission: it cannot issue
+//! requests while stuck waiting on one), so a client p99 far below the
+//! server p99 is a measurement artifact — the report flags it.
+//!
 //! `--overload` (self-contained only) measures behavior *past* capacity:
 //! the server boots with a deliberately tiny pool (2 workers, queue depth
 //! 4) and the load uses one-shot `connection: close` requests so every
 //! request passes through admission. The report then covers the shed rate,
 //! that every 503 carried `Retry-After`, and how far saturation pushed the
 //! p99 of the *accepted* requests versus an unloaded calibration run.
+//!
+//! `--compare-batching` (self-contained only) measures the model-pass
+//! amortization win: the same steady load is driven twice, once against
+//! a server with cross-connection micro-batching disabled (`max_batch
+//! 0`) and once with it enabled, and the report carries both throughputs
+//! plus their ratio (`batched_speedup`).
 
 use serde::Serialize;
 use serve::{serve, ModelBundle, Provenance, ServerConfig};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// The `--json` report written to `BENCH_serve.json`. In `steady` mode the
-/// overload-only fields stay at zero.
+/// The `--json` report written to `BENCH_serve.json`. Fields that only
+/// one mode produces stay at zero in the others.
 #[derive(Serialize)]
 struct Report {
     mode: String,
@@ -48,6 +63,24 @@ struct Report {
     shed_rate: f64,
     unloaded_p99_ms: f64,
     saturated_over_unloaded_p99: f64,
+    /// Server-side `bstc_request_duration_us{route="/classify"}` p50,
+    /// scraped from `/metrics` at run end (0 when the scrape failed).
+    server_p50_ms: f64,
+    /// Server-side p99 — whole-request wall time as the *server* saw it.
+    server_p99_ms: f64,
+    /// Requests in the scraped server-side histogram (windowed: last
+    /// 1–2 minutes).
+    server_requests: u64,
+    /// True when the client p99 sits far below the server p99: the
+    /// closed-loop client under-sampled slow periods (coordinated
+    /// omission), so trust the server percentiles over the client ones.
+    coordinated_omission_skew: bool,
+    /// `--compare-batching` only: samples/sec with `max_batch 0`.
+    unbatched_samples_per_sec: f64,
+    /// `--compare-batching` only: samples/sec with batching enabled.
+    batched_samples_per_sec: f64,
+    /// `--compare-batching` only: batched over unbatched throughput.
+    batched_speedup: f64,
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -73,39 +106,50 @@ fn main() {
     let scale: usize = parse_flag(&args, "--scale", 40);
     let json = args.iter().any(|a| a == "--json");
     let overload = args.iter().any(|a| a == "--overload");
-    if overload && flag(&args, "--addr").is_some() {
-        eprintln!("error: --overload is self-contained; it cannot target --addr");
+    let compare = args.iter().any(|a| a == "--compare-batching");
+    let max_batch: usize = parse_flag(&args, "--max-batch", ServerConfig::default().max_batch);
+    let batch_wait = Duration::from_micros(parse_flag(
+        &args,
+        "--batch-wait-us",
+        ServerConfig::default().batch_wait.as_micros() as u64,
+    ));
+    if (overload || compare) && flag(&args, "--addr").is_some() {
+        eprintln!("error: --overload/--compare-batching are self-contained; cannot target --addr");
+        std::process::exit(2);
+    }
+    if overload && compare {
+        eprintln!("error: pick one of --overload and --compare-batching");
         std::process::exit(2);
     }
 
     // Query rows come from the same synthetic distribution regardless of
     // target mode; against an external server they must still match its
     // gene count, so both sides should use the same --seed/--scale.
-    let data = microarray::synth::presets::all_aml(seed).scaled_down(scale.max(1)).generate();
+    // `--samples` overrides the preset's training-set size: BSTCE
+    // inference cost grows ~quadratically with training samples while
+    // request parse cost only grows with genes, so more samples shifts
+    // the served workload from parse-bound to kernel-bound.
+    let samples: usize = parse_flag(&args, "--samples", 0);
+    let mut cfg = microarray::synth::presets::all_aml(seed).scaled_down(scale.max(1));
+    if samples > 0 {
+        cfg.class_sizes = vec![(samples * 2).div_ceil(3), samples / 3];
+    }
+    let data = cfg.generate();
     let rows: Vec<Vec<f64>> = (0..data.n_samples()).map(|s| data.row(s).to_vec()).collect();
 
-    let (addr, handle) = match flag(&args, "--addr") {
-        Some(addr) => (addr, None),
-        None => {
-            let bundle = ModelBundle::train(&data, Provenance::new("ALL/AML synth", Some(seed)))
-                .unwrap_or_else(|e| {
-                    eprintln!("error: training self-contained bundle failed: {e}");
-                    std::process::exit(1);
-                });
-            // Overload mode shrinks the pool and queue so a modest client
-            // count drives the server well past capacity.
-            let config = if overload {
-                ServerConfig { threads: 2, queue_depth: 2, ..ServerConfig::default() }
-            } else {
-                ServerConfig::default()
-            };
-            let handle = serve(config, bundle).unwrap_or_else(|e| {
-                eprintln!("error: starting in-process server failed: {e}");
+    let train = || {
+        ModelBundle::train(&data, Provenance::new("ALL/AML synth", Some(seed))).unwrap_or_else(
+            |e| {
+                eprintln!("error: training self-contained bundle failed: {e}");
                 std::process::exit(1);
-            });
-            eprintln!("self-contained: serving synthetic ALL/AML bundle on {}", handle.addr());
-            (handle.addr().to_string(), Some(handle))
-        }
+            },
+        )
+    };
+    let boot = |config: ServerConfig| {
+        serve(config, train()).unwrap_or_else(|e| {
+            eprintln!("error: starting in-process server failed: {e}");
+            std::process::exit(1);
+        })
     };
 
     let bodies: Vec<String> = rows
@@ -126,47 +170,111 @@ fn main() {
         .collect();
 
     if overload {
-        run_overload(&addr, &bodies, requests, concurrency, batch, json);
-        if let Some(handle) = handle {
-            handle.shutdown();
+        // A deliberately tiny pool and queue so a modest client count
+        // drives the server well past capacity.
+        let handle = boot(ServerConfig {
+            threads: 2,
+            queue_depth: 2,
+            max_batch,
+            batch_wait,
+            ..ServerConfig::default()
+        });
+        eprintln!("self-contained: overload target on {}", handle.addr());
+        run_overload(&handle.addr().to_string(), &bodies, requests, concurrency, batch, json);
+        handle.shutdown();
+        return;
+    }
+
+    if compare {
+        // As many workers as clients so concurrent requests can be
+        // in-flight together — that concurrency is what the batcher
+        // coalesces. Identical pool for both runs; only batching differs.
+        let threads = concurrency.max(2);
+        let mk = |mb: usize| ServerConfig {
+            threads,
+            max_batch: mb,
+            batch_wait,
+            ..ServerConfig::default()
+        };
+        eprintln!(
+            "serve_bench: COMPARE — {requests} requests x batch {batch}, concurrency \
+             {concurrency}, {threads} workers, max-batch {max_batch}"
+        );
+        let warmup = (requests / 10).clamp(1, 200);
+        let handle = boot(mk(0));
+        let addr = handle.addr().to_string();
+        run_load(&addr, &bodies, warmup, concurrency);
+        let (unbatched, elapsed_u) = run_load(&addr, &bodies, requests, concurrency);
+        handle.shutdown();
+        let unbatched_sps = (unbatched.len() * batch) as f64 / elapsed_u.as_secs_f64();
+        eprintln!("unbatched: {unbatched_sps:.1} samples/s in {:.2}s", elapsed_u.as_secs_f64());
+
+        let handle = boot(mk(max_batch.max(1)));
+        let addr = handle.addr().to_string();
+        run_load(&addr, &bodies, warmup, concurrency);
+        let (batched, elapsed_b) = run_load(&addr, &bodies, requests, concurrency);
+        let server = scrape_classify_duration(&addr);
+        handle.shutdown();
+        let batched_sps = (batched.len() * batch) as f64 / elapsed_b.as_secs_f64();
+        let speedup = batched_sps / unbatched_sps;
+        let pct = |p: f64| obs::percentile_of_sorted(&batched, p) as f64 / 1000.0;
+        let max_ms = *batched.last().expect("at least one request") as f64 / 1000.0;
+        println!(
+            "compare-batching: unbatched {unbatched_sps:.1} samples/s, batched \
+             {batched_sps:.1} samples/s — {speedup:.2}x amortization win"
+        );
+        println!(
+            "batched latency: p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {max_ms:.3} ms",
+            pct(0.50),
+            pct(0.90),
+            pct(0.99),
+        );
+        print_server_side(&server, pct(0.99));
+        if json {
+            write_report(Report {
+                mode: "compare_batching".into(),
+                requests: batched.len(),
+                concurrency,
+                batch,
+                elapsed_secs: elapsed_b.as_secs_f64(),
+                requests_per_sec: batched.len() as f64 / elapsed_b.as_secs_f64(),
+                samples_per_sec: batched_sps,
+                p50_ms: pct(0.50),
+                p90_ms: pct(0.90),
+                p99_ms: pct(0.99),
+                max_ms,
+                accepted: batched.len(),
+                shed: 0,
+                shed_rate: 0.0,
+                unloaded_p99_ms: 0.0,
+                saturated_over_unloaded_p99: 0.0,
+                server_p50_ms: server.as_ref().map_or(0.0, |s| s.p50_ms),
+                server_p99_ms: server.as_ref().map_or(0.0, |s| s.p99_ms),
+                server_requests: server.as_ref().map_or(0, |s| s.count),
+                coordinated_omission_skew: co_skew(pct(0.99), &server),
+                unbatched_samples_per_sec: unbatched_sps,
+                batched_samples_per_sec: batched_sps,
+                batched_speedup: speedup,
+            });
         }
         return;
     }
+
+    let (addr, handle) = match flag(&args, "--addr") {
+        Some(addr) => (addr, None),
+        None => {
+            let handle = boot(ServerConfig { max_batch, batch_wait, ..ServerConfig::default() });
+            eprintln!("self-contained: serving synthetic ALL/AML bundle on {}", handle.addr());
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
 
     eprintln!(
         "serve_bench: {requests} requests x batch {batch}, concurrency {concurrency}, \
          target {addr}"
     );
-    let started = Instant::now();
-    let per_worker = requests.div_ceil(concurrency);
-    let latencies_us: Vec<u64> = std::thread::scope(|scope| {
-        let mut joins = Vec::with_capacity(concurrency);
-        for w in 0..concurrency {
-            let addr = &addr;
-            let bodies = &bodies;
-            joins.push(scope.spawn(move || {
-                let mut latencies = Vec::with_capacity(per_worker);
-                let mut conn = Connection::open(addr);
-                for i in 0..per_worker {
-                    let body = &bodies[(w * per_worker + i) % bodies.len()];
-                    let t0 = Instant::now();
-                    let status = conn.post_classify(addr, body);
-                    latencies.push(t0.elapsed().as_micros() as u64);
-                    if status != 200 {
-                        eprintln!("error: /classify returned HTTP {status}");
-                        std::process::exit(1);
-                    }
-                }
-                latencies
-            }));
-        }
-        joins.into_iter().flat_map(|j| j.join().expect("worker panicked")).collect()
-    });
-    let elapsed = started.elapsed();
-
-    let total = latencies_us.len();
-    let mut sorted = latencies_us;
-    sorted.sort_unstable();
+    let (sorted, elapsed) = run_load(&addr, &bodies, requests, concurrency);
+    let total = sorted.len();
     // Shared nearest-rank helper: the old truncating index under-reported
     // p99 for small runs (N=100 read index 98).
     let pct = |p: f64| obs::percentile_of_sorted(&sorted, p) as f64 / 1000.0;
@@ -184,6 +292,8 @@ fn main() {
         pct(0.99),
         max_ms
     );
+    let server = scrape_classify_duration(&addr);
+    print_server_side(&server, pct(0.99));
 
     if json {
         write_report(Report {
@@ -203,11 +313,138 @@ fn main() {
             shed_rate: 0.0,
             unloaded_p99_ms: 0.0,
             saturated_over_unloaded_p99: 0.0,
+            server_p50_ms: server.as_ref().map_or(0.0, |s| s.p50_ms),
+            server_p99_ms: server.as_ref().map_or(0.0, |s| s.p99_ms),
+            server_requests: server.as_ref().map_or(0, |s| s.count),
+            coordinated_omission_skew: co_skew(pct(0.99), &server),
+            unbatched_samples_per_sec: 0.0,
+            batched_samples_per_sec: 0.0,
+            batched_speedup: 0.0,
         });
     }
 
     if let Some(handle) = handle {
         handle.shutdown();
+    }
+}
+
+/// Drives the steady closed-loop keep-alive load. Returns the **sorted**
+/// per-request client latencies (µs) and the elapsed wall clock.
+fn run_load(
+    addr: &str,
+    bodies: &[String],
+    requests: usize,
+    concurrency: usize,
+) -> (Vec<u64>, Duration) {
+    let started = Instant::now();
+    let per_worker = requests.div_ceil(concurrency);
+    let mut latencies_us: Vec<u64> = std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(concurrency);
+        for w in 0..concurrency {
+            joins.push(scope.spawn(move || {
+                let mut latencies = Vec::with_capacity(per_worker);
+                let mut conn = Connection::open(addr);
+                for i in 0..per_worker {
+                    let body = &bodies[(w * per_worker + i) % bodies.len()];
+                    let t0 = Instant::now();
+                    let status = conn.post_classify(addr, body);
+                    latencies.push(t0.elapsed().as_micros() as u64);
+                    if status != 200 {
+                        eprintln!("error: /classify returned HTTP {status}");
+                        std::process::exit(1);
+                    }
+                }
+                latencies
+            }));
+        }
+        joins.into_iter().flat_map(|j| j.join().expect("worker panicked")).collect()
+    });
+    let elapsed = started.elapsed();
+    latencies_us.sort_unstable();
+    (latencies_us, elapsed)
+}
+
+/// Server-side `/classify` request-duration percentiles, scraped from
+/// the target's `/metrics` exposition.
+struct ServerHist {
+    count: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Minimal `GET` returning the response body (`None` on any failure —
+/// the scrape is best-effort garnish on the client measurements).
+fn http_get(addr: &str, path: &str) -> Option<String> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream);
+    let request = format!("GET {path} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n");
+    reader.get_mut().write_all(request.as_bytes()).ok()?;
+    let mut text = String::new();
+    reader.read_to_string(&mut text).ok()?;
+    Some(text.split_once("\r\n\r\n")?.1.to_string())
+}
+
+/// Scrapes `bstc_request_duration_us{route="/classify"}` and extracts
+/// nearest-rank percentiles from its cumulative buckets. The family is
+/// windowed server-side, so this reflects the run just driven, not the
+/// server's whole lifetime.
+fn scrape_classify_duration(addr: &str) -> Option<ServerHist> {
+    let metrics = http_get(addr, "/metrics")?;
+    let bucket_prefix = "bstc_request_duration_us_bucket{route=\"/classify\",le=\"";
+    let count_prefix = "bstc_request_duration_us_count{route=\"/classify\"}";
+    let mut buckets: Vec<(f64, u64)> = Vec::new();
+    let mut count = 0u64;
+    for line in metrics.lines() {
+        if let Some(rest) = line.strip_prefix(bucket_prefix) {
+            let (le, tail) = rest.split_once("\"}")?;
+            let le: f64 = if le == "+Inf" { f64::INFINITY } else { le.parse().ok()? };
+            buckets.push((le, tail.trim().parse().ok()?));
+        } else if let Some(rest) = line.strip_prefix(count_prefix) {
+            count = rest.trim().parse().ok()?;
+        }
+    }
+    if count == 0 || buckets.is_empty() {
+        return None;
+    }
+    let pct = |p: f64| {
+        let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+        buckets
+            .iter()
+            .find(|(_, cum)| *cum >= rank)
+            .map(|(le, _)| *le)
+            .filter(|le| le.is_finite())
+            // Rank in the +Inf bucket: report the largest finite bound.
+            .or_else(|| buckets.iter().rev().map(|(le, _)| *le).find(|le| le.is_finite()))
+            .unwrap_or(0.0)
+            / 1000.0
+    };
+    Some(ServerHist { count, p50_ms: pct(0.50), p99_ms: pct(0.99) })
+}
+
+/// Coordinated-omission check: the closed-loop client cannot issue
+/// requests while one is stuck, so slow periods are under-sampled in
+/// its percentiles. A client p99 at less than half the server-observed
+/// p99 means the client numbers are too rosy to trust.
+fn co_skew(client_p99_ms: f64, server: &Option<ServerHist>) -> bool {
+    server.as_ref().is_some_and(|s| s.count > 0 && client_p99_ms * 2.0 < s.p99_ms)
+}
+
+fn print_server_side(server: &Option<ServerHist>, client_p99_ms: f64) {
+    match server {
+        Some(s) => {
+            let skew = if co_skew(client_p99_ms, server) {
+                "  [WARNING: client p99 << server p99 — coordinated-omission skew, trust the \
+                 server numbers]"
+            } else {
+                ""
+            };
+            println!(
+                "server-side: p50 {:.3} ms  p99 {:.3} ms over {} requests{skew}",
+                s.p50_ms, s.p99_ms, s.count
+            );
+        }
+        None => println!("server-side: /metrics scrape failed; client percentiles only"),
     }
 }
 
@@ -368,6 +605,9 @@ fn run_overload(
         max_ms
     );
 
+    let server = scrape_classify_duration(addr);
+    print_server_side(&server, pct(0.99));
+
     if json {
         write_report(Report {
             mode: "overload".into(),
@@ -386,6 +626,13 @@ fn run_overload(
             shed_rate,
             unloaded_p99_ms,
             saturated_over_unloaded_p99: ratio,
+            server_p50_ms: server.as_ref().map_or(0.0, |s| s.p50_ms),
+            server_p99_ms: server.as_ref().map_or(0.0, |s| s.p99_ms),
+            server_requests: server.as_ref().map_or(0, |s| s.count),
+            coordinated_omission_skew: co_skew(pct(0.99), &server),
+            unbatched_samples_per_sec: 0.0,
+            batched_samples_per_sec: 0.0,
+            batched_speedup: 0.0,
         });
     }
 }

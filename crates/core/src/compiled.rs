@@ -262,6 +262,94 @@ impl CompiledBst {
     }
 }
 
+impl CompiledBst {
+    /// The batch sweep: evaluates this table against *every* query of a
+    /// batch in one pass over the compiled masks, with the loop order
+    /// inverted relative to [`CompiledBst::class_value`] — **outer over
+    /// compiled columns, inner over queries** — so each column's mask
+    /// block is loaded from memory once and stays cache-resident while
+    /// it serves the whole batch. Per-query model traffic drops from
+    /// `|model|` to `|model| / batch`, which is the whole point of
+    /// cross-connection micro-batching: the serving hot path is
+    /// memory-bound on the mask tables, not compute-bound.
+    ///
+    /// Per query the arithmetic is *identical* to the per-query kernel —
+    /// the same column computations run in the same ascending column
+    /// order, so each query's `col_sum` accumulates in exactly the order
+    /// `class_value` uses and the result is **bit-identical** (enforced
+    /// by `tests/prop_compiled.rs` across all three arithmetizations).
+    ///
+    /// Fills `scratch.col_sum` / `scratch.cols`, one slot per query.
+    fn batch_sweep(&self, queries: &[BitSet], arith: Arithmetization, scratch: &mut BatchScratch) {
+        scratch.inner.reserve_bst(self);
+        scratch.col_sum.clear();
+        scratch.col_sum.resize(queries.len(), 0.0);
+        scratch.cols.clear();
+        scratch.cols.resize(queries.len(), 0);
+        for c in 0..self.class_expr.len() {
+            for (qi, query) in queries.iter().enumerate() {
+                if !self.column_satisfactions(c, query, &mut scratch.inner) {
+                    continue; // blank column for this query
+                }
+                let v_s = match arith {
+                    Arithmetization::Min => self.column_value_min(c, query, &mut scratch.inner),
+                    _ => {
+                        let mut sum = 0.0;
+                        let mut n = 0usize;
+                        for g in scratch.inner.shared.iter() {
+                            sum += cell_value(&self.out_expr[g], &scratch.inner.vh, arith);
+                            n += 1;
+                        }
+                        sum / n as f64
+                    }
+                };
+                scratch.col_sum[qi] += v_s;
+                scratch.cols[qi] += 1;
+            }
+        }
+    }
+}
+
+/// Reusable working memory for the batch-sweep kernel: the per-(column,
+/// query) temporaries of a single [`Scratch`] plus flat per-query
+/// accumulator arenas. Like [`Scratch`], buffers grow to the largest
+/// (model shape, batch size) seen and are then reused, so steady-state
+/// batch classification performs **zero heap allocations** (asserted by
+/// `tests/alloc_free.rs`).
+#[derive(Clone, Debug, Default)]
+pub struct BatchScratch {
+    /// Per-(column, query) temporaries, shared across the batch.
+    inner: Scratch,
+    /// Per-query running sum of non-blank column values (`Σ V_s`).
+    col_sum: Vec<f64>,
+    /// Per-query count of non-blank columns.
+    cols: Vec<u32>,
+    /// Class values of the last batch, `values[q * n_classes + class]`.
+    values: Vec<f64>,
+    /// Stride of `values` (classes of the last model evaluated).
+    n_classes: usize,
+}
+
+impl BatchScratch {
+    /// An empty batch scratch; buffers are grown on first use.
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
+    }
+
+    /// Pre-sizes the per-model buffers (the per-batch arenas still grow
+    /// on the first batch of each size).
+    pub fn for_model(model: &CompiledModel) -> BatchScratch {
+        BatchScratch { inner: Scratch::for_model(model), ..BatchScratch::default() }
+    }
+
+    /// Class values of query `q` from the most recent
+    /// [`CompiledModel::class_values_batch_into`] call, indexed by
+    /// `ClassId`.
+    pub fn values_of(&self, q: usize) -> &[f64] {
+        &self.values[q * self.n_classes..(q + 1) * self.n_classes]
+    }
+}
+
 /// Cell value of a non-empty (g, c) cell (Algorithm 5 lines 7–11) given
 /// the column's fanned-out satisfactions.
 #[inline]
@@ -448,6 +536,55 @@ impl CompiledModel {
     pub fn confidence_gap(&self, query: &BitSet, scratch: &mut Scratch) -> f64 {
         self.class_values_into(query, scratch);
         confidence_gap_of(&scratch.values)
+    }
+
+    /// Computes every class value of every query in `queries` with the
+    /// inverted batch-sweep kernel — each class table's masks stream
+    /// through cache once for the whole batch instead of once per query.
+    /// Read the results back via [`BatchScratch::values_of`].
+    /// Allocation-free once `scratch` has grown to this model's shape and
+    /// the batch size. Bit-identical to calling
+    /// [`CompiledModel::class_values_into`] per query.
+    pub fn class_values_batch_into(&self, queries: &[BitSet], scratch: &mut BatchScratch) {
+        scratch.n_classes = self.bsts.len();
+        let n = queries.len() * self.bsts.len();
+        scratch.values.clear();
+        scratch.values.resize(n, 0.0);
+        for (class, bst) in self.bsts.iter().enumerate() {
+            bst.batch_sweep(queries, self.arith, scratch);
+            for qi in 0..queries.len() {
+                let v = if scratch.cols[qi] == 0 {
+                    0.0 // the query shares nothing with this class
+                } else {
+                    scratch.col_sum[qi] / scratch.cols[qi] as f64
+                };
+                scratch.values[qi * scratch.n_classes + class] = v;
+            }
+        }
+    }
+
+    /// Batch form of [`CompiledModel::classify`]: predictions for every
+    /// query of a batch via one model pass, appended to `out` (cleared
+    /// first). Argmax ties break to the smallest class index, exactly as
+    /// the per-query path. Allocation-free in the steady state.
+    pub fn classify_batch_into(
+        &self,
+        queries: &[BitSet],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<ClassId>,
+    ) {
+        self.class_values_batch_into(queries, scratch);
+        out.clear();
+        for qi in 0..queries.len() {
+            let values = scratch.values_of(qi);
+            let mut best = 0;
+            for (i, &v) in values.iter().enumerate().skip(1) {
+                if v > values[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
     }
 
     /// Classifies a batch, fanning chunks out across cores with one

@@ -4,7 +4,7 @@
 //! system one; this file holds exactly one test so no concurrent test can
 //! pollute the counter.
 
-use bstc::{Arithmetization, BstcModel, Scratch};
+use bstc::{Arithmetization, BatchScratch, BstcModel, Scratch};
 use microarray::synth::BoolSynthConfig;
 use microarray::BitSet;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -80,5 +80,25 @@ fn steady_state_classify_does_not_allocate() {
             5 * queries.len()
         );
         assert!(predictions > 0); // keep the loop observable
+
+        // The batch-sweep kernel makes the same claim: once BatchScratch
+        // has seen the model shape and batch size, whole-batch
+        // classification is allocation-free.
+        let mut batch_scratch = BatchScratch::for_model(&compiled);
+        let mut batch_out = Vec::with_capacity(queries.len());
+        compiled.classify_batch_into(&queries, &mut batch_scratch, &mut batch_out);
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..5 {
+            compiled.classify_batch_into(&queries, &mut batch_scratch, &mut batch_out);
+            predictions += batch_out.iter().sum::<usize>();
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "{arith:?}: steady-state batch classification allocated {} times",
+            after - before,
+        );
+        assert!(predictions > 0);
     }
 }

@@ -4,7 +4,7 @@
 //! for every [`Arithmetization`], and the parallel trainer must produce
 //! exactly the sequential trainer's output.
 
-use bstc::{Arithmetization, Bst, BstcModel, Scratch};
+use bstc::{Arithmetization, BatchScratch, Bst, BstcModel, Scratch};
 use microarray::{BitSet, BoolDataset};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -96,6 +96,46 @@ proptest! {
                 compiled.classify_all(&queries),
                 queries.iter().map(|q| model.classify(q)).collect::<Vec<_>>()
             );
+        }
+    }
+
+    /// The inverted batch-sweep kernel (outer columns, inner queries) is
+    /// bit-identical to the per-query compiled kernel for all three
+    /// arithmetizations, across batch sizes including the empty batch.
+    #[test]
+    fn batch_sweep_is_bit_identical_to_per_query(case in cases()) {
+        let (data, mut rng) = build_dataset(&case);
+        for arith in [Arithmetization::Min, Arithmetization::Product, Arithmetization::Mean] {
+            let model = BstcModel::train_with(&data, arith);
+            let compiled = model.compile();
+            let mut scratch = Scratch::new();
+            let mut batch_scratch = BatchScratch::new();
+            let mut predictions = Vec::new();
+            let mut queries: Vec<BitSet> = data.samples().to_vec();
+            queries.push(BitSet::new(case.n_items));
+            queries.push(BitSet::full(case.n_items));
+            for _ in 0..4 {
+                let density = rng.random_range(0.0..1.0);
+                queries.push(random_set(case.n_items, density, &mut rng));
+            }
+            // One reused scratch across varying batch sizes, so steady-state
+            // buffer reuse is exercised, not just the fresh-allocation path.
+            for batch in [queries.len(), 1, 3, 0, queries.len()] {
+                let part = &queries[..batch];
+                compiled.classify_batch_into(part, &mut batch_scratch, &mut predictions);
+                prop_assert_eq!(predictions.len(), part.len());
+                for (qi, q) in part.iter().enumerate() {
+                    let reference = compiled.class_values(q, &mut scratch);
+                    // Exact equality — loop inversion must not perturb a
+                    // single float operation's order.
+                    prop_assert_eq!(
+                        &reference[..],
+                        batch_scratch.values_of(qi),
+                        "{:?} batch={} q={}", arith, batch, qi
+                    );
+                    prop_assert_eq!(compiled.classify(q, &mut scratch), predictions[qi]);
+                }
+            }
         }
     }
 

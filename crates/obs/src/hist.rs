@@ -138,6 +138,28 @@ impl Histogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
 
+    /// Accumulates this histogram's bucket counts into `counts`
+    /// (`counts.len()` must be [`N_BUCKETS`]). Used by the windowed
+    /// variant to merge its two epochs into one snapshot.
+    pub(crate) fn add_buckets_into(&self, counts: &mut [u64]) {
+        for (slot, b) in counts.iter_mut().zip(self.buckets.iter()) {
+            *slot += b.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Zeroes every bucket plus the count and sum. Not atomic with
+    /// respect to concurrent `record` calls — a racing record may land
+    /// in a partially cleared histogram — which is acceptable for the
+    /// metrics use case (the windowed flip loses at most a sample or
+    /// two per window).
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
     /// The nearest-rank p-quantile of the recorded values, reported as
     /// the containing bucket's upper edge (within ~6% above the true
     /// sample; never below it). Returns 0 when nothing was recorded.
@@ -146,7 +168,28 @@ impl Histogram {
     /// once, the target rank computed by [`nearest_rank_index`] over
     /// that snapshot's total, and the buckets walked cumulatively.
     pub fn percentile(&self, p: f64) -> u64 {
-        let counts = self.load_buckets();
+        percentile_from_counts(&self.load_buckets())(p)
+    }
+
+    /// Appends this histogram in Prometheus text exposition format:
+    /// cumulative `<metric>_bucket{...,le="..."}` samples (non-empty
+    /// buckets plus `+Inf`), then `<metric>_count` and `<metric>_sum`.
+    /// The caller writes the one `# TYPE <metric> histogram` line per
+    /// family. Counts are snapshotted once, so the rendered buckets are
+    /// always monotone and `_count` equals the `+Inf` bucket.
+    pub fn render_into(&self, out: &mut String, metric: &str, labels: &[(&str, &str)]) {
+        render_counts_into(out, metric, labels, &self.load_buckets(), self.sum());
+    }
+}
+
+/// Number of buckets a [`Histogram`] snapshot holds.
+pub(crate) const BUCKETS_LEN: usize = N_BUCKETS;
+
+/// Nearest-rank quantile extraction over a bucket-count snapshot; returns
+/// a closure so one snapshot can serve several quantiles. Semantics match
+/// [`Histogram::percentile`].
+pub(crate) fn percentile_from_counts(counts: &[u64]) -> impl Fn(f64) -> u64 + '_ {
+    move |p: f64| {
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0;
@@ -161,29 +204,30 @@ impl Histogram {
         }
         bucket_bound(N_BUCKETS - 1)
     }
+}
 
-    /// Appends this histogram in Prometheus text exposition format:
-    /// cumulative `<metric>_bucket{...,le="..."}` samples (non-empty
-    /// buckets plus `+Inf`), then `<metric>_count` and `<metric>_sum`.
-    /// The caller writes the one `# TYPE <metric> histogram` line per
-    /// family. Counts are snapshotted once, so the rendered buckets are
-    /// always monotone and `_count` equals the `+Inf` bucket.
-    pub fn render_into(&self, out: &mut String, metric: &str, labels: &[(&str, &str)]) {
-        let plain = render_labels(labels, None);
-        let counts = self.load_buckets();
-        let mut cumulative = 0u64;
-        for (i, c) in counts.iter().enumerate() {
-            if *c > 0 {
-                cumulative += c;
-                let le = render_labels(labels, Some(bucket_bound(i)));
-                let _ = writeln!(out, "{metric}_bucket{le} {cumulative}");
-            }
+/// Prometheus text exposition of a bucket-count snapshot (the body of
+/// [`Histogram::render_into`], shared with the windowed variant).
+pub(crate) fn render_counts_into(
+    out: &mut String,
+    metric: &str,
+    labels: &[(&str, &str)],
+    counts: &[u64],
+    sum: u64,
+) {
+    let plain = render_labels(labels, None);
+    let mut cumulative = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        if *c > 0 {
+            cumulative += c;
+            let le = render_labels(labels, Some(bucket_bound(i)));
+            let _ = writeln!(out, "{metric}_bucket{le} {cumulative}");
         }
-        let inf = render_labels(labels, Some(u64::MAX));
-        let _ = writeln!(out, "{metric}_bucket{inf} {cumulative}");
-        let _ = writeln!(out, "{metric}_count{plain} {cumulative}");
-        let _ = writeln!(out, "{metric}_sum{plain} {}", self.sum());
     }
+    let inf = render_labels(labels, Some(u64::MAX));
+    let _ = writeln!(out, "{metric}_bucket{inf} {cumulative}");
+    let _ = writeln!(out, "{metric}_count{plain} {cumulative}");
+    let _ = writeln!(out, "{metric}_sum{plain} {sum}");
 }
 
 /// `{k="v",...}` (empty string when no labels), with `le` appended for
@@ -273,6 +317,22 @@ mod tests {
         let p50 = h.percentile(0.50);
         assert!((501..=543).contains(&p50), "p50 {p50}");
         assert_eq!(h.percentile(0.0), bucket_bound(bucket_index(1)));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        for v in [1u64, 70, 9_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(0.5), bucket_bound(bucket_index(42)));
     }
 
     #[test]

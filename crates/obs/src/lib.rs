@@ -13,9 +13,14 @@
 //!   ("mdl_cuts")` … drop records the elapsed microseconds) feeding a
 //!   process-global [`Registry`] of named histograms that renders as one
 //!   Prometheus histogram family (`bstc_stage_duration_us{stage=...}`);
+//! * [`window`] — [`WindowedHistogram`], a two-epoch flip variant of
+//!   [`Histogram`] whose reports cover only the last 1–2 windows, so
+//!   scraped p99s reflect steady state instead of mixing in cold-start
+//!   samples;
 //! * [`log`] — a structured logger emitting JSON lines (or plain text)
-//!   with per-request trace IDs ([`log::request_id`]), swappable sinks
-//!   for tests, and no global allocation when disabled.
+//!   with per-request trace IDs ([`log::request_id`]), a minimum-level
+//!   filter plus per-(level, event) token-bucket rate limiting, and
+//!   swappable sinks for tests.
 //!
 //! The training pipeline records into the global registry (stages
 //! `mdl_cuts`, `binarize`, `bst_build`, `compile`, `classify_batch`);
@@ -28,7 +33,9 @@
 pub mod hist;
 pub mod log;
 pub mod stage;
+pub mod window;
 
 pub use hist::{nearest_rank_index, percentile_of_sorted, Histogram};
-pub use log::LogFormat;
+pub use log::{Level, LogFormat};
 pub use stage::{global, Registry, Stage, StageTotal};
+pub use window::WindowedHistogram;

@@ -1,4 +1,5 @@
-//! Structured logging: JSON lines (or plain text) with request IDs.
+//! Structured logging: JSON lines (or plain text) with request IDs,
+//! a minimum-level filter and per-(level, event) rate limiting.
 //!
 //! One event = one line on the configured sink (stderr by default).
 //! JSON format emits `{"ts":...,"level":"info","event":"request",...}`
@@ -7,14 +8,26 @@
 //! quoting only where needed. The sink is swappable to an in-memory
 //! buffer so integration tests can assert on emitted lines.
 //!
+//! Events below the configured [`Level`] ([`set_level`], default
+//! [`Level::Info`]) are dropped before any formatting. Events at or
+//! above it pass through a token bucket keyed by `(level, event)`
+//! ([`set_rate_limit`]): each key may burst up to `burst` lines, then
+//! refills at `per_sec` — so a hot 404 loop logging the same `request`
+//! event thousands of times per second emits a bounded trickle instead
+//! of saturating the sink, while distinct events (and higher levels)
+//! keep their own budget. When a throttled key next earns a token, the
+//! emitted line carries a `suppressed=<n>` field accounting for the
+//! dropped lines, so totals remain reconstructible.
+//!
 //! [`request_id`] generates 16-hex-char IDs suitable for `X-Request-Id`
 //! correlation: unique per process and across restarts, with no global
 //! RNG dependency.
 
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Output format for emitted log lines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +50,66 @@ impl std::str::FromStr for LogFormat {
     }
 }
 
+/// Severity of a log event, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Development-time detail, off by default.
+    Debug,
+    /// Normal operational events (the default minimum).
+    Info,
+    /// Degraded but self-healing conditions.
+    Warn,
+    /// Failures needing attention.
+    Error,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s {
+            "debug" => Ok(Level::Debug),
+            "info" => Ok(Level::Info),
+            "warn" => Ok(Level::Warn),
+            "error" => Ok(Level::Error),
+            other => Err(format!(
+                "unknown log level '{other}' (expected 'debug', 'info', 'warn' or 'error')"
+            )),
+        }
+    }
+}
+
+/// Token-bucket parameters for per-(level, event) rate limiting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Lines a single (level, event) key may emit back to back.
+    pub burst: u32,
+    /// Sustained refill rate per key, lines per second.
+    pub per_sec: f64,
+}
+
+/// Default limiter: generous enough that a healthy server never trips
+/// it, tight enough that a runaway loop is bounded to ~50 lines/s/key.
+pub const DEFAULT_RATE_LIMIT: RateLimit = RateLimit { burst: 500, per_sec: 50.0 };
+
+/// One (level, event) key's bucket.
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+    suppressed: u64,
+}
+
 enum Sink {
     Stderr,
     Buffer(Arc<Mutex<Vec<u8>>>),
@@ -45,9 +118,18 @@ enum Sink {
 struct State {
     format: LogFormat,
     sink: Sink,
+    min_level: Level,
+    rate: Option<RateLimit>,
+    buckets: Option<HashMap<(Level, String), Bucket>>,
 }
 
-static STATE: Mutex<State> = Mutex::new(State { format: LogFormat::Text, sink: Sink::Stderr });
+static STATE: Mutex<State> = Mutex::new(State {
+    format: LogFormat::Text,
+    sink: Sink::Stderr,
+    min_level: Level::Info,
+    rate: Some(DEFAULT_RATE_LIMIT),
+    buckets: None,
+});
 
 fn state() -> std::sync::MutexGuard<'static, State> {
     STATE.lock().unwrap_or_else(PoisonError::into_inner)
@@ -63,12 +145,34 @@ pub fn format() -> LogFormat {
     state().format
 }
 
+/// Sets the minimum level emitted (`bstc-cli serve --log-level`).
+/// Events below it are dropped before formatting.
+pub fn set_level(level: Level) {
+    state().min_level = level;
+}
+
+/// Current minimum emitted level.
+pub fn level() -> Level {
+    state().min_level
+}
+
+/// Replaces the per-(level, event) token-bucket limiter (`None`
+/// disables rate limiting entirely). Existing bucket state is cleared.
+pub fn set_rate_limit(rate: Option<RateLimit>) {
+    let mut guard = state();
+    guard.rate = rate;
+    guard.buckets = None;
+}
+
 /// Redirects all subsequent log output into an in-memory buffer and
 /// returns a handle to it (integration-test hook). Call
-/// [`use_stderr`] to restore the default sink.
+/// [`use_stderr`] to restore the default sink. Limiter bucket state is
+/// cleared so captures start from a full budget.
 pub fn capture() -> Arc<Mutex<Vec<u8>>> {
     let buffer = Arc::new(Mutex::new(Vec::new()));
-    state().sink = Sink::Buffer(Arc::clone(&buffer));
+    let mut guard = state();
+    guard.sink = Sink::Buffer(Arc::clone(&buffer));
+    guard.buckets = None;
     buffer
 }
 
@@ -77,24 +181,77 @@ pub fn use_stderr() {
     state().sink = Sink::Stderr;
 }
 
+/// Emits one event at level `debug` (dropped under the default filter).
+pub fn debug(event: &str, fields: &[(&str, &str)]) {
+    emit(Level::Debug, event, fields);
+}
+
 /// Emits one event at level `info`.
 pub fn info(event: &str, fields: &[(&str, &str)]) {
-    write_event("info", event, fields);
+    emit(Level::Info, event, fields);
 }
 
 /// Emits one event at level `warn`.
 pub fn warn(event: &str, fields: &[(&str, &str)]) {
-    write_event("warn", event, fields);
+    emit(Level::Warn, event, fields);
 }
 
 /// Emits one event at level `error`.
 pub fn error(event: &str, fields: &[(&str, &str)]) {
-    write_event("error", event, fields);
+    emit(Level::Error, event, fields);
 }
 
-/// Emits one event: a timestamp, level and event name followed by the
-/// given fields, formatted per the configured [`LogFormat`], written as
-/// a single line to the configured sink. Field order is preserved.
+/// Level filter + token bucket, then [`write_event`]. The bucket is
+/// checked and debited under the state lock; the `(level, event)` key's
+/// accumulated suppression count is flushed as a `suppressed=<n>` field
+/// on the next line that passes.
+pub fn emit(level: Level, event: &str, fields: &[(&str, &str)]) {
+    let suppressed = {
+        let mut guard = state();
+        if level < guard.min_level {
+            return;
+        }
+        match guard.rate {
+            None => 0,
+            Some(rate) => {
+                let now = Instant::now();
+                let bucket = guard
+                    .buckets
+                    .get_or_insert_with(HashMap::new)
+                    .entry((level, event.to_string()))
+                    .or_insert(Bucket {
+                        tokens: f64::from(rate.burst),
+                        refilled: now,
+                        suppressed: 0,
+                    });
+                bucket.tokens = (bucket.tokens
+                    + now.duration_since(bucket.refilled).as_secs_f64() * rate.per_sec)
+                    .min(f64::from(rate.burst));
+                bucket.refilled = now;
+                if bucket.tokens < 1.0 {
+                    bucket.suppressed += 1;
+                    return;
+                }
+                bucket.tokens -= 1.0;
+                std::mem::take(&mut bucket.suppressed)
+            }
+        }
+    };
+    if suppressed > 0 {
+        let n = suppressed.to_string();
+        let mut with_note: Vec<(&str, &str)> = fields.to_vec();
+        with_note.push(("suppressed", &n));
+        write_event(level.as_str(), event, &with_note);
+    } else {
+        write_event(level.as_str(), event, fields);
+    }
+}
+
+/// Emits one event unconditionally: a timestamp, level and event name
+/// followed by the given fields, formatted per the configured
+/// [`LogFormat`], written as a single line to the configured sink.
+/// Field order is preserved. Bypasses the level filter and rate
+/// limiter — use [`emit`] (or the level helpers) on anything hot.
 pub fn write_event(level: &str, event: &str, fields: &[(&str, &str)]) {
     let ts = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs_f64()).unwrap_or(0.0);
     let guard = state();
@@ -230,6 +387,73 @@ mod tests {
         assert!(line.contains("event=shed"), "{line}");
         assert!(line.contains("route=/classify"), "{line}");
         assert!(line.contains("why=\"queue full\""), "{line}");
+    }
+
+    #[test]
+    fn level_filter_drops_below_minimum() {
+        let _g = TEST_GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = captured(LogFormat::Text, || {
+            debug("noise", &[]); // default minimum is Info
+            info("kept", &[]);
+            set_level(Level::Warn);
+            info("dropped", &[]);
+            warn("kept_too", &[]);
+            set_level(Level::Debug);
+            debug("now_kept", &[]);
+            set_level(Level::Info);
+        });
+        assert!(!out.contains("event=noise"), "{out}");
+        assert!(out.contains("event=kept"), "{out}");
+        assert!(!out.contains("event=dropped"), "{out}");
+        assert!(out.contains("event=kept_too"), "{out}");
+        assert!(out.contains("event=now_kept"), "{out}");
+    }
+
+    #[test]
+    fn level_parses_and_orders() {
+        assert_eq!("warn".parse::<Level>().unwrap(), Level::Warn);
+        assert!("trace".parse::<Level>().is_err());
+        assert!(Level::Debug < Level::Info && Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn rate_limit_bounds_a_hot_loop_per_key() {
+        let _g = TEST_GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = captured(LogFormat::Text, || {
+            set_rate_limit(Some(RateLimit { burst: 3, per_sec: 0.0 }));
+            for _ in 0..50 {
+                info("hot", &[("path", "/nope")]);
+            }
+            // A distinct event and a distinct level each have their own
+            // bucket and still get through.
+            info("other", &[]);
+            warn("hot", &[]);
+            set_rate_limit(Some(DEFAULT_RATE_LIMIT));
+        });
+        assert_eq!(out.matches("event=hot").count(), 3 + 1, "{out}");
+        assert!(out.contains("event=other"), "{out}");
+        assert!(out.contains("level=warn event=hot"), "{out}");
+    }
+
+    #[test]
+    fn suppressed_count_is_flushed_on_refill() {
+        let _g = TEST_GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        let out = captured(LogFormat::Text, || {
+            set_rate_limit(Some(RateLimit { burst: 1, per_sec: 1000.0 }));
+            info("busy", &[]); // spends the only token
+            for _ in 0..7 {
+                info("busy", &[]);
+            }
+            // Earn a token back, then verify the next line accounts for
+            // every dropped one.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            info("busy", &[("k", "v")]);
+            set_rate_limit(Some(DEFAULT_RATE_LIMIT));
+        });
+        let resumed = out.lines().find(|l| l.contains("suppressed=")).expect("resume line");
+        assert!(resumed.contains("suppressed=7"), "{resumed}");
+        assert!(resumed.contains("k=v"), "{resumed}");
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! A windowed (two-epoch flip) variant of [`Histogram`].
+//!
+//! A cumulative histogram never forgets: a `/metrics` p99 scraped an hour
+//! into a run still mixes in the cold-start samples from minute one, so
+//! steady-state regressions hide behind stale history. A
+//! [`WindowedHistogram`] bounds that memory with the classic two-epoch
+//! flip: writers record into the *active* epoch (same lock-free fast path
+//! as [`Histogram::record`]); once the active epoch is older than the
+//! window, the next reader resets the inactive epoch and swaps. Reads
+//! merge **both** epochs, so every report covers between 1× and 2× the
+//! window — recent enough to reflect steady state, wide enough that a
+//! flip never empties the view mid-scrape.
+//!
+//! The flip is not atomic with respect to writers: a record racing the
+//! swap may land in the epoch being reset and be lost, or double into the
+//! freshly cleared one. That is at most a couple of samples per window —
+//! noise at metrics cardinality — and buys a zero-coordination record
+//! path.
+
+use crate::hist::{percentile_from_counts, render_counts_into, Histogram, BUCKETS_LEN};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A latency histogram that only remembers the last 1–2 windows of
+/// samples (see the module docs for the epoch-flip design).
+pub struct WindowedHistogram {
+    /// The two epochs; `active` indexes the one writers record into.
+    epochs: [Histogram; 2],
+    active: AtomicUsize,
+    window: Duration,
+    /// Instant of the last flip (guards the flip itself; the record path
+    /// never touches it).
+    flipped_at: Mutex<Instant>,
+}
+
+impl std::fmt::Debug for WindowedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedHistogram")
+            .field("window", &self.window)
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for WindowedHistogram {
+    /// A windowed histogram with the conventional scrape-friendly
+    /// 60-second window (covers several 10–15 s scrape intervals).
+    fn default() -> WindowedHistogram {
+        WindowedHistogram::new(Duration::from_secs(60))
+    }
+}
+
+impl WindowedHistogram {
+    /// An empty windowed histogram forgetting samples older than
+    /// 1–2 × `window`.
+    pub fn new(window: Duration) -> WindowedHistogram {
+        WindowedHistogram {
+            epochs: [Histogram::new(), Histogram::new()],
+            active: AtomicUsize::new(0),
+            window,
+            flipped_at: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// Records one value into the active epoch. Lock-free, same cost as
+    /// [`Histogram::record`].
+    pub fn record(&self, value: u64) {
+        self.epochs[self.active.load(Ordering::Relaxed)].record(value);
+    }
+
+    /// Rotates epochs if the active one has outlived the window. Called
+    /// from every read path; cheap when no flip is due (one mutex lock
+    /// per read — reads are scrapes, not the hot path).
+    fn maybe_flip(&self) {
+        let mut flipped_at = self.flipped_at.lock().unwrap_or_else(|e| e.into_inner());
+        if flipped_at.elapsed() < self.window {
+            return;
+        }
+        let active = self.active.load(Ordering::Relaxed);
+        let next = 1 - active;
+        // The outgoing inactive epoch holds the window before last —
+        // clear it and direct writers at it.
+        self.epochs[next].reset();
+        self.active.store(next, Ordering::Relaxed);
+        *flipped_at = Instant::now();
+    }
+
+    /// Merged bucket snapshot of both epochs.
+    fn merged_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; BUCKETS_LEN];
+        for epoch in &self.epochs {
+            epoch.add_buckets_into(&mut counts);
+        }
+        counts
+    }
+
+    /// Number of values recorded in the last 1–2 windows.
+    pub fn count(&self) -> u64 {
+        self.maybe_flip();
+        self.epochs.iter().map(|e| e.count()).sum()
+    }
+
+    /// Sum of the values recorded in the last 1–2 windows.
+    pub fn sum(&self) -> u64 {
+        self.maybe_flip();
+        self.epochs.iter().map(|e| e.sum()).sum()
+    }
+
+    /// Nearest-rank p-quantile over the last 1–2 windows (same bucket
+    /// semantics as [`Histogram::percentile`]).
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.maybe_flip();
+        percentile_from_counts(&self.merged_counts())(p)
+    }
+
+    /// Prometheus text exposition of the merged epochs (same shape as
+    /// [`Histogram::render_into`]). Note the rendered `_count`/`_sum`
+    /// are *windowed*, not cumulative — rate() over them is meaningless;
+    /// they exist for quantile extraction.
+    pub fn render_into(&self, out: &mut String, metric: &str, labels: &[(&str, &str)]) {
+        self.maybe_flip();
+        let counts = self.merged_counts();
+        let sum: u64 = self.epochs.iter().map(|e| e.sum()).sum();
+        render_counts_into(out, metric, labels, &counts, sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_both_epochs_within_window() {
+        let w = WindowedHistogram::new(Duration::from_secs(3600));
+        for v in 1..=100u64 {
+            w.record(v);
+        }
+        assert_eq!(w.count(), 100);
+        assert_eq!(w.sum(), 5050);
+        assert!(w.percentile(0.99) >= 99);
+    }
+
+    #[test]
+    fn flip_forgets_samples_older_than_two_windows() {
+        let w = WindowedHistogram::new(Duration::from_millis(1));
+        for _ in 0..50 {
+            w.record(1_000_000); // a slow cold start
+        }
+        // Two expired windows: first read flips (old samples now in the
+        // inactive epoch), second flip clears them.
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(w.count(), 50, "first flip keeps the previous epoch visible");
+        std::thread::sleep(Duration::from_millis(3));
+        let _ = w.count(); // second flip resets the old epoch
+        w.record(10);
+        assert_eq!(w.count(), 1, "cold-start samples evicted");
+        assert!(w.percentile(0.99) < 1000, "p99 reflects steady state only");
+    }
+
+    #[test]
+    fn render_matches_plain_histogram_shape() {
+        let w = WindowedHistogram::new(Duration::from_secs(3600));
+        for v in [3u64, 90, 2_000] {
+            w.record(v);
+        }
+        let mut out = String::new();
+        w.render_into(&mut out, "m", &[("route", "/classify")]);
+        assert!(out.contains("m_bucket{route=\"/classify\",le=\"+Inf\"} 3"), "{out}");
+        assert!(out.contains("m_count{route=\"/classify\"} 3"), "{out}");
+        assert!(out.contains("m_sum{route=\"/classify\"} 2093"), "{out}");
+    }
+}

@@ -255,27 +255,44 @@ impl ModelBundle {
         row: &[f64],
         scratch: &mut Scratch,
     ) -> Result<Prediction, WrongVectorLength> {
+        let query = self.query_for_row(row)?;
+        self.compiled().class_values_into(&query, scratch);
+        Ok(self.prediction_from_values(scratch.values()))
+    }
+
+    /// Validates and binarizes one raw expression vector into its boolean
+    /// item set — the parse half of [`ModelBundle::classify_row_with`],
+    /// split out so the batching stage can binarize on worker threads and
+    /// hand ready-made queries to the shared batch kernel.
+    ///
+    /// # Errors
+    /// Returns [`WrongVectorLength`] when `row` does not match the fitted
+    /// gene count.
+    pub fn query_for_row(&self, row: &[f64]) -> Result<microarray::BitSet, WrongVectorLength> {
         if row.len() != self.n_genes() {
             return Err(WrongVectorLength { got: row.len(), expected: self.n_genes() });
         }
-        let query =
-            self.discretizer.transform_row(row).expect("a validated bundle has at least one item");
-        self.compiled().class_values_into(&query, scratch);
-        let values = scratch.values();
+        Ok(self.discretizer.transform_row(row).expect("a validated bundle has at least one item"))
+    }
+
+    /// Builds a [`Prediction`] from already-computed BSTCE class values
+    /// (argmax ties break to the smallest class index, matching the
+    /// reference classifier).
+    pub fn prediction_from_values(&self, values: &[f64]) -> Prediction {
         let mut class = 0;
         for (i, &v) in values.iter().enumerate().skip(1) {
             if v > values[class] {
                 class = i;
             }
         }
-        Ok(Prediction {
+        Prediction {
             class,
             label: self.class_names[class].clone(),
             // One BSTCE pass serves both outputs: the §8 confidence gap is
             // a single top-2 scan over the values just computed.
             confidence: bstc::confidence_gap_of(values),
             values: values.to_vec(),
-        })
+        }
     }
 
     /// Serializes to the versioned, checksummed JSON envelope.

@@ -9,9 +9,15 @@
 //!   continuous expression vectors.
 //! * [`http`] — a minimal dependency-free HTTP/1.1 reader/writer with
 //!   per-request wall-clock deadlines.
-//! * [`metrics`] — lock-free request counters and a latency histogram,
-//!   including the fault-tolerance counters (shed, panics caught,
-//!   respawns, timeouts).
+//! * [`batcher`] — cross-connection adaptive micro-batching: workers
+//!   submit binarized queries to a bounded queue, one batcher thread
+//!   coalesces them (up to `--max-batch` or `--batch-wait-us`) and runs
+//!   the batch-sweep kernel once per batch, amortizing the model pass
+//!   over concurrent requests.
+//! * [`metrics`] — lock-free request counters and latency histograms
+//!   (windowed for the request- and batch-wait families), including the
+//!   fault-tolerance and batching counters (shed, panics caught,
+//!   respawns, timeouts, batch ledger).
 //! * [`queue`] — the poison-free bounded acceptor→worker hand-off;
 //!   admission beyond its depth is shed with `503` + `Retry-After`.
 //! * [`server`] — a worker-pool TCP server exposing `/classify` (single
@@ -34,6 +40,7 @@
 //! handle.wait();
 //! ```
 
+pub mod batcher;
 pub mod bundle;
 pub mod chaos;
 pub mod http;
@@ -41,6 +48,7 @@ pub mod metrics;
 pub mod queue;
 pub mod server;
 
+pub use batcher::{Batcher, BatcherConfig};
 pub use bundle::{BundleError, ModelBundle, Prediction, Provenance, FORMAT_VERSION};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use server::{serve, ServerConfig, ServerHandle};

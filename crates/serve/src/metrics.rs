@@ -3,22 +3,28 @@
 //! monotonically increasing and the scrape tolerates torn reads across
 //! series.
 //!
-//! Latency is measured with the shared [`obs::Histogram`] — the same
-//! log-bucketed, nearest-rank-percentile histogram the training stages
-//! and benches use — one per endpoint (`bstc_request_duration_us{route=
-//! ...}`) plus the `/classify` handler's own `bstc_classify_latency_us`.
+//! Latency is measured with the shared obs histograms — the same
+//! log-bucketed, nearest-rank-percentile buckets the training stages and
+//! benches use. The *request*- and *batch*-latency families
+//! (`bstc_request_duration_us{route=...}`, `bstc_batch_wait_us`) are
+//! [`obs::WindowedHistogram`]s: their scraped percentiles cover only the
+//! last 1–2 minutes, so steady-state p99s are not diluted by cold-start
+//! history. The `/classify` handler's own `bstc_classify_latency_us` and
+//! the batch-size distribution stay cumulative (their totals feed
+//! cross-run comparisons).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use obs::Histogram;
+use obs::{Histogram, WindowedHistogram};
 
 /// Counters for one endpoint family.
 #[derive(Debug, Default)]
 pub struct EndpointStats {
     hits: AtomicU64,
     errors: AtomicU64,
-    /// Whole-request wall time (read + handle + write), microseconds.
-    latency: Histogram,
+    /// Whole-request wall time (read + handle + write), microseconds —
+    /// windowed, so scraped p99s reflect recent traffic only.
+    latency: WindowedHistogram,
 }
 
 impl EndpointStats {
@@ -67,6 +73,26 @@ pub struct Metrics {
     /// `/classify` *handler* latency (parse + classify, excluding
     /// request read and response write) — the paper-relevant number.
     classify_latency: Histogram,
+    /// Batch executions run by the batcher thread.
+    batches_executed: AtomicU64,
+    /// Jobs workers successfully submitted to the batcher queue.
+    batch_jobs_submitted: AtomicU64,
+    /// Submitted jobs whose completion the worker resolved (answer,
+    /// expiry, timeout, or disconnect — a clean ledger: in steady state
+    /// `submitted == completed`, so a gap means a stranded job).
+    batch_jobs_completed: AtomicU64,
+    /// Submissions bounced by a full batcher queue and classified inline
+    /// on the worker instead.
+    batch_inline_fallbacks: AtomicU64,
+    /// Batch executions that panicked (isolated; member jobs answered
+    /// 500, the batcher thread survived).
+    batch_panics: AtomicU64,
+    /// Jobs coalesced per batch execution (cumulative — the amortization
+    /// factor over the whole run).
+    batch_size: Histogram,
+    /// Time jobs spent queued before their batch executed, microseconds
+    /// (windowed: the batching latency tax under *current* load).
+    batch_wait_us: WindowedHistogram,
 }
 
 impl Metrics {
@@ -162,6 +188,37 @@ impl Metrics {
         self.workers_configured.store(n, Ordering::Relaxed);
     }
 
+    /// Records one batch execution of `size` coalesced jobs.
+    pub fn record_batch(&self, size: u64) {
+        self.batches_executed.fetch_add(1, Ordering::Relaxed);
+        self.batch_size.record(size);
+    }
+
+    /// Records how long one job waited in the batcher queue.
+    pub fn record_batch_wait_us(&self, us: u64) {
+        self.batch_wait_us.record(us);
+    }
+
+    /// Records one job submitted to the batcher queue.
+    pub fn record_batch_job_submitted(&self) {
+        self.batch_jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one submitted job whose completion the worker resolved.
+    pub fn record_batch_job_completed(&self) {
+        self.batch_jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one submission bounced to the inline path.
+    pub fn record_batch_inline_fallback(&self) {
+        self.batch_inline_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one isolated batch-execution panic.
+    pub fn record_batch_panic(&self) {
+        self.batch_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy for tests and supervisors
     /// (individual counters are exact; cross-counter skew is possible
     /// while traffic is in flight).
@@ -178,6 +235,11 @@ impl Metrics {
             reloads: self.reloads.load(Ordering::Relaxed),
             reload_failures: self.reload_failures.load(Ordering::Relaxed),
             samples_classified: self.samples_classified.load(Ordering::Relaxed),
+            batches_executed: self.batches_executed.load(Ordering::Relaxed),
+            batch_jobs_submitted: self.batch_jobs_submitted.load(Ordering::Relaxed),
+            batch_jobs_completed: self.batch_jobs_completed.load(Ordering::Relaxed),
+            batch_inline_fallbacks: self.batch_inline_fallbacks.load(Ordering::Relaxed),
+            batch_panics: self.batch_panics.load(Ordering::Relaxed),
         }
     }
 
@@ -278,6 +340,32 @@ impl Metrics {
         }
         out.push_str("# TYPE bstc_classify_latency_us histogram\n");
         self.classify_latency.render_into(&mut out, "bstc_classify_latency_us", &[]);
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_batches_total counter\nbstc_batches_total {}",
+            self.batches_executed.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE bstc_batch_jobs_total counter\n");
+        for (state, counter) in [
+            ("submitted", &self.batch_jobs_submitted),
+            ("completed", &self.batch_jobs_completed),
+            ("inline_fallback", &self.batch_inline_fallbacks),
+        ] {
+            let _ = writeln!(
+                out,
+                "bstc_batch_jobs_total{{state=\"{state}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_batch_panics_total counter\nbstc_batch_panics_total {}",
+            self.batch_panics.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE bstc_batch_size histogram\n");
+        self.batch_size.render_into(&mut out, "bstc_batch_size", &[]);
+        out.push_str("# TYPE bstc_batch_wait_us histogram\n");
+        self.batch_wait_us.render_into(&mut out, "bstc_batch_wait_us", &[]);
         out
     }
 }
@@ -308,6 +396,16 @@ pub struct MetricsSnapshot {
     pub reload_failures: u64,
     /// Expression vectors classified.
     pub samples_classified: u64,
+    /// Batch executions run by the batcher thread.
+    pub batches_executed: u64,
+    /// Jobs submitted to the batcher queue.
+    pub batch_jobs_submitted: u64,
+    /// Submitted jobs whose completion the worker resolved.
+    pub batch_jobs_completed: u64,
+    /// Submissions bounced to the inline path.
+    pub batch_inline_fallbacks: u64,
+    /// Isolated batch-execution panics.
+    pub batch_panics: u64,
 }
 
 #[cfg(test)]
@@ -396,6 +494,34 @@ mod tests {
         assert_eq!(snap.conns_accepted, snap.conns_handled + snap.conns_shed);
         assert_eq!(snap.panics_caught, 1);
         assert_eq!(snap.request_timeouts, 1);
+    }
+
+    #[test]
+    fn batch_families_render_and_snapshot() {
+        let m = Metrics::new();
+        m.record_batch(4);
+        m.record_batch(1);
+        m.record_batch_wait_us(150);
+        for _ in 0..5 {
+            m.record_batch_job_submitted();
+            m.record_batch_job_completed();
+        }
+        m.record_batch_inline_fallback();
+        m.record_batch_panic();
+        let text = m.render();
+        assert!(text.contains("bstc_batches_total 2"), "{text}");
+        assert!(text.contains("bstc_batch_jobs_total{state=\"submitted\"} 5"), "{text}");
+        assert!(text.contains("bstc_batch_jobs_total{state=\"completed\"} 5"), "{text}");
+        assert!(text.contains("bstc_batch_jobs_total{state=\"inline_fallback\"} 1"), "{text}");
+        assert!(text.contains("bstc_batch_panics_total 1"), "{text}");
+        assert!(text.contains("bstc_batch_size_count 2"), "{text}");
+        assert!(text.contains("bstc_batch_size_sum 5"), "{text}");
+        assert!(text.contains("bstc_batch_wait_us_count 1"), "{text}");
+        let snap = m.snapshot();
+        assert_eq!(snap.batch_jobs_submitted, snap.batch_jobs_completed);
+        assert_eq!(snap.batches_executed, 2);
+        assert_eq!(snap.batch_inline_fallbacks, 1);
+        assert_eq!(snap.batch_panics, 1);
     }
 
     #[test]

@@ -97,6 +97,14 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Dequeues an immediately available item without waiting (the
+    /// batcher's drain-what's-there step). Returns `None` when the queue
+    /// is momentarily empty, open or closed alike — use
+    /// [`BoundedQueue::pop`] to distinguish.
+    pub fn try_pop(&self) -> Option<T> {
+        self.lock().items.pop_front()
+    }
+
     /// Closes the queue: pushes start failing and consumers drain the
     /// remaining items, then observe [`Pop::Closed`].
     pub fn close(&self) {

@@ -38,7 +38,8 @@
 //!   clean 408s. Graceful shutdown drains in-flight work under
 //!   [`ServerConfig::drain_timeout`].
 
-use crate::bundle::{ModelBundle, FORMAT_VERSION};
+use crate::batcher::{Batcher, BatcherConfig, Completion, Outcome};
+use crate::bundle::{ModelBundle, Prediction, FORMAT_VERSION};
 use crate::chaos;
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -50,6 +51,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -73,6 +75,12 @@ pub struct ServerConfig {
     /// How long a graceful shutdown waits for in-flight connections
     /// before abandoning the remaining workers.
     pub drain_timeout: Duration,
+    /// Most `/classify` jobs coalesced into one batch-kernel execution
+    /// (`--max-batch`); 0 disables cross-connection batching entirely.
+    pub max_batch: usize,
+    /// How long a lone queued job waits for company before the batcher
+    /// executes it anyway (`--batch-wait-us`).
+    pub batch_wait: Duration,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +92,8 @@ impl Default for ServerConfig {
             queue_depth: 256,
             request_timeout: Some(Duration::from_secs(10)),
             drain_timeout: Duration::from_secs(5),
+            max_batch: 32,
+            batch_wait: Duration::from_micros(200),
         }
     }
 }
@@ -92,7 +102,11 @@ impl Default for ServerConfig {
 struct Shared {
     bundle: RwLock<Arc<ModelBundle>>,
     bundle_path: Option<PathBuf>,
-    metrics: Metrics,
+    /// Shared with the batcher thread, which records batch metrics.
+    metrics: Arc<Metrics>,
+    /// The cross-connection micro-batcher; `None` when `max_batch` is 0
+    /// (workers then classify inline, the pre-batching behavior).
+    batcher: Option<Batcher>,
     shutting_down: AtomicBool,
     queue: BoundedQueue<TcpStream>,
     /// Overflow lane: connections refused admission wait here for the
@@ -120,6 +134,7 @@ pub struct ServerHandle {
     acceptor: JoinHandle<()>,
     shedder: JoinHandle<()>,
     supervisor: JoinHandle<()>,
+    batcher_thread: Option<JoinHandle<()>>,
 }
 
 /// Idle keep-alive connections and the worker queue are polled at this
@@ -144,10 +159,27 @@ pub fn serve(config: ServerConfig, bundle: ModelBundle) -> io::Result<ServerHand
             })?,
         )?;
     let addr = listener.local_addr()?;
+    let metrics = Arc::new(Metrics::new());
+    let (batcher, batcher_thread) = if config.max_batch > 0 {
+        let (batcher, thread) = Batcher::start(
+            BatcherConfig {
+                max_batch: config.max_batch,
+                batch_wait: config.batch_wait,
+                // Roomy enough that every admitted connection can have a
+                // job in flight before submissions fall back inline.
+                queue_depth: (config.queue_depth * 4).max(64),
+            },
+            Arc::clone(&metrics),
+        );
+        (Some(batcher), Some(thread))
+    } else {
+        (None, None)
+    };
     let shared = Arc::new(Shared {
         bundle: RwLock::new(Arc::new(bundle)),
         bundle_path: config.bundle_path,
-        metrics: Metrics::new(),
+        metrics,
+        batcher,
         shutting_down: AtomicBool::new(false),
         queue: BoundedQueue::new(config.queue_depth),
         shed_queue: BoundedQueue::new(config.queue_depth.max(64)),
@@ -211,7 +243,7 @@ pub fn serve(config: ServerConfig, bundle: ModelBundle) -> io::Result<ServerHand
             .expect("spawn supervisor")
     };
 
-    Ok(ServerHandle { addr, shared, acceptor, shedder, supervisor })
+    Ok(ServerHandle { addr, shared, acceptor, shedder, supervisor, batcher_thread })
 }
 
 /// Spawns one pool worker. `generation` only names the thread.
@@ -326,6 +358,16 @@ impl ServerHandle {
         let _ = self.shedder.join();
         self.shared.queue.close();
         let _ = self.supervisor.join();
+        // Workers are gone, so no further submissions: close the batcher
+        // last. Its queue drains admitted jobs before the thread exits,
+        // so no job is stranded (their workers already resolved by now,
+        // but the ledger still balances).
+        if let Some(batcher) = &self.shared.batcher {
+            batcher.close();
+        }
+        if let Some(thread) = self.batcher_thread {
+            let _ = thread.join();
+        }
     }
 
     /// Blocks until the server stops (i.e. forever, absent a signal).
@@ -356,7 +398,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream, scratch: &mut Scratch) 
                 // Panic isolation: whatever a handler does, the worker
                 // survives and the client gets a structured 500.
                 let response = match catch_unwind(AssertUnwindSafe(|| {
-                    route(shared, &request, scratch, deadline)
+                    route(shared, &request, scratch, deadline, &request_id)
                 })) {
                     Ok(response) => response,
                     Err(_) => {
@@ -375,16 +417,23 @@ fn handle_connection(shared: &Shared, stream: TcpStream, scratch: &mut Scratch) 
                 let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                 shared.metrics.record_request(&request.path, response.status);
                 shared.metrics.record_route_latency(&request.path, latency_us);
-                obs::log::info(
-                    "request",
-                    &[
-                        ("request_id", &request_id),
-                        ("method", &request.method),
-                        ("path", &request.path),
-                        ("status", &response.status.to_string()),
-                        ("latency_us", &latency_us.to_string()),
-                    ],
-                );
+                let status = response.status.to_string();
+                let latency = latency_us.to_string();
+                let mut fields: Vec<(&str, &str)> = vec![
+                    ("request_id", request_id.as_str()),
+                    ("method", request.method.as_str()),
+                    ("path", request.path.as_str()),
+                    ("status", status.as_str()),
+                    ("latency_us", latency.as_str()),
+                ];
+                // Joins this request to the classify_batch span that
+                // served it (the batcher logged batch_id → request_ids).
+                let batch_id =
+                    response.headers.iter().find(|(k, _)| *k == "x-batch-id").map(|(_, v)| v);
+                if let Some(batch_id) = batch_id {
+                    fields.push(("batch_id", batch_id.as_str()));
+                }
+                obs::log::info("request", &fields);
                 let keep_alive = request.keep_alive
                     && response.status < 500
                     && !shared.shutting_down.load(Ordering::SeqCst);
@@ -494,12 +543,15 @@ fn error_response(status: u16, code: &str, detail: &str) -> Response {
 }
 
 /// Dispatches one parsed request. `deadline` is the wall-clock point at
-/// which the whole request's budget expires (None = no deadline).
+/// which the whole request's budget expires (None = no deadline);
+/// `request_id` rides along so batched classifies can be joined to
+/// their batch execution in the logs.
 fn route(
     shared: &Shared,
     request: &Request,
     scratch: &mut Scratch,
     deadline: Option<Instant>,
+    request_id: &str,
 ) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => handle_health(shared),
@@ -512,7 +564,9 @@ fn route(
             text.push_str(&obs::global().render_prometheus("bstc_stage_duration_us", "stage"));
             Response::text(200, text)
         }
-        ("POST", "/classify") => handle_classify(shared, &request.body, scratch, deadline),
+        ("POST", "/classify") => {
+            handle_classify(shared, &request.body, scratch, deadline, request_id)
+        }
         ("POST", "/reload") => handle_reload(shared, &request.body),
         (_, "/health" | "/model" | "/metrics" | "/classify" | "/reload") => error_response(
             405,
@@ -562,14 +616,24 @@ fn check_deadline(deadline: Option<Instant>, phase: &str) -> Option<Response> {
     None
 }
 
+/// Upper bound on how long a worker waits for its batch completion when
+/// the server runs without request deadlines (tests, mostly).
+const BATCH_RECV_FALLBACK: Duration = Duration::from_secs(30);
+
 /// `POST /classify` body: either `{"values": [..]}` (one vector) or
 /// `{"samples": [[..], ..]}` (a batch). Batches answer with one
 /// prediction per row, in order.
+///
+/// With batching enabled the worker binarizes the rows, submits them as
+/// one job to the [`Batcher`], and blocks on the completion (bounded by
+/// the request deadline); a full batcher queue degrades gracefully to
+/// the inline per-query path on this worker.
 fn handle_classify(
     shared: &Shared,
     body: &[u8],
     scratch: &mut Scratch,
     deadline: Option<Instant>,
+    request_id: &str,
 ) -> Response {
     let started = Instant::now();
     // Chaos site: an injected panic here exercises the catch_unwind
@@ -608,6 +672,65 @@ fn handle_classify(
         return error_response(400, "bad_request", "body must contain 'values' or 'samples'");
     };
 
+    if let Some(batcher) = shared.batcher.as_ref() {
+        // Binarize on the worker (cheap, per-connection) so the batcher
+        // thread spends its time exclusively inside the batch kernel.
+        let mut queries = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            if i % 64 == 0 {
+                if let Some(timeout) = check_deadline(deadline, "binarizing the batch") {
+                    return timeout;
+                }
+            }
+            match bundle.query_for_row(row) {
+                Ok(q) => queries.push(q),
+                Err(e) => {
+                    let at = if batched { format!("samples[{i}]: ") } else { String::new() };
+                    return error_response(400, "wrong_length", &format!("{at}{e}"));
+                }
+            }
+        }
+        match batcher.submit(&bundle, queries, request_id, deadline) {
+            Ok(receiver) => {
+                shared.metrics.record_batch_job_submitted();
+                let budget = deadline
+                    .map(|d| d.saturating_duration_since(Instant::now()))
+                    .unwrap_or(BATCH_RECV_FALLBACK);
+                let completion = receiver.recv_timeout(budget);
+                // Resolved one way or another: the submitted/completed
+                // ledger balances, so a gap flags a stranded job.
+                shared.metrics.record_batch_job_completed();
+                let response = match completion {
+                    Ok(Completion { batch_id, outcome: Outcome::Predictions(predictions) }) => {
+                        shared.metrics.record_samples(predictions.len() as u64);
+                        classification_response(&predictions, batched)
+                            .with_header("x-batch-id", batch_id)
+                    }
+                    Ok(Completion { outcome: Outcome::Expired, .. })
+                    | Err(RecvTimeoutError::Timeout) => error_response(
+                        408,
+                        "request_timeout",
+                        "request exceeded its wall-clock budget awaiting batch execution",
+                    ),
+                    // The batch panicked: its jobs' senders were dropped
+                    // in the unwind. The batcher itself recovered.
+                    Err(RecvTimeoutError::Disconnected) => error_response(
+                        500,
+                        "internal_error",
+                        "batch execution failed; the batcher recovered",
+                    ),
+                };
+                shared.metrics.record_latency_us(
+                    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                );
+                return response;
+            }
+            // Submission queue full (or closing): degrade gracefully to
+            // the inline path below rather than queue without bound.
+            Err(_queries) => shared.metrics.record_batch_inline_fallback(),
+        }
+    }
+
     let mut predictions = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
         // Large batches honour the same deadline as the reads: check
@@ -627,18 +750,23 @@ fn handle_classify(
         }
     }
     shared.metrics.record_samples(predictions.len() as u64);
+    let response = classification_response(&predictions, batched);
+    shared.metrics.record_latency_us(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    response
+}
 
+/// Serializes predictions into the `/classify` response shape (single
+/// `prediction` or `predictions` array, matching the request shape).
+fn classification_response(predictions: &[Prediction], batched: bool) -> Response {
     let result = if batched {
-        serde_json::to_value(&predictions).map(|ps| json!({"predictions": ps}))
+        serde_json::to_value(predictions).map(|ps| json!({"predictions": ps}))
     } else {
         serde_json::to_value(&predictions[0]).map(|p| json!({"prediction": p}))
     };
-    let response = match result.and_then(|body| serde_json::to_string(&body)) {
+    match result.and_then(|body| serde_json::to_string(&body)) {
         Ok(text) => Response::json(200, text),
         Err(e) => error_response(500, "serialize_failed", &e.to_string()),
-    };
-    shared.metrics.record_latency_us(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
-    response
+    }
 }
 
 /// `POST /reload`: re-reads the configured bundle file (or, with a
@@ -729,7 +857,8 @@ mod tests {
         Shared {
             bundle: RwLock::new(Arc::new(toy_bundle())),
             bundle_path: None,
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
+            batcher: None,
             shutting_down: AtomicBool::new(false),
             queue: BoundedQueue::new(4),
             shed_queue: BoundedQueue::new(4),
@@ -751,6 +880,7 @@ mod tests {
             },
             &mut scratch,
             None,
+            "test-req",
         )
     }
 
@@ -805,6 +935,30 @@ mod tests {
     }
 
     #[test]
+    fn classify_routes_through_batcher_when_enabled() {
+        let mut s = shared();
+        let (batcher, thread) = Batcher::start(BatcherConfig::default(), Arc::clone(&s.metrics));
+        s.batcher = Some(batcher);
+        let r = post(&s, "/classify", "{\"values\": [1.0, 4.0]}");
+        assert_eq!(r.status, 200);
+        assert!(
+            r.headers.iter().any(|(k, _)| *k == "x-batch-id"),
+            "batched responses carry the batch id for log joins"
+        );
+        let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert_eq!(v.get("prediction").unwrap().get("label").unwrap().as_str(), Some("neg"));
+        // Multi-sample bodies ride the batcher as one job, too.
+        let r = post(&s, "/classify", "{\"samples\": [[1.0, 4.0], [9.0, 4.0]]}");
+        assert_eq!(r.status, 200);
+        let snap = s.metrics.snapshot();
+        assert_eq!(snap.batch_jobs_submitted, 2);
+        assert_eq!(snap.batch_jobs_completed, 2);
+        assert_eq!(snap.samples_classified, 3);
+        s.batcher.as_ref().unwrap().close();
+        thread.join().unwrap();
+    }
+
+    #[test]
     fn expired_deadline_answers_408_before_classifying() {
         let s = shared();
         let mut scratch = Scratch::new();
@@ -816,7 +970,7 @@ mod tests {
             keep_alive: false,
         };
         let expired = Instant::now() - Duration::from_millis(1);
-        let r = route(&s, &request, &mut scratch, Some(expired));
+        let r = route(&s, &request, &mut scratch, Some(expired), "test-req");
         assert_eq!(r.status, 408);
         assert!(std::str::from_utf8(&r.body).unwrap().contains("request_timeout"));
     }

@@ -127,6 +127,9 @@ fn mixed_workload_with_injected_faults_leaves_the_server_healthy() {
     chaos::inject("write", Fault::IoError, Trigger::Probability { p: 0.05, seed: 5678 });
     chaos::inject("reload", Fault::Delay(Duration::from_millis(100)), Trigger::EveryNth(2));
     chaos::inject("worker", Fault::Panic, Trigger::EveryNth(120));
+    // Batch executions panic too: member jobs must resolve as 500s (via
+    // the dropped completion senders), never hang their workers.
+    chaos::inject("batcher", Fault::Panic, Trigger::EveryNth(25));
 
     std::thread::scope(|scope| {
         // 1. Valid one-shot clients.
@@ -275,6 +278,7 @@ fn mixed_workload_with_injected_faults_leaves_the_server_healthy() {
     let write_fires = chaos::fired("write");
     let reload_fires = chaos::fired("reload");
     let worker_fires = chaos::fired("worker");
+    let batcher_fires = chaos::fired("batcher");
     chaos::clear();
 
     // The fault plan actually exercised every site.
@@ -282,6 +286,7 @@ fn mixed_workload_with_injected_faults_leaves_the_server_healthy() {
     assert!(write_fires >= 1, "no write faults fired");
     assert!(reload_fires >= 1, "no reload stalls fired");
     assert!(worker_fires >= 1, "no worker kills fired");
+    assert!(batcher_fires >= 1, "no batch-execution panics fired");
 
     // The pool self-heals: every injected worker death is matched by a
     // respawn and the pool returns to full strength.
@@ -296,16 +301,25 @@ fn mixed_workload_with_injected_faults_leaves_the_server_healthy() {
     };
     assert_eq!(healed.workers_configured, WORKERS as u64);
     assert_eq!(healed.panics_caught, classify_fires, "every classify panic must be isolated");
+    // Batch executions actually ran (classify traffic rides the batcher)
+    // and every injected batch panic was isolated by its catch_unwind.
+    assert!(healed.batches_executed >= 1, "no batches executed: {healed:?}");
+    assert_eq!(healed.batch_panics, batcher_fires, "every batch panic must be isolated");
 
     // Liveness after the storm.
     assert_eq!(one_shot(addr, "GET", "/health", ""), Outcome::Status(200));
 
-    // The admission ledger balances once the queue drains: accepted =
-    // handled + shed, i.e. no connection was silently dropped.
+    // The ledgers balance once the queues drain: accepted = handled +
+    // shed (no connection silently dropped), and every batch job a
+    // worker submitted was resolved exactly once (answer, expiry, or
+    // disconnect after an injected batch panic — no strands, no
+    // double-completions).
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
         let snap = handle.metrics_snapshot();
-        if snap.conns_accepted == snap.conns_handled + snap.conns_shed {
+        if snap.conns_accepted == snap.conns_handled + snap.conns_shed
+            && snap.batch_jobs_submitted == snap.batch_jobs_completed
+        {
             break;
         }
         assert!(Instant::now() < deadline, "ledger never balanced: {snap:?}");

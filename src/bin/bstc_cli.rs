@@ -88,7 +88,8 @@ commands:
   mine       --data FILE.tsv --class N [-k K]
   serve      --model BUNDLE.json [--addr HOST:PORT] [--threads N]
              [--queue-depth N] [--request-timeout SECS]  (0 disables the deadline)
-             [--log-format text|json]";
+             [--max-batch N]  (0 disables micro-batching)  [--batch-wait-us US]
+             [--log-format text|json] [--log-level debug|info|warn|error]";
 
 /// Pulls `--flag value` pairs out of an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -349,11 +350,24 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         Some(secs) if secs.is_finite() => Some(std::time::Duration::from_secs_f64(secs)),
         Some(_) => return Err(CliError::Usage("bad value for --request-timeout".into())),
     };
+    // `--max-batch 0` disables cross-connection micro-batching; the
+    // wait is the lone-job coalescing window in microseconds.
+    let max_batch: usize = parse_flag(args, "--max-batch")?.unwrap_or(defaults.max_batch);
+    let batch_wait = match parse_flag::<u64>(args, "--batch-wait-us")? {
+        None => defaults.batch_wait,
+        Some(us) => std::time::Duration::from_micros(us),
+    };
     // `--log-format json` switches the structured request log (and every
     // other obs log event) to JSON lines on stderr.
     if let Some(raw) = flag(args, "--log-format") {
         let format: obs::LogFormat = raw.parse().map_err(CliError::Usage)?;
         obs::log::set_format(format);
+    }
+    // `--log-level warn` silences the per-request info lines; debug
+    // additionally passes through events below the default threshold.
+    if let Some(raw) = flag(args, "--log-level") {
+        let level: obs::Level = raw.parse().map_err(CliError::Usage)?;
+        obs::log::set_level(level);
     }
     let bundle = ModelBundle::load(&bundle_path).map_err(err)?;
     eprintln!(
@@ -369,6 +383,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         threads,
         queue_depth,
         request_timeout,
+        max_batch,
+        batch_wait,
         bundle_path: Some(std::path::PathBuf::from(&bundle_path)),
         ..defaults
     };
