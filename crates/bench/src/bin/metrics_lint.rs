@@ -1,24 +1,32 @@
 //! Prometheus-exposition lint for `GET /metrics`, run by CI.
 //!
-//! Boots a real server on a trained bundle, drives a little traffic
-//! (including a training pipeline so the stage registry is populated),
-//! scrapes `/metrics` over plain TCP, and checks the exposition rules a
-//! scraper relies on:
+//! Boots a real *two-model registry* server (a `primary` and a
+//! label-flipped `candidate`, shadow-routed at 100% so the disagreement
+//! counter provably goes nonzero), drives traffic over every route
+//! family — named classifies, a version-bumping reload, unknown-model
+//! 404s, the legacy aliases — scrapes `/metrics` over plain TCP, and
+//! checks the exposition rules a scraper relies on:
 //!
 //! * every sample line belongs to a metric family announced by a
 //!   `# TYPE` line earlier in the exposition (histogram `_bucket` /
 //!   `_sum` / `_count` samples map to their base family);
 //! * within each histogram series (same labels minus `le`), cumulative
 //!   bucket counts are monotone non-decreasing, a `+Inf` bucket exists,
-//!   and it equals the series' `_count`.
+//!   and it equals the series' `_count`;
+//! * per-model label hygiene: every `model="..."` label value is a
+//!   *registered* model name — the registry's name grammar plus route
+//!   pooling is what bounds the label cardinality, and this check
+//!   catches any future code path that leaks request-controlled text
+//!   into the label set.
 //!
 //! Exits nonzero with a description of every violation.
 
-use serve::{serve, ModelBundle, Provenance, ServerConfig};
-use std::collections::BTreeMap;
+use serve::{serve_models, ModelBundle, Provenance, ServerConfig, ShadowSpec};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::time::Duration;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 fn get(addr: SocketAddr, target: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
@@ -134,20 +142,144 @@ fn lint(text: &str) -> Vec<String> {
     violations
 }
 
+/// Per-model label hygiene: every `model="X"` value in the exposition
+/// must be one of `allowed` (the registered model names). Anything else
+/// means a code path let unvalidated text into a label — unbounded
+/// cardinality waiting to happen.
+fn lint_model_labels(text: &str, allowed: &[&str]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut seen = BTreeSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let mut rest = line;
+        while let Some(at) = rest.find("model=\"") {
+            rest = &rest[at + 7..];
+            let Some(close) = rest.find('"') else { break };
+            let value = &rest[..close];
+            seen.insert(value.to_string());
+            if !allowed.contains(&value) {
+                violations.push(format!(
+                    "line {}: model label '{value}' is not a registered model name",
+                    lineno + 1
+                ));
+            }
+            rest = &rest[close + 1..];
+        }
+    }
+    if seen.len() > allowed.len() {
+        violations.push(format!(
+            "model label cardinality {} exceeds the {} registered models: {seen:?}",
+            seen.len(),
+            allowed.len()
+        ));
+    }
+    violations
+}
+
+/// A tiny two-gene dataset; `flip` inverts the labels so the flipped
+/// model disagrees with the straight one on every row.
+fn toy(flip: bool) -> microarray::ContinuousDataset {
+    let labels = if flip { vec![1, 1, 1, 1, 0, 0, 0, 0] } else { vec![0, 0, 0, 0, 1, 1, 1, 1] };
+    microarray::ContinuousDataset::new(
+        vec!["gA".into(), "gB".into()],
+        vec!["neg".into(), "pos".into()],
+        vec![
+            vec![1.0, 5.0],
+            vec![1.2, 3.0],
+            vec![0.8, 5.5],
+            vec![1.1, 2.9],
+            vec![9.0, 5.1],
+            vec![9.2, 3.2],
+            vec![8.9, 5.2],
+            vec![9.1, 3.1],
+        ],
+        labels,
+    )
+    .unwrap()
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST {target} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write");
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    response
+}
+
 fn main() {
-    // Train in-process so the stage registry renders real spans too.
-    let data = microarray::synth::presets::all_aml(11).scaled_down(40).generate();
-    let bundle = ModelBundle::train(&data, Provenance::new("metrics-lint", Some(11))).unwrap();
-    let handle = serve(ServerConfig { threads: 2, ..ServerConfig::default() }, bundle)
-        .unwrap_or_else(|e| {
-            eprintln!("error: cannot boot server: {e}");
-            std::process::exit(1);
-        });
+    // Train in-process so the stage registry renders real spans too: a
+    // primary and a deliberately label-flipped candidate, registered
+    // from a models dir and shadow-routed at 100% — every shadowed
+    // classify is a guaranteed disagreement.
+    let models_dir: PathBuf =
+        std::env::temp_dir().join(format!("bstc_metrics_lint_{}", std::process::id()));
+    std::fs::create_dir_all(&models_dir).expect("create models dir");
+    ModelBundle::train(&toy(false), Provenance::new("metrics-lint", Some(11)))
+        .unwrap()
+        .save(models_dir.join("primary.json"))
+        .unwrap();
+    ModelBundle::train(&toy(true), Provenance::new("metrics-lint-flipped", Some(11)))
+        .unwrap()
+        .save(models_dir.join("candidate.json"))
+        .unwrap();
+    let handle = serve_models(ServerConfig {
+        threads: 2,
+        models_dir: Some(models_dir.clone()),
+        default_model: Some("primary".into()),
+        max_resident: 1,
+        shadows: vec![ShadowSpec::parse("primary=candidate:100").unwrap()],
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot boot server: {e}");
+        std::process::exit(1);
+    });
     let addr = handle.addr();
 
-    // Traffic so every endpoint family and latency histogram has samples.
-    for target in ["/health", "/model", "/metrics", "/nope"] {
+    // Traffic so every endpoint family and latency histogram has samples:
+    // the registry listing/metadata routes, unknown-model 404s, named and
+    // legacy classifies (shadowed), and a version-bumping reload.
+    for target in [
+        "/health",
+        "/model",
+        "/metrics",
+        "/nope",
+        "/v1/models",
+        "/v1/models/candidate",
+        "/v1/models/ghost",
+    ] {
         let _ = get(addr, target);
+    }
+    const CLASSIFIES: u64 = 4;
+    for i in 0..CLASSIFIES {
+        let target = if i % 2 == 0 { "/classify" } else { "/v1/models/primary/classify" };
+        let response = post(addr, target, "{\"values\":[1.0,5.0]}");
+        if !response.starts_with("HTTP/1.1 200") {
+            eprintln!("error: {target} failed: {}", response.lines().next().unwrap_or(""));
+            std::process::exit(1);
+        }
+    }
+    let _ = post(addr, "/v1/models/candidate/classify", "{\"values\":[9.0,5.1]}");
+    let _ = post(addr, "/v1/models/primary/reload", "{}"); // v1 -> v2
+
+    // The shadow replay is asynchronous; wait for it to drain before the
+    // scrape so the disagreement assertion below is deterministic.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.metrics_snapshot().shadow_requests < CLASSIFIES {
+        if Instant::now() >= deadline {
+            eprintln!("error: shadow jobs never replayed: {:?}", handle.metrics_snapshot());
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(20));
     }
 
     let response = get(addr, "/metrics");
@@ -160,12 +292,32 @@ fn main() {
         std::process::exit(1);
     }
 
-    let violations = lint(body);
+    let mut violations = lint(body);
+    violations.extend(lint_model_labels(body, &["primary", "candidate"]));
+    // The crafted flipped candidate makes disagreement certain: a zero
+    // (or missing) counter here means shadow comparison is broken.
+    let disagreements: u64 = body
+        .lines()
+        .find(|l| l.starts_with("bstc_shadow_disagreements_total{model=\"primary\"}"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if disagreements == 0 {
+        violations.push(
+            "bstc_shadow_disagreements_total{model=\"primary\"} is zero or missing after \
+             shadowing a label-flipped candidate"
+                .to_string(),
+        );
+    }
     handle.shutdown();
+    std::fs::remove_dir_all(&models_dir).ok();
     if violations.is_empty() {
         let families = body.lines().filter(|l| l.starts_with("# TYPE ")).count();
         let samples = body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count();
-        println!("metrics_lint: OK — {families} families, {samples} samples, 0 violations");
+        println!(
+            "metrics_lint: OK — {families} families, {samples} samples, {disagreements} shadow \
+             disagreements surfaced, 0 violations"
+        );
     } else {
         eprintln!("metrics_lint: {} violation(s):", violations.len());
         for v in &violations {
@@ -200,5 +352,18 @@ mod tests {
     fn inf_count_mismatch_is_flagged() {
         let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\nh_sum 0\n";
         assert!(lint(text).iter().any(|v| v.contains("!= _count")));
+    }
+
+    #[test]
+    fn registered_model_labels_pass() {
+        let text = "# TYPE d counter\nd{model=\"a\"} 1\nd{model=\"b\"} 2\n";
+        assert!(super::lint_model_labels(text, &["a", "b"]).is_empty());
+    }
+
+    #[test]
+    fn unregistered_model_label_is_flagged() {
+        let text = "# TYPE d counter\nd{model=\"a\"} 1\nd{model=\"evil/../name\"} 2\n";
+        let violations = super::lint_model_labels(text, &["a"]);
+        assert!(violations.iter().any(|v| v.contains("evil/../name")));
     }
 }

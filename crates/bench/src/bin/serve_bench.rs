@@ -5,8 +5,8 @@
 //! ```text
 //! serve_bench [--addr HOST:PORT] [--requests N] [--concurrency C]
 //!             [--batch B] [--seed S] [--scale K] [--json]
-//!             [--max-batch N] [--batch-wait-us US]
-//!             [--overload | --compare-batching]
+//!             [--max-batch N] [--batch-wait-us US] [--model NAME]
+//!             [--overload | --compare-batching | --shadow-overhead]
 //! ```
 //!
 //! `--json` additionally writes the measurements to `BENCH_serve.json`.
@@ -36,6 +36,20 @@
 //! a server with cross-connection micro-batching disabled (`max_batch
 //! 0`) and once with it enabled, and the report carries both throughputs
 //! plus their ratio (`batched_speedup`).
+//!
+//! `--model NAME` drives `POST /v1/models/NAME/classify` instead of the
+//! legacy route — against an external fleet server, the name must be
+//! registered there; self-contained, the synthetic bundle is registered
+//! under NAME.
+//!
+//! `--shadow-overhead` (self-contained only) measures what shadow/canary
+//! traffic costs the serving path: the same steady load is driven three
+//! times against a two-model registry server shadowing `primary` onto
+//! `candidate` at 0%, 10%, and 100% sampling, and the report carries the
+//! client p99 at each rate plus the deltas over the 0% baseline. The
+//! shadow replay is asynchronous (a dedicated thread fed by a bounded
+//! drop-on-full queue), so the deltas measure enqueue + row-clone cost,
+//! not candidate inference.
 
 use serde::Serialize;
 use serve::{serve, ModelBundle, Provenance, ServerConfig};
@@ -45,7 +59,7 @@ use std::time::{Duration, Instant};
 
 /// The `--json` report written to `BENCH_serve.json`. Fields that only
 /// one mode produces stay at zero in the others.
-#[derive(Serialize)]
+#[derive(Default, Serialize)]
 struct Report {
     mode: String,
     requests: usize,
@@ -81,6 +95,17 @@ struct Report {
     batched_samples_per_sec: f64,
     /// `--compare-batching` only: batched over unbatched throughput.
     batched_speedup: f64,
+    /// `--shadow-overhead` only: client p99 with shadowing off.
+    shadow_p99_ms_at_0: f64,
+    /// `--shadow-overhead` only: client p99 at 10% shadow sampling.
+    shadow_p99_ms_at_10: f64,
+    /// `--shadow-overhead` only: client p99 at 100% shadow sampling.
+    shadow_p99_ms_at_100: f64,
+    /// `--shadow-overhead` only: p99 delta of 10% shadowing over the
+    /// 0% baseline (negative values are run-to-run noise).
+    shadow_p99_delta_10_ms: f64,
+    /// `--shadow-overhead` only: p99 delta of 100% shadowing over 0%.
+    shadow_p99_delta_100_ms: f64,
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -107,20 +132,33 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let overload = args.iter().any(|a| a == "--overload");
     let compare = args.iter().any(|a| a == "--compare-batching");
+    let shadow_overhead = args.iter().any(|a| a == "--shadow-overhead");
+    let model = flag(&args, "--model");
     let max_batch: usize = parse_flag(&args, "--max-batch", ServerConfig::default().max_batch);
     let batch_wait = Duration::from_micros(parse_flag(
         &args,
         "--batch-wait-us",
         ServerConfig::default().batch_wait.as_micros() as u64,
     ));
-    if (overload || compare) && flag(&args, "--addr").is_some() {
-        eprintln!("error: --overload/--compare-batching are self-contained; cannot target --addr");
+    if (overload || compare || shadow_overhead) && flag(&args, "--addr").is_some() {
+        eprintln!(
+            "error: --overload/--compare-batching/--shadow-overhead are self-contained; \
+             cannot target --addr"
+        );
         std::process::exit(2);
     }
-    if overload && compare {
-        eprintln!("error: pick one of --overload and --compare-batching");
+    if [overload, compare, shadow_overhead].iter().filter(|m| **m).count() > 1 {
+        eprintln!("error: pick one of --overload, --compare-batching, --shadow-overhead");
         std::process::exit(2);
     }
+    // The classify route this run drives; `--model` goes through the
+    // registry route space (server-side it pools into the same
+    // `route="/classify"` metric family, so the scrape still works).
+    let classify_path = match &model {
+        Some(name) => format!("/v1/models/{name}/classify"),
+        None => "/classify".to_string(),
+    };
+    let classify_path = classify_path.as_str();
 
     // Query rows come from the same synthetic distribution regardless of
     // target mode; against an external server they must still match its
@@ -177,10 +215,19 @@ fn main() {
             queue_depth: 2,
             max_batch,
             batch_wait,
+            default_model: model.clone(),
             ..ServerConfig::default()
         });
         eprintln!("self-contained: overload target on {}", handle.addr());
-        run_overload(&handle.addr().to_string(), &bodies, requests, concurrency, batch, json);
+        run_overload(
+            &handle.addr().to_string(),
+            classify_path,
+            &bodies,
+            requests,
+            concurrency,
+            batch,
+            json,
+        );
         handle.shutdown();
         return;
     }
@@ -194,6 +241,7 @@ fn main() {
             threads,
             max_batch: mb,
             batch_wait,
+            default_model: model.clone(),
             ..ServerConfig::default()
         };
         eprintln!(
@@ -203,16 +251,16 @@ fn main() {
         let warmup = (requests / 10).clamp(1, 200);
         let handle = boot(mk(0));
         let addr = handle.addr().to_string();
-        run_load(&addr, &bodies, warmup, concurrency);
-        let (unbatched, elapsed_u) = run_load(&addr, &bodies, requests, concurrency);
+        run_load(&addr, classify_path, &bodies, warmup, concurrency);
+        let (unbatched, elapsed_u) = run_load(&addr, classify_path, &bodies, requests, concurrency);
         handle.shutdown();
         let unbatched_sps = (unbatched.len() * batch) as f64 / elapsed_u.as_secs_f64();
         eprintln!("unbatched: {unbatched_sps:.1} samples/s in {:.2}s", elapsed_u.as_secs_f64());
 
         let handle = boot(mk(max_batch.max(1)));
         let addr = handle.addr().to_string();
-        run_load(&addr, &bodies, warmup, concurrency);
-        let (batched, elapsed_b) = run_load(&addr, &bodies, requests, concurrency);
+        run_load(&addr, classify_path, &bodies, warmup, concurrency);
+        let (batched, elapsed_b) = run_load(&addr, classify_path, &bodies, requests, concurrency);
         let server = scrape_classify_duration(&addr);
         handle.shutdown();
         let batched_sps = (batched.len() * batch) as f64 / elapsed_b.as_secs_f64();
@@ -255,6 +303,95 @@ fn main() {
                 unbatched_samples_per_sec: unbatched_sps,
                 batched_samples_per_sec: batched_sps,
                 batched_speedup: speedup,
+                ..Report::default()
+            });
+        }
+        return;
+    }
+
+    if shadow_overhead {
+        // A two-model registry: `primary` serves the load, `candidate`
+        // (same width, different training seed) receives the shadow
+        // replays. One boot per sampling rate, identical otherwise.
+        let dir =
+            std::env::temp_dir().join(format!("bstc_serve_bench_shadow_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        train().save(dir.join("primary.json")).expect("save primary");
+        let candidate_data =
+            microarray::synth::presets::all_aml(seed + 1).scaled_down(scale.max(1)).generate();
+        ModelBundle::train(&candidate_data, Provenance::new("ALL/AML synth", Some(seed + 1)))
+            .expect("train candidate")
+            .save(dir.join("candidate.json"))
+            .expect("save candidate");
+        let threads = concurrency.max(2);
+        eprintln!(
+            "serve_bench: SHADOW-OVERHEAD — {requests} requests x batch {batch}, concurrency \
+             {concurrency}, {threads} workers, shadow primary=candidate at 0%/10%/100%"
+        );
+        let warmup = (requests / 10).clamp(1, 200);
+        let mut measured = Vec::new(); // (percent, sorted latencies, elapsed)
+        for percent in [0.0f64, 10.0, 100.0] {
+            let handle = serve::serve_models(ServerConfig {
+                threads,
+                max_batch,
+                batch_wait,
+                models_dir: Some(dir.clone()),
+                default_model: Some("primary".into()),
+                shadows: vec![serve::ShadowSpec::parse(&format!("primary=candidate:{percent}"))
+                    .expect("shadow spec")],
+                ..ServerConfig::default()
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("error: starting shadow-overhead server failed: {e}");
+                std::process::exit(1);
+            });
+            let addr = handle.addr().to_string();
+            run_load(&addr, classify_path, &bodies, warmup, concurrency);
+            let (sorted, elapsed) = run_load(&addr, classify_path, &bodies, requests, concurrency);
+            let snap = handle.metrics_snapshot();
+            handle.shutdown();
+            let p99 = obs::percentile_of_sorted(&sorted, 0.99) as f64 / 1000.0;
+            eprintln!(
+                "shadow {percent:>5.1}%: p99 {p99:.3} ms, {} shadow replays ({} dropped)",
+                snap.shadow_requests, snap.shadow_dropped
+            );
+            measured.push((percent, sorted, elapsed));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        let p99_of = |i: usize| obs::percentile_of_sorted(&measured[i].1, 0.99) as f64 / 1000.0;
+        let (p99_0, p99_10, p99_100) = (p99_of(0), p99_of(1), p99_of(2));
+        println!(
+            "shadow-overhead: p99 {p99_0:.3} ms at 0% -> {p99_10:.3} ms at 10% \
+             (+{:.3} ms) -> {p99_100:.3} ms at 100% (+{:.3} ms)",
+            p99_10 - p99_0,
+            p99_100 - p99_0
+        );
+        if json {
+            let (_, baseline, elapsed_0) = &measured[0];
+            let pct = |p: f64| obs::percentile_of_sorted(baseline, p) as f64 / 1000.0;
+            let throughput = baseline.len() as f64 / elapsed_0.as_secs_f64();
+            write_report(Report {
+                mode: "shadow_overhead".into(),
+                requests: baseline.len(),
+                concurrency,
+                batch,
+                elapsed_secs: elapsed_0.as_secs_f64(),
+                requests_per_sec: throughput,
+                samples_per_sec: throughput * batch as f64,
+                p50_ms: pct(0.50),
+                p90_ms: pct(0.90),
+                p99_ms: pct(0.99),
+                max_ms: *baseline.last().expect("at least one request") as f64 / 1000.0,
+                accepted: baseline.len(),
+                shadow_p99_ms_at_0: p99_0,
+                shadow_p99_ms_at_10: p99_10,
+                shadow_p99_ms_at_100: p99_100,
+                shadow_p99_delta_10_ms: p99_10 - p99_0,
+                shadow_p99_delta_100_ms: p99_100 - p99_0,
+                ..Report::default()
             });
         }
         return;
@@ -263,7 +400,12 @@ fn main() {
     let (addr, handle) = match flag(&args, "--addr") {
         Some(addr) => (addr, None),
         None => {
-            let handle = boot(ServerConfig { max_batch, batch_wait, ..ServerConfig::default() });
+            let handle = boot(ServerConfig {
+                max_batch,
+                batch_wait,
+                default_model: model.clone(),
+                ..ServerConfig::default()
+            });
             eprintln!("self-contained: serving synthetic ALL/AML bundle on {}", handle.addr());
             (handle.addr().to_string(), Some(handle))
         }
@@ -273,7 +415,7 @@ fn main() {
         "serve_bench: {requests} requests x batch {batch}, concurrency {concurrency}, \
          target {addr}"
     );
-    let (sorted, elapsed) = run_load(&addr, &bodies, requests, concurrency);
+    let (sorted, elapsed) = run_load(&addr, classify_path, &bodies, requests, concurrency);
     let total = sorted.len();
     // Shared nearest-rank helper: the old truncating index under-reported
     // p99 for small runs (N=100 read index 98).
@@ -309,17 +451,11 @@ fn main() {
             p99_ms: pct(0.99),
             max_ms,
             accepted: total,
-            shed: 0,
-            shed_rate: 0.0,
-            unloaded_p99_ms: 0.0,
-            saturated_over_unloaded_p99: 0.0,
             server_p50_ms: server.as_ref().map_or(0.0, |s| s.p50_ms),
             server_p99_ms: server.as_ref().map_or(0.0, |s| s.p99_ms),
             server_requests: server.as_ref().map_or(0, |s| s.count),
             coordinated_omission_skew: co_skew(pct(0.99), &server),
-            unbatched_samples_per_sec: 0.0,
-            batched_samples_per_sec: 0.0,
-            batched_speedup: 0.0,
+            ..Report::default()
         });
     }
 
@@ -332,6 +468,7 @@ fn main() {
 /// per-request client latencies (µs) and the elapsed wall clock.
 fn run_load(
     addr: &str,
+    path: &str,
     bodies: &[String],
     requests: usize,
     concurrency: usize,
@@ -347,7 +484,7 @@ fn run_load(
                 for i in 0..per_worker {
                     let body = &bodies[(w * per_worker + i) % bodies.len()];
                     let t0 = Instant::now();
-                    let status = conn.post_classify(addr, body);
+                    let status = conn.post_classify(addr, path, body);
                     latencies.push(t0.elapsed().as_micros() as u64);
                     if status != 200 {
                         eprintln!("error: /classify returned HTTP {status}");
@@ -461,12 +598,12 @@ fn write_report(report: Report) {
 /// One request on a fresh `connection: close` socket. Returns the status
 /// and whether a `Retry-After` header accompanied it; `None` when the
 /// connection died without an HTTP answer.
-fn one_shot(addr: &str, body: &str) -> Option<(u16, bool)> {
+fn one_shot(addr: &str, path: &str, body: &str) -> Option<(u16, bool)> {
     let stream = TcpStream::connect(addr).ok()?;
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream);
     let request = format!(
-        "POST /classify HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\n\
+        "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\n\
          content-length: {}\r\nconnection: close\r\n\r\n{body}",
         body.len()
     );
@@ -495,6 +632,7 @@ fn one_shot(addr: &str, body: &str) -> Option<(u16, bool)> {
 /// distribution under overload.
 fn run_overload(
     addr: &str,
+    path: &str,
     bodies: &[String],
     requests: usize,
     concurrency: usize,
@@ -507,7 +645,7 @@ fn run_overload(
     for i in 0..calibration {
         let body = &bodies[i % bodies.len()];
         let t0 = Instant::now();
-        match one_shot(addr, body) {
+        match one_shot(addr, path, body) {
             Some((200, _)) => calib_us.push(t0.elapsed().as_micros() as u64),
             Some((status, _)) => {
                 eprintln!("error: calibration request returned HTTP {status}");
@@ -540,7 +678,7 @@ fn run_overload(
                 for i in 0..per_worker {
                     let body = &bodies[(w * per_worker + i) % bodies.len()];
                     let t0 = Instant::now();
-                    match one_shot(addr, body) {
+                    match one_shot(addr, path, body) {
                         Some((200, _)) => accepted.push(t0.elapsed().as_micros() as u64),
                         Some((503, true)) => shed += 1,
                         Some((503, false)) => {
@@ -630,9 +768,7 @@ fn run_overload(
             server_p99_ms: server.as_ref().map_or(0.0, |s| s.p99_ms),
             server_requests: server.as_ref().map_or(0, |s| s.count),
             coordinated_omission_skew: co_skew(pct(0.99), &server),
-            unbatched_samples_per_sec: 0.0,
-            batched_samples_per_sec: 0.0,
-            batched_speedup: 0.0,
+            ..Report::default()
         });
     }
 }
@@ -679,13 +815,13 @@ impl Connection {
         Connection { stream: BufReader::new(stream) }
     }
 
-    fn post_classify(&mut self, addr: &str, body: &str) -> u16 {
-        match self.try_post(body) {
+    fn post_classify(&mut self, addr: &str, path: &str, body: &str) -> u16 {
+        match self.try_post(path, body) {
             Some(status) => status,
             None => {
                 // Stale keep-alive connection: reconnect once and retry.
                 *self = Connection::open(addr);
-                self.try_post(body).unwrap_or_else(|| {
+                self.try_post(path, body).unwrap_or_else(|| {
                     eprintln!("error: connection to {addr} dropped mid-request");
                     std::process::exit(1);
                 })
@@ -694,9 +830,9 @@ impl Connection {
     }
 
     /// Sends one request and reads one response; `None` on a dead socket.
-    fn try_post(&mut self, body: &str) -> Option<u16> {
+    fn try_post(&mut self, path: &str, body: &str) -> Option<u16> {
         let request = format!(
-            "POST /classify HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\n\
+            "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\n\
              content-length: {}\r\n\r\n{body}",
             body.len()
         );

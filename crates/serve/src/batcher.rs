@@ -175,13 +175,17 @@ fn run(queue: &BoundedQueue<Job>, metrics: &Metrics, max_batch: usize, batch_wai
     let mut scratch = BatchScratch::new();
     let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
     let mut flat: Vec<BitSet> = Vec::new();
+    // Rotates the per-model group order across executions so no model's
+    // jobs systematically run first (fair scheduling under mixed load).
+    let mut rotation = 0usize;
     loop {
         match queue.pop(IDLE_POLL) {
             Pop::Item(first) => {
                 batch.clear();
                 batch.push(first);
                 collect_batch(queue, &mut batch, max_batch, batch_wait);
-                execute_batch(&mut batch, &mut flat, &mut scratch, metrics);
+                execute_batch(&mut batch, &mut flat, &mut scratch, metrics, rotation);
+                rotation = rotation.wrapping_add(1);
             }
             Pop::Empty => continue,
             // Close drains queued items first, so every admitted job was
@@ -228,6 +232,7 @@ fn execute_batch(
     flat: &mut Vec<BitSet>,
     scratch: &mut BatchScratch,
     metrics: &Metrics,
+    rotation: usize,
 ) {
     let batch_id = obs::log::request_id();
     metrics.record_batch(batch.len() as u64);
@@ -260,19 +265,25 @@ fn execute_batch(
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let _stage = obs::Stage::enter("classify_batch");
         chaos::point("batcher");
-        let mut jobs = std::mem::take(batch).into_iter().peekable();
-        while let Some(first) = jobs.next() {
-            // A hot /reload may land mid-stream: group consecutive jobs
-            // by bundle identity and run the kernel per group, so every
-            // job is evaluated against the exact model it was parsed for.
-            let mut group = vec![first];
-            while let Some(next) = jobs.peek() {
-                if Arc::ptr_eq(&next.bundle, &group[0].bundle) {
-                    group.push(jobs.next().expect("peeked"));
-                } else {
-                    break;
-                }
+        // Partition the whole batch by bundle identity (a registry fleet
+        // interleaves models; a hot /reload splits one model mid-stream
+        // the same way), preserving arrival order within each group so
+        // every job is evaluated against the exact model it was parsed
+        // for. Groups then execute in rotated order: over many batches
+        // each model's group goes first equally often, so one chatty
+        // model cannot systematically add its kernel time ahead of
+        // everyone else's completions.
+        let mut groups: Vec<Vec<Job>> = Vec::new();
+        for job in std::mem::take(batch) {
+            match groups.iter_mut().find(|g| Arc::ptr_eq(&g[0].bundle, &job.bundle)) {
+                Some(group) => group.push(job),
+                None => groups.push(vec![job]),
             }
+        }
+        metrics.record_batch_model_switches(groups.len().saturating_sub(1) as u64);
+        let start = if groups.is_empty() { 0 } else { rotation % groups.len() };
+        groups.rotate_left(start);
+        for group in groups {
             run_group(group, flat, scratch, &batch_id);
         }
     }));
@@ -531,6 +542,76 @@ mod tests {
         let returned = batcher.submit(&bundle, queries, "r", None).expect_err("must bounce");
         assert_eq!(returned.len(), 1, "queries come back for the inline path");
         thread.join().unwrap();
+    }
+
+    fn wide_bundle() -> Arc<ModelBundle> {
+        // Three genes, so queries are a different width than toy_bundle's:
+        // mixing them in one kernel pass would be memory-unsafe nonsense.
+        let data = ContinuousDataset::new(
+            vec!["gA".into(), "gB".into(), "gC".into()],
+            vec!["neg".into(), "pos".into()],
+            vec![
+                vec![1.0, 5.0, 2.0],
+                vec![1.2, 3.0, 2.2],
+                vec![0.8, 5.5, 1.8],
+                vec![1.1, 2.9, 2.1],
+                vec![9.0, 5.1, 7.0],
+                vec![9.2, 3.2, 7.2],
+                vec![8.9, 5.2, 6.8],
+                vec![9.1, 3.1, 7.1],
+            ],
+            vec![0, 0, 0, 0, 1, 1, 1, 1],
+        )
+        .unwrap();
+        Arc::new(ModelBundle::train(&data, Provenance::new("toy-wide", None)).unwrap())
+    }
+
+    #[test]
+    fn mixed_model_batch_groups_per_bundle_and_counts_switches() {
+        let narrow = toy_bundle();
+        let wide = wide_bundle();
+        let metrics = Metrics::new();
+        let mut scratch = BatchScratch::new();
+        let mut flat = Vec::new();
+        // Jobs interleaved narrow/wide/narrow/wide: the partition must
+        // run exactly two kernel groups, never a mixed-width one.
+        let mut batch = Vec::new();
+        let mut receivers = Vec::new();
+        for i in 0..4 {
+            let (j, rx) = if i % 2 == 0 {
+                job(&narrow, &[&[1.0, 4.0]])
+            } else {
+                let (tx, rx) = sync_channel(1);
+                (
+                    Job {
+                        bundle: Arc::clone(&wide),
+                        queries: vec![wide.query_for_row(&[9.0, 4.0, 7.0]).unwrap()],
+                        request_id: format!("w{i}"),
+                        deadline: None,
+                        submitted: Instant::now(),
+                        completion: tx,
+                    },
+                    rx,
+                )
+            };
+            batch.push(j);
+            receivers.push(rx);
+        }
+        execute_batch(&mut batch, &mut flat, &mut scratch, &metrics, 1);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let completion = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            let Outcome::Predictions(ps) = completion.outcome else {
+                panic!("job {i}: expected predictions");
+            };
+            let expected = if i % 2 == 0 {
+                narrow.classify_row(&[1.0, 4.0]).unwrap()
+            } else {
+                wide.classify_row(&[9.0, 4.0, 7.0]).unwrap()
+            };
+            assert_eq!(ps[0].values, expected.values, "job {i} ran on its own bundle");
+        }
+        // Two groups in one execution = one model switch.
+        assert_eq!(metrics.snapshot().batch_model_switches, 1);
     }
 
     #[test]

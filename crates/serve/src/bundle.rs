@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::fmt;
 use std::path::Path;
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The bundle format this build writes and accepts.
 pub const FORMAT_VERSION: u64 = 1;
@@ -74,7 +74,27 @@ pub struct ModelBundle {
     /// The word-parallel evaluation form of `model`, lowered lazily on
     /// first use and never serialized (it is derived state).
     #[serde(skip)]
-    compiled: OnceLock<CompiledModel>,
+    compiled: CompiledSlot,
+}
+
+/// An evictable cache slot for the bundle's [`CompiledModel`].
+///
+/// PR 2 cached the compiled form in a `OnceLock`, which is
+/// fill-once-forever — fine for a single served model, wrong for a
+/// registry that caps how many *compiled* models stay resident. This
+/// slot hands out `Arc<CompiledModel>` clones, so the registry's LRU can
+/// [`ModelBundle::evict_compiled`] the cache while every in-flight
+/// request keeps classifying against the handle it already holds; the
+/// next request simply re-lowers the model.
+#[derive(Debug, Default)]
+pub struct CompiledSlot(Mutex<Option<Arc<CompiledModel>>>);
+
+impl Clone for CompiledSlot {
+    /// Cloning a bundle shares the already-compiled form (it is pure
+    /// derived state; recompiling would produce an identical model).
+    fn clone(&self) -> CompiledSlot {
+        CompiledSlot(Mutex::new(self.0.lock().unwrap_or_else(PoisonError::into_inner).clone()))
+    }
 }
 
 /// One classification result.
@@ -216,14 +236,40 @@ impl ModelBundle {
             item_names: discretizer.item_names(),
             discretizer,
             model,
-            compiled: OnceLock::new(),
+            compiled: CompiledSlot::default(),
         })
     }
 
     /// The compiled (word-parallel, scratch-driven) form of the model,
-    /// lowered on first call and cached for the bundle's lifetime.
-    pub fn compiled(&self) -> &CompiledModel {
-        self.compiled.get_or_init(|| self.model.compile())
+    /// lowered on first call and cached until [`Self::evict_compiled`].
+    ///
+    /// Concurrent first calls for the *same* bundle serialize on the slot
+    /// lock (they all need the same result anyway); callers of distinct
+    /// bundles never contend.
+    pub fn compiled(&self) -> Arc<CompiledModel> {
+        let mut slot = self.compiled.0.lock().unwrap_or_else(PoisonError::into_inner);
+        match &*slot {
+            Some(compiled) => Arc::clone(compiled),
+            None => {
+                let compiled = Arc::new(self.model.compile());
+                *slot = Some(Arc::clone(&compiled));
+                compiled
+            }
+        }
+    }
+
+    /// Drops the cached compiled form (the registry's LRU calls this when
+    /// the resident cap is exceeded). Returns whether a compiled form was
+    /// actually resident. In-flight classifications keep the `Arc` they
+    /// already cloned; the next [`Self::compiled`] call re-lowers.
+    pub fn evict_compiled(&self) -> bool {
+        self.compiled.0.lock().unwrap_or_else(PoisonError::into_inner).take().is_some()
+    }
+
+    /// Whether a compiled form is currently cached (resident) without
+    /// forcing compilation.
+    pub fn compiled_resident(&self) -> bool {
+        self.compiled.0.lock().unwrap_or_else(PoisonError::into_inner).is_some()
     }
 
     /// Number of raw gene values a classify input must supply.
@@ -293,6 +339,17 @@ impl ModelBundle {
             confidence: bstc::confidence_gap_of(values),
             values: values.to_vec(),
         }
+    }
+
+    /// The checksum of this bundle's canonical payload serialization —
+    /// bit-identical to the `checksum` field [`Self::save`] writes, so a
+    /// registry can report which artifact a served version corresponds
+    /// to. Computed on demand; the registry caches it per version.
+    pub fn content_checksum(&self) -> Result<String, BundleError> {
+        let payload = serde_json::to_value(self).map_err(|e| BundleError::Json(e.to_string()))?;
+        let canonical =
+            serde_json::to_string(&payload).map_err(|e| BundleError::Json(e.to_string()))?;
+        Ok(checksum_of(&canonical))
     }
 
     /// Serializes to the versioned, checksummed JSON envelope.
@@ -491,6 +548,37 @@ mod tests {
         assert_eq!(BundleError::FormatVersion { found: 9, expected: 1 }.http_status(), 409);
         let mismatch = BundleError::ChecksumMismatch { declared: "a".into(), computed: "b".into() };
         assert_eq!(mismatch.http_status(), 409);
+    }
+
+    #[test]
+    fn compiled_slot_evicts_and_relowers() {
+        let b = ModelBundle::train(&toy(), Provenance::new("toy", None)).unwrap();
+        assert!(!b.compiled_resident(), "fresh bundle holds no compiled form");
+        let held = b.compiled();
+        assert!(b.compiled_resident());
+        assert!(b.evict_compiled(), "eviction drops a resident form");
+        assert!(!b.compiled_resident());
+        assert!(!b.evict_compiled(), "double eviction is a no-op");
+        // The held handle still classifies after eviction, and a fresh
+        // compile produces identical answers.
+        let query = b.query_for_row(&[1.0, 4.0]).unwrap();
+        let mut scratch = Scratch::new();
+        held.class_values_into(&query, &mut scratch);
+        let old_values = scratch.values().to_vec();
+        b.compiled().class_values_into(&query, &mut scratch);
+        assert_eq!(old_values, scratch.values());
+        assert!(b.compiled_resident(), "re-lowered form is cached again");
+    }
+
+    #[test]
+    fn content_checksum_matches_saved_envelope() {
+        let b = ModelBundle::train(&toy(), Provenance::new("toy", Some(3))).unwrap();
+        let envelope = b.to_json().unwrap();
+        let declared: serde_json::Value = serde_json::from_str(&envelope).unwrap();
+        assert_eq!(
+            declared.get("checksum").unwrap().as_str().unwrap(),
+            b.content_checksum().unwrap()
+        );
     }
 
     #[test]

@@ -20,11 +20,22 @@
 //!   respawns, timeouts, batch ledger).
 //! * [`queue`] — the poison-free bounded acceptor→worker hand-off;
 //!   admission beyond its depth is shed with `503` + `Retry-After`.
+//! * [`registry`] — the multi-model fleet: named, versioned bundles
+//!   loaded from `--models-dir`, atomic per-model version swaps with
+//!   rollback-by-not-swapping, and an LRU cap on how many *compiled*
+//!   models stay resident (bundle JSON always stays; the derived
+//!   word-parallel form is evicted under pressure and re-lowered
+//!   lazily).
+//! * [`router`] — typed parsing of the `/v1/models/{name}/...` route
+//!   space, with the legacy unnamed routes aliased to a default model.
+//! * [`shadow`] — deterministic shadow/canary traffic: a seeded,
+//!   reproducible sample of a primary model's requests is replayed
+//!   asynchronously against a candidate model and compared server-side
+//!   (prediction disagreements and latency, on `/metrics`).
 //! * [`server`] — a worker-pool TCP server exposing `/classify` (single
-//!   and batch), `/health`, `/model`, `/metrics`, and `/reload`
-//!   (hot-swap behind `RwLock<Arc<ModelBundle>>`), with panic isolation
-//!   (`catch_unwind` → structured 500) and a supervisor that respawns
-//!   dead workers.
+//!   and batch), `/health`, `/model`, `/metrics`, `/reload`, and the
+//!   `/v1/models/*` registry API, with panic isolation (`catch_unwind`
+//!   → structured 500) and a supervisor that respawns dead workers.
 //! * [`chaos`] — deterministic fault injection at named sites (enabled
 //!   under `cfg(test)` or the `chaos` feature; compiled out otherwise),
 //!   driving the chaos integration test that *measures* the above
@@ -46,9 +57,14 @@ pub mod chaos;
 pub mod http;
 pub mod metrics;
 pub mod queue;
+pub mod registry;
+pub mod router;
 pub mod server;
+pub mod shadow;
 
 pub use batcher::{Batcher, BatcherConfig};
 pub use bundle::{BundleError, ModelBundle, Prediction, Provenance, FORMAT_VERSION};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use registry::{ModelRegistry, ModelVersion, RegistryError};
+pub use server::{serve, serve_models, ServerConfig, ServerHandle};
+pub use shadow::{ShadowExecutor, ShadowJob, ShadowSpec};

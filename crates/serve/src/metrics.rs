@@ -13,7 +13,9 @@
 //! the batch-size distribution stay cumulative (their totals feed
 //! cross-run comparisons).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use obs::{Histogram, WindowedHistogram};
 
@@ -93,6 +95,28 @@ pub struct Metrics {
     /// Time jobs spent queued before their batch executed, microseconds
     /// (windowed: the batching latency tax under *current* load).
     batch_wait_us: WindowedHistogram,
+    /// Bundle-group switches inside batch executions: how often the
+    /// batch kernel changed models within one coalesced batch (the cost
+    /// of round-robin fairness across a mixed-model fleet).
+    batch_model_switches: AtomicU64,
+    /// Gauge: compiled models currently resident (LRU-tracked).
+    models_resident: AtomicU64,
+    /// Compiled forms evicted by the residency LRU.
+    compile_evictions: AtomicU64,
+    /// Mirrored requests the shadow executor replayed.
+    shadow_requests: AtomicU64,
+    /// Mirrored requests dropped because the shadow queue was full.
+    shadow_dropped: AtomicU64,
+    /// Per-primary-model count of replays where the candidate's class
+    /// differed on at least one row. Keyed by model name — a `Mutex`
+    /// around a map, not an atomic, because the label set is dynamic;
+    /// cardinality stays bounded because the registry validates names
+    /// at load time and shadowing is configured per registered model.
+    shadow_disagreements: Mutex<BTreeMap<String, u64>>,
+    /// Candidate classification latency in the shadow executor,
+    /// microseconds (cumulative, for direct comparison against
+    /// `bstc_classify_latency_us`).
+    shadow_latency_us: Histogram,
 }
 
 impl Metrics {
@@ -134,6 +158,18 @@ impl Metrics {
             "/model" => &self.model,
             "/metrics" => &self.metrics,
             "/reload" => &self.reload,
+            // Registry routes pool into their unnamed counterparts: the
+            // `route` label set stays fixed no matter how many models are
+            // registered (bounded label cardinality by construction).
+            _ if path.starts_with("/v1/models") => {
+                if path.ends_with("/classify") {
+                    &self.classify
+                } else if path.ends_with("/reload") {
+                    &self.reload
+                } else {
+                    &self.model
+                }
+            }
             _ => &self.other,
         }
     }
@@ -219,6 +255,39 @@ impl Metrics {
         self.batch_panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` model switches inside one batch execution.
+    pub fn record_batch_model_switches(&self, n: u64) {
+        self.batch_model_switches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the compiled-models-resident gauge.
+    pub fn set_models_resident(&self, n: u64) {
+        self.models_resident.store(n, Ordering::Relaxed);
+    }
+
+    /// Records one compiled form evicted by the residency LRU.
+    pub fn record_compile_eviction(&self) {
+        self.compile_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one replayed shadow request and its candidate latency.
+    pub fn record_shadow_request(&self, latency_us: u64) {
+        self.shadow_requests.fetch_add(1, Ordering::Relaxed);
+        self.shadow_latency_us.record(latency_us);
+    }
+
+    /// Records one shadow replay disagreeing with the primary, labeled
+    /// by the primary model's name.
+    pub fn record_shadow_disagreement(&self, model: &str) {
+        let mut map = self.shadow_disagreements.lock().unwrap_or_else(PoisonError::into_inner);
+        *map.entry(model.to_string()).or_insert(0) += 1;
+    }
+
+    /// Records one shadow job dropped at a full queue.
+    pub fn record_shadow_dropped(&self) {
+        self.shadow_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy for tests and supervisors
     /// (individual counters are exact; cross-counter skew is possible
     /// while traffic is in flight).
@@ -240,6 +309,17 @@ impl Metrics {
             batch_jobs_completed: self.batch_jobs_completed.load(Ordering::Relaxed),
             batch_inline_fallbacks: self.batch_inline_fallbacks.load(Ordering::Relaxed),
             batch_panics: self.batch_panics.load(Ordering::Relaxed),
+            batch_model_switches: self.batch_model_switches.load(Ordering::Relaxed),
+            models_resident: self.models_resident.load(Ordering::Relaxed),
+            compile_evictions: self.compile_evictions.load(Ordering::Relaxed),
+            shadow_requests: self.shadow_requests.load(Ordering::Relaxed),
+            shadow_dropped: self.shadow_dropped.load(Ordering::Relaxed),
+            shadow_disagreements: self
+                .shadow_disagreements
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .values()
+                .sum(),
         }
     }
 
@@ -366,6 +446,40 @@ impl Metrics {
         self.batch_size.render_into(&mut out, "bstc_batch_size", &[]);
         out.push_str("# TYPE bstc_batch_wait_us histogram\n");
         self.batch_wait_us.render_into(&mut out, "bstc_batch_wait_us", &[]);
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_batch_model_switches_total counter\nbstc_batch_model_switches_total {}",
+            self.batch_model_switches.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_models_resident gauge\nbstc_models_resident {}",
+            self.models_resident.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_model_compile_evictions_total counter\n\
+             bstc_model_compile_evictions_total {}",
+            self.compile_evictions.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_shadow_requests_total counter\nbstc_shadow_requests_total {}",
+            self.shadow_requests.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_shadow_dropped_total counter\nbstc_shadow_dropped_total {}",
+            self.shadow_dropped.load(Ordering::Relaxed)
+        );
+        out.push_str("# TYPE bstc_shadow_disagreements_total counter\n");
+        for (model, count) in
+            self.shadow_disagreements.lock().unwrap_or_else(PoisonError::into_inner).iter()
+        {
+            let _ = writeln!(out, "bstc_shadow_disagreements_total{{model=\"{model}\"}} {count}");
+        }
+        out.push_str("# TYPE bstc_shadow_latency_us histogram\n");
+        self.shadow_latency_us.render_into(&mut out, "bstc_shadow_latency_us", &[]);
         out
     }
 }
@@ -406,6 +520,18 @@ pub struct MetricsSnapshot {
     pub batch_inline_fallbacks: u64,
     /// Isolated batch-execution panics.
     pub batch_panics: u64,
+    /// Model switches inside batch executions.
+    pub batch_model_switches: u64,
+    /// Compiled models currently resident.
+    pub models_resident: u64,
+    /// Compiled forms evicted by the residency LRU.
+    pub compile_evictions: u64,
+    /// Shadow replays executed.
+    pub shadow_requests: u64,
+    /// Shadow jobs dropped at a full queue.
+    pub shadow_dropped: u64,
+    /// Shadow replays that disagreed with the primary (sum over models).
+    pub shadow_disagreements: u64,
 }
 
 #[cfg(test)]
@@ -522,6 +648,41 @@ mod tests {
         assert_eq!(snap.batches_executed, 2);
         assert_eq!(snap.batch_inline_fallbacks, 1);
         assert_eq!(snap.batch_panics, 1);
+    }
+
+    #[test]
+    fn registry_and_shadow_families_render_and_snapshot() {
+        let m = Metrics::new();
+        m.set_models_resident(2);
+        m.record_compile_eviction();
+        m.record_batch_model_switches(3);
+        m.record_shadow_request(120);
+        m.record_shadow_request(340);
+        m.record_shadow_disagreement("tumor");
+        m.record_shadow_disagreement("tumor");
+        m.record_shadow_disagreement("leukemia");
+        m.record_shadow_dropped();
+        let text = m.render();
+        assert!(text.contains("bstc_models_resident 2"), "{text}");
+        assert!(text.contains("bstc_model_compile_evictions_total 1"), "{text}");
+        assert!(text.contains("bstc_batch_model_switches_total 3"), "{text}");
+        assert!(text.contains("bstc_shadow_requests_total 2"), "{text}");
+        assert!(text.contains("bstc_shadow_dropped_total 1"), "{text}");
+        assert!(text.contains("bstc_shadow_disagreements_total{model=\"tumor\"} 2"), "{text}");
+        assert!(text.contains("bstc_shadow_disagreements_total{model=\"leukemia\"} 1"), "{text}");
+        assert!(text.contains("bstc_shadow_latency_us_count 2"), "{text}");
+        assert!(text.contains("bstc_shadow_latency_us_sum 460"), "{text}");
+        // The TYPE line precedes the labeled samples (scrape hygiene).
+        let type_at = text.find("# TYPE bstc_shadow_disagreements_total").unwrap();
+        let sample_at = text.find("bstc_shadow_disagreements_total{").unwrap();
+        assert!(type_at < sample_at, "{text}");
+        let snap = m.snapshot();
+        assert_eq!(snap.models_resident, 2);
+        assert_eq!(snap.compile_evictions, 1);
+        assert_eq!(snap.batch_model_switches, 3);
+        assert_eq!(snap.shadow_requests, 2);
+        assert_eq!(snap.shadow_disagreements, 3);
+        assert_eq!(snap.shadow_dropped, 1);
     }
 
     #[test]

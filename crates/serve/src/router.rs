@@ -1,0 +1,131 @@
+//! Path routing for the registry API: parses a request's method + path
+//! into a typed [`Route`] the server dispatches on.
+//!
+//! The route table:
+//!
+//! | route                              | meaning                                |
+//! |------------------------------------|----------------------------------------|
+//! | `GET /health`                      | liveness probe                         |
+//! | `GET /model`                       | default model's metadata (legacy)      |
+//! | `GET /metrics`                     | Prometheus-style exposition            |
+//! | `POST /classify`                   | classify against the default model     |
+//! | `POST /reload`                     | swap the default model (legacy)        |
+//! | `GET /v1/models`                   | list every registered model            |
+//! | `GET /v1/models/{name}`            | one model's metadata                   |
+//! | `POST /v1/models/{name}/classify`  | classify against a named model         |
+//! | `POST /v1/models/{name}/reload`    | atomic version swap of a named model   |
+//!
+//! The legacy unnamed routes are aliases: `/classify` *is*
+//! `/v1/models/{default}/classify`. Parsing is purely syntactic — the
+//! name segment is validated against the model-name grammar (the same
+//! rule the registry enforces at load time, which is what bounds the
+//! `{model}` metric label cardinality), but whether the model *exists*
+//! is the registry's question, answered at dispatch with a structured
+//! 404.
+
+use crate::registry::valid_model_name;
+
+/// A parsed route. Name segments borrow from the request path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Route<'a> {
+    /// `GET /health`
+    Health,
+    /// `GET /model` — default model's metadata.
+    Model,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /classify` or `POST /v1/models/{name}/classify`; `None`
+    /// means the default model.
+    Classify(Option<&'a str>),
+    /// `POST /reload` or `POST /v1/models/{name}/reload`; `None` means
+    /// the default model.
+    Reload(Option<&'a str>),
+    /// `GET /v1/models` — list registered models.
+    Models,
+    /// `GET /v1/models/{name}` — one model's metadata.
+    ModelMeta(&'a str),
+    /// The path names a known endpoint but the method is wrong (405).
+    MethodNotAllowed,
+    /// The path exists under `/v1/models/` but its name segment is not
+    /// a valid model name (400 with a structured error, not a 404: the
+    /// request is syntactically wrong, not merely unknown).
+    BadName(&'a str),
+    /// Nothing lives at this path (404).
+    NotFound,
+}
+
+/// Parses one request into a [`Route`] borrowing from `path`.
+pub fn route_of<'a>(method: &str, path: &'a str) -> Route<'a> {
+    match (method, path) {
+        ("GET", "/health") => return Route::Health,
+        ("GET", "/model") => return Route::Model,
+        ("GET", "/metrics") => return Route::Metrics,
+        ("POST", "/classify") => return Route::Classify(None),
+        ("POST", "/reload") => return Route::Reload(None),
+        ("GET", "/v1/models") | ("GET", "/v1/models/") => return Route::Models,
+        (_, "/health" | "/model" | "/metrics" | "/classify" | "/reload" | "/v1/models") => {
+            return Route::MethodNotAllowed
+        }
+        _ => {}
+    }
+    let Some(rest) = path.strip_prefix("/v1/models/") else {
+        return Route::NotFound;
+    };
+    let (name, action) = match rest.split_once('/') {
+        Some((name, action)) => (name, Some(action)),
+        None => (rest, None),
+    };
+    if !valid_model_name(name) {
+        return Route::BadName(name);
+    }
+    match (method, action) {
+        ("GET", None) => Route::ModelMeta(name),
+        ("POST", Some("classify")) => Route::Classify(Some(name)),
+        ("POST", Some("reload")) => Route::Reload(Some(name)),
+        (_, None | Some("classify") | Some("reload")) => Route::MethodNotAllowed,
+        _ => Route::NotFound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_routes_parse() {
+        assert_eq!(route_of("GET", "/health"), Route::Health);
+        assert_eq!(route_of("GET", "/model"), Route::Model);
+        assert_eq!(route_of("GET", "/metrics"), Route::Metrics);
+        assert_eq!(route_of("POST", "/classify"), Route::Classify(None));
+        assert_eq!(route_of("POST", "/reload"), Route::Reload(None));
+    }
+
+    #[test]
+    fn registry_routes_parse() {
+        assert_eq!(route_of("GET", "/v1/models"), Route::Models);
+        assert_eq!(route_of("GET", "/v1/models/"), Route::Models);
+        assert_eq!(route_of("GET", "/v1/models/tumor"), Route::ModelMeta("tumor"));
+        assert_eq!(route_of("POST", "/v1/models/tumor/classify"), Route::Classify(Some("tumor")));
+        assert_eq!(route_of("POST", "/v1/models/m.2/reload"), Route::Reload(Some("m.2")));
+    }
+
+    #[test]
+    fn wrong_methods_are_405_not_404() {
+        assert_eq!(route_of("DELETE", "/classify"), Route::MethodNotAllowed);
+        assert_eq!(route_of("POST", "/v1/models"), Route::MethodNotAllowed);
+        assert_eq!(route_of("POST", "/v1/models/tumor"), Route::MethodNotAllowed);
+        assert_eq!(route_of("GET", "/v1/models/tumor/classify"), Route::MethodNotAllowed);
+        assert_eq!(route_of("PUT", "/v1/models/tumor/reload"), Route::MethodNotAllowed);
+    }
+
+    #[test]
+    fn bad_names_and_unknown_paths() {
+        assert_eq!(route_of("POST", "/v1/models/.hidden/classify"), Route::BadName(".hidden"));
+        assert_eq!(route_of("GET", "/v1/models/ümlaut"), Route::BadName("ümlaut"));
+        assert_eq!(route_of("POST", "/v1/models//classify"), Route::BadName(""));
+        assert_eq!(route_of("GET", "/nope"), Route::NotFound);
+        assert_eq!(route_of("GET", "/v1"), Route::NotFound);
+        assert_eq!(route_of("POST", "/v1/models/tumor/nope"), Route::NotFound);
+        assert_eq!(route_of("POST", "/v1/models/tumor/classify/extra"), Route::NotFound);
+    }
+}

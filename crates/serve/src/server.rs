@@ -44,6 +44,9 @@ use crate::chaos;
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, Pop};
+use crate::registry::{ModelRegistry, ModelVersion, RegistryError};
+use crate::router::{route_of, Route};
+use crate::shadow::{ShadowExecutor, ShadowJob, ShadowRoute, ShadowSpec};
 use bstc::Scratch;
 use serde_json::{json, Value};
 use std::io::{self, BufReader, Read};
@@ -52,7 +55,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -81,6 +84,24 @@ pub struct ServerConfig {
     /// How long a lone queued job waits for company before the batcher
     /// executes it anyway (`--batch-wait-us`).
     pub batch_wait: Duration,
+    /// Directory of `*.json` bundles to serve as a fleet
+    /// (`--models-dir`); each file registers under its stem. `None`
+    /// serves the single bundle passed to [`serve`].
+    pub models_dir: Option<PathBuf>,
+    /// Which registered model the legacy unnamed routes alias to
+    /// (`--default-model`); `None` picks the lexicographically first.
+    pub default_model: Option<String>,
+    /// Most *compiled* models kept resident at once (`--max-resident`);
+    /// past it the registry LRU evicts the coldest compiled form. 0
+    /// disables the cap.
+    pub max_resident: usize,
+    /// Shadow directives (`--shadow primary=candidate:percent`,
+    /// repeatable): mirror that share of a primary's traffic onto a
+    /// registered candidate and compare server-side.
+    pub shadows: Vec<ShadowSpec>,
+    /// Seed for the deterministic shadow-sampling stream
+    /// (`--shadow-seed`).
+    pub shadow_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -94,19 +115,29 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(5),
             max_batch: 32,
             batch_wait: Duration::from_micros(200),
+            models_dir: None,
+            default_model: None,
+            max_resident: 0,
+            shadows: Vec::new(),
+            shadow_seed: 0x5eed_cafe,
         }
     }
 }
 
 /// State shared by every worker.
 struct Shared {
-    bundle: RwLock<Arc<ModelBundle>>,
-    bundle_path: Option<PathBuf>,
+    /// The model fleet: every named version, swaps, compiled residency.
+    registry: Arc<ModelRegistry>,
     /// Shared with the batcher thread, which records batch metrics.
     metrics: Arc<Metrics>,
     /// The cross-connection micro-batcher; `None` when `max_batch` is 0
     /// (workers then classify inline, the pre-batching behavior).
     batcher: Option<Batcher>,
+    /// The asynchronous shadow replayer; `None` without `--shadow`.
+    shadow: Option<ShadowExecutor>,
+    /// Per-primary shadow sampling state, resolved against the registry
+    /// at boot (name-ordered, tiny: linear lookup).
+    shadow_routes: Vec<ShadowRoute>,
     shutting_down: AtomicBool,
     queue: BoundedQueue<TcpStream>,
     /// Overflow lane: connections refused admission wait here for the
@@ -118,10 +149,9 @@ struct Shared {
 }
 
 impl Shared {
-    /// The live bundle; poisoning is recovered because the guarded value
-    /// is a plain `Arc` swap that no panic can leave half-written.
-    fn bundle(&self) -> Arc<ModelBundle> {
-        self.bundle.read().unwrap_or_else(PoisonError::into_inner).clone()
+    /// The shadow route configured for `model`, if any.
+    fn shadow_route(&self, model: &str) -> Option<&ShadowRoute> {
+        self.shadow_routes.iter().find(|r| r.spec().primary == model)
     }
 }
 
@@ -135,6 +165,7 @@ pub struct ServerHandle {
     shedder: JoinHandle<()>,
     supervisor: JoinHandle<()>,
     batcher_thread: Option<JoinHandle<()>>,
+    shadow_thread: Option<JoinHandle<()>>,
 }
 
 /// Idle keep-alive connections and the worker queue are polled at this
@@ -144,14 +175,79 @@ const IDLE_POLL: Duration = Duration::from_millis(250);
 /// How often the supervisor checks the pool for dead workers.
 const SUPERVISE_POLL: Duration = Duration::from_millis(20);
 
-/// Binds and starts serving `bundle` in background threads.
+/// Binds and starts serving `bundle` in background threads as a
+/// single-model fleet: the bundle registers under
+/// [`ServerConfig::default_model`] (or `"default"`), and every legacy
+/// route and `/v1/models/{name}` route serves it.
 ///
 /// # Errors
-/// Propagates socket failures (bind, local_addr).
+/// Propagates socket failures (bind, local_addr) and registration
+/// failures (invalid model name).
 pub fn serve(config: ServerConfig, bundle: ModelBundle) -> io::Result<ServerHandle> {
-    // Lower the model into its compiled evaluation form before the first
-    // request arrives (it is cached inside the bundle).
-    bundle.compiled();
+    let metrics = Arc::new(Metrics::new());
+    let name = config.default_model.clone().unwrap_or_else(|| "default".to_string());
+    let registry = ModelRegistry::new(name.clone(), config.max_resident, Arc::clone(&metrics));
+    registry
+        .insert(&name, bundle, config.bundle_path.clone())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    serve_registry(config, Arc::new(registry), metrics)
+}
+
+/// Binds and starts serving the fleet found in
+/// [`ServerConfig::models_dir`]: every `*.json` bundle in the directory
+/// registers under its file stem and is routable at
+/// `/v1/models/{stem}/...`.
+///
+/// # Errors
+/// Propagates socket failures and any bundle that fails to load or
+/// verify — a fleet that cannot boot completely does not boot at all.
+pub fn serve_models(config: ServerConfig) -> io::Result<ServerHandle> {
+    let dir = config.models_dir.clone().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "serve_models requires models_dir")
+    })?;
+    let metrics = Arc::new(Metrics::new());
+    let registry = ModelRegistry::load_dir(
+        &dir,
+        config.default_model.clone(),
+        config.max_resident,
+        Arc::clone(&metrics),
+    )
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    serve_registry(config, Arc::new(registry), metrics)
+}
+
+/// The common boot path: bind, validate shadow directives, spawn the
+/// worker pool, batcher, shadow executor, acceptor, shedder, and
+/// supervisor around an already-built registry.
+fn serve_registry(
+    config: ServerConfig,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+) -> io::Result<ServerHandle> {
+    // Lower the default model before the first request arrives; other
+    // fleet members compile lazily on first use (the LRU governs them).
+    if let Ok(version) = registry.default_version() {
+        registry.touch(&version);
+    }
+    let mut shadow_routes = Vec::with_capacity(config.shadows.len());
+    for spec in &config.shadows {
+        for name in [&spec.primary, &spec.candidate] {
+            registry.get(name).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("--shadow {}={}: {e}", spec.primary, spec.candidate),
+                )
+            })?;
+        }
+        shadow_routes.push(ShadowRoute::new(spec.clone(), config.shadow_seed));
+    }
+    let (shadow, shadow_thread) = if shadow_routes.is_empty() {
+        (None, None)
+    } else {
+        let (executor, thread) =
+            ShadowExecutor::start((config.queue_depth * 4).max(64), Arc::clone(&metrics));
+        (Some(executor), Some(thread))
+    };
     let listener =
         TcpListener::bind(
             config.addr.to_socket_addrs()?.next().ok_or_else(|| {
@@ -159,7 +255,6 @@ pub fn serve(config: ServerConfig, bundle: ModelBundle) -> io::Result<ServerHand
             })?,
         )?;
     let addr = listener.local_addr()?;
-    let metrics = Arc::new(Metrics::new());
     let (batcher, batcher_thread) = if config.max_batch > 0 {
         let (batcher, thread) = Batcher::start(
             BatcherConfig {
@@ -176,10 +271,11 @@ pub fn serve(config: ServerConfig, bundle: ModelBundle) -> io::Result<ServerHand
         (None, None)
     };
     let shared = Arc::new(Shared {
-        bundle: RwLock::new(Arc::new(bundle)),
-        bundle_path: config.bundle_path,
+        registry,
         metrics,
         batcher,
+        shadow,
+        shadow_routes,
         shutting_down: AtomicBool::new(false),
         queue: BoundedQueue::new(config.queue_depth),
         shed_queue: BoundedQueue::new(config.queue_depth.max(64)),
@@ -243,7 +339,7 @@ pub fn serve(config: ServerConfig, bundle: ModelBundle) -> io::Result<ServerHand
             .expect("spawn supervisor")
     };
 
-    Ok(ServerHandle { addr, shared, acceptor, shedder, supervisor, batcher_thread })
+    Ok(ServerHandle { addr, shared, acceptor, shedder, supervisor, batcher_thread, shadow_thread })
 }
 
 /// Spawns one pool worker. `generation` only names the thread.
@@ -366,6 +462,14 @@ impl ServerHandle {
             batcher.close();
         }
         if let Some(thread) = self.batcher_thread {
+            let _ = thread.join();
+        }
+        // Shadow replays are best-effort; drain what was enqueued so the
+        // disagreement counters are complete, then let the thread exit.
+        if let Some(shadow) = &self.shared.shadow {
+            shadow.close();
+        }
+        if let Some(thread) = self.shadow_thread {
             let _ = thread.join();
         }
     }
@@ -553,10 +657,12 @@ fn route(
     deadline: Option<Instant>,
     request_id: &str,
 ) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/health") => handle_health(shared),
-        ("GET", "/model") => handle_model(shared),
-        ("GET", "/metrics") => {
+    match route_of(request.method.as_str(), request.path.as_str()) {
+        Route::Health => handle_health(shared),
+        Route::Model => handle_model(shared, None),
+        Route::ModelMeta(name) => handle_model(shared, Some(name)),
+        Route::Models => handle_models(shared),
+        Route::Metrics => {
             // Server metrics plus the process-global stage registry, so
             // one scrape covers both serving latency and (when this
             // process also trained) the per-stage pipeline cost.
@@ -564,39 +670,102 @@ fn route(
             text.push_str(&obs::global().render_prometheus("bstc_stage_duration_us", "stage"));
             Response::text(200, text)
         }
-        ("POST", "/classify") => {
-            handle_classify(shared, &request.body, scratch, deadline, request_id)
+        Route::Classify(name) => {
+            handle_classify(shared, name, &request.body, scratch, deadline, request_id)
         }
-        ("POST", "/reload") => handle_reload(shared, &request.body),
-        (_, "/health" | "/model" | "/metrics" | "/classify" | "/reload") => error_response(
+        Route::Reload(name) => handle_reload(shared, name, &request.body),
+        Route::MethodNotAllowed => error_response(
             405,
             "method_not_allowed",
             &format!("{} is not supported on {}", request.method, request.path),
         ),
-        (_, path) => error_response(404, "not_found", &format!("no route for '{path}'")),
+        Route::BadName(name) => error_response(
+            400,
+            "bad_model_name",
+            &RegistryError::BadName(name.to_string()).to_string(),
+        ),
+        Route::NotFound => {
+            error_response(404, "not_found", &format!("no route for '{}'", request.path))
+        }
     }
 }
 
+/// Resolves a model-name segment (`None` = the default model) to its
+/// current version, or the structured error response for the caller to
+/// return directly.
+fn resolve_model(shared: &Shared, name: Option<&str>) -> Result<Arc<ModelVersion>, Response> {
+    let result = match name {
+        Some(name) => shared.registry.get(name),
+        None => shared.registry.default_version(),
+    };
+    result.map_err(|e| error_response(e.http_status(), e.code(), &e.to_string()))
+}
+
 fn handle_health(shared: &Shared) -> Response {
-    let bundle = shared.bundle();
-    let body = json!({"status": "ok", "dataset": bundle.provenance.dataset.clone()});
+    let body = match shared.registry.default_version() {
+        Ok(version) => {
+            json!({"status": "ok", "dataset": version.bundle.provenance.dataset.clone()})
+        }
+        Err(_) => json!({"status": "ok"}),
+    };
     Response::json(200, serde_json::to_string(&body).expect("static shape"))
 }
 
-fn handle_model(shared: &Shared) -> Response {
-    let bundle = shared.bundle();
+/// `GET /model` and `GET /v1/models/{name}`: the served model's
+/// metadata, including which registry version and artifact checksum is
+/// actually answering — `/model` (the legacy route) reports the default
+/// model, so its response now carries `name`/`version`/`checksum` on
+/// top of the PR-2 shape.
+fn handle_model(shared: &Shared, name: Option<&str>) -> Response {
+    let version = match resolve_model(shared, name) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let bundle = &version.bundle;
     let provenance = match serde_json::to_value(&bundle.provenance) {
         Ok(v) => v,
         Err(e) => return error_response(500, "serialize_failed", &e.to_string()),
     };
     let body = json!({
         "format_version": FORMAT_VERSION,
+        "name": version.name,
+        "version": version.version,
+        "checksum": version.checksum,
+        "default": version.name == shared.registry.default_name(),
+        "source": version.source.as_ref().map(|p| p.display().to_string()),
+        "compiled_resident": bundle.compiled_resident(),
         "provenance": provenance,
         "n_genes": bundle.n_genes(),
         "n_items": bundle.item_names.len(),
         "n_classes": bundle.n_classes(),
         "class_names": bundle.class_names.clone()
     });
+    match serde_json::to_string(&body) {
+        Ok(text) => Response::json(200, text),
+        Err(e) => error_response(500, "serialize_failed", &e.to_string()),
+    }
+}
+
+/// `GET /v1/models`: every registered model's current version, plus
+/// which name the legacy routes serve.
+fn handle_models(shared: &Shared) -> Response {
+    let models: Vec<Value> = shared
+        .registry
+        .list()
+        .iter()
+        .map(|v| {
+            json!({
+                "name": v.name,
+                "version": v.version,
+                "checksum": v.checksum,
+                "dataset": v.bundle.provenance.dataset,
+                "n_genes": v.bundle.n_genes(),
+                "n_classes": v.bundle.n_classes(),
+                "compiled_resident": v.bundle.compiled_resident(),
+            })
+        })
+        .collect();
+    let body = json!({"default": shared.registry.default_name(), "models": models});
     match serde_json::to_string(&body) {
         Ok(text) => Response::json(200, text),
         Err(e) => error_response(500, "serialize_failed", &e.to_string()),
@@ -630,6 +799,7 @@ const BATCH_RECV_FALLBACK: Duration = Duration::from_secs(30);
 /// the inline per-query path on this worker.
 fn handle_classify(
     shared: &Shared,
+    name: Option<&str>,
     body: &[u8],
     scratch: &mut Scratch,
     deadline: Option<Instant>,
@@ -647,7 +817,18 @@ fn handle_classify(
         Ok(v) => v,
         Err(e) => return error_response(400, "bad_json", &e.to_string()),
     };
-    let bundle = shared.bundle();
+    let version = match resolve_model(shared, name) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    // LRU touch: marks this model just-used and ensures its compiled
+    // form is resident (evicting the coldest past the cap), so the
+    // classification below reuses the cached slot for free.
+    shared.registry.touch(&version);
+    let bundle = Arc::clone(&version.bundle);
+    // `name@vN` on every successful classify: the client can tell
+    // exactly which registry version answered, across hot swaps.
+    let model_tag = format!("{}@v{}", version.name, version.version);
 
     let (rows, batched) = if let Some(values) = value.get("values") {
         match parse_vector(values) {
@@ -703,8 +884,10 @@ fn handle_classify(
                 let response = match completion {
                     Ok(Completion { batch_id, outcome: Outcome::Predictions(predictions) }) => {
                         shared.metrics.record_samples(predictions.len() as u64);
+                        maybe_shadow(shared, &version, &rows, &predictions);
                         classification_response(&predictions, batched)
                             .with_header("x-batch-id", batch_id)
+                            .with_header("x-model", model_tag.clone())
                     }
                     Ok(Completion { outcome: Outcome::Expired, .. })
                     | Err(RecvTimeoutError::Timeout) => error_response(
@@ -750,9 +933,36 @@ fn handle_classify(
         }
     }
     shared.metrics.record_samples(predictions.len() as u64);
-    let response = classification_response(&predictions, batched);
+    maybe_shadow(shared, &version, &rows, &predictions);
+    let response = classification_response(&predictions, batched).with_header("x-model", model_tag);
     shared.metrics.record_latency_us(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
     response
+}
+
+/// Mirrors a successfully classified request to its configured shadow
+/// candidate, when sampling selects it. Enqueue-only: the candidate
+/// replay happens on the shadow thread after this response is already
+/// on its way out, so the primary path pays one queue push at most.
+fn maybe_shadow(
+    shared: &Shared,
+    version: &ModelVersion,
+    rows: &[Vec<f64>],
+    predictions: &[Prediction],
+) {
+    let Some(executor) = shared.shadow.as_ref() else { return };
+    let Some(route) = shared.shadow_route(&version.name) else { return };
+    if !route.sample() {
+        return;
+    }
+    // The candidate resolves at request time, so swapping the candidate
+    // model mid-run redirects subsequent mirrors to its new version.
+    let Ok(candidate) = shared.registry.get(&route.spec().candidate) else { return };
+    executor.enqueue(ShadowJob {
+        model: version.name.clone(),
+        candidate: Arc::clone(&candidate.bundle),
+        rows: rows.to_vec(),
+        primary_classes: predictions.iter().map(|p| p.class).collect(),
+    });
 }
 
 /// Serializes predictions into the `/classify` response shape (single
@@ -769,12 +979,15 @@ fn classification_response(predictions: &[Prediction], batched: bool) -> Respons
     }
 }
 
-/// `POST /reload`: re-reads the configured bundle file (or, with a
-/// `{"path": ...}` body, another file) and atomically swaps it in. A
-/// file that cannot be loaded or validated never interrupts serving:
-/// the old model stays live and the failure is a structured 409/500
-/// plus a `bstc_model_reload_failures_total` tick.
-fn handle_reload(shared: &Shared, body: &[u8]) -> Response {
+/// `POST /reload` and `POST /v1/models/{name}/reload`: atomic per-model
+/// version swap. Re-reads the model's recorded source artifact (or,
+/// with a `{"path": ...}` body, another file), verifies it completely,
+/// and swaps it in with a bumped version number. A file that cannot be
+/// loaded or validated never interrupts serving: the old version stays
+/// live and the failure is a structured 409/500 plus a
+/// `bstc_model_reload_failures_total` tick — rollback is the swap never
+/// having happened.
+fn handle_reload(shared: &Shared, name: Option<&str>, body: &[u8]) -> Response {
     // Chaos site: a slow reload pins this worker, not the server.
     chaos::point("reload");
     let override_path = match std::str::from_utf8(body) {
@@ -784,30 +997,35 @@ fn handle_reload(shared: &Shared, body: &[u8]) -> Response {
         },
         _ => None,
     };
-    let path = match override_path.or_else(|| shared.bundle_path.clone()) {
-        Some(p) => p,
-        None => {
-            return error_response(
-                400,
-                "no_bundle_path",
-                "server was started without --model file; pass {\"path\": ...}",
-            )
-        }
+    let current = match resolve_model(shared, name) {
+        Ok(v) => v,
+        Err(response) => return response,
     };
-    match ModelBundle::load(&path) {
-        Ok(bundle) => {
-            let dataset = bundle.provenance.dataset.clone();
-            *shared.bundle.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(bundle);
+    if override_path.is_none() && current.source.is_none() {
+        return error_response(
+            400,
+            "no_bundle_path",
+            "server was started without --model file; pass {\"path\": ...}",
+        );
+    }
+    match shared.registry.swap(&current.name, override_path) {
+        Ok(next) => {
             shared.metrics.record_reload();
-            let body =
-                json!({"reloaded": true, "path": path.display().to_string(), "dataset": dataset});
+            let body = json!({
+                "reloaded": true,
+                "model": next.name,
+                "version": next.version,
+                "checksum": next.checksum,
+                "path": next.source.as_ref().map(|p| p.display().to_string()),
+                "dataset": next.bundle.provenance.dataset
+            });
             Response::json(200, serde_json::to_string(&body).expect("static shape"))
         }
-        // The old model keeps serving: a bad file must never take the
+        // The old version keeps serving: a bad file must never take the
         // process down or leave it empty-handed.
         Err(e) => {
             shared.metrics.record_reload_failure();
-            error_response(e.http_status(), "reload_failed", &e.to_string())
+            error_response(e.http_status(), e.code(), &e.to_string())
         }
     }
 }
@@ -854,11 +1072,15 @@ mod tests {
     }
 
     fn shared() -> Shared {
+        let metrics = Arc::new(Metrics::new());
+        let registry = ModelRegistry::new("default", 0, Arc::clone(&metrics));
+        registry.insert("default", toy_bundle(), None).unwrap();
         Shared {
-            bundle: RwLock::new(Arc::new(toy_bundle())),
-            bundle_path: None,
-            metrics: Arc::new(Metrics::new()),
+            registry: Arc::new(registry),
+            metrics,
             batcher: None,
+            shadow: None,
+            shadow_routes: Vec::new(),
             shutting_down: AtomicBool::new(false),
             queue: BoundedQueue::new(4),
             shed_queue: BoundedQueue::new(4),
@@ -924,6 +1146,110 @@ mod tests {
         let s = shared();
         assert_eq!(post(&s, "/nope", "").status, 404);
         assert_eq!(post(&s, "/health", "").status, 405);
+    }
+
+    fn get(shared: &Shared, path: &str) -> Response {
+        let mut scratch = Scratch::new();
+        route(
+            shared,
+            &Request {
+                method: "GET".into(),
+                path: path.into(),
+                headers: vec![],
+                body: vec![],
+                keep_alive: false,
+            },
+            &mut scratch,
+            None,
+            "test-req",
+        )
+    }
+
+    #[test]
+    fn registry_routes_resolve_names_and_404_unknowns() {
+        let s = shared();
+        s.registry.insert("extra", toy_bundle(), None).unwrap();
+
+        // Named classify answers with the model tag; legacy /classify
+        // is an alias for the default model.
+        let r = post(&s, "/v1/models/extra/classify", "{\"values\": [1.0, 4.0]}");
+        assert_eq!(r.status, 200);
+        let tag = r.headers.iter().find(|(k, _)| *k == "x-model").map(|(_, v)| v.as_str());
+        assert_eq!(tag, Some("extra@v1"));
+        let r = post(&s, "/classify", "{\"values\": [1.0, 4.0]}");
+        let tag = r.headers.iter().find(|(k, _)| *k == "x-model").map(|(_, v)| v.as_str());
+        assert_eq!(tag, Some("default@v1"));
+
+        // Unknown names are structured 404s, bad names structured 400s.
+        let r = post(&s, "/v1/models/ghost/classify", "{\"values\": [1.0, 4.0]}");
+        assert_eq!(r.status, 404);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("unknown_model"));
+        let r = post(&s, "/v1/models/.bad/classify", "{\"values\": [1.0, 4.0]}");
+        assert_eq!(r.status, 400);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("bad_model_name"));
+
+        // Listing and per-model metadata.
+        let r = get(&s, "/v1/models");
+        assert_eq!(r.status, 200);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert_eq!(v.get("default").unwrap().as_str(), Some("default"));
+        assert_eq!(v.get("models").unwrap().as_array().unwrap().len(), 2);
+        let r = get(&s, "/v1/models/extra");
+        assert_eq!(r.status, 200);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("extra"));
+        assert_eq!(v.get("version").unwrap().as_u64(), Some(1));
+        assert!(v.get("checksum").unwrap().as_str().unwrap().starts_with("fnv1a64:"));
+        assert_eq!(v.get("default").unwrap().as_bool(), Some(false));
+        assert_eq!(get(&s, "/v1/models/ghost").status, 404);
+
+        // /model reports the default model's registry identity.
+        let r = get(&s, "/model");
+        let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("default"));
+        assert_eq!(v.get("default").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn shadowed_classifies_enqueue_and_count_disagreements() {
+        let mut s = shared();
+        // A label-flipped candidate guarantees disagreement on every row.
+        let data = ContinuousDataset::new(
+            vec!["gA".into(), "gB".into()],
+            vec!["neg".into(), "pos".into()],
+            vec![
+                vec![1.0, 5.0],
+                vec![1.2, 3.0],
+                vec![0.8, 5.5],
+                vec![1.1, 2.9],
+                vec![9.0, 5.1],
+                vec![9.2, 3.2],
+                vec![8.9, 5.2],
+                vec![9.1, 3.1],
+            ],
+            vec![1, 1, 1, 1, 0, 0, 0, 0],
+        )
+        .unwrap();
+        let flipped = ModelBundle::train(&data, Provenance::new("flipped", None)).unwrap();
+        s.registry.insert("candidate", flipped, None).unwrap();
+        let (executor, thread) = ShadowExecutor::start(64, Arc::clone(&s.metrics));
+        s.shadow = Some(executor);
+        s.shadow_routes = vec![ShadowRoute::new(
+            ShadowSpec { primary: "default".into(), candidate: "candidate".into(), percent: 100.0 },
+            7,
+        )];
+        for _ in 0..3 {
+            assert_eq!(post(&s, "/classify", "{\"values\": [1.0, 4.0]}").status, 200);
+        }
+        s.shadow.as_ref().unwrap().close();
+        thread.join().unwrap();
+        let snap = s.metrics.snapshot();
+        assert_eq!(snap.shadow_requests, 3);
+        assert_eq!(snap.shadow_disagreements, 3);
+        let text = s.metrics.render();
+        assert!(text.contains("bstc_shadow_disagreements_total{model=\"default\"} 3"), "{text}");
     }
 
     #[test]

@@ -17,13 +17,22 @@
 #![cfg(feature = "chaos")]
 
 use serve::chaos::{self, Fault, Trigger};
-use serve::{serve, ModelBundle, Provenance, ServerConfig, ServerHandle};
+use serve::{serve, serve_models, ModelBundle, Provenance, ServerConfig, ServerHandle};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 const WORKERS: usize = 4;
+
+/// Chaos state is process-global and both tests in this binary arm and
+/// clear sites, so they must not overlap: each takes this gate first.
+static CHAOS_GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> MutexGuard<'static, ()> {
+    CHAOS_GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 fn dataset(seed: u64) -> microarray::ContinuousDataset {
     microarray::synth::presets::all_aml(seed).scaled_down(40).generate()
@@ -115,6 +124,7 @@ fn assert_allowed(outcome: Outcome, allowed: &[u16], who: &str) {
 
 #[test]
 fn mixed_workload_with_injected_faults_leaves_the_server_healthy() {
+    let _gate = gate();
     let (handle, bundle_path, row) = boot();
     let addr = handle.addr();
     let classify_body = {
@@ -328,4 +338,236 @@ fn mixed_workload_with_injected_faults_leaves_the_server_healthy() {
 
     handle.shutdown();
     std::fs::remove_file(&bundle_path).ok();
+}
+
+/// One generation of a tiny two-gene model whose class names carry a
+/// generation tag, so any served label identifies exactly which version
+/// produced it.
+fn generation_bundle(tag: &str) -> ModelBundle {
+    let data = microarray::ContinuousDataset::new(
+        vec!["gA".into(), "gB".into()],
+        vec![format!("{tag}-neg"), format!("{tag}-pos")],
+        vec![
+            vec![1.0, 5.0],
+            vec![1.2, 3.0],
+            vec![0.8, 5.5],
+            vec![1.1, 2.9],
+            vec![9.0, 5.1],
+            vec![9.2, 3.2],
+            vec![8.9, 5.2],
+            vec![9.1, 3.1],
+        ],
+        vec![0, 0, 0, 0, 1, 1, 1, 1],
+    )
+    .unwrap();
+    ModelBundle::train(&data, Provenance::new(tag, None)).unwrap()
+}
+
+/// Parses the `"label"` fields out of a batch-classify response body
+/// without a full JSON parser (the bodies are machine-generated and the
+/// labels match `[A-Za-z0-9-]+`).
+fn labels_of(body: &str) -> Vec<String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while let Some(at) = rest.find("\"label\":") {
+        rest = &rest[at + 8..];
+        let Some(open) = rest.find('"') else { break };
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find('"') else { break };
+        labels.push(rest[..close].to_string());
+        rest = &rest[close + 1..];
+    }
+    labels
+}
+
+/// Faults injected at the `registry` site — i/o errors and stalls in
+/// the version-swap path, panics during lazy compilation — while
+/// traffic interleaves with per-model reload hammers that flip each
+/// model's artifact between two generations with *disjoint* label
+/// sets. The atomicity claim is measured directly: every successful
+/// batch response's labels must all belong to exactly one generation,
+/// i.e. no request is ever answered by a half-swapped model; and the
+/// admission ledger must still balance afterwards.
+#[test]
+fn registry_faults_never_expose_a_half_swapped_model() {
+    let _gate = gate();
+    let models_dir =
+        std::env::temp_dir().join(format!("bstc_chaos_registry_{}", std::process::id()));
+    let gens_dir = models_dir.join("generations");
+    std::fs::create_dir_all(&gens_dir).unwrap();
+
+    // Model "a" flips between generations a1/a2, "b" between b1/b2.
+    let mut gen_paths = std::collections::HashMap::new();
+    for (model, gens) in [("a", ["a1", "a2"]), ("b", ["b1", "b2"])] {
+        for tag in gens {
+            let path = gens_dir.join(format!("{tag}.bundle"));
+            generation_bundle(tag).save(&path).unwrap();
+            gen_paths.insert(tag, path);
+        }
+        std::fs::copy(&gen_paths[gens[0]], models_dir.join(format!("{model}.json"))).unwrap();
+    }
+
+    let handle = serve_models(ServerConfig {
+        threads: WORKERS,
+        queue_depth: 64,
+        request_timeout: Some(Duration::from_millis(1000)),
+        drain_timeout: Duration::from_secs(5),
+        models_dir: Some(models_dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let batch_body = "{\"samples\":[[1.0,5.0],[9.0,5.1],[1.2,3.0]]}";
+
+    // Three storm phases, one per fault kind the site supports. The
+    // i/o error surfaces in `swap` (failed reloads, old version keeps
+    // serving); the delay stalls both swap and lazy compile; the panic
+    // fires inside the handler's catch_unwind at either site.
+    let mut phase_fires = Vec::new();
+    for (fault, trigger) in [
+        (Fault::IoError, Trigger::EveryNth(3)),
+        (Fault::Delay(Duration::from_millis(50)), Trigger::EveryNth(2)),
+        (Fault::Panic, Trigger::EveryNth(7)),
+    ] {
+        chaos::inject("registry", fault, trigger);
+        std::thread::scope(|scope| {
+            // Traffic: batch classifies against both models; every 200
+            // must answer from exactly one generation's label set.
+            for t in 0..3 {
+                scope.spawn(move || {
+                    for i in 0..16 {
+                        let model = ["a", "b"][(t + i) % 2];
+                        let path = format!("/v1/models/{model}/classify");
+                        let outcome = one_shot(addr, "POST", &path, batch_body);
+                        match outcome {
+                            Outcome::Status(200) => {}
+                            other => {
+                                assert_allowed(
+                                    other,
+                                    &[500, 503, 408],
+                                    &format!("registry-traffic-{t}"),
+                                );
+                                continue;
+                            }
+                        }
+                    }
+                });
+            }
+            // Label auditors: same traffic but keeping the body, so the
+            // generation-set invariant is actually checked.
+            for t in 0..2 {
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        let model = ["a", "b"][(t + i) % 2];
+                        let path = format!("/v1/models/{model}/classify");
+                        let (status, body) = one_shot_with_body(addr, "POST", &path, batch_body);
+                        if status != 200 {
+                            assert!(
+                                [500, 503, 408].contains(&status),
+                                "auditor-{t}: unexpected status {status}"
+                            );
+                            continue;
+                        }
+                        let labels = labels_of(&body);
+                        assert_eq!(labels.len(), 3, "auditor-{t}: {body}");
+                        let gen_of = |l: &str| l.split('-').next().unwrap().to_string();
+                        let first = gen_of(&labels[0]);
+                        assert!(
+                            first.starts_with(model),
+                            "auditor-{t}: model {model} answered with {labels:?}"
+                        );
+                        assert!(
+                            labels.iter().all(|l| gen_of(l) == first),
+                            "half-swapped answer: labels {labels:?} mix generations"
+                        );
+                    }
+                });
+            }
+            // Reload hammers: flip each model's artifact between its two
+            // generations and swap, concurrently with the traffic.
+            for (model, gens) in [("a", ["a1", "a2"]), ("b", ["b1", "b2"])] {
+                let gen_paths = &gen_paths;
+                let models_dir = &models_dir;
+                scope.spawn(move || {
+                    for k in 0..8 {
+                        let live = models_dir.join(format!("{model}.json"));
+                        std::fs::copy(&gen_paths[gens[k % 2]], &live).unwrap();
+                        let path = format!("/v1/models/{model}/reload");
+                        let outcome = one_shot(addr, "POST", &path, "{}");
+                        assert_allowed(
+                            outcome,
+                            &[200, 409, 500, 503, 408],
+                            &format!("reloader-{model}"),
+                        );
+                        std::thread::sleep(Duration::from_millis(30));
+                    }
+                });
+            }
+        });
+        phase_fires.push(chaos::fired("registry"));
+    }
+    chaos::clear_site("registry");
+    for (i, fires) in phase_fires.iter().enumerate() {
+        assert!(*fires >= 1, "phase {i} never fired its registry fault");
+    }
+
+    // Liveness, then the ledgers balance once the queues drain.
+    assert_eq!(one_shot(addr, "GET", "/health", ""), Outcome::Status(200));
+    for model in ["a", "b"] {
+        let (status, body) =
+            one_shot_with_body(addr, "POST", &format!("/v1/models/{model}/classify"), batch_body);
+        assert_eq!(status, 200, "{model} dead after the storm: {body}");
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = handle.metrics_snapshot();
+        if snap.conns_accepted == snap.conns_handled + snap.conns_shed
+            && snap.batch_jobs_submitted == snap.batch_jobs_completed
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "ledger never balanced: {snap:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&models_dir).ok();
+}
+
+/// Like [`one_shot`] but returns the response body too (0 status means
+/// the server closed without responding).
+fn one_shot_with_body(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: chaos\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    match reader.read_line(&mut status_line) {
+        Ok(0) | Err(_) => return (0, String::new()),
+        Ok(_) => {}
+    }
+    let status: u16 =
+        status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim_end().to_ascii_lowercase();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    let _ = std::io::Read::read_exact(&mut reader, &mut buf);
+    (status, String::from_utf8_lossy(&buf).into_owned())
 }

@@ -1,0 +1,287 @@
+//! End-to-end tests of the multi-model registry over real sockets: a
+//! `--models-dir` server routing `/v1/models/{name}/classify` must be
+//! *bit-identical* to a dedicated single-model server per bundle, the
+//! LRU residency cap must evict compiled models under mixed traffic
+//! without a single serving error, and shadow traffic must surface
+//! disagreements on `/metrics`.
+
+use serde_json::Value;
+use serve::shadow::ShadowSpec;
+use serve::{serve, serve_models, ModelBundle, Provenance, ServerConfig, ServerHandle};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn narrow_dataset(seed: u64) -> microarray::ContinuousDataset {
+    microarray::synth::presets::all_aml(seed).scaled_down(40).generate()
+}
+
+fn wide_dataset(seed: u64) -> microarray::ContinuousDataset {
+    microarray::synth::presets::lung(seed).scaled_down(40).generate()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bstc_registry_http_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fmt_row(row: &[f64]) -> String {
+    let inner: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+    format!("[{}]", inner.join(","))
+}
+
+/// One-shot HTTP client returning `(status, headers, body)`.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, BTreeMap<String, String>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split_whitespace().nth(1).expect("status").parse().unwrap();
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body).unwrap();
+    (status, headers, body)
+}
+
+fn json(body: &str) -> Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("bad JSON '{body}': {e}"))
+}
+
+fn single_model_server(bundle: ModelBundle) -> ServerHandle {
+    serve(ServerConfig { threads: 2, ..ServerConfig::default() }, bundle).unwrap()
+}
+
+#[test]
+fn registry_routes_are_bit_identical_to_single_model_servers() {
+    let narrow = narrow_dataset(41);
+    let wide = wide_dataset(43);
+    let alpha = ModelBundle::train(&narrow, Provenance::new("ds-alpha", Some(41))).unwrap();
+    let beta = ModelBundle::train(&wide, Provenance::new("ds-beta", Some(43))).unwrap();
+    assert_ne!(alpha.n_genes(), beta.n_genes(), "widths must differ for the test to bite");
+
+    let dir = tmp_dir("bitident");
+    alpha.save(dir.join("alpha.json")).unwrap();
+    beta.save(dir.join("beta.json")).unwrap();
+
+    let fleet = serve_models(ServerConfig {
+        threads: 3,
+        models_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let solo_alpha = single_model_server(alpha.clone());
+    let solo_beta = single_model_server(beta.clone());
+
+    // Every routed response — single and batch — is byte-for-byte the
+    // response the dedicated single-model server gives for that bundle.
+    for (name, data, solo) in [("alpha", &narrow, &solo_alpha), ("beta", &wide, &solo_beta)] {
+        let path = format!("/v1/models/{name}/classify");
+        for s in 0..data.n_samples().min(12) {
+            let body = format!("{{\"values\":{}}}", fmt_row(data.row(s)));
+            let (st_f, hd_f, body_f) = request(fleet.addr(), "POST", &path, &body);
+            let (st_s, _, body_s) = request(solo.addr(), "POST", "/classify", &body);
+            assert_eq!((st_f, &body_f), (st_s, &body_s), "{name} sample {s} diverged");
+            assert_eq!(st_f, 200, "{body_f}");
+            assert_eq!(
+                hd_f.get("x-model").map(String::as_str),
+                Some(format!("{name}@v1").as_str())
+            );
+        }
+        let rows: Vec<String> = (0..4).map(|s| fmt_row(data.row(s))).collect();
+        let body = format!("{{\"samples\":[{}]}}", rows.join(","));
+        let (st_f, _, body_f) = request(fleet.addr(), "POST", &path, &body);
+        let (st_s, _, body_s) = request(solo.addr(), "POST", "/classify", &body);
+        assert_eq!((st_f, &body_f), (st_s, &body_s), "{name} batch diverged");
+    }
+
+    // The legacy unnamed route is an alias for the default model
+    // (lexicographically first stem: alpha).
+    let body = format!("{{\"values\":{}}}", fmt_row(narrow.row(0)));
+    let (_, _, via_legacy) = request(fleet.addr(), "POST", "/classify", &body);
+    let (_, _, via_named) = request(fleet.addr(), "POST", "/v1/models/alpha/classify", &body);
+    assert_eq!(via_legacy, via_named, "legacy route must alias the default model");
+
+    // Listing and metadata reflect the fleet.
+    let (status, _, body) = request(fleet.addr(), "GET", "/v1/models", "");
+    assert_eq!(status, 200);
+    let listing = json(&body);
+    assert_eq!(listing.get("default").unwrap().as_str(), Some("alpha"));
+    assert_eq!(listing.get("models").unwrap().as_array().unwrap().len(), 2);
+    let (status, _, body) = request(fleet.addr(), "GET", "/v1/models/beta", "");
+    assert_eq!(status, 200);
+    let meta = json(&body);
+    assert_eq!(meta.get("name").unwrap().as_str(), Some("beta"));
+    assert_eq!(meta.get("n_genes").unwrap().as_u64(), Some(beta.n_genes() as u64));
+
+    // Unknown names are structured 404s; bad names structured 400s.
+    let (status, _, body) = request(fleet.addr(), "POST", "/v1/models/ghost/classify", "{}");
+    assert_eq!(status, 404, "{body}");
+    assert_eq!(json(&body).get("error").unwrap().as_str(), Some("unknown_model"));
+    let (status, _, body) = request(fleet.addr(), "GET", "/v1/models/.hidden", "");
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(json(&body).get("error").unwrap().as_str(), Some("bad_model_name"));
+
+    fleet.shutdown();
+    solo_alpha.shutdown();
+    solo_beta.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lru_cap_evicts_compiled_models_without_serving_errors() {
+    let dir = tmp_dir("lru");
+    let mut datasets = Vec::new();
+    for i in 0..3u64 {
+        let data = narrow_dataset(50 + i);
+        let bundle =
+            ModelBundle::train(&data, Provenance::new(format!("ds-{i}"), Some(50 + i))).unwrap();
+        bundle.save(dir.join(format!("m{i}.json"))).unwrap();
+        datasets.push((format!("m{i}"), data, bundle));
+    }
+
+    let fleet = serve_models(ServerConfig {
+        threads: 3,
+        models_dir: Some(dir.clone()),
+        max_resident: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = fleet.addr();
+
+    // Round-robin traffic across all three models thrashes the single
+    // residency slot: every request must still be a correct 200.
+    for round in 0..8 {
+        for (name, data, bundle) in &datasets {
+            let s = round % data.n_samples();
+            let body = format!("{{\"values\":{}}}", fmt_row(data.row(s)));
+            let (status, _, body) =
+                request(addr, "POST", &format!("/v1/models/{name}/classify"), &body);
+            assert_eq!(status, 200, "{name} round {round}: {body}");
+            let local = bundle.classify_row(data.row(s)).unwrap();
+            let p = json(&body);
+            let p = p.get("prediction").unwrap();
+            assert_eq!(p.get("class").unwrap().as_u64(), Some(local.class as u64));
+            assert_eq!(p.get("confidence").unwrap().as_f64(), Some(local.confidence));
+        }
+    }
+
+    let snap = fleet.metrics_snapshot();
+    assert!(snap.compile_evictions >= 2, "no evictions under thrash: {snap:?}");
+    assert!(snap.models_resident <= 1, "cap exceeded: {snap:?}");
+    let (_, _, metrics) = request(addr, "GET", "/metrics", "");
+    assert!(metrics.contains("bstc_models_resident 1"), "gauge missing:\n{metrics}");
+    assert!(
+        metrics.contains("bstc_model_compile_evictions_total"),
+        "eviction counter missing:\n{metrics}"
+    );
+    fleet.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Two models trained on the same rows with flipped labels: every
+/// shadowed request must disagree, and the disagreement counter must
+/// surface on `/metrics` with the primary's `{model=...}` label.
+#[test]
+fn shadow_traffic_reports_disagreements_on_metrics() {
+    let labels_a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+    let labels_b = vec![1, 1, 1, 1, 0, 0, 0, 0];
+    let rows = vec![
+        vec![1.0, 5.0],
+        vec![1.2, 3.0],
+        vec![0.8, 5.5],
+        vec![1.1, 2.9],
+        vec![9.0, 5.1],
+        vec![9.2, 3.2],
+        vec![8.9, 5.2],
+        vec![9.1, 3.1],
+    ];
+    let mk = |labels: Vec<usize>| {
+        microarray::ContinuousDataset::new(
+            vec!["gA".into(), "gB".into()],
+            vec!["neg".into(), "pos".into()],
+            rows.clone(),
+            labels,
+        )
+        .unwrap()
+    };
+    let dir = tmp_dir("shadow");
+    ModelBundle::train(&mk(labels_a), Provenance::new("straight", None))
+        .unwrap()
+        .save(dir.join("primary.json"))
+        .unwrap();
+    ModelBundle::train(&mk(labels_b), Provenance::new("flipped", None))
+        .unwrap()
+        .save(dir.join("candidate.json"))
+        .unwrap();
+
+    let fleet = serve_models(ServerConfig {
+        threads: 2,
+        models_dir: Some(dir.clone()),
+        default_model: Some("primary".into()),
+        shadows: vec![ShadowSpec::parse("primary=candidate:100").unwrap()],
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = fleet.addr();
+
+    const SENT: u64 = 5;
+    for row in rows.iter().take(SENT as usize) {
+        let body = format!("{{\"values\":{}}}", fmt_row(row));
+        let (status, _, body) = request(addr, "POST", "/classify", &body);
+        assert_eq!(status, 200, "{body}");
+    }
+
+    // The shadow executor replays asynchronously; wait for the ledger.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = fleet.metrics_snapshot();
+        if snap.shadow_requests >= SENT {
+            // Every replay compares a label-flipped candidate: all disagree.
+            assert_eq!(snap.shadow_disagreements, snap.shadow_requests, "{snap:?}");
+            assert_eq!(snap.shadow_dropped, 0, "{snap:?}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "shadow jobs never replayed: {snap:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (_, _, metrics) = request(addr, "GET", "/metrics", "");
+    let line = metrics
+        .lines()
+        .find(|l| l.starts_with("bstc_shadow_disagreements_total{model=\"primary\"}"))
+        .unwrap_or_else(|| panic!("no per-model disagreement sample:\n{metrics}"));
+    let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(count >= 1, "disagreement counter is zero: {line}");
+    assert!(metrics.contains("# TYPE bstc_shadow_disagreements_total counter"));
+    assert!(metrics.contains("bstc_shadow_requests_total"));
+    assert!(metrics.contains("bstc_shadow_latency_us_count"));
+
+    fleet.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

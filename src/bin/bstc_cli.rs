@@ -86,14 +86,25 @@ commands:
              [--bench-out FILE.json]   (stage breakdown -> BENCH_train.json)
   classify   --model FILE.json --data FILE.tsv
   mine       --data FILE.tsv --class N [-k K]
-  serve      --model BUNDLE.json [--addr HOST:PORT] [--threads N]
+  serve      --model BUNDLE.json | --models-dir DIR [--addr HOST:PORT] [--threads N]
              [--queue-depth N] [--request-timeout SECS]  (0 disables the deadline)
              [--max-batch N]  (0 disables micro-batching)  [--batch-wait-us US]
+             [--default-model NAME] [--max-resident N]  (0 = no residency cap)
+             [--shadow PRIMARY=CANDIDATE[:PCT]]...  [--shadow-seed N]
              [--log-format text|json] [--log-level debug|info|warn|error]";
 
 /// Pulls `--flag value` pairs out of an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Pulls *every* `--flag value` occurrence, for repeatable flags.
+fn flags(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
 }
 
 fn require(args: &[String], name: &str) -> Result<String, CliError> {
@@ -333,11 +344,20 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `serve`: load a bundle and run the inference server until killed.
-/// `POST /reload` re-reads the same file, so retraining + reload needs no
-/// restart.
+/// `serve`: run the inference server until killed — either a single
+/// bundle (`--model`) or a whole fleet loaded from `--models-dir`, one
+/// model per `NAME.json`, routed at `/v1/models/{NAME}/classify`.
+/// `POST /reload` (or `/v1/models/{NAME}/reload`) re-reads the model's
+/// artifact, so retraining + reload needs no restart.
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
-    let bundle_path = require(args, "--model")?;
+    let bundle_path = flag(args, "--model");
+    let models_dir = flag(args, "--models-dir");
+    if bundle_path.is_none() && models_dir.is_none() {
+        return Err(CliError::Usage("serve needs --model BUNDLE.json or --models-dir DIR".into()));
+    }
+    if bundle_path.is_some() && models_dir.is_some() {
+        return Err(CliError::Usage("--model and --models-dir are mutually exclusive".into()));
+    }
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8642".to_string());
     let threads: usize = parse_flag(args, "--threads")?.unwrap_or(0);
     let defaults = ServerConfig::default();
@@ -369,15 +389,16 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         let level: obs::Level = raw.parse().map_err(CliError::Usage)?;
         obs::log::set_level(level);
     }
-    let bundle = ModelBundle::load(&bundle_path).map_err(err)?;
-    eprintln!(
-        "loaded bundle {} (dataset '{}', {} genes, {} classes: {:?})",
-        bundle_path,
-        bundle.provenance.dataset,
-        bundle.n_genes(),
-        bundle.n_classes(),
-        bundle.class_names
-    );
+    // Registry knobs: residency cap on compiled models, shadow routes
+    // (repeatable `--shadow primary=candidate:pct`), and the seed that
+    // makes the shadow sample reproducible.
+    let default_model = flag(args, "--default-model");
+    let max_resident: usize = parse_flag(args, "--max-resident")?.unwrap_or(0);
+    let shadows = flags(args, "--shadow")
+        .iter()
+        .map(|raw| serve::ShadowSpec::parse(raw).map_err(CliError::Usage))
+        .collect::<Result<Vec<_>, _>>()?;
+    let shadow_seed: u64 = parse_flag(args, "--shadow-seed")?.unwrap_or(defaults.shadow_seed);
     let config = ServerConfig {
         addr,
         threads,
@@ -385,11 +406,37 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         request_timeout,
         max_batch,
         batch_wait,
-        bundle_path: Some(std::path::PathBuf::from(&bundle_path)),
+        bundle_path: bundle_path.as_ref().map(std::path::PathBuf::from),
+        models_dir: models_dir.as_ref().map(std::path::PathBuf::from),
+        default_model,
+        max_resident,
+        shadows,
+        shadow_seed,
         ..defaults
     };
-    let handle = serve::serve(config, bundle).map_err(err)?;
-    eprintln!("serving on http://{} (POST /classify, GET /health|/model|/metrics)", handle.addr());
+    let handle = match bundle_path {
+        Some(ref path) => {
+            let bundle = ModelBundle::load(path).map_err(err)?;
+            eprintln!(
+                "loaded bundle {} (dataset '{}', {} genes, {} classes: {:?})",
+                path,
+                bundle.provenance.dataset,
+                bundle.n_genes(),
+                bundle.n_classes(),
+                bundle.class_names
+            );
+            serve::serve(config, bundle).map_err(err)?
+        }
+        None => {
+            let handle = serve::serve_models(config).map_err(err)?;
+            eprintln!("loaded model fleet from {}", models_dir.unwrap());
+            handle
+        }
+    };
+    eprintln!(
+        "serving on http://{} (POST /classify, GET /health|/model|/metrics, /v1/models/*)",
+        handle.addr()
+    );
     handle.wait();
     Ok(())
 }
