@@ -3,20 +3,39 @@
 //! the numbers to a JSON report.
 //!
 //! ```text
-//! classify_bench [--scale K] [--seed S] [--queries N] [--quick]
-//!                [--out PATH]
+//! classify_bench [--preset quick|ovarian|l2-spill|llc-spill]
+//!                [--scale K] [--samples N] [--seed S] [--queries N]
+//!                [--kernel-block-bytes B] [--quick] [--out PATH]
+//!                [--assert-speedup X] [--assert-kernel-speedup X]
 //! ```
 //!
-//! `--scale 1` (the default) is the true ovarian shape: 15154 genes,
-//! 91 + 162 samples. `--quick` is the CI smoke mode (heavily scaled down,
-//! few queries). The run trains once, lowers the model with
-//! [`BstcModel::compile`], measures batch throughput for both paths and
-//! the compiled per-query latency distribution, **verifies the two paths
-//! predict identically** (exits nonzero otherwise), and writes
-//! `BENCH_classify.json` (or `--out`).
+//! `--preset ovarian` (the default) is the true ovarian shape: 15154
+//! genes, 91 + 162 samples. `--preset quick` (alias `--quick`) is the CI
+//! smoke mode (heavily scaled down, few queries). The spill presets keep
+//! the ovarian sample split but grow the *gene* dimension so the
+//! compiled mask table overflows a cache level: `l2-spill` pushes
+//! `mask_working_set_bytes` past a 2 MiB L2, `llc-spill` well past it
+//! (tens of MiB), which is where the cache-blocked sweep earns its keep.
+//! Genes — not samples — are the right axis to spill on: the mask
+//! stride and hence the popcount work per (column, query) pair scale
+//! with genes, while extra samples mostly grow the per-column sort that
+//! the SIMD kernels never touch. `--scale`, `--samples`, and
+//! `--queries` override whatever the preset chose.
+//!
+//! The run trains once, lowers the model with [`BstcModel::compile`],
+//! measures batch throughput for both paths plus the compiled per-query
+//! latency distribution, and additionally re-times the batch sweep in its
+//! pre-SIMD, pre-blocking form (portable dispatch forced, the frozen
+//! legacy per-column kernels, one-column blocks — the exact passes and
+//! loop order of the previous kernel) to report `kernel_speedup`, the
+//! speedup attributable to this PR's kernel work alone. It **verifies all paths predict identically** (exits nonzero
+//! otherwise) and writes `BENCH_classify.json` (or `--out`).
+//! `--assert-speedup X` / `--assert-kernel-speedup X` exit nonzero when
+//! the corresponding ratio lands under `X` (CI regression guards).
 
-use bstc::{Arithmetization, BstcModel, Scratch};
+use bstc::{pool, Arithmetization, BatchScratch, BstcModel, ParBatchScratch, Scratch};
 use discretize::Discretizer;
+use microarray::simd;
 use microarray::synth::presets;
 use microarray::BitSet;
 use serde::Serialize;
@@ -26,10 +45,22 @@ use std::time::Instant;
 #[derive(Serialize)]
 struct Report {
     dataset: String,
+    preset: String,
     n_genes_raw: usize,
     n_items: usize,
     n_train: usize,
     n_queries: usize,
+    /// Bytes of compiled mask data one full batch sweep streams through
+    /// cache (all classes: satisfaction masks + class-expression rows).
+    mask_working_set_bytes: usize,
+    /// Which satisfaction-kernel dispatch the run used
+    /// (`avx512` / `avx2` / `neon` / `portable`).
+    simd_path: String,
+    /// Column-block byte budget of the blocked sweep (the resolved
+    /// value, never 0).
+    kernel_block_bytes: usize,
+    /// Lanes of the process-wide worker pool (1 = single-core host).
+    pool_lanes: usize,
     train_secs: f64,
     compile_secs: f64,
     reference_batch_secs: f64,
@@ -37,6 +68,17 @@ struct Report {
     reference_queries_per_sec: f64,
     compiled_queries_per_sec: f64,
     batch_speedup: f64,
+    /// The same batch on the previous PR's kernel, frozen verbatim
+    /// (`class_values_batch_into_legacy`): portable scalar dispatch,
+    /// separate assign/count/difference passes, float-keyed sort,
+    /// one-column blocks, single lane.
+    kernel_baseline_secs: f64,
+    /// The same batch on this PR's kernel: SIMD dispatch, fused
+    /// single-pass set ops, cache-blocked columns, pooled lanes.
+    kernel_secs: f64,
+    /// `kernel_baseline_secs / kernel_secs` — speedup from the kernel
+    /// work alone, independent of the compiled-vs-reference gap.
+    kernel_speedup: f64,
     compiled_p50_us: f64,
     compiled_p99_us: f64,
     reference_p50_us: f64,
@@ -68,27 +110,67 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
-    match flag(args, name) {
-        None => default,
-        Some(raw) => raw.parse().unwrap_or_else(|_| {
+    parse_opt_flag(args, name).unwrap_or(default)
+}
+
+fn parse_opt_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    flag(args, name).map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
             eprintln!("error: bad value '{raw}' for {name}");
             std::process::exit(2);
-        }),
-    }
+        })
+    })
 }
+
+/// What a `--preset` pre-selects; individual flags still override.
+struct Preset {
+    name: &'static str,
+    /// Divisor for the ovarian gene count (`--scale`).
+    scale: usize,
+    /// Total training samples (`--samples`); `None` keeps the ovarian
+    /// 91 + 162.
+    samples: Option<usize>,
+    /// Query-stream length (`--queries`).
+    queries: usize,
+}
+
+/// The gene dimension is what makes a run popcount-bound (mask stride
+/// scales with items ≈ genes), so the spill presets keep the ovarian
+/// sample split and back off the gene divisor until the mask table
+/// overflows the target cache level.
+const PRESETS: &[Preset] = &[
+    Preset { name: "quick", scale: 40, samples: None, queries: 256 },
+    Preset { name: "ovarian", scale: 1, samples: None, queries: 1024 },
+    Preset { name: "l2-spill", scale: 2, samples: None, queries: 512 },
+    Preset { name: "llc-spill", scale: 1, samples: None, queries: 512 },
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let scale: usize = parse_flag(&args, "--scale", if quick { 40 } else { 1 }).max(1);
+    let preset_name = flag(&args, "--preset")
+        .unwrap_or_else(|| (if quick { "quick" } else { "ovarian" }).to_string());
+    let preset = PRESETS.iter().find(|p| p.name == preset_name).unwrap_or_else(|| {
+        eprintln!("error: unknown preset '{preset_name}' (quick|ovarian|l2-spill|llc-spill)");
+        std::process::exit(2);
+    });
+    let scale: usize = parse_flag(&args, "--scale", preset.scale).max(1);
+    let samples: Option<usize> = parse_opt_flag(&args, "--samples").or(preset.samples);
     let seed: u64 = parse_flag(&args, "--seed", 7);
-    let n_queries: usize = parse_flag(&args, "--queries", if quick { 256 } else { 1024 }).max(1);
+    let n_queries: usize = parse_flag(&args, "--queries", preset.queries).max(1);
+    let block_bytes: usize = parse_flag(&args, "--kernel-block-bytes", 0);
+    let assert_speedup: Option<f64> = parse_opt_flag(&args, "--assert-speedup");
+    let assert_kernel_speedup: Option<f64> = parse_opt_flag(&args, "--assert-kernel-speedup");
     let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_classify.json".into());
 
-    let config = presets::ovarian(seed).scaled_down(scale);
+    let mut config = presets::ovarian(seed).scaled_down(scale);
+    if let Some(samples) = samples {
+        // Same 2:1 split the ovarian preset uses, at the requested size.
+        config.class_sizes = vec![(samples * 2).div_ceil(3), samples / 3];
+    }
     eprintln!(
-        "classify_bench: {} — {} genes, {:?} samples, {n_queries} queries",
-        config.name, config.n_genes, config.class_sizes
+        "classify_bench[{}]: {} — {} genes, {:?} samples, {n_queries} queries",
+        preset.name, config.name, config.n_genes, config.class_sizes
     );
     let cont = config.generate();
     let disc = Discretizer::fit(&cont);
@@ -111,7 +193,11 @@ fn main() {
     let t0 = Instant::now();
     let compiled = model.compile();
     let compile_secs = t0.elapsed().as_secs_f64();
-    eprintln!("train {train_secs:.3}s, compile {compile_secs:.4}s");
+    let mask_bytes = compiled.mask_bytes();
+    eprintln!(
+        "train {train_secs:.3}s, compile {compile_secs:.4}s, mask working set {:.2} MiB",
+        mask_bytes as f64 / (1024.0 * 1024.0)
+    );
 
     // Batch throughput, both paths parallel over the query set.
     let t0 = Instant::now();
@@ -130,6 +216,37 @@ fn main() {
             .expect("lengths match");
         eprintln!("error: compiled path diverges from reference at query {diverging}");
         std::process::exit(1);
+    }
+
+    // Kernel-vs-kernel: the same batch sweep in its pre-SIMD shape —
+    // portable dispatch, the frozen legacy per-column kernels (separate
+    // assign/count/difference passes, float-keyed sort), one-column
+    // blocks (the previous kernel's exact c-outer/q-inner traversal),
+    // one lane — against this PR's SIMD + fused + cache-blocked + pooled
+    // form. Both warmed so neither pays its first-call buffer growth
+    // inside the timed region.
+    simd::force_portable(true);
+    let mut baseline_scratch = BatchScratch::new();
+    baseline_scratch.set_block_bytes(1);
+    compiled.class_values_batch_into_legacy(&queries, &mut baseline_scratch);
+    let t0 = Instant::now();
+    compiled.class_values_batch_into_legacy(&queries, &mut baseline_scratch);
+    let kernel_baseline_secs = t0.elapsed().as_secs_f64();
+    simd::force_portable(false);
+
+    let mut par_scratch = ParBatchScratch::new();
+    par_scratch.set_block_bytes(block_bytes);
+    compiled.class_values_batch_par_into(&queries, pool::global(), &mut par_scratch);
+    let t0 = Instant::now();
+    compiled.class_values_batch_par_into(&queries, pool::global(), &mut par_scratch);
+    let kernel_secs = t0.elapsed().as_secs_f64();
+
+    // Bit-identity across kernels is a hard invariant, not a tolerance.
+    for q in 0..n_queries {
+        if baseline_scratch.values_of(q) != par_scratch.values_of(q) {
+            eprintln!("error: blocked/SIMD kernel diverges from scalar baseline at query {q}");
+            std::process::exit(1);
+        }
     }
 
     // Per-query latency, sequential (the serving-path shape: one scratch,
@@ -157,10 +274,19 @@ fn main() {
 
     let report = Report {
         dataset: config.name.clone(),
+        preset: preset.name.to_string(),
         n_genes_raw: config.n_genes,
         n_items: data.n_items(),
         n_train: data.n_samples(),
         n_queries,
+        mask_working_set_bytes: mask_bytes,
+        simd_path: simd::active_path().to_string(),
+        kernel_block_bytes: if block_bytes == 0 {
+            bstc::compiled::DEFAULT_KERNEL_BLOCK_BYTES
+        } else {
+            block_bytes
+        },
+        pool_lanes: pool::global().lanes(),
         train_secs,
         compile_secs,
         reference_batch_secs,
@@ -168,6 +294,9 @@ fn main() {
         reference_queries_per_sec: n_queries as f64 / reference_batch_secs,
         compiled_queries_per_sec: n_queries as f64 / compiled_batch_secs,
         batch_speedup: reference_batch_secs / compiled_batch_secs,
+        kernel_baseline_secs,
+        kernel_secs,
+        kernel_speedup: kernel_baseline_secs / kernel_secs,
         compiled_p50_us: pct(&compiled_ns, 0.50),
         compiled_p99_us: pct(&compiled_ns, 0.99),
         reference_p50_us: pct(&reference_ns, 0.50),
@@ -184,6 +313,17 @@ fn main() {
         report.reference_queries_per_sec, report.compiled_queries_per_sec, report.batch_speedup
     );
     println!(
+        "kernel: scalar/unblocked {:.4}s, {}-blocked {:.4}s — {:.2}x \
+         (masks {:.2} MiB, block {} KiB, {} lane(s))",
+        report.kernel_baseline_secs,
+        report.simd_path,
+        report.kernel_secs,
+        report.kernel_speedup,
+        report.mask_working_set_bytes as f64 / (1024.0 * 1024.0),
+        report.kernel_block_bytes / 1024,
+        report.pool_lanes,
+    );
+    println!(
         "per-query: compiled p50 {:.1} us p99 {:.1} us, reference p50 {:.1} us p99 {:.1} us",
         report.compiled_p50_us,
         report.compiled_p99_us,
@@ -197,4 +337,17 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!("wrote {out}");
+
+    if let Some(min) = assert_speedup {
+        if report.batch_speedup < min {
+            eprintln!("error: batch_speedup {:.2} < required {min}", report.batch_speedup);
+            std::process::exit(1);
+        }
+    }
+    if let Some(min) = assert_kernel_speedup {
+        if report.kernel_speedup < min {
+            eprintln!("error: kernel_speedup {:.2} < required {min}", report.kernel_speedup);
+            std::process::exit(1);
+        }
+    }
 }

@@ -143,16 +143,19 @@ impl Bst {
                 let mut seen: std::collections::HashMap<ExclusionList, u32> =
                     std::collections::HashMap::new();
                 let mut idx_row = Vec::with_capacity(out_expr_sets.len());
+                // One reused difference buffer per column instead of a
+                // fresh BitSet (sometimes two) per (c, h) pair.
+                let mut diff = BitSet::new(n_items);
                 for h_set in &out_expr_sets {
-                    let neg = h_set.difference(c_set); // g ∈ h, g ∉ c
-                    let list = if !neg.is_empty() {
-                        ExclusionList { sign: Sign::Neg, items: neg.to_vec() }
+                    diff.assign_difference(h_set, c_set); // g ∈ h, g ∉ c
+                    let list = if !diff.is_empty() {
+                        ExclusionList { sign: Sign::Neg, items: diff.to_vec() }
                     } else {
-                        // `pos` may itself be empty (identical samples):
-                        // keep the unsatisfiable empty list and let
-                        // validation warn.
-                        let pos = c_set.difference(h_set); // g ∈ c, g ∉ h
-                        ExclusionList { sign: Sign::Pos, items: pos.to_vec() }
+                        // The positive list may itself be empty (identical
+                        // samples): keep the unsatisfiable empty list and
+                        // let validation warn.
+                        diff.assign_difference(c_set, h_set); // g ∈ c, g ∉ h
+                        ExclusionList { sign: Sign::Pos, items: diff.to_vec() }
                     };
                     let idx = *seen.entry(list.clone()).or_insert_with(|| {
                         unique.push(list);

@@ -38,12 +38,24 @@
 use crate::bar::Sign;
 use crate::bst::Bst;
 use crate::classify::{confidence_gap_of, Arithmetization, BstcModel, CellExplanation};
+use crate::pool::{self, WorkerPool};
 use microarray::{BitSet, ClassId, SampleId};
 
-/// Queries at or below this batch size are classified on the calling
-/// thread: spawning workers costs more than classifying a handful of
-/// samples.
-const SEQUENTIAL_BATCH_CUTOFF: usize = 4;
+/// Default byte budget of one column block of the batch sweep — sized to
+/// half a typical 2 MiB L2 so a block's masks stay L2-resident across the
+/// whole query dimension while leaving room for the queries themselves
+/// and the per-query scratch. Overridable per scratch
+/// ([`BatchScratch::set_block_bytes`], surfaced as `--kernel-block-bytes`
+/// on the CLI and benchmarks).
+pub const DEFAULT_KERNEL_BLOCK_BYTES: usize = 1 << 20;
+
+/// Minimum mask traffic (model mask bytes × queries) one pool lane must
+/// be able to claim before the batch kernel fans out to another lane.
+/// This replaces the old fixed query-count cutoff (`≤ 4 stays
+/// sequential`), which both paid thread handoffs for tiny models at any
+/// batch size and kept enormous models sequential for small batches:
+/// the decision now tracks the actual bytes the kernel will stream.
+const PARALLEL_GRAIN_BYTES: u64 = 4 << 20;
 
 /// One class BST lowered to word-packed evaluation form.
 #[derive(Clone, Debug)]
@@ -72,8 +84,20 @@ pub struct CompiledBst {
     /// (empty ⇔ black-dot row).
     out_expr: Vec<BitSet>,
     /// Item set of each local out-sample (the transpose of `out_expr`),
-    /// used by the Min coverage sweep.
+    /// used by the legacy Min coverage sweep and kept for it.
     out_items: Vec<BitSet>,
+    /// Union of the `out_items` of every out-sample mapped to the same
+    /// distinct exclusion list of a column —
+    /// `group_items[col_offsets[c] + u]` covers all out-samples `h`
+    /// with `idx[c * n_out + h] == u`.
+    /// Out-samples that share a list always share a satisfaction
+    /// (`vh[h] = per_unique[idx]`), so under Min they are guaranteed sort
+    /// ties, and tied out-samples assign the same value to every cell
+    /// they carve — carving the whole group in one mask pass is
+    /// bit-identical to carving its members one by one, while the
+    /// coverage sweep streams one mask per *distinct list* instead of
+    /// one per out-sample.
+    group_items: Vec<BitSet>,
 }
 
 impl CompiledBst {
@@ -88,16 +112,21 @@ impl CompiledBst {
         let mut lens = Vec::new();
         let mut col_offsets = Vec::with_capacity(n_cols + 1);
         let mut idx = Vec::with_capacity(n_cols * n_out);
+        let mut group_items = Vec::new();
         col_offsets.push(0u32);
         for c in 0..n_cols {
+            let lo = masks.len();
             for list in bst.unique_exclusion_lists(c) {
                 masks.push(BitSet::from_iter(n_items, list.items.iter().copied()));
                 signs.push(list.sign);
                 lens.push(list.items.len() as u32);
+                group_items.push(BitSet::new(n_items));
             }
             col_offsets.push(masks.len() as u32);
             for h in 0..n_out {
-                idx.push(bst.exclusion_list_index(c, h) as u32);
+                let u = bst.exclusion_list_index(c, h);
+                idx.push(u as u32);
+                group_items[lo + u].union_with(bst.out_sample_items(h));
             }
         }
 
@@ -114,6 +143,7 @@ impl CompiledBst {
             idx,
             out_expr: (0..n_items).map(|g| bst.out_expressing(g).clone()).collect(),
             out_items: (0..n_out).map(|h| bst.out_sample_items(h).clone()).collect(),
+            group_items,
         }
     }
 
@@ -136,6 +166,31 @@ impl CompiledBst {
     /// scratch arena size).
     fn max_unique(&self) -> usize {
         self.col_offsets.windows(2).map(|w| (w[1] - w[0]) as usize).max().unwrap_or(0)
+    }
+
+    /// Bytes of one word-packed mask of this table.
+    #[inline]
+    fn mask_stride_bytes(&self) -> usize {
+        self.n_items.div_ceil(64) * 8
+    }
+
+    /// Mask bytes the batch sweep streams for column `c`: its distinct
+    /// exclusion-list masks, their group-union item sets (the Min carve
+    /// operands), and the column's own item set (the shared-items
+    /// intersection operand). This is the unit the column blocking
+    /// accumulates toward the block-byte budget.
+    #[inline]
+    fn col_block_bytes(&self, c: usize) -> usize {
+        let masks = (self.col_offsets[c + 1] - self.col_offsets[c]) as usize;
+        (2 * masks + 1) * self.mask_stride_bytes()
+    }
+
+    /// Total bytes of this table's compiled masks (exclusion-list masks,
+    /// their group-union item sets, and per-column item sets) — the
+    /// per-query streaming footprint.
+    pub fn mask_bytes(&self) -> usize {
+        (self.masks.len() + self.group_items.len() + self.class_expr.len())
+            * self.mask_stride_bytes()
     }
 
     /// `V_e` of the `u`-th mask for `query` — the popcount identity for
@@ -196,25 +251,101 @@ impl CompiledBst {
     /// per-cell reduction.
     ///
     /// Under Min a cell's value is the *smallest* satisfaction among the
-    /// out-samples expressing its item, so visiting out-samples in
-    /// ascending satisfaction order and assigning each still-unassigned
-    /// shared item in one word-parallel `AND`/`ANDNOT` pass yields every
-    /// cell's exact minimum — and the sweep stops as soon as all items are
-    /// covered, which on dense expression data takes a handful of
-    /// out-samples instead of `|c ∩ q| · |out_expr|` scalar reductions.
+    /// out-samples expressing its item, so visiting distinct-list groups
+    /// ([`CompiledBst::group_items`]) in ascending satisfaction order and
+    /// assigning each still-unassigned shared item in one word-parallel
+    /// `AND`/`ANDNOT` pass yields every cell's exact minimum — and the
+    /// sweep stops as soon as all items are covered, which on dense
+    /// expression data takes a handful of groups instead of
+    /// `|c ∩ q| · |out_expr|` scalar reductions.
     /// Items no out-sample expresses are the black dots (value 1). Summing
     /// the assigned values back in item order reproduces the reference
     /// path's float operations bit for bit.
     fn column_value_min(&self, c: usize, query: &BitSet, scratch: &mut Scratch) -> f64 {
+        // The sweep orders *distinct-list groups*, not individual
+        // out-samples: every out-sample of a group carries the same
+        // satisfaction (`vh[h] = per_unique[idx]`), so the per-out-sample
+        // sort could only ever interleave them as ties — and tied
+        // out-samples assign the same value to every cell they carve,
+        // making the cells independent of tie order. Sorting (total-order
+        // key, group) u64/u32 pairs with the derived integer Ord beats
+        // `total_cmp` closures measurably at this call rate; the key
+        // mapping is exactly `f64::total_cmp`'s order.
+        let lo = self.col_offsets[c] as usize;
+        let uniq = self.col_offsets[c + 1] as usize - lo;
         scratch.order.clear();
-        for h in 0..self.n_out {
-            scratch.order.push((scratch.vh[h], h as u32));
+        for u in 0..uniq {
+            scratch.order.push((f64_total_order_key(scratch.per_unique[u]), u as u32));
         }
-        scratch.order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        scratch.order.sort_unstable();
+
+        // Fused kernels keep the sweep at one memory pass per step where
+        // the assign / count / difference / scan forms would take four;
+        // the counts are integer popcounts and the cell writes are plain
+        // stores, so fusion cannot perturb a value.
+        let mut left = scratch.remaining.assign_intersection_len(query, &self.class_expr[c]);
+        for &(k, u) in scratch.order.iter() {
+            if left == 0 {
+                break;
+            }
+            let v = f64_from_total_order_key(k);
+            left -= scratch.remaining.carve_scatter(
+                &self.group_items[lo + u as usize],
+                &mut scratch.cells,
+                v,
+            );
+        }
+        if left != 0 {
+            for g in scratch.remaining.iter() {
+                scratch.cells[g] = 1.0; // black dot: no out-sample expresses g
+            }
+        }
+
+        // Same adds in the same ascending-g order as the reference path,
+        // via the decoupled extract-then-add gather.
+        let (sum, n) = scratch.shared.gather_sum(&scratch.cells);
+        sum / n as f64
+    }
+
+    /// Computes column `c`'s shared-item set into `scratch.shared` and, if
+    /// non-blank, its per-out-sample satisfactions into `scratch.vh`.
+    /// Returns false for blank columns (nothing computed beyond `shared`).
+    fn column_satisfactions(&self, c: usize, query: &BitSet, scratch: &mut Scratch) -> bool {
+        if scratch.shared.assign_intersection_len(query, &self.class_expr[c]) == 0 {
+            return false;
+        }
+        // Distinct lists are evaluated once and fanned out to their (c, h)
+        // pairs — the lossless form of §8's exclusion-list culling.
+        let lo = self.col_offsets[c] as usize;
+        let hi = self.col_offsets[c + 1] as usize;
+        for u in lo..hi {
+            scratch.per_unique[u - lo] = self.list_satisfaction(u, query);
+        }
+        let idx_row = &self.idx[c * self.n_out..(c + 1) * self.n_out];
+        for (h, &u) in idx_row.iter().enumerate() {
+            scratch.vh[h] = scratch.per_unique[u as usize];
+        }
+        true
+    }
+
+    /// [`CompiledBst::column_value_min`] frozen at its pre-SIMD form —
+    /// float-keyed `total_cmp` sort, separate assign / scan / count /
+    /// difference passes per out-sample, unconditional black-dot scan.
+    /// Kept verbatim so `classify_bench` can report `kernel_speedup`
+    /// against the *actual* previous kernel rather than against a
+    /// baseline that quietly inherits the fused kernels; bit-identity
+    /// with the live path is enforced by `tests/prop_compiled.rs`.
+    /// Not part of the serving API.
+    fn column_value_min_legacy(&self, c: usize, query: &BitSet, scratch: &mut Scratch) -> f64 {
+        scratch.order_f64.clear();
+        for h in 0..self.n_out {
+            scratch.order_f64.push((scratch.vh[h], h as u32));
+        }
+        scratch.order_f64.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
 
         scratch.remaining.assign_intersection(query, &self.class_expr[c]);
         let mut left = scratch.remaining.len();
-        for &(v, h) in scratch.order.iter() {
+        for &(v, h) in scratch.order_f64.iter() {
             if left == 0 {
                 break;
             }
@@ -239,16 +370,14 @@ impl CompiledBst {
         sum / n as f64
     }
 
-    /// Computes column `c`'s shared-item set into `scratch.shared` and, if
-    /// non-blank, its per-out-sample satisfactions into `scratch.vh`.
-    /// Returns false for blank columns (nothing computed beyond `shared`).
-    fn column_satisfactions(&self, c: usize, query: &BitSet, scratch: &mut Scratch) -> bool {
+    /// [`CompiledBst::column_satisfactions`] with the pre-SIMD two-pass
+    /// blank check (assign, then emptiness scan). Baseline counterpart of
+    /// [`CompiledBst::column_value_min_legacy`].
+    fn column_satisfactions_legacy(&self, c: usize, query: &BitSet, scratch: &mut Scratch) -> bool {
         scratch.shared.assign_intersection(query, &self.class_expr[c]);
         if scratch.shared.is_empty() {
             return false;
         }
-        // Distinct lists are evaluated once and fanned out to their (c, h)
-        // pairs — the lossless form of §8's exclusion-list culling.
         let lo = self.col_offsets[c] as usize;
         let hi = self.col_offsets[c + 1] as usize;
         for u in lo..hi {
@@ -279,33 +408,83 @@ impl CompiledBst {
     /// `class_value` uses and the result is **bit-identical** (enforced
     /// by `tests/prop_compiled.rs` across all three arithmetizations).
     ///
+    /// ## Column blocking
+    ///
+    /// Columns are processed in **blocks sized to
+    /// [`BatchScratch::set_block_bytes`]** (default
+    /// [`DEFAULT_KERNEL_BLOCK_BYTES`], ≈ L2/2): each block's masks are
+    /// swept across *all* queries before the next block is touched, so a
+    /// model whose total masks spill the LLC still streams every mask
+    /// exactly once per batch while the block stays cache-resident for
+    /// the whole query dimension. Per-query `col_sum` accumulation still
+    /// happens in ascending column order (blocks ascend, columns within
+    /// a block ascend), so blocking reorders only *which query* runs
+    /// next, never a query's own float operations — bit-identity is
+    /// structural, for every block size.
+    ///
     /// Fills `scratch.col_sum` / `scratch.cols`, one slot per query.
-    fn batch_sweep(&self, queries: &[BitSet], arith: Arithmetization, scratch: &mut BatchScratch) {
+    /// With `LEGACY` set, every per-column computation routes through the
+    /// frozen pre-SIMD kernels (benchmark baseline only); the flag is a
+    /// const generic so the live sweep's codegen carries no baseline
+    /// branches.
+    fn batch_sweep<const LEGACY: bool>(
+        &self,
+        queries: &[BitSet],
+        arith: Arithmetization,
+        scratch: &mut BatchScratch,
+    ) {
         scratch.inner.reserve_bst(self);
         scratch.col_sum.clear();
         scratch.col_sum.resize(queries.len(), 0.0);
         scratch.cols.clear();
         scratch.cols.resize(queries.len(), 0);
-        for c in 0..self.class_expr.len() {
-            for (qi, query) in queries.iter().enumerate() {
-                if !self.column_satisfactions(c, query, &mut scratch.inner) {
-                    continue; // blank column for this query
+        let block_budget =
+            if scratch.block_bytes == 0 { DEFAULT_KERNEL_BLOCK_BYTES } else { scratch.block_bytes };
+        let n_cols = self.class_expr.len();
+        let mut c0 = 0;
+        while c0 < n_cols {
+            // Grow the block greedily until the next column would
+            // overflow the byte budget; always take at least one column.
+            let mut c1 = c0 + 1;
+            let mut bytes = self.col_block_bytes(c0);
+            while c1 < n_cols {
+                let next = self.col_block_bytes(c1);
+                if bytes + next > block_budget {
+                    break;
                 }
-                let v_s = match arith {
-                    Arithmetization::Min => self.column_value_min(c, query, &mut scratch.inner),
-                    _ => {
-                        let mut sum = 0.0;
-                        let mut n = 0usize;
-                        for g in scratch.inner.shared.iter() {
-                            sum += cell_value(&self.out_expr[g], &scratch.inner.vh, arith);
-                            n += 1;
-                        }
-                        sum / n as f64
-                    }
-                };
-                scratch.col_sum[qi] += v_s;
-                scratch.cols[qi] += 1;
+                bytes += next;
+                c1 += 1;
             }
+            for (qi, query) in queries.iter().enumerate() {
+                for c in c0..c1 {
+                    let nonblank = if LEGACY {
+                        self.column_satisfactions_legacy(c, query, &mut scratch.inner)
+                    } else {
+                        self.column_satisfactions(c, query, &mut scratch.inner)
+                    };
+                    if !nonblank {
+                        continue; // blank column for this query
+                    }
+                    let v_s = match arith {
+                        Arithmetization::Min if LEGACY => {
+                            self.column_value_min_legacy(c, query, &mut scratch.inner)
+                        }
+                        Arithmetization::Min => self.column_value_min(c, query, &mut scratch.inner),
+                        _ => {
+                            let mut sum = 0.0;
+                            let mut n = 0usize;
+                            for g in scratch.inner.shared.iter() {
+                                sum += cell_value(&self.out_expr[g], &scratch.inner.vh, arith);
+                                n += 1;
+                            }
+                            sum / n as f64
+                        }
+                    };
+                    scratch.col_sum[qi] += v_s;
+                    scratch.cols[qi] += 1;
+                }
+            }
+            c0 = c1;
         }
     }
 }
@@ -328,6 +507,9 @@ pub struct BatchScratch {
     values: Vec<f64>,
     /// Stride of `values` (classes of the last model evaluated).
     n_classes: usize,
+    /// Column-block byte budget of the sweep; 0 means
+    /// [`DEFAULT_KERNEL_BLOCK_BYTES`].
+    block_bytes: usize,
 }
 
 impl BatchScratch {
@@ -342,6 +524,14 @@ impl BatchScratch {
         BatchScratch { inner: Scratch::for_model(model), ..BatchScratch::default() }
     }
 
+    /// Sets the column-block byte budget of the batch sweep
+    /// (`--kernel-block-bytes`); 0 restores
+    /// [`DEFAULT_KERNEL_BLOCK_BYTES`]. Affects cache behavior only —
+    /// results are bit-identical for every block size.
+    pub fn set_block_bytes(&mut self, bytes: usize) {
+        self.block_bytes = bytes;
+    }
+
     /// Class values of query `q` from the most recent
     /// [`CompiledModel::class_values_batch_into`] call, indexed by
     /// `ClassId`.
@@ -349,6 +539,80 @@ impl BatchScratch {
         &self.values[q * self.n_classes..(q + 1) * self.n_classes]
     }
 }
+
+/// Reusable working memory for the **multi-core** batch kernel: one
+/// [`BatchScratch`] per pool lane plus a shared per-query class-value
+/// arena the lanes write disjoint chunks of. Like the other scratches,
+/// every buffer grows to the largest (model, batch, lane-count) shape
+/// seen and is then reused — steady-state pooled batch classification
+/// performs **zero heap allocations** (asserted by
+/// `tests/alloc_free.rs`).
+#[derive(Debug, Default)]
+pub struct ParBatchScratch {
+    /// Per-lane sweep scratches; lane `i` of a pooled call owns slot `i`.
+    lanes: Vec<BatchScratch>,
+    /// Class values of the last batch, `values[q * n_classes + class]`.
+    values: Vec<f64>,
+    /// Stride of `values` (classes of the last model evaluated).
+    n_classes: usize,
+    /// Column-block byte budget, propagated to every lane; 0 means
+    /// [`DEFAULT_KERNEL_BLOCK_BYTES`].
+    block_bytes: usize,
+}
+
+impl ParBatchScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> ParBatchScratch {
+        ParBatchScratch::default()
+    }
+
+    /// Pre-sizes `lanes` sweep scratches for `model` (the per-batch
+    /// arenas still grow on the first batch of each size).
+    pub fn for_model(model: &CompiledModel, lanes: usize) -> ParBatchScratch {
+        ParBatchScratch {
+            lanes: (0..lanes.max(1)).map(|_| BatchScratch::for_model(model)).collect(),
+            ..ParBatchScratch::default()
+        }
+    }
+
+    /// Sets the column-block byte budget of every lane's sweep
+    /// (`--kernel-block-bytes`); 0 restores
+    /// [`DEFAULT_KERNEL_BLOCK_BYTES`].
+    pub fn set_block_bytes(&mut self, bytes: usize) {
+        self.block_bytes = bytes;
+    }
+
+    /// The configured column-block byte budget (0 = default).
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// Class values of query `q` from the most recent
+    /// [`CompiledModel::class_values_batch_par_into`] call, indexed by
+    /// `ClassId`.
+    pub fn values_of(&self, q: usize) -> &[f64] {
+        &self.values[q * self.n_classes..(q + 1) * self.n_classes]
+    }
+}
+
+/// A raw pointer the pooled kernel may share across lanes. Safety rests
+/// on the caller handing each lane a disjoint region (see the SAFETY
+/// notes at the use sites).
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. A method (not field access) so closures
+    /// capture the `Sync` wrapper, not the raw pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: `SendPtr` is only a capability to *form* references inside
+// pool tasks; disjointness of the actual accesses is argued at each use.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Cell value of a non-empty (g, c) cell (Algorithm 5 lines 7–11) given
 /// the column's fanned-out satisfactions.
@@ -383,8 +647,28 @@ pub struct Scratch {
     remaining: BitSet,
     /// Min sweep: items covered by the current out-sample.
     newly: BitSet,
-    /// Min sweep: (satisfaction, out-sample) pairs, sorted ascending.
-    order: Vec<(f64, u32)>,
+    /// Min sweep: (total-order satisfaction key, out-sample) pairs,
+    /// sorted ascending — see [`f64_total_order_key`].
+    order: Vec<(u64, u32)>,
+    /// Float-keyed sort buffer of the frozen benchmark baseline
+    /// (`column_value_min_legacy`); empty unless the legacy path runs.
+    order_f64: Vec<(f64, u32)>,
+}
+
+/// Maps an `f64` to a `u64` whose unsigned order is exactly
+/// [`f64::total_cmp`]'s order (the IEEE 754 totalOrder trick: flip all
+/// bits of negatives, flip only the sign bit of non-negatives), so the
+/// Min sweep can sort plain integers.
+#[inline]
+fn f64_total_order_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    b ^ ((((b as i64) >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
+/// Inverse of [`f64_total_order_key`], bit-exact.
+#[inline]
+fn f64_from_total_order_key(k: u64) -> f64 {
+    f64::from_bits(k ^ (if k >> 63 == 1 { 0x8000_0000_0000_0000 } else { !0u64 }))
 }
 
 impl Default for Scratch {
@@ -405,6 +689,7 @@ impl Scratch {
             remaining: BitSet::new(0),
             newly: BitSet::new(0),
             order: Vec::new(),
+            order_f64: Vec::new(),
         }
     }
 
@@ -443,6 +728,10 @@ impl Scratch {
         if self.order.capacity() < bst.n_out {
             self.order.clear();
             self.order.reserve(bst.n_out);
+        }
+        if self.order_f64.capacity() < bst.n_out {
+            self.order_f64.clear();
+            self.order_f64.reserve(bst.n_out);
         }
     }
 
@@ -546,12 +835,30 @@ impl CompiledModel {
     /// the batch size. Bit-identical to calling
     /// [`CompiledModel::class_values_into`] per query.
     pub fn class_values_batch_into(&self, queries: &[BitSet], scratch: &mut BatchScratch) {
+        self.batch_into::<false>(queries, scratch)
+    }
+
+    /// [`CompiledModel::class_values_batch_into`] routed through the
+    /// frozen pre-SIMD per-column kernels (`*_legacy`): the separate
+    /// assign / count / difference passes and `total_cmp` float sort the
+    /// sweep used before the fused SIMD kernels landed. This is the
+    /// baseline `classify_bench` times for `kernel_speedup` — measuring
+    /// the live path with vectorization disabled would still credit the
+    /// baseline with the pass-fusion wins and understate the change.
+    /// Bit-identical to the live path (`tests/prop_compiled.rs`); not
+    /// part of the serving API.
+    #[doc(hidden)]
+    pub fn class_values_batch_into_legacy(&self, queries: &[BitSet], scratch: &mut BatchScratch) {
+        self.batch_into::<true>(queries, scratch)
+    }
+
+    fn batch_into<const LEGACY: bool>(&self, queries: &[BitSet], scratch: &mut BatchScratch) {
         scratch.n_classes = self.bsts.len();
         let n = queries.len() * self.bsts.len();
         scratch.values.clear();
         scratch.values.resize(n, 0.0);
         for (class, bst) in self.bsts.iter().enumerate() {
-            bst.batch_sweep(queries, self.arith, scratch);
+            bst.batch_sweep::<LEGACY>(queries, self.arith, scratch);
             for qi in 0..queries.len() {
                 let v = if scratch.cols[qi] == 0 {
                     0.0 // the query shares nothing with this class
@@ -587,28 +894,137 @@ impl CompiledModel {
         }
     }
 
-    /// Classifies a batch, fanning chunks out across cores with one
-    /// [`Scratch`] per worker. Tiny batches stay on the calling thread.
-    pub fn classify_all(&self, queries: &[BitSet]) -> Vec<ClassId> {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let workers = workers.min(queries.len()).max(1);
-        if workers <= 1 || queries.len() <= SEQUENTIAL_BATCH_CUTOFF {
-            let mut scratch = Scratch::for_model(self);
-            return queries.iter().map(|q| self.classify(q, &mut scratch)).collect();
+    /// Total bytes of the compiled mask tables across every class — the
+    /// traffic one query streams through cache, and (×batch) the work
+    /// estimate driving the sequential-vs-parallel decision. Recorded by
+    /// `classify_bench` as `mask_working_set_bytes`.
+    pub fn mask_bytes(&self) -> usize {
+        self.bsts.iter().map(|b| b.mask_bytes()).sum()
+    }
+
+    /// How many pool lanes a batch of `n_queries` should fan out to:
+    /// one lane per [`PARALLEL_GRAIN_BYTES`] of streamed mask traffic
+    /// (`mask_bytes × n_queries`), clamped to the batch size and the
+    /// pool width. A tiny model never leaves the calling thread no
+    /// matter how many queries arrive; a model whose single pass already
+    /// dwarfs the grain parallelizes even a two-query batch.
+    fn parallel_lanes(&self, n_queries: usize, pool_lanes: usize) -> usize {
+        let work = self.mask_bytes() as u64 * n_queries as u64;
+        let by_work = usize::try_from(work / PARALLEL_GRAIN_BYTES).unwrap_or(usize::MAX);
+        by_work.clamp(1, pool_lanes.min(n_queries.max(1)))
+    }
+
+    /// Multi-core form of [`CompiledModel::class_values_batch_into`]: the
+    /// query dimension is split into contiguous chunks across `pool`
+    /// lanes, each lane running the blocked column-outer sweep over its
+    /// chunk with its own [`BatchScratch`] — so per-lane loop order (and
+    /// hence every query's float-operation order) is exactly the
+    /// single-threaded kernel's, and results are **bit-identical** to N
+    /// per-query calls regardless of lane count. Read results back via
+    /// [`ParBatchScratch::values_of`]. Allocation-free once `scratch` has
+    /// grown to the model shape, batch size, and lane count. Batches
+    /// whose total mask traffic is below the parallel grain stay on the
+    /// calling thread.
+    pub fn class_values_batch_par_into(
+        &self,
+        queries: &[BitSet],
+        pool: &WorkerPool,
+        scratch: &mut ParBatchScratch,
+    ) {
+        let lanes = self.parallel_lanes(queries.len(), pool.lanes());
+        self.class_values_batch_par_into_lanes(queries, pool, scratch, lanes);
+    }
+
+    /// [`CompiledModel::class_values_batch_par_into`] with the lane count
+    /// pinned instead of derived from mask traffic. Exposed for tests
+    /// that need the multi-lane path on models far below the parallel
+    /// grain; not part of the public API.
+    #[doc(hidden)]
+    pub fn class_values_batch_par_into_lanes(
+        &self,
+        queries: &[BitSet],
+        pool: &WorkerPool,
+        scratch: &mut ParBatchScratch,
+        lanes: usize,
+    ) {
+        let n_classes = self.bsts.len();
+        scratch.n_classes = n_classes;
+        scratch.values.clear();
+        scratch.values.resize(queries.len() * n_classes, 0.0);
+        let lanes = lanes.clamp(1, pool.lanes().min(queries.len().max(1)));
+        if scratch.lanes.len() < lanes {
+            scratch.lanes.resize_with(lanes, BatchScratch::new);
         }
-        let chunk = queries.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || {
-                        let mut scratch = Scratch::for_model(self);
-                        part.iter().map(|q| self.classify(q, &mut scratch)).collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("classify worker panicked")).collect()
-        })
+        for lane in &mut scratch.lanes {
+            lane.block_bytes = scratch.block_bytes;
+        }
+        if lanes <= 1 {
+            let lane = &mut scratch.lanes[0];
+            self.class_values_batch_into(queries, lane);
+            scratch.values.copy_from_slice(&lane.values[..queries.len() * n_classes]);
+            return;
+        }
+        let chunk = queries.len().div_ceil(lanes);
+        let lanes_ptr = SendPtr(scratch.lanes.as_mut_ptr());
+        let values_ptr = SendPtr(scratch.values.as_mut_ptr());
+        pool.run(lanes, &|i| {
+            let start = i * chunk;
+            let end = ((i + 1) * chunk).min(queries.len());
+            if start >= end {
+                return;
+            }
+            // SAFETY: task indices are distinct and executed exactly once
+            // (pool contract), so lane `i` exclusively owns
+            // `scratch.lanes[i]` and the `values` range of its query
+            // chunk; `pool.run` returns only after every task finished.
+            let lane = unsafe { &mut *lanes_ptr.get().add(i) };
+            self.class_values_batch_into(&queries[start..end], lane);
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(
+                    values_ptr.get().add(start * n_classes),
+                    (end - start) * n_classes,
+                )
+            };
+            dst.copy_from_slice(&lane.values[..(end - start) * n_classes]);
+        });
+    }
+
+    /// Batch classification over the shared worker pool: predictions for
+    /// every query, appended to `out` (cleared first), computed by the
+    /// blocked multi-core sweep. Argmax ties break to the smallest class
+    /// index, exactly as the per-query path. Allocation-free in the
+    /// steady state.
+    pub fn classify_batch_par_into(
+        &self,
+        queries: &[BitSet],
+        pool: &WorkerPool,
+        scratch: &mut ParBatchScratch,
+        out: &mut Vec<ClassId>,
+    ) {
+        self.class_values_batch_par_into(queries, pool, scratch);
+        out.clear();
+        for qi in 0..queries.len() {
+            let values = scratch.values_of(qi);
+            let mut best = 0;
+            for (i, &v) in values.iter().enumerate().skip(1) {
+                if v > values[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+    }
+
+    /// Classifies a batch with the blocked batch-sweep kernel, fanned out
+    /// across the process-wide worker pool ([`pool::global`]) with one
+    /// [`BatchScratch`] per lane. Batches too small to amortize a lane
+    /// handoff (by mask traffic, not query count) stay on the calling
+    /// thread.
+    pub fn classify_all(&self, queries: &[BitSet]) -> Vec<ClassId> {
+        let mut scratch = ParBatchScratch::new();
+        let mut out = Vec::with_capacity(queries.len());
+        self.classify_batch_par_into(queries, pool::global(), &mut scratch, &mut out);
+        out
     }
 
     /// §5.3.2 explanations on the compiled path — same cells, same
@@ -749,5 +1165,32 @@ mod tests {
         let q = big_data.sample(0).clone();
         assert_eq!(big.classify(&q, &mut scratch), BstcModel::train(&big_data).classify(&q));
         assert_eq!(small.classify(&section54_query(), &mut scratch), 0);
+    }
+
+    #[test]
+    fn total_order_key_is_total_cmp_and_invertible() {
+        let vals = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::MIN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ];
+        for &a in &vals {
+            assert_eq!(f64_from_total_order_key(f64_total_order_key(a)).to_bits(), a.to_bits());
+            for &b in &vals {
+                assert_eq!(
+                    f64_total_order_key(a).cmp(&f64_total_order_key(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
     }
 }

@@ -43,6 +43,7 @@ pub mod classify;
 pub mod classify_mc2;
 pub mod compiled;
 pub mod mine;
+pub mod pool;
 pub mod row_bar;
 pub mod rule_group;
 
@@ -50,7 +51,8 @@ pub use bar::{display_bar, Bar, BarAntecedent, ExclusionClause, Sign};
 pub use bst::{Bst, BstStats, Cell, ExclusionList};
 pub use classify::{confidence_gap_of, Arithmetization, BstcModel, CellExplanation};
 pub use classify_mc2::{CompiledMc2Classifier, Mc2Classifier};
-pub use compiled::{BatchScratch, CompiledBst, CompiledModel, Scratch};
+pub use compiled::{BatchScratch, CompiledBst, CompiledModel, ParBatchScratch, Scratch};
 pub use mine::{mine_topk, mine_topk_per_sample, Mc2Bar};
+pub use pool::WorkerPool;
 pub use row_bar::{all_row_bars, row_bar};
 pub use rule_group::{bar_for_car, theorem2_numbers, theorem2_round_trip, Ibrg};

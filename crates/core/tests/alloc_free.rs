@@ -4,7 +4,7 @@
 //! system one; this file holds exactly one test so no concurrent test can
 //! pollute the counter.
 
-use bstc::{Arithmetization, BatchScratch, BstcModel, Scratch};
+use bstc::{Arithmetization, BatchScratch, BstcModel, ParBatchScratch, Scratch, WorkerPool};
 use microarray::synth::BoolSynthConfig;
 use microarray::BitSet;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -100,5 +100,33 @@ fn steady_state_classify_does_not_allocate() {
             after - before,
         );
         assert!(predictions > 0);
+
+        // The blocked + multi-core path: once ParBatchScratch has grown
+        // its per-lane scratches and the shared values arena, pooled
+        // whole-batch classification is allocation-free too — the pool
+        // broadcasts a borrowed closure, nothing is boxed per run. Lanes
+        // are pinned (the model is far below the work cutoff) so the
+        // fan-out path itself is what's measured, with a non-default
+        // block size so the blocked sweep runs multi-block.
+        let pool = WorkerPool::new(3);
+        let mut par_scratch = ParBatchScratch::new();
+        par_scratch.set_block_bytes(256);
+        let mut par_out = Vec::with_capacity(queries.len());
+        compiled.classify_batch_par_into(&queries, &pool, &mut par_scratch, &mut par_out);
+        compiled.class_values_batch_par_into_lanes(&queries, &pool, &mut par_scratch, 3);
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..5 {
+            compiled.class_values_batch_par_into_lanes(&queries, &pool, &mut par_scratch, 3);
+            predictions += (par_scratch.values_of(0)[0] >= 0.0) as usize;
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "{arith:?}: steady-state pooled batch classification allocated {} times",
+            after - before,
+        );
+        assert!(predictions > 0);
+        assert_eq!(par_out.len(), queries.len());
     }
 }

@@ -29,6 +29,7 @@ pub mod bitset;
 pub mod dataset;
 pub mod fixtures;
 pub mod io;
+pub mod simd;
 pub mod synth;
 
 pub use bitset::BitSet;

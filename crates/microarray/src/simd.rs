@@ -1,0 +1,874 @@
+//! SIMD popcount kernels for the word-packed set operations.
+//!
+//! Every hot loop in this codebase — BST construction, CAR mining, and
+//! above all compiled BSTCE inference — reduces to "AND (or AND-NOT) two
+//! `u64` slices and count the surviving bits". The portable form is one
+//! `count_ones()` per word; without `-C target-cpu` that compiles to the
+//! ~12-instruction SWAR sequence (baseline x86-64 has no `popcnt`), so the
+//! satisfaction kernel spends most of its cycles counting bits one word at
+//! a time.
+//!
+//! This module supplies explicit `core::arch` paths that process **four
+//! mask words per lane-group** using the classic `vpshufb` nibble-LUT
+//! popcount on AVX2 (each 256-bit vector holds 4 words; two table lookups
+//! and a `vpsadbw` produce four 64-bit partial counts per group) and
+//! `vcntq_u8` + widening pairwise adds on NEON. Where the host has
+//! AVX-512 VPOPCNTDQ (Ice Lake+, Zen 4+) an eight-words-per-group tier
+//! takes over: `vpopcntq` counts a whole 512-bit vector in one
+//! instruction. The counts are integers, so lane-parallel accumulation is
+//! exactly associative and the SIMD paths are **bit-identical** to the
+//! portable fallback by construction — enforced anyway by the
+//! differential proptests in `tests/prop_simd.rs` and
+//! `crates/core/tests/prop_compiled.rs`.
+//!
+//! Besides the read-only count kernels, two *fused* kernels cut memory
+//! passes out of the coverage sweep in compiled inference, where the
+//! scalar assign/len/difference trio used to cost three passes over the
+//! same words: [`and_assign_count_words`] (intersect, store, count in one
+//! pass) and [`carve_scatter_words`] (the whole sweep step: carve the
+//! `expr` bits out of `remaining`, count them, and write the step's cell
+//! value at each carved index — with the carved set never materialized,
+//! eliminating both its store stream and its re-scan pass).
+//!
+//! Dispatch is resolved once at runtime (`is_x86_feature_detected!`),
+//! cached in an atomic, and overridable two ways:
+//!
+//! * `BSTC_FORCE_PORTABLE=1` in the environment (read at first use) — the
+//!   CI leg that keeps the fallback exercised on AVX2 hosts;
+//! * [`force_portable`] programmatically (tests and the benchmark's
+//!   PR 5-baseline mode).
+//!
+//! Slices of any length are accepted: the vector body covers
+//! `len - len % 4` words and the tail (0–3 words, including trailing
+//! partially-filled mask words) finishes on the scalar path.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Resolved kernel path, cached in [`DISPATCH`].
+const PATH_UNRESOLVED: u8 = 0;
+const PATH_PORTABLE: u8 = 1;
+const PATH_AVX2: u8 = 2;
+const PATH_NEON: u8 = 3;
+const PATH_AVX512: u8 = 4;
+
+static DISPATCH: AtomicU8 = AtomicU8::new(PATH_UNRESOLVED);
+
+/// When nonzero, [`resolve`] answers `PATH_PORTABLE` regardless of what
+/// the host supports (and regardless of the cached detection).
+static FORCED_PORTABLE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces (or releases) the portable scalar path at runtime.
+///
+/// Used by tests and benchmarks to pin the dispatch: `force_portable(true)`
+/// makes every subsequent kernel call take the fallback, `false` restores
+/// hardware detection. Affects performance only — both paths produce
+/// identical counts.
+pub fn force_portable(on: bool) {
+    FORCED_PORTABLE.store(on as u8, Ordering::SeqCst);
+}
+
+/// Resolves (once) and returns the active path id.
+#[inline]
+fn resolve() -> u8 {
+    if FORCED_PORTABLE.load(Ordering::Relaxed) != 0 {
+        return PATH_PORTABLE;
+    }
+    let cached = DISPATCH.load(Ordering::Relaxed);
+    if cached != PATH_UNRESOLVED {
+        return cached;
+    }
+    let detected = detect();
+    DISPATCH.store(detected, Ordering::Relaxed);
+    detected
+}
+
+/// One-time hardware detection, honoring `BSTC_FORCE_PORTABLE`.
+fn detect() -> u8 {
+    if std::env::var_os("BSTC_FORCE_PORTABLE").is_some_and(|v| v != "0" && !v.is_empty()) {
+        return PATH_PORTABLE;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // `vpopcntq` counts all eight words of a 512-bit lane-group in
+        // one instruction — strictly better than the AVX2 nibble LUT
+        // where available (Ice Lake+, Zen 4+).
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+        {
+            return PATH_AVX512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return PATH_AVX2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is architecturally guaranteed on AArch64.
+        return PATH_NEON;
+    }
+    #[allow(unreachable_code)]
+    PATH_PORTABLE
+}
+
+/// Human-readable name of the path the next kernel call will take
+/// (`"avx512"`, `"avx2"`, `"neon"`, or `"portable"`). Recorded in
+/// benchmark reports.
+pub fn active_path() -> &'static str {
+    match resolve() {
+        PATH_AVX512 => "avx512",
+        PATH_AVX2 => "avx2",
+        PATH_NEON => "neon",
+        _ => "portable",
+    }
+}
+
+/// `Σ popcount(a[i] & b[i])` over the common prefix of the two slices.
+#[inline]
+pub fn intersection_len_words(a: &[u64], b: &[u64]) -> usize {
+    match resolve() {
+        #[cfg(target_arch = "x86_64")]
+        PATH_AVX512 => unsafe { avx512::and_len(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        PATH_AVX2 => unsafe { avx2::and_len(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        PATH_NEON => neon::and_len(a, b),
+        _ => intersection_len_words_portable(a, b),
+    }
+}
+
+/// `Σ popcount(a[i] & !b[i])` over the common prefix of the two slices.
+#[inline]
+pub fn andnot_len_words(a: &[u64], b: &[u64]) -> usize {
+    match resolve() {
+        #[cfg(target_arch = "x86_64")]
+        PATH_AVX512 => unsafe { avx512::andnot_len(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        PATH_AVX2 => unsafe { avx2::andnot_len(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        PATH_NEON => neon::andnot_len(a, b),
+        _ => andnot_len_words_portable(a, b),
+    }
+}
+
+/// `Σ popcount(a[i])`.
+#[inline]
+pub fn count_words(a: &[u64]) -> usize {
+    match resolve() {
+        #[cfg(target_arch = "x86_64")]
+        PATH_AVX512 => unsafe { avx512::count(a) },
+        #[cfg(target_arch = "x86_64")]
+        PATH_AVX2 => unsafe { avx2::count(a) },
+        #[cfg(target_arch = "aarch64")]
+        PATH_NEON => neon::count(a),
+        _ => count_words_portable(a),
+    }
+}
+
+/// Fused intersect-and-count: `dst[i] = a[i] & b[i]` over the common
+/// prefix of all three slices, returning `Σ popcount(dst)`. One memory
+/// pass where `assign` + `len` would take two.
+#[inline]
+pub fn and_assign_count_words(dst: &mut [u64], a: &[u64], b: &[u64]) -> usize {
+    match resolve() {
+        #[cfg(target_arch = "x86_64")]
+        PATH_AVX512 => unsafe { avx512::and_assign_count(dst, a, b) },
+        #[cfg(target_arch = "x86_64")]
+        PATH_AVX2 => unsafe { avx2::and_assign_count(dst, a, b) },
+        #[cfg(target_arch = "aarch64")]
+        PATH_NEON => neon::and_assign_count(dst, a, b),
+        _ => and_assign_count_words_portable(dst, a, b),
+    }
+}
+
+/// Fused carve-and-scatter step of a coverage sweep, one memory pass
+/// where assign + count + difference + a scan of the carved set would
+/// take four: per word, `newly = remaining & expr` is formed in
+/// registers, `remaining &= !expr` is stored back, and every set bit
+/// `g` of `newly` writes `cells[g] = value` on the spot — the carved
+/// set is never materialized. Returns `Σ popcount(newly)`.
+///
+/// Bit-identity is structural: the counts are exact integer popcounts
+/// and the cell writes are plain stores to disjoint slots, so no float
+/// *operation* order changes anywhere. Every set bit of
+/// `remaining & expr` must index inside `cells` (bounds-checked —
+/// callers uphold it via the `BitSet` invariant that bits past the
+/// capacity are never set).
+#[inline]
+pub fn carve_scatter_words(
+    remaining: &mut [u64],
+    expr: &[u64],
+    cells: &mut [f64],
+    value: f64,
+) -> usize {
+    match resolve() {
+        #[cfg(target_arch = "x86_64")]
+        PATH_AVX512 => unsafe { avx512::carve_scatter(remaining, expr, cells, value) },
+        #[cfg(target_arch = "x86_64")]
+        PATH_AVX2 => unsafe { avx2::carve_scatter(remaining, expr, cells, value) },
+        #[cfg(target_arch = "aarch64")]
+        PATH_NEON => neon::carve_scatter(remaining, expr, cells, value),
+        _ => carve_scatter_words_portable(remaining, expr, cells, value),
+    }
+}
+
+/// Writes `value` at `cells[base + b]` for every set bit `b` of `word`.
+/// The scalar scatter tail shared by every carve-scatter tier.
+#[inline]
+fn scatter_word(cells: &mut [f64], base: usize, mut word: u64, value: f64) {
+    while word != 0 {
+        cells[base + word.trailing_zeros() as usize] = value;
+        word &= word - 1;
+    }
+}
+
+/// The always-tested scalar fallback of [`intersection_len_words`].
+#[doc(hidden)]
+#[inline]
+pub fn intersection_len_words_portable(a: &[u64], b: &[u64]) -> usize {
+    a.iter().zip(b).map(|(x, y)| (x & y).count_ones() as usize).sum()
+}
+
+/// The always-tested scalar fallback of [`andnot_len_words`].
+#[doc(hidden)]
+#[inline]
+pub fn andnot_len_words_portable(a: &[u64], b: &[u64]) -> usize {
+    a.iter().zip(b).map(|(x, y)| (x & !y).count_ones() as usize).sum()
+}
+
+/// The always-tested scalar fallback of [`count_words`].
+#[doc(hidden)]
+#[inline]
+pub fn count_words_portable(a: &[u64]) -> usize {
+    a.iter().map(|x| x.count_ones() as usize).sum()
+}
+
+/// The always-tested scalar fallback of [`and_assign_count_words`].
+#[doc(hidden)]
+#[inline]
+pub fn and_assign_count_words_portable(dst: &mut [u64], a: &[u64], b: &[u64]) -> usize {
+    let mut total = 0usize;
+    for (d, (x, y)) in dst.iter_mut().zip(a.iter().zip(b)) {
+        let w = x & y;
+        *d = w;
+        total += w.count_ones() as usize;
+    }
+    total
+}
+
+/// The always-tested scalar fallback of [`carve_scatter_words`].
+#[doc(hidden)]
+#[inline]
+pub fn carve_scatter_words_portable(
+    remaining: &mut [u64],
+    expr: &[u64],
+    cells: &mut [f64],
+    value: f64,
+) -> usize {
+    let mut total = 0usize;
+    for (i, (r, e)) in remaining.iter_mut().zip(expr).enumerate() {
+        let nw = *r & e;
+        *r &= !e;
+        if nw != 0 {
+            total += nw.count_ones() as usize;
+            scatter_word(cells, i * 64, nw, value);
+        }
+    }
+    total
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! `vpshufb` nibble-LUT popcount: each 256-bit vector carries four
+    //! mask words; low and high nibbles of every byte index a 16-entry
+    //! bit-count table and `vpsadbw` horizontally folds the 32 byte
+    //! counts into four 64-bit lane sums, which accumulate across the
+    //! whole slice and are folded once at the end. ~6 instructions per
+    //! 4 words versus ~12 per *word* for the SWAR fallback.
+
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// Popcount of one 256-bit vector as four 64-bit lane counts.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcount256(v: __m256i, lut: __m256i, low_mask: __m256i) -> __m256i {
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+        let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+    }
+
+    /// Sums the four 64-bit lanes of an accumulator.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn fold(acc: __m256i) -> usize {
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+        (lanes[0] + lanes[1] + lanes[2] + lanes[3]) as usize
+    }
+
+    /// The byte-wise nibble population-count table, broadcast to both
+    /// 128-bit halves.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn nibble_lut() -> __m256i {
+        _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        )
+    }
+
+    macro_rules! binary_kernel {
+        ($name:ident, $vop:expr, $sop:expr) => {
+            /// # Safety
+            /// Caller must ensure the host supports AVX2.
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(a: &[u64], b: &[u64]) -> usize {
+                let n = a.len().min(b.len());
+                let lut = nibble_lut();
+                let low_mask = _mm256_set1_epi8(0x0f);
+                let mut acc = _mm256_setzero_si256();
+                let body = n - n % 4;
+                let mut i = 0;
+                while i < body {
+                    let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+                    let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+                    #[allow(clippy::redundant_closure_call)]
+                    let v = $vop(va, vb);
+                    acc = _mm256_add_epi64(acc, popcount256(v, lut, low_mask));
+                    i += 4;
+                }
+                let mut total = fold(acc);
+                while i < n {
+                    #[allow(clippy::redundant_closure_call)]
+                    let w: u64 = $sop(a[i], b[i]);
+                    total += w.count_ones() as usize;
+                    i += 1;
+                }
+                total
+            }
+        };
+    }
+
+    // `vpandn` computes `!first & second`, so the andnot vector op swaps
+    // its operands to produce `x & !y`.
+    binary_kernel!(and_len, |x, y| _mm256_and_si256(x, y), |x: u64, y: u64| x & y);
+    binary_kernel!(andnot_len, |x, y| _mm256_andnot_si256(y, x), |x: u64, y: u64| x & !y);
+
+    /// # Safety
+    /// Caller must ensure the host supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn and_assign_count(dst: &mut [u64], a: &[u64], b: &[u64]) -> usize {
+        let n = dst.len().min(a.len()).min(b.len());
+        let lut = nibble_lut();
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let mut acc = _mm256_setzero_si256();
+        let body = n - n % 4;
+        let mut i = 0;
+        while i < body {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+            let v = _mm256_and_si256(va, vb);
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, v);
+            acc = _mm256_add_epi64(acc, popcount256(v, lut, low_mask));
+            i += 4;
+        }
+        let mut total = fold(acc);
+        while i < n {
+            let w = a[i] & b[i];
+            dst[i] = w;
+            total += w.count_ones() as usize;
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    /// Caller must ensure the host supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn carve_scatter(
+        remaining: &mut [u64],
+        expr: &[u64],
+        cells: &mut [f64],
+        value: f64,
+    ) -> usize {
+        let n = remaining.len().min(expr.len());
+        let lut = nibble_lut();
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let mut acc = _mm256_setzero_si256();
+        let body = n - n % 4;
+        let mut i = 0;
+        let mut buf = [0u64; 4];
+        while i < body {
+            let vr = _mm256_loadu_si256(remaining.as_ptr().add(i) as *const __m256i);
+            let ve = _mm256_loadu_si256(expr.as_ptr().add(i) as *const __m256i);
+            let vn = _mm256_and_si256(vr, ve);
+            // `vpandn` is `!first & second`: expr first yields `r & !e`.
+            _mm256_storeu_si256(
+                remaining.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_andnot_si256(ve, vr),
+            );
+            // Coverage sweeps are sparse past the first out-sample, so
+            // most groups carve nothing: `vptest` skips them without
+            // ever leaving the vector domain.
+            if _mm256_testz_si256(vn, vn) == 0 {
+                acc = _mm256_add_epi64(acc, popcount256(vn, lut, low_mask));
+                _mm256_storeu_si256(buf.as_mut_ptr() as *mut __m256i, vn);
+                for (lane, &w) in buf.iter().enumerate() {
+                    if w != 0 {
+                        super::scatter_word(cells, (i + lane) * 64, w, value);
+                    }
+                }
+            }
+            i += 4;
+        }
+        let mut total = fold(acc);
+        while i < n {
+            let nw = remaining[i] & expr[i];
+            remaining[i] &= !expr[i];
+            if nw != 0 {
+                total += nw.count_ones() as usize;
+                super::scatter_word(cells, i * 64, nw, value);
+            }
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    /// Caller must ensure the host supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn count(a: &[u64]) -> usize {
+        let n = a.len();
+        let lut = nibble_lut();
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let mut acc = _mm256_setzero_si256();
+        let body = n - n % 4;
+        let mut i = 0;
+        while i < body {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            acc = _mm256_add_epi64(acc, popcount256(va, lut, low_mask));
+            i += 4;
+        }
+        let mut total = fold(acc);
+        while i < n {
+            total += a[i].count_ones() as usize;
+            i += 1;
+        }
+        total
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    //! AVX-512 VPOPCNTDQ popcount: `vpopcntq` counts each of the eight
+    //! mask words in a 512-bit vector in one instruction, replacing the
+    //! whole AVX2 nibble-LUT sequence; `vpreducesq`-style folding happens
+    //! once at the end via `_mm512_reduce_add_epi64`. Loads and stores use
+    //! the `epi64` forms, which take word pointers directly.
+
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    macro_rules! binary_kernel {
+        ($name:ident, $vop:expr, $sop:expr) => {
+            /// # Safety
+            /// Caller must ensure the host supports AVX-512F + VPOPCNTDQ.
+            #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+            pub unsafe fn $name(a: &[u64], b: &[u64]) -> usize {
+                let n = a.len().min(b.len());
+                let mut acc = _mm512_setzero_si512();
+                let body = n - n % 8;
+                let mut i = 0;
+                while i < body {
+                    let va = _mm512_loadu_epi64(a.as_ptr().add(i) as *const i64);
+                    let vb = _mm512_loadu_epi64(b.as_ptr().add(i) as *const i64);
+                    #[allow(clippy::redundant_closure_call)]
+                    let v = $vop(va, vb);
+                    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+                    i += 8;
+                }
+                let mut total = _mm512_reduce_add_epi64(acc) as usize;
+                while i < n {
+                    #[allow(clippy::redundant_closure_call)]
+                    let w: u64 = $sop(a[i], b[i]);
+                    total += w.count_ones() as usize;
+                    i += 1;
+                }
+                total
+            }
+        };
+    }
+
+    // As with AVX2, `vpandn` computes `!first & second`, so andnot swaps
+    // its operands to produce `x & !y`.
+    binary_kernel!(and_len, |x, y| _mm512_and_si512(x, y), |x: u64, y: u64| x & y);
+    binary_kernel!(andnot_len, |x, y| _mm512_andnot_si512(y, x), |x: u64, y: u64| x & !y);
+
+    /// # Safety
+    /// Caller must ensure the host supports AVX-512F + VPOPCNTDQ.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn count(a: &[u64]) -> usize {
+        let n = a.len();
+        let mut acc = _mm512_setzero_si512();
+        let body = n - n % 8;
+        let mut i = 0;
+        while i < body {
+            let va = _mm512_loadu_epi64(a.as_ptr().add(i) as *const i64);
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(va));
+            i += 8;
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as usize;
+        while i < n {
+            total += a[i].count_ones() as usize;
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    /// Caller must ensure the host supports AVX-512F + VPOPCNTDQ.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn and_assign_count(dst: &mut [u64], a: &[u64], b: &[u64]) -> usize {
+        let n = dst.len().min(a.len()).min(b.len());
+        let mut acc = _mm512_setzero_si512();
+        let body = n - n % 8;
+        let mut i = 0;
+        while i < body {
+            let va = _mm512_loadu_epi64(a.as_ptr().add(i) as *const i64);
+            let vb = _mm512_loadu_epi64(b.as_ptr().add(i) as *const i64);
+            let v = _mm512_and_si512(va, vb);
+            _mm512_storeu_epi64(dst.as_mut_ptr().add(i) as *mut i64, v);
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+            i += 8;
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as usize;
+        while i < n {
+            let w = a[i] & b[i];
+            dst[i] = w;
+            total += w.count_ones() as usize;
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    /// Caller must ensure the host supports AVX-512F + VPOPCNTDQ.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    pub unsafe fn carve_scatter(
+        remaining: &mut [u64],
+        expr: &[u64],
+        cells: &mut [f64],
+        value: f64,
+    ) -> usize {
+        let n = remaining.len().min(expr.len());
+        let mut acc = _mm512_setzero_si512();
+        let body = n - n % 8;
+        let mut i = 0;
+        let mut buf = [0u64; 8];
+        while i < body {
+            let vr = _mm512_loadu_epi64(remaining.as_ptr().add(i) as *const i64);
+            let ve = _mm512_loadu_epi64(expr.as_ptr().add(i) as *const i64);
+            let vn = _mm512_and_si512(vr, ve);
+            _mm512_storeu_epi64(
+                remaining.as_mut_ptr().add(i) as *mut i64,
+                _mm512_andnot_si512(ve, vr),
+            );
+            // Sweeps are sparse past the first out-sample; `vptestmq`
+            // yields the nonzero-lane mask, skipping empty groups and
+            // then scattering only the lanes that carved something.
+            let nz = _mm512_test_epi64_mask(vn, vn);
+            if nz != 0 {
+                acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(vn));
+                _mm512_storeu_epi64(buf.as_mut_ptr() as *mut i64, vn);
+                let mut lanes = nz as u32;
+                while lanes != 0 {
+                    let lane = lanes.trailing_zeros() as usize;
+                    lanes &= lanes - 1;
+                    super::scatter_word(cells, (i + lane) * 64, buf[lane], value);
+                }
+            }
+            i += 8;
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as usize;
+        while i < n {
+            let nw = remaining[i] & expr[i];
+            remaining[i] &= !expr[i];
+            if nw != 0 {
+                total += nw.count_ones() as usize;
+                super::scatter_word(cells, i * 64, nw, value);
+            }
+            i += 1;
+        }
+        total
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! NEON popcount: `vcntq_u8` counts bits per byte in one instruction;
+    //! `vaddlvq_u8` folds the 16 byte counts of a 128-bit group (two mask
+    //! words). Two vectors per iteration keep the four-words-per-group
+    //! shape of the AVX2 path.
+
+    use std::arch::aarch64::*;
+
+    macro_rules! binary_kernel {
+        ($name:ident, $vop:expr, $sop:expr) => {
+            pub fn $name(a: &[u64], b: &[u64]) -> usize {
+                let n = a.len().min(b.len());
+                let body = n - n % 4;
+                let mut total = 0usize;
+                let mut i = 0;
+                // SAFETY: NEON is architecturally guaranteed on AArch64 and
+                // all loads stay inside the common prefix checked above.
+                unsafe {
+                    while i < body {
+                        let a0 = vld1q_u64(a.as_ptr().add(i));
+                        let b0 = vld1q_u64(b.as_ptr().add(i));
+                        let a1 = vld1q_u64(a.as_ptr().add(i + 2));
+                        let b1 = vld1q_u64(b.as_ptr().add(i + 2));
+                        #[allow(clippy::redundant_closure_call)]
+                        let v0 = $vop(a0, b0);
+                        #[allow(clippy::redundant_closure_call)]
+                        let v1 = $vop(a1, b1);
+                        total += vaddlvq_u8(vcntq_u8(vreinterpretq_u8_u64(v0))) as usize;
+                        total += vaddlvq_u8(vcntq_u8(vreinterpretq_u8_u64(v1))) as usize;
+                        i += 4;
+                    }
+                }
+                while i < n {
+                    #[allow(clippy::redundant_closure_call)]
+                    let w: u64 = $sop(a[i], b[i]);
+                    total += w.count_ones() as usize;
+                    i += 1;
+                }
+                total
+            }
+        };
+    }
+
+    binary_kernel!(and_len, |x, y| vandq_u64(x, y), |x: u64, y: u64| x & y);
+    binary_kernel!(andnot_len, |x, y| vbicq_u64(x, y), |x: u64, y: u64| x & !y);
+
+    /// `Σ popcount(a[i])` via `vcntq_u8`.
+    pub fn count(a: &[u64]) -> usize {
+        let n = a.len();
+        let body = n - n % 2;
+        let mut total = 0usize;
+        let mut i = 0;
+        // SAFETY: loads stay inside the slice.
+        unsafe {
+            while i < body {
+                let v = vld1q_u64(a.as_ptr().add(i));
+                total += vaddlvq_u8(vcntq_u8(vreinterpretq_u8_u64(v))) as usize;
+                i += 2;
+            }
+        }
+        while i < n {
+            total += a[i].count_ones() as usize;
+            i += 1;
+        }
+        total
+    }
+
+    /// Fused intersect-store-count (see [`super::and_assign_count_words`]).
+    pub fn and_assign_count(dst: &mut [u64], a: &[u64], b: &[u64]) -> usize {
+        let n = dst.len().min(a.len()).min(b.len());
+        let body = n - n % 2;
+        let mut total = 0usize;
+        let mut i = 0;
+        // SAFETY: all accesses stay inside the common prefix.
+        unsafe {
+            while i < body {
+                let va = vld1q_u64(a.as_ptr().add(i));
+                let vb = vld1q_u64(b.as_ptr().add(i));
+                let v = vandq_u64(va, vb);
+                vst1q_u64(dst.as_mut_ptr().add(i), v);
+                total += vaddlvq_u8(vcntq_u8(vreinterpretq_u8_u64(v))) as usize;
+                i += 2;
+            }
+        }
+        while i < n {
+            let w = a[i] & b[i];
+            dst[i] = w;
+            total += w.count_ones() as usize;
+            i += 1;
+        }
+        total
+    }
+
+    /// Fused carve-and-scatter (see [`super::carve_scatter_words`]). The
+    /// carved words come back to scalar registers for the scatter anyway,
+    /// so the counts use `count_ones` on the extracted lanes rather than
+    /// a vector popcount.
+    pub fn carve_scatter(
+        remaining: &mut [u64],
+        expr: &[u64],
+        cells: &mut [f64],
+        value: f64,
+    ) -> usize {
+        let n = remaining.len().min(expr.len());
+        let body = n - n % 2;
+        let mut total = 0usize;
+        let mut i = 0;
+        // SAFETY: all accesses stay inside the common prefix.
+        unsafe {
+            while i < body {
+                let vr = vld1q_u64(remaining.as_ptr().add(i));
+                let ve = vld1q_u64(expr.as_ptr().add(i));
+                let vn = vandq_u64(vr, ve);
+                vst1q_u64(remaining.as_mut_ptr().add(i), vbicq_u64(vr, ve));
+                let w0 = vgetq_lane_u64(vn, 0);
+                let w1 = vgetq_lane_u64(vn, 1);
+                if w0 != 0 {
+                    total += w0.count_ones() as usize;
+                    super::scatter_word(cells, i * 64, w0, value);
+                }
+                if w1 != 0 {
+                    total += w1.count_ones() as usize;
+                    super::scatter_word(cells, (i + 1) * 64, w1, value);
+                }
+                i += 2;
+            }
+        }
+        while i < n {
+            let nw = remaining[i] & expr[i];
+            remaining[i] &= !expr[i];
+            if nw != 0 {
+                total += nw.count_ones() as usize;
+                super::scatter_word(cells, i * 64, nw, value);
+            }
+            i += 1;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic word pattern that exercises dense, sparse, and
+    /// boundary bytes.
+    fn pattern(len: usize, salt: u64) -> Vec<u64> {
+        let mut x = salt.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..len)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                match i % 5 {
+                    0 => x,
+                    1 => u64::MAX,
+                    2 => 0,
+                    3 => x & 0x8000_0000_0000_0001,
+                    _ => !x,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatched_kernels_match_portable_at_every_tail_length() {
+        // 0..27 covers all `len % 8` residues several times, including
+        // slices shorter than one lane-group on every tier.
+        for len in 0..27 {
+            for salt in 0..8 {
+                let a = pattern(len, salt);
+                let b = pattern(len, salt + 100);
+                assert_eq!(
+                    intersection_len_words(&a, &b),
+                    intersection_len_words_portable(&a, &b),
+                    "and len={len} salt={salt}"
+                );
+                assert_eq!(
+                    andnot_len_words(&a, &b),
+                    andnot_len_words_portable(&a, &b),
+                    "andnot len={len} salt={salt}"
+                );
+                assert_eq!(count_words(&a), count_words_portable(&a), "count len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernels_match_portable_at_every_tail_length() {
+        for len in 0..27 {
+            for salt in 0..8 {
+                let a = pattern(len, salt);
+                let b = pattern(len, salt + 100);
+
+                let mut d1 = vec![0u64; len];
+                let mut d2 = vec![0xffu64; len]; // different garbage: stores must overwrite
+                assert_eq!(
+                    and_assign_count_words(&mut d1, &a, &b),
+                    and_assign_count_words_portable(&mut d2, &a, &b),
+                    "and_assign_count len={len} salt={salt}"
+                );
+                assert_eq!(d1, d2, "and_assign_count dst len={len} salt={salt}");
+
+                let mut r1 = a.clone();
+                let mut r2 = a.clone();
+                let mut c1 = vec![7.5f64; len * 64];
+                let mut c2 = vec![7.5f64; len * 64];
+                assert_eq!(
+                    carve_scatter_words(&mut r1, &b, &mut c1, 2.25),
+                    carve_scatter_words_portable(&mut r2, &b, &mut c2, 2.25),
+                    "carve len={len} salt={salt}"
+                );
+                assert_eq!(r1, r2, "carve remaining len={len} salt={salt}");
+                assert_eq!(c1, c2, "carve cells len={len} salt={salt}");
+            }
+        }
+    }
+
+    #[test]
+    fn carve_scatter_moves_expr_bits_into_cells() {
+        // The carve moves exactly the expr bits out of remaining, writes
+        // `value` at each moved index, and touches no other cell.
+        let orig = pattern(23, 7);
+        let expr = pattern(23, 8);
+        let mut remaining = orig.clone();
+        let mut cells = vec![0.0f64; 23 * 64];
+        let moved = carve_scatter_words(&mut remaining, &expr, &mut cells, 1.25);
+        let mut expect_moved = 0usize;
+        for i in 0..23 {
+            assert_eq!(remaining[i], orig[i] & !expr[i]);
+            let nw = orig[i] & expr[i];
+            expect_moved += nw.count_ones() as usize;
+            for b in 0..64 {
+                let want = if nw >> b & 1 == 1 { 1.25 } else { 0.0 };
+                assert_eq!(cells[i * 64 + b], want, "cell ({i}, {b})");
+            }
+        }
+        assert_eq!(moved, expect_moved);
+        // A second carve with the same expr moves nothing.
+        assert_eq!(carve_scatter_words(&mut remaining, &expr, &mut cells, 9.0), 0);
+    }
+
+    #[test]
+    fn force_portable_switches_the_active_path() {
+        let native = active_path();
+        force_portable(true);
+        assert_eq!(active_path(), "portable");
+        // Counts are identical either way.
+        let a = pattern(37, 1);
+        let b = pattern(37, 2);
+        let forced = (intersection_len_words(&a, &b), andnot_len_words(&a, &b));
+        force_portable(false);
+        assert_eq!(active_path(), native);
+        let auto = (intersection_len_words(&a, &b), andnot_len_words(&a, &b));
+        assert_eq!(forced, auto);
+    }
+
+    #[test]
+    fn empty_and_single_word_slices() {
+        assert_eq!(intersection_len_words(&[], &[]), 0);
+        assert_eq!(andnot_len_words(&[], &[]), 0);
+        assert_eq!(count_words(&[]), 0);
+        assert_eq!(intersection_len_words(&[u64::MAX], &[u64::MAX]), 64);
+        assert_eq!(andnot_len_words(&[u64::MAX], &[0]), 64);
+        assert_eq!(count_words(&[0x5555_5555_5555_5555]), 32);
+    }
+}

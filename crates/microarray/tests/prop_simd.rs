@@ -1,0 +1,113 @@
+//! Differential property tests pinning the SIMD popcount kernels to the
+//! portable scalar fallback: for arbitrary word slices — including odd
+//! lengths that leave 1–3 tail words outside the 4-word lane groups —
+//! the dispatched path must produce exactly the portable path's counts,
+//! and the [`microarray::BitSet`] operations built on them must agree
+//! with a naive per-element reference.
+
+use microarray::{simd, BitSet};
+use proptest::prelude::*;
+
+/// Word vectors whose length sweeps every `len % 4` residue, biased
+/// toward extreme bit patterns (all-ones, all-zeros) where a lane-group
+/// accumulator overflow bug would show first.
+fn words() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u8..6, 0u64..=u64::MAX), 0..23).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, word)| match kind {
+                0 => u64::MAX,
+                1 => 0,
+                _ => word,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The dispatched kernels equal the portable fallback word-for-word.
+    #[test]
+    fn dispatched_equals_portable((a, b) in (words(), words())) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        prop_assert_eq!(
+            simd::intersection_len_words(a, b),
+            simd::intersection_len_words_portable(a, b)
+        );
+        prop_assert_eq!(
+            simd::andnot_len_words(a, b),
+            simd::andnot_len_words_portable(a, b)
+        );
+        prop_assert_eq!(simd::count_words(a), simd::count_words_portable(a));
+    }
+
+    /// The fused store-and-count kernels equal the portable fallback in
+    /// both their returned counts and every word they write.
+    #[test]
+    fn fused_dispatched_equals_portable((a, b) in (words(), words())) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+
+        let mut d1 = vec![0u64; n];
+        let mut d2 = vec![!0u64; n]; // different garbage: stores must overwrite
+        prop_assert_eq!(
+            simd::and_assign_count_words(&mut d1, a, b),
+            simd::and_assign_count_words_portable(&mut d2, a, b)
+        );
+        prop_assert_eq!(&d1, &d2);
+
+        let mut r1 = a.to_vec();
+        let mut r2 = a.to_vec();
+        let mut c1 = vec![0.5f64; n * 64];
+        let mut c2 = vec![0.5f64; n * 64];
+        let moved = simd::carve_scatter_words(&mut r1, b, &mut c1, 3.75);
+        prop_assert_eq!(
+            moved,
+            simd::carve_scatter_words_portable(&mut r2, b, &mut c2, 3.75)
+        );
+        prop_assert_eq!(&r1, &r2);
+        prop_assert_eq!(&c1, &c2);
+        // The carve removes exactly the expr bits from remaining and
+        // writes the value at exactly those indices.
+        for i in 0..n {
+            prop_assert_eq!(r1[i], a[i] & !b[i]);
+            for bit in 0..64 {
+                let want = if (a[i] & b[i]) >> bit & 1 == 1 { 3.75 } else { 0.5 };
+                prop_assert_eq!(c1[i * 64 + bit], want);
+            }
+        }
+    }
+
+    /// BitSet popcount operations match a naive per-element reference at
+    /// capacities that leave trailing partial words.
+    #[test]
+    fn bitset_counts_match_naive_reference(
+        cap in 1usize..300,
+        seed_a in 0u64..=u64::MAX,
+        seed_b in 0u64..=u64::MAX,
+    ) {
+        let fill = |seed: u64| {
+            let mut x = seed | 1;
+            BitSet::from_iter(cap, (0..cap).filter(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & 3 == 0
+            }))
+        };
+        let a = fill(seed_a);
+        let b = fill(seed_b);
+        let naive_and = (0..cap).filter(|&i| a.contains(i) && b.contains(i)).count();
+        let naive_andnot = (0..cap).filter(|&i| a.contains(i) && !b.contains(i)).count();
+        let naive_len = (0..cap).filter(|&i| a.contains(i)).count();
+        prop_assert_eq!(a.intersection_len(&b), naive_and);
+        prop_assert_eq!(a.andnot_len(&b), naive_andnot);
+        prop_assert_eq!(a.len(), naive_len);
+        // Forcing the portable path mid-stream changes nothing but speed.
+        simd::force_portable(true);
+        let portable = (a.intersection_len(&b), a.andnot_len(&b), a.len());
+        simd::force_portable(false);
+        prop_assert_eq!(portable, (naive_and, naive_andnot, naive_len));
+    }
+}

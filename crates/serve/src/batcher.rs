@@ -47,7 +47,7 @@ use crate::bundle::{ModelBundle, Prediction};
 use crate::chaos;
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, Pop};
-use bstc::BatchScratch;
+use bstc::{pool, ParBatchScratch};
 use microarray::BitSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -66,11 +66,20 @@ pub struct BatcherConfig {
     /// Submission-queue depth; submissions beyond it fall back to
     /// inline classification on the worker.
     pub queue_depth: usize,
+    /// Column-block budget for the batch-sweep kernel, in bytes of
+    /// compiled mask data (`bstc-cli serve --kernel-block-bytes`);
+    /// 0 selects [`bstc::compiled::DEFAULT_KERNEL_BLOCK_BYTES`].
+    pub kernel_block_bytes: usize,
 }
 
 impl Default for BatcherConfig {
     fn default() -> Self {
-        BatcherConfig { max_batch: 32, batch_wait: Duration::from_micros(200), queue_depth: 1024 }
+        BatcherConfig {
+            max_batch: 32,
+            batch_wait: Duration::from_micros(200),
+            queue_depth: 1024,
+            kernel_block_bytes: 0,
+        }
     }
 }
 
@@ -131,9 +140,10 @@ impl Batcher {
         };
         let max_batch = batcher.max_batch;
         let batch_wait = batcher.batch_wait;
+        let block_bytes = config.kernel_block_bytes;
         let thread = std::thread::Builder::new()
             .name("bstc-serve-batcher".into())
-            .spawn(move || run(&queue, &metrics, max_batch, batch_wait))
+            .spawn(move || run(&queue, &metrics, max_batch, batch_wait, block_bytes))
             .expect("spawn batcher");
         (batcher, thread)
     }
@@ -171,8 +181,15 @@ impl Batcher {
 }
 
 /// The batcher thread: pick up work, coalesce, execute, repeat.
-fn run(queue: &BoundedQueue<Job>, metrics: &Metrics, max_batch: usize, batch_wait: Duration) {
-    let mut scratch = BatchScratch::new();
+fn run(
+    queue: &BoundedQueue<Job>,
+    metrics: &Metrics,
+    max_batch: usize,
+    batch_wait: Duration,
+    block_bytes: usize,
+) {
+    let mut scratch = ParBatchScratch::new();
+    scratch.set_block_bytes(block_bytes);
     let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
     let mut flat: Vec<BitSet> = Vec::new();
     // Rotates the per-model group order across executions so no model's
@@ -230,7 +247,7 @@ fn collect_batch(
 fn execute_batch(
     batch: &mut Vec<Job>,
     flat: &mut Vec<BitSet>,
-    scratch: &mut BatchScratch,
+    scratch: &mut ParBatchScratch,
     metrics: &Metrics,
     rotation: usize,
 ) {
@@ -293,8 +310,11 @@ fn execute_batch(
         // every unanswered job now so its sender releases and the worker
         // observes the disconnect immediately.
         batch.clear();
-        // The scratch may be mid-mutation; replace it wholesale.
-        *scratch = BatchScratch::new();
+        // The scratch may be mid-mutation; replace it wholesale
+        // (preserving the configured block budget).
+        let block_bytes = scratch.block_bytes();
+        *scratch = ParBatchScratch::new();
+        scratch.set_block_bytes(block_bytes);
         metrics.record_batch_panic();
         obs::log::warn("batch_panicked", &[("batch_id", batch_id.as_str())]);
     }
@@ -302,7 +322,12 @@ fn execute_batch(
 
 /// Runs the batch kernel over one same-bundle group and completes its
 /// jobs.
-fn run_group(group: Vec<Job>, flat: &mut Vec<BitSet>, scratch: &mut BatchScratch, batch_id: &str) {
+fn run_group(
+    group: Vec<Job>,
+    flat: &mut Vec<BitSet>,
+    scratch: &mut ParBatchScratch,
+    batch_id: &str,
+) {
     let now = Instant::now();
     let mut live = Vec::with_capacity(group.len());
     for job in group {
@@ -325,8 +350,10 @@ fn run_group(group: Vec<Job>, flat: &mut Vec<BitSet>, scratch: &mut BatchScratch
         flat.append(&mut job.queries);
         ranges.push(start..flat.len());
     }
-    // One pass over the compiled masks serves every query of the group.
-    bundle.compiled().class_values_batch_into(flat, scratch);
+    // One pass over the compiled masks serves every query of the group,
+    // split across the process-wide worker pool when the batch carries
+    // enough mask traffic to amortize the fan-out.
+    bundle.compiled().class_values_batch_par_into(flat, pool::global(), scratch);
     for (job, range) in live.into_iter().zip(ranges) {
         let predictions: Vec<Prediction> =
             range.map(|qi| bundle.prediction_from_values(scratch.values_of(qi))).collect();
@@ -442,7 +469,12 @@ mod tests {
         let bundle = toy_bundle();
         let metrics = Arc::new(Metrics::new());
         let (batcher, thread) = Batcher::start(
-            BatcherConfig { max_batch: 8, batch_wait: Duration::from_millis(5), queue_depth: 64 },
+            BatcherConfig {
+                max_batch: 8,
+                batch_wait: Duration::from_millis(5),
+                queue_depth: 64,
+                ..BatcherConfig::default()
+            },
             Arc::clone(&metrics),
         );
         let rx_neg = batcher
@@ -477,7 +509,12 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         // A long wait so jobs pile up behind the first batch.
         let (batcher, thread) = Batcher::start(
-            BatcherConfig { max_batch: 64, batch_wait: Duration::from_millis(1), queue_depth: 64 },
+            BatcherConfig {
+                max_batch: 64,
+                batch_wait: Duration::from_millis(1),
+                queue_depth: 64,
+                ..BatcherConfig::default()
+            },
             metrics,
         );
         let receivers: Vec<_> = (0..16)
@@ -571,7 +608,7 @@ mod tests {
         let narrow = toy_bundle();
         let wide = wide_bundle();
         let metrics = Metrics::new();
-        let mut scratch = BatchScratch::new();
+        let mut scratch = ParBatchScratch::new();
         let mut flat = Vec::new();
         // Jobs interleaved narrow/wide/narrow/wide: the partition must
         // run exactly two kernel groups, never a mixed-width one.
@@ -619,7 +656,12 @@ mod tests {
         let bundle = toy_bundle();
         let metrics = Arc::new(Metrics::new());
         let (batcher, thread) = Batcher::start(
-            BatcherConfig { max_batch: 8, batch_wait: Duration::from_millis(50), queue_depth: 64 },
+            BatcherConfig {
+                max_batch: 8,
+                batch_wait: Duration::from_millis(50),
+                queue_depth: 64,
+                ..BatcherConfig::default()
+            },
             Arc::clone(&metrics),
         );
         chaos::inject("batcher", Fault::Panic, Trigger::Times(1));

@@ -84,6 +84,10 @@ pub struct ServerConfig {
     /// How long a lone queued job waits for company before the batcher
     /// executes it anyway (`--batch-wait-us`).
     pub batch_wait: Duration,
+    /// Column-block budget of the batch-sweep kernel, in bytes of
+    /// compiled mask data (`--kernel-block-bytes`); 0 uses the built-in
+    /// default (half a typical L2).
+    pub kernel_block_bytes: usize,
     /// Directory of `*.json` bundles to serve as a fleet
     /// (`--models-dir`); each file registers under its stem. `None`
     /// serves the single bundle passed to [`serve`].
@@ -115,6 +119,7 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(5),
             max_batch: 32,
             batch_wait: Duration::from_micros(200),
+            kernel_block_bytes: 0,
             models_dir: None,
             default_model: None,
             max_resident: 0,
@@ -263,6 +268,7 @@ fn serve_registry(
                 // Roomy enough that every admitted connection can have a
                 // job in flight before submissions fall back inline.
                 queue_depth: (config.queue_depth * 4).max(64),
+                kernel_block_bytes: config.kernel_block_bytes,
             },
             Arc::clone(&metrics),
         );

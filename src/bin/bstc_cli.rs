@@ -89,6 +89,7 @@ commands:
   serve      --model BUNDLE.json | --models-dir DIR [--addr HOST:PORT] [--threads N]
              [--queue-depth N] [--request-timeout SECS]  (0 disables the deadline)
              [--max-batch N]  (0 disables micro-batching)  [--batch-wait-us US]
+             [--kernel-block-bytes N]  (0 = default, half a typical L2)
              [--default-model NAME] [--max-resident N]  (0 = no residency cap)
              [--shadow PRIMARY=CANDIDATE[:PCT]]...  [--shadow-seed N]
              [--log-format text|json] [--log-level debug|info|warn|error]";
@@ -377,6 +378,10 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         None => defaults.batch_wait,
         Some(us) => std::time::Duration::from_micros(us),
     };
+    // Column-block budget of the batch-sweep kernel; 0 keeps the
+    // built-in default (half a typical L2).
+    let kernel_block_bytes: usize =
+        parse_flag(args, "--kernel-block-bytes")?.unwrap_or(defaults.kernel_block_bytes);
     // `--log-format json` switches the structured request log (and every
     // other obs log event) to JSON lines on stderr.
     if let Some(raw) = flag(args, "--log-format") {
@@ -406,6 +411,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         request_timeout,
         max_batch,
         batch_wait,
+        kernel_block_bytes,
         bundle_path: bundle_path.as_ref().map(std::path::PathBuf::from),
         models_dir: models_dir.as_ref().map(std::path::PathBuf::from),
         default_model,
