@@ -6,7 +6,8 @@
 //! serve_bench [--addr HOST:PORT] [--requests N] [--concurrency C]
 //!             [--batch B] [--seed S] [--scale K] [--json]
 //!             [--max-batch N] [--batch-wait-us US] [--model NAME]
-//!             [--overload | --compare-batching | --shadow-overhead]
+//!             [--overload | --compare-batching | --shadow-overhead
+//!              | --idle-connections N]
 //! ```
 //!
 //! `--json` additionally writes the measurements to `BENCH_serve.json`.
@@ -41,6 +42,15 @@
 //! legacy route — against an external fleet server, the name must be
 //! registered there; self-contained, the synthetic bundle is registered
 //! under NAME.
+//!
+//! `--idle-connections N` (self-contained only) is the event-loop soak:
+//! it measures a no-idle baseline, parks N idle keep-alive connections,
+//! then drives the same live load *through* the parked herd. The report
+//! records the process thread count and RSS with the herd attached plus
+//! the live p99 next to the baseline p99 — the claim under test is that
+//! idle connections cost an fd and a parser state, not a thread, so the
+//! run fails if the thread count grew with N or any parked connection
+//! was dropped.
 //!
 //! `--shadow-overhead` (self-contained only) measures what shadow/canary
 //! traffic costs the serving path: the same steady load is driven three
@@ -106,6 +116,25 @@ struct Report {
     shadow_p99_delta_10_ms: f64,
     /// `--shadow-overhead` only: p99 delta of 100% shadowing over 0%.
     shadow_p99_delta_100_ms: f64,
+    /// `--idle-connections` only: parked keep-alive connections held
+    /// open for the whole live run.
+    idle_connections: usize,
+    /// `--idle-connections` only: the server's open-connection gauge
+    /// with the herd parked (must cover every idle connection).
+    idle_open_reported: u64,
+    /// `--idle-connections` only: process threads with the herd parked.
+    idle_threads: u64,
+    /// `--idle-connections` only: threads added over the pre-boot count
+    /// — flat in N when the event loop owns the sockets.
+    idle_thread_delta: u64,
+    /// `--idle-connections` only: process RSS (MiB) with the herd parked.
+    idle_rss_mb: f64,
+    /// `--idle-connections` only: client p99 with zero idle connections.
+    idle_baseline_p99_ms: f64,
+    /// `--idle-connections` only: client p99 with the herd parked.
+    idle_live_p99_ms: f64,
+    /// `--idle-connections` only: live over baseline p99.
+    idle_p99_ratio: f64,
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -133,6 +162,7 @@ fn main() {
     let overload = args.iter().any(|a| a == "--overload");
     let compare = args.iter().any(|a| a == "--compare-batching");
     let shadow_overhead = args.iter().any(|a| a == "--shadow-overhead");
+    let idle_connections: usize = parse_flag(&args, "--idle-connections", 0);
     let model = flag(&args, "--model");
     let max_batch: usize = parse_flag(&args, "--max-batch", ServerConfig::default().max_batch);
     let batch_wait = Duration::from_micros(parse_flag(
@@ -140,15 +170,21 @@ fn main() {
         "--batch-wait-us",
         ServerConfig::default().batch_wait.as_micros() as u64,
     ));
-    if (overload || compare || shadow_overhead) && flag(&args, "--addr").is_some() {
+    if (overload || compare || shadow_overhead || idle_connections > 0)
+        && flag(&args, "--addr").is_some()
+    {
         eprintln!(
-            "error: --overload/--compare-batching/--shadow-overhead are self-contained; \
-             cannot target --addr"
+            "error: --overload/--compare-batching/--shadow-overhead/--idle-connections are \
+             self-contained; cannot target --addr"
         );
         std::process::exit(2);
     }
-    if [overload, compare, shadow_overhead].iter().filter(|m| **m).count() > 1 {
-        eprintln!("error: pick one of --overload, --compare-batching, --shadow-overhead");
+    if [overload, compare, shadow_overhead, idle_connections > 0].iter().filter(|m| **m).count() > 1
+    {
+        eprintln!(
+            "error: pick one of --overload, --compare-batching, --shadow-overhead, \
+             --idle-connections"
+        );
         std::process::exit(2);
     }
     // The classify route this run drives; `--model` goes through the
@@ -206,6 +242,161 @@ fn main() {
             }
         })
         .collect();
+
+    if idle_connections > 0 {
+        // The soak claim: an idle keep-alive connection costs an fd and
+        // a parser state, never a thread. A fixed worker pool makes the
+        // thread assertion sharp: everything beyond WORKERS + the fixed
+        // service threads (event loop, supervisor, batcher) would mean
+        // connections are holding threads again.
+        const WORKERS: usize = 4;
+        // Event loop + supervisor + batcher + main, with slack for the
+        // runtime's own bookkeeping threads.
+        const SERVICE_THREAD_SLACK: u64 = 8;
+        let threads_before = proc_status("Threads:").unwrap_or(0);
+        // Self-contained: client and server share this process, so each
+        // parked connection costs two fds.
+        match serve::sys::raise_nofile_limit((2 * idle_connections + 4096) as u64) {
+            Ok(limit) if limit < (2 * idle_connections + 256) as u64 => {
+                eprintln!(
+                    "error: RLIMIT_NOFILE {limit} cannot hold {idle_connections} idle \
+                     connections (need ~{})",
+                    2 * idle_connections + 256
+                );
+                std::process::exit(1);
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("warning: could not raise RLIMIT_NOFILE: {e}"),
+        }
+        let handle = boot(ServerConfig {
+            threads: WORKERS,
+            max_connections: idle_connections + 1024,
+            max_batch,
+            batch_wait,
+            default_model: model.clone(),
+            ..ServerConfig::default()
+        });
+        let addr = handle.addr().to_string();
+        eprintln!(
+            "serve_bench: IDLE-SOAK — {idle_connections} idle connections, {requests} live \
+             requests x batch {batch}, concurrency {concurrency}, {WORKERS} workers, target {addr}"
+        );
+
+        // Baseline: the same live load with zero idle connections.
+        let warmup = (requests / 10).clamp(1, 200);
+        run_load(&addr, classify_path, &bodies, warmup, concurrency);
+        let (baseline, _) = run_load(&addr, classify_path, &bodies, requests, concurrency);
+        let baseline_p99_ms = obs::percentile_of_sorted(&baseline, 0.99) as f64 / 1000.0;
+
+        // Park the herd: open and hold N idle keep-alive connections.
+        let mut herd = Vec::with_capacity(idle_connections);
+        for i in 0..idle_connections {
+            match TcpStream::connect(&addr) {
+                Ok(stream) => herd.push(stream),
+                Err(e) => {
+                    eprintln!("error: idle connection {i} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if herd.len() % 256 == 0 {
+                // Let the accept loop drain the backlog.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        // The gauge must account for every parked connection before the
+        // live run starts.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let open_reported = loop {
+            let open = handle.metrics_snapshot().conns_open;
+            if open >= idle_connections as u64 {
+                break open;
+            }
+            if Instant::now() >= deadline {
+                eprintln!("error: only {open} of {idle_connections} idle connections registered");
+                std::process::exit(1);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        let idle_threads = proc_status("Threads:").unwrap_or(0);
+        let idle_rss_mb = proc_status("VmRSS:").unwrap_or(0) as f64 / 1024.0;
+        let thread_delta = idle_threads.saturating_sub(threads_before);
+        eprintln!(
+            "herd parked: {open_reported} open connections, {idle_threads} process threads \
+             (+{thread_delta} over pre-boot), RSS {idle_rss_mb:.1} MiB"
+        );
+        if proc_status("Threads:").is_some() && thread_delta > WORKERS as u64 + SERVICE_THREAD_SLACK
+        {
+            eprintln!(
+                "error: {thread_delta} threads added for {idle_connections} idle connections — \
+                 connections are holding threads (allowed: {WORKERS} workers + \
+                 {SERVICE_THREAD_SLACK})"
+            );
+            std::process::exit(1);
+        }
+
+        // Live load through the parked herd.
+        let (live, elapsed) = run_load(&addr, classify_path, &bodies, requests, concurrency);
+        let live_p99_ms = obs::percentile_of_sorted(&live, 0.99) as f64 / 1000.0;
+        let ratio = if baseline_p99_ms > 0.0 { live_p99_ms / baseline_p99_ms } else { 0.0 };
+
+        // No parked connection may have been dropped by the live run.
+        let open_after = handle.metrics_snapshot().conns_open;
+        if open_after < idle_connections as u64 {
+            eprintln!(
+                "error: {} idle connections vanished during the live run",
+                idle_connections as u64 - open_after
+            );
+            std::process::exit(1);
+        }
+        let pct = |p: f64| obs::percentile_of_sorted(&live, p) as f64 / 1000.0;
+        let max_ms = *live.last().expect("at least one request") as f64 / 1000.0;
+        let throughput = live.len() as f64 / elapsed.as_secs_f64();
+        println!(
+            "idle-soak: {idle_connections} idle connections held, {idle_threads} threads \
+             (+{thread_delta}), RSS {idle_rss_mb:.1} MiB"
+        );
+        println!(
+            "live latency through the herd: p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms \
+             (baseline p99 {baseline_p99_ms:.3} ms, {ratio:.2}x)",
+            pct(0.50),
+            pct(0.90),
+            live_p99_ms
+        );
+        let server = scrape_classify_duration(&addr);
+        print_server_side(&server, live_p99_ms);
+        if json {
+            write_report(Report {
+                mode: "idle_soak".into(),
+                requests: live.len(),
+                concurrency,
+                batch,
+                elapsed_secs: elapsed.as_secs_f64(),
+                requests_per_sec: throughput,
+                samples_per_sec: throughput * batch as f64,
+                p50_ms: pct(0.50),
+                p90_ms: pct(0.90),
+                p99_ms: live_p99_ms,
+                max_ms,
+                accepted: live.len(),
+                server_p50_ms: server.as_ref().map_or(0.0, |s| s.p50_ms),
+                server_p99_ms: server.as_ref().map_or(0.0, |s| s.p99_ms),
+                server_requests: server.as_ref().map_or(0, |s| s.count),
+                coordinated_omission_skew: co_skew(live_p99_ms, &server),
+                idle_connections,
+                idle_open_reported: open_reported,
+                idle_threads,
+                idle_thread_delta: thread_delta,
+                idle_rss_mb,
+                idle_baseline_p99_ms: baseline_p99_ms,
+                idle_live_p99_ms: live_p99_ms,
+                idle_p99_ratio: ratio,
+                ..Report::default()
+            });
+        }
+        drop(herd);
+        handle.shutdown();
+        return;
+    }
 
     if overload {
         // A deliberately tiny pool and queue so a modest client count
@@ -771,6 +962,16 @@ fn run_overload(
             ..Report::default()
         });
     }
+}
+
+/// One numeric field from `/proc/self/status` (`None` off Linux — the
+/// soak then skips its thread/RSS assertions).
+fn proc_status(field: &str) -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    text.lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
 }
 
 /// Renders `[1,2]` without pulling in a serializer.

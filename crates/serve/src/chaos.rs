@@ -1,7 +1,8 @@
 //! Deterministic fault injection for robustness testing.
 //!
-//! The server calls [`point`] / [`io_point`] at named **sites** on its
-//! hot paths (`"classify"`, `"reload"`, `"write"`, `"worker"`). In a
+//! The server calls [`point`] / [`io_point`] / [`io_shape`] at named
+//! **sites** on its hot paths (`"classify"`, `"reload"`, `"write"`,
+//! `"worker"`, `"event_loop"`). In a
 //! normal build those calls compile to nothing; under `cfg(test)` or the
 //! `chaos` cargo feature a test can arm a site with [`inject`] and the
 //! next hits fire the configured [`Fault`]:
@@ -21,8 +22,23 @@
 //! integration test injects exactly those and checks the metrics balance
 //! afterwards instead of assuming it.
 
+/// Shape of one event-loop I/O operation as decided by [`io_shape`]
+/// (always `Normal` when chaos is compiled out).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoShape {
+    /// Perform the syscall as-is.
+    Normal,
+    /// Pretend the fd is not ready: skip the syscall, stay registered.
+    Eagain,
+    /// Cap the transfer at one byte (partial read / short write).
+    Short,
+    /// Replace the syscall with an injected failure.
+    Error,
+}
+
 #[cfg(any(test, feature = "chaos"))]
 mod imp {
+    use super::IoShape;
     use std::collections::HashMap;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
@@ -37,6 +53,14 @@ mod imp {
         Delay(Duration),
         /// Surface an injected `io::Error` (only at [`io_point`] sites).
         IoError,
+        /// Pretend the socket is not ready (`EAGAIN`) at an [`io_shape`]
+        /// site: the event loop must back off to the poller and retry,
+        /// never spin or drop the connection.
+        Eagain,
+        /// Truncate one readiness-loop read/write to a single byte at an
+        /// [`io_shape`] site: exercises partial-progress resumption in
+        /// the parser and the response writer.
+        ShortIo,
     }
 
     /// When an armed site fires.
@@ -149,7 +173,7 @@ mod imp {
         match draw(site) {
             Some(Fault::Panic) => panic!("chaos: injected panic at '{site}'"),
             Some(Fault::Delay(d)) => std::thread::sleep(d),
-            Some(Fault::IoError) | None => {}
+            Some(Fault::IoError) | Some(Fault::Eagain) | Some(Fault::ShortIo) | None => {}
         }
     }
 
@@ -165,7 +189,25 @@ mod imp {
             Some(Fault::IoError) => {
                 Err(std::io::Error::other(format!("chaos: injected i/o error at '{site}'")))
             }
-            None => Ok(()),
+            Some(Fault::Eagain) | Some(Fault::ShortIo) | None => Ok(()),
+        }
+    }
+
+    /// How an event-loop read/write at `site` should behave this hit.
+    /// Unlike [`io_point`], the caller applies the shape *before* the
+    /// syscall: `Eagain` skips it (fake not-ready), `Short` caps the
+    /// transfer at one byte, `Error` replaces it with a failure.
+    pub fn io_shape(site: &'static str) -> IoShape {
+        match draw(site) {
+            Some(Fault::Panic) => panic!("chaos: injected panic at '{site}'"),
+            Some(Fault::Delay(d)) => {
+                std::thread::sleep(d);
+                IoShape::Normal
+            }
+            Some(Fault::Eagain) => IoShape::Eagain,
+            Some(Fault::ShortIo) => IoShape::Short,
+            Some(Fault::IoError) => IoShape::Error,
+            None => IoShape::Normal,
         }
     }
 
@@ -237,6 +279,12 @@ mod stub {
     #[inline(always)]
     pub fn io_point(_site: &'static str) -> std::io::Result<()> {
         Ok(())
+    }
+
+    /// No-op I/O shape site (chaos disabled at compile time).
+    #[inline(always)]
+    pub fn io_shape(_site: &'static str) -> super::IoShape {
+        super::IoShape::Normal
     }
 }
 

@@ -1,30 +1,28 @@
-//! A deliberately small HTTP/1.1 implementation on `std::io` — just
-//! enough for a JSON inference API: request-line + headers +
-//! `Content-Length` bodies in, fixed-status responses out, with
-//! keep-alive. No TLS, no async — and no chunked encoding: any
-//! `Transfer-Encoding` header is rejected up front with
-//! [`ReadError::Unsupported`] (501). Silently ignoring it would leave
-//! the chunked body unread on the socket, where keep-alive would parse
-//! it as the *next* request — a request-smuggling / response-desync
-//! vector.
+//! A deliberately small HTTP/1.1 implementation — just enough for a JSON
+//! inference API, built as an **incremental push parser** so the event
+//! loop can feed it whatever bytes the socket has and never block.
 //!
-//! Reading is **deadline-aware**: [`read_request`] takes an optional
-//! wall-clock budget that starts ticking at the *first byte* of a
-//! request and covers the whole head and body. A socket-level read
-//! timeout (the server's idle poll) surfaces as [`ReadError::Idle`]
-//! while no request has started — the caller polls its shutdown flag —
-//! but once bytes arrive, timeouts are retried internally until the
-//! budget is exhausted, which turns a slow-loris client trickling one
-//! header byte per poll interval into a clean [`ReadError::Timeout`]
-//! (HTTP 408) instead of a permanently pinned worker.
+//! [`RequestParser::advance`] consumes bytes and yields at most one
+//! complete [`Request`] per call (pipelined leftovers stay with the
+//! caller). Bodies arrive either via `Content-Length` or via
+//! `Transfer-Encoding: chunked`, which is decoded incrementally here —
+//! smuggling-safe by construction, since the parser owns all framing:
+//! chunk sizes are strictly hex, the decoded body is capped at
+//! [`MAX_BODY_BYTES`], `Transfer-Encoding` combined with
+//! `Content-Length` is refused outright (the classic desync shape), and
+//! non-chunked codings stay 501. Timeouts are no longer this module's
+//! business: the event loop's timer wheel owns deadlines and slow-loris
+//! detection.
 
-use std::io::{self, BufRead, Write};
-use std::time::{Duration, Instant};
+use std::io::{self, Write};
 
-/// Upper bound on the request head (request line + headers).
+/// Upper bound on the request head (request line + headers), also
+/// charged against chunked trailers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Upper bound on a request body.
+/// Upper bound on a request body (declared or chunk-decoded).
 pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+/// Upper bound on one chunk-size line (hex size + extensions).
+pub const MAX_CHUNK_LINE: usize = 256;
 
 /// One parsed request.
 #[derive(Clone, Debug)]
@@ -35,10 +33,12 @@ pub struct Request {
     pub path: String,
     /// Header `(name, value)` pairs; names lower-cased.
     pub headers: Vec<(String, String)>,
-    /// Raw request body (empty when there is no `Content-Length`).
+    /// Request body (`Content-Length` bytes or the de-chunked payload).
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// `true` for HTTP/1.1 (chunked responses allowed), `false` for 1.0.
+    pub http11: bool,
 }
 
 impl Request {
@@ -48,246 +48,364 @@ impl Request {
     }
 }
 
-/// Why a request could not be read.
+/// Why a byte stream could not be parsed into a request.
 #[derive(Debug)]
-pub enum ReadError {
-    /// The peer closed the connection before sending a request line —
-    /// the normal end of a keep-alive session, not a fault.
-    Closed,
-    /// The socket read timed out before the first byte of a request —
-    /// an idle keep-alive connection; poll shutdown and call again.
-    Idle,
-    /// The wall-clock budget ran out mid-request (reply 408).
-    Timeout(String),
-    /// Transport failure mid-request.
-    Io(io::Error),
+pub enum ParseError {
     /// The bytes were not parseable HTTP (reply 400).
     Malformed(String),
-    /// Head or body exceeded the hard limits (reply 413).
+    /// Head, body, or chunk framing exceeded the hard limits (reply 413).
     TooLarge(String),
-    /// Valid HTTP that this server refuses to implement, e.g.
-    /// `Transfer-Encoding` (reply 501 and close: the unread body would
-    /// desync the connection).
+    /// Valid HTTP this server refuses to implement — a non-chunked
+    /// `Transfer-Encoding` coding (reply 501 and close).
     Unsupported(String),
 }
 
-impl From<io::Error> for ReadError {
-    fn from(e: io::Error) -> Self {
-        ReadError::Io(e)
-    }
-}
-
-/// Tracks the per-request wall-clock budget. Armed by the first byte of
-/// the request line; every subsequent read — header trickle, body
-/// trickle, socket-timeout retry — is charged against the same budget.
-struct Deadline {
-    started: Option<Instant>,
-    budget: Option<Duration>,
-}
-
-impl Deadline {
-    fn new(budget: Option<Duration>) -> Deadline {
-        Deadline { started: None, budget }
-    }
-
-    /// Called on the first byte; later calls are no-ops.
-    fn arm(&mut self) {
-        if self.started.is_none() {
-            self.started = Some(Instant::now());
+impl ParseError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Malformed(_) => 400,
+            ParseError::TooLarge(_) => 413,
+            ParseError::Unsupported(_) => 501,
         }
     }
 
-    fn armed(&self) -> bool {
-        self.started.is_some()
+    /// Human detail for the structured error body.
+    pub fn detail(&self) -> &str {
+        match self {
+            ParseError::Malformed(d) | ParseError::TooLarge(d) | ParseError::Unsupported(d) => d,
+        }
+    }
+}
+
+/// Head fields carried between states while the body streams in.
+#[derive(Clone, Debug)]
+struct Head {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    keep_alive: bool,
+    http11: bool,
+}
+
+enum State {
+    /// Accumulating the request head into `line_buf`.
+    ReadingHead,
+    /// Reading a `Content-Length` body.
+    FixedBody { remaining: usize },
+    /// Accumulating one chunk-size line.
+    ChunkLine,
+    /// Reading chunk payload bytes.
+    ChunkData { remaining: usize },
+    /// Expecting the CRLF that terminates a chunk's payload.
+    ChunkCrlf { seen_cr: bool },
+    /// Accumulating trailer lines after the terminal `0` chunk.
+    Trailers,
+}
+
+/// Incremental request parser: feed bytes with [`advance`], get back how
+/// many were consumed and at most one completed request. After a request
+/// completes the parser resets itself for the next one (keep-alive); the
+/// caller re-feeds any unconsumed pipelined bytes.
+///
+/// [`advance`]: RequestParser::advance
+pub struct RequestParser {
+    state: State,
+    /// Head bytes, chunk-size line, or current trailer line.
+    line_buf: Vec<u8>,
+    body: Vec<u8>,
+    head: Option<Head>,
+    /// Trailer bytes consumed so far (charged against [`MAX_HEAD_BYTES`]).
+    trailer_bytes: usize,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    pub fn new() -> RequestParser {
+        RequestParser {
+            state: State::ReadingHead,
+            line_buf: Vec::new(),
+            body: Vec::new(),
+            head: None,
+            trailer_bytes: 0,
+        }
     }
 
-    /// Errors with [`ReadError::Timeout`] once the armed budget is spent.
-    fn check(&self, phase: &str) -> Result<(), ReadError> {
-        if let (Some(started), Some(budget)) = (self.started, self.budget) {
-            if started.elapsed() >= budget {
-                return Err(ReadError::Timeout(format!(
-                    "request exceeded its {} ms budget while {phase}",
-                    budget.as_millis()
-                )));
+    /// `true` once any byte of the current request has been consumed —
+    /// EOF while started means the peer quit mid-request (400 material),
+    /// EOF while not started is the clean end of a keep-alive session.
+    pub fn started(&self) -> bool {
+        !matches!(self.state, State::ReadingHead) || !self.line_buf.is_empty()
+    }
+
+    fn reset(&mut self) {
+        self.state = State::ReadingHead;
+        self.line_buf.clear();
+        self.body = Vec::new();
+        self.head = None;
+        self.trailer_bytes = 0;
+    }
+
+    fn finish(&mut self, consumed: usize) -> Result<(usize, Option<Request>), ParseError> {
+        let head = self.head.take().expect("finish without parsed head");
+        let body = std::mem::take(&mut self.body);
+        self.reset();
+        Ok((
+            consumed,
+            Some(Request {
+                method: head.method,
+                path: head.path,
+                headers: head.headers,
+                body,
+                keep_alive: head.keep_alive,
+                http11: head.http11,
+            }),
+        ))
+    }
+
+    /// Consume bytes from `input`. Returns how many bytes were consumed
+    /// and a request if one completed; unconsumed bytes belong to the
+    /// *next* request and must be re-fed later.
+    ///
+    /// # Errors
+    /// [`ParseError`] poisons the connection: the caller answers with the
+    /// mapped status and closes (framing can no longer be trusted).
+    pub fn advance(&mut self, input: &[u8]) -> Result<(usize, Option<Request>), ParseError> {
+        let mut pos = 0;
+        while pos < input.len() {
+            match self.state {
+                State::ReadingHead => {
+                    let b = input[pos];
+                    pos += 1;
+                    self.line_buf.push(b);
+                    if self.line_buf.len() > MAX_HEAD_BYTES {
+                        return Err(ParseError::TooLarge(format!(
+                            "request head exceeds {MAX_HEAD_BYTES} bytes"
+                        )));
+                    }
+                    let ends_head = b == b'\n'
+                        && (self.line_buf.ends_with(b"\n\n")
+                            || self.line_buf.ends_with(b"\n\r\n")
+                            || self.line_buf == b"\n"
+                            || self.line_buf == b"\r\n");
+                    if !ends_head {
+                        continue;
+                    }
+                    let head_text = std::mem::take(&mut self.line_buf);
+                    let head = parse_head(&head_text)?;
+                    let te = head
+                        .headers
+                        .iter()
+                        .find(|(n, _)| n == "transfer-encoding")
+                        .map(|(_, v)| v.clone());
+                    let cl = content_length(&head.headers)?;
+                    match te.as_deref() {
+                        Some(v) if v.eq_ignore_ascii_case("chunked") => {
+                            // TE + Content-Length together is the classic
+                            // request-smuggling shape: refuse outright.
+                            if cl.is_some() {
+                                return Err(ParseError::Malformed(
+                                    "both transfer-encoding and content-length present".into(),
+                                ));
+                            }
+                            self.head = Some(head);
+                            self.state = State::ChunkLine;
+                        }
+                        Some(v) => {
+                            return Err(ParseError::Unsupported(format!(
+                                "transfer-encoding '{v}' not implemented"
+                            )));
+                        }
+                        None => {
+                            let len = cl.unwrap_or(0);
+                            if len > MAX_BODY_BYTES {
+                                return Err(ParseError::TooLarge(format!(
+                                    "body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                                )));
+                            }
+                            self.head = Some(head);
+                            if len == 0 {
+                                return self.finish(pos);
+                            }
+                            self.body.reserve(len.min(64 * 1024));
+                            self.state = State::FixedBody { remaining: len };
+                        }
+                    }
+                }
+                State::FixedBody { ref mut remaining } => {
+                    let take = (*remaining).min(input.len() - pos);
+                    self.body.extend_from_slice(&input[pos..pos + take]);
+                    pos += take;
+                    *remaining -= take;
+                    if *remaining == 0 {
+                        return self.finish(pos);
+                    }
+                }
+                State::ChunkLine => {
+                    let b = input[pos];
+                    pos += 1;
+                    if b == b'\n' {
+                        let line = std::mem::take(&mut self.line_buf);
+                        let size = parse_chunk_size(&line)?;
+                        if size == 0 {
+                            self.state = State::Trailers;
+                        } else {
+                            if self.body.len() + size > MAX_BODY_BYTES {
+                                return Err(ParseError::TooLarge(format!(
+                                    "chunked body exceeds the {MAX_BODY_BYTES}-byte limit"
+                                )));
+                            }
+                            self.state = State::ChunkData { remaining: size };
+                        }
+                    } else {
+                        self.line_buf.push(b);
+                        if self.line_buf.len() > MAX_CHUNK_LINE {
+                            return Err(ParseError::Malformed(format!(
+                                "chunk-size line exceeds {MAX_CHUNK_LINE} bytes"
+                            )));
+                        }
+                    }
+                }
+                State::ChunkData { ref mut remaining } => {
+                    let take = (*remaining).min(input.len() - pos);
+                    self.body.extend_from_slice(&input[pos..pos + take]);
+                    pos += take;
+                    *remaining -= take;
+                    if *remaining == 0 {
+                        self.state = State::ChunkCrlf { seen_cr: false };
+                    }
+                }
+                State::ChunkCrlf { ref mut seen_cr } => {
+                    let b = input[pos];
+                    pos += 1;
+                    match b {
+                        b'\r' if !*seen_cr => *seen_cr = true,
+                        b'\n' => self.state = State::ChunkLine,
+                        _ => {
+                            return Err(ParseError::Malformed(
+                                "chunk data not followed by CRLF".into(),
+                            ));
+                        }
+                    }
+                }
+                State::Trailers => {
+                    let b = input[pos];
+                    pos += 1;
+                    self.trailer_bytes += 1;
+                    if self.trailer_bytes > MAX_HEAD_BYTES {
+                        return Err(ParseError::TooLarge(format!(
+                            "chunked trailers exceed {MAX_HEAD_BYTES} bytes"
+                        )));
+                    }
+                    if b == b'\n' {
+                        let line = std::mem::take(&mut self.line_buf);
+                        // Empty line ends the trailers (and the request);
+                        // trailer fields themselves are discarded.
+                        if line.is_empty() || line == b"\r" {
+                            return self.finish(pos);
+                        }
+                    } else {
+                        self.line_buf.push(b);
+                    }
+                }
             }
         }
-        Ok(())
+        Ok((pos, None))
     }
 }
 
-/// Reads one request from a buffered stream, charging all bytes of one
-/// request against `budget` (measured from its first byte). On success
-/// returns the request and the instant its first byte arrived, so the
-/// caller can hold the handler to the same deadline.
-///
-/// # Errors
-/// See [`ReadError`]; [`ReadError::Closed`] is the clean-EOF case and
-/// [`ReadError::Idle`] the no-request-yet socket timeout.
-pub fn read_request(
-    reader: &mut impl BufRead,
-    budget: Option<Duration>,
-) -> Result<(Request, Instant), ReadError> {
-    let mut deadline = Deadline::new(budget);
-    let mut head_bytes = 0usize;
-    let request_line = match read_line(reader, &mut head_bytes, &mut deadline)? {
-        None => return Err(ReadError::Closed),
-        Some(line) if line.is_empty() => {
-            return Err(ReadError::Malformed("empty request line".into()))
-        }
-        Some(line) => line,
-    };
+/// Parse an accumulated head (request line + headers + blank line).
+fn parse_head(raw: &[u8]) -> Result<Head, ParseError> {
+    let text = std::str::from_utf8(raw)
+        .map_err(|_| ParseError::Malformed("non-UTF-8 request head".into()))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line =
+        lines.next().ok_or_else(|| ParseError::Malformed("empty request line".into()))?;
+    if request_line.is_empty() {
+        return Err(ParseError::Malformed("empty request line".into()));
+    }
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
-        .ok_or_else(|| ReadError::Malformed("missing method".into()))?
+        .ok_or_else(|| ParseError::Malformed("missing method".into()))?
         .to_ascii_uppercase();
     let target =
-        parts.next().ok_or_else(|| ReadError::Malformed("missing request target".into()))?;
-    let version = parts.next().unwrap_or("HTTP/1.1");
+        parts.next().ok_or_else(|| ParseError::Malformed("missing request target".into()))?;
+    let version =
+        parts.next().ok_or_else(|| ParseError::Malformed("missing HTTP version".into()))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Malformed(format!("unsupported protocol '{version}'")));
+        return Err(ParseError::Malformed(format!("unsupported protocol '{version}'")));
     }
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut headers = Vec::new();
-    loop {
-        let line = match read_line(reader, &mut head_bytes, &mut deadline)? {
-            None => return Err(ReadError::Malformed("connection closed mid-headers".into())),
-            Some(line) => line,
-        };
+    for line in lines {
         if line.is_empty() {
             break;
         }
         let (name, value) = line
             .split_once(':')
-            .ok_or_else(|| ReadError::Malformed(format!("header without ':': '{line}'")))?;
+            .ok_or_else(|| ParseError::Malformed(format!("header without ':': '{line}'")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-
-    // Chunked (or any other) transfer coding is not implemented. It must
-    // be *refused*, not ignored: ignoring it would leave the chunked
-    // body on the socket to be reparsed as the next request under
-    // keep-alive (request smuggling). The caller answers 501 and closes.
-    if let Some((_, v)) = headers.iter().find(|(n, _)| n == "transfer-encoding") {
-        return Err(ReadError::Unsupported(format!("transfer-encoding '{v}' not implemented")));
-    }
-
-    // The declared length is validated *before* any body allocation:
-    // exactly one Content-Length header (duplicates are a smuggling
-    // vector, conflicting or not), strictly decimal digits (usize::parse
-    // would admit a leading '+'), and within the hard body cap.
-    let content_length = {
-        let mut declared = headers.iter().filter(|(n, _)| n == "content-length");
-        match (declared.next(), declared.next()) {
-            (None, _) => 0,
-            (Some(_), Some(_)) => {
-                return Err(ReadError::Malformed("multiple content-length headers".into()))
-            }
-            (Some((_, v)), None) => {
-                if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
-                    return Err(ReadError::Malformed(format!("bad content-length '{v}'")));
-                }
-                v.parse::<usize>()
-                    .map_err(|_| ReadError::Malformed(format!("bad content-length '{v}'")))?
-            }
-        }
-    };
-    if content_length > MAX_BODY_BYTES {
-        return Err(ReadError::TooLarge(format!(
-            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
-        )));
-    }
-    let body = read_body(reader, content_length, &mut deadline)?;
 
     let keep_alive = match headers.iter().find(|(n, _)| n == "connection") {
         Some((_, v)) => !v.eq_ignore_ascii_case("close"),
         None => version != "HTTP/1.0",
     };
-    // An armed deadline implies at least one byte arrived, so `started`
-    // is always set by the time a full request has been parsed.
-    let started = deadline.started.unwrap_or_else(Instant::now);
-    Ok((Request { method, path, headers, body, keep_alive }, started))
+    Ok(Head { method, path, headers, keep_alive, http11: version != "HTTP/1.0" })
 }
 
-/// Reads one CRLF- (or LF-) terminated line, charging `head_budget`
-/// bytes and `deadline` time. `Ok(None)` means EOF before any byte of
-/// this line.
-fn read_line(
-    reader: &mut impl BufRead,
-    head_budget: &mut usize,
-    deadline: &mut Deadline,
-) -> Result<Option<String>, ReadError> {
-    let mut raw = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) if raw.is_empty() => return Ok(None),
-            Ok(0) => break,
-            Ok(_) => {
-                deadline.arm();
-                deadline.check("reading the request head")?;
-                *head_budget += 1;
-                if *head_budget > MAX_HEAD_BYTES {
-                    return Err(ReadError::TooLarge(format!(
-                        "request head exceeds {MAX_HEAD_BYTES} bytes"
-                    )));
-                }
-                if byte[0] == b'\n' {
-                    break;
-                }
-                raw.push(byte[0]);
+/// The validated `Content-Length`, if present. Exactly one header
+/// (duplicates are a smuggling vector, conflicting or not) of strictly
+/// decimal digits (`usize::parse` would admit a leading `+`).
+fn content_length(headers: &[(String, String)]) -> Result<Option<usize>, ParseError> {
+    let mut declared = headers.iter().filter(|(n, _)| n == "content-length");
+    match (declared.next(), declared.next()) {
+        (None, _) => Ok(None),
+        (Some(_), Some(_)) => Err(ParseError::Malformed("multiple content-length headers".into())),
+        (Some((_, v)), None) => {
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseError::Malformed(format!("bad content-length '{v}'")));
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                // Socket poll expired. Before the first byte that is just
-                // an idle connection; mid-request it charges the deadline
-                // and retries, so partial state is never thrown away.
-                if !deadline.armed() {
-                    return Err(ReadError::Idle);
-                }
-                deadline.check("waiting for the rest of the request head")?;
-            }
-            Err(e) => return Err(ReadError::Io(e)),
+            v.parse::<usize>()
+                .map(Some)
+                .map_err(|_| ParseError::Malformed(format!("bad content-length '{v}'")))
         }
     }
-    if raw.last() == Some(&b'\r') {
-        raw.pop();
-    }
-    String::from_utf8(raw)
-        .map(Some)
-        .map_err(|_| ReadError::Malformed("non-UTF-8 request head".into()))
 }
 
-/// Reads exactly `len` body bytes under the request deadline. EOF
-/// mid-body is a malformed request (the declared length lied), not a
-/// transport error, so the client gets a structured 400 when possible.
-fn read_body(
-    reader: &mut impl BufRead,
-    len: usize,
-    deadline: &mut Deadline,
-) -> Result<Vec<u8>, ReadError> {
-    let mut body = vec![0u8; len];
-    let mut filled = 0usize;
-    while filled < len {
-        match reader.read(&mut body[filled..]) {
-            Ok(0) => {
-                return Err(ReadError::Malformed(format!(
-                    "connection closed mid-body ({filled} of {len} bytes)"
-                )))
-            }
-            Ok(n) => {
-                deadline.arm();
-                filled += n;
-                deadline.check("reading the request body")?;
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                deadline.check("waiting for the rest of the request body")?;
-            }
-            Err(e) => return Err(ReadError::Io(e)),
-        }
+/// Parse one chunk-size line: strictly hex digits, optional `;extensions`
+/// (discarded), size bounded by [`MAX_BODY_BYTES`].
+fn parse_chunk_size(line: &[u8]) -> Result<usize, ParseError> {
+    let line = if line.last() == Some(&b'\r') { &line[..line.len() - 1] } else { line };
+    let hex = match line.iter().position(|&b| b == b';') {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    let hex = std::str::from_utf8(hex)
+        .map_err(|_| ParseError::Malformed("non-UTF-8 chunk-size line".into()))?
+        .trim();
+    if hex.is_empty() || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(ParseError::Malformed(format!("bad chunk size '{hex}'")));
     }
-    Ok(body)
+    if hex.len() > 8 {
+        // 8 hex digits already addresses 4 GiB — far past the body cap.
+        return Err(ParseError::TooLarge(format!("chunk size '{hex}' is absurd")));
+    }
+    let size = usize::from_str_radix(hex, 16)
+        .map_err(|_| ParseError::Malformed(format!("bad chunk size '{hex}'")))?;
+    if size > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge(format!(
+            "chunk of {size} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    Ok(size)
 }
 
 /// One response about to be written.
@@ -331,6 +449,16 @@ impl Response {
     }
 }
 
+/// How a response body is framed on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Framing {
+    /// `content-length: n` — the body is written as one run of bytes.
+    Length(usize),
+    /// `transfer-encoding: chunked` — the body streams in size-prefixed
+    /// chunks (HTTP/1.1 clients only).
+    Chunked,
+}
+
 /// Standard reason phrase for the status codes this server emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
@@ -348,7 +476,32 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serializes a response (with `Connection: keep-alive`/`close` as asked).
+/// Serializes a response head (status line through the blank line).
+pub fn encode_head(response: &Response, keep_alive: bool, framing: Framing) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+    );
+    match framing {
+        Framing::Length(n) => {
+            let _ = write!(head, "content-length: {n}\r\n");
+        }
+        Framing::Chunked => head.push_str("transfer-encoding: chunked\r\n"),
+    }
+    let _ = write!(head, "connection: {}\r\n", if keep_alive { "keep-alive" } else { "close" });
+    for (name, value) in &response.headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
+    head.into_bytes()
+}
+
+/// Serializes a whole response with `content-length` framing (blocking
+/// helper for tests and one-shot writers; the event loop writes
+/// incrementally via [`encode_head`]).
 ///
 /// # Errors
 /// Propagates transport failures.
@@ -357,20 +510,8 @@ pub fn write_response(
     response: &Response,
     keep_alive: bool,
 ) -> io::Result<()> {
-    use std::fmt::Write as _;
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
-        response.status,
-        reason(response.status),
-        response.content_type,
-        response.body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    for (name, value) in &response.headers {
-        let _ = write!(head, "{name}: {value}\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
+    let head = encode_head(response, keep_alive, Framing::Length(response.body.len()));
+    stream.write_all(&head)?;
     stream.write_all(&response.body)?;
     stream.flush()
 }
@@ -378,10 +519,19 @@ pub fn write_response(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
 
-    fn parse(raw: &str) -> Result<Request, ReadError> {
-        read_request(&mut BufReader::new(raw.as_bytes()), None).map(|(r, _)| r)
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        parse_bytes(raw.as_bytes())
+    }
+
+    fn parse_bytes(raw: &[u8]) -> Result<Request, ParseError> {
+        let mut p = RequestParser::new();
+        match p.advance(raw)? {
+            (_, Some(r)) => Ok(r),
+            (n, None) => {
+                Err(ParseError::Malformed(format!("incomplete after {n} of {} bytes", raw.len())))
+            }
+        }
     }
 
     #[test]
@@ -393,32 +543,60 @@ mod tests {
         assert_eq!(r.header("host"), Some("h"));
         assert_eq!(r.body, b"body");
         assert!(r.keep_alive);
+        assert!(r.http11);
     }
 
     #[test]
     fn respects_connection_close_and_http10() {
         assert!(!parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().keep_alive);
-        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        let r10 = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r10.keep_alive);
+        assert!(!r10.http11);
         assert!(parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().keep_alive);
     }
 
     #[test]
-    fn clean_eof_is_closed_not_malformed() {
-        assert!(matches!(parse(""), Err(ReadError::Closed)));
+    fn byte_at_a_time_feeding_yields_the_same_request() {
+        let raw = b"POST /classify HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut p = RequestParser::new();
+        let mut got = None;
+        for (i, b) in raw.iter().enumerate() {
+            let (consumed, req) = p.advance(std::slice::from_ref(b)).unwrap();
+            assert_eq!(consumed, 1, "byte {i} not consumed");
+            if let Some(r) = req {
+                assert_eq!(i, raw.len() - 1, "completed early at byte {i}");
+                got = Some(r);
+            }
+        }
+        let r = got.expect("request completed");
+        assert_eq!(r.body, b"hello");
+        assert!(!p.started(), "parser reset after completion");
+    }
+
+    #[test]
+    fn pipelined_bytes_are_left_unconsumed() {
+        let raw = b"GET /health HTTP/1.1\r\n\r\nGET /model HTTP/1.1\r\n\r\n";
+        let mut p = RequestParser::new();
+        let (consumed, first) = p.advance(raw).unwrap();
+        assert_eq!(first.unwrap().path, "/health");
+        assert!(consumed < raw.len());
+        let (rest, second) = p.advance(&raw[consumed..]).unwrap();
+        assert_eq!(consumed + rest, raw.len());
+        assert_eq!(second.unwrap().path, "/model");
     }
 
     #[test]
     fn malformed_heads_are_rejected() {
-        assert!(matches!(parse("\r\n"), Err(ReadError::Malformed(_))));
-        assert!(matches!(parse("GET\r\n\r\n"), Err(ReadError::Malformed(_))));
-        assert!(matches!(parse("GET / SPDY/3\r\n\r\n"), Err(ReadError::Malformed(_))));
+        assert!(matches!(parse("\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(parse("GET\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(parse("GET / SPDY/3\r\n\r\n"), Err(ParseError::Malformed(_))));
         assert!(matches!(
             parse("GET / HTTP/1.1\r\nbad header\r\n\r\n"),
-            Err(ReadError::Malformed(_))
+            Err(ParseError::Malformed(_))
         ));
         assert!(matches!(
             parse("GET / HTTP/1.1\r\nContent-Length: soup\r\n\r\n"),
-            Err(ReadError::Malformed(_))
+            Err(ParseError::Malformed(_))
         ));
     }
 
@@ -427,72 +605,125 @@ mod tests {
         // Conflicting duplicates: classic request-smuggling shape.
         assert!(matches!(
             parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nbody!"),
-            Err(ReadError::Malformed(_))
+            Err(ParseError::Malformed(_))
         ));
         // Even agreeing duplicates are refused outright.
         assert!(matches!(
             parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody"),
-            Err(ReadError::Malformed(_))
+            Err(ParseError::Malformed(_))
         ));
         // usize::parse would accept "+4"; HTTP does not.
         assert!(matches!(
             parse("POST / HTTP/1.1\r\nContent-Length: +4\r\n\r\nbody"),
-            Err(ReadError::Malformed(_))
+            Err(ParseError::Malformed(_))
         ));
         assert!(matches!(
             parse("POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\nbody"),
-            Err(ReadError::Malformed(_))
+            Err(ParseError::Malformed(_))
         ));
         assert!(matches!(
             parse("POST / HTTP/1.1\r\nContent-Length:\r\n\r\n"),
-            Err(ReadError::Malformed(_))
+            Err(ParseError::Malformed(_))
         ));
     }
 
     #[test]
-    fn transfer_encoding_is_refused_not_ignored() {
-        // The desync bug this guards against: a chunked body left unread
-        // on the socket gets reparsed as the next request. Any
-        // Transfer-Encoding value must be refused before body handling.
-        match parse(
-            "POST /classify HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nbody\r\n0\r\n\r\n",
-        ) {
-            Err(ReadError::Unsupported(d)) => assert!(d.contains("transfer-encoding"), "{d}"),
-            other => panic!("expected Unsupported, got {other:?}"),
-        }
-        // TE + Content-Length together (the classic smuggling shape).
+    fn chunked_bodies_are_decoded() {
+        let r = parse(
+            "POST /classify HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+             4\r\nbody\r\n6;ext=1\r\n-more-\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.body, b"body-more-");
+        assert!(r.keep_alive, "decoded chunked body leaves the stream in sync");
+    }
+
+    #[test]
+    fn chunked_trailers_are_consumed_and_discarded() {
+        let r = parse(
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+             3\r\nabc\r\n0\r\nx-trailer: ignored\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.body, b"abc");
+    }
+
+    #[test]
+    fn chunked_plus_content_length_is_smuggling_and_refused() {
         assert!(matches!(
             parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 4\r\n\r\nbody"),
-            Err(ReadError::Unsupported(_))
+            Err(ParseError::Malformed(_))
         ));
-        // Exotic codings are equally unimplemented.
+    }
+
+    #[test]
+    fn non_chunked_codings_stay_unimplemented() {
+        match parse("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n") {
+            Err(ParseError::Unsupported(d)) => assert!(d.contains("gzip"), "{d}"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_chunk_framing_is_malformed() {
+        // Non-hex size.
         assert!(matches!(
-            parse("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"),
-            Err(ReadError::Unsupported(_))
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n\r\n"),
+            Err(ParseError::Malformed(_))
         ));
+        // Chunk data not followed by CRLF.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabcX\r\n0\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        // Empty size line.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_chunked_bodies_are_rejected_incrementally() {
+        // A single declared chunk past the cap dies on the size line,
+        // before any payload is buffered.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nffffffff\r\n"),
+            Err(ParseError::TooLarge(_))
+        ));
+        // Many small chunks crossing the cap die at the crossing.
+        let mut p = RequestParser::new();
+        p.advance(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap();
+        let chunk = format!("{:x}\r\n{}\r\n", 1 << 20, "x".repeat(1 << 20));
+        let mut result = Ok(());
+        for _ in 0..=(MAX_BODY_BYTES >> 20) {
+            if let Err(e) = p.advance(chunk.as_bytes()).map(|_| ()) {
+                result = Err(e);
+                break;
+            }
+        }
+        assert!(matches!(result, Err(ParseError::TooLarge(_))));
     }
 
     #[test]
     fn oversized_bodies_are_rejected_without_reading_them() {
         let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
-        assert!(matches!(parse(&raw), Err(ReadError::TooLarge(_))));
+        assert!(matches!(parse(&raw), Err(ParseError::TooLarge(_))));
     }
 
     #[test]
-    fn early_eof_mid_body_is_malformed() {
-        match parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc") {
-            Err(ReadError::Malformed(d)) => assert!(d.contains("mid-body"), "{d}"),
-            other => panic!("expected Malformed, got {other:?}"),
-        }
+    fn huge_heads_are_rejected_mid_stream() {
+        let mut p = RequestParser::new();
+        let filler = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n", "y".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(p.advance(filler.as_bytes()), Err(ParseError::TooLarge(_))));
     }
 
     #[test]
-    fn exhausted_budget_is_a_timeout() {
-        // A zero budget expires on the very first byte.
-        let raw = "GET / HTTP/1.1\r\n\r\n";
-        let result =
-            read_request(&mut BufReader::new(raw.as_bytes()), Some(Duration::from_secs(0)));
-        assert!(matches!(result, Err(ReadError::Timeout(_))), "{result:?}");
+    fn incomplete_requests_report_started() {
+        let mut p = RequestParser::new();
+        assert!(!p.started());
+        p.advance(b"GET /he").unwrap();
+        assert!(p.started());
     }
 
     #[test]
@@ -514,5 +745,13 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
         assert!(text.contains("retry-after: 1\r\n"), "{text}");
+    }
+
+    #[test]
+    fn chunked_head_advertises_transfer_encoding() {
+        let head = encode_head(&Response::json(200, ""), true, Framing::Chunked);
+        let text = String::from_utf8(head).unwrap();
+        assert!(text.contains("transfer-encoding: chunked\r\n"), "{text}");
+        assert!(!text.contains("content-length"), "{text}");
     }
 }

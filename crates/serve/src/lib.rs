@@ -7,8 +7,17 @@
 //!   [`discretize::Discretizer`], vocabulary, class labels, and
 //!   provenance, so one file is sufficient to serve predictions on raw
 //!   continuous expression vectors.
-//! * [`http`] — a minimal dependency-free HTTP/1.1 reader/writer with
-//!   per-request wall-clock deadlines.
+//! * [`http`] — a minimal dependency-free HTTP/1.1 implementation built
+//!   as an incremental push parser ([`http::RequestParser`]), with
+//!   smuggling-safe `Transfer-Encoding: chunked` request decoding and
+//!   chunked response framing for large bodies.
+//! * [`sys`] — a raw-syscall shim (no `libc` crate): epoll/kqueue
+//!   readiness polling, a self-pipe waker, and an fd-limit helper.
+//! * `eventloop` (crate-private) — the event-driven connection core:
+//!   one thread owns
+//!   every socket, parses incrementally, enforces `--max-connections`
+//!   admission and per-request deadlines (timer wheel), and streams
+//!   responses with nonblocking writes; workers never touch a socket.
 //! * [`batcher`] — cross-connection adaptive micro-batching: workers
 //!   submit binarized queries to a bounded queue, one batcher thread
 //!   coalesces them (up to `--max-batch` or `--batch-wait-us`) and runs
@@ -32,10 +41,11 @@
 //!   reproducible sample of a primary model's requests is replayed
 //!   asynchronously against a candidate model and compared server-side
 //!   (prediction disagreements and latency, on `/metrics`).
-//! * [`server`] — a worker-pool TCP server exposing `/classify` (single
-//!   and batch), `/health`, `/model`, `/metrics`, `/reload`, and the
+//! * [`server`] — the TCP server exposing `/classify` (single and
+//!   batch), `/health`, `/model`, `/metrics`, `/reload`, and the
 //!   `/v1/models/*` registry API, with panic isolation (`catch_unwind`
-//!   → structured 500) and a supervisor that respawns dead workers.
+//!   → structured 500) and a supervisor that respawns dead workers; the
+//!   event loop owns connections, the pool owns compute.
 //! * [`chaos`] — deterministic fault injection at named sites (enabled
 //!   under `cfg(test)` or the `chaos` feature; compiled out otherwise),
 //!   driving the chaos integration test that *measures* the above
@@ -54,6 +64,7 @@
 pub mod batcher;
 pub mod bundle;
 pub mod chaos;
+pub(crate) mod eventloop;
 pub mod http;
 pub mod metrics;
 pub mod queue;
@@ -61,6 +72,8 @@ pub mod registry;
 pub mod router;
 pub mod server;
 pub mod shadow;
+pub mod sys;
+pub(crate) mod timer;
 
 pub use batcher::{Batcher, BatcherConfig};
 pub use bundle::{BundleError, ModelBundle, Prediction, Provenance, FORMAT_VERSION};

@@ -62,6 +62,10 @@ pub struct Metrics {
     /// Connections a worker claimed from the queue (every accepted
     /// connection ends up exactly once in `shed` or `handled`).
     conns_handled: AtomicU64,
+    /// Gauge: connections currently registered with the event loop. A
+    /// nonzero value after traffic has fully drained means a leaked
+    /// connection slot.
+    conns_open: AtomicU64,
     /// Handler panics converted into 500 responses by `catch_unwind`.
     panics_caught: AtomicU64,
     /// Dead workers replaced by the supervisor.
@@ -204,6 +208,11 @@ impl Metrics {
         self.conns_handled.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Sets the open-connections gauge (event-loop registered sockets).
+    pub fn set_conns_open(&self, n: u64) {
+        self.conns_open.store(n, Ordering::Relaxed);
+    }
+
     /// Records a handler panic that was isolated into a 500 response.
     pub fn record_panic_caught(&self) {
         self.panics_caught.fetch_add(1, Ordering::Relaxed);
@@ -296,6 +305,7 @@ impl Metrics {
             conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
             conns_shed: self.conns_shed.load(Ordering::Relaxed),
             conns_handled: self.conns_handled.load(Ordering::Relaxed),
+            conns_open: self.conns_open.load(Ordering::Relaxed),
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             workers_alive: self.workers_alive.load(Ordering::Relaxed),
@@ -381,6 +391,11 @@ impl Metrics {
                 counter.load(Ordering::Relaxed)
             );
         }
+        let _ = writeln!(
+            out,
+            "# TYPE bstc_connections_open gauge\nbstc_connections_open {}",
+            self.conns_open.load(Ordering::Relaxed)
+        );
         let _ = writeln!(
             out,
             "# TYPE bstc_panics_caught_total counter\nbstc_panics_caught_total {}",
@@ -494,6 +509,8 @@ pub struct MetricsSnapshot {
     pub conns_shed: u64,
     /// Connections claimed (and eventually finished) by a worker.
     pub conns_handled: u64,
+    /// Connections currently registered with the event loop (gauge).
+    pub conns_open: u64,
     /// Handler panics isolated into 500s.
     pub panics_caught: u64,
     /// Dead workers replaced by the supervisor.

@@ -1,7 +1,8 @@
-//! The concurrent inference server: a `TcpListener` acceptor feeding a
-//! fixed pool of worker threads over a bounded hand-off queue, with the
-//! live [`ModelBundle`] behind `RwLock<Arc<...>>` so `POST /reload` can
-//! hot-swap models while classify traffic keeps flowing.
+//! The concurrent inference server: an event-driven connection core
+//! (one thread owning every socket — the `eventloop` module) feeding
+//! a fixed pool of compute workers over a bounded hand-off queue, with
+//! the live [`ModelBundle`] behind `RwLock<Arc<...>>` so `POST /reload`
+//! can hot-swap models while classify traffic keeps flowing.
 //!
 //! Endpoints:
 //!
@@ -18,8 +19,8 @@
 //!
 //! ## Fault tolerance
 //!
-//! The serving loop is designed so no single request — however hostile —
-//! can degrade the pool:
+//! The serving stack is designed so no single request — however hostile
+//! — can degrade the pool:
 //!
 //! * **Panic isolation**: each request handler runs under
 //!   `catch_unwind`; a panic becomes a `500 {"error":"internal_error"}`
@@ -27,30 +28,37 @@
 //! * **Self-healing**: a supervisor thread reaps any worker that does
 //!   die and spawns a replacement (`bstc_workers_respawned_total`), so
 //!   the pool returns to full strength without intervention.
-//! * **Bounded admission**: the acceptor→worker hand-off is a
-//!   fixed-depth, poison-free queue; when it is full new connections are
+//! * **Bounded admission**: the loop→worker hand-off is a fixed-depth,
+//!   poison-free queue, and concurrent connections are capped at
+//!   [`ServerConfig::max_connections`]; past either limit the client is
 //!   immediately answered `503 {"error":"overloaded"}` with
 //!   `Retry-After`, keeping the latency of admitted requests bounded
 //!   instead of growing a queue without limit.
+//! * **Workers never block on clients**: sockets live exclusively with
+//!   the event loop; a slow or idle client costs a parser state and an
+//!   fd, not a worker thread. Ten thousand idle keep-alive connections
+//!   leave the pool fully available.
 //! * **Request deadlines**: a wall-clock budget
-//!   ([`ServerConfig::request_timeout`]) covers head read, body read,
-//!   and classification; slow-loris clients and stalled reads become
-//!   clean 408s. Graceful shutdown drains in-flight work under
-//!   [`ServerConfig::drain_timeout`].
+//!   ([`ServerConfig::request_timeout`]) runs from a request's first
+//!   byte through its response; slow-loris clients and stalled reads
+//!   become clean 408s via the loop's timer wheel. Graceful shutdown
+//!   drains in-flight work under [`ServerConfig::drain_timeout`].
 
 use crate::batcher::{Batcher, BatcherConfig, Completion, Outcome};
 use crate::bundle::{ModelBundle, Prediction, FORMAT_VERSION};
 use crate::chaos;
-use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::eventloop::{Completions, Done, EventLoop, LoopConfig, WorkItem};
+use crate::http::{Request, Response};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, Pop};
 use crate::registry::{ModelRegistry, ModelVersion, RegistryError};
 use crate::router::{route_of, Route};
 use crate::shadow::{ShadowExecutor, ShadowJob, ShadowRoute, ShadowSpec};
+use crate::sys;
 use bstc::Scratch;
 use serde_json::{json, Value};
-use std::io::{self, BufReader, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -68,9 +76,18 @@ pub struct ServerConfig {
     pub threads: usize,
     /// File `POST /reload` re-reads; `None` disables reloading.
     pub bundle_path: Option<PathBuf>,
-    /// Accepted connections that may wait for a worker; arrivals beyond
-    /// this are shed with `503` + `Retry-After` instead of queued.
+    /// Parsed requests that may wait for a worker; requests beyond this
+    /// are shed with `503` + `Retry-After` instead of queued.
     pub queue_depth: usize,
+    /// Concurrent-connection cap (`--max-connections`); arrivals beyond
+    /// it are answered `503` + `Retry-After` immediately. Idle
+    /// keep-alive connections count — each costs only an fd and a
+    /// parser state, so the cap can sit in the tens of thousands.
+    pub max_connections: usize,
+    /// Response bodies larger than this many bytes stream to HTTP/1.1
+    /// clients with `transfer-encoding: chunked` (`--chunk-threshold`);
+    /// 0 disables chunked responses.
+    pub chunk_threshold: usize,
     /// Wall-clock budget per request, from its first byte through
     /// classification; exceeding it answers `408`. `None` disables the
     /// deadline (not recommended outside tests).
@@ -115,6 +132,8 @@ impl Default for ServerConfig {
             threads: 0,
             bundle_path: None,
             queue_depth: 256,
+            max_connections: 10_000,
+            chunk_threshold: 64 * 1024,
             request_timeout: Some(Duration::from_secs(10)),
             drain_timeout: Duration::from_secs(5),
             max_batch: 32,
@@ -129,28 +148,28 @@ impl Default for ServerConfig {
     }
 }
 
-/// State shared by every worker.
-struct Shared {
+/// State shared by the event loop and every worker.
+pub(crate) struct Shared {
     /// The model fleet: every named version, swaps, compiled residency.
-    registry: Arc<ModelRegistry>,
+    pub(crate) registry: Arc<ModelRegistry>,
     /// Shared with the batcher thread, which records batch metrics.
-    metrics: Arc<Metrics>,
+    pub(crate) metrics: Arc<Metrics>,
     /// The cross-connection micro-batcher; `None` when `max_batch` is 0
     /// (workers then classify inline, the pre-batching behavior).
-    batcher: Option<Batcher>,
+    pub(crate) batcher: Option<Batcher>,
     /// The asynchronous shadow replayer; `None` without `--shadow`.
-    shadow: Option<ShadowExecutor>,
+    pub(crate) shadow: Option<ShadowExecutor>,
     /// Per-primary shadow sampling state, resolved against the registry
     /// at boot (name-ordered, tiny: linear lookup).
-    shadow_routes: Vec<ShadowRoute>,
-    shutting_down: AtomicBool,
-    queue: BoundedQueue<TcpStream>,
-    /// Overflow lane: connections refused admission wait here for the
-    /// shedder thread to answer them `503`, so writing rejections never
-    /// stalls the acceptor (and accepted connections behind it).
-    shed_queue: BoundedQueue<TcpStream>,
-    request_timeout: Option<Duration>,
-    drain_timeout: Duration,
+    pub(crate) shadow_routes: Vec<ShadowRoute>,
+    pub(crate) shutting_down: AtomicBool,
+    /// Loop → workers: fully parsed requests awaiting compute. Full
+    /// means the loop sheds the request with an immediate `503`.
+    pub(crate) queue: BoundedQueue<WorkItem>,
+    /// Workers → loop: finished responses plus the wake pipe.
+    pub(crate) completions: Completions,
+    pub(crate) request_timeout: Option<Duration>,
+    pub(crate) drain_timeout: Duration,
 }
 
 impl Shared {
@@ -166,15 +185,14 @@ impl Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: JoinHandle<()>,
-    shedder: JoinHandle<()>,
+    loop_thread: JoinHandle<()>,
     supervisor: JoinHandle<()>,
     batcher_thread: Option<JoinHandle<()>>,
     shadow_thread: Option<JoinHandle<()>>,
 }
 
-/// Idle keep-alive connections and the worker queue are polled at this
-/// cadence so workers notice shutdown promptly.
+/// The worker queue is polled at this cadence so workers notice
+/// shutdown promptly.
 const IDLE_POLL: Duration = Duration::from_millis(250);
 
 /// How often the supervisor checks the pool for dead workers.
@@ -222,8 +240,8 @@ pub fn serve_models(config: ServerConfig) -> io::Result<ServerHandle> {
 }
 
 /// The common boot path: bind, validate shadow directives, spawn the
-/// worker pool, batcher, shadow executor, acceptor, shedder, and
-/// supervisor around an already-built registry.
+/// worker pool, batcher, shadow executor, event loop, and supervisor
+/// around an already-built registry.
 fn serve_registry(
     config: ServerConfig,
     registry: Arc<ModelRegistry>,
@@ -276,6 +294,7 @@ fn serve_registry(
     } else {
         (None, None)
     };
+    let (wake_rx, waker) = sys::wake_pair()?;
     let shared = Arc::new(Shared {
         registry,
         metrics,
@@ -284,10 +303,28 @@ fn serve_registry(
         shadow_routes,
         shutting_down: AtomicBool::new(false),
         queue: BoundedQueue::new(config.queue_depth),
-        shed_queue: BoundedQueue::new(config.queue_depth.max(64)),
+        completions: Completions::new(waker),
         request_timeout: config.request_timeout,
         drain_timeout: config.drain_timeout,
     });
+
+    // The loop is built on this thread so bind/registration failures
+    // surface as boot errors, then moves onto its own thread.
+    let mut event_loop = EventLoop::new(
+        listener,
+        wake_rx,
+        Arc::clone(&shared),
+        LoopConfig {
+            max_connections: config.max_connections.max(1),
+            request_timeout: config.request_timeout,
+            drain_timeout: config.drain_timeout,
+            chunk_threshold: config.chunk_threshold,
+        },
+    )?;
+    let loop_thread = std::thread::Builder::new()
+        .name("bstc-serve-eventloop".into())
+        .spawn(move || event_loop.run())
+        .expect("spawn event loop");
 
     let n_workers = if config.threads == 0 {
         std::thread::available_parallelism().map_or(2, |n| n.get())
@@ -299,44 +336,6 @@ fn serve_registry(
     let workers: Vec<JoinHandle<()>> =
         (0..n_workers).map(|i| spawn_worker(i, Arc::clone(&shared))).collect();
 
-    let acceptor = {
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("bstc-serve-acceptor".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.shutting_down.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    shared.metrics.record_conn_accepted();
-                    if let Err(stream) = shared.queue.push(stream) {
-                        // Counted here, not in the shedder, so the ledger
-                        // (accepted == handled + shed) balances even when
-                        // the overflow lane itself is full and the
-                        // connection is dropped without a response.
-                        shared.metrics.record_conn_shed();
-                        drop(shared.shed_queue.push(stream));
-                    }
-                }
-            })
-            .expect("spawn acceptor")
-    };
-
-    let shedder = {
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("bstc-serve-shedder".into())
-            .spawn(move || loop {
-                match shared.shed_queue.pop(IDLE_POLL) {
-                    Pop::Item(stream) => shed(stream),
-                    Pop::Empty => continue,
-                    Pop::Closed => break,
-                }
-            })
-            .expect("spawn shedder")
-    };
-
     let supervisor = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
@@ -345,7 +344,7 @@ fn serve_registry(
             .expect("spawn supervisor")
     };
 
-    Ok(ServerHandle { addr, shared, acceptor, shedder, supervisor, batcher_thread, shadow_thread })
+    Ok(ServerHandle { addr, shared, loop_thread, supervisor, batcher_thread, shadow_thread })
 }
 
 /// Spawns one pool worker. `generation` only names the thread.
@@ -359,22 +358,63 @@ fn spawn_worker(generation: usize, shared: Arc<Shared>) -> JoinHandle<()> {
             // /reload swaps in a larger model.
             let mut scratch = Scratch::new();
             loop {
-                // Chaos site: hard worker death, *before* a connection is
+                // Chaos site: hard worker death, *before* a request is
                 // claimed, so an injected kill never orphans a client.
                 chaos::point("worker");
                 match shared.queue.pop(IDLE_POLL) {
-                    Pop::Item(stream) => {
-                        // Counted at claim time: accepted == handled + shed
-                        // holds even if this worker dies mid-connection.
-                        shared.metrics.record_conn_handled();
-                        handle_connection(&shared, stream, &mut scratch);
-                    }
+                    Pop::Item(item) => process(&shared, item, &mut scratch),
                     Pop::Empty => continue,
                     Pop::Closed => break,
                 }
             }
         })
         .expect("spawn worker")
+}
+
+/// Executes one parsed request and delivers the response back to the
+/// event loop. Pure compute: no socket is touched here, so a hostile or
+/// slow client can never pin a worker.
+fn process(shared: &Shared, item: WorkItem, scratch: &mut Scratch) {
+    let WorkItem { token, gen, request, started } = item;
+    let request_id = accept_or_mint_request_id(&request);
+    let deadline = shared.request_timeout.map(|budget| started + budget);
+    // Panic isolation: whatever a handler does, the worker survives and
+    // the client gets a structured 500.
+    let response = match catch_unwind(AssertUnwindSafe(|| {
+        route(shared, &request, scratch, deadline, &request_id)
+    })) {
+        Ok(response) => response,
+        Err(_) => {
+            // The unwound handler may have left the scratch
+            // mid-mutation; replace it wholesale.
+            *scratch = Scratch::new();
+            shared.metrics.record_panic_caught();
+            error_response(500, "internal_error", "request handler panicked; the worker recovered")
+        }
+    };
+    let response = response.with_header("x-request-id", request_id.clone());
+    let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.record_request(&request.path, response.status);
+    shared.metrics.record_route_latency(&request.path, latency_us);
+    let status = response.status.to_string();
+    let latency = latency_us.to_string();
+    let mut fields: Vec<(&str, &str)> = vec![
+        ("request_id", request_id.as_str()),
+        ("method", request.method.as_str()),
+        ("path", request.path.as_str()),
+        ("status", status.as_str()),
+        ("latency_us", latency.as_str()),
+    ];
+    // Joins this request to the classify_batch span that served it (the
+    // batcher logged batch_id → request_ids).
+    let batch_id = response.headers.iter().find(|(k, _)| *k == "x-batch-id").map(|(_, v)| v);
+    if let Some(batch_id) = batch_id {
+        fields.push(("batch_id", batch_id.as_str()));
+    }
+    obs::log::info("request", &fields);
+    let keep_alive =
+        request.keep_alive && response.status < 500 && !shared.shutting_down.load(Ordering::SeqCst);
+    shared.completions.push(Done { token, gen, response, keep_alive });
 }
 
 /// Reaps dead workers, respawns them while the server is live, and
@@ -414,27 +454,6 @@ fn supervise(shared: Arc<Shared>, mut workers: Vec<JoinHandle<()>>) {
     }
 }
 
-/// Answers an un-admittable connection with `503` + `Retry-After` and
-/// closes it. The write is bounded so a hostile client cannot stall the
-/// shedder, and the close lingers briefly (the client's request was never
-/// read, so an abrupt close would RST the 503 out of its receive buffer).
-fn shed(mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    let response = error_response(503, "overloaded", "server is at capacity; retry shortly")
-        .with_header("retry-after", "1");
-    let _ = write_response(&mut stream, &response, false);
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let started = Instant::now();
-    let mut sink = [0u8; 4096];
-    while started.elapsed() < Duration::from_millis(100) {
-        match stream.read(&mut sink) {
-            Ok(0) | Err(_) => break, // client saw the 503 and closed
-            Ok(_) => continue,
-        }
-    }
-}
-
 impl ServerHandle {
     /// The actually bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
@@ -447,17 +466,17 @@ impl ServerHandle {
     }
 
     /// Stops accepting, drains queued and in-flight connections (up to
-    /// the configured drain deadline), and joins every thread.
-    pub fn shutdown(self) {
+    /// the configured drain deadline), and joins every thread. Returns
+    /// the final metrics snapshot so callers can audit the settled
+    /// ledger after every thread is gone.
+    pub fn shutdown(self) -> MetricsSnapshot {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // Nudge the blocking accept() so the acceptor observes the flag.
-        let _ = TcpStream::connect(self.addr);
-        let _ = self.acceptor.join();
-        // Closing the queues lets workers (and the shedder) drain what
-        // was admitted, then exit; the supervisor stops respawning and
-        // joins the workers.
-        self.shared.shed_queue.close();
-        let _ = self.shedder.join();
+        // Nudge the poller so the loop observes the flag, begins its
+        // drain (stop accepting, finish in-flight work), and exits.
+        self.shared.completions.wake();
+        let _ = self.loop_thread.join();
+        // Closing the queue lets workers drain what was dispatched, then
+        // exit; the supervisor stops respawning and joins the workers.
         self.shared.queue.close();
         let _ = self.supervisor.join();
         // Workers are gone, so no further submissions: close the batcher
@@ -478,150 +497,13 @@ impl ServerHandle {
         if let Some(thread) = self.shadow_thread {
             let _ = thread.join();
         }
+        self.shared.metrics.snapshot()
     }
 
     /// Blocks until the server stops (i.e. forever, absent a signal).
     pub fn wait(self) {
-        let _ = self.acceptor.join();
-        let _ = self.shedder.join();
+        let _ = self.loop_thread.join();
         let _ = self.supervisor.join();
-    }
-}
-
-/// Serves one TCP connection, looping while the client keeps it alive.
-fn handle_connection(shared: &Shared, stream: TcpStream, scratch: &mut Scratch) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
-    // A stalled reader cannot pin the worker on the write side either.
-    let _ =
-        stream.set_write_timeout(Some(shared.request_timeout.unwrap_or(Duration::from_secs(10))));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        match read_request(&mut reader, shared.request_timeout) {
-            Ok((request, started)) => {
-                let request_id = accept_or_mint_request_id(&request);
-                let deadline = shared.request_timeout.map(|budget| started + budget);
-                // Panic isolation: whatever a handler does, the worker
-                // survives and the client gets a structured 500.
-                let response = match catch_unwind(AssertUnwindSafe(|| {
-                    route(shared, &request, scratch, deadline, &request_id)
-                })) {
-                    Ok(response) => response,
-                    Err(_) => {
-                        // The unwound handler may have left the scratch
-                        // mid-mutation; replace it wholesale.
-                        *scratch = Scratch::new();
-                        shared.metrics.record_panic_caught();
-                        error_response(
-                            500,
-                            "internal_error",
-                            "request handler panicked; the worker recovered",
-                        )
-                    }
-                };
-                let response = response.with_header("x-request-id", request_id.clone());
-                let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-                shared.metrics.record_request(&request.path, response.status);
-                shared.metrics.record_route_latency(&request.path, latency_us);
-                let status = response.status.to_string();
-                let latency = latency_us.to_string();
-                let mut fields: Vec<(&str, &str)> = vec![
-                    ("request_id", request_id.as_str()),
-                    ("method", request.method.as_str()),
-                    ("path", request.path.as_str()),
-                    ("status", status.as_str()),
-                    ("latency_us", latency.as_str()),
-                ];
-                // Joins this request to the classify_batch span that
-                // served it (the batcher logged batch_id → request_ids).
-                let batch_id =
-                    response.headers.iter().find(|(k, _)| *k == "x-batch-id").map(|(_, v)| v);
-                if let Some(batch_id) = batch_id {
-                    fields.push(("batch_id", batch_id.as_str()));
-                }
-                obs::log::info("request", &fields);
-                let keep_alive = request.keep_alive
-                    && response.status < 500
-                    && !shared.shutting_down.load(Ordering::SeqCst);
-                let wrote = chaos::io_point("write")
-                    .and_then(|()| write_response(&mut writer, &response, keep_alive));
-                if wrote.is_err() || !keep_alive {
-                    return;
-                }
-            }
-            Err(ReadError::Closed) => return,
-            Err(ReadError::Idle) => {
-                // Idle keep-alive connection: poll the shutdown flag.
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-            Err(ReadError::Timeout(detail)) => {
-                let body = error_body("request_timeout", &detail);
-                shared.metrics.record_request("timeout", 408);
-                if write_response(&mut writer, &Response::json(408, body), false).is_ok() {
-                    drain_then_close(&mut reader);
-                }
-                return;
-            }
-            Err(ReadError::Io(_)) => return,
-            Err(ReadError::Malformed(detail)) => {
-                let body = error_body("malformed_request", &detail);
-                shared.metrics.record_request("malformed", 400);
-                if write_response(&mut writer, &Response::json(400, body), false).is_ok() {
-                    drain_then_close(&mut reader);
-                }
-                return;
-            }
-            Err(ReadError::TooLarge(detail)) => {
-                let body = error_body("payload_too_large", &detail);
-                shared.metrics.record_request("malformed", 413);
-                if write_response(&mut writer, &Response::json(413, body), false).is_ok() {
-                    drain_then_close(&mut reader);
-                }
-                return;
-            }
-            Err(ReadError::Unsupported(detail)) => {
-                // E.g. Transfer-Encoding: the unread body would desync the
-                // connection if kept alive, so refuse and linger-close.
-                let body = error_body("not_implemented", &detail);
-                shared.metrics.record_request("unsupported", 501);
-                obs::log::warn("unsupported_request", &[("detail", detail.as_str())]);
-                if write_response(&mut writer, &Response::json(501, body), false).is_ok() {
-                    drain_then_close(&mut reader);
-                }
-                return;
-            }
-        }
-    }
-}
-
-/// Lingering close after an error response on a connection with unread
-/// input: without it, closing the socket while client bytes are still
-/// in flight raises a TCP RST that can destroy the very 4xx we just
-/// wrote before the client reads it. Sends FIN, then discards input
-/// briefly so the response survives the close.
-fn drain_then_close(reader: &mut BufReader<TcpStream>) {
-    use std::io::Read as _;
-    let stream = reader.get_ref();
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let deadline = Instant::now() + Duration::from_millis(500);
-    let mut sink = [0u8; 4096];
-    while Instant::now() < deadline {
-        match reader.read(&mut sink) {
-            Ok(0) => break,
-            Ok(_) => continue,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                continue
-            }
-            Err(_) => break,
-        }
     }
 }
 
@@ -641,7 +523,7 @@ fn accept_or_mint_request_id(request: &Request) -> String {
 }
 
 /// `{"error": code, "detail": detail}` as bytes.
-fn error_body(code: &str, detail: &str) -> Vec<u8> {
+pub(crate) fn error_body(code: &str, detail: &str) -> Vec<u8> {
     serde_json::to_string(&json!({"error": code, "detail": detail}))
         .unwrap_or_else(|_| format!("{{\"error\":\"{code}\"}}"))
         .into_bytes()
@@ -1081,6 +963,7 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         let registry = ModelRegistry::new("default", 0, Arc::clone(&metrics));
         registry.insert("default", toy_bundle(), None).unwrap();
+        let (_wake_rx, waker) = sys::wake_pair().unwrap();
         Shared {
             registry: Arc::new(registry),
             metrics,
@@ -1089,7 +972,7 @@ mod tests {
             shadow_routes: Vec::new(),
             shutting_down: AtomicBool::new(false),
             queue: BoundedQueue::new(4),
-            shed_queue: BoundedQueue::new(4),
+            completions: Completions::new(waker),
             request_timeout: Some(Duration::from_secs(10)),
             drain_timeout: Duration::from_secs(1),
         }
@@ -1105,6 +988,7 @@ mod tests {
                 headers: vec![],
                 body: body.as_bytes().to_vec(),
                 keep_alive: false,
+                http11: true,
             },
             &mut scratch,
             None,
@@ -1164,6 +1048,7 @@ mod tests {
                 headers: vec![],
                 body: vec![],
                 keep_alive: false,
+                http11: true,
             },
             &mut scratch,
             None,
@@ -1300,6 +1185,7 @@ mod tests {
             headers: vec![],
             body: b"{\"values\": [1.0, 4.0]}".to_vec(),
             keep_alive: false,
+            http11: true,
         };
         let expired = Instant::now() - Duration::from_millis(1);
         let r = route(&s, &request, &mut scratch, Some(expired), "test-req");

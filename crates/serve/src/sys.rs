@@ -1,0 +1,564 @@
+//! Raw-syscall shim for the event loop: readiness polling (epoll on
+//! Linux, kqueue on macOS), a self-pipe waker, and an fd-limit helper.
+//!
+//! The serve crate is std-only — no `libc` crate — so the handful of
+//! syscalls the event loop needs are declared here as `extern "C"`
+//! bindings against the platform libc that std already links. The shim
+//! exposes a tiny level-triggered `Poller` (register / modify /
+//! deregister / wait) keyed by opaque `u64` tokens, plus a `Waker`
+//! (nonblocking pipe) that worker threads use to nudge the loop when a
+//! completed response is ready to write.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+use std::os::raw::{c_int, c_void};
+
+extern "C" {
+    fn close(fd: c_int) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+}
+
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+#[cfg(target_os = "linux")]
+const O_NONBLOCK: c_int = 0x800;
+#[cfg(not(target_os = "linux"))]
+const O_NONBLOCK: c_int = 0x4;
+
+#[cfg(target_os = "linux")]
+const RLIMIT_NOFILE: c_int = 7;
+#[cfg(not(target_os = "linux"))]
+const RLIMIT_NOFILE: c_int = 8;
+
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: fcntl on an owned fd with valid F_GETFL/F_SETFL arguments.
+    unsafe {
+        let flags = fcntl(fd, F_GETFL, 0);
+        if flags < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Raise the process fd limit to at least `want` descriptors (soft limit,
+/// capped by the hard limit). Used by the idle-connection soak bench,
+/// which holds thousands of sockets in one process. Returns the resulting
+/// soft limit.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = Rlimit { rlim_cur: 0, rlim_max: 0 };
+    // SAFETY: plain struct out-parameter; RLIMIT_NOFILE is valid.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.rlim_cur >= want {
+        return Ok(lim.rlim_cur);
+    }
+    let target = want.min(lim.rlim_max);
+    let new = Rlimit { rlim_cur: target, rlim_max: lim.rlim_max };
+    // SAFETY: raising the soft limit within the hard limit is always legal.
+    if unsafe { setrlimit(RLIMIT_NOFILE, &new) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(target)
+}
+
+/// One readiness notification from `Poller::wait`.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Peer closed its write half (or the connection errored). The loop
+    /// still drains any buffered input before closing.
+    pub hangup: bool,
+}
+
+/// What a registered fd should be watched for. Hangup/error conditions
+/// are always reported regardless of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+}
+
+// ---------------------------------------------------------------------------
+// Linux: epoll
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::*;
+
+    // On x86 and x86_64 the kernel ABI packs epoll_event to 12 bytes;
+    // other architectures use natural alignment.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    pub struct Poller {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: epoll_create1 with a valid flag; fd ownership is ours.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd, buf: vec![EpollEvent { events: 0, data: 0 }; 1024] })
+        }
+
+        fn mask(interest: Interest) -> u32 {
+            let mut m = EPOLLRDHUP;
+            if interest.readable {
+                m |= EPOLLIN;
+            }
+            if interest.writable {
+                m |= EPOLLOUT;
+            }
+            m
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent { events: Self::mask(interest), data: token };
+            // SAFETY: epfd and fd are live descriptors; ev outlives the call.
+            if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            // SAFETY: DEL ignores the event argument on modern kernels but a
+            // valid pointer keeps pre-2.6.9 semantics happy too.
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            if unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let ms: c_int = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as c_int,
+            };
+            // SAFETY: buf is a live, correctly-sized array of EpollEvent.
+            let n = unsafe {
+                epoll_wait(self.epfd, self.buf.as_mut_ptr(), self.buf.len() as c_int, ms)
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for ev in &self.buf[..n as usize] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & EPOLLIN != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: we own epfd.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// macOS: kqueue
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "macos")]
+mod imp {
+    use super::*;
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    #[repr(C)]
+    struct Kevent {
+        ident: usize,
+        filter: i16,
+        flags: u16,
+        fflags: u32,
+        data: isize,
+        udata: *mut c_void,
+    }
+
+    extern "C" {
+        fn kqueue() -> c_int;
+        fn kevent(
+            kq: c_int,
+            changelist: *const Kevent,
+            nchanges: c_int,
+            eventlist: *mut Kevent,
+            nevents: c_int,
+            timeout: *const Timespec,
+        ) -> c_int;
+    }
+
+    const EVFILT_READ: i16 = -1;
+    const EVFILT_WRITE: i16 = -2;
+    const EV_ADD: u16 = 0x1;
+    const EV_DELETE: u16 = 0x2;
+    const EV_EOF: u16 = 0x8000;
+    const EV_ERROR: u16 = 0x4000;
+
+    pub struct Poller {
+        kq: RawFd,
+        buf: Vec<Kevent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: kqueue() allocates a descriptor we then own.
+            let kq = unsafe { kqueue() };
+            if kq < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let mut buf = Vec::with_capacity(1024);
+            buf.resize_with(1024, || Kevent {
+                ident: 0,
+                filter: 0,
+                flags: 0,
+                fflags: 0,
+                data: 0,
+                udata: std::ptr::null_mut(),
+            });
+            Ok(Poller { kq, buf })
+        }
+
+        fn change(&self, fd: RawFd, filter: i16, flags: u16, token: u64) -> io::Result<()> {
+            let ev = Kevent {
+                ident: fd as usize,
+                filter,
+                flags,
+                fflags: 0,
+                data: 0,
+                udata: token as *mut c_void,
+            };
+            // SAFETY: single well-formed changelist entry, no eventlist.
+            if unsafe { kevent(self.kq, &ev, 1, std::ptr::null_mut(), 0, std::ptr::null()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn apply(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if interest.readable {
+                self.change(fd, EVFILT_READ, EV_ADD, token)?;
+            } else {
+                let _ = self.change(fd, EVFILT_READ, EV_DELETE, token);
+            }
+            if interest.writable {
+                self.change(fd, EVFILT_WRITE, EV_ADD, token)?;
+            } else {
+                let _ = self.change(fd, EVFILT_WRITE, EV_DELETE, token);
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.apply(fd, token, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.apply(fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let _ = self.change(fd, EVFILT_READ, EV_DELETE, 0);
+            let _ = self.change(fd, EVFILT_WRITE, EV_DELETE, 0);
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let ts;
+            let ts_ptr = match timeout {
+                None => std::ptr::null(),
+                Some(d) => {
+                    ts = Timespec { tv_sec: d.as_secs() as i64, tv_nsec: d.subsec_nanos() as i64 };
+                    &ts as *const Timespec
+                }
+            };
+            // SAFETY: buf is a live, correctly-sized eventlist.
+            let n = unsafe {
+                kevent(
+                    self.kq,
+                    std::ptr::null(),
+                    0,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    ts_ptr,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for ev in &self.buf[..n as usize] {
+                out.push(Event {
+                    token: ev.udata as u64,
+                    readable: ev.filter == EVFILT_READ,
+                    writable: ev.filter == EVFILT_WRITE,
+                    hangup: ev.flags & (EV_EOF | EV_ERROR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: we own kq.
+            unsafe {
+                close(self.kq);
+            }
+        }
+    }
+}
+
+#[cfg(not(any(target_os = "linux", target_os = "macos")))]
+compile_error!("the serve event loop supports Linux (epoll) and macOS (kqueue) only");
+
+pub use imp::Poller;
+
+// ---------------------------------------------------------------------------
+// Self-pipe waker
+// ---------------------------------------------------------------------------
+
+/// The read half of a nonblocking self-pipe, owned by the event loop and
+/// registered with the poller. `drain` empties pending wake bytes.
+pub struct WakeReceiver {
+    fd: RawFd,
+}
+
+impl WakeReceiver {
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Consume all pending wake bytes.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: reading into a stack buffer from an fd we own.
+            let n = unsafe { read(self.fd, buf.as_mut_ptr() as *mut c_void, buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakeReceiver {
+    fn drop(&mut self) {
+        // SAFETY: we own the read end.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+/// The write half of the self-pipe. Cloneable across worker threads; a
+/// single byte per `wake` is enough (the loop drains in bulk), and a full
+/// pipe already guarantees a pending wakeup, so EAGAIN is ignored.
+pub struct Waker {
+    fd: RawFd,
+}
+
+// SAFETY: write(2) on a shared fd is atomic per call; the fd stays valid
+// for the lifetime of the Waker (closed only on drop of the last owner —
+// we never clone the owning struct, workers share it behind an Arc).
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    pub fn wake(&self) {
+        let byte = [1u8];
+        // SAFETY: writing one byte from a stack buffer to an fd we own.
+        unsafe {
+            write(self.fd, byte.as_ptr() as *const c_void, 1);
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: we own the write end.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+/// Create the wake pipe: (loop-side receiver, worker-side sender).
+pub fn wake_pair() -> io::Result<(WakeReceiver, Waker)> {
+    let mut fds = [0 as c_int; 2];
+    // SAFETY: pipe() fills a 2-element array.
+    if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let (r, w) = (fds[0], fds[1]);
+    for fd in [r, w] {
+        if let Err(e) = set_nonblocking(fd) {
+            // SAFETY: cleaning up fds we just created.
+            unsafe {
+                close(r);
+                close(w);
+            }
+            return Err(e);
+        }
+    }
+    Ok((WakeReceiver { fd: r }, Waker { fd: w }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn poller_reports_readability_and_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(listener.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "no connection yet → timeout, no events");
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"x").unwrap();
+        poller.wait(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+    }
+
+    #[test]
+    fn wake_pair_round_trips_through_poller() {
+        let (rx, tx) = wake_pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(rx.fd(), 42, Interest::READ).unwrap();
+
+        tx.wake();
+        tx.wake();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+        rx.drain();
+
+        // Drained: next wait times out.
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.iter().all(|e| e.token != 42));
+    }
+
+    #[test]
+    fn interest_modify_switches_direction() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        // A fresh connected socket is writable but not readable.
+        poller.register(server.as_raw_fd(), 1, Interest::WRITE).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+
+        // Drop write interest: nothing fires even though still writable.
+        poller.modify(server.as_raw_fd(), 1, Interest::NONE).unwrap();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.iter().all(|e| !e.writable));
+        drop(client);
+    }
+
+    #[test]
+    fn raise_nofile_limit_is_monotone() {
+        let before = raise_nofile_limit(64).unwrap();
+        assert!(before >= 64);
+    }
+}

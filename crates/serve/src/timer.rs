@@ -1,0 +1,172 @@
+//! Coarse hashed timer wheel for per-connection deadlines.
+//!
+//! The event loop arms one deadline per connection (request deadline,
+//! write stall, or close-linger) and cancels lazily: each entry carries a
+//! generation number, and the connection bumps its generation whenever
+//! the deadline is disarmed or re-armed, so stale entries fall out on
+//! expiry instead of requiring O(n) removal. Entries further out than one
+//! wheel revolution re-hash when their slot comes around.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: u64,
+    gen: u64,
+    deadline: Instant,
+}
+
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    granularity: Duration,
+    /// Wall time of the cursor's slot boundary.
+    base: Instant,
+    cursor: usize,
+    len: usize,
+}
+
+impl TimerWheel {
+    pub fn new(granularity: Duration, slots: usize) -> TimerWheel {
+        assert!(slots >= 2 && granularity > Duration::ZERO);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            granularity,
+            base: Instant::now(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Arm a deadline for `(token, gen)`. Multiple entries for one token
+    /// may coexist; only the one matching the connection's current
+    /// generation is honored by the caller.
+    pub fn insert(&mut self, token: u64, gen: u64, deadline: Instant) {
+        // Round up so an entry never lands in a slot that expires before
+        // its deadline; cap at one revolution — far-out entries re-hash
+        // when their slot comes around.
+        let ticks = if deadline <= self.base {
+            1
+        } else {
+            let d = deadline - self.base;
+            (d.as_nanos() / self.granularity.as_nanos()) as usize + 1
+        };
+        let capped = ticks.clamp(1, self.slots.len() - 1);
+        let slot = (self.cursor + capped) % self.slots.len();
+        self.slots[slot].push(Entry { token, gen, deadline });
+        self.len += 1;
+    }
+
+    /// Advance the wheel to `now` and collect every `(token, gen)` whose
+    /// deadline has passed. Entries that hashed early (deadline beyond one
+    /// revolution) are re-inserted rather than reported.
+    pub fn expired(&mut self, now: Instant) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if self.len == 0 {
+            // Keep the cursor from lagging arbitrarily far behind.
+            self.catch_up(now);
+            return out;
+        }
+        let mut pending: Vec<Entry> = Vec::new();
+        while self.base + self.granularity <= now {
+            self.base += self.granularity;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            let drained = std::mem::take(&mut self.slots[self.cursor]);
+            for e in drained {
+                self.len -= 1;
+                if e.deadline <= now {
+                    out.push((e.token, e.gen));
+                } else {
+                    pending.push(e);
+                }
+            }
+        }
+        for e in pending {
+            self.insert(e.token, e.gen, e.deadline);
+        }
+        out
+    }
+
+    fn catch_up(&mut self, now: Instant) {
+        while self.base + self.granularity <= now {
+            self.base += self.granularity;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+        }
+    }
+
+    /// How long the loop may sleep before the next tick matters.
+    pub fn next_wakeup(&self) -> Option<Duration> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.granularity)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    #[test]
+    fn expires_in_order_and_only_once() {
+        let mut w = TimerWheel::new(Duration::from_millis(5), 32);
+        let now = Instant::now();
+        w.insert(1, 0, now + Duration::from_millis(10));
+        w.insert(2, 0, now + Duration::from_millis(40));
+        assert_eq!(w.len(), 2);
+
+        sleep(Duration::from_millis(20));
+        let fired = w.expired(Instant::now());
+        assert_eq!(fired, vec![(1, 0)]);
+        assert_eq!(w.len(), 1);
+
+        sleep(Duration::from_millis(35));
+        let fired = w.expired(Instant::now());
+        assert_eq!(fired, vec![(2, 0)]);
+        assert!(w.is_empty());
+
+        sleep(Duration::from_millis(10));
+        assert!(w.expired(Instant::now()).is_empty());
+    }
+
+    #[test]
+    fn far_deadlines_survive_multiple_revolutions() {
+        // 4-slot wheel at 1ms: a 30ms deadline needs ~8 revolutions.
+        let mut w = TimerWheel::new(Duration::from_millis(1), 4);
+        let now = Instant::now();
+        w.insert(9, 3, now + Duration::from_millis(30));
+        sleep(Duration::from_millis(10));
+        assert!(w.expired(Instant::now()).is_empty());
+        assert_eq!(w.len(), 1, "early entry re-hashed, not dropped");
+        sleep(Duration::from_millis(25));
+        assert_eq!(w.expired(Instant::now()), vec![(9, 3)]);
+    }
+
+    #[test]
+    fn generations_ride_along_untouched() {
+        let mut w = TimerWheel::new(Duration::from_millis(2), 8);
+        let now = Instant::now();
+        w.insert(5, 7, now);
+        sleep(Duration::from_millis(6));
+        assert_eq!(w.expired(Instant::now()), vec![(5, 7)]);
+    }
+
+    #[test]
+    fn past_deadline_fires_on_next_tick() {
+        let mut w = TimerWheel::new(Duration::from_millis(2), 8);
+        let now = Instant::now();
+        w.insert(1, 0, now - Duration::from_millis(50));
+        sleep(Duration::from_millis(5));
+        assert_eq!(w.expired(Instant::now()), vec![(1, 0)]);
+    }
+}

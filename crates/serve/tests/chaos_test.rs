@@ -340,6 +340,196 @@ fn mixed_workload_with_injected_faults_leaves_the_server_healthy() {
     std::fs::remove_file(&bundle_path).ok();
 }
 
+/// Faults injected at the `event_loop` site — forced EAGAIN (the loop
+/// pretends the socket is not ready), short reads/writes (1 byte per
+/// syscall), and hard I/O errors — while a storm of valid, keep-alive,
+/// malformed, and vanishing clients runs. Level-triggered readiness
+/// must absorb the fake EAGAINs (the event re-fires), short I/O must
+/// only slow things down, and errors must close exactly that one
+/// connection. Afterwards nothing may be leaked (the open-connection
+/// gauge returns to zero), the ledger must balance, and no client may
+/// ever observe two responses to one request.
+#[test]
+fn event_loop_io_faults_never_leak_or_double_answer() {
+    let _gate = gate();
+    let (handle, bundle_path, row) = boot();
+    let addr = handle.addr();
+    let classify_body = {
+        let values: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        format!("{{\"values\":[{}]}}", values.join(","))
+    };
+
+    // One phase per I/O shape the site supports; each must actually fire.
+    for (phase, (fault, trigger)) in [
+        (Fault::Eagain, Trigger::Probability { p: 0.2, seed: 42 }),
+        (Fault::ShortIo, Trigger::Probability { p: 0.2, seed: 43 }),
+        (Fault::IoError, Trigger::Probability { p: 0.03, seed: 44 }),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        chaos::inject("event_loop", fault, trigger);
+        std::thread::scope(|scope| {
+            // Valid one-shot clients, each auditing for a double answer:
+            // the full byte stream of a `connection: close` exchange may
+            // contain at most one status line.
+            for t in 0..3 {
+                let classify_body = &classify_body;
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        let mut stream = TcpStream::connect(addr).expect("connect");
+                        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                        let head = format!(
+                            "POST /classify HTTP/1.1\r\nhost: chaos\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+                            classify_body.len()
+                        );
+                        let _ = stream.write_all(head.as_bytes());
+                        let _ = stream.write_all(classify_body.as_bytes());
+                        let mut text = String::new();
+                        let mut reader = BufReader::new(stream);
+                        match reader.read_to_string(&mut text) {
+                            Err(e)
+                                if matches!(
+                                    e.kind(),
+                                    std::io::ErrorKind::WouldBlock
+                                        | std::io::ErrorKind::TimedOut
+                                ) =>
+                            {
+                                panic!("oneshot-{t}: server hung a connection")
+                            }
+                            _ => {}
+                        }
+                        let answers = text.matches("HTTP/1.1 ").count();
+                        assert!(answers <= 1, "oneshot-{t}: double answer:\n{text}");
+                        if answers == 1 {
+                            let status: u16 = text
+                                .split_whitespace()
+                                .nth(1)
+                                .and_then(|s| s.parse().ok())
+                                .unwrap_or(0);
+                            assert!(
+                                [200, 500, 503, 408].contains(&status),
+                                "oneshot-{t}: unexpected status {status}"
+                            );
+                        }
+                    }
+                });
+            }
+            // Keep-alive clients: reconnect whenever a fault closes them.
+            for t in 0..2 {
+                let classify_body = &classify_body;
+                scope.spawn(move || {
+                    let mut conn: Option<BufReader<TcpStream>> = None;
+                    for _ in 0..15 {
+                        let mut reader = conn.take().unwrap_or_else(|| {
+                            let s = TcpStream::connect(addr).expect("connect");
+                            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                            BufReader::new(s)
+                        });
+                        let head = format!(
+                            "POST /classify HTTP/1.1\r\nhost: chaos\r\ncontent-length: {}\r\n\r\n",
+                            classify_body.len()
+                        );
+                        let sent = reader
+                            .get_mut()
+                            .write_all(head.as_bytes())
+                            .and_then(|()| reader.get_mut().write_all(classify_body.as_bytes()));
+                        if sent.is_err() {
+                            continue;
+                        }
+                        let mut status_line = String::new();
+                        match reader.read_line(&mut status_line) {
+                            Ok(0) | Err(_) => continue,
+                            Ok(_) => {}
+                        }
+                        let status: u16 = status_line
+                            .split_whitespace()
+                            .nth(1)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or(0);
+                        assert!(
+                            [200, 500, 503, 408].contains(&status),
+                            "keepalive-{t}: unexpected status {status}"
+                        );
+                        let mut content_length = 0usize;
+                        loop {
+                            let mut line = String::new();
+                            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                                break;
+                            }
+                            let line = line.trim_end().to_ascii_lowercase();
+                            if line.is_empty() {
+                                break;
+                            }
+                            if let Some(v) = line.strip_prefix("content-length:") {
+                                content_length = v.trim().parse().unwrap_or(0);
+                            }
+                        }
+                        let mut body = vec![0u8; content_length];
+                        if reader.read_exact(&mut body).is_ok() && status == 200 {
+                            conn = Some(reader);
+                        }
+                    }
+                });
+            }
+            // Malformed clients under I/O faults.
+            scope.spawn(move || {
+                for i in 0..15 {
+                    let garbage: &[u8] = match i % 2 {
+                        0 => b"NOT HTTP\r\n\r\n",
+                        _ => b"POST /classify HTTP/1.1\r\nno colon\r\n\r\n",
+                    };
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    let _ = stream.write_all(garbage);
+                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                    assert_allowed(read_outcome(stream), &[400, 503, 408], "malformed");
+                }
+            });
+            // Vanishing clients: write half a head and disappear — the
+            // loop must reap these, not leak them.
+            scope.spawn(move || {
+                for _ in 0..8 {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    let _ = stream.write_all(b"GET /health HTTP/1.1\r\nx-gone");
+                    drop(stream);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            });
+        });
+        // `inject` resets the site's counters, so each phase is measured
+        // on its own.
+        assert!(chaos::fired("event_loop") >= 1, "phase {phase} never fired its event_loop fault");
+    }
+    chaos::clear_site("event_loop");
+
+    // Liveness after the storm.
+    assert_eq!(one_shot(addr, "GET", "/health", ""), Outcome::Status(200));
+
+    // Nothing leaked: every connection reaches a terminal state (the
+    // open gauge returns to the one-shot health check having closed),
+    // and the admission ledger balances.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = handle.metrics_snapshot();
+        if snap.conns_open == 0 && snap.conns_accepted == snap.conns_handled + snap.conns_shed {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "connections leaked or ledger unbalanced: open={} accepted={} handled={} shed={}",
+            snap.conns_open,
+            snap.conns_accepted,
+            snap.conns_handled,
+            snap.conns_shed
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    handle.shutdown();
+    std::fs::remove_file(&bundle_path).ok();
+}
+
 /// One generation of a tiny two-gene model whose class names carry a
 /// generation tag, so any served label identifies exactly which version
 /// produced it.

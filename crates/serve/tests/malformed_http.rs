@@ -1,8 +1,9 @@
 //! Malformed-HTTP corpus: every hostile byte stream a real network
 //! delivers — truncated heads, colon-less headers, oversized heads,
-//! lying or duplicated Content-Length, early EOF mid-body, trickled
-//! slow-loris heads — must produce the *exact* expected status code,
-//! and the (single!) worker must survive to serve the next request.
+//! lying or duplicated Content-Length, early EOF mid-body, broken or
+//! absurd chunked framing, trickled slow-loris heads — must produce the
+//! *exact* expected status code, and the (single!) worker must survive
+//! to serve the next request.
 //!
 //! The server runs with `threads: 1`, so the follow-up `/health` after
 //! each case is handled by the very worker that just absorbed the
@@ -103,16 +104,37 @@ fn corpus_gets_exact_statuses_and_the_worker_survives_each_case() {
         ),
         ("declared body too large", oversized_body.into_bytes(), 413),
         (
-            "chunked transfer-encoding",
-            b"POST /classify HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n4\r\nbody\r\n0\r\n\r\n"
-                .to_vec(),
-            501,
-        ),
-        (
             "transfer-encoding with content-length (smuggling shape)",
             b"POST /classify HTTP/1.1\r\ntransfer-encoding: chunked\r\ncontent-length: 4\r\n\r\nbody"
                 .to_vec(),
+            400,
+        ),
+        (
+            "non-chunked transfer-encoding",
+            b"POST /classify HTTP/1.1\r\ntransfer-encoding: gzip\r\n\r\n".to_vec(),
             501,
+        ),
+        (
+            "non-hex chunk size",
+            b"POST /classify HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nzz\r\nbody\r\n0\r\n\r\n"
+                .to_vec(),
+            400,
+        ),
+        (
+            "chunk data without terminating CRLF",
+            b"POST /classify HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n4\r\nbodyX0\r\n\r\n"
+                .to_vec(),
+            400,
+        ),
+        (
+            "absurd chunk size",
+            b"POST /classify HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nffffffff\r\n".to_vec(),
+            413,
+        ),
+        (
+            "truncated chunked body (EOF mid-chunk)",
+            b"POST /classify HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n10\r\nonly-som".to_vec(),
+            400,
         ),
     ];
 
@@ -131,12 +153,11 @@ fn corpus_gets_exact_statuses_and_the_worker_survives_each_case() {
 
 #[test]
 fn chunked_body_is_never_reparsed_as_a_second_request() {
-    // The desync bug: before Transfer-Encoding was rejected, the server
-    // parsed a chunked POST's head, ignored the coding, read no body —
-    // and keep-alive then reparsed the chunk stream as the *next*
-    // request. A chunk body crafted to look like a smuggled GET would be
-    // answered as if the client had sent it. The fix (501 + lingering
-    // close) must produce exactly one response and then EOF.
+    // The desync shape: a chunked POST whose decoded body is itself a
+    // well-formed GET. The parser owns the chunk framing end to end, so
+    // those bytes are *body* — handed to /classify (where they fail as
+    // JSON) — and never replayed as a second request. Exactly one
+    // response must come back.
     let handle = boot();
     let addr = handle.addr();
 
@@ -146,15 +167,16 @@ fn chunked_body_is_never_reparsed_as_a_second_request() {
     let smuggled = b"POST /classify HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n\
                      2a\r\nGET /model HTTP/1.1\r\nconnection: close\r\n\r\n\r\n0\r\n\r\n";
     stream.write_all(smuggled).expect("write");
+    let _ = stream.shutdown(Shutdown::Write);
 
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut status_line = String::new();
     reader.read_line(&mut status_line).expect("read status line");
     let status: u16 =
         status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
-    assert_eq!(status, 501, "chunked request must be refused: {status_line:?}");
+    assert_eq!(status, 400, "decoded chunk body is not JSON: {status_line:?}");
 
-    // Drain the rest of the 501; the connection must then close without
+    // Drain the rest of the 400; the connection must then close without
     // ever answering the smuggled GET (a second status line would be the
     // desync).
     let mut rest = String::new();
@@ -162,6 +184,38 @@ fn chunked_body_is_never_reparsed_as_a_second_request() {
     assert!(!rest.contains("HTTP/1.1 200"), "smuggled GET was answered — response desync:\n{rest}");
 
     assert!(health_ok(addr), "worker died on the chunked request");
+    handle.shutdown();
+}
+
+#[test]
+fn chunked_request_bodies_round_trip() {
+    // The positive half of the chunked story: a well-formed chunked
+    // POST decodes into exactly the declared payload and classifies
+    // like its content-length twin, with the connection still usable.
+    let handle = boot();
+    let addr = handle.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // `{"nope": 1}` split across two chunks with an extension and a
+    // trailer: every chunked-framing feature in one request. The body
+    // reaches /classify intact, which answers its structured 400
+    // (bad_request: no 'values'/'samples') — proof the payload was
+    // decoded and dispatched, not refused at the framing layer.
+    let chunked = b"POST /classify HTTP/1.1\r\ntransfer-encoding: chunked\r\n\
+                    connection: close\r\n\r\n\
+                    6;ext=1\r\n{\"nope\r\n5\r\n\": 1}\r\n0\r\nx-trailer: ignored\r\n\r\n";
+    stream.write_all(chunked).expect("write");
+    let _ = stream.shutdown(Shutdown::Write);
+
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    use std::io::Read as _;
+    let _ = reader.read_to_string(&mut response);
+    assert!(response.starts_with("HTTP/1.1 400"), "unexpected response:\n{response}");
+    assert!(response.contains("bad_request"), "body must have reached the handler:\n{response}");
+
+    assert!(health_ok(addr), "server unusable after the chunked request");
     handle.shutdown();
 }
 

@@ -224,6 +224,101 @@ fn request_after_shutdown(addr: SocketAddr) -> bool {
     !matches!(stream.read(&mut buffer), Ok(n) if n > 0)
 }
 
+/// Reads a response head: `(status, lowercased header block)`.
+fn read_head(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split_whitespace().nth(1).expect("status").parse().unwrap();
+    let mut headers = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        if line.trim_end().is_empty() {
+            break;
+        }
+        headers.push_str(&line.to_ascii_lowercase());
+    }
+    (status, headers)
+}
+
+/// Decodes a chunked response body: hex-sized chunks until the `0`
+/// terminator, then trailers up to the blank line.
+fn read_chunked_body(reader: &mut BufReader<TcpStream>) -> String {
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line).unwrap();
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .unwrap_or_else(|e| panic!("bad chunk size line {size_line:?}: {e}"));
+        if size == 0 {
+            break;
+        }
+        let mut chunk = vec![0u8; size];
+        reader.read_exact(&mut chunk).unwrap();
+        body.extend_from_slice(&chunk);
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf).unwrap();
+        assert_eq!(&crlf, b"\r\n", "chunk data must end with CRLF");
+    }
+    loop {
+        let mut trailer = String::new();
+        reader.read_line(&mut trailer).unwrap();
+        if trailer.trim_end().is_empty() {
+            break;
+        }
+    }
+    String::from_utf8(body).unwrap()
+}
+
+#[test]
+fn large_responses_stream_chunked_and_round_trip() {
+    // A server booted with a tiny chunk threshold streams ordinary
+    // responses chunked; the decoded body must be the same JSON a
+    // content-length response would carry, and the connection must stay
+    // usable for a follow-up request (keep-alive + chunked compose).
+    let b = bundle(29, "chunked");
+    let handle = serve(
+        ServerConfig { threads: 2, chunk_threshold: 256, ..ServerConfig::default() },
+        b.clone(),
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let data = dataset(29);
+
+    let rows: Vec<String> = (0..data.n_samples()).map(|s| fmt_row(data.row(s))).collect();
+    let body = format!("{{\"samples\":[{}]}}", rows.join(","));
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    let head =
+        format!("POST /classify HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n", body.len());
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+
+    let (status, headers) = read_head(&mut reader);
+    assert_eq!(status, 200);
+    assert!(headers.contains("transfer-encoding: chunked"), "not chunked:\n{headers}");
+    assert!(!headers.contains("content-length"), "chunked must drop content-length:\n{headers}");
+    let decoded = read_chunked_body(&mut reader);
+    let served = json(&decoded);
+    let predictions = served.get("predictions").unwrap().as_array().unwrap();
+    assert_eq!(predictions.len(), data.n_samples());
+    for (s, p) in predictions.iter().enumerate() {
+        let local = b.classify_row(data.row(s)).unwrap();
+        assert_eq!(p.get("class").unwrap().as_u64(), Some(local.class as u64), "sample {s}");
+    }
+
+    // Follow-up on the same socket: a small response arrives with
+    // content-length framing, proving the threshold gates the streaming.
+    let follow = "GET /health HTTP/1.1\r\nhost: test\r\nconnection: close\r\n\r\n";
+    reader.get_mut().write_all(follow.as_bytes()).unwrap();
+    let (status, headers) = read_head(&mut reader);
+    assert_eq!(status, 200);
+    assert!(headers.contains("content-length"), "small response must not chunk:\n{headers}");
+    handle.shutdown();
+}
+
 #[test]
 fn concurrent_clients_get_consistent_answers() {
     let b = bundle(17, "concurrent");

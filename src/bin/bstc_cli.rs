@@ -90,6 +90,8 @@ commands:
              [--queue-depth N] [--request-timeout SECS]  (0 disables the deadline)
              [--max-batch N]  (0 disables micro-batching)  [--batch-wait-us US]
              [--kernel-block-bytes N]  (0 = default, half a typical L2)
+             [--max-connections N]  (over-cap arrivals shed with 503)
+             [--chunk-threshold BYTES]  (0 disables chunked responses)
              [--default-model NAME] [--max-resident N]  (0 = no residency cap)
              [--shadow PRIMARY=CANDIDATE[:PCT]]...  [--shadow-seed N]
              [--log-format text|json] [--log-level debug|info|warn|error]";
@@ -382,6 +384,25 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     // built-in default (half a typical L2).
     let kernel_block_bytes: usize =
         parse_flag(args, "--kernel-block-bytes")?.unwrap_or(defaults.kernel_block_bytes);
+    // Concurrent-connection cap: arrivals beyond it get an immediate
+    // `503` + `Retry-After`. Idle keep-alive connections count, so this
+    // also bounds the fd footprint; the soft fd limit is raised to
+    // match (best effort — a low hard limit just shrinks the headroom).
+    let max_connections: usize =
+        parse_flag::<usize>(args, "--max-connections")?.unwrap_or(defaults.max_connections).max(1);
+    if let Ok(limit) = serve::sys::raise_nofile_limit(max_connections as u64 + 128) {
+        if limit < max_connections as u64 + 16 {
+            eprintln!(
+                "warning: RLIMIT_NOFILE {limit} is below --max-connections {max_connections}; \
+                 accepts will fail before the admission cap sheds"
+            );
+        }
+    }
+    // Response bodies above this many bytes stream to HTTP/1.1 clients
+    // with chunked transfer-encoding; `--chunk-threshold 0` disables
+    // chunked responses entirely.
+    let chunk_threshold: usize =
+        parse_flag(args, "--chunk-threshold")?.unwrap_or(defaults.chunk_threshold);
     // `--log-format json` switches the structured request log (and every
     // other obs log event) to JSON lines on stderr.
     if let Some(raw) = flag(args, "--log-format") {
@@ -412,6 +433,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         max_batch,
         batch_wait,
         kernel_block_bytes,
+        max_connections,
+        chunk_threshold,
         bundle_path: bundle_path.as_ref().map(std::path::PathBuf::from),
         models_dir: models_dir.as_ref().map(std::path::PathBuf::from),
         default_model,
