@@ -66,6 +66,10 @@ fn lint(text: &str) -> Vec<String> {
     let mut buckets: BTreeMap<(String, String), Vec<u64>> = BTreeMap::new();
     let mut inf: BTreeMap<(String, String), u64> = BTreeMap::new();
     let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut sums: BTreeMap<(String, String), f64> = BTreeMap::new();
+    // Largest finite `le` bound seen per series and the cumulative count
+    // at it, for the _sum-vs-bucket impossibility check.
+    let mut max_finite: BTreeMap<(String, String), (f64, u64)> = BTreeMap::new();
 
     for (lineno, line) in text.lines().enumerate() {
         let lineno = lineno + 1;
@@ -119,9 +123,20 @@ fn lint(text: &str) -> Vec<String> {
                 buckets.entry(key.clone()).or_default().push(value as u64);
                 if labels.contains("le=\"+Inf\"") {
                     inf.insert(key, value as u64);
+                } else if let Some(le) = labels
+                    .split_once("le=\"")
+                    .and_then(|(_, rest)| rest.split_once('"'))
+                    .and_then(|(le, _)| le.parse::<f64>().ok())
+                {
+                    let slot = max_finite.entry(key).or_insert((le, value as u64));
+                    if le >= slot.0 {
+                        *slot = (le, value as u64);
+                    }
                 }
             } else if name.ends_with("_count") {
                 counts.insert(key, value as u64);
+            } else if name.ends_with("_sum") {
+                sums.insert(key, value);
             }
         }
     }
@@ -137,6 +152,23 @@ fn lint(text: &str) -> Vec<String> {
             }
             (Some(_), None) => violations.push(format!("histogram {key:?}: no _count sample")),
             _ => {}
+        }
+        // _sum-vs-bucket impossibility: when every sample landed in a
+        // finite bucket (the +Inf cumulative equals the cumulative at
+        // the largest finite bound), no sample can exceed that bound, so
+        // _sum > count × max-bound means the sum counted a sample the
+        // buckets never saw — the exact artifact of a torn counts/sum
+        // snapshot. Series with samples beyond the last finite bucket
+        // are skipped: those values are unbounded by construction.
+        if let (Some(&sum), Some(&total), Some(&(max_le, at_max))) =
+            (sums.get(key), inf.get(key), max_finite.get(key))
+        {
+            if total == at_max && sum > total as f64 * max_le {
+                violations.push(format!(
+                    "histogram {key:?}: _sum {sum} exceeds {total} samples × max bucket bound \
+                     {max_le} — sum includes a sample the buckets lack"
+                ));
+            }
         }
     }
     violations
@@ -352,6 +384,28 @@ mod tests {
     fn inf_count_mismatch_is_flagged() {
         let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\nh_sum 0\n";
         assert!(lint(text).iter().any(|v| v.contains("!= _count")));
+    }
+
+    #[test]
+    fn sum_exceeding_bucket_capacity_is_flagged() {
+        // 2 samples, all at or below 100, yet _sum claims 250: at least
+        // one sample is in the sum without a bucket.
+        let text = "# TYPE h histogram\nh_bucket{le=\"100\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 2\nh_sum 250\n";
+        assert!(lint(text).iter().any(|v| v.contains("max bucket bound")), "{:?}", lint(text));
+    }
+
+    #[test]
+    fn sum_within_bucket_capacity_passes() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"100\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 2\nh_sum 200\n";
+        assert!(lint(text).is_empty(), "{:?}", lint(text));
+    }
+
+    #[test]
+    fn sum_check_skips_series_with_samples_beyond_finite_buckets() {
+        // One sample sits past the last finite bucket (+Inf 3 > 2 at
+        // le=100); its value is unbounded, so a large _sum is legal.
+        let text = "# TYPE h histogram\nh_bucket{le=\"100\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_count 3\nh_sum 99999\n";
+        assert!(lint(text).is_empty(), "{:?}", lint(text));
     }
 
     #[test]

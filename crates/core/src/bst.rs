@@ -34,7 +34,65 @@ pub struct ExclusionList {
     /// Polarity of `items`.
     pub sign: Sign,
     /// Items of the list, ascending.
+    #[serde(with = "gap_hex")]
     pub items: Vec<ItemId>,
+}
+
+/// Compact wire form for the ascending item lists of [`ExclusionList`]:
+/// the first id in hex, then the hex gap to each successor,
+/// comma-separated — `[3, 10, 11]` → `"3,7,1"`. A trained model is
+/// dominated by its exclusion lists (one per (c, h) pair), and encoding
+/// each list as one string instead of a JSON array keeps both the file
+/// and the serializer's in-memory tree proportional to the *encoded*
+/// size — serializing a large model no longer dwarfs the model itself.
+mod gap_hex {
+    use microarray::ItemId;
+    use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
+    use std::fmt::Write as _;
+
+    pub fn serialize<S: Serializer>(items: &Vec<ItemId>, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = String::with_capacity(items.len() * 3);
+        let mut prev = 0usize;
+        for (i, &id) in items.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(out, "{id:x}");
+            } else {
+                debug_assert!(id > prev, "exclusion list not strictly ascending");
+                let _ = write!(out, ",{:x}", id - prev);
+            }
+            prev = id;
+        }
+        out.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<ItemId>, D::Error> {
+        let text = String::deserialize(d)?;
+        if text.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut items = Vec::new();
+        let mut prev = 0usize;
+        for (i, field) in text.split(',').enumerate() {
+            let v = usize::from_str_radix(field, 16).map_err(|_| {
+                <D::Error as de::Error>::custom(format!("bad gap-hex field `{field}`"))
+            })?;
+            let id = if i == 0 {
+                v
+            } else {
+                if v == 0 {
+                    return Err(<D::Error as de::Error>::custom(
+                        "gap-hex gap of 0: item list must be strictly ascending",
+                    ));
+                }
+                prev.checked_add(v).ok_or_else(|| {
+                    <D::Error as de::Error>::custom("gap-hex item id overflows usize")
+                })?
+            };
+            items.push(id);
+            prev = id;
+        }
+        Ok(items)
+    }
 }
 
 impl ExclusionList {
@@ -601,5 +659,36 @@ mod tests {
         assert!(text.contains('●'));
         assert!(text.contains("(s5:-g4,-g6)"), "{text}");
         assert!(text.contains("(s4:g1)"), "{text}");
+    }
+
+    #[test]
+    fn exclusion_list_items_use_the_gap_hex_wire_form() {
+        let list = ExclusionList { sign: Sign::Neg, items: vec![3, 10, 11, 255] };
+        let json = serde_json::to_string(&list).unwrap();
+        // [3, 10, 11, 255] → first id 0x3, then gaps 0x7, 0x1, 0xf4.
+        assert!(json.contains("\"3,7,1,f4\""), "{json}");
+        let back: ExclusionList = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, list);
+    }
+
+    #[test]
+    fn gap_hex_round_trips_empty_and_single_item_lists() {
+        for items in [vec![], vec![0], vec![0, 1], vec![4096]] {
+            let list = ExclusionList { sign: Sign::Pos, items };
+            let json = serde_json::to_string(&list).unwrap();
+            let back: ExclusionList = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, list, "{json}");
+        }
+    }
+
+    #[test]
+    fn gap_hex_rejects_malformed_and_non_ascending_input() {
+        for bad in ["\"zz\"", "\"3,,1\"", "\"3,0\"", "\"3,-1\""] {
+            let json = format!("{{\"sign\":\"Neg\",\"items\":{bad}}}");
+            assert!(
+                serde_json::from_str::<ExclusionList>(&json).is_err(),
+                "accepted {bad}"
+            );
+        }
     }
 }

@@ -10,9 +10,15 @@
 //! item per sample.
 
 use crate::mdl::{interval_of, mdl_cuts, Cuts};
-use microarray::{BitSet, BoolDataset, ContinuousDataset};
+use microarray::{BitSet, BoolDataset, ColumnSource, ContinuousDataset};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Gene-chunk size (in columns) for a byte budget: how many `f64`
+/// columns of `n_samples` values fit in `chunk_bytes`, at least one.
+fn genes_per_chunk(chunk_bytes: usize, n_samples: usize) -> usize {
+    (chunk_bytes / (8 * n_samples.max(1))).max(1)
+}
 
 /// No gene admitted an MDL-accepted cut: the training data carries no
 /// class signal visible to the entropy partition, so there is nothing to
@@ -92,17 +98,32 @@ impl Discretizer {
     ///
     /// Records its wall time as stage `mdl_cuts` in [`obs::global`].
     pub fn fit(train: &ContinuousDataset) -> Discretizer {
+        Self::fit_source(train, usize::MAX)
+    }
+
+    /// Fits cut points by streaming gene columns from any
+    /// [`ColumnSource`] under a `chunk_bytes` budget: columns are
+    /// consumed one at a time (one column of buffering), and after each
+    /// chunk's worth the source gets an eviction hint — for an
+    /// mmap-backed `.bmx` source the resident set therefore tracks the
+    /// budget, not the matrix size. Bit-identical to [`Discretizer::fit`]
+    /// on the same data: the per-gene iteration order, the MDL search,
+    /// and the produced items are exactly the in-memory path's.
+    ///
+    /// Records its wall time as stage `mdl_cuts` in [`obs::global`].
+    pub fn fit_source<S: ColumnSource + ?Sized>(train: &S, chunk_bytes: usize) -> Discretizer {
         let _stage = obs::Stage::enter("mdl_cuts");
-        let n = train.n_samples();
-        let mut column = vec![0.0f64; n];
+        let chunk = genes_per_chunk(chunk_bytes, train.n_samples());
+        let mut column = Vec::with_capacity(train.n_samples());
         let mut selected = Vec::new();
         let mut items = Vec::new();
         let mut item_base = Vec::new();
         for g in 0..train.n_genes() {
-            for (s, slot) in column.iter_mut().enumerate() {
-                *slot = train.value(s, g);
-            }
+            train.column_into(g, &mut column);
             let cuts = mdl_cuts(&column, train.labels(), train.n_classes());
+            if (g + 1) % chunk == 0 {
+                train.evict_hint(g + 1 - chunk..g + 1);
+            }
             if cuts.is_empty() {
                 continue;
             }
@@ -220,6 +241,64 @@ impl Discretizer {
         let samples = (0..data.n_samples())
             .map(|s| self.transform_row(data.row(s)).expect("items checked non-empty above"))
             .collect();
+        Ok(BoolDataset::new(
+            self.item_names(),
+            data.class_names().to_vec(),
+            samples,
+            data.labels().to_vec(),
+        )
+        .expect("discretizer output is valid by construction"))
+    }
+
+    /// Applies the fitted cuts by streaming gene columns from any
+    /// [`ColumnSource`] under a `chunk_bytes` budget (cf.
+    /// [`Discretizer::fit_source`]): only the *selected* columns are
+    /// read, each one sets its interval bit across all samples, and
+    /// consumed column ranges are handed back to the source. The
+    /// resulting [`BoolDataset`] is equal to
+    /// [`transform`](Self::transform)'s on the same data — bit order
+    /// within a sample is set-membership, not insertion order.
+    ///
+    /// Records its wall time as stage `binarize` in [`obs::global`].
+    ///
+    /// # Errors
+    /// Returns [`NoInformativeGenes`] if the fit selected zero genes.
+    ///
+    /// # Panics
+    /// Panics if `data` has a different number of genes than the fitted
+    /// training set.
+    pub fn transform_source<S: ColumnSource + ?Sized>(
+        &self,
+        data: &S,
+        chunk_bytes: usize,
+    ) -> Result<BoolDataset, NoInformativeGenes> {
+        let _stage = obs::Stage::enter("binarize");
+        assert_eq!(
+            data.n_genes(),
+            self.gene_names.len(),
+            "transform: gene universe differs from the fitted dataset"
+        );
+        if self.items.is_empty() {
+            return Err(NoInformativeGenes);
+        }
+        let chunk = genes_per_chunk(chunk_bytes, data.n_samples());
+        let mut samples = vec![BitSet::new(self.items.len()); data.n_samples()];
+        let mut column = Vec::with_capacity(data.n_samples());
+        // `selected` is ascending in gene id (fit iterates columns in
+        // order), so consumed ranges are contiguous and evictable as we
+        // pass them.
+        let mut evicted_to = 0usize;
+        for (k, (g, cuts)) in self.selected.iter().enumerate() {
+            data.column_into(*g, &mut column);
+            let base = self.item_base[k];
+            for (s, &v) in column.iter().enumerate() {
+                samples[s].insert(base + interval_of(cuts, v));
+            }
+            if g + 1 - evicted_to >= chunk {
+                data.evict_hint(evicted_to..g + 1);
+                evicted_to = g + 1;
+            }
+        }
         Ok(BoolDataset::new(
             self.item_names(),
             data.class_names().to_vec(),
@@ -381,6 +460,44 @@ mod tests {
         row[0] = cut - 1e-9;
         let below = d.transform_row(&row).unwrap();
         assert!(!below.contains(expected));
+    }
+
+    #[test]
+    fn streamed_fit_and_transform_match_in_memory_exactly() {
+        let data = toy();
+        let (d_mem, b_mem) = Discretizer::fit_transform(&data).unwrap();
+        // Tiny chunk budgets force the chunk/evict machinery through
+        // every boundary case (1 column per chunk up).
+        for chunk_bytes in [1usize, 64, 1024, usize::MAX] {
+            let d = Discretizer::fit_source(&data, chunk_bytes);
+            assert_eq!(d.selected_genes(), d_mem.selected_genes(), "chunk {chunk_bytes}");
+            for &g in &d.selected_genes() {
+                assert_eq!(d.cuts_for_gene(g), d_mem.cuts_for_gene(g));
+            }
+            let b = d.transform_source(&data, chunk_bytes).unwrap();
+            assert_eq!(b.item_names(), b_mem.item_names());
+            assert_eq!(b.labels(), b_mem.labels());
+            for s in 0..b.n_samples() {
+                assert_eq!(b.sample(s), b_mem.sample(s), "chunk {chunk_bytes}, sample {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_paths_work_on_a_bmx_file() {
+        let data = toy();
+        let path =
+            std::env::temp_dir().join(format!("bstc_binarize_{}.bmx", std::process::id()));
+        microarray::write_bmx(&data, &path).unwrap();
+        let bmx = microarray::BmxDataset::open(&path).unwrap();
+        let (d_mem, b_mem) = Discretizer::fit_transform(&data).unwrap();
+        let d = Discretizer::fit_source(&bmx, 128);
+        assert_eq!(d.selected_genes(), d_mem.selected_genes());
+        let b = d.transform_source(&bmx, 128).unwrap();
+        for s in 0..b.n_samples() {
+            assert_eq!(b.sample(s), b_mem.sample(s));
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! * [`confusion`] — confusion matrices and per-class metrics;
 //! * [`cv`] — the 25-replicate cross-validation driver (rayon-parallel
 //!   across replicates);
+//! * [`stream`] — the out-of-core replicate runner: splits as
+//!   `SubsetView`s over any `ColumnSource`, chunked fit/transform, and
+//!   the per-replicate seed schedule that makes sharded runs
+//!   bit-identical to single-process ones;
 //! * [`report`] — aligned text tables, the paper's "≥"/"-" formatting,
 //!   CSV, and JSON artifacts.
 //!
@@ -30,6 +34,7 @@ pub mod report;
 pub mod runner;
 pub mod split;
 pub mod stats;
+pub mod stream;
 
 pub use confusion::ConfusionMatrix;
 pub use cv::{run_cell, CvCell};
@@ -39,4 +44,5 @@ pub use runner::{
     BaselineParams, BaselineRun, BstcRun, CbaRun, Mc2Run, Prepared, RcbtRun, TopkRun,
 };
 pub use split::{draw_split, draw_splits, Split, SplitSpec};
+pub use stream::{run_replicate_streamed, run_reps_streamed, ReplicateResult};
 pub use stats::{accuracy, mean, std_dev, BoxplotStats};

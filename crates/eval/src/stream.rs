@@ -1,0 +1,202 @@
+//! Out-of-core CV replicates — the streaming counterpart of
+//! [`prepare`](crate::runner::prepare) + [`run_bstc`](crate::runner::run_bstc).
+//!
+//! A replicate here never materializes the expression matrix: the split's
+//! train/test sides are [`SubsetView`]s over any [`ColumnSource`] (an
+//! in-memory [`ContinuousDataset`](microarray::ContinuousDataset) or an
+//! mmap-backed `.bmx` file), and both `Discretizer::fit` and binarization
+//! stream gene columns under a `chunk_bytes` budget. Only BSTC runs — the
+//! continuous baselines need the full selected-gene matrix resident, which
+//! is exactly what this path exists to avoid.
+//!
+//! **Determinism contract.** Replicate `r` draws its split with seed
+//! `base_seed.wrapping_add(1000 * r)` — the same schedule
+//! [`draw_splits`](crate::split::draw_splits) uses — so *any* partition of
+//! `0..reps` into shards reproduces the exact per-replicate results of a
+//! single-process run. That is what lets `bstc-cli cv-shard` fan replicate
+//! ranges out to worker processes and merge bit-identically: equality is
+//! checked on [`ReplicateResult::accuracy`] bits and
+//! [`ReplicateResult::pred_hash`], never on `secs`.
+
+use crate::split::{draw_split, SplitSpec};
+use crate::stats::accuracy;
+use bstc::{Arithmetization, BstcModel};
+use discretize::Discretizer;
+use microarray::{ColumnSource, SubsetView};
+use std::ops::Range;
+use std::time::Instant;
+
+/// One streamed replicate's outcome. `accuracy` and `pred_hash` are the
+/// bit-identity surface; `secs` is informational only.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplicateResult {
+    /// Test accuracy (compare via `to_bits` for bit-identity).
+    pub accuracy: f64,
+    /// FNV-1a hash over the predicted class-id sequence — a compact
+    /// witness that two runs produced the *same predictions*, not merely
+    /// the same accuracy.
+    pub pred_hash: u64,
+    /// Wall-clock seconds for fit + transform + train + classify.
+    /// Excluded from equivalence comparisons.
+    pub secs: f64,
+}
+
+/// FNV-1a over class ids, the same construction `ModelBundle` and `.bmx`
+/// use for integrity (64-bit offset basis / prime).
+fn hash_predictions(preds: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &p in preds {
+        for byte in (p as u64).to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Runs one CV replicate end-to-end against a column source, streaming
+/// gene chunks under `chunk_bytes`.
+///
+/// Mirrors `prepare` + `run_bstc` exactly: draw the split, fit the
+/// discretizer on the training view only, transform both sides, train
+/// BSTC with [`Arithmetization::Min`], classify the test side. Returns
+/// `None` when discretization finds no informative gene — the same
+/// replicate-skip semantics as [`run_cell`](crate::cv::run_cell).
+pub fn run_replicate_streamed<S: ColumnSource>(
+    source: &S,
+    spec: &SplitSpec,
+    seed: u64,
+    chunk_bytes: usize,
+) -> Option<ReplicateResult> {
+    let t0 = Instant::now();
+    let split = draw_split(source.labels(), source.n_classes(), spec, seed);
+    let train = SubsetView::new(source, split.train);
+    let test = SubsetView::new(source, split.test);
+    let disc = Discretizer::fit_source(&train, chunk_bytes);
+    let bool_train = disc.transform_source(&train, chunk_bytes).ok()?;
+    let bool_test = disc.transform_source(&test, chunk_bytes).ok()?;
+    let model = BstcModel::train_with(&bool_train, Arithmetization::Min);
+    let compiled = model.compile();
+    let preds = {
+        let _stage = obs::Stage::enter("classify_batch");
+        compiled.classify_all(bool_test.samples())
+    };
+    Some(ReplicateResult {
+        accuracy: accuracy(&preds, bool_test.labels()),
+        pred_hash: hash_predictions(&preds),
+        secs: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs replicates `rep_range` of a `reps`-replicate cell, seeding each
+/// replicate `r` with `base_seed.wrapping_add(1000 * r)`.
+///
+/// Because the seed depends only on the replicate index, running
+/// `0..25` in one process or `0..13` and `13..25` in two yields the same
+/// 25 results in order — the shard-merge invariant. `None` entries mark
+/// replicates skipped for lack of informative genes.
+pub fn run_reps_streamed<S: ColumnSource>(
+    source: &S,
+    spec: &SplitSpec,
+    rep_range: Range<usize>,
+    base_seed: u64,
+    chunk_bytes: usize,
+) -> Vec<Option<ReplicateResult>> {
+    rep_range
+        .map(|r| {
+            let seed = base_seed.wrapping_add(1000 * r as u64);
+            run_replicate_streamed(source, spec, seed, chunk_bytes)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{prepare, run_bstc};
+    use microarray::synth::SynthConfig;
+    use microarray::{write_bmx, BmxDataset};
+
+    fn small_cfg() -> SynthConfig {
+        SynthConfig {
+            name: "stream-test".into(),
+            n_genes: 60,
+            class_sizes: vec![14, 14],
+            class_names: vec!["c0".into(), "c1".into()],
+            markers_per_class: 8,
+            marker_shift: 3.0,
+            marker_dropout: 0.05,
+            marker_modules: 0,
+            wobble_rate: 0.0,
+            marker_flip: 0.0,
+            atypical_rate: 0.0,
+            atypical_strength: 0.3,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn streamed_replicate_matches_the_in_memory_pipeline() {
+        let data = small_cfg().generate();
+        let spec = SplitSpec::Fraction(0.6);
+        for seed in [7u64, 8, 9] {
+            let streamed = run_replicate_streamed(&data, &spec, seed, 256).unwrap();
+            // The in-memory reference path on the same split.
+            let split = draw_split(data.labels(), data.n_classes(), &spec, seed);
+            let p = prepare(&data, &split).unwrap();
+            let reference = run_bstc(&p);
+            assert_eq!(streamed.accuracy.to_bits(), reference.accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn bmx_and_in_memory_sources_agree_bit_for_bit() {
+        let data = small_cfg().generate();
+        let dir = std::env::temp_dir().join(format!("eval_stream_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agree.bmx");
+        write_bmx(&data, &path).unwrap();
+        let bmx = BmxDataset::open(&path).unwrap();
+        let spec = SplitSpec::Fraction(0.6);
+        let mem = run_reps_streamed(&data, &spec, 0..4, 100, 1 << 10);
+        let disk = run_reps_streamed(&bmx, &spec, 0..4, 100, 1 << 10);
+        assert_eq!(mem.len(), disk.len());
+        for (m, d) in mem.iter().zip(&disk) {
+            let (m, d) = (m.unwrap(), d.unwrap());
+            assert_eq!(m.accuracy.to_bits(), d.accuracy.to_bits());
+            assert_eq!(m.pred_hash, d.pred_hash);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_rep_ranges_reproduce_the_full_run() {
+        let data = small_cfg().generate();
+        let spec = SplitSpec::Fraction(0.6);
+        let full = run_reps_streamed(&data, &spec, 0..6, 42, usize::MAX);
+        let mut merged = run_reps_streamed(&data, &spec, 0..2, 42, usize::MAX);
+        merged.extend(run_reps_streamed(&data, &spec, 2..5, 42, usize::MAX));
+        merged.extend(run_reps_streamed(&data, &spec, 5..6, 42, usize::MAX));
+        assert_eq!(full.len(), merged.len());
+        for (f, m) in full.iter().zip(&merged) {
+            match (f, m) {
+                (Some(f), Some(m)) => {
+                    assert_eq!(f.accuracy.to_bits(), m.accuracy.to_bits());
+                    assert_eq!(f.pred_hash, m.pred_hash);
+                }
+                (None, None) => {}
+                _ => panic!("skip pattern diverged between full and sharded runs"),
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_budget_does_not_change_results() {
+        let data = small_cfg().generate();
+        let spec = SplitSpec::Fraction(0.6);
+        let a = run_replicate_streamed(&data, &spec, 5, 1).unwrap();
+        let b = run_replicate_streamed(&data, &spec, 5, usize::MAX).unwrap();
+        assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        assert_eq!(a.pred_hash, b.pred_hash);
+    }
+}

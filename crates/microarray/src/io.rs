@@ -177,9 +177,23 @@ pub fn read_cont_tsv<R: Read>(reader: R) -> Result<ContinuousDataset, IoError> {
             .get(label)
             .ok_or_else(|| parse_err(lineno, format!("unknown class '{label}'")))?;
         let row: Result<Vec<f64>, IoError> = fields
-            .map(|f| {
-                f.parse::<f64>()
-                    .map_err(|_| parse_err(lineno, format!("bad expression value '{f}'")))
+            .enumerate()
+            .map(|(g, f)| {
+                let v = f
+                    .parse::<f64>()
+                    .map_err(|_| parse_err(lineno, format!("bad expression value '{f}'")))?;
+                // Rust's f64 parser accepts NaN/inf/-inf, but a
+                // non-finite expression value would poison the MDL cut
+                // search downstream (it asserts on finiteness far from
+                // the input). Reject here, naming the gene.
+                if !v.is_finite() {
+                    let gene = gene_names.get(g).map(String::as_str).unwrap_or("?");
+                    return Err(parse_err(
+                        lineno,
+                        format!("non-finite expression value '{f}' for gene '{gene}'"),
+                    ));
+                }
+                Ok(v)
             })
             .collect();
         values.push(row?);
@@ -203,6 +217,16 @@ where
     if names.is_empty() {
         return Err(parse_err(lineno, format!("{tag} row has no entries")));
     }
+    // Downstream lookups index by name, so a duplicate would silently
+    // alias every later reference to the last column of that name and
+    // the dataset would round-trip to a *different* dataset. Reject at
+    // the header line instead.
+    let mut seen = HashMap::new();
+    for name in &names {
+        if seen.insert(name.as_str(), ()).is_some() {
+            return Err(parse_err(lineno, format!("duplicate {tag} name '{name}'")));
+        }
+    }
     Ok(names)
 }
 
@@ -213,6 +237,16 @@ pub fn bool_to_json(dataset: &BoolDataset) -> String {
 
 /// Deserializes a [`BoolDataset`] from JSON.
 pub fn bool_from_json(json: &str) -> Result<BoolDataset, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Serializes a [`ContinuousDataset`] to JSON.
+pub fn cont_to_json(dataset: &ContinuousDataset) -> String {
+    serde_json::to_string(dataset).expect("ContinuousDataset serialization is infallible")
+}
+
+/// Deserializes a [`ContinuousDataset`] from JSON.
+pub fn cont_from_json(json: &str) -> Result<ContinuousDataset, serde_json::Error> {
     serde_json::from_str(json)
 }
 
@@ -283,6 +317,42 @@ mod tests {
         let text = "#cont-microarray v1\n#classes\tA\n#genes\tg1\nA\tnot-a-number\n";
         let err = read_cont_tsv(text.as_bytes()).unwrap_err();
         assert!(matches!(err, IoError::Parse { line: 4, .. }), "{err}");
+    }
+
+    #[test]
+    fn bool_tsv_rejects_duplicate_header_names() {
+        // Duplicate #items: before the fix the name index silently
+        // aliased both columns to the last one, so `A\tg1` round-tripped
+        // into a different dataset instead of failing.
+        let text = "#bool-microarray v1\n#classes\tA\n#items\tg1\tg1\nA\tg1\n";
+        let err = read_bool_tsv(text.as_bytes()).unwrap_err();
+        assert!(matches!(&err, IoError::Parse { line: 3, message } if message.contains("g1")), "{err}");
+        let text = "#bool-microarray v1\n#classes\tA\tA\n#items\tg1\nA\tg1\n";
+        let err = read_bool_tsv(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn cont_tsv_rejects_duplicate_header_names() {
+        let text = "#cont-microarray v1\n#classes\tA\n#genes\tg1\tg2\tg1\nA\t1\t2\t3\n";
+        let err = read_cont_tsv(text.as_bytes()).unwrap_err();
+        assert!(matches!(&err, IoError::Parse { line: 3, message } if message.contains("g1")), "{err}");
+        let text = "#cont-microarray v1\n#classes\tB\tB\n#genes\tg1\nB\t1\n";
+        let err = read_cont_tsv(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn cont_tsv_rejects_non_finite_values() {
+        for bad in ["NaN", "nan", "inf", "-inf", "Infinity"] {
+            let text = format!("#cont-microarray v1\n#classes\tA\n#genes\tg1\tg2\nA\t1.0\t{bad}\n");
+            let err = read_cont_tsv(text.as_bytes()).unwrap_err();
+            assert!(
+                matches!(&err, IoError::Parse { line: 4, message }
+                    if message.contains("non-finite") && message.contains("g2")),
+                "{bad}: {err}"
+            );
+        }
     }
 
     #[test]

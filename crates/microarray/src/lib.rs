@@ -9,6 +9,10 @@
 //! * [`dataset::ContinuousDataset`] — raw expression matrices feeding the
 //!   `discretize` crate;
 //! * [`io`] — self-describing TSV and JSON formats;
+//! * [`bmx`] — the `#bmx v1` columnar binary format plus its mmap-backed
+//!   reader, the out-of-core path for matrices too large to materialize;
+//! * [`source::ColumnSource`] — the column-streaming access trait chunked
+//!   training consumes (implemented by both dataset kinds);
 //! * [`synth`] — the planted-marker generator substituting for the paper's
 //!   four real datasets (see DESIGN.md §2), with presets matching Table 2;
 //! * [`fixtures`] — the Table 1 running example and §5.4 query used by the
@@ -26,11 +30,16 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod bmx;
 pub mod dataset;
 pub mod fixtures;
 pub mod io;
+pub mod mmap;
 pub mod simd;
+pub mod source;
 pub mod synth;
 
 pub use bitset::BitSet;
+pub use bmx::{write_bmx, BmxDataset, BmxWriter};
 pub use dataset::{BoolDataset, ClassId, ContinuousDataset, DatasetError, ItemId, SampleId};
+pub use source::{ColumnSource, SubsetView};

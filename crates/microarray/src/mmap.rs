@@ -1,0 +1,171 @@
+//! Raw-syscall memory-mapping shim for out-of-core datasets.
+//!
+//! The microarray crate is std-only — no `libc` crate — so, like
+//! `serve::sys`, the three syscalls the columnar reader needs (`mmap`,
+//! `munmap`, `madvise`) are declared as `extern "C"` bindings against
+//! the platform libc that std already links. The shim exposes a
+//! read-only, file-backed [`Mmap`] plus an eviction hint
+//! ([`Mmap::advise_dontneed`]) that the chunked training loop uses to
+//! keep resident memory bounded: after a gene-column chunk has been
+//! consumed, its pages are handed back to the kernel, so the process
+//! RSS tracks the chunk budget instead of the file size.
+
+use std::fs::File;
+use std::io;
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::AsRawFd;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+}
+
+const PROT_READ: c_int = 1;
+// Same value on Linux and the BSDs (macOS included).
+const MAP_PRIVATE: c_int = 0x2;
+/// Drop the pages; a later touch refaults them from the backing file.
+const MADV_DONTNEED: c_int = 4;
+
+/// Page size used to align eviction hints. 4 KiB is the smallest page
+/// size on every supported target; aligning *inward* to it only ever
+/// under-evicts, never touches bytes outside the requested range.
+const PAGE: usize = 4096;
+
+/// A read-only, file-backed, private memory mapping.
+///
+/// The mapping lives for the struct's lifetime; pages fault in lazily
+/// on first touch and can be released early with
+/// [`Mmap::advise_dontneed`]. A zero-length file maps to an empty
+/// slice without calling `mmap` (which rejects length 0).
+pub struct Mmap {
+    ptr: *mut c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only and owned; sharing &Mmap across
+// threads only ever reads the mapped bytes.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the whole of `file` read-only.
+    pub fn map_readonly(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap { ptr: std::ptr::null_mut(), len: 0 });
+        }
+        // SAFETY: fd is valid for the duration of the call; a private
+        // read-only mapping of a regular file has no aliasing hazards
+        // (writes through other handles may or may not be visible, but
+        // the .bmx reader checksums the file before trusting it).
+        let ptr = unsafe {
+            mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len describe a live PROT_READ mapping owned by self.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+
+    /// Hints the kernel that `offset..offset + len` will not be needed
+    /// again soon, releasing its resident pages (a later touch refaults
+    /// from the file). The range is aligned *inward* to page boundaries
+    /// so partially covered pages — which may still hold live neighbors
+    /// — are kept. Advisory only: failure is ignored, correctness never
+    /// depends on the pages actually going away.
+    pub fn advise_dontneed(&self, offset: usize, len: usize) {
+        let start = offset.checked_add(PAGE - 1).map(|v| v & !(PAGE - 1)).unwrap_or(self.len);
+        let end = offset.saturating_add(len).min(self.len) & !(PAGE - 1);
+        if start >= end {
+            return;
+        }
+        // SAFETY: [start, end) is page-aligned and within the owned
+        // mapping; MADV_DONTNEED on a private file mapping just drops
+        // clean pages.
+        unsafe {
+            madvise((self.ptr as *mut u8).add(start) as *mut c_void, end - start, MADV_DONTNEED);
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: unmapping the exact region this struct mapped.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bstc_mmap_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents_and_survives_advice() {
+        let path = tmp("basic");
+        let payload: Vec<u8> = (0..100_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map_readonly(&file).unwrap();
+        assert_eq!(map.as_slice(), &payload[..]);
+        // Evicted pages must refault to identical contents.
+        map.advise_dontneed(0, map.len());
+        assert_eq!(map.as_slice(), &payload[..]);
+        // Misaligned, partial, and out-of-range hints are all safe no-ops
+        // or inward-aligned evictions.
+        map.advise_dontneed(3, 10);
+        map.advise_dontneed(map.len() - 1, 100);
+        map.advise_dontneed(usize::MAX - 10, 100);
+        assert_eq!(map.as_slice(), &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = tmp("empty");
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map_readonly(&file).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.as_slice(), &[] as &[u8]);
+        std::fs::remove_file(&path).ok();
+    }
+}

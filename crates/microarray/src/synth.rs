@@ -232,6 +232,173 @@ fn normal(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
+// ---------------------------------------------------------------------------
+// Streaming (counter-based) generation — the out-of-core scale path
+// ---------------------------------------------------------------------------
+
+/// splitmix64 finalizer: a high-quality 64-bit mix, the standard
+/// counter-based RNG core.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Uniform in `[0, 1)` from the top 53 bits of a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The same planted-marker model as [`SynthConfig::generate`], but
+/// *random-access*: every expression value is a pure function of
+/// `(seed, sample, gene)` via a counter-based RNG, so the matrix can be
+/// produced in any order — in particular **column-major straight into a
+/// `.bmx` file** with a single column of buffering, which is what lets
+/// `synth` scale to millions of samples without ever materializing the
+/// matrix ([`StreamingSynth::write_bmx`]).
+///
+/// Note the sequential generator draws from one RNG stream in row-major
+/// order and therefore *cannot* be replayed column-wise; this generator
+/// uses its own (deterministic, seeded) stream, so the two produce
+/// statistically identical but not bit-identical datasets.
+pub struct StreamingSynth {
+    cfg: SynthConfig,
+    /// Cumulative class sizes; `class_starts[c]` = first sample of class `c`.
+    class_starts: Vec<usize>,
+}
+
+/// Hash domains keeping the per-purpose streams independent.
+const DOM_MU: u64 = 0x01;
+const DOM_SIGMA: u64 = 0x02;
+const DOM_ATYPICAL: u64 = 0x03;
+const DOM_WOBBLY: u64 = 0x04;
+const DOM_MODULE: u64 = 0x05;
+const DOM_DROP: u64 = 0x06;
+const DOM_FLIP: u64 = 0x07;
+const DOM_NOISE1: u64 = 0x08;
+const DOM_NOISE2: u64 = 0x09;
+
+impl StreamingSynth {
+    /// Wraps a validated config for random-access generation.
+    pub fn new(cfg: SynthConfig) -> Result<StreamingSynth, String> {
+        cfg.validate()?;
+        let mut class_starts = Vec::with_capacity(cfg.class_sizes.len() + 1);
+        let mut acc = 0usize;
+        for &size in &cfg.class_sizes {
+            class_starts.push(acc);
+            acc += size;
+        }
+        class_starts.push(acc);
+        Ok(StreamingSynth { cfg, class_starts })
+    }
+
+    /// The wrapped config.
+    pub fn config(&self) -> &SynthConfig {
+        &self.cfg
+    }
+
+    /// Total number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.cfg.n_samples()
+    }
+
+    fn h(&self, dom: u64, a: u64, b: u64) -> u64 {
+        mix(mix(mix(self.cfg.seed ^ dom.wrapping_mul(0xa076_1d64_78bd_642f)).wrapping_add(a))
+            .wrapping_add(b))
+    }
+
+    /// Class label of sample `s` (samples are laid out in class blocks,
+    /// like the sequential generator).
+    pub fn label(&self, s: usize) -> ClassId {
+        assert!(s < self.n_samples(), "sample {s} out of range");
+        self.class_starts.partition_point(|&start| start <= s) - 1
+    }
+
+    /// All labels in sample order.
+    pub fn labels(&self) -> Vec<ClassId> {
+        (0..self.n_samples()).map(|s| self.label(s)).collect()
+    }
+
+    /// Expression value of gene `g` in sample `s` — pure in
+    /// `(seed, s, g)`, identical whichever order callers ask.
+    pub fn value(&self, s: usize, g: usize) -> f64 {
+        let cfg = &self.cfg;
+        let n_classes = cfg.class_sizes.len();
+        let m = cfg.markers_per_class;
+        let n_modules = cfg.marker_modules.max(1);
+        let (s64, g64) = (s as u64, g as u64);
+
+        let mu = 2.0 + 8.0 * unit(self.h(DOM_MU, g64, 0));
+        let sigma = 0.5 + unit(self.h(DOM_SIGMA, g64, 0));
+
+        let c = self.label(s);
+        let is_marker = g < m * n_classes && g / m == c;
+        let shifted = if is_marker {
+            let base = if cfg.marker_modules <= 1 {
+                unit(self.h(DOM_DROP, s64, g64)) >= cfg.marker_dropout
+            } else {
+                let module = ((g % m) % n_modules) as u64;
+                unit(self.h(DOM_MODULE, s64, module)) >= cfg.marker_dropout
+            };
+            let wobbly = unit(self.h(DOM_WOBBLY, s64, 0)) < cfg.wobble_rate;
+            if wobbly && unit(self.h(DOM_FLIP, s64, g64)) < cfg.marker_flip {
+                !base
+            } else {
+                base
+            }
+        } else {
+            false
+        };
+        let mean = if shifted {
+            let strength = if unit(self.h(DOM_ATYPICAL, s64, 0)) < cfg.atypical_rate {
+                cfg.atypical_strength
+            } else {
+                1.0
+            };
+            mu + strength * cfg.marker_shift * sigma
+        } else {
+            mu
+        };
+
+        let u1 = 1.0 - unit(self.h(DOM_NOISE1, s64, g64));
+        let u2 = unit(self.h(DOM_NOISE2, s64, g64));
+        mean + sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Streams the dataset into `path` as `.bmx`, column-major, holding
+    /// only one gene column (`8 × n_samples` bytes) plus the label
+    /// vector in memory — the file can exceed RAM by any factor.
+    pub fn write_bmx(&self, path: &std::path::Path) -> Result<(), crate::io::IoError> {
+        let gene_names: Vec<String> =
+            (0..self.cfg.n_genes).map(|g| format!("gene{g:05}")).collect();
+        let mut w = crate::bmx::BmxWriter::create(
+            path,
+            &gene_names,
+            &self.cfg.class_names,
+            &self.labels(),
+        )?;
+        let mut column = vec![0.0f64; self.n_samples()];
+        for g in 0..self.cfg.n_genes {
+            for (s, slot) in column.iter_mut().enumerate() {
+                *slot = self.value(s, g);
+            }
+            w.write_column(&column)?;
+        }
+        w.finish()
+    }
+
+    /// Materializes the full matrix in memory (tests and small runs).
+    pub fn generate(&self) -> ContinuousDataset {
+        let gene_names = (0..self.cfg.n_genes).map(|g| format!("gene{g:05}")).collect();
+        let values = (0..self.n_samples())
+            .map(|s| (0..self.cfg.n_genes).map(|g| self.value(s, g)).collect())
+            .collect();
+        ContinuousDataset::new(gene_names, self.cfg.class_names.clone(), values, self.labels())
+            .expect("streaming generator output is valid by construction")
+    }
+}
+
 /// Configuration for the direct boolean generator (no discretization step).
 ///
 /// Used by mining benchmarks that want to control the discretized shape
@@ -558,6 +725,71 @@ mod tests {
         };
         assert!(on(0) >= 15, "marker on-rate too low: {}", on(0));
         assert!(on(1) <= 5, "background on-rate too high: {}", on(1));
+    }
+
+    #[test]
+    fn streaming_synth_is_order_independent_and_deterministic() {
+        let s = StreamingSynth::new(tiny()).unwrap();
+        // Row-major and column-major traversal must see identical values.
+        let by_rows: Vec<Vec<f64>> =
+            (0..s.n_samples()).map(|i| (0..40).map(|g| s.value(i, g)).collect()).collect();
+        for g in (0..40).rev() {
+            for i in (0..s.n_samples()).rev() {
+                assert_eq!(s.value(i, g).to_bits(), by_rows[i][g].to_bits());
+            }
+        }
+        let again = StreamingSynth::new(tiny()).unwrap();
+        assert_eq!(again.value(3, 7).to_bits(), s.value(3, 7).to_bits());
+        let mut other = tiny();
+        other.seed = 8;
+        let other = StreamingSynth::new(other).unwrap();
+        assert_ne!(other.value(3, 7).to_bits(), s.value(3, 7).to_bits());
+    }
+
+    #[test]
+    fn streaming_synth_labels_match_class_blocks() {
+        let s = StreamingSynth::new(tiny()).unwrap();
+        let labels = s.labels();
+        assert_eq!(labels.len(), 20);
+        assert!(labels[..8].iter().all(|&c| c == 0));
+        assert!(labels[8..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn streaming_synth_markers_separate_classes() {
+        let cfg = SynthConfig { marker_dropout: 0.0, marker_shift: 4.0, ..tiny() };
+        let m = cfg.markers_per_class;
+        let s = StreamingSynth::new(cfg).unwrap();
+        let mean_for = |class: usize| -> f64 {
+            let members: Vec<usize> =
+                (0..s.n_samples()).filter(|&i| s.label(i) == class).collect();
+            let mut acc = 0.0;
+            for &i in &members {
+                for g in 0..m {
+                    acc += s.value(i, g);
+                }
+            }
+            acc / (members.len() * m) as f64
+        };
+        assert!(mean_for(0) > mean_for(1) + 1.0, "{} vs {}", mean_for(0), mean_for(1));
+    }
+
+    #[test]
+    fn streaming_synth_bmx_round_trip_matches_generate() {
+        let path =
+            std::env::temp_dir().join(format!("bstc_synth_{}_stream.bmx", std::process::id()));
+        let s = StreamingSynth::new(tiny()).unwrap();
+        s.write_bmx(&path).unwrap();
+        let bmx = crate::bmx::BmxDataset::open(&path).unwrap();
+        let mem = s.generate();
+        assert_eq!(bmx.labels(), mem.labels());
+        assert_eq!(bmx.gene_names(), mem.gene_names());
+        for g in 0..mem.n_genes() {
+            for i in 0..mem.n_samples() {
+                assert_eq!(bmx.column(g)[i].to_bits(), mem.value(i, g).to_bits());
+            }
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

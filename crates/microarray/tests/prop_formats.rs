@@ -1,0 +1,107 @@
+//! Tri-format equivalence: the TSV, JSON, and `.bmx` codecs must agree
+//! bit-for-bit — a dataset pushed through any chain of the three comes
+//! back with identical names, labels, and `f64` bit patterns — and the
+//! formats must agree on what they *reject*, so a poisoned matrix can't
+//! sneak into MDL through one format when another would refuse it.
+
+use microarray::synth::SynthConfig;
+use microarray::{io, write_bmx, BmxDataset, ContinuousDataset};
+use proptest::prelude::*;
+
+fn config() -> impl Strategy<Value = SynthConfig> {
+    (8usize..32, (4usize..9, 4usize..9), 0u64..1000).prop_map(|(n_genes, (a, b), seed)| {
+        SynthConfig {
+            name: "fmt".into(),
+            n_genes,
+            class_sizes: vec![a, b],
+            class_names: vec!["c0".into(), "c1".into()],
+            markers_per_class: 2,
+            marker_shift: 2.0,
+            marker_dropout: 0.1,
+            marker_modules: 0,
+            wobble_rate: 0.1,
+            marker_flip: 0.0,
+            atypical_rate: 0.0,
+            atypical_strength: 0.3,
+            seed,
+        }
+    })
+}
+
+/// Structural + bit-level equality; panics (= proptest failure) on any
+/// divergence so the report names the first differing coordinate.
+fn assert_bit_identical(a: &ContinuousDataset, b: &ContinuousDataset) {
+    assert_eq!(a.gene_names(), b.gene_names());
+    assert_eq!(a.class_names(), b.class_names());
+    assert_eq!(a.labels(), b.labels());
+    assert_eq!(a.n_samples(), b.n_samples());
+    for s in 0..a.n_samples() {
+        for (g, (x, y)) in a.row(s).iter().zip(b.row(s)).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "sample {s} gene {g}: {x} != {y}");
+        }
+    }
+}
+
+fn bmx_round_trip(data: &ContinuousDataset, tag: &str) -> ContinuousDataset {
+    let path =
+        std::env::temp_dir().join(format!("prop_formats_{}_{tag}.bmx", std::process::id()));
+    write_bmx(data, &path).unwrap();
+    let back = BmxDataset::open(&path).unwrap().to_continuous().unwrap();
+    let _ = std::fs::remove_file(&path);
+    back
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every single-format round trip is bit-identical.
+    #[test]
+    fn each_format_round_trips_bit_identically(cfg in config()) {
+        let data = cfg.generate();
+        let mut tsv_bytes = Vec::new();
+        io::write_cont_tsv(&data, &mut tsv_bytes).unwrap();
+        assert_bit_identical(&data, &io::read_cont_tsv(&tsv_bytes[..]).unwrap());
+        assert_bit_identical(&data, &io::cont_from_json(&io::cont_to_json(&data)).unwrap());
+        assert_bit_identical(&data, &bmx_round_trip(&data, "single"));
+    }
+
+    /// Chaining the codecs (TSV → JSON → .bmx → memory) accumulates no
+    /// drift: the conversions compose without re-encoding loss.
+    #[test]
+    fn chained_conversions_accumulate_no_drift(cfg in config()) {
+        let data = cfg.generate();
+        let mut tsv_bytes = Vec::new();
+        io::write_cont_tsv(&data, &mut tsv_bytes).unwrap();
+        let from_tsv = io::read_cont_tsv(&tsv_bytes[..]).unwrap();
+        let from_json = io::cont_from_json(&io::cont_to_json(&from_tsv)).unwrap();
+        let from_bmx = bmx_round_trip(&from_json, "chain");
+        assert_bit_identical(&data, &from_bmx);
+    }
+
+    /// A non-finite value is rejected on every ingest path: the TSV
+    /// reader refuses the line, and the .bmx writer refuses the column —
+    /// the same matrix cannot be smuggled in via format choice.
+    #[test]
+    fn non_finite_rejection_agrees_across_formats(cfg in config(), which in 0usize..3) {
+        let poison = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][which];
+        let clean = cfg.generate();
+        let mut rows: Vec<Vec<f64>> =
+            (0..clean.n_samples()).map(|s| clean.row(s).to_vec()).collect();
+        rows[0][0] = poison;
+        let poisoned = ContinuousDataset::new(
+            clean.gene_names().to_vec(),
+            clean.class_names().to_vec(),
+            rows,
+            clean.labels().to_vec(),
+        )
+        .unwrap();
+        let mut tsv_bytes = Vec::new();
+        io::write_cont_tsv(&poisoned, &mut tsv_bytes).unwrap();
+        prop_assert!(io::read_cont_tsv(&tsv_bytes[..]).is_err(), "TSV reader accepted {poison}");
+        let path = std::env::temp_dir()
+            .join(format!("prop_formats_{}_poison.bmx", std::process::id()));
+        let result = write_bmx(&poisoned, &path);
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(result.is_err(), "bmx writer accepted {poison}");
+    }
+}

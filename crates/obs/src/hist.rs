@@ -113,12 +113,17 @@ impl Histogram {
         }
     }
 
-    /// Records one value. Lock-free: two relaxed adds plus a bucket
-    /// increment; safe to call from any number of threads concurrently
-    /// with readers.
+    /// Records one value. Lock-free: three atomic adds, never a lock,
+    /// never an allocation; safe to call from any number of threads
+    /// concurrently with readers.
+    ///
+    /// The sum add is a *release*: a reader that acquires the sum (see
+    /// [`Histogram::snapshot_into`]) is guaranteed to also see the
+    /// bucket increment that preceded it, so a rendered `_sum` can
+    /// never include a sample the rendered buckets lack.
     pub fn record(&self, value: u64) {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Release);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -138,13 +143,21 @@ impl Histogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
 
-    /// Accumulates this histogram's bucket counts into `counts`
-    /// (`counts.len()` must be [`N_BUCKETS`]). Used by the windowed
-    /// variant to merge its two epochs into one snapshot.
-    pub(crate) fn add_buckets_into(&self, counts: &mut [u64]) {
+    /// One coherent (sum, buckets) snapshot: loads the sum with
+    /// *acquire* ordering **before** reading any bucket, pairing with
+    /// the release sum add in [`Histogram::record`]. Every sample whose
+    /// value is in the returned sum therefore also has its bucket
+    /// increment in `counts` — the rendered `_sum` can lag the buckets
+    /// (a record between the two reads shows up in buckets only) but
+    /// never lead them. Bucket counts accumulate into `counts`
+    /// (`counts.len()` must be [`BUCKETS_LEN`]) so the windowed variant
+    /// can merge its two epochs; returns this histogram's sum.
+    pub(crate) fn snapshot_into(&self, counts: &mut [u64]) -> u64 {
+        let sum = self.sum.load(Ordering::Acquire);
         for (slot, b) in counts.iter_mut().zip(self.buckets.iter()) {
             *slot += b.load(Ordering::Relaxed);
         }
+        sum
     }
 
     /// Zeroes every bucket plus the count and sum. Not atomic with
@@ -175,10 +188,14 @@ impl Histogram {
     /// cumulative `<metric>_bucket{...,le="..."}` samples (non-empty
     /// buckets plus `+Inf`), then `<metric>_count` and `<metric>_sum`.
     /// The caller writes the one `# TYPE <metric> histogram` line per
-    /// family. Counts are snapshotted once, so the rendered buckets are
-    /// always monotone and `_count` equals the `+Inf` bucket.
+    /// family. Counts and sum come from one [`Histogram::snapshot_into`]
+    /// snapshot, so the rendered buckets are always monotone, `_count`
+    /// equals the `+Inf` bucket, and `_sum` never includes a sample the
+    /// buckets lack.
     pub fn render_into(&self, out: &mut String, metric: &str, labels: &[(&str, &str)]) {
-        render_counts_into(out, metric, labels, &self.load_buckets(), self.sum());
+        let mut counts = vec![0u64; BUCKETS_LEN];
+        let sum = self.snapshot_into(&mut counts);
+        render_counts_into(out, metric, labels, &counts, sum);
     }
 }
 

@@ -20,7 +20,12 @@
 //! * [`log`] — a structured logger emitting JSON lines (or plain text)
 //!   with per-request trace IDs ([`log::request_id`]), a minimum-level
 //!   filter plus per-(level, event) token-bucket rate limiting, and
-//!   swappable sinks for tests.
+//!   swappable sinks: stderr, an in-memory test buffer, or a
+//!   size-rotated file ([`log::set_file_sink`]);
+//! * [`trace`] — [`Trace`], parent-span trees with cross-process
+//!   joining ([`Trace::adopt`] re-maps a worker's span ids under a
+//!   parent span), how the sharded CV driver shows shard → replicate
+//!   structure in one tree.
 //!
 //! The training pipeline records into the global registry (stages
 //! `mdl_cuts`, `binarize`, `bst_build`, `compile`, `classify_batch`);
@@ -33,9 +38,11 @@
 pub mod hist;
 pub mod log;
 pub mod stage;
+pub mod trace;
 pub mod window;
 
 pub use hist::{nearest_rank_index, percentile_of_sorted, Histogram};
 pub use log::{Level, LogFormat};
 pub use stage::{global, Registry, Stage, StageTotal};
+pub use trace::{Span, SpanRecord, Trace};
 pub use window::WindowedHistogram;

@@ -24,7 +24,9 @@
 //! RNG dependency.
 
 use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
 use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
@@ -113,6 +115,54 @@ struct Bucket {
 enum Sink {
     Stderr,
     Buffer(Arc<Mutex<Vec<u8>>>),
+    File(FileSink),
+}
+
+/// A size-rotated log file: when appending a line would push the active
+/// file past `max_bytes`, the file is renamed to `<path>.1` (shifting
+/// `.1 → .2 …` up to `keep` rotated files, dropping the oldest) and a
+/// fresh file is opened. `keep == 0` truncates in place instead of
+/// renaming. Rotation happens between lines, never mid-line.
+struct FileSink {
+    path: PathBuf,
+    file: File,
+    written: u64,
+    max_bytes: u64,
+    keep: usize,
+}
+
+impl FileSink {
+    fn rotated(&self, i: usize) -> PathBuf {
+        PathBuf::from(format!("{}.{i}", self.path.display()))
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        if self.keep == 0 {
+            self.file = File::create(&self.path)?;
+        } else {
+            let _ = std::fs::remove_file(self.rotated(self.keep));
+            for i in (1..self.keep).rev() {
+                let _ = std::fs::rename(self.rotated(i), self.rotated(i + 1));
+            }
+            let _ = std::fs::rename(&self.path, self.rotated(1));
+            self.file = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        }
+        self.written = 0;
+        Ok(())
+    }
+
+    fn write_line(&mut self, line: &[u8]) {
+        if self.max_bytes > 0
+            && self.written > 0
+            && self.written + line.len() as u64 > self.max_bytes
+        {
+            let _ = self.rotate();
+        }
+        if self.file.write_all(line).is_ok() {
+            self.written += line.len() as u64;
+        }
+    }
 }
 
 struct State {
@@ -174,6 +224,23 @@ pub fn capture() -> Arc<Mutex<Vec<u8>>> {
     guard.sink = Sink::Buffer(Arc::clone(&buffer));
     guard.buckets = None;
     buffer
+}
+
+/// Redirects all subsequent log output to a size-rotated file
+/// (`bstc-cli --log-file`). The file is opened in append mode so
+/// restarts continue an existing log. When appending would exceed
+/// `max_bytes`, the file rotates: `<path>` becomes `<path>.1`, shifting
+/// older rotations up to `<path>.<keep>` and deleting beyond that
+/// (`max_bytes == 0` disables rotation; `keep == 0` truncates in place).
+/// Call [`use_stderr`] to restore the default sink.
+pub fn set_file_sink(path: &Path, max_bytes: u64, keep: usize) -> std::io::Result<()> {
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    let written = file.metadata()?.len();
+    let mut guard = state();
+    guard.sink =
+        Sink::File(FileSink { path: path.to_path_buf(), file, written, max_bytes, keep });
+    guard.buckets = None;
+    Ok(())
 }
 
 /// Restores the default stderr sink.
@@ -254,7 +321,7 @@ pub fn emit(level: Level, event: &str, fields: &[(&str, &str)]) {
 /// limiter — use [`emit`] (or the level helpers) on anything hot.
 pub fn write_event(level: &str, event: &str, fields: &[(&str, &str)]) {
     let ts = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs_f64()).unwrap_or(0.0);
-    let guard = state();
+    let mut guard = state();
     let mut line = String::with_capacity(96);
     match guard.format {
         LogFormat::Json => {
@@ -279,7 +346,7 @@ pub fn write_event(level: &str, event: &str, fields: &[(&str, &str)]) {
         }
     }
     line.push('\n');
-    match &guard.sink {
+    match &mut guard.sink {
         Sink::Stderr => {
             let _ = std::io::stderr().lock().write_all(line.as_bytes());
         }
@@ -289,6 +356,7 @@ pub fn write_event(level: &str, event: &str, fields: &[(&str, &str)]) {
                 .unwrap_or_else(PoisonError::into_inner)
                 .extend_from_slice(line.as_bytes());
         }
+        Sink::File(sink) => sink.write_line(line.as_bytes()),
     }
 }
 
@@ -454,6 +522,56 @@ mod tests {
         let resumed = out.lines().find(|l| l.contains("suppressed=")).expect("resume line");
         assert!(resumed.contains("suppressed=7"), "{resumed}");
         assert!(resumed.contains("k=v"), "{resumed}");
+    }
+
+    #[test]
+    fn file_sink_rotates_at_the_size_budget_and_bounds_retention() {
+        let _g = TEST_GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir = std::env::temp_dir().join(format!("obs_log_rotate_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bstc.log");
+        for stale in
+            [path.clone(), dir.join("bstc.log.1"), dir.join("bstc.log.2"), dir.join("bstc.log.3")]
+        {
+            let _ = std::fs::remove_file(stale);
+        }
+        // Each line is ~40 bytes; a 100-byte budget forces a rotation
+        // every couple of lines. keep=2 → at most bstc.log + .1 + .2.
+        set_file_sink(&path, 100, 2).unwrap();
+        for i in 0..12 {
+            let n = i.to_string();
+            info("tick", &[("i", n.as_str())]);
+        }
+        use_stderr();
+        assert!(path.exists());
+        assert!(dir.join("bstc.log.1").exists());
+        assert!(dir.join("bstc.log.2").exists());
+        assert!(!dir.join("bstc.log.3").exists(), "retention must stop at keep");
+        // No line is ever split across files, and the newest lines are
+        // in the active file.
+        let active = std::fs::read_to_string(&path).unwrap();
+        assert!(active.lines().all(|l| l.contains("event=tick")), "{active}");
+        assert!(active.contains("i=11"), "{active}");
+        let rotated = std::fs::read_to_string(dir.join("bstc.log.1")).unwrap();
+        assert!(rotated.len() as u64 <= 100 + 64, "rotation should keep files near budget");
+    }
+
+    #[test]
+    fn file_sink_appends_across_reopens() {
+        let _g = TEST_GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir = std::env::temp_dir().join(format!("obs_log_append_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("append.log");
+        let _ = std::fs::remove_file(&path);
+        set_file_sink(&path, 0, 0).unwrap(); // max_bytes=0 → never rotate
+        info("first", &[]);
+        use_stderr();
+        set_file_sink(&path, 0, 0).unwrap();
+        info("second", &[]);
+        use_stderr();
+        let all = std::fs::read_to_string(&path).unwrap();
+        assert!(all.contains("event=first") && all.contains("event=second"), "{all}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

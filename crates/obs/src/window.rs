@@ -69,49 +69,56 @@ impl WindowedHistogram {
         self.epochs[self.active.load(Ordering::Relaxed)].record(value);
     }
 
-    /// Rotates epochs if the active one has outlived the window. Called
-    /// from every read path; cheap when no flip is due (one mutex lock
-    /// per read — reads are scrapes, not the hot path).
-    fn maybe_flip(&self) {
+    /// Flips epochs if the active one has outlived the window, then
+    /// takes one merged (buckets, sum) snapshot of both epochs — all
+    /// under the flip lock, so no concurrent reader can reset an epoch
+    /// between this reader's bucket and sum reads. Each epoch's sum and
+    /// buckets come from a single [`Histogram::snapshot_into`] call
+    /// (sum acquired before buckets), so the merged `_sum` never counts
+    /// a sample the merged buckets lack — a racing `record` shows up in
+    /// neither or in the buckets only, keeping `_sum` ≤ what the
+    /// buckets can explain. (The flip's reset keeps its documented
+    /// couple-of-samples-per-window noise; that requires a writer
+    /// stalled mid-record across a whole window, not a scrape race.)
+    /// The lock is per *read*; records stay lock-free (reads are
+    /// scrapes, not the hot path).
+    fn flip_and_snapshot(&self) -> (Vec<u64>, u64) {
         let mut flipped_at = self.flipped_at.lock().unwrap_or_else(|e| e.into_inner());
-        if flipped_at.elapsed() < self.window {
-            return;
+        if flipped_at.elapsed() >= self.window {
+            let active = self.active.load(Ordering::Relaxed);
+            let next = 1 - active;
+            // The outgoing inactive epoch holds the window before last —
+            // clear it and direct writers at it.
+            self.epochs[next].reset();
+            self.active.store(next, Ordering::Relaxed);
+            *flipped_at = Instant::now();
         }
-        let active = self.active.load(Ordering::Relaxed);
-        let next = 1 - active;
-        // The outgoing inactive epoch holds the window before last —
-        // clear it and direct writers at it.
-        self.epochs[next].reset();
-        self.active.store(next, Ordering::Relaxed);
-        *flipped_at = Instant::now();
-    }
-
-    /// Merged bucket snapshot of both epochs.
-    fn merged_counts(&self) -> Vec<u64> {
         let mut counts = vec![0u64; BUCKETS_LEN];
+        let mut sum = 0u64;
         for epoch in &self.epochs {
-            epoch.add_buckets_into(&mut counts);
+            sum = sum.wrapping_add(epoch.snapshot_into(&mut counts));
         }
-        counts
+        (counts, sum)
     }
 
     /// Number of values recorded in the last 1–2 windows.
     pub fn count(&self) -> u64 {
-        self.maybe_flip();
-        self.epochs.iter().map(|e| e.count()).sum()
+        let (counts, _) = self.flip_and_snapshot();
+        counts.iter().sum()
     }
 
     /// Sum of the values recorded in the last 1–2 windows.
     pub fn sum(&self) -> u64 {
-        self.maybe_flip();
-        self.epochs.iter().map(|e| e.sum()).sum()
+        let (_, sum) = self.flip_and_snapshot();
+        sum
     }
 
     /// Nearest-rank p-quantile over the last 1–2 windows (same bucket
     /// semantics as [`Histogram::percentile`]).
     pub fn percentile(&self, p: f64) -> u64 {
-        self.maybe_flip();
-        percentile_from_counts(&self.merged_counts())(p)
+        let (counts, _) = self.flip_and_snapshot();
+        let q = percentile_from_counts(&counts)(p);
+        q
     }
 
     /// Prometheus text exposition of the merged epochs (same shape as
@@ -119,9 +126,7 @@ impl WindowedHistogram {
     /// are *windowed*, not cumulative — rate() over them is meaningless;
     /// they exist for quantile extraction.
     pub fn render_into(&self, out: &mut String, metric: &str, labels: &[(&str, &str)]) {
-        self.maybe_flip();
-        let counts = self.merged_counts();
-        let sum: u64 = self.epochs.iter().map(|e| e.sum()).sum();
+        let (counts, sum) = self.flip_and_snapshot();
         render_counts_into(out, metric, labels, &counts, sum);
     }
 }
@@ -156,6 +161,59 @@ mod tests {
         w.record(10);
         assert_eq!(w.count(), 1, "cold-start samples evicted");
         assert!(w.percentile(0.99) < 1000, "p99 reflects steady state only");
+    }
+
+    /// Regression test for the counts/sum scrape race: `render_into`
+    /// used to snapshot the bucket counts and then re-read the live
+    /// epoch sums, so a `record` landing between the two reads made the
+    /// rendered `_sum` include a sample the buckets lacked. The value
+    /// 1023 is exactly a bucket upper edge, so with a coherent snapshot
+    /// `_sum == count × 1023` must hold *exactly* — a single leaked
+    /// sample trips the assertion. The window is long enough that no
+    /// flip occurs mid-test: the flip's (documented, bounded) reset
+    /// noise is a separate phenomenon from the scrape race under test.
+    #[test]
+    fn concurrent_records_never_leak_into_sum_ahead_of_buckets() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        const VALUE: u64 = 1023;
+        let w = Arc::new(WindowedHistogram::new(Duration::from_secs(3600)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        w.record(VALUE);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..2000 {
+            let mut out = String::new();
+            w.render_into(&mut out, "m", &[]);
+            let mut sum = None;
+            let mut inf = None;
+            for line in out.lines() {
+                if let Some(rest) = line.strip_prefix("m_sum ") {
+                    sum = rest.parse::<u64>().ok();
+                } else if let Some(rest) = line.strip_prefix("m_bucket{le=\"+Inf\"} ") {
+                    inf = rest.parse::<u64>().ok();
+                }
+            }
+            let (sum, inf) = (sum.expect("sum line"), inf.expect("+Inf line"));
+            assert!(
+                sum <= inf * VALUE,
+                "rendered _sum {sum} exceeds {inf} bucketed samples × {VALUE}: a \
+                 record leaked into the sum ahead of its bucket\n{out}"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in writers {
+            t.join().unwrap();
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! On disk a bundle is a JSON envelope
 //!
 //! ```json
-//! { "format_version": 1,
+//! { "format_version": 2,
 //!   "checksum": "fnv1a64:<16 hex digits>",
 //!   "bundle": { ... } }
 //! ```
@@ -28,8 +28,10 @@ use std::fmt;
 use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError};
 
-/// The bundle format this build writes and accepts.
-pub const FORMAT_VERSION: u64 = 1;
+/// The bundle format this build writes and accepts. v2 switched the
+/// model's exclusion-list items to the compact gap-hex string encoding;
+/// v1 bundles are refused rather than silently misread.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Where a bundle came from — carried verbatim, surfaced by `GET /model`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -516,9 +518,12 @@ mod tests {
     #[test]
     fn wrong_format_version_is_refused() {
         let b = ModelBundle::train(&toy(), Provenance::new("toy", None)).unwrap();
-        let text = b.to_json().unwrap().replace("\"format_version\":1", "\"format_version\":99");
+        let text = b.to_json().unwrap().replace(
+            &format!("\"format_version\":{FORMAT_VERSION}"),
+            "\"format_version\":99",
+        );
         match ModelBundle::from_json(&text) {
-            Err(BundleError::FormatVersion { found: 99, expected: 1 }) => {}
+            Err(BundleError::FormatVersion { found: 99, expected: FORMAT_VERSION }) => {}
             other => panic!("expected FormatVersion error, got {other:?}"),
         }
     }
@@ -535,7 +540,7 @@ mod tests {
         assert!(matches!(ModelBundle::from_json("not json"), Err(BundleError::Json(_))));
         assert!(matches!(ModelBundle::from_json("{}"), Err(BundleError::Envelope(_))));
         assert!(matches!(
-            ModelBundle::from_json("{\"format_version\":1}"),
+            ModelBundle::from_json(&format!("{{\"format_version\":{FORMAT_VERSION}}}")),
             Err(BundleError::Envelope(_))
         ));
     }

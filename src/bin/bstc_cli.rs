@@ -19,11 +19,13 @@
 
 use bstc::BstcModel;
 use discretize::Discretizer;
-use microarray::io;
+use eval::SplitSpec;
+use microarray::{io, BmxDataset, ColumnSource, ContinuousDataset};
 use serve::{ModelBundle, Provenance, ServerConfig};
 use std::fmt;
 use std::fs::File;
 use std::io::Write as _;
+use std::path::Path;
 use std::process::ExitCode;
 
 /// The single CLI error type: every subcommand returns it, `main` maps it
@@ -52,17 +54,21 @@ fn err<E: fmt::Display>(e: E) -> CliError {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("synth") => cmd_synth(&args[1..]),
-        Some("discretize") => cmd_discretize(&args[1..]),
-        Some("train") => cmd_train(&args[1..]),
-        Some("classify") => cmd_classify(&args[1..]),
-        Some("mine") => cmd_mine(&args[1..]),
-        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(CliError::Usage(format!("unknown command '{other}'\n{USAGE}"))),
+        Some(cmd) => apply_log_flags(&args[1..]).and_then(|()| match cmd {
+            "synth" => cmd_synth(&args[1..]),
+            "discretize" => cmd_discretize(&args[1..]),
+            "train" => cmd_train(&args[1..]),
+            "classify" => cmd_classify(&args[1..]),
+            "mine" => cmd_mine(&args[1..]),
+            "cv" => cmd_cv(&args[1..]),
+            "cv-shard" => cmd_cv_shard(&args[1..]),
+            "serve" => cmd_serve(&args[1..]),
+            other => Err(CliError::Usage(format!("unknown command '{other}'\n{USAGE}"))),
+        }),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -79,13 +85,22 @@ fn main() -> ExitCode {
 const USAGE: &str = "bstc-cli — Boolean Structure Table Classification
 
 commands:
-  synth      --preset all|lc|pc|oc [--seed N] [--scale K] --out FILE.tsv
+  synth      --preset all|lc|pc|oc [--seed N] [--scale K] [--genes N]
+             [--class-sizes A,B,..] --out FILE.tsv|FILE.bmx
+             (a .bmx target streams columns to disk — any sample count, flat RSS)
   discretize --train FILE.tsv [--apply FILE.tsv] --out FILE.tsv [--cuts FILE.json]
   train      --data FILE.tsv --model FILE.json [--bench-out FILE.json]
+  train      --data FILE.bmx --model FILE.json [--chunk-bytes N]
+             [--assert-peak-rss-mb MB]   (out-of-core: mmap + chunked streaming)
   train      --data FILE.tsv --save BUNDLE.json [--dataset NAME] [--seed N]
              [--bench-out FILE.json]   (stage breakdown -> BENCH_train.json)
   classify   --model FILE.json --data FILE.tsv
   mine       --data FILE.tsv --class N [-k K]
+  cv         --data FILE.tsv|FILE.bmx [--spec 0.6|8,10] [--reps N] [--seed N]
+             [--chunk-bytes N] [--shards K] [--out FILE.json]
+             (sharded runs merge bit-identically to --shards 1)
+  cv-shard   --data FILE --spec SPEC --rep-start A --rep-end B --seed N
+             [--chunk-bytes N]   (worker: one JSON document on stdout)
   serve      --model BUNDLE.json | --models-dir DIR [--addr HOST:PORT] [--threads N]
              [--queue-depth N] [--request-timeout SECS]  (0 disables the deadline)
              [--max-batch N]  (0 disables micro-batching)  [--batch-wait-us US]
@@ -94,7 +109,10 @@ commands:
              [--chunk-threshold BYTES]  (0 disables chunked responses)
              [--default-model NAME] [--max-resident N]  (0 = no residency cap)
              [--shadow PRIMARY=CANDIDATE[:PCT]]...  [--shadow-seed N]
-             [--log-format text|json] [--log-level debug|info|warn|error]";
+
+every command also accepts the logging flags:
+  [--log-format text|json] [--log-level debug|info|warn|error]
+  [--log-file PATH [--log-rotate-bytes N] [--log-rotate-keep K]]";
 
 /// Pulls `--flag value` pairs out of an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -126,12 +144,140 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Optio
     }
 }
 
+/// Applies the logging flags every command shares: `--log-format`,
+/// `--log-level`, and `--log-file PATH` with its rotation knobs
+/// (`--log-rotate-bytes`, default 10 MiB; `--log-rotate-keep`, default
+/// 3 rotated files). Runs before command dispatch so workers spawned by
+/// `cv` inherit explicit flags rather than ambient state.
+fn apply_log_flags(args: &[String]) -> Result<(), CliError> {
+    if let Some(raw) = flag(args, "--log-format") {
+        obs::log::set_format(raw.parse::<obs::LogFormat>().map_err(CliError::Usage)?);
+    }
+    if let Some(raw) = flag(args, "--log-level") {
+        obs::log::set_level(raw.parse::<obs::Level>().map_err(CliError::Usage)?);
+    }
+    if let Some(path) = flag(args, "--log-file") {
+        let max_bytes: u64 = parse_flag(args, "--log-rotate-bytes")?.unwrap_or(10 << 20);
+        let keep: usize = parse_flag(args, "--log-rotate-keep")?.unwrap_or(3);
+        obs::log::set_file_sink(Path::new(&path), max_bytes, keep)
+            .map_err(|e| CliError::Run(format!("cannot open log file {path}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Peak resident set size of this process in MiB (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Parses `--spec`: a fraction like `0.6`, or per-class training counts
+/// like `8,10` (class 0 first — the paper's 1-x/0-y tests).
+fn parse_spec(raw: &str) -> Result<SplitSpec, CliError> {
+    if raw.contains(',') {
+        let counts = raw
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("bad count '{p}' in --spec")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SplitSpec::FixedCounts(counts))
+    } else {
+        let f: f64 = raw.parse().map_err(|_| {
+            CliError::Usage(format!("bad --spec '{raw}' (fraction like 0.6, or counts like 8,10)"))
+        })?;
+        if !(f > 0.0 && f < 1.0) {
+            return Err(CliError::Usage("--spec fraction must be in (0, 1)".into()));
+        }
+        Ok(SplitSpec::Fraction(f))
+    }
+}
+
+/// The CV data argument, dispatched on extension: `.bmx` opens the
+/// mmap-backed columnar reader (out-of-core), anything else reads the
+/// continuous TSV into memory. Both stream through [`ColumnSource`].
+enum CvSource {
+    Mem(ContinuousDataset),
+    Bmx(BmxDataset),
+}
+
+fn open_source(path: &str) -> Result<CvSource, CliError> {
+    if path.ends_with(".bmx") {
+        Ok(CvSource::Bmx(BmxDataset::open(Path::new(path)).map_err(err)?))
+    } else {
+        Ok(CvSource::Mem(io::read_cont_tsv(File::open(path).map_err(err)?).map_err(err)?))
+    }
+}
+
+impl ColumnSource for CvSource {
+    fn n_genes(&self) -> usize {
+        match self {
+            CvSource::Mem(d) => ColumnSource::n_genes(d),
+            CvSource::Bmx(d) => ColumnSource::n_genes(d),
+        }
+    }
+
+    fn n_samples(&self) -> usize {
+        match self {
+            CvSource::Mem(d) => ColumnSource::n_samples(d),
+            CvSource::Bmx(d) => ColumnSource::n_samples(d),
+        }
+    }
+
+    fn n_classes(&self) -> usize {
+        match self {
+            CvSource::Mem(d) => ColumnSource::n_classes(d),
+            CvSource::Bmx(d) => ColumnSource::n_classes(d),
+        }
+    }
+
+    fn gene_names(&self) -> &[String] {
+        match self {
+            CvSource::Mem(d) => ColumnSource::gene_names(d),
+            CvSource::Bmx(d) => ColumnSource::gene_names(d),
+        }
+    }
+
+    fn class_names(&self) -> &[String] {
+        match self {
+            CvSource::Mem(d) => ColumnSource::class_names(d),
+            CvSource::Bmx(d) => ColumnSource::class_names(d),
+        }
+    }
+
+    fn labels(&self) -> &[microarray::ClassId] {
+        match self {
+            CvSource::Mem(d) => ColumnSource::labels(d),
+            CvSource::Bmx(d) => ColumnSource::labels(d),
+        }
+    }
+
+    fn column_into(&self, g: usize, out: &mut Vec<f64>) {
+        match self {
+            CvSource::Mem(d) => d.column_into(g, out),
+            CvSource::Bmx(d) => d.column_into(g, out),
+        }
+    }
+
+    fn evict_hint(&self, genes: std::ops::Range<usize>) {
+        match self {
+            CvSource::Mem(d) => d.evict_hint(genes),
+            CvSource::Bmx(d) => d.evict_hint(genes),
+        }
+    }
+}
+
 fn cmd_synth(args: &[String]) -> Result<(), CliError> {
     let preset = require(args, "--preset")?;
     let out = require(args, "--out")?;
     let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(42);
     let scale: usize = parse_flag(args, "--scale")?.unwrap_or(10);
-    let cfg = match preset.as_str() {
+    let mut cfg = match preset.as_str() {
         "all" => microarray::synth::presets::all_aml(seed),
         "lc" => microarray::synth::presets::lung(seed),
         "pc" => microarray::synth::presets::prostate(seed),
@@ -142,6 +288,42 @@ fn cmd_synth(args: &[String]) -> Result<(), CliError> {
         }
     }
     .scaled_down(scale.max(1));
+    // Dimension overrides, mainly for growing a preset far beyond the
+    // paper's sizes (the .bmx path below handles millions of samples).
+    if let Some(n) = parse_flag::<usize>(args, "--genes")? {
+        cfg.n_genes = n;
+    }
+    if let Some(raw) = flag(args, "--class-sizes") {
+        let sizes = raw
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("bad count '{p}' in --class-sizes")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if sizes.len() != cfg.class_sizes.len() {
+            return Err(CliError::Usage(format!(
+                "--class-sizes needs {} comma-separated counts for preset '{preset}'",
+                cfg.class_sizes.len()
+            )));
+        }
+        cfg.class_sizes = sizes;
+    }
+    if out.ends_with(".bmx") {
+        // Columnar streaming: each (sample, gene) value is computed from
+        // a counter-based hash, so columns are written one at a time and
+        // RSS stays flat no matter how many samples are requested.
+        let synth = microarray::synth::StreamingSynth::new(cfg).map_err(CliError::Usage)?;
+        synth.write_bmx(Path::new(&out)).map_err(err)?;
+        eprintln!(
+            "wrote {} ({} genes x {} samples, streamed columnar)",
+            out,
+            synth.config().n_genes,
+            synth.n_samples()
+        );
+        return Ok(());
+    }
     let data = cfg.generate();
     io::write_cont_tsv(&data, File::create(&out).map_err(err)?).map_err(err)?;
     eprintln!(
@@ -191,19 +373,31 @@ struct StageEntry {
 
 /// The `BENCH_train.json` report: per-stage decomposition of one
 /// `train` invocation (the paper's Tables 4–7 are exactly such
-/// per-stage cost claims).
+/// per-stage cost claims). Streamed runs additionally record the chunk
+/// budget, the on-disk matrix size, and the observed peak RSS — the
+/// out-of-core claim is `peak_rss_mb` ≪ `matrix_bytes`.
 #[derive(serde::Serialize)]
 struct TrainReport {
     data: String,
     mode: &'static str,
     total_secs: f64,
+    peak_rss_mb: Option<f64>,
+    chunk_bytes: Option<usize>,
+    matrix_bytes: Option<usize>,
     stages: Vec<StageEntry>,
 }
 
 /// Prints the per-stage breakdown and writes it to `--bench-out`
-/// (default `BENCH_train.json`). A failed report write is a warning,
+/// (default `BENCH_train.json`). `stream` carries a chunked run's
+/// `(chunk_bytes, matrix_bytes)`. A failed report write is a warning,
 /// not an error: the model artifact was already written.
-fn report_train_stages(args: &[String], data_path: &str, mode: &'static str, total_secs: f64) {
+fn report_train_stages(
+    args: &[String],
+    data_path: &str,
+    mode: &'static str,
+    total_secs: f64,
+    stream: Option<(usize, usize)>,
+) {
     let stages: Vec<StageEntry> = obs::global()
         .totals()
         .into_iter()
@@ -214,7 +408,15 @@ fn report_train_stages(args: &[String], data_path: &str, mode: &'static str, tot
         eprintln!("  {:<12} {:>4} span(s)  {:.4}s", s.stage, s.count, s.total_secs);
     }
     let out = flag(args, "--bench-out").unwrap_or_else(|| "BENCH_train.json".into());
-    let report = TrainReport { data: data_path.to_string(), mode, total_secs, stages };
+    let report = TrainReport {
+        data: data_path.to_string(),
+        mode,
+        total_secs,
+        peak_rss_mb: peak_rss_mb(),
+        chunk_bytes: stream.map(|(c, _)| c),
+        matrix_bytes: stream.map(|(_, m)| m),
+        stages,
+    };
     match serde_json::to_string_pretty(&report) {
         Ok(json) => match std::fs::write(&out, json + "\n") {
             Ok(()) => eprintln!("wrote stage report to {out}"),
@@ -226,6 +428,16 @@ fn report_train_stages(args: &[String], data_path: &str, mode: &'static str, tot
 
 fn cmd_train(args: &[String]) -> Result<(), CliError> {
     let data_path = require(args, "--data")?;
+    if data_path.ends_with(".bmx") {
+        if flag(args, "--save").is_some() {
+            return Err(CliError::Usage(
+                "--save trains a bundle from continuous TSV; a .bmx input trains \
+                 an out-of-core --model instead"
+                    .into(),
+            ));
+        }
+        return train_bmx(args, &data_path);
+    }
     if let Some(bundle_path) = flag(args, "--save") {
         return train_bundle(args, &data_path, &bundle_path);
     }
@@ -248,7 +460,58 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
         data.n_classes(),
         model_path
     );
-    report_train_stages(args, &data_path, "model", total_secs);
+    report_train_stages(args, &data_path, "model", total_secs, None);
+    Ok(())
+}
+
+/// `train` on a `.bmx` input: mmap the columnar file and stream the
+/// discretizer fit + binarization in gene chunks under `--chunk-bytes`,
+/// so the expression matrix is never resident — training works on files
+/// (much) larger than memory. `--assert-peak-rss-mb` turns the claim
+/// into a hard check against `VmHWM` (how CI pins the bounded-RSS
+/// smoke).
+fn train_bmx(args: &[String], data_path: &str) -> Result<(), CliError> {
+    let model_path = require(args, "--model")?;
+    let chunk_bytes: usize = parse_flag(args, "--chunk-bytes")?.unwrap_or(64 << 20);
+    if chunk_bytes == 0 {
+        return Err(CliError::Usage("--chunk-bytes must be at least 1".into()));
+    }
+    let data = BmxDataset::open(Path::new(data_path)).map_err(err)?;
+    let matrix_bytes = data.n_genes() * data.n_samples() * 8;
+    let t0 = std::time::Instant::now();
+    let disc = Discretizer::fit_source(&data, chunk_bytes);
+    let boolean = disc.transform_source(&data, chunk_bytes).map_err(err)?;
+    if let Some(c) = boolean.first_empty_class() {
+        return Err(CliError::Run(format!(
+            "class {c} ('{}') has no samples",
+            boolean.class_names()[c]
+        )));
+    }
+    let model = BstcModel::train(&boolean);
+    let total_secs = t0.elapsed().as_secs_f64();
+    std::fs::write(&model_path, serde_json::to_string(&model).map_err(err)?).map_err(err)?;
+    eprintln!(
+        "trained BSTC out-of-core on {} samples / {} genes -> {} items / {} classes \
+         ({} MiB matrix, {} MiB chunk budget); wrote {}",
+        data.n_samples(),
+        data.n_genes(),
+        boolean.n_items(),
+        boolean.n_classes(),
+        matrix_bytes >> 20,
+        chunk_bytes >> 20,
+        model_path
+    );
+    report_train_stages(args, data_path, "bmx-stream", total_secs, Some((chunk_bytes, matrix_bytes)));
+    if let Some(budget_mb) = parse_flag::<f64>(args, "--assert-peak-rss-mb")? {
+        let peak = peak_rss_mb()
+            .ok_or_else(|| CliError::Run("cannot read VmHWM from /proc/self/status".into()))?;
+        if peak > budget_mb {
+            return Err(CliError::Run(format!(
+                "peak RSS {peak:.1} MiB exceeds the {budget_mb} MiB budget"
+            )));
+        }
+        eprintln!("peak RSS {peak:.1} MiB within the {budget_mb} MiB budget");
+    }
     Ok(())
 }
 
@@ -280,7 +543,7 @@ fn train_bundle(args: &[String], data_path: &str, bundle_path: &str) -> Result<(
         100.0 * bundle.provenance.train_accuracy.unwrap_or(0.0),
         bundle_path
     );
-    report_train_stages(args, data_path, "bundle", total_secs);
+    report_train_stages(args, data_path, "bundle", total_secs, None);
     Ok(())
 }
 
@@ -347,6 +610,280 @@ fn cmd_mine(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// One completed replicate on the wire between `cv-shard` and its
+/// parent. Accuracy crosses as the hex of its `f64` bits — JSON float
+/// round-trips would blur the bit-identity the shard merge guarantees —
+/// and `pred_hash` witnesses the actual prediction sequence. `secs` is
+/// informational and excluded from equivalence.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RepJson {
+    rep: usize,
+    accuracy_bits: String,
+    pred_hash: String,
+    secs: f64,
+}
+
+impl RepJson {
+    fn from_result(rep: usize, r: &eval::ReplicateResult) -> RepJson {
+        RepJson {
+            rep,
+            accuracy_bits: format!("{:016x}", r.accuracy.to_bits()),
+            pred_hash: format!("{:016x}", r.pred_hash),
+            secs: r.secs,
+        }
+    }
+
+    fn accuracy(&self) -> Option<f64> {
+        u64::from_str_radix(&self.accuracy_bits, 16).ok().map(f64::from_bits)
+    }
+}
+
+/// Serde mirror of [`obs::SpanRecord`] (obs stays std-only, so the
+/// conversion lives here with the shard protocol).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SpanJson {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    fields: Vec<(String, String)>,
+    start_us: u64,
+    dur_us: u64,
+}
+
+impl From<&obs::SpanRecord> for SpanJson {
+    fn from(s: &obs::SpanRecord) -> SpanJson {
+        SpanJson {
+            id: s.id,
+            parent: s.parent,
+            name: s.name.clone(),
+            fields: s.fields.clone(),
+            start_us: s.start_us,
+            dur_us: s.dur_us,
+        }
+    }
+}
+
+impl SpanJson {
+    fn into_record(self) -> obs::SpanRecord {
+        obs::SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            fields: self.fields,
+            start_us: self.start_us,
+            dur_us: self.dur_us,
+        }
+    }
+}
+
+/// What a `cv-shard` worker prints on stdout: its replicate range, the
+/// completed replicates (skipped ones are simply absent), and its span
+/// records for the parent to graft into the joined trace tree.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ShardOutput {
+    rep_start: usize,
+    rep_end: usize,
+    replicates: Vec<RepJson>,
+    trace: Vec<SpanJson>,
+}
+
+/// The merged result `cv --out` writes: one entry per completed
+/// replicate in replicate order, identical whether the run was
+/// single-process or sharded.
+#[derive(serde::Serialize)]
+struct CvOutput {
+    spec: String,
+    reps: usize,
+    seed: u64,
+    chunk_bytes: usize,
+    shards: usize,
+    mean_accuracy: Option<f64>,
+    replicates: Vec<RepJson>,
+}
+
+/// Runs replicates `rep_start..rep_end`, one `replicate` span each
+/// (parented under `parent`, or as roots for a worker whose spans the
+/// parent will graft). Replicate `r` seeds its split with
+/// `base_seed + 1000*r` — the [`eval::draw_splits`] schedule — which is
+/// the whole shard-merge determinism story.
+#[allow(clippy::too_many_arguments)]
+fn run_rep_range<S: ColumnSource>(
+    source: &S,
+    spec: &SplitSpec,
+    rep_start: usize,
+    rep_end: usize,
+    base_seed: u64,
+    chunk_bytes: usize,
+    trace: &obs::Trace,
+    parent: Option<u64>,
+) -> Vec<RepJson> {
+    let mut out = Vec::new();
+    for r in rep_start..rep_end {
+        let span = trace.span("replicate", parent);
+        span.add_field("rep", &r.to_string());
+        let seed = base_seed.wrapping_add(1000 * r as u64);
+        match eval::run_replicate_streamed(source, spec, seed, chunk_bytes) {
+            Some(res) => {
+                let acc = format!("{:.4}", res.accuracy);
+                span.add_field("accuracy", &acc);
+                obs::log::info("replicate", &[("rep", r.to_string().as_str()), ("accuracy", &acc)]);
+                out.push(RepJson::from_result(r, &res));
+            }
+            None => {
+                span.add_field("skipped", "no_informative_genes");
+                obs::log::warn("replicate_skipped", &[("rep", r.to_string().as_str())]);
+            }
+        }
+    }
+    out
+}
+
+/// `cv`: the 25-replicate streaming CV driver. Single-process by
+/// default; `--shards K` fans contiguous replicate ranges out to
+/// `cv-shard` child processes and merges their results — bit-identical
+/// to the single-process run because each replicate's split seed
+/// depends only on its index. Prints the joined shard → replicate trace
+/// tree and a summary to stderr; `--out` writes the merged JSON.
+fn cmd_cv(args: &[String]) -> Result<(), CliError> {
+    let data_path = require(args, "--data")?;
+    let spec_raw = flag(args, "--spec").unwrap_or_else(|| "0.6".into());
+    let spec = parse_spec(&spec_raw)?;
+    let reps: usize = parse_flag(args, "--reps")?.unwrap_or(25);
+    let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(42);
+    let chunk_bytes: usize = parse_flag(args, "--chunk-bytes")?.unwrap_or(64 << 20);
+    let shards: usize = parse_flag(args, "--shards")?.unwrap_or(1).max(1);
+    if reps == 0 {
+        return Err(CliError::Usage("--reps must be at least 1".into()));
+    }
+    let trace = obs::Trace::new();
+    let cv_span = trace.begin("cv", None);
+    let mut replicates: Vec<RepJson>;
+    if shards == 1 {
+        let source = open_source(&data_path)?;
+        let shard_span = trace.begin("shard", Some(cv_span));
+        trace.add_field(shard_span, "shard_id", "0");
+        replicates =
+            run_rep_range(&source, &spec, 0, reps, seed, chunk_bytes, &trace, Some(shard_span));
+        trace.end(shard_span);
+    } else {
+        let exe = std::env::current_exe().map_err(err)?;
+        let mut children = Vec::new();
+        for k in 0..shards {
+            let (lo, hi) = (reps * k / shards, reps * (k + 1) / shards);
+            if lo == hi {
+                continue;
+            }
+            let child = std::process::Command::new(&exe)
+                .args([
+                    "cv-shard",
+                    "--data",
+                    &data_path,
+                    "--spec",
+                    &spec_raw,
+                    "--rep-start",
+                    &lo.to_string(),
+                    "--rep-end",
+                    &hi.to_string(),
+                    "--seed",
+                    &seed.to_string(),
+                    "--chunk-bytes",
+                    &chunk_bytes.to_string(),
+                ])
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .map_err(|e| CliError::Run(format!("cannot spawn cv-shard worker: {e}")))?;
+            children.push((k, child));
+        }
+        replicates = Vec::new();
+        for (k, child) in children {
+            let output = child.wait_with_output().map_err(err)?;
+            if !output.status.success() {
+                return Err(CliError::Run(format!(
+                    "cv-shard worker {k} failed with {}",
+                    output.status
+                )));
+            }
+            let raw = String::from_utf8(output.stdout)
+                .map_err(|_| CliError::Run(format!("cv-shard worker {k} wrote invalid UTF-8")))?;
+            let shard: ShardOutput = serde_json::from_str(&raw).map_err(|e| {
+                CliError::Run(format!("cv-shard worker {k} wrote unparseable output: {e}"))
+            })?;
+            let shard_span = trace.begin("shard", Some(cv_span));
+            trace.add_field(shard_span, "shard_id", &k.to_string());
+            trace.add_field(shard_span, "reps", &format!("{}..{}", shard.rep_start, shard.rep_end));
+            let records: Vec<obs::SpanRecord> =
+                shard.trace.into_iter().map(SpanJson::into_record).collect();
+            trace.adopt(shard_span, &records);
+            trace.end(shard_span);
+            obs::log::info(
+                "shard_done",
+                &[
+                    ("shard", k.to_string().as_str()),
+                    ("reps", &format!("{}..{}", shard.rep_start, shard.rep_end)),
+                    ("completed", &shard.replicates.len().to_string()),
+                ],
+            );
+            replicates.extend(shard.replicates);
+        }
+        replicates.sort_by_key(|r| r.rep);
+    }
+    trace.end(cv_span);
+    let accs: Vec<f64> = replicates.iter().filter_map(RepJson::accuracy).collect();
+    let mean = (!accs.is_empty()).then(|| accs.iter().sum::<f64>() / accs.len() as f64);
+    eprintln!(
+        "cv: {}/{} replicates completed, spec {}, mean accuracy {}",
+        replicates.len(),
+        reps,
+        spec.label(),
+        mean.map_or_else(|| "n/a".into(), |m| format!("{:.4}", m)),
+    );
+    eprint!("{}", trace.render_tree());
+    if let Some(out_path) = flag(args, "--out") {
+        let report = CvOutput {
+            spec: spec_raw,
+            reps,
+            seed,
+            chunk_bytes,
+            shards,
+            mean_accuracy: mean,
+            replicates,
+        };
+        std::fs::write(&out_path, serde_json::to_string_pretty(&report).map_err(err)? + "\n")
+            .map_err(err)?;
+        eprintln!("wrote merged results to {out_path}");
+    }
+    Ok(())
+}
+
+/// `cv-shard`: one worker of a sharded `cv` run. Runs its replicate
+/// range and prints a [`ShardOutput`] JSON document on stdout for the
+/// parent to merge; logs go to stderr (or the file sink) as usual.
+fn cmd_cv_shard(args: &[String]) -> Result<(), CliError> {
+    let data_path = require(args, "--data")?;
+    let spec = parse_spec(&require(args, "--spec")?)?;
+    let rep_start: usize = parse_flag(args, "--rep-start")?
+        .ok_or_else(|| CliError::Usage("missing --rep-start <value>".into()))?;
+    let rep_end: usize = parse_flag(args, "--rep-end")?
+        .ok_or_else(|| CliError::Usage("missing --rep-end <value>".into()))?;
+    if rep_end < rep_start {
+        return Err(CliError::Usage("--rep-end must be >= --rep-start".into()));
+    }
+    let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(42);
+    let chunk_bytes: usize = parse_flag(args, "--chunk-bytes")?.unwrap_or(64 << 20);
+    let source = open_source(&data_path)?;
+    let trace = obs::Trace::new();
+    let replicates =
+        run_rep_range(&source, &spec, rep_start, rep_end, seed, chunk_bytes, &trace, None);
+    let out = ShardOutput {
+        rep_start,
+        rep_end,
+        replicates,
+        trace: trace.records().iter().map(SpanJson::from).collect(),
+    };
+    println!("{}", serde_json::to_string(&out).map_err(err)?);
+    Ok(())
+}
+
 /// `serve`: run the inference server until killed — either a single
 /// bundle (`--model`) or a whole fleet loaded from `--models-dir`, one
 /// model per `NAME.json`, routed at `/v1/models/{NAME}/classify`.
@@ -403,18 +940,6 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     // chunked responses entirely.
     let chunk_threshold: usize =
         parse_flag(args, "--chunk-threshold")?.unwrap_or(defaults.chunk_threshold);
-    // `--log-format json` switches the structured request log (and every
-    // other obs log event) to JSON lines on stderr.
-    if let Some(raw) = flag(args, "--log-format") {
-        let format: obs::LogFormat = raw.parse().map_err(CliError::Usage)?;
-        obs::log::set_format(format);
-    }
-    // `--log-level warn` silences the per-request info lines; debug
-    // additionally passes through events below the default threshold.
-    if let Some(raw) = flag(args, "--log-level") {
-        let level: obs::Level = raw.parse().map_err(CliError::Usage)?;
-        obs::log::set_level(level);
-    }
     // Registry knobs: residency cap on compiled models, shadow routes
     // (repeatable `--shadow primary=candidate:pct`), and the seed that
     // makes the shadow sample reproducible.

@@ -185,3 +185,111 @@ fn bad_class_is_rejected_by_mine() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
 }
+
+/// Pulls the `(rep, accuracy_bits, pred_hash)` triples out of a `cv
+/// --out` JSON document — the bit-identity surface of a CV run.
+fn replicate_triples(path: &std::path::Path) -> Vec<(u64, String, String)> {
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+    doc.get("replicates")
+        .and_then(|r| r.as_array())
+        .unwrap()
+        .iter()
+        .map(|rep| {
+            (
+                rep.get("rep").and_then(|v| v.as_u64()).unwrap(),
+                rep.get("accuracy_bits").and_then(|v| v.as_str()).unwrap().to_string(),
+                rep.get("pred_hash").and_then(|v| v.as_str()).unwrap().to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_cv_merges_bit_identically_to_single_process() {
+    let bmx = tmp("cv_equiv.bmx");
+    let single = tmp("cv_single.json");
+    let sharded = tmp("cv_sharded.json");
+    assert!(cli()
+        .args(["synth", "--preset", "all", "--scale", "12", "--seed", "5"])
+        .args(["--out", bmx.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = cli()
+        .args(["cv", "--data", bmx.to_str().unwrap(), "--spec", "0.6"])
+        .args(["--reps", "5", "--seed", "42", "--out", single.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .args(["cv", "--data", bmx.to_str().unwrap(), "--spec", "0.6"])
+        .args(["--reps", "5", "--seed", "42", "--shards", "3"])
+        .args(["--out", sharded.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // The parent's joined trace shows the shard → replicate structure.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("shard shard_id="), "{stderr}");
+    assert!(stderr.contains("    replicate rep="), "{stderr}");
+
+    let a = replicate_triples(&single);
+    let b = replicate_triples(&sharded);
+    assert!(!a.is_empty(), "no replicates completed");
+    assert_eq!(a, b, "sharded merge must be bit-identical to the single-process run");
+}
+
+#[test]
+fn out_of_core_training_reports_and_asserts_peak_rss() {
+    let bmx = tmp("ooc.bmx");
+    let model = tmp("ooc_model.json");
+    let bench = tmp("ooc_bench.json");
+    // A preset grown past its natural size: the streamed generator
+    // writes it column by column regardless of sample count.
+    assert!(cli()
+        .args(["synth", "--preset", "all", "--scale", "12", "--seed", "9"])
+        .args(["--class-sizes", "120,140", "--out", bmx.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = cli()
+        .args(["train", "--data", bmx.to_str().unwrap()])
+        .args(["--model", model.to_str().unwrap()])
+        .args(["--chunk-bytes", "65536", "--bench-out", bench.to_str().unwrap()])
+        .args(["--assert-peak-rss-mb", "256"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trained BSTC out-of-core"), "{stderr}");
+    assert!(stderr.contains("within the 256 MiB budget"), "{stderr}");
+    assert!(model.exists());
+    // The bench report records the streaming evidence.
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&bench).unwrap()).unwrap();
+    assert_eq!(doc.get("mode").and_then(|v| v.as_str()), Some("bmx-stream"));
+    assert_eq!(doc.get("chunk_bytes").and_then(|v| v.as_u64()), Some(65536));
+    assert!(doc.get("matrix_bytes").and_then(|v| v.as_u64()).unwrap() > 0);
+    assert!(doc.get("peak_rss_mb").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    // An impossible budget must fail loudly rather than pass silently.
+    let out = cli()
+        .args(["train", "--data", bmx.to_str().unwrap()])
+        .args(["--model", model.to_str().unwrap()])
+        .args(["--chunk-bytes", "65536", "--bench-out", bench.to_str().unwrap()])
+        .args(["--assert-peak-rss-mb", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exceeds the 1 MiB budget"));
+}
+
+#[test]
+fn cv_rejects_malformed_specs() {
+    let out = cli().args(["cv", "--data", "x.bmx", "--spec", "1.5"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("must be in (0, 1)"));
+    let out = cli().args(["cv", "--data", "x.bmx", "--spec", "8,banana"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad count"));
+}
