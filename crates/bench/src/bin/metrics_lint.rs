@@ -341,6 +341,26 @@ fn main() {
                 .to_string(),
         );
     }
+    // Both bundles trained in-process, so the BST builder's volume
+    // counters must be present (with their own # TYPE lines, checked by
+    // lint() above) and nonzero — this is what pins the bstc_bst_*
+    // counter plumbing from Bst::build through obs to /metrics.
+    for counter in
+        ["bstc_bst_pairs_total", "bstc_bst_distinct_lists_total", "bstc_bst_arena_bytes_total"]
+    {
+        let value: u64 = body
+            .lines()
+            .find(|l| l.starts_with(counter) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if value == 0 {
+            violations.push(format!(
+                "{counter} is zero or missing after in-process training — the BST build \
+                 counters are not reaching the exposition"
+            ));
+        }
+    }
     handle.shutdown();
     std::fs::remove_dir_all(&models_dir).ok();
     if violations.is_empty() {

@@ -16,11 +16,23 @@
 //! are views assembled on demand. This preserves Algorithm 1's
 //! `O((|S|−|C_i|)·|G|·|C_i|)` space/time bound with a much smaller
 //! constant.
+//!
+//! Exclusion lists live in a per-class [`ListArena`]: one flat item
+//! buffer plus an `(offset, len, sign)` entry table, grouped by column.
+//! Construction interns each (c, h) difference **before** it is ever
+//! converted to an item vector — the difference bitset is hashed in
+//! place and probed against the column's intern table, so only the
+//! first occurrence of a distinct list is materialized. Peak memory
+//! therefore scales with distinct list *content*, not with the
+//! `|C_i|·(|S|−|C_i|)` pair count that used to allocate one heap `Vec`
+//! per pair (see DESIGN.md §13).
 
 use crate::bar::{Bar, BarAntecedent, ExclusionClause, Sign};
 use microarray::{BitSet, BoolDataset, ClassId, ItemId, SampleId};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
 
 /// A canonical exclusion list for one (class-sample, out-sample) pair.
 ///
@@ -29,6 +41,10 @@ use serde::{Deserialize, Serialize};
 /// only when that set is empty — `{g : g ∈ c, g ∉ h}` with positive sign.
 /// Both empty (identical samples across classes) yields an unsatisfiable
 /// empty negative list.
+///
+/// This owned form is the wire type and test vocabulary; inside a built
+/// [`Bst`] the lists live in a [`ListArena`] and are handed out as
+/// borrowed [`ExclusionListRef`] views.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ExclusionList {
     /// Polarity of `items`.
@@ -50,7 +66,24 @@ mod gap_hex {
     use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
     use std::fmt::Write as _;
 
-    pub fn serialize<S: Serializer>(items: &Vec<ItemId>, s: S) -> Result<S::Ok, S::Error> {
+    /// Streams the gap-hex encoding of an ascending item slice into an
+    /// `io::Write` — the zero-buffer form used by the streaming bundle
+    /// serializer ([`crate::Bst::write_json_to`]).
+    pub(super) fn write_to<W: std::io::Write>(items: &[ItemId], w: &mut W) -> std::io::Result<()> {
+        let mut prev = 0usize;
+        for (i, &id) in items.iter().enumerate() {
+            if i == 0 {
+                write!(w, "{id:x}")?;
+            } else {
+                debug_assert!(id > prev, "exclusion list not strictly ascending");
+                write!(w, ",{:x}", id - prev)?;
+            }
+            prev = id;
+        }
+        Ok(())
+    }
+
+    pub fn serialize<S: Serializer>(items: &[ItemId], s: S) -> Result<S::Ok, S::Error> {
         let mut out = String::with_capacity(items.len() * 3);
         let mut prev = 0usize;
         for (i, &id) in items.iter().enumerate() {
@@ -105,6 +138,38 @@ impl ExclusionList {
     /// `V_e`, computed without materializing a clause (the per-query hot
     /// path evaluates every (c, h) list once).
     pub fn satisfaction(&self, query: &BitSet) -> f64 {
+        self.as_ref().satisfaction(query)
+    }
+
+    /// This list as a borrowed [`ExclusionListRef`] view.
+    pub fn as_ref(&self) -> ExclusionListRef<'_> {
+        ExclusionListRef { sign: self.sign, items: &self.items }
+    }
+}
+
+/// A borrowed view of one exclusion list inside a [`ListArena`].
+///
+/// Same vocabulary as [`ExclusionList`] (`sign`, ascending `items`) but
+/// the items borrow the arena's flat buffer — accessors hand these out
+/// without cloning, and the compiled lowering reads straight from them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExclusionListRef<'a> {
+    /// Polarity of `items`.
+    pub sign: Sign,
+    /// Items of the list, ascending.
+    pub items: &'a [ItemId],
+}
+
+impl ExclusionListRef<'_> {
+    /// Converts to a [`ExclusionClause`] naming the excluded out-sample.
+    pub fn to_clause(&self, out_sample: SampleId) -> ExclusionClause {
+        ExclusionClause { out_sample, sign: self.sign, items: self.items.to_vec() }
+    }
+
+    /// Fraction of literals satisfied by `query` — Algorithm 5 line 4's
+    /// `V_e`, computed without materializing a clause (the per-query hot
+    /// path evaluates every (c, h) list once).
+    pub fn satisfaction(&self, query: &BitSet) -> f64 {
         if self.items.is_empty() {
             return 0.0; // degenerate duplicate pair: unsatisfiable
         }
@@ -113,6 +178,222 @@ impl ExclusionList {
             Sign::Neg => self.items.iter().filter(|&&g| !query.contains(g)).count(),
         };
         sat as f64 / self.items.len() as f64
+    }
+
+    /// Clones this view into an owned [`ExclusionList`].
+    pub fn to_owned(&self) -> ExclusionList {
+        ExclusionList { sign: self.sign, items: self.items.to_vec() }
+    }
+}
+
+impl PartialEq<ExclusionList> for ExclusionListRef<'_> {
+    fn eq(&self, other: &ExclusionList) -> bool {
+        self.sign == other.sign && self.items == other.items.as_slice()
+    }
+}
+
+impl PartialEq<ExclusionListRef<'_>> for ExclusionList {
+    fn eq(&self, other: &ExclusionListRef<'_>) -> bool {
+        other == self
+    }
+}
+
+/// Flat, interned storage for every distinct exclusion list of one BST.
+///
+/// One items buffer + one `(offset, sign)` entry table + per-column entry
+/// ranges replace the old `Vec<Vec<ExclusionList>>` (one heap allocation
+/// per surviving list): three allocations total, contiguous iteration for
+/// the compiled lowering, and a memory footprint that scales with
+/// distinct list content. Entry `e`'s items are
+/// `items[offsets[e]..offsets[e + 1]]`; column `c` owns entries
+/// `col_offsets[c]..col_offsets[c + 1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ListArena {
+    /// Concatenated items of every distinct list (ascending per list).
+    items: Vec<ItemId>,
+    /// Cumulative item offsets, one per entry plus a final sentinel.
+    offsets: Vec<usize>,
+    /// Sign of each entry.
+    signs: Vec<Sign>,
+    /// Entry ranges per column (`n_cols + 1` cumulative bounds).
+    col_offsets: Vec<u32>,
+}
+
+impl ListArena {
+    fn new() -> ListArena {
+        ListArena { items: Vec::new(), offsets: vec![0], signs: Vec::new(), col_offsets: vec![0] }
+    }
+
+    /// Sizes the arena exactly for a known merge, so the big vectors
+    /// never carry doubling slack.
+    fn reserve_exact(&mut self, total_items: usize, total_entries: usize, n_cols: usize) {
+        self.items.reserve_exact(total_items);
+        self.offsets.reserve_exact(total_entries);
+        self.signs.reserve_exact(total_entries);
+        self.col_offsets.reserve_exact(n_cols);
+    }
+
+    /// Appends one column's lists (flat form) to the arena.
+    fn push_column(&mut self, items: &[ItemId], offsets: &[usize], signs: &[Sign]) {
+        let base = self.items.len();
+        self.items.extend_from_slice(items);
+        // offsets[0] is always 0; skip it and shift the rest.
+        self.offsets.extend(offsets[1..].iter().map(|o| base + o));
+        self.signs.extend_from_slice(signs);
+        self.col_offsets.push(self.signs.len() as u32);
+    }
+
+    /// Rebuilds an arena from per-column owned lists (the wire form).
+    pub fn from_columns(cols: &[Vec<ExclusionList>]) -> ListArena {
+        let mut arena = ListArena::new();
+        for col in cols {
+            let start = arena.signs.len();
+            for list in col {
+                arena.items.extend_from_slice(&list.items);
+                arena.offsets.push(arena.items.len());
+                arena.signs.push(list.sign);
+            }
+            debug_assert_eq!(start + col.len(), arena.signs.len());
+            arena.col_offsets.push(arena.signs.len() as u32);
+        }
+        arena
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.col_offsets.len() - 1
+    }
+
+    /// Total distinct lists across all columns.
+    pub fn n_lists(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// Total items across all distinct lists (the memory driver).
+    pub fn total_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Bytes held by the arena's buffers (the storage the intern pass is
+    /// accountable for; reported as `bstc_bst_arena_bytes_total`).
+    pub fn arena_bytes(&self) -> usize {
+        self.items.len() * std::mem::size_of::<ItemId>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+            + self.signs.len() * std::mem::size_of::<Sign>()
+            + self.col_offsets.len() * std::mem::size_of::<u32>()
+    }
+
+    #[inline]
+    fn entry(&self, e: usize) -> ExclusionListRef<'_> {
+        ExclusionListRef {
+            sign: self.signs[e],
+            items: &self.items[self.offsets[e]..self.offsets[e + 1]],
+        }
+    }
+
+    /// The `u`-th distinct list of column `c`.
+    #[inline]
+    pub fn list(&self, c: usize, u: usize) -> ExclusionListRef<'_> {
+        let base = self.col_offsets[c] as usize;
+        debug_assert!(
+            base + u < self.col_offsets[c + 1] as usize,
+            "list index out of column range"
+        );
+        self.entry(base + u)
+    }
+
+    /// The distinct lists of column `c` as an indexable, iterable view.
+    pub fn col(&self, c: usize) -> ColumnLists<'_> {
+        ColumnLists { arena: self, start: self.col_offsets[c], end: self.col_offsets[c + 1] }
+    }
+}
+
+/// The distinct exclusion lists of one BST column, borrowed from the
+/// arena. Supports `len`, indexed [`ColumnLists::get`], and iteration.
+#[derive(Clone, Copy)]
+pub struct ColumnLists<'a> {
+    arena: &'a ListArena,
+    start: u32,
+    end: u32,
+}
+
+impl<'a> ColumnLists<'a> {
+    /// Number of distinct lists in the column.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True if the column has no lists (no out-of-class samples).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The `u`-th distinct list.
+    pub fn get(&self, u: usize) -> ExclusionListRef<'a> {
+        debug_assert!(u < self.len());
+        self.arena.entry(self.start as usize + u)
+    }
+
+    /// Iterates the column's lists in intern (first-seen) order.
+    pub fn iter(&self) -> ColumnIter<'a> {
+        ColumnIter { arena: self.arena, cur: self.start, end: self.end }
+    }
+}
+
+impl<'a> IntoIterator for ColumnLists<'a> {
+    type Item = ExclusionListRef<'a>;
+    type IntoIter = ColumnIter<'a>;
+    fn into_iter(self) -> ColumnIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over one column's distinct lists.
+pub struct ColumnIter<'a> {
+    arena: &'a ListArena,
+    cur: u32,
+    end: u32,
+}
+
+impl<'a> Iterator for ColumnIter<'a> {
+    type Item = ExclusionListRef<'a>;
+    fn next(&mut self) -> Option<ExclusionListRef<'a>> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let e = self.arena.entry(self.cur as usize);
+        self.cur += 1;
+        Some(e)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.cur) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ColumnIter<'_> {}
+
+/// Serde bridge keeping the arena bit-compatible with the historical
+/// `Vec<Vec<ExclusionList>>` wire shape (bundle FORMAT_VERSION 2): the
+/// arena serializes as per-column sequences of `{sign, items}` maps with
+/// gap-hex item strings, exactly what the derive used to emit, and
+/// deserializes from the same shape. (The tree-based serializer still
+/// materializes owned lists on this path; the streaming serializer —
+/// [`Bst::write_json_to`] — writes the same bytes straight from the
+/// arena.)
+mod arena_serde {
+    use super::{ExclusionList, ListArena};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(a: &ListArena, s: S) -> Result<S::Ok, S::Error> {
+        let cols: Vec<Vec<ExclusionList>> =
+            (0..a.n_cols()).map(|c| a.col(c).iter().map(|l| l.to_owned()).collect()).collect();
+        cols.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<ListArena, D::Error> {
+        let cols: Vec<Vec<ExclusionList>> = Deserialize::deserialize(d)?;
+        Ok(ListArena::from_columns(&cols))
     }
 }
 
@@ -129,6 +410,9 @@ pub struct BstStats {
     pub black_dot_rows: usize,
     /// Pairs with an unsatisfiable empty list (cross-class duplicates).
     pub degenerate_pairs: usize,
+    /// Bytes held by the interned list arena (items + entry tables).
+    #[serde(default)]
+    pub arena_bytes: usize,
 }
 
 /// A view of one BST cell.
@@ -140,7 +424,198 @@ pub enum Cell<'a> {
     BlackDot,
     /// Exclusion lists, one per out-sample expressing the item; each entry
     /// is `(local out-sample index, list)`.
-    Lists(Vec<(usize, &'a ExclusionList)>),
+    Lists(Vec<(usize, ExclusionListRef<'a>)>),
+}
+
+/// Byte budget for one block of out-sample bitsets during construction —
+/// the PR 7 L2-residency idiom: the pair sweep walks out-samples in
+/// blocks this large so a block stays cache-hot while every column of a
+/// worker's chunk probes its intern table against it.
+const BST_BLOCK_BYTES: usize = 1 << 20;
+
+/// Splits the out-samples into contiguous blocks whose bitset bytes sum
+/// to at most [`BST_BLOCK_BYTES`] (always at least one sample per block).
+fn out_sample_blocks(out_expr_sets: &[BitSet]) -> Vec<std::ops::Range<usize>> {
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    let mut bytes = 0usize;
+    for (h, set) in out_expr_sets.iter().enumerate() {
+        let b = set.words().len() * 8;
+        if h > start && bytes + b > BST_BLOCK_BYTES {
+            blocks.push(start..h);
+            start = h;
+            bytes = 0;
+        }
+        bytes += b;
+    }
+    if start < out_expr_sets.len() {
+        blocks.push(start..out_expr_sets.len());
+    }
+    blocks
+}
+
+/// FNV-1a over the live (non-zero) words of a difference bitset, with the
+/// word index, the element count, and the sign folded in — the
+/// materialize-free intern key: hashing happens on the packed words, so
+/// no item vector exists unless the list turns out to be first-seen.
+fn hash_diff(diff: &BitSet, len: usize, sign: Sign) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (i, &w) in diff.words().iter().enumerate() {
+        if w != 0 {
+            h ^= i as u64;
+            h = h.wrapping_mul(PRIME);
+            h ^= w;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h ^= len as u64;
+    h = h.wrapping_mul(PRIME);
+    h ^= match sign {
+        Sign::Neg => 1,
+        Sign::Pos => 2,
+    };
+    h.wrapping_mul(PRIME)
+}
+
+/// Per-column intern state during construction: the column's slice of the
+/// arena in flat form, plus the hash → entry probe table.
+struct ColBuilder {
+    items: Vec<ItemId>,
+    offsets: Vec<usize>,
+    signs: Vec<Sign>,
+    /// Intern table: difference hash → candidate entry indices.
+    table: HashMap<u64, Vec<u32>>,
+    idx_row: Vec<u32>,
+    /// Reused difference buffer (one per column, not one per pair).
+    diff: BitSet,
+}
+
+impl ColBuilder {
+    fn new(n_items: usize, n_out: usize) -> ColBuilder {
+        ColBuilder {
+            items: Vec::new(),
+            offsets: vec![0],
+            signs: Vec::new(),
+            table: HashMap::new(),
+            idx_row: Vec::with_capacity(n_out),
+            diff: BitSet::new(n_items),
+        }
+    }
+
+    /// Frees construction-only state (the probe table, the diff buffer)
+    /// and trims the growth slack off the column's vectors, so a sealed
+    /// column holds only its surviving lists while it queues for the
+    /// merge. At sample scale the slack is hundreds of megabytes.
+    fn seal(&mut self) {
+        self.table = HashMap::new();
+        self.diff = BitSet::new(0);
+        self.items.shrink_to_fit();
+        self.offsets.shrink_to_fit();
+        self.signs.shrink_to_fit();
+        self.idx_row.shrink_to_fit();
+    }
+
+    /// True if entry `e` holds exactly the current `diff` contents.
+    /// Lengths are compared first, then stored items are membership-tested
+    /// against the difference bitset — equal length + subset ⇒ equal set,
+    /// so the test never materializes the difference.
+    fn entry_matches(&self, e: usize, sign: Sign, len: usize) -> bool {
+        if self.signs[e] != sign {
+            return false;
+        }
+        let range = self.offsets[e]..self.offsets[e + 1];
+        range.len() == len && self.items[range].iter().all(|&g| self.diff.contains(g))
+    }
+
+    /// Computes the (c, h) canonical list into the difference buffer and
+    /// interns it: probe by in-place hash, materialize only on first
+    /// sight, record the entry index for the pair.
+    fn intern_pair(&mut self, c_set: &BitSet, h_set: &BitSet) {
+        self.diff.assign_difference(h_set, c_set); // g ∈ h, g ∉ c
+        let sign = if !self.diff.is_empty() {
+            Sign::Neg
+        } else {
+            // The positive list may itself be empty (identical samples):
+            // keep the unsatisfiable empty list and let validation warn.
+            self.diff.assign_difference(c_set, h_set); // g ∈ c, g ∉ h
+            Sign::Pos
+        };
+        let len = self.diff.len();
+        let hash = hash_diff(&self.diff, len, sign);
+        let found = self.table.get(&hash).and_then(|cands| {
+            cands.iter().copied().find(|&e| self.entry_matches(e as usize, sign, len))
+        });
+        let idx = match found {
+            Some(e) => e,
+            None => {
+                let e = self.signs.len() as u32;
+                self.items.extend(self.diff.iter());
+                self.offsets.push(self.items.len());
+                self.signs.push(sign);
+                self.table.entry(hash).or_default().push(e);
+                e
+            }
+        };
+        self.idx_row.push(idx);
+    }
+}
+
+/// The interned, blocked construction core shared by every class build:
+/// columns fan out across cores in contiguous chunks; within a chunk the
+/// out-samples stream in cache-sized blocks (block-outer, columns-inner),
+/// so one block's bitsets stay hot while every column interns against it.
+/// Per column, pairs are still visited in ascending `h` order, so entry
+/// numbering (first-seen) is identical to the sequential legacy builder.
+fn build_interned(
+    class_expr: &[BitSet],
+    out_expr_sets: &[BitSet],
+    n_items: usize,
+) -> (ListArena, Vec<Vec<u32>>) {
+    let n_cols = class_expr.len();
+    let blocks = out_sample_blocks(out_expr_sets);
+    let workers =
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).clamp(1, n_cols.max(1));
+    let chunk = n_cols.div_ceil(workers);
+    let ranges: Vec<std::ops::Range<usize>> = (0..workers)
+        .map(|w| (w * chunk)..((w + 1) * chunk).min(n_cols))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let built: Vec<Vec<ColBuilder>> = ranges
+        .par_iter()
+        .map(|range| {
+            let mut cols: Vec<ColBuilder> =
+                range.clone().map(|_| ColBuilder::new(n_items, out_expr_sets.len())).collect();
+            for block in &blocks {
+                for (ci, c) in range.clone().enumerate() {
+                    let c_set = &class_expr[c];
+                    let col = &mut cols[ci];
+                    for h in block.clone() {
+                        col.intern_pair(c_set, &out_expr_sets[h]);
+                    }
+                }
+            }
+            for col in &mut cols {
+                col.seal();
+            }
+            cols
+        })
+        .collect();
+
+    let mut arena = ListArena::new();
+    arena.reserve_exact(
+        built.iter().flatten().map(|c| c.items.len()).sum(),
+        built.iter().flatten().map(|c| c.signs.len()).sum(),
+        n_cols,
+    );
+    let mut excl_idx = Vec::with_capacity(n_cols);
+    // Columns are consumed (and their buffers freed) one at a time, so
+    // the merge peaks at one arena plus a single column, not two arenas.
+    for col in built.into_iter().flatten() {
+        arena.push_column(&col.items, &col.offsets, &col.signs);
+        excl_idx.push(col.idx_row);
+    }
+    (arena, excl_idx)
 }
 
 /// A Boolean Structure Table for one class.
@@ -156,12 +631,15 @@ pub struct Bst {
     class_expr: Vec<BitSet>,
     /// Item sets of the out-of-class samples.
     out_expr_sets: Vec<BitSet>,
-    /// Per class sample `c`: its distinct exclusion lists. Different
-    /// out-samples often induce the *same* list (they miss the same items
-    /// of `c`); deduplicating them is the §8 "culling" idea in its
-    /// lossless form — BSTCE evaluates each distinct list once per query.
-    excl_unique: Vec<Vec<ExclusionList>>,
-    /// `excl_idx[c][h]` = index into `excl_unique[c]` of the (c, h) list.
+    /// Per class sample `c`: its distinct exclusion lists, interned into
+    /// one flat arena. Different out-samples often induce the *same* list
+    /// (they miss the same items of `c`); deduplicating them is the §8
+    /// "culling" idea in its lossless form — BSTCE evaluates each
+    /// distinct list once per query. Serialized in the historical
+    /// `Vec<Vec<ExclusionList>>` gap-hex wire shape.
+    #[serde(with = "arena_serde")]
+    excl_unique: ListArena,
+    /// `excl_idx[c][h]` = column-local entry index of the (c, h) list.
     excl_idx: Vec<Vec<u32>>,
     /// `out_expr[g]` = bitset over *local* out-sample indices expressing `g`.
     out_expr: Vec<BitSet>,
@@ -171,7 +649,10 @@ impl Bst {
     /// Builds the BST for `class` from a training dataset (Algorithm 1).
     ///
     /// Records its wall time as one `bst_build` span per class in
-    /// [`obs::global`] (classes build in parallel; spans may overlap).
+    /// [`obs::global`] (classes build in parallel; spans may overlap),
+    /// and adds to the `bstc_bst_pairs_total` /
+    /// `bstc_bst_distinct_lists_total` / `bstc_bst_arena_bytes_total`
+    /// process counters ([`obs::counters`]).
     ///
     /// # Panics
     /// Panics if `class` is out of range or has no samples.
@@ -190,28 +671,71 @@ impl Bst {
             out_samples.iter().map(|&s| data.sample(s).clone()).collect();
 
         // Canonical exclusion list per (c, h) pair — Algorithm 1 lines
-        // 9-21 — deduplicated per column: equal lists share one slot.
-        // Columns are independent, so the construction fans out across
-        // cores; `collect` preserves column order, keeping the output
-        // identical to the sequential loop.
+        // 9-21 — interned per column without materializing per-pair item
+        // vectors. Output (entry order, indices) is identical to the
+        // sequential legacy builder; see `build_interned`.
+        let (excl_unique, excl_idx) = build_interned(&class_expr, &out_expr_sets, n_items);
+
+        obs::counters()
+            .add("bstc_bst_pairs_total", (class_samples.len() * out_samples.len()) as u64);
+        obs::counters().add("bstc_bst_distinct_lists_total", excl_unique.n_lists() as u64);
+        obs::counters().add("bstc_bst_arena_bytes_total", excl_unique.arena_bytes() as u64);
+
+        // out_expr[g]: which out-samples express item g — Algorithm 1
+        // line 6's black-dot test is `out_expr[g].is_empty()`.
+        let mut out_expr: Vec<BitSet> =
+            (0..n_items).map(|_| BitSet::new(out_expr_sets.len())).collect();
+        for (h_local, h_set) in out_expr_sets.iter().enumerate() {
+            for g in h_set.iter() {
+                out_expr[g].insert(h_local);
+            }
+        }
+
+        Bst {
+            class,
+            n_items,
+            class_samples,
+            out_samples,
+            class_expr,
+            out_expr_sets,
+            excl_unique,
+            excl_idx,
+            out_expr,
+        }
+    }
+
+    /// The pre-arena builder, frozen verbatim: materializes one item
+    /// vector per (c, h) pair and dedups via a `HashMap` keyed by owned
+    /// lists. Kept (hidden) as the reference for the differential
+    /// property tests pinning [`Bst::build`] bit-identical to it; do not
+    /// use it for real training — its peak memory scales with the pair
+    /// count.
+    #[doc(hidden)]
+    pub fn build_legacy(data: &BoolDataset, class: ClassId) -> Bst {
+        assert!(class < data.n_classes(), "class {class} out of range");
+        let class_samples: Vec<SampleId> = data.class_members(class);
+        assert!(!class_samples.is_empty(), "class {class} has no samples");
+        let out_samples: Vec<SampleId> =
+            (0..data.n_samples()).filter(|&s| data.label(s) != class).collect();
+        let n_items = data.n_items();
+
+        let class_expr: Vec<BitSet> =
+            class_samples.iter().map(|&s| data.sample(s).clone()).collect();
+        let out_expr_sets: Vec<BitSet> =
+            out_samples.iter().map(|&s| data.sample(s).clone()).collect();
+
         let columns: Vec<(Vec<ExclusionList>, Vec<u32>)> = class_expr
             .par_iter()
             .map(|c_set| {
                 let mut unique: Vec<ExclusionList> = Vec::new();
-                let mut seen: std::collections::HashMap<ExclusionList, u32> =
-                    std::collections::HashMap::new();
+                let mut seen: HashMap<ExclusionList, u32> = HashMap::new();
                 let mut idx_row = Vec::with_capacity(out_expr_sets.len());
-                // One reused difference buffer per column instead of a
-                // fresh BitSet (sometimes two) per (c, h) pair.
                 let mut diff = BitSet::new(n_items);
                 for h_set in &out_expr_sets {
                     diff.assign_difference(h_set, c_set); // g ∈ h, g ∉ c
                     let list = if !diff.is_empty() {
                         ExclusionList { sign: Sign::Neg, items: diff.to_vec() }
                     } else {
-                        // The positive list may itself be empty (identical
-                        // samples): keep the unsatisfiable empty list and
-                        // let validation warn.
                         diff.assign_difference(c_set, h_set); // g ∈ c, g ∉ h
                         ExclusionList { sign: Sign::Pos, items: diff.to_vec() }
                     };
@@ -224,10 +748,9 @@ impl Bst {
                 (unique, idx_row)
             })
             .collect();
-        let (excl_unique, excl_idx): (Vec<_>, Vec<_>) = columns.into_iter().unzip();
+        let (cols, excl_idx): (Vec<_>, Vec<_>) = columns.into_iter().unzip();
+        let excl_unique = ListArena::from_columns(&cols);
 
-        // out_expr[g]: which out-samples express item g — Algorithm 1
-        // line 6's black-dot test is `out_expr[g].is_empty()`.
         let mut out_expr: Vec<BitSet> =
             (0..n_items).map(|_| BitSet::new(out_expr_sets.len())).collect();
         for (h_local, h_set) in out_expr_sets.iter().enumerate() {
@@ -319,16 +842,17 @@ impl Bst {
         &self.out_expr[g]
     }
 
-    /// The canonical exclusion list of the (c, h) pair (local indices).
-    pub fn exclusion_list(&self, c: usize, h: usize) -> &ExclusionList {
-        &self.excl_unique[c][self.excl_idx[c][h] as usize]
+    /// The canonical exclusion list of the (c, h) pair (local indices),
+    /// borrowed from the arena.
+    pub fn exclusion_list(&self, c: usize, h: usize) -> ExclusionListRef<'_> {
+        self.excl_unique.list(c, self.excl_idx[c][h] as usize)
     }
 
     /// The distinct exclusion lists of column `c` (different out-samples
     /// often induce identical lists; BSTCE evaluates each distinct list
     /// once per query).
-    pub fn unique_exclusion_lists(&self, c: usize) -> &[ExclusionList] {
-        &self.excl_unique[c]
+    pub fn unique_exclusion_lists(&self, c: usize) -> ColumnLists<'_> {
+        self.excl_unique.col(c)
     }
 
     /// Index of the (c, h) pair's list within
@@ -391,7 +915,7 @@ impl Bst {
         let mut v = Vec::new();
         for (c, row) in self.excl_idx.iter().enumerate() {
             for (h, &idx) in row.iter().enumerate() {
-                if self.excl_unique[c][idx as usize].items.is_empty() {
+                if self.excl_unique.list(c, idx as usize).items.is_empty() {
                     v.push((self.class_samples[c], self.out_samples[h]));
                 }
             }
@@ -399,18 +923,104 @@ impl Bst {
         v
     }
 
-    /// Structure statistics: list counts, dedup ratio, black-dot rows.
+    /// Structure statistics: list counts, dedup ratio, black-dot rows,
+    /// arena footprint.
     pub fn stats(&self) -> BstStats {
         let pairs = self.class_samples.len() * self.out_samples.len();
-        let unique: usize = self.excl_unique.iter().map(Vec::len).sum();
-        let list_items: usize = self.excl_unique.iter().flatten().map(|l| l.items.len()).sum();
         BstStats {
             pairs,
-            unique_lists: unique,
-            list_items,
+            unique_lists: self.excl_unique.n_lists(),
+            list_items: self.excl_unique.total_items(),
             black_dot_rows: (0..self.n_items).filter(|&g| self.out_expr[g].is_empty()).count(),
             degenerate_pairs: self.degenerate_pairs().len(),
+            arena_bytes: self.excl_unique.arena_bytes(),
         }
+    }
+
+    /// Streams this BST's canonical compact JSON — byte-identical to
+    /// `serde_json::to_string(self)` — into an `io::Write` without
+    /// building the serde shim's in-memory `Content` tree. The exclusion
+    /// arena's gap-hex strings are written straight from the flat items
+    /// buffer; everything else is integers and word arrays, formatted
+    /// exactly as the shim's compact writer would.
+    pub fn write_json_to<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        fn write_usize_seq<W: io::Write>(w: &mut W, xs: &[usize]) -> io::Result<()> {
+            w.write_all(b"[")?;
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b",")?;
+                }
+                write!(w, "{x}")?;
+            }
+            w.write_all(b"]")
+        }
+        fn write_bitset<W: io::Write>(w: &mut W, s: &BitSet) -> io::Result<()> {
+            write!(w, "{{\"capacity\":{},\"words\":[", s.capacity())?;
+            for (i, word) in s.words().iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b",")?;
+                }
+                write!(w, "{word}")?;
+            }
+            w.write_all(b"]}")
+        }
+        fn write_bitset_seq<W: io::Write>(w: &mut W, sets: &[BitSet]) -> io::Result<()> {
+            w.write_all(b"[")?;
+            for (i, s) in sets.iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b",")?;
+                }
+                write_bitset(w, s)?;
+            }
+            w.write_all(b"]")
+        }
+
+        write!(w, "{{\"class\":{},\"n_items\":{}", self.class, self.n_items)?;
+        w.write_all(b",\"class_samples\":")?;
+        write_usize_seq(w, &self.class_samples)?;
+        w.write_all(b",\"out_samples\":")?;
+        write_usize_seq(w, &self.out_samples)?;
+        w.write_all(b",\"class_expr\":")?;
+        write_bitset_seq(w, &self.class_expr)?;
+        w.write_all(b",\"out_expr_sets\":")?;
+        write_bitset_seq(w, &self.out_expr_sets)?;
+        w.write_all(b",\"excl_unique\":[")?;
+        for c in 0..self.excl_unique.n_cols() {
+            if c > 0 {
+                w.write_all(b",")?;
+            }
+            w.write_all(b"[")?;
+            for (u, list) in self.excl_unique.col(c).iter().enumerate() {
+                if u > 0 {
+                    w.write_all(b",")?;
+                }
+                let sign = match list.sign {
+                    Sign::Neg => "Neg",
+                    Sign::Pos => "Pos",
+                };
+                write!(w, "{{\"sign\":\"{sign}\",\"items\":\"")?;
+                gap_hex::write_to(list.items, w)?;
+                w.write_all(b"\"}")?;
+            }
+            w.write_all(b"]")?;
+        }
+        w.write_all(b"],\"excl_idx\":[")?;
+        for (c, row) in self.excl_idx.iter().enumerate() {
+            if c > 0 {
+                w.write_all(b",")?;
+            }
+            w.write_all(b"[")?;
+            for (i, idx) in row.iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b",")?;
+                }
+                write!(w, "{idx}")?;
+            }
+            w.write_all(b"]")?;
+        }
+        w.write_all(b"],\"out_expr\":")?;
+        write_bitset_seq(w, &self.out_expr)?;
+        w.write_all(b"}")
     }
 
     /// Renders the table in the style of Figure 1 (items as rows, class
@@ -497,17 +1107,17 @@ mod tests {
     fn exclusion_lists_match_figure_1() {
         let (_, bst) = cancer_bst();
         // (s1, s4): Alg 1 falls through to the positive list {g1}.
-        assert_eq!(bst.exclusion_list(0, 0), &ExclusionList { sign: Sign::Pos, items: vec![0] });
+        assert_eq!(bst.exclusion_list(0, 0), ExclusionList { sign: Sign::Pos, items: vec![0] });
         // (s1, s5): negative list {-g4, -g6}.
-        assert_eq!(bst.exclusion_list(0, 1), &ExclusionList { sign: Sign::Neg, items: vec![3, 5] });
+        assert_eq!(bst.exclusion_list(0, 1), ExclusionList { sign: Sign::Neg, items: vec![3, 5] });
         // (s2, s4): {-g2, -g5}.
-        assert_eq!(bst.exclusion_list(1, 0), &ExclusionList { sign: Sign::Neg, items: vec![1, 4] });
+        assert_eq!(bst.exclusion_list(1, 0), ExclusionList { sign: Sign::Neg, items: vec![1, 4] });
         // (s2, s5): {-g4, -g5}.
-        assert_eq!(bst.exclusion_list(1, 1), &ExclusionList { sign: Sign::Neg, items: vec![3, 4] });
+        assert_eq!(bst.exclusion_list(1, 1), ExclusionList { sign: Sign::Neg, items: vec![3, 4] });
         // (s3, s4): {-g3, -g5}.
-        assert_eq!(bst.exclusion_list(2, 0), &ExclusionList { sign: Sign::Neg, items: vec![2, 4] });
+        assert_eq!(bst.exclusion_list(2, 0), ExclusionList { sign: Sign::Neg, items: vec![2, 4] });
         // (s3, s5): {-g3, -g5}.
-        assert_eq!(bst.exclusion_list(2, 1), &ExclusionList { sign: Sign::Neg, items: vec![2, 4] });
+        assert_eq!(bst.exclusion_list(2, 1), ExclusionList { sign: Sign::Neg, items: vec![2, 4] });
     }
 
     #[test]
@@ -519,11 +1129,9 @@ mod tests {
             Cell::Lists(lists) => {
                 assert_eq!(lists.len(), 2);
                 assert_eq!(lists[0].0, 0); // s4
-                assert_eq!(lists[0].1.sign, Sign::Pos);
-                assert_eq!(lists[0].1.items, vec![0]);
+                assert_eq!(lists[0].1, ExclusionList { sign: Sign::Pos, items: vec![0] });
                 assert_eq!(lists[1].0, 1); // s5
-                assert_eq!(lists[1].1.sign, Sign::Neg);
-                assert_eq!(lists[1].1.items, vec![3, 5]);
+                assert_eq!(lists[1].1, ExclusionList { sign: Sign::Neg, items: vec![3, 5] });
             }
             other => panic!("expected lists, got {other:?}"),
         }
@@ -586,9 +1194,9 @@ mod tests {
         assert_eq!(bst.n_class_samples(), 2);
         assert_eq!(bst.n_out_samples(), 3);
         // (s4, s1): {g : g ∈ s1, g ∉ s4} = {g1} → negative list.
-        assert_eq!(bst.exclusion_list(0, 0), &ExclusionList { sign: Sign::Neg, items: vec![0] });
+        assert_eq!(bst.exclusion_list(0, 0), ExclusionList { sign: Sign::Neg, items: vec![0] });
         // (s5, s3): s3 \ s5 = {g2} → negative.
-        assert_eq!(bst.exclusion_list(1, 2), &ExclusionList { sign: Sign::Neg, items: vec![1] });
+        assert_eq!(bst.exclusion_list(1, 2), ExclusionList { sign: Sign::Neg, items: vec![1] });
         // No black dots in the Healthy BST.
         for g in 0..6 {
             assert!(!bst.is_black_dot_row(g) || bst.row_support(g).is_empty());
@@ -650,6 +1258,29 @@ mod tests {
         assert_eq!(st.black_dot_rows, 1); // g1
         assert_eq!(st.degenerate_pairs, 0);
         assert!(st.list_items >= 5);
+        assert!(st.arena_bytes > 0);
+        assert!(st.arena_bytes >= st.list_items * std::mem::size_of::<ItemId>());
+    }
+
+    #[test]
+    fn interned_build_matches_the_frozen_legacy_builder() {
+        // Full structural equality — arena contents, entry order, pair
+        // indices, out_expr — on both Figure 1 classes.
+        let d = table1();
+        for class in 0..2 {
+            assert_eq!(Bst::build(&d, class), Bst::build_legacy(&d, class), "class {class}");
+        }
+    }
+
+    #[test]
+    fn arena_round_trips_through_from_columns() {
+        let (_, bst) = cancer_bst();
+        let cols: Vec<Vec<ExclusionList>> = (0..bst.n_class_samples())
+            .map(|c| bst.unique_exclusion_lists(c).iter().map(|l| l.to_owned()).collect())
+            .collect();
+        let rebuilt = ListArena::from_columns(&cols);
+        assert_eq!(rebuilt, bst.excl_unique);
+        assert_eq!(rebuilt.arena_bytes(), bst.excl_unique.arena_bytes());
     }
 
     #[test]
@@ -685,10 +1316,46 @@ mod tests {
     fn gap_hex_rejects_malformed_and_non_ascending_input() {
         for bad in ["\"zz\"", "\"3,,1\"", "\"3,0\"", "\"3,-1\""] {
             let json = format!("{{\"sign\":\"Neg\",\"items\":{bad}}}");
-            assert!(
-                serde_json::from_str::<ExclusionList>(&json).is_err(),
-                "accepted {bad}"
+            assert!(serde_json::from_str::<ExclusionList>(&json).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn bst_serde_wire_shape_is_the_legacy_nested_list_form() {
+        // The arena must serialize exactly as the historical
+        // Vec<Vec<ExclusionList>> field did: per-column arrays of
+        // {"sign":...,"items":"<gap-hex>"} maps, in intern order.
+        let (_, bst) = cancer_bst();
+        let json = serde_json::to_string(&bst).unwrap();
+        assert!(json.contains("\"excl_unique\":[[{\"sign\":\"Pos\",\"items\":\"0\"}"), "{json}");
+        let back: Bst = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, bst);
+    }
+
+    #[test]
+    fn streaming_json_is_byte_identical_to_the_tree_serializer() {
+        let d = table1();
+        for class in 0..2 {
+            let bst = Bst::build(&d, class);
+            let mut streamed = Vec::new();
+            bst.write_json_to(&mut streamed).unwrap();
+            assert_eq!(
+                String::from_utf8(streamed).unwrap(),
+                serde_json::to_string(&bst).unwrap(),
+                "class {class}"
             );
         }
+    }
+
+    #[test]
+    fn out_sample_blocks_cover_every_sample_in_order() {
+        let sets: Vec<BitSet> = (0..7).map(|_| BitSet::new(64)).collect();
+        let blocks = out_sample_blocks(&sets);
+        let flat: Vec<usize> = blocks.iter().flat_map(|r| r.clone()).collect();
+        assert_eq!(flat, (0..7).collect::<Vec<_>>());
+        // Huge sets still get at least one sample per block.
+        let big: Vec<BitSet> = (0..3).map(|_| BitSet::new(BST_BLOCK_BYTES * 8 * 2)).collect();
+        let blocks = out_sample_blocks(&big);
+        assert_eq!(blocks.len(), 3);
     }
 }

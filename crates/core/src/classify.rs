@@ -115,6 +115,27 @@ impl BstcModel {
         CompiledModel::compile(self)
     }
 
+    /// Streams the model's canonical compact JSON — byte-identical to
+    /// `serde_json::to_string(self)` — into an `io::Write` without
+    /// building the serializer's in-memory tree. The model is almost
+    /// entirely its BSTs, so this rides [`Bst::write_json_to`]; the
+    /// bundle's streaming saver uses it to cap model-write memory.
+    pub fn write_json_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(b"{\"bsts\":[")?;
+        for (i, bst) in self.bsts.iter().enumerate() {
+            if i > 0 {
+                w.write_all(b",")?;
+            }
+            bst.write_json_to(w)?;
+        }
+        let arith = match self.arith {
+            Arithmetization::Min => "Min",
+            Arithmetization::Product => "Product",
+            Arithmetization::Mean => "Mean",
+        };
+        write!(w, "],\"arith\":\"{arith}\"}}")
+    }
+
     /// BSTCE (Algorithm 5): the classification value of `query` against one
     /// class BST.
     pub fn class_value(&self, class: ClassId, query: &BitSet) -> f64 {

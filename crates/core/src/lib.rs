@@ -48,7 +48,7 @@ pub mod row_bar;
 pub mod rule_group;
 
 pub use bar::{display_bar, Bar, BarAntecedent, ExclusionClause, Sign};
-pub use bst::{Bst, BstStats, Cell, ExclusionList};
+pub use bst::{Bst, BstStats, Cell, ColumnLists, ExclusionList, ExclusionListRef, ListArena};
 pub use classify::{confidence_gap_of, Arithmetization, BstcModel, CellExplanation};
 pub use classify_mc2::{CompiledMc2Classifier, Mc2Classifier};
 pub use compiled::{BatchScratch, CompiledBst, CompiledModel, ParBatchScratch, Scratch};

@@ -41,6 +41,45 @@ fn dataset_no_dups() -> impl Strategy<Value = BoolDataset> {
     })
 }
 
+/// Deterministic corner cases for the arena-interned builder: every
+/// out-sample empty (all expressed rows are black dots, every pair takes
+/// the positive fallback) and identical cross-class samples (degenerate
+/// empty lists). Both must intern exactly as the legacy builder stores.
+#[test]
+fn interned_build_matches_legacy_on_black_dot_and_degenerate_data() {
+    let black_dot = BoolDataset::new(
+        (0..4).map(|i| format!("g{i}")).collect(),
+        vec!["a".into(), "b".into()],
+        vec![
+            BitSet::from_iter(4, [0, 2]),
+            BitSet::from_iter(4, [1, 2, 3]),
+            BitSet::new(4),
+            BitSet::new(4),
+        ],
+        vec![0, 0, 1, 1],
+    )
+    .unwrap();
+    let degenerate = BoolDataset::new(
+        (0..3).map(|i| format!("g{i}")).collect(),
+        vec!["a".into(), "b".into()],
+        vec![
+            BitSet::from_iter(3, [0, 1]),
+            BitSet::from_iter(3, [0, 1]), // identical, other class
+            BitSet::from_iter(3, [2]),
+        ],
+        vec![0, 1, 1],
+    )
+    .unwrap();
+    for d in [black_dot, degenerate] {
+        for class in 0..d.n_classes() {
+            let new = Bst::build(&d, class);
+            let old = Bst::build_legacy(&d, class);
+            assert_eq!(new, old, "class {class}");
+            assert_eq!(new.stats(), old.stats(), "class {class}");
+        }
+    }
+}
+
 proptest! {
     /// §3.2: every atomic cell rule is 100% confident on the training data
     /// (no out-of-class training sample satisfies it), and — absent
@@ -218,6 +257,61 @@ proptest! {
                 prop_assert!(d.sample(e.supporting_sample).contains(e.item));
                 prop_assert_eq!(d.label(e.supporting_sample), class);
             }
+        }
+    }
+
+    /// The interned arena builder is bit-identical to the frozen legacy
+    /// builder: full structural equality (arena contents and entry order,
+    /// per-pair indices, out_expr, stats) on random datasets — including
+    /// ones with cross-class duplicates, whose degenerate empty lists
+    /// must intern identically.
+    #[test]
+    fn interned_build_matches_legacy(d in dataset()) {
+        for class in 0..d.n_classes() {
+            let new = Bst::build(&d, class);
+            let old = Bst::build_legacy(&d, class);
+            prop_assert_eq!(&new, &old, "class {} structure diverged", class);
+            prop_assert_eq!(new.stats(), old.stats(), "class {} stats diverged", class);
+        }
+    }
+
+    /// The compiled lowering and classify outputs of the interned builder
+    /// match the legacy builder's bit for bit on random queries.
+    #[test]
+    fn interned_build_compiles_and_classifies_like_legacy(
+        d in dataset(),
+        q_items in prop::collection::vec(0usize..10, 0..10),
+    ) {
+        use bstc::{Arithmetization, CompiledBst, Scratch};
+        let q = BitSet::from_iter(d.n_items(), q_items.iter().map(|&g| g % d.n_items()));
+        let mut scratch = Scratch::new();
+        for class in 0..d.n_classes() {
+            let new = CompiledBst::compile(&Bst::build(&d, class));
+            let old = CompiledBst::compile(&Bst::build_legacy(&d, class));
+            for arith in [Arithmetization::Min, Arithmetization::Product, Arithmetization::Mean] {
+                let v_new = new.class_value(&q, arith, &mut scratch);
+                let v_old = old.class_value(&q, arith, &mut scratch);
+                prop_assert_eq!(
+                    v_new.to_bits(), v_old.to_bits(),
+                    "class {} {:?}: {} vs {}", class, arith, v_new, v_old
+                );
+            }
+        }
+    }
+
+    /// The streaming BST serializer emits exactly the tree serializer's
+    /// bytes for any dataset shape.
+    #[test]
+    fn streamed_bst_json_matches_tree_json(d in dataset()) {
+        for class in 0..d.n_classes() {
+            let bst = Bst::build(&d, class);
+            let mut streamed = Vec::new();
+            bst.write_json_to(&mut streamed).unwrap();
+            prop_assert_eq!(
+                String::from_utf8(streamed).unwrap(),
+                serde_json::to_string(&bst).unwrap(),
+                "class {} streamed JSON diverged", class
+            );
         }
     }
 

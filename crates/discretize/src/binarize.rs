@@ -486,8 +486,7 @@ mod tests {
     #[test]
     fn streamed_paths_work_on_a_bmx_file() {
         let data = toy();
-        let path =
-            std::env::temp_dir().join(format!("bstc_binarize_{}.bmx", std::process::id()));
+        let path = std::env::temp_dir().join(format!("bstc_binarize_{}.bmx", std::process::id()));
         microarray::write_bmx(&data, &path).unwrap();
         let bmx = microarray::BmxDataset::open(&path).unwrap();
         let (d_mem, b_mem) = Discretizer::fit_transform(&data).unwrap();

@@ -44,5 +44,5 @@ pub use runner::{
     BaselineParams, BaselineRun, BstcRun, CbaRun, Mc2Run, Prepared, RcbtRun, TopkRun,
 };
 pub use split::{draw_split, draw_splits, Split, SplitSpec};
-pub use stream::{run_replicate_streamed, run_reps_streamed, ReplicateResult};
 pub use stats::{accuracy, mean, std_dev, BoxplotStats};
+pub use stream::{run_replicate_streamed, run_reps_streamed, ReplicateResult};

@@ -127,10 +127,12 @@ impl BmxWriter {
         };
         w.w.write_all(MAGIC)?;
         w.w.write_all(&[0u8; 8])?; // checksum placeholder, sealed by finish()
-        for v in
-            [gene_names.len() as u64, labels.len() as u64, class_names.len() as u64, names.len()
-                as u64]
-        {
+        for v in [
+            gene_names.len() as u64,
+            labels.len() as u64,
+            class_names.len() as u64,
+            names.len() as u64,
+        ] {
             w.put(&v.to_le_bytes())?;
         }
         w.put(&names)?;
@@ -216,6 +218,8 @@ pub struct BmxDataset {
     labels: Vec<ClassId>,
     /// Byte offset of the first column in the map (8-aligned).
     data_off: usize,
+    /// Header checksum, verified (or vouched for) at open time.
+    checksum: u64,
 }
 
 impl BmxDataset {
@@ -227,6 +231,26 @@ impl BmxDataset {
     /// rejected before any of it is trusted, and the verification pass
     /// itself adds nothing to resident memory.
     pub fn open(path: &Path) -> Result<BmxDataset, IoError> {
+        Self::open_inner(path, None)
+    }
+
+    /// Opens `path` without re-streaming the payload, trusting that a
+    /// parent process already ran the full [`BmxDataset::open`]
+    /// verification on the same file and obtained `expected_checksum`
+    /// from [`BmxDataset::checksum`].
+    ///
+    /// Only the header is checked: its stored checksum must equal
+    /// `expected_checksum` (so a swapped or regenerated file is still
+    /// rejected), and the structural invariants — magic, declared
+    /// sizes vs. file length, name table, label range — are validated
+    /// as usual. The O(file) checksum + finiteness pass is skipped;
+    /// that is the point, and why this is only safe downstream of a
+    /// verifying parent on the same filesystem.
+    pub fn open_trusted(path: &Path, expected_checksum: u64) -> Result<BmxDataset, IoError> {
+        Self::open_inner(path, Some(expected_checksum))
+    }
+
+    fn open_inner(path: &Path, trusted: Option<u64>) -> Result<BmxDataset, IoError> {
         if cfg!(target_endian = "big") {
             return Err(invalid("bmx files are little-endian; big-endian hosts unsupported"));
         }
@@ -239,8 +263,7 @@ impl BmxDataset {
             return Err(invalid("missing '#bmx v1' magic"));
         }
         let stored_hash = u64::from_le_bytes(head[8..16].try_into().unwrap());
-        let word =
-            |i: usize| u64::from_le_bytes(head[16 + i * 8..24 + i * 8].try_into().unwrap());
+        let word = |i: usize| u64::from_le_bytes(head[16 + i * 8..24 + i * 8].try_into().unwrap());
         let (n_genes, n_samples, n_classes, names_len) =
             (word(0) as usize, word(1) as usize, word(2) as usize, word(3) as usize);
         if n_genes == 0 || n_samples == 0 {
@@ -263,6 +286,26 @@ impl BmxDataset {
         // bounded buffer. Every block after offset 48 is padded to 8
         // bytes and the buffer is a multiple of 8, so with full reads
         // every f64 sits whole inside one buffer fill.
+        //
+        // A trusted open compares the stored checksum against the
+        // parent-supplied one instead of recomputing it, skipping the
+        // whole O(file) pass.
+        if let Some(expected) = trusted {
+            if stored_hash != expected {
+                return Err(invalid(format!(
+                    "checksum handoff mismatch: header stores {stored_hash:#018x}, \
+                     parent verified {expected:#018x} — file changed since verification"
+                )));
+            }
+            return Self::decode_blocks(
+                file,
+                n_genes,
+                n_samples,
+                n_classes,
+                names_len,
+                stored_hash,
+            );
+        }
         let mut hash = Fnv1a::new();
         hash.update(&head[16..]);
         let mut buf = vec![0u8; 1 << 20];
@@ -295,7 +338,21 @@ impl BmxDataset {
             )));
         }
 
-        // --- decode the small blocks, map the big one --------------------
+        Self::decode_blocks(file, n_genes, n_samples, n_classes, names_len, stored_hash)
+    }
+
+    /// Decodes the name/label blocks and maps the matrix; shared tail of
+    /// the verified and trusted open paths.
+    fn decode_blocks(
+        file: File,
+        n_genes: usize,
+        n_samples: usize,
+        n_classes: usize,
+        names_len: usize,
+        checksum: u64,
+    ) -> Result<BmxDataset, IoError> {
+        let names_end = 48 + names_len + pad8(names_len);
+        let labels_end = names_end + n_samples * 4 + pad8(n_samples * 4);
         let map = Mmap::map_readonly(&file)?;
         let bytes = map.as_slice();
         let names_blob = std::str::from_utf8(&bytes[48..48 + names_len])
@@ -303,8 +360,7 @@ impl BmxDataset {
         let mut names = names_blob.split_terminator('\n');
         let class_names: Vec<String> = names.by_ref().take(n_classes).map(str::to_owned).collect();
         let gene_names: Vec<String> = names.by_ref().take(n_genes).map(str::to_owned).collect();
-        if class_names.len() != n_classes || gene_names.len() != n_genes || names.next().is_some()
-        {
+        if class_names.len() != n_classes || gene_names.len() != n_genes || names.next().is_some() {
             return Err(invalid("name table entry count does not match the header"));
         }
         let labels: Vec<ClassId> = bytes[names_end..names_end + n_samples * 4]
@@ -320,7 +376,15 @@ impl BmxDataset {
                 }));
             }
         }
-        Ok(BmxDataset { map, gene_names, class_names, labels, data_off: labels_end })
+        Ok(BmxDataset { map, gene_names, class_names, labels, data_off: labels_end, checksum })
+    }
+
+    /// The file's FNV-1a 64 checksum as stored in (and, for
+    /// [`BmxDataset::open`], verified against) the header. Hand this to
+    /// [`BmxDataset::open_trusted`] in a child process to skip its
+    /// re-verification pass.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
     }
 
     /// Number of genes (columns).
@@ -384,8 +448,8 @@ impl BmxDataset {
     pub fn to_continuous(&self) -> Result<ContinuousDataset, DatasetError> {
         let mut values = vec![vec![0.0f64; self.n_genes()]; self.n_samples()];
         for g in 0..self.n_genes() {
-            for (s, &v) in self.column(g).iter().enumerate() {
-                values[s][g] = v;
+            for (row, &v) in values.iter_mut().zip(self.column(g)) {
+                row[g] = v;
             }
         }
         ContinuousDataset::new(
@@ -459,6 +523,30 @@ mod tests {
     }
 
     #[test]
+    fn trusted_open_honors_the_handoff_checksum() {
+        let path = tmp("trusted");
+        let d = toy();
+        write_bmx(&d, &path).unwrap();
+        let verified = BmxDataset::open(&path).unwrap();
+        let token = verified.checksum();
+
+        // The right token opens without the O(file) pass and reads the
+        // same data.
+        let bmx = BmxDataset::open_trusted(&path, token).unwrap();
+        assert_eq!(bmx.checksum(), token);
+        assert_eq!(bmx.labels(), d.labels());
+        for g in 0..d.n_genes() {
+            assert_eq!(bmx.column(g), verified.column(g));
+        }
+
+        // A stale token (file regenerated since the parent verified)
+        // is rejected even though the file itself is self-consistent.
+        let err = BmxDataset::open_trusted(&path, token ^ 1).unwrap_err();
+        assert!(err.to_string().contains("checksum handoff mismatch"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn corrupt_byte_fails_checksum() {
         let path = tmp("corrupt");
         write_bmx(&toy(), &path).unwrap();
@@ -485,13 +573,8 @@ mod tests {
     #[test]
     fn writer_rejects_non_finite_values() {
         let path = tmp("nonfinite");
-        let mut w = BmxWriter::create(
-            &path,
-            &["g1".into(), "g2".into()],
-            &["A".into()],
-            &[0, 0],
-        )
-        .unwrap();
+        let mut w =
+            BmxWriter::create(&path, &["g1".into(), "g2".into()], &["A".into()], &[0, 0]).unwrap();
         w.write_column(&[1.0, 2.0]).unwrap();
         let err = w.write_column(&[f64::NAN, 2.0]).unwrap_err();
         assert!(err.to_string().contains("non-finite"), "{err}");

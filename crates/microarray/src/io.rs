@@ -326,7 +326,10 @@ mod tests {
         // into a different dataset instead of failing.
         let text = "#bool-microarray v1\n#classes\tA\n#items\tg1\tg1\nA\tg1\n";
         let err = read_bool_tsv(text.as_bytes()).unwrap_err();
-        assert!(matches!(&err, IoError::Parse { line: 3, message } if message.contains("g1")), "{err}");
+        assert!(
+            matches!(&err, IoError::Parse { line: 3, message } if message.contains("g1")),
+            "{err}"
+        );
         let text = "#bool-microarray v1\n#classes\tA\tA\n#items\tg1\nA\tg1\n";
         let err = read_bool_tsv(text.as_bytes()).unwrap_err();
         assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err}");
@@ -336,7 +339,10 @@ mod tests {
     fn cont_tsv_rejects_duplicate_header_names() {
         let text = "#cont-microarray v1\n#classes\tA\n#genes\tg1\tg2\tg1\nA\t1\t2\t3\n";
         let err = read_cont_tsv(text.as_bytes()).unwrap_err();
-        assert!(matches!(&err, IoError::Parse { line: 3, message } if message.contains("g1")), "{err}");
+        assert!(
+            matches!(&err, IoError::Parse { line: 3, message } if message.contains("g1")),
+            "{err}"
+        );
         let text = "#cont-microarray v1\n#classes\tB\tB\n#genes\tg1\nB\t1\n";
         let err = read_cont_tsv(text.as_bytes()).unwrap_err();
         assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err}");

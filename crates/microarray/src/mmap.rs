@@ -68,9 +68,8 @@ impl Mmap {
         // read-only mapping of a regular file has no aliasing hazards
         // (writes through other handles may or may not be visible, but
         // the .bmx reader checksums the file before trusting it).
-        let ptr = unsafe {
-            mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
-        };
+        let ptr =
+            unsafe { mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0) };
         if ptr as isize == -1 {
             return Err(io::Error::last_os_error());
         }

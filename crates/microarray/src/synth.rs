@@ -574,6 +574,34 @@ pub mod presets {
         }
     }
 
+    /// Sample-scalability stress: the paper's datasets cap out at 253
+    /// samples, but BST construction is quadratic in samples per
+    /// column, so this preset inverts the aspect ratio — modest gene
+    /// count, 2,600 samples (1,200 + 1,400). Exercises the interned
+    /// exclusion-list arena where it matters: duplicate-heavy columns
+    /// with millions of (c, h) pairs.
+    pub fn sample_scale(seed: u64) -> SynthConfig {
+        SynthConfig {
+            name: "Sample-scale cohort (synthetic)".into(),
+            // Memory here is pairs × list length: 1,200 × 1,400 pairs
+            // per class are fixed by the sample count, so the gene
+            // count is kept small enough that each exclusion list
+            // stays short and the arena fits a CI-sized RSS budget.
+            n_genes: 48,
+            class_sizes: vec![1200, 1400],
+            class_names: vec!["control".into(), "case".into()],
+            markers_per_class: 16,
+            marker_shift: 2.0,
+            marker_dropout: 0.08,
+            marker_modules: 6,
+            wobble_rate: 0.08,
+            marker_flip: 0.01,
+            atypical_rate: 0.05,
+            atypical_strength: 0.30,
+            seed,
+        }
+    }
+
     /// A 5-class stress variant of [`three_class`].
     pub fn five_class(seed: u64) -> SynthConfig {
         SynthConfig {
@@ -761,8 +789,7 @@ mod tests {
         let m = cfg.markers_per_class;
         let s = StreamingSynth::new(cfg).unwrap();
         let mean_for = |class: usize| -> f64 {
-            let members: Vec<usize> =
-                (0..s.n_samples()).filter(|&i| s.label(i) == class).collect();
+            let members: Vec<usize> = (0..s.n_samples()).filter(|&i| s.label(i) == class).collect();
             let mut acc = 0.0;
             for &i in &members {
                 for g in 0..m {

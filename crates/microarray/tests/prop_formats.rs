@@ -43,8 +43,7 @@ fn assert_bit_identical(a: &ContinuousDataset, b: &ContinuousDataset) {
 }
 
 fn bmx_round_trip(data: &ContinuousDataset, tag: &str) -> ContinuousDataset {
-    let path =
-        std::env::temp_dir().join(format!("prop_formats_{}_{tag}.bmx", std::process::id()));
+    let path = std::env::temp_dir().join(format!("prop_formats_{}_{tag}.bmx", std::process::id()));
     write_bmx(data, &path).unwrap();
     let back = BmxDataset::open(&path).unwrap().to_continuous().unwrap();
     let _ = std::fs::remove_file(&path);

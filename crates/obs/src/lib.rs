@@ -9,6 +9,9 @@
 //!   plus the shared nearest-rank helpers ([`nearest_rank_index`],
 //!   [`percentile_of_sorted`]) every bench uses so p99 is computed the
 //!   same way everywhere;
+//! * [`counter`] — [`CounterRegistry`], process-global monotonic named
+//!   counters (`bstc_bst_pairs_total`, …) rendered as Prometheus counter
+//!   families next to the stage histograms;
 //! * [`stage`] — [`Stage`], a drop-guard span timer (`Stage::enter
 //!   ("mdl_cuts")` … drop records the elapsed microseconds) feeding a
 //!   process-global [`Registry`] of named histograms that renders as one
@@ -35,12 +38,14 @@
 
 #![warn(missing_docs)]
 
+pub mod counter;
 pub mod hist;
 pub mod log;
 pub mod stage;
 pub mod trace;
 pub mod window;
 
+pub use counter::{counters, CounterRegistry};
 pub use hist::{nearest_rank_index, percentile_of_sorted, Histogram};
 pub use log::{Level, LogFormat};
 pub use stage::{global, Registry, Stage, StageTotal};

@@ -237,8 +237,7 @@ pub fn set_file_sink(path: &Path, max_bytes: u64, keep: usize) -> std::io::Resul
     let file = OpenOptions::new().create(true).append(true).open(path)?;
     let written = file.metadata()?.len();
     let mut guard = state();
-    guard.sink =
-        Sink::File(FileSink { path: path.to_path_buf(), file, written, max_bytes, keep });
+    guard.sink = Sink::File(FileSink { path: path.to_path_buf(), file, written, max_bytes, keep });
     guard.buckets = None;
     Ok(())
 }

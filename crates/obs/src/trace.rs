@@ -144,10 +144,8 @@ impl Trace {
             new_ids.push(id);
         }
         for (record, &id) in records.iter().zip(&new_ids) {
-            let mapped_parent = record
-                .parent
-                .and_then(|p| remap.get(&p).copied())
-                .unwrap_or(parent);
+            let mapped_parent =
+                record.parent.and_then(|p| remap.get(&p).copied()).unwrap_or(parent);
             let mut adopted = record.clone();
             adopted.id = id;
             adopted.parent = Some(mapped_parent);
@@ -306,7 +304,7 @@ mod tests {
             dur_us: 7,
         };
         let root = trace.begin("cv", None);
-        trace.adopt(root, &[orphan.clone()]);
+        trace.adopt(root, std::slice::from_ref(&orphan));
         trace.end(root);
         let tree = trace.render_tree();
         assert!(tree.contains("lost dur_us=7"), "{tree}");

@@ -343,28 +343,72 @@ impl ModelBundle {
         }
     }
 
+    /// Streams this bundle's canonical payload JSON (the `bundle` value
+    /// of the envelope) into `w`, byte-identical to
+    /// `serde_json::to_string(&serde_json::to_value(self))`. The small
+    /// leaves (provenance, names, discretizer) go through the ordinary
+    /// tree serializer; the model — which dominates any bundle — streams
+    /// via [`BstcModel::write_json_to`], so no model-sized intermediate
+    /// tree or string ever exists.
+    fn write_payload<W: std::io::Write>(&self, w: &mut W) -> Result<(), BundleError> {
+        fn leaf<T: Serialize>(v: &T) -> Result<String, BundleError> {
+            serde_json::to_string(v).map_err(|e| BundleError::Json(e.to_string()))
+        }
+        w.write_all(b"{\"provenance\":")?;
+        w.write_all(leaf(&self.provenance)?.as_bytes())?;
+        w.write_all(b",\"class_names\":")?;
+        w.write_all(leaf(&self.class_names)?.as_bytes())?;
+        w.write_all(b",\"item_names\":")?;
+        w.write_all(leaf(&self.item_names)?.as_bytes())?;
+        w.write_all(b",\"discretizer\":")?;
+        w.write_all(leaf(&self.discretizer)?.as_bytes())?;
+        w.write_all(b",\"model\":")?;
+        self.model.write_json_to(w)?;
+        w.write_all(b"}")?;
+        Ok(())
+    }
+
+    /// Streams the versioned, checksummed envelope into `w`.
+    ///
+    /// Two payload passes: the first runs the byte stream through the
+    /// FNV-1a hasher only (no buffering), the second writes the envelope
+    /// around the payload. Peak memory is the largest *leaf*
+    /// serialization, not the whole artifact — [`Self::save`] and
+    /// [`Self::to_json`] both ride this.
+    ///
+    /// # Errors
+    /// Propagates serialization failures and `w`'s I/O errors.
+    pub fn save_to_writer<W: std::io::Write>(&self, w: &mut W) -> Result<(), BundleError> {
+        let mut fnv = FnvWriter::new();
+        self.write_payload(&mut fnv)?;
+        write!(
+            w,
+            "{{\"format_version\":{FORMAT_VERSION},\"checksum\":\"{}\",\"bundle\":",
+            fnv.finish()
+        )?;
+        self.write_payload(w)?;
+        w.write_all(b"}")?;
+        Ok(())
+    }
+
     /// The checksum of this bundle's canonical payload serialization —
     /// bit-identical to the `checksum` field [`Self::save`] writes, so a
     /// registry can report which artifact a served version corresponds
-    /// to. Computed on demand; the registry caches it per version.
+    /// to. Computed on demand (one hashing pass, no payload text);
+    /// the registry caches it per version.
     pub fn content_checksum(&self) -> Result<String, BundleError> {
-        let payload = serde_json::to_value(self).map_err(|e| BundleError::Json(e.to_string()))?;
-        let canonical =
-            serde_json::to_string(&payload).map_err(|e| BundleError::Json(e.to_string()))?;
-        Ok(checksum_of(&canonical))
+        let mut fnv = FnvWriter::new();
+        self.write_payload(&mut fnv)?;
+        Ok(fnv.finish())
     }
 
-    /// Serializes to the versioned, checksummed JSON envelope.
+    /// Serializes to the versioned, checksummed JSON envelope as one
+    /// string ([`Self::save_to_writer`] into a buffer — callers that can
+    /// write to a sink directly should prefer the writer form).
     pub fn to_json(&self) -> Result<String, BundleError> {
-        let payload = serde_json::to_value(self).map_err(|e| BundleError::Json(e.to_string()))?;
-        let canonical =
-            serde_json::to_string(&payload).map_err(|e| BundleError::Json(e.to_string()))?;
-        let envelope = serde_json::json!({
-            "format_version": FORMAT_VERSION,
-            "checksum": checksum_of(&canonical),
-            "bundle": payload
-        });
-        serde_json::to_string(&envelope).map_err(|e| BundleError::Json(e.to_string()))
+        let mut buf = Vec::new();
+        self.save_to_writer(&mut buf)?;
+        String::from_utf8(buf).map_err(|e| BundleError::Json(e.to_string()))
     }
 
     /// Parses and fully verifies a JSON envelope: format version first,
@@ -391,9 +435,12 @@ impl ModelBundle {
             .get("bundle")
             .cloned()
             .ok_or_else(|| BundleError::Envelope("missing object 'bundle'".into()))?;
-        let canonical =
-            serde_json::to_string(&payload).map_err(|e| BundleError::Json(e.to_string()))?;
-        let computed = checksum_of(&canonical);
+        // Hash the canonical re-serialization as a byte stream instead of
+        // materializing a second payload-sized string next to the parse
+        // tree.
+        let mut fnv = FnvWriter::new();
+        write_value_json(&payload, &mut fnv).expect("hashing is infallible");
+        let computed = fnv.finish();
         if declared != computed {
             return Err(BundleError::ChecksumMismatch { declared, computed });
         }
@@ -403,12 +450,16 @@ impl ModelBundle {
         Ok(bundle)
     }
 
-    /// Writes the envelope to a file.
+    /// Writes the envelope to a file, streaming through a buffered
+    /// writer — the artifact never exists as one in-memory string.
     ///
     /// # Errors
     /// Propagates serialization and filesystem failures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), BundleError> {
-        std::fs::write(path, self.to_json()?)?;
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        self.save_to_writer(&mut w)?;
+        std::io::Write::flush(&mut w)?;
         Ok(())
     }
 
@@ -446,14 +497,102 @@ impl ModelBundle {
     }
 }
 
-/// FNV-1a 64-bit, rendered as `fnv1a64:<16 hex digits>`.
-fn checksum_of(payload: &str) -> String {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in payload.as_bytes() {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+/// Incremental FNV-1a 64-bit over a byte stream, usable as an
+/// `io::Write` sink — the checksum pass of the streaming saver runs the
+/// payload bytes through this without buffering them.
+struct FnvWriter {
+    hash: u64,
+}
+
+impl FnvWriter {
+    fn new() -> FnvWriter {
+        FnvWriter { hash: 0xcbf2_9ce4_8422_2325 }
     }
-    format!("fnv1a64:{hash:016x}")
+
+    /// The digest so far, rendered as `fnv1a64:<16 hex digits>`.
+    fn finish(&self) -> String {
+        format!("fnv1a64:{:016x}", self.hash)
+    }
+}
+
+impl std::io::Write for FnvWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        for &b in buf {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams `value`'s compact JSON — byte-identical to
+/// `serde_json::to_string(value)` — into `w`. Used by
+/// [`ModelBundle::from_json`] to checksum a parsed payload without
+/// materializing its canonical text a second time.
+fn write_value_json<W: std::io::Write>(value: &Value, w: &mut W) -> std::io::Result<()> {
+    match value {
+        Value::Null => w.write_all(b"null"),
+        Value::Bool(true) => w.write_all(b"true"),
+        Value::Bool(false) => w.write_all(b"false"),
+        Value::I64(v) => write!(w, "{v}"),
+        Value::U64(v) => write!(w, "{v}"),
+        Value::F64(v) => {
+            if v.is_finite() {
+                // `{}` on f64 is the shortest round-trippable form, the
+                // same bytes the tree writer emits.
+                write!(w, "{v}")
+            } else {
+                w.write_all(b"null")
+            }
+        }
+        Value::Str(s) => write_escaped_json(s, w),
+        Value::Seq(items) => {
+            w.write_all(b"[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b",")?;
+                }
+                write_value_json(item, w)?;
+            }
+            w.write_all(b"]")
+        }
+        Value::Map(entries) => {
+            w.write_all(b"{")?;
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b",")?;
+                }
+                write_escaped_json(k, w)?;
+                w.write_all(b":")?;
+                write_value_json(v, w)?;
+            }
+            w.write_all(b"}")
+        }
+    }
+}
+
+/// JSON string escaping, matching the tree writer's escape table exactly.
+fn write_escaped_json<W: std::io::Write>(s: &str, w: &mut W) -> std::io::Result<()> {
+    w.write_all(b"\"")?;
+    let mut buf = [0u8; 4];
+    for ch in s.chars() {
+        match ch {
+            '"' => w.write_all(b"\\\"")?,
+            '\\' => w.write_all(b"\\\\")?,
+            '\n' => w.write_all(b"\\n")?,
+            '\r' => w.write_all(b"\\r")?,
+            '\t' => w.write_all(b"\\t")?,
+            '\u{08}' => w.write_all(b"\\b")?,
+            '\u{0c}' => w.write_all(b"\\f")?,
+            c if (c as u32) < 0x20 => write!(w, "\\u{:04x}", c as u32)?,
+            c => w.write_all(c.encode_utf8(&mut buf).as_bytes())?,
+        }
+    }
+    w.write_all(b"\"")
 }
 
 #[cfg(test)]
@@ -518,10 +657,10 @@ mod tests {
     #[test]
     fn wrong_format_version_is_refused() {
         let b = ModelBundle::train(&toy(), Provenance::new("toy", None)).unwrap();
-        let text = b.to_json().unwrap().replace(
-            &format!("\"format_version\":{FORMAT_VERSION}"),
-            "\"format_version\":99",
-        );
+        let text = b
+            .to_json()
+            .unwrap()
+            .replace(&format!("\"format_version\":{FORMAT_VERSION}"), "\"format_version\":99");
         match ModelBundle::from_json(&text) {
             Err(BundleError::FormatVersion { found: 99, expected: FORMAT_VERSION }) => {}
             other => panic!("expected FormatVersion error, got {other:?}"),
@@ -573,6 +712,30 @@ mod tests {
         b.compiled().class_values_into(&query, &mut scratch);
         assert_eq!(old_values, scratch.values());
         assert!(b.compiled_resident(), "re-lowered form is cached again");
+    }
+
+    #[test]
+    fn streaming_envelope_is_byte_identical_to_the_tree_serializer() {
+        // The streaming saver must emit exactly what the historical
+        // to_value → to_string → json! path emitted, or existing
+        // artifacts' checksums (and FORMAT_VERSION 2 compatibility)
+        // break.
+        let b = ModelBundle::train(&toy(), Provenance::new("toy", Some(11))).unwrap();
+        let payload = serde_json::to_value(&b).unwrap();
+        let canonical = serde_json::to_string(&payload).unwrap();
+        let mut hashed = FnvWriter::new();
+        std::io::Write::write_all(&mut hashed, canonical.as_bytes()).unwrap();
+        let envelope = serde_json::json!({
+            "format_version": FORMAT_VERSION,
+            "checksum": hashed.finish(),
+            "bundle": payload
+        });
+        let tree = serde_json::to_string(&envelope).unwrap();
+        assert_eq!(b.to_json().unwrap(), tree);
+        // And the streamed canonical-value hash matches the text hash.
+        let mut via_value = FnvWriter::new();
+        write_value_json(&serde_json::to_value(&b).unwrap(), &mut via_value).unwrap();
+        assert_eq!(via_value.finish(), b.content_checksum().unwrap());
     }
 
     #[test]

@@ -551,11 +551,13 @@ fn route(
         Route::ModelMeta(name) => handle_model(shared, Some(name)),
         Route::Models => handle_models(shared),
         Route::Metrics => {
-            // Server metrics plus the process-global stage registry, so
-            // one scrape covers both serving latency and (when this
-            // process also trained) the per-stage pipeline cost.
+            // Server metrics plus the process-global stage registry and
+            // volume counters, so one scrape covers serving latency and
+            // (when this process also trained) the per-stage pipeline
+            // cost and the BST builder's work counters.
             let mut text = shared.metrics.render();
             text.push_str(&obs::global().render_prometheus("bstc_stage_duration_us", "stage"));
+            text.push_str(&obs::counters().render_prometheus());
             Response::text(200, text)
         }
         Route::Classify(name) => {

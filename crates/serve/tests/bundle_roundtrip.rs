@@ -73,10 +73,10 @@ fn future_format_versions_are_refused_with_context() {
     let bundle = ModelBundle::train(&train, Provenance::new("all/aml", None)).unwrap();
     let current = serve::FORMAT_VERSION;
     let future = current + 1;
-    let text = bundle.to_json().unwrap().replace(
-        &format!("\"format_version\":{current}"),
-        &format!("\"format_version\":{future}"),
-    );
+    let text = bundle
+        .to_json()
+        .unwrap()
+        .replace(&format!("\"format_version\":{current}"), &format!("\"format_version\":{future}"));
     match ModelBundle::from_json(&text) {
         Err(e @ BundleError::FormatVersion { .. }) => {
             let msg = e.to_string();

@@ -79,7 +79,7 @@ fn full_server_lifecycle_over_real_sockets() {
     let (status, body) = request(addr, "GET", "/model", "");
     assert_eq!(status, 200);
     let meta = json(&body);
-    assert_eq!(meta.get("format_version").unwrap().as_u64(), Some(1));
+    assert_eq!(meta.get("format_version").unwrap().as_u64(), Some(serve::FORMAT_VERSION));
     assert_eq!(meta.get("n_genes").unwrap().as_u64(), Some(bundle_a.n_genes() as u64));
     assert_eq!(meta.get("provenance").unwrap().get("dataset").unwrap().as_str(), Some("dataset-a"));
 

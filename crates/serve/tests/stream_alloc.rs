@@ -1,0 +1,124 @@
+//! Proves the streaming bundle serializer's memory claim: writing an
+//! artifact through [`ModelBundle::save_to_writer`] peaks at a small
+//! fraction of what the historical tree path (`to_value` → `to_string` →
+//! envelope) allocates, because no model-sized `Value` tree or payload
+//! string ever exists. A live-bytes/high-water tracking global allocator
+//! wraps the system one; this file holds exactly one test so no
+//! concurrent test can pollute the counters.
+
+use microarray::synth::SynthConfig;
+use serve::{ModelBundle, Provenance, FORMAT_VERSION};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tracks currently-live heap bytes and their high-water mark.
+struct PeakAlloc;
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size as u64, Ordering::SeqCst) + size as u64;
+    PEAK.fetch_max(live, Ordering::SeqCst);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::SeqCst);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size >= layout.size() {
+            on_alloc(new_size - layout.size());
+        } else {
+            LIVE.fetch_sub((layout.size() - new_size) as u64, Ordering::SeqCst);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: PeakAlloc = PeakAlloc;
+
+/// Heap bytes the closure's execution adds above its starting live set,
+/// at the worst moment.
+fn peak_extra_during(f: impl FnOnce()) -> u64 {
+    let live = LIVE.load(Ordering::SeqCst);
+    PEAK.store(live, Ordering::SeqCst);
+    f();
+    PEAK.load(Ordering::SeqCst).saturating_sub(live)
+}
+
+#[test]
+fn streaming_save_peaks_far_below_the_tree_path() {
+    // Big enough that the model dwarfs the other bundle leaves.
+    let data = SynthConfig {
+        name: "stream-alloc".into(),
+        n_genes: 200,
+        class_sizes: vec![40, 40],
+        class_names: vec!["a".into(), "b".into()],
+        markers_per_class: 30,
+        marker_shift: 2.5,
+        marker_dropout: 0.15,
+        marker_modules: 4,
+        wobble_rate: 0.3,
+        marker_flip: 0.2,
+        atypical_rate: 0.0,
+        atypical_strength: 0.3,
+        seed: 17,
+    }
+    .generate();
+    let bundle = ModelBundle::train(&data, Provenance::new("stream-alloc", Some(17))).unwrap();
+
+    // The historical path, reproduced: full Value tree + canonical payload
+    // string + envelope tree + envelope string, all live at once.
+    let mut tree_len = 0usize;
+    let tree_peak = peak_extra_during(|| {
+        let payload = serde_json::to_value(&bundle).unwrap();
+        let canonical = serde_json::to_string(&payload).unwrap();
+        let envelope = serde_json::json!({
+            "format_version": FORMAT_VERSION,
+            "checksum": format!("fnv1a64:{:016x}", canonical.len() as u64), // stand-in
+            "bundle": payload
+        });
+        tree_len = serde_json::to_string(&envelope).unwrap().len();
+    });
+
+    // The streaming path into a discarding sink (hash pass + write pass,
+    // nothing buffered).
+    let mut streamed_len = 0u64;
+    let stream_peak = peak_extra_during(|| {
+        let mut sink = CountingSink { bytes: 0 };
+        bundle.save_to_writer(&mut sink).unwrap();
+        streamed_len = sink.bytes;
+    });
+
+    assert_eq!(streamed_len as usize, tree_len, "the two paths emit the same byte count");
+    assert!(
+        stream_peak * 2 < tree_peak,
+        "streaming save peaked at {stream_peak} B, tree path at {tree_peak} B — \
+         expected the streaming path to stay under half (artifact is {streamed_len} B)"
+    );
+}
+
+/// An `io::Write` that counts and discards.
+struct CountingSink {
+    bytes: u64,
+}
+
+impl std::io::Write for CountingSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}

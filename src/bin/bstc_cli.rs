@@ -85,9 +85,10 @@ fn main() -> ExitCode {
 const USAGE: &str = "bstc-cli — Boolean Structure Table Classification
 
 commands:
-  synth      --preset all|lc|pc|oc [--seed N] [--scale K] [--genes N]
-             [--class-sizes A,B,..] --out FILE.tsv|FILE.bmx
-             (a .bmx target streams columns to disk — any sample count, flat RSS)
+  synth      --preset all|lc|pc|oc|three|sample-scale [--seed N] [--scale K]
+             [--genes N] [--class-sizes A,B,..] --out FILE.tsv|FILE.bmx
+             (a .bmx target streams columns to disk — any sample count, flat RSS;
+              sample-scale is the 2,600-sample BST-construction stress)
   discretize --train FILE.tsv [--apply FILE.tsv] --out FILE.tsv [--cuts FILE.json]
   train      --data FILE.tsv --model FILE.json [--bench-out FILE.json]
   train      --data FILE.bmx --model FILE.json [--chunk-bytes N]
@@ -98,9 +99,12 @@ commands:
   mine       --data FILE.tsv --class N [-k K]
   cv         --data FILE.tsv|FILE.bmx [--spec 0.6|8,10] [--reps N] [--seed N]
              [--chunk-bytes N] [--shards K] [--out FILE.json]
-             (sharded runs merge bit-identically to --shards 1)
+             (sharded runs merge bit-identically to --shards 1; a .bmx source
+              is checksum-verified once by the parent, not once per shard)
   cv-shard   --data FILE --spec SPEC --rep-start A --rep-end B --seed N
-             [--chunk-bytes N]   (worker: one JSON document on stdout)
+             [--chunk-bytes N] [--skip-checksum FNVHEX]
+             (worker: one JSON document on stdout; --skip-checksum trusts the
+              parent's verification and checks the .bmx header token only)
   serve      --model BUNDLE.json | --models-dir DIR [--addr HOST:PORT] [--threads N]
              [--queue-depth N] [--request-timeout SECS]  (0 disables the deadline)
              [--max-batch N]  (0 disables micro-batching)  [--batch-wait-us US]
@@ -206,9 +210,18 @@ enum CvSource {
     Bmx(BmxDataset),
 }
 
-fn open_source(path: &str) -> Result<CvSource, CliError> {
+/// `trusted` carries a parent-verified `.bmx` checksum (the `cv`
+/// parent's `--skip-checksum` handoff): when present, the worker opens
+/// with [`BmxDataset::open_trusted`] — header token comparison only —
+/// instead of re-streaming the whole file per shard. Ignored for TSV
+/// sources, which have no checksum to skip.
+fn open_source(path: &str, trusted: Option<u64>) -> Result<CvSource, CliError> {
     if path.ends_with(".bmx") {
-        Ok(CvSource::Bmx(BmxDataset::open(Path::new(path)).map_err(err)?))
+        let data = match trusted {
+            Some(token) => BmxDataset::open_trusted(Path::new(path), token),
+            None => BmxDataset::open(Path::new(path)),
+        };
+        Ok(CvSource::Bmx(data.map_err(err)?))
     } else {
         Ok(CvSource::Mem(io::read_cont_tsv(File::open(path).map_err(err)?).map_err(err)?))
     }
@@ -283,8 +296,11 @@ fn cmd_synth(args: &[String]) -> Result<(), CliError> {
         "pc" => microarray::synth::presets::prostate(seed),
         "oc" => microarray::synth::presets::ovarian(seed),
         "three" => microarray::synth::presets::three_class(seed),
+        "sample-scale" => microarray::synth::presets::sample_scale(seed),
         other => {
-            return Err(CliError::Usage(format!("unknown preset '{other}' (all|lc|pc|oc|three)")))
+            return Err(CliError::Usage(format!(
+                "unknown preset '{other}' (all|lc|pc|oc|three|sample-scale)"
+            )))
         }
     }
     .scaled_down(scale.max(1));
@@ -384,6 +400,12 @@ struct TrainReport {
     peak_rss_mb: Option<f64>,
     chunk_bytes: Option<usize>,
     matrix_bytes: Option<usize>,
+    /// (c, h) pairs swept by BST construction across all columns.
+    bst_pairs: u64,
+    /// Exclusion lists that survived interning (arena entries).
+    bst_distinct_lists: u64,
+    /// Bytes held by the exclusion-list arenas after interning.
+    bst_arena_bytes: u64,
     stages: Vec<StageEntry>,
 }
 
@@ -408,6 +430,7 @@ fn report_train_stages(
         eprintln!("  {:<12} {:>4} span(s)  {:.4}s", s.stage, s.count, s.total_secs);
     }
     let out = flag(args, "--bench-out").unwrap_or_else(|| "BENCH_train.json".into());
+    let counters = obs::counters();
     let report = TrainReport {
         data: data_path.to_string(),
         mode,
@@ -415,6 +438,9 @@ fn report_train_stages(
         peak_rss_mb: peak_rss_mb(),
         chunk_bytes: stream.map(|(c, _)| c),
         matrix_bytes: stream.map(|(_, m)| m),
+        bst_pairs: counters.get("bstc_bst_pairs_total"),
+        bst_distinct_lists: counters.get("bstc_bst_distinct_lists_total"),
+        bst_arena_bytes: counters.get("bstc_bst_arena_bytes_total"),
         stages,
     };
     match serde_json::to_string_pretty(&report) {
@@ -424,6 +450,17 @@ fn report_train_stages(
         },
         Err(e) => eprintln!("warning: cannot serialize stage report: {e}"),
     }
+}
+
+/// Writes a trained model's JSON straight from the arena to disk via
+/// [`BstcModel::write_json_to`] — byte-identical to `serde_json::
+/// to_string` but without materializing the value tree or the string,
+/// which at sample scale would briefly double the training peak RSS.
+fn write_model_json(model: &BstcModel, path: &str) -> Result<(), CliError> {
+    let mut w = std::io::BufWriter::new(File::create(path).map_err(err)?);
+    model.write_json_to(&mut w).map_err(err)?;
+    std::io::Write::flush(&mut w).map_err(err)?;
+    Ok(())
 }
 
 fn cmd_train(args: &[String]) -> Result<(), CliError> {
@@ -452,7 +489,7 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
     let t0 = std::time::Instant::now();
     let model = BstcModel::train(&data);
     let total_secs = t0.elapsed().as_secs_f64();
-    std::fs::write(&model_path, serde_json::to_string(&model).map_err(err)?).map_err(err)?;
+    write_model_json(&model, &model_path)?;
     eprintln!(
         "trained BSTC on {} samples / {} items / {} classes; wrote {}",
         data.n_samples(),
@@ -489,7 +526,7 @@ fn train_bmx(args: &[String], data_path: &str) -> Result<(), CliError> {
     }
     let model = BstcModel::train(&boolean);
     let total_secs = t0.elapsed().as_secs_f64();
-    std::fs::write(&model_path, serde_json::to_string(&model).map_err(err)?).map_err(err)?;
+    write_model_json(&model, &model_path)?;
     eprintln!(
         "trained BSTC out-of-core on {} samples / {} genes -> {} items / {} classes \
          ({} MiB matrix, {} MiB chunk budget); wrote {}",
@@ -501,7 +538,13 @@ fn train_bmx(args: &[String], data_path: &str) -> Result<(), CliError> {
         chunk_bytes >> 20,
         model_path
     );
-    report_train_stages(args, data_path, "bmx-stream", total_secs, Some((chunk_bytes, matrix_bytes)));
+    report_train_stages(
+        args,
+        data_path,
+        "bmx-stream",
+        total_secs,
+        Some((chunk_bytes, matrix_bytes)),
+    );
     if let Some(budget_mb) = parse_flag::<f64>(args, "--assert-peak-rss-mb")? {
         let peak = peak_rss_mb()
             .ok_or_else(|| CliError::Run("cannot read VmHWM from /proc/self/status".into()))?;
@@ -759,7 +802,7 @@ fn cmd_cv(args: &[String]) -> Result<(), CliError> {
     let cv_span = trace.begin("cv", None);
     let mut replicates: Vec<RepJson>;
     if shards == 1 {
-        let source = open_source(&data_path)?;
+        let source = open_source(&data_path, None)?;
         let shard_span = trace.begin("shard", Some(cv_span));
         trace.add_field(shard_span, "shard_id", "0");
         replicates =
@@ -767,28 +810,47 @@ fn cmd_cv(args: &[String]) -> Result<(), CliError> {
         trace.end(shard_span);
     } else {
         let exe = std::env::current_exe().map_err(err)?;
+        // Verify a .bmx source once in the parent — full checksum +
+        // finiteness stream — then hand the checksum to every worker so
+        // K shards cost one verification pass instead of K. The open
+        // is dropped immediately: the parent only needs the token.
+        let trusted_token = if data_path.ends_with(".bmx") {
+            let verified = BmxDataset::open(Path::new(&data_path)).map_err(err)?;
+            obs::log::info(
+                "cv_checksum_verified",
+                &[("data", data_path.as_str()), ("fnv", &format!("{:016x}", verified.checksum()))],
+            );
+            Some(verified.checksum())
+        } else {
+            None
+        };
         let mut children = Vec::new();
         for k in 0..shards {
             let (lo, hi) = (reps * k / shards, reps * (k + 1) / shards);
             if lo == hi {
                 continue;
             }
+            let mut shard_args = vec![
+                "cv-shard".to_string(),
+                "--data".to_string(),
+                data_path.clone(),
+                "--spec".to_string(),
+                spec_raw.clone(),
+                "--rep-start".to_string(),
+                lo.to_string(),
+                "--rep-end".to_string(),
+                hi.to_string(),
+                "--seed".to_string(),
+                seed.to_string(),
+                "--chunk-bytes".to_string(),
+                chunk_bytes.to_string(),
+            ];
+            if let Some(token) = trusted_token {
+                shard_args.push("--skip-checksum".to_string());
+                shard_args.push(format!("{token:016x}"));
+            }
             let child = std::process::Command::new(&exe)
-                .args([
-                    "cv-shard",
-                    "--data",
-                    &data_path,
-                    "--spec",
-                    &spec_raw,
-                    "--rep-start",
-                    &lo.to_string(),
-                    "--rep-end",
-                    &hi.to_string(),
-                    "--seed",
-                    &seed.to_string(),
-                    "--chunk-bytes",
-                    &chunk_bytes.to_string(),
-                ])
+                .args(&shard_args)
                 .stdout(std::process::Stdio::piped())
                 .spawn()
                 .map_err(|e| CliError::Run(format!("cannot spawn cv-shard worker: {e}")))?;
@@ -870,7 +932,13 @@ fn cmd_cv_shard(args: &[String]) -> Result<(), CliError> {
     }
     let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(42);
     let chunk_bytes: usize = parse_flag(args, "--chunk-bytes")?.unwrap_or(64 << 20);
-    let source = open_source(&data_path)?;
+    let trusted = match flag(args, "--skip-checksum") {
+        Some(hex) => Some(u64::from_str_radix(&hex, 16).map_err(|_| {
+            CliError::Usage(format!("--skip-checksum wants 16 hex digits, got '{hex}'"))
+        })?),
+        None => None,
+    };
+    let source = open_source(&data_path, trusted)?;
     let trace = obs::Trace::new();
     let replicates =
         run_rep_range(&source, &spec, rep_start, rep_end, seed, chunk_bytes, &trace, None);

@@ -39,9 +39,14 @@ fn full_pipeline_through_the_binary() {
     assert!(stderr.contains("selected"), "{stderr}");
     assert!(cuts.exists());
 
+    // --bench-out goes to the tempdir: without it the stage report
+    // would land as BENCH_train.json in whatever CWD the test runs
+    // from, clobbering the committed benchmark.
+    let bench = tmp("pipeline_bench.json");
     let out = cli()
         .args(["train", "--data", items.to_str().unwrap()])
         .args(["--model", model.to_str().unwrap()])
+        .args(["--bench-out", bench.to_str().unwrap()])
         .output()
         .unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
@@ -81,9 +86,11 @@ fn train_save_then_serve_round_trips_over_http() {
         .unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 
+    let bench = tmp("serve_bench.json");
     let out = cli()
         .args(["train", "--data", expr.to_str().unwrap()])
         .args(["--save", bundle_path.to_str().unwrap(), "--dataset", "cli-e2e", "--seed", "11"])
+        .args(["--bench-out", bench.to_str().unwrap()])
         .output()
         .unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
@@ -233,6 +240,13 @@ fn sharded_cv_merges_bit_identically_to_single_process() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("shard shard_id="), "{stderr}");
     assert!(stderr.contains("    replicate rep="), "{stderr}");
+    // The parent verified the .bmx checksum exactly once and handed the
+    // token to the workers; no shard re-streams the file.
+    assert_eq!(
+        stderr.matches("cv_checksum_verified").count(),
+        1,
+        "expected exactly one parent-side verification\n{stderr}"
+    );
 
     let a = replicate_triples(&single);
     let b = replicate_triples(&sharded);
@@ -282,6 +296,70 @@ fn out_of_core_training_reports_and_asserts_peak_rss() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("exceeds the 1 MiB budget"));
+}
+
+#[test]
+fn sample_scale_preset_reports_bst_construction_counters() {
+    // The CI leg runs this preset at --scale 1 (2,600 samples) under a
+    // hard RSS budget; here a 1/10 slice proves the wiring: the preset
+    // exists, streams to .bmx, and the bench report carries the BST
+    // construction counters the interned builder records.
+    let bmx = tmp("sample_scale.bmx");
+    let model = tmp("sample_scale_model.json");
+    let bench = tmp("sample_scale_bench.json");
+    assert!(cli()
+        .args(["synth", "--preset", "sample-scale", "--scale", "10", "--seed", "7"])
+        .args(["--out", bmx.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = cli()
+        .args(["train", "--data", bmx.to_str().unwrap()])
+        .args(["--model", model.to_str().unwrap()])
+        .args(["--bench-out", bench.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&bench).unwrap()).unwrap();
+    let field = |k: &str| doc.get(k).and_then(|v| v.as_u64()).unwrap();
+    // 260 samples, two classes: every (c, h) pair was swept, interning
+    // kept at most that many distinct lists, and the arena holds them.
+    assert!(field("bst_pairs") > 0, "{doc:?}");
+    assert!(field("bst_distinct_lists") > 0, "{doc:?}");
+    assert!(field("bst_distinct_lists") <= field("bst_pairs"), "{doc:?}");
+    assert!(field("bst_arena_bytes") > 0, "{doc:?}");
+    let stages: Vec<&str> = doc
+        .get("stages")
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .iter()
+        .map(|s| s.get("stage").unwrap().as_str().unwrap())
+        .collect();
+    assert!(stages.contains(&"bst_build"), "bst_build stage missing from {stages:?}");
+}
+
+#[test]
+fn cv_shard_rejects_a_stale_checksum_token() {
+    let bmx = tmp("stale_token.bmx");
+    assert!(cli()
+        .args(["synth", "--preset", "all", "--scale", "12", "--seed", "5"])
+        .args(["--out", bmx.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = cli()
+        .args(["cv-shard", "--data", bmx.to_str().unwrap(), "--spec", "0.6"])
+        .args(["--rep-start", "0", "--rep-end", "1", "--seed", "42"])
+        .args(["--skip-checksum", "deadbeefdeadbeef"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("checksum handoff mismatch"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
